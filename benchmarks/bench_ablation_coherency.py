@@ -1,0 +1,102 @@
+"""Experiment ``ablation_coherency`` — the masked-LM coherency ranking.
+
+Paper §III-C ranks candidate corrections "by approximating how they fit into
+their surrounding local context ... utiliz[ing] a large pre-trained masked
+language model G to calculate a coherency score".  This ablation quantifies
+what that context-aware ranking buys over the context-free fallback (rank by
+edit distance, then frequency): accuracy of the top-1 correction on
+ambiguous perturbed tokens, i.e. tokens whose Soundex bucket contains more
+than one candidate English word.
+"""
+
+from __future__ import annotations
+
+from repro import CrypText
+from repro.core.normalizer import Normalizer
+from repro.datasets import build_social_corpus, corpus_texts
+
+from conftest import record_result
+
+#: Ambiguous test cases: (sentence with a perturbed token, perturbed token,
+#: expected correction).  Every perturbed token's phonetic bucket contains at
+#: least two plausible English words, so ranking matters.
+AMBIGUOUS_CASES = (
+    ("the demokrats won the election", "demokrats", "democrats"),
+    ("the demokrat won the election", "demokrat", "democrat"),
+    ("he made a clear pont about taxes", "pont", "point"),
+    ("the goverment raised the taxes", "goverment", "government"),
+    ("the vacine rollout continues", "vacine", "vaccine"),
+    ("the hose voted on the bill", "hose", "house"),
+    ("the presidant spoke last night", "presidant", "president"),
+    ("a new stady about the vaccine", "stady", "study"),
+    # genuine ties: two English words share the phonetic bucket at the same
+    # edit distance, so only context can pick the right correction
+    ("the book is over theer on the table", "theer", "there"),
+    ("she felt weeak after the flu", "weeak", "weak"),
+    ("they will vote next weeek on the bill", "weeek", "week"),
+    ("he told a long stor about the war", "stor", "story"),
+)
+
+
+def test_ablation_coherency_ranking(benchmark):
+    corpus = corpus_texts(build_social_corpus(num_posts=1200, seed=99))
+    # add clean sentences covering the ambiguous vocabulary so the n-gram
+    # scorer has context statistics for them
+    corpus += [
+        "the democrats won the election last night",
+        "the democrat won the election in the city",
+        "he made a clear point about taxes and jobs",
+        "the government raised the taxes again",
+        "the vaccine rollout continues across the country",
+        "the house voted on the bill this week",
+        "the president spoke last night on television",
+        "a new study about the vaccine was published",
+        "the book is over there on the table",
+        "they put their book on the table",
+        "she felt weak after the flu",
+        "they will vote next week on the bill",
+        "last week the doctors returned to work",
+        "he told a long story about the war",
+        "the story about the election was everywhere",
+    ]
+    with_scorer = CrypText.from_corpus(corpus, train_scorer=True)
+    without_scorer = Normalizer(
+        with_scorer.dictionary, scorer=None, config=with_scorer.config
+    )
+
+    def run_both():
+        scores = {}
+        for name, normalizer in (
+            ("with_coherency", with_scorer.normalizer),
+            ("edit_distance_only", without_scorer),
+        ):
+            correct = 0
+            for sentence, perturbed, expected in AMBIGUOUS_CASES:
+                result = normalizer.normalize(sentence)
+                fixed = {
+                    correction.original: correction.corrected
+                    for correction in result.corrections
+                }
+                if fixed.get(perturbed, perturbed).lower() == expected:
+                    correct += 1
+            scores[name] = correct / len(AMBIGUOUS_CASES)
+        return scores
+
+    scores = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    # shape: context-aware ranking is at least as accurate as the fallback,
+    # and resolves a solid share of the ambiguous cases
+    assert scores["with_coherency"] >= scores["edit_distance_only"]
+    assert scores["with_coherency"] >= 0.6
+
+    record_result(
+        "ablation_coherency",
+        {
+            "description": "Top-1 correction accuracy on ambiguous perturbations",
+            "num_cases": len(AMBIGUOUS_CASES),
+            "accuracy": {name: round(value, 3) for name, value in scores.items()},
+        },
+    )
+    print("\nAblation coherency — top-1 correction accuracy on ambiguous tokens:")
+    for name, value in scores.items():
+        print(f"  {name:<20} {value:.2f}")

@@ -1,0 +1,98 @@
+"""Experiment ``ablation_k_d`` — the phonetic level ``k`` and distance bound ``d``.
+
+The paper fixes ``k=1, d=3`` as the Look Up / Normalization defaults and lets
+advanced users tune both.  This ablation quantifies that choice: over a set
+of labelled ground-truth pairs (original word, human-written perturbation),
+it sweeps ``k`` in {0, 1, 2} and ``d`` in {1, 2, 3, 4} and measures
+
+* **recall** — how often Look Up retrieves the perturbed form when queried
+  with the original word, and
+* **bucket size** — how many candidate tokens the query returns (a proxy for
+  precision / downstream ranking cost).
+
+Larger ``d`` and smaller ``k`` raise recall but blow up the bucket; the
+paper's default sits at the knee.
+"""
+
+from __future__ import annotations
+
+from repro import CrypText, CrypTextConfig
+from repro.datasets import build_perturbation_pairs
+
+from conftest import record_result
+
+K_VALUES = (0, 1, 2)
+D_VALUES = (1, 2, 3, 4)
+NUM_PAIRS = 150
+
+
+def _build_system_with_pairs(pairs) -> CrypText:
+    """A system whose dictionary has observed exactly the ground-truth pairs."""
+    system = CrypText.empty(config=CrypTextConfig(cache_enabled=False))
+    for original, perturbed, _strategy in pairs:
+        system.dictionary.add_token(perturbed, source="groundtruth")
+        system.dictionary.add_token(original, source="groundtruth")
+    return system
+
+
+def test_ablation_phonetic_level_and_distance(benchmark):
+    pairs = build_perturbation_pairs(num_pairs=NUM_PAIRS, seed=29)
+    system = _build_system_with_pairs(pairs)
+
+    def sweep():
+        grid = {}
+        for k in K_VALUES:
+            for d in D_VALUES:
+                recalled = 0
+                bucket_sizes = 0
+                for original, perturbed, _strategy in pairs:
+                    result = system.look_up(
+                        original, phonetic_level=k, max_edit_distance=d
+                    )
+                    bucket_sizes += len(result.matches)
+                    if perturbed in result.tokens:
+                        recalled += 1
+                grid[(k, d)] = {
+                    "recall": recalled / len(pairs),
+                    "avg_bucket_size": bucket_sizes / len(pairs),
+                }
+        return grid
+
+    grid = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # shape: recall is monotone non-decreasing in d at fixed k
+    for k in K_VALUES:
+        recalls = [grid[(k, d)]["recall"] for d in D_VALUES]
+        assert recalls == sorted(recalls)
+    # shape: looser phonetic prefixes (smaller k) never lose recall at fixed d
+    for d in D_VALUES:
+        assert grid[(0, d)]["recall"] >= grid[(2, d)]["recall"]
+    # the paper's default (k=1, d=3) achieves solid recall
+    assert grid[(1, 3)]["recall"] >= 0.6
+    # and average bucket size grows as k shrinks (coarser buckets)
+    assert grid[(0, 4)]["avg_bucket_size"] >= grid[(2, 4)]["avg_bucket_size"]
+
+    rows = [
+        {
+            "k": k,
+            "d": d,
+            "recall": round(values["recall"], 3),
+            "avg_bucket_size": round(values["avg_bucket_size"], 2),
+        }
+        for (k, d), values in sorted(grid.items())
+    ]
+    record_result(
+        "ablation_k_d",
+        {
+            "description": "Look Up recall / bucket size vs phonetic level k and bound d",
+            "num_pairs": NUM_PAIRS,
+            "default": {"k": 1, "d": 3},
+            "rows": rows,
+        },
+    )
+    print("\nAblation (k, d) — recall / avg bucket size:")
+    for row in rows:
+        print(
+            f"  k={row['k']} d={row['d']}: recall={row['recall']:.2f} "
+            f"bucket={row['avg_bucket_size']:.1f}"
+        )

@@ -1,0 +1,115 @@
+"""Experiment ``ablation_soundex`` — customized vs original SOUNDEX.
+
+Paper §III-A motivates two changes to the classic algorithm: folding
+visually-similar characters ("l"->"1", "a"->"@", "S"->"5") and replacing the
+fixed-first-letter rule with a ``k+1``-character prefix (so "losbian" and
+"lesbian", which the original maps to the same ``L215``, are separated).
+
+The ablation measures both effects on labelled perturbation pairs:
+
+* **perturbation recall** — share of (word, perturbation) pairs that share an
+  encoding, for the original algorithm vs the customized one;
+* **false merges** — distinct English words collapsed into one bucket, which
+  the ``k+1`` prefix reduces.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.soundex import CustomSoundex, OriginalSoundex
+from repro.datasets import build_perturbation_pairs
+from repro.text.wordlist import default_lexicon
+
+from conftest import record_result
+
+NUM_PAIRS = 200
+
+
+def test_ablation_soundex_variants(benchmark):
+    pairs = build_perturbation_pairs(num_pairs=NUM_PAIRS, seed=31)
+    original = OriginalSoundex()
+    custom_k0 = CustomSoundex(phonetic_level=0)
+    custom_k1 = CustomSoundex(phonetic_level=1)
+    lexicon_words = sorted(default_lexicon().words)
+
+    def run_ablation():
+        recall = {}
+        for name, encoder in (
+            ("original_soundex", original),
+            ("custom_k0", custom_k0),
+            ("custom_k1", custom_k1),
+        ):
+            matched = 0
+            for word, perturbed, _strategy in pairs:
+                try:
+                    left = encoder.encode(word)
+                except Exception:  # noqa: BLE001 - original soundex rejects symbol-only tokens
+                    continue
+                right = (
+                    encoder.encode_or_none(perturbed)
+                    if hasattr(encoder, "encode_or_none")
+                    else _safe_encode(encoder, perturbed)
+                )
+                if right is not None and left == right:
+                    matched += 1
+            recall[name] = matched / len(pairs)
+
+        merges = {}
+        for name, encoder in (
+            ("original_soundex", original),
+            ("custom_k1", custom_k1),
+        ):
+            buckets: dict[str, set[str]] = defaultdict(set)
+            for word in lexicon_words:
+                code = _safe_encode(encoder, word)
+                if code is not None:
+                    buckets[code].add(word)
+            merges[name] = {
+                "buckets": len(buckets),
+                "words_in_shared_buckets": sum(
+                    len(words) for words in buckets.values() if len(words) > 1
+                ),
+                "largest_bucket": max(len(words) for words in buckets.values()),
+            }
+        return recall, merges
+
+    recall, merges = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    # shape: the customized encoding recognizes more human perturbations than
+    # the classic algorithm (visual folding is the main win)
+    assert recall["custom_k1"] >= recall["original_soundex"]
+    assert recall["custom_k0"] >= recall["original_soundex"]
+    # the paper's "losbian"/"lesbian" separation
+    assert OriginalSoundex().encode("losbian") == OriginalSoundex().encode("lesbian")
+    assert CustomSoundex(phonetic_level=1).encode("losbian") != CustomSoundex(
+        phonetic_level=1
+    ).encode("lesbian")
+    # the k+1 prefix yields finer buckets over the English lexicon
+    assert merges["custom_k1"]["buckets"] >= merges["original_soundex"]["buckets"]
+
+    record_result(
+        "ablation_soundex",
+        {
+            "description": "Customized vs original Soundex on perturbation pairs and lexicon buckets",
+            "perturbation_recall": {name: round(value, 3) for name, value in recall.items()},
+            "lexicon_buckets": merges,
+            "losbian_lesbian": {
+                "original": OriginalSoundex().encode("lesbian"),
+                "custom_losbian": CustomSoundex(phonetic_level=1).encode("losbian"),
+                "custom_lesbian": CustomSoundex(phonetic_level=1).encode("lesbian"),
+            },
+        },
+    )
+    print("\nAblation Soundex — perturbation-pair recall:")
+    for name, value in recall.items():
+        print(f"  {name:<18} {value:.2f}")
+    print(f"  lexicon buckets: original={merges['original_soundex']['buckets']} "
+          f"custom_k1={merges['custom_k1']['buckets']}")
+
+
+def _safe_encode(encoder, token):
+    try:
+        return encoder.encode(token)
+    except Exception:  # noqa: BLE001 - tokens without phonetic content
+        return None

@@ -1,0 +1,66 @@
+"""Experiment ``db_stats`` — §I headline: dictionary scale and continual growth.
+
+The paper's headline figures: "a dictionary of over 2M human-written tokens
+that are categorized into over 400K unique phonetic sounds", continually
+enriched by a Twitter stream crawler.  The scaled-down equivalent here runs
+the crawler over the simulated platform and tracks how the dictionary grows
+round by round: raw-token count, unique phonetic-sound count, and their
+ratio (the paper's is roughly 5 tokens per sound).
+"""
+
+from __future__ import annotations
+
+from repro.core.dictionary import PerturbationDictionary
+from repro.social import StreamCrawler
+
+from conftest import record_result
+
+
+def test_db_scale_growth(benchmark, twitter_platform):
+    def crawl_everything():
+        dictionary = PerturbationDictionary()
+        dictionary.seed_lexicon()
+        crawler = StreamCrawler(twitter_platform, dictionary, batch_size=250)
+        reports = crawler.crawl_all()
+        return dictionary, reports
+
+    dictionary, reports = benchmark.pedantic(crawl_everything, rounds=1, iterations=1)
+
+    stats = dictionary.stats()
+    level = dictionary.config.phonetic_level
+    tokens_per_sound = stats.tokens_per_key[level]
+
+    # shape: the dictionary grows every round, and raw tokens always
+    # outnumber distinct phonetic sounds (paper: 2M tokens vs 400K sounds)
+    sizes = [report.dictionary_size for report in reports]
+    assert sizes == sorted(sizes)
+    assert all(report.new_tokens >= 0 for report in reports)
+    assert stats.total_tokens > stats.unique_keys[level]
+    assert tokens_per_sound > 1.0
+    assert stats.perturbation_tokens > 0
+
+    growth_rows = [report.to_dict() for report in reports]
+    record_result(
+        "db_stats",
+        {
+            "description": "Dictionary growth under the stream crawler (scaled down)",
+            "final_total_tokens": stats.total_tokens,
+            "final_unique_sounds": stats.unique_keys[level],
+            "tokens_per_sound": tokens_per_sound,
+            "paper_total_tokens": 2_000_000,
+            "paper_unique_sounds": 400_000,
+            "paper_tokens_per_sound": 5.0,
+            "lexicon_tokens": stats.lexicon_tokens,
+            "perturbation_tokens": stats.perturbation_tokens,
+            "growth_per_round": growth_rows,
+        },
+    )
+    print("\nDictionary scale (scaled-down reproduction of the 2M/400K headline):")
+    print(f"  total tokens        : {stats.total_tokens}")
+    print(f"  unique sounds (k=1) : {stats.unique_keys[level]}")
+    print(f"  tokens per sound    : {tokens_per_sound:.2f}  (paper ~5.0)")
+    for report in reports:
+        print(
+            f"  round {report.round_index}: +{report.new_tokens} tokens "
+            f"(total {report.dictionary_size})"
+        )

@@ -1,0 +1,70 @@
+"""Experiment ``fig2`` — Figure 2: Normalization of perturbed inputs.
+
+Figure 2 of the paper shows the Normalization GUI: a perturbed input, the
+normalized output with corrected tokens highlighted, and a popup with the
+token before/after.  This benchmark normalizes a batch of perturbed posts
+drawn from the synthetic corpus (plus the paper's own example sentences),
+measures throughput, and records the before/after rows together with the
+share of injected perturbations that were restored.
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+
+PAPER_SENTENCES = (
+    "The democRATs responsible for their attempted race war",
+    "A fake tree burned and RepubLIEcans are calling for",
+    "Thinking about suic1de",
+    "stop the vac-cine mandate now",
+)
+
+
+def test_fig2_normalization(benchmark, cryptext_system, synthetic_posts):
+    perturbed_posts = [post for post in synthetic_posts if post.has_perturbation][:60]
+    texts = list(PAPER_SENTENCES) + [post.text for post in perturbed_posts]
+
+    results = benchmark(cryptext_system.normalizer.normalize_many, texts)
+
+    # --- correctness of the paper's own examples ---------------------------
+    by_input = dict(zip(texts, results))
+    assert "democrats" in by_input[PAPER_SENTENCES[0]].normalized_text.lower()
+    assert "republicans" in by_input[PAPER_SENTENCES[1]].normalized_text.lower()
+    assert "suicide" in by_input[PAPER_SENTENCES[2]].normalized_text.lower()
+    assert "vaccine" in by_input[PAPER_SENTENCES[3]].normalized_text.lower()
+
+    # --- recovery rate on the injected corpus perturbations ----------------
+    total_pairs = 0
+    recovered = 0
+    for post, result in zip(perturbed_posts, results[len(PAPER_SENTENCES):]):
+        for original, _perturbed in post.perturbed_pairs:
+            total_pairs += 1
+            if original.lower() in result.normalized_text.lower():
+                recovered += 1
+    recovery_rate = recovered / total_pairs if total_pairs else 0.0
+    assert recovery_rate >= 0.5
+
+    rows = [
+        {
+            "input": result.original_text,
+            "normalized": result.normalized_text,
+            "corrections": [
+                {"before": c.original, "after": c.corrected, "category": c.category.value}
+                for c in result.perturbed_corrections
+            ],
+        }
+        for result in results[: len(PAPER_SENTENCES) + 10]
+    ]
+    record_result(
+        "fig2",
+        {
+            "description": "Normalization of perturbed inputs (paper examples + corpus posts)",
+            "num_texts": len(texts),
+            "perturbation_recovery_rate": recovery_rate,
+            "examples": rows,
+        },
+    )
+    print(f"\nFigure 2 — normalization recovery rate: {recovery_rate:.2%}")
+    for row in rows[:4]:
+        print(f"  in : {row['input']}")
+        print(f"  out: {row['normalized']}")

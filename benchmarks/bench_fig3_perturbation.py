@@ -1,0 +1,75 @@
+"""Experiment ``fig3`` — Figure 3: perturbing a tweet at a chosen ratio.
+
+Figure 3 of the paper shows CrypText perturbing a tweet with the manipulated
+tokens highlighted, at a user-selected manipulation ratio (the demo offers
+15%, 25%, 50%).  This benchmark perturbs a batch of clean posts at each of
+the showcase ratios, measures throughput, and records achieved ratios and
+example outputs — every replacement being an observed human-written token.
+"""
+
+from __future__ import annotations
+
+from conftest import PAPER_RATIOS, record_result
+
+EXAMPLE_TWEET = (
+    "the democrats and republicans keep fighting about the vaccine mandate "
+    "while people lose their jobs"
+)
+
+
+def test_fig3_perturbation(benchmark, cryptext_system, synthetic_posts):
+    clean_texts = [post.clean_text for post in synthetic_posts[:80]]
+    ratios = [ratio for ratio in PAPER_RATIOS if ratio > 0]
+
+    def perturb_all():
+        return {
+            ratio: cryptext_system.perturber.perturb_many(clean_texts, ratio=ratio)
+            for ratio in ratios
+        }
+
+    outcomes_by_ratio = benchmark(perturb_all)
+
+    summary = {}
+    for ratio, outcomes in outcomes_by_ratio.items():
+        replaced = sum(len(outcome.replacements) for outcome in outcomes)
+        requested = sum(outcome.requested_replacements for outcome in outcomes)
+        observed = all(
+            replacement.perturbed in cryptext_system.dictionary
+            for outcome in outcomes
+            for replacement in outcome.replacements
+        )
+        assert observed, "every replacement must be an observed human-written token"
+        summary[str(ratio)] = {
+            "requested_replacements": requested,
+            "performed_replacements": replaced,
+            "fill_rate": replaced / requested if requested else 0.0,
+        }
+
+    # higher ratios must lead to strictly more manipulation overall
+    performed = [summary[str(ratio)]["performed_replacements"] for ratio in ratios]
+    assert performed == sorted(performed)
+
+    # For the showcase tweet, fill the requested budget so every ratio shows
+    # visible highlights (the GUI of Figure 3 does the same when the randomly
+    # sampled tokens happen to have no observed perturbation).
+    example = {
+        str(ratio): cryptext_system.perturber.perturb(
+            EXAMPLE_TWEET, ratio=ratio, fill_target=True
+        ).to_dict()
+        for ratio in ratios
+    }
+    record_result(
+        "fig3",
+        {
+            "description": "Perturbation of clean posts at the paper's showcase ratios",
+            "ratios": summary,
+            "example_tweet": example,
+        },
+    )
+    print("\nFigure 3 — perturbation at showcase ratios:")
+    for ratio in ratios:
+        print(
+            f"  r={ratio:<5} requested={summary[str(ratio)]['requested_replacements']:>4} "
+            f"performed={summary[str(ratio)]['performed_replacements']:>4}"
+        )
+        print(f"    example: {example[str(ratio)]['perturbed_text']}")

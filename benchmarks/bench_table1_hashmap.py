@@ -1,0 +1,48 @@
+"""Experiment ``table1`` — Table I: the hash-map H1 of the example corpus.
+
+The paper's Table I shows the ``H_1`` hash-map extracted from the three
+sentences "the dirrty republicans", "thee dirty repubLIEcans", "the dirty
+republic@@ns": three phonetic keys, one grouping {the, thee}, one grouping
+the dirty variants, and one grouping all three spellings of "republicans".
+
+This benchmark rebuilds that exact table (asserting the groupings and the
+literal ``TH000`` / ``DI630`` keys), records it to
+``results/table1.json``, and times dictionary construction.
+"""
+
+from __future__ import annotations
+
+from repro.core.dictionary import PerturbationDictionary
+
+from conftest import TABLE1_SENTENCES, record_result
+
+
+def build_table1_dictionary() -> PerturbationDictionary:
+    return PerturbationDictionary.from_corpus(list(TABLE1_SENTENCES))
+
+
+def test_table1_hashmap(benchmark):
+    dictionary = benchmark(build_table1_dictionary)
+    hashmap = dictionary.hashmap(phonetic_level=1)
+
+    # --- the paper's groupings -------------------------------------------
+    assert hashmap["TH000"] == {"the", "thee"}
+    assert hashmap["DI630"] == {"dirty", "dirrty"}
+    republicans_key = dictionary.encoder(1).encode("republicans")
+    assert hashmap[republicans_key] == {"republicans", "repubLIEcans", "republic@@ns"}
+    assert len(hashmap) == 3
+
+    rows = [
+        {"key": key, "value": sorted(tokens)} for key, tokens in sorted(hashmap.items())
+    ]
+    record_result(
+        "table1",
+        {
+            "description": "H1 extracted from the paper's three example sentences",
+            "paper_keys": ["TH000", "DI630", "RE4425 (paper; see EXPERIMENTS.md)"],
+            "reproduced_rows": rows,
+        },
+    )
+    print("\nTable I — reproduced hash-map H1:")
+    for row in rows:
+        print(f"  {row['key']:>10}  {{{', '.join(row['value'])}}}")

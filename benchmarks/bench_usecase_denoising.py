@@ -1,0 +1,106 @@
+"""Experiment ``usecase_denoising`` — §III-C: normalization as a model defense.
+
+The paper's first Normalization use case: "CrypText can be used to correct
+all possible human-written perturbations in the training corpus" / in model
+inputs, de-noising what clean-trained classifiers see.  Together with the
+moderation use case (§III-E), the implied claim is that running Normalization
+in front of a toxicity model recovers a large part of the accuracy that
+perturbation takes away.
+
+This benchmark measures exactly that: toxicity-API accuracy on clean text,
+on CrypText-perturbed text, and on the same perturbed text after
+Normalization, plus the moderation pipeline's catch rate on evasive posts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.classifiers import SimulatedToxicityAPI
+from repro.core.perturber import Perturber
+from repro.datasets import build_robustness_dataset
+from repro.metrics import accuracy
+from repro.social import ModerationPipeline
+
+from conftest import record_result
+
+TRAIN, TEST = 400, 120
+RATIO = 0.5
+
+
+def test_usecase_denoising(benchmark, cryptext_system):
+    texts, labels = build_robustness_dataset("toxicity", num_samples=TRAIN + TEST, seed=301)
+    api = SimulatedToxicityAPI().train(texts[:TRAIN], labels[:TRAIN])
+    test_texts, test_labels = texts[TRAIN:], labels[TRAIN:]
+
+    perturber = Perturber(
+        cryptext_system.lookup_engine,
+        config=cryptext_system.config,
+        rng=random.Random(301),
+    )
+    perturbed = [
+        perturber.perturb(text, ratio=RATIO, fill_target=True).perturbed_text
+        for text in test_texts
+    ]
+
+    def evaluate_with_denoising():
+        denoised = [
+            cryptext_system.normalize(text).normalized_text for text in perturbed
+        ]
+        return [api.predict_label(text) for text in denoised]
+
+    denoised_predictions = benchmark(evaluate_with_denoising)
+
+    clean_accuracy = accuracy(test_labels, [api.predict_label(t) for t in test_texts])
+    perturbed_accuracy = accuracy(test_labels, [api.predict_label(t) for t in perturbed])
+    denoised_accuracy = accuracy(test_labels, denoised_predictions)
+
+    # shape: perturbation hurts, normalization recovers most of the damage
+    assert perturbed_accuracy <= clean_accuracy
+    assert denoised_accuracy >= perturbed_accuracy
+    if clean_accuracy - perturbed_accuracy >= 0.05:
+        recovered = (denoised_accuracy - perturbed_accuracy) / (
+            clean_accuracy - perturbed_accuracy
+        )
+        assert recovered >= 0.5
+
+    # the moderation pipeline catches evasive toxic posts; a moderation
+    # assistant escalates on any restored sensitive token (threshold 1)
+    pipeline = ModerationPipeline(cryptext_system, api, sensitive_review_threshold=1)
+    evasive = [
+        text
+        for text, label, perturbed_text in zip(test_texts, test_labels, perturbed)
+        if label == "toxic" and api.predict_label(perturbed_text) != "toxic"
+    ]
+    evasive_perturbed = [
+        perturbed_text
+        for text, label, perturbed_text in zip(test_texts, test_labels, perturbed)
+        if label == "toxic" and api.predict_label(perturbed_text) != "toxic"
+    ]
+    if evasive_perturbed:
+        report = pipeline.review_posts(evasive_perturbed)
+        caught = len(report.flagged_raw) + len(report.caught_by_normalization) + len(
+            report.needs_review
+        )
+        catch_rate = caught / len(evasive_perturbed)
+        assert catch_rate >= 0.5
+    else:
+        catch_rate = 1.0
+
+    record_result(
+        "usecase_denoising",
+        {
+            "description": "Normalization as a defense for a clean-trained toxicity model",
+            "perturbation_ratio": RATIO,
+            "clean_accuracy": round(clean_accuracy, 4),
+            "perturbed_accuracy": round(perturbed_accuracy, 4),
+            "denoised_accuracy": round(denoised_accuracy, 4),
+            "num_evasive_posts": len(evasive),
+            "moderation_catch_rate": round(catch_rate, 4),
+        },
+    )
+    print("\n§III-C use case — de-noising with Normalization (ratio 0.5):")
+    print(f"  clean     accuracy: {clean_accuracy:.3f}")
+    print(f"  perturbed accuracy: {perturbed_accuracy:.3f}")
+    print(f"  denoised  accuracy: {denoised_accuracy:.3f}")
+    print(f"  moderation catch rate on evasive posts: {catch_rate:.2%}")

@@ -1,0 +1,80 @@
+"""Experiment ``usecase_lookup`` — §III-B: keyword enrichment on social search.
+
+The paper reports that searching Twitter (Nov. 2021) with the plain keyword
+"democrats" yields 67% negative tweets, but 87% when the query also includes
+the keyword's perturbations from Look Up; likewise 66% -> 84% for
+"republicans" and 46% -> 61% for "vaccine".
+
+Against the simulated platform, this benchmark runs the same study: plain
+search vs perturbation-enriched search for the three keywords, comparing
+match counts and negative-sentiment shares.  The absolute percentages depend
+on the synthetic corpus, but the paper's *shape* must hold: enrichment finds
+more posts and a more negative slice for every keyword.
+"""
+
+from __future__ import annotations
+
+from repro.social import SocialListener
+
+from conftest import record_result
+
+KEYWORDS = ("democrats", "republicans", "vaccine")
+
+#: The paper's reported negative shares (plain, enriched) per keyword.
+PAPER_NUMBERS = {
+    "democrats": (0.67, 0.87),
+    "republicans": (0.66, 0.84),
+    "vaccine": (0.46, 0.61),
+}
+
+
+def test_usecase_keyword_enrichment(benchmark, cryptext_system, twitter_platform):
+    listener = SocialListener(twitter_platform, cryptext_system.lookup_engine)
+
+    def run_study():
+        return {
+            keyword: listener.keyword_enrichment_comparison(keyword)
+            for keyword in KEYWORDS
+        }
+
+    comparisons = benchmark(run_study)
+
+    rows = []
+    for keyword in KEYWORDS:
+        comparison = comparisons[keyword]
+        paper_plain, paper_enriched = PAPER_NUMBERS[keyword]
+        # shape assertions: enrichment widens the net and skews negative
+        assert comparison["enriched_matches"] > comparison["plain_matches"], keyword
+        assert (
+            comparison["enriched_negative_share"] > comparison["plain_negative_share"]
+        ), keyword
+        rows.append(
+            {
+                "keyword": keyword,
+                "plain_matches": comparison["plain_matches"],
+                "enriched_matches": comparison["enriched_matches"],
+                "plain_negative_share": round(comparison["plain_negative_share"], 3),
+                "enriched_negative_share": round(
+                    comparison["enriched_negative_share"], 3
+                ),
+                "paper_plain_negative_share": paper_plain,
+                "paper_enriched_negative_share": paper_enriched,
+            }
+        )
+
+    record_result(
+        "usecase_lookup",
+        {
+            "description": "Keyword enrichment: plain vs perturbation-enriched search",
+            "rows": rows,
+        },
+    )
+    print("\n§III-B use case — negative share of matched posts:")
+    print("  keyword       plain -> enriched   (paper: plain -> enriched)")
+    for row in rows:
+        print(
+            f"  {row['keyword']:<12} {row['plain_negative_share']:.2f} -> "
+            f"{row['enriched_negative_share']:.2f}   "
+            f"(paper: {row['paper_plain_negative_share']:.2f} -> "
+            f"{row['paper_enriched_negative_share']:.2f})"
+        )

@@ -1,0 +1,61 @@
+"""Shared fixtures and result-recording helpers for the benchmark harness.
+
+Every benchmark module regenerates one table / figure / quantitative claim of
+the paper (see DESIGN.md §4).  Besides timing the relevant operation with
+pytest-benchmark, each module writes the reproduced rows/series to
+``benchmarks/results/<experiment_id>.json`` so the numbers can be inspected
+and compared against the paper (EXPERIMENTS.md records that comparison).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import CrypText
+from repro.datasets import build_social_corpus, corpus_texts
+from repro.social import SocialPlatform
+
+#: Where reproduced tables/series are written.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The three sentences of the paper's Table I.
+TABLE1_SENTENCES = (
+    "the dirrty republicans",
+    "thee dirty repubLIEcans",
+    "the dirty republic@@ns",
+)
+
+#: Ratios showcased by the paper's Perturbation demo and Figure 4 sweep.
+PAPER_RATIOS = (0.0, 0.15, 0.25, 0.5)
+
+
+def record_result(experiment_id: str, payload: dict) -> Path:
+    """Write an experiment's reproduced numbers to the results directory."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.json"
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, ensure_ascii=False)
+    return path
+
+
+@pytest.fixture(scope="session")
+def synthetic_posts():
+    """The synthetic social corpus every corpus-level benchmark shares."""
+    return build_social_corpus(num_posts=1500, seed=20230116)
+
+
+@pytest.fixture(scope="session")
+def cryptext_system(synthetic_posts) -> CrypText:
+    """CrypText built from the synthetic corpus (shared, treated read-only)."""
+    return CrypText.from_corpus(corpus_texts(synthetic_posts))
+
+
+@pytest.fixture(scope="session")
+def twitter_platform(synthetic_posts) -> SocialPlatform:
+    """Simulated Twitter platform holding the synthetic posts."""
+    platform = SocialPlatform("twitter")
+    platform.ingest_posts(synthetic_posts)
+    return platform

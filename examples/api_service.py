@@ -1,0 +1,87 @@
+"""Bulk usage through the token-authorized service layer (paper §III-F).
+
+The deployed CrypText exposes Look Up / Normalization / Perturbation as
+secured bulk APIs behind authorization tokens.  This example stands up the
+in-process service, issues tokens with different scopes, and walks through
+the request/response flow a client integration would use — including what
+happens on missing tokens, missing scopes, and rate limiting.
+
+Run with::
+
+    python examples/api_service.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import CrypText
+from repro.api import CrypTextService, RateLimiter
+from repro.datasets import build_social_corpus, corpus_texts
+from repro.social import SocialPlatform
+
+
+def main() -> None:
+    posts = build_social_corpus(num_posts=1000, seed=3)
+    cryptext = CrypText.from_corpus(corpus_texts(posts))
+    platform = SocialPlatform("twitter")
+    platform.ingest_posts(posts)
+
+    service = CrypTextService(
+        cryptext,
+        platform=platform,
+        rate_limiter=RateLimiter(max_requests=5, window_seconds=60),
+    )
+
+    # Tokens are "provided upon request" with per-client scopes.
+    researcher = service.issue_token("researcher")  # all non-admin scopes
+    lookup_only = service.issue_token("search-bot", scopes={"lookup"})
+    print("issued tokens:")
+    print(f"  researcher : scopes={sorted(researcher.scopes)}")
+    print(f"  search-bot : scopes={sorted(lookup_only.scopes)}")
+
+    # --- bulk Look Up ----------------------------------------------------
+    response = service.lookup(researcher.token, ["democrats", "vaccine"])
+    print("\nbulk lookup status:", response.status)
+    for query, result in response.body["results"].items():
+        tokens = [match["token"] for match in result["matches"][:6]]
+        print(f"  {query}: {tokens}")
+
+    # --- bulk Normalization ----------------------------------------------
+    response = service.normalize(
+        researcher.token,
+        ["the demokrats push the vacc1ne mandate", "repubLIEcans are calling for it"],
+    )
+    for result in response.body["results"]:
+        print(f"  normalize: {result['original_text']!r} -> {result['normalized_text']!r}")
+
+    # --- bulk Perturbation -------------------------------------------------
+    response = service.perturb(
+        researcher.token, ["the democrats support the vaccine mandate"], ratio=0.5
+    )
+    print("  perturb  :", response.body["results"][0]["perturbed_text"])
+
+    # --- Social Listening ---------------------------------------------------
+    response = service.listen(researcher.token, ["vaccine"])
+    usage = response.body["results"]["vaccine"]
+    print(
+        f"  listen   : vaccine matched {usage['total_posts']} posts, "
+        f"{usage['perturbed_posts']} via perturbations"
+    )
+
+    # --- error handling ------------------------------------------------------
+    print("\nerror handling:")
+    print("  no token        ->", service.lookup(None, ["vaccine"]).status)
+    print("  wrong scope     ->", service.perturb(lookup_only.token, ["hi"], ratio=0.2).status)
+    for _ in range(10):
+        throttled = service.lookup(lookup_only.token, ["vaccine"])
+    print("  rate limited    ->", throttled.status)
+
+    # --- stats, as JSON as a web client would see it -------------------------
+    stats = service.stats(researcher.token)
+    print("\ndictionary stats payload:")
+    print(json.dumps(stats.body["stats"], indent=2)[:400], "...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Content moderation: catching perturbation-based evasion (paper §III-C / §III-E).
+
+A clean-trained toxicity model misses abusive posts whose key words are
+perturbed ("w0rthless", "sc-um", "paTHEtic").  The moderation pipeline runs
+the model on the raw text *and* on the CrypText-normalized text, and also
+escalates posts that hide sensitive vocabulary behind perturbations — the
+workflow the paper proposes for platform gatekeepers.
+
+Run with::
+
+    python examples/content_moderation.py
+"""
+
+from __future__ import annotations
+
+from repro import CrypText
+from repro.classifiers import SimulatedToxicityAPI
+from repro.datasets import (
+    build_robustness_dataset,
+    build_social_corpus,
+    corpus_texts,
+)
+from repro.social import ModerationPipeline
+
+
+def main() -> None:
+    # The platform's traffic and the CrypText dictionary built from it.
+    posts = build_social_corpus(num_posts=1500, seed=31)
+    cryptext = CrypText.from_corpus(corpus_texts(posts))
+
+    # A toxicity model trained on clean text only (like commercial APIs).
+    # The keyword-centred dataset mirrors the situation moderation models
+    # face: the abusive keyword carries the decision.
+    texts, labels = build_robustness_dataset("toxicity", num_samples=500, seed=31)
+    toxicity_api = SimulatedToxicityAPI().train(texts, labels)
+
+    pipeline = ModerationPipeline(cryptext, toxicity_api, sensitive_review_threshold=1)
+
+    # Review the platform's perturbed toxic traffic.
+    incoming = [post.text for post in posts if post.has_perturbation][:120]
+    report = pipeline.review_posts(incoming)
+    summary = report.summary()
+
+    print("moderation summary over", summary["total"], "perturbed posts")
+    for action in ("remove", "remove_after_normalization", "review", "allow"):
+        print(f"  {action:<28} {summary[action]}")
+
+    if report.caught_by_normalization:
+        print("\nevasive posts caught only after normalization:")
+        for verdict in report.caught_by_normalization[:5]:
+            print(f"  raw       : {verdict.text}")
+            print(f"  normalized: {verdict.normalized_text}")
+            print(f"  reason    : {verdict.reason}\n")
+
+    print("\nposts escalated for human review (sensitive perturbations):")
+    for verdict in report.needs_review[:5]:
+        tokens = ", ".join(verdict.perturbed_sensitive_tokens)
+        print(f"  {verdict.text}")
+        print(f"    hidden sensitive tokens: {tokens}")
+
+    # A targeted demonstration of the evasion mechanism: perturbing the
+    # insult drains the model's toxicity score; normalization restores it.
+    print("\ntargeted evasion check (toxicity score of the model):")
+    clean = "you are a truly worthless person and everyone here knows it"
+    evasive = "you are a truly w0rth-less person and everyone here knows it"
+    restored = cryptext.normalize(evasive).normalized_text
+    for label, text in (("clean", clean), ("perturbed", evasive), ("normalized", restored)):
+        score = toxicity_api.analyze(text).scores.get("toxic", 0.0)
+        print(f"  {label:<11} toxicity={score:.3f}  {text}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Keyword enrichment: find the censored side of a conversation (paper §III-B).
+
+The paper's motivating use case: searching a platform with a plain keyword
+misses the posts whose authors deliberately misspelled it; adding the
+keyword's perturbations as extra queries surfaces that (usually more
+negative) content.  The script reproduces the study on the simulated
+platform and prints the plain-vs-enriched comparison for each keyword.
+
+Run with::
+
+    python examples/keyword_enrichment.py
+"""
+
+from __future__ import annotations
+
+from repro import CrypText
+from repro.datasets import build_social_corpus, corpus_texts
+from repro.social import SocialListener, SocialPlatform
+
+KEYWORDS = ("democrats", "republicans", "vaccine")
+
+
+def main() -> None:
+    posts = build_social_corpus(num_posts=1500, seed=7)
+    cryptext = CrypText.from_corpus(corpus_texts(posts))
+    platform = SocialPlatform("twitter")
+    platform.ingest_posts(posts)
+    listener = SocialListener(platform, cryptext.lookup_engine)
+
+    print(f"platform holds {len(platform)} posts\n")
+    print(f"{'keyword':<14}{'plain':>8}{'enriched':>10}{'neg(plain)':>12}{'neg(enriched)':>15}")
+    for keyword in KEYWORDS:
+        comparison = listener.keyword_enrichment_comparison(keyword)
+        print(
+            f"{keyword:<14}{comparison['plain_matches']:>8}"
+            f"{comparison['enriched_matches']:>10}"
+            f"{comparison['plain_negative_share']:>12.2%}"
+            f"{comparison['enriched_negative_share']:>15.2%}"
+        )
+
+    print("\nenriched queries used for 'vaccine':")
+    print("  " + ", ".join(cryptext.look_up("vaccine").enriched_queries(limit=12)))
+
+    print("\nexample posts only reachable through perturbations of 'vaccine':")
+    perturbations = cryptext.look_up("vaccine").perturbation_tokens()
+    plain_ids = {post["post_id"] for post in platform.search("vaccine").posts}
+    enriched = platform.search(("vaccine", *perturbations))
+    shown = 0
+    for post in enriched.posts:
+        if post["post_id"] not in plain_ids and shown < 5:
+            print(f"  - {post['text']}")
+            shown += 1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: build a CrypText system and use its four functions.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds the human-written token database from a synthetic social
+corpus (the offline stand-in for the paper's Twitter/Reddit crawl), then
+exercises Look Up, Perturbation, and Normalization exactly as the paper's
+demo does.  Social Listening has its own example (social_listening.py).
+"""
+
+from __future__ import annotations
+
+from repro import CrypText
+from repro.datasets import build_social_corpus, corpus_texts
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Build the database from a corpus of noisy, human-written posts.
+    # ------------------------------------------------------------------ #
+    posts = build_social_corpus(num_posts=1200, seed=42)
+    cryptext = CrypText.from_corpus(corpus_texts(posts))
+    stats = cryptext.stats()
+    print("=== dictionary ===")
+    print(f"raw tokens          : {stats.total_tokens}")
+    print(f"unique sounds (k=1) : {stats.unique_keys[1]}")
+    print(f"observed perturbed  : {stats.perturbation_tokens}")
+
+    # ------------------------------------------------------------------ #
+    # 2. Look Up (paper §III-B): what perturbations of a keyword exist?
+    # ------------------------------------------------------------------ #
+    print("\n=== look up ===")
+    for keyword in ("democrats", "vaccine", "amazon"):
+        result = cryptext.look_up(keyword)
+        print(f"{keyword:>10} -> {', '.join(result.perturbation_tokens()[:8])}")
+
+    # ------------------------------------------------------------------ #
+    # 3. Perturbation (paper §III-D): manipulate a tweet at a chosen ratio.
+    # ------------------------------------------------------------------ #
+    print("\n=== perturb ===")
+    tweet = "the democrats and republicans keep fighting about the vaccine mandate"
+    for ratio in (0.15, 0.25, 0.5):
+        outcome = cryptext.perturb(tweet, ratio=ratio)
+        print(f"r={ratio:<5} {outcome.perturbed_text}")
+
+    # ------------------------------------------------------------------ #
+    # 4. Normalization (paper §III-C): detect and de-perturb noisy text.
+    # ------------------------------------------------------------------ #
+    print("\n=== normalize ===")
+    noisy = "The democRATs responsible for the vacc1ne mandate are repubLIEcans now"
+    normalized = cryptext.normalize(noisy)
+    print(f"in : {noisy}")
+    print(f"out: {normalized.normalized_text}")
+    for correction in normalized.perturbed_corrections:
+        print(
+            f"  {correction.original!r} -> {correction.corrected!r} "
+            f"({correction.category.value})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Social Listening: monitor perturbation usage over time (paper §III-E).
+
+Builds the simulated platform, runs the stream crawler so the dictionary
+keeps learning new perturbations (paper §III-F), and then monitors a
+watch-list of keywords: per-day frequency and sentiment of posts reachable
+through each keyword's perturbations, exported in the chart.js-style payload
+the CrypText GUI renders.
+
+Run with::
+
+    python examples/social_listening.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import CrypText
+from repro.datasets import build_social_corpus
+from repro.social import SocialPlatform, StreamCrawler
+from repro.viz import (
+    build_multi_keyword_chart,
+    build_timeline_chart,
+    build_word_cloud,
+    write_html_report,
+)
+
+WATCH_LIST = ("vaccine", "democrats", "republicans")
+
+
+def main() -> None:
+    posts = build_social_corpus(num_posts=1500, seed=23, num_days=21)
+    platform = SocialPlatform("twitter")
+    platform.ingest_posts(posts)
+
+    # Start from a lexicon-only system and let the crawler learn the wild
+    # perturbations from the platform stream, round by round.
+    cryptext = CrypText.empty()
+    crawler = StreamCrawler(platform, cryptext.dictionary, batch_size=300)
+    print("=== crawler ===")
+    for report in crawler.crawl_all():
+        print(
+            f"round {report.round_index}: processed {report.posts_processed} posts, "
+            f"+{report.new_tokens} new tokens (dictionary={report.dictionary_size})"
+        )
+    if cryptext.cache is not None:
+        cryptext.cache.clear()
+
+    listener = cryptext.social_listener(platform)
+    usages = listener.monitor_keywords(WATCH_LIST)
+
+    print("\n=== watch list ===")
+    for keyword, usage in usages.items():
+        print(
+            f"{keyword:<14} posts={usage.total_posts:<5} "
+            f"via-perturbation={usage.perturbed_posts:<4} "
+            f"({usage.perturbed_share:.0%}) perturbations-tracked={len(usage.perturbations)}"
+        )
+        top = sorted(
+            usage.per_perturbation_counts.items(), key=lambda item: -item[1]
+        )[:5]
+        if top:
+            print("    top perturbations: " + ", ".join(f"{t}({c})" for t, c in top))
+
+    print("\n=== timeline for 'vaccine' (chart.js payload) ===")
+    chart = build_timeline_chart(usages["vaccine"])
+    for label, frequency in zip(chart["labels"], chart["datasets"][0]["data"]):
+        print(f"  {label}: {'#' * frequency} {frequency}")
+
+    comparison = build_multi_keyword_chart(usages, kind="negative_share")
+    print("\n=== negative share by keyword and day ===")
+    print("  dates: " + ", ".join(comparison["labels"][:7]) + ", ...")
+    for dataset in comparison["datasets"]:
+        head = ", ".join(f"{value:.2f}" for value in dataset["data"][:7])
+        print(f"  {dataset['label']:<14} {head}, ...")
+
+    # A standalone HTML report with the word clouds and timelines (the static
+    # equivalent of the CrypText website).
+    report_path = Path("examples_output") / "social_listening_report.html"
+    write_html_report(
+        report_path,
+        title="CrypText social listening report",
+        word_clouds={
+            keyword: build_word_cloud(cryptext.look_up(keyword)) for keyword in WATCH_LIST
+        },
+        keyword_usages=usages,
+    )
+    print(f"\nwrote HTML report to {report_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable
+installs (which build a wheel) fail.  This shim lets ``pip install -e .``
+fall back to the legacy ``setup.py develop`` code path; all project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

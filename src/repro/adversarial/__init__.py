@@ -1,0 +1,33 @@
+"""Machine-generated character-level perturbation baselines.
+
+Paper §II-B surveys the adversarial-NLP manipulation strategies that
+CrypText's *human-written* perturbations are contrasted with, and §III-D
+positions CrypText against them as the more realistic robustness probe:
+
+* **TextBugger** (Li et al., NDSS 2018) — insert / delete / swap characters,
+  substitute a character with a likely keyboard typo, or with a visually
+  similar symbol;
+* **VIPER** (Eger et al., NAACL 2019) — replace characters with visually
+  similar *accented / decorated* code points;
+* **DeepWordBug** (Gao et al., SPW 2018) — swap / substitute / delete /
+  insert characters, with homoglyph substitution.
+
+These from-scratch implementations reproduce each attack's *perturbation
+operators* (not the model-gradient target selection, which needs access to a
+victim model's internals); tokens to perturb are chosen uniformly at a
+caller-supplied ratio so the baselines plug into the same
+:class:`~repro.classifiers.apis.RobustnessEvaluator` harness as CrypText.
+"""
+
+from .base import CharacterPerturber, PerturbationRecord
+from .textbugger import TextBugger
+from .viper import Viper
+from .deepwordbug import DeepWordBug
+
+__all__ = [
+    "CharacterPerturber",
+    "PerturbationRecord",
+    "TextBugger",
+    "Viper",
+    "DeepWordBug",
+]

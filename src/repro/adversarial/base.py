@@ -1,0 +1,142 @@
+"""Shared machinery of the machine-generated perturbation baselines."""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import CrypTextError
+from ..text.tokenizer import Token, Tokenizer, detokenize
+
+
+@dataclass(frozen=True)
+class PerturbationRecord:
+    """One token replaced by a baseline attack."""
+
+    original: str
+    perturbed: str
+    start: int
+    end: int
+    operator: str
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize for comparison benchmarks."""
+        return {
+            "original": self.original,
+            "perturbed": self.perturbed,
+            "start": self.start,
+            "end": self.end,
+            "operator": self.operator,
+        }
+
+
+class CharacterPerturber(ABC):
+    """Base class: sample tokens at a ratio, apply a character-level operator.
+
+    Subclasses implement :meth:`perturb_token`, which returns the perturbed
+    spelling of a single token (or the token unchanged when no operator
+    applies, e.g. single-character tokens).
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; every baseline is deterministic given its seed.
+    min_token_length:
+        Tokens shorter than this are never perturbed (attacking one-letter
+        tokens is meaningless and most papers skip them).
+    """
+
+    #: Name used in benchmark outputs.
+    name: str = "baseline"
+
+    def __init__(self, seed: int = 0, min_token_length: int = 3) -> None:
+        self.rng = random.Random(seed)
+        self.min_token_length = min_token_length
+        self.tokenizer = Tokenizer(lowercase=False)
+
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def perturb_token(self, token: str) -> tuple[str, str]:
+        """Return ``(perturbed_token, operator_name)`` for one token."""
+
+    def _eligible_tokens(self, text: str) -> list[Token]:
+        return [
+            token
+            for token in self.tokenizer.word_tokens(text)
+            if len(token.text) >= self.min_token_length
+        ]
+
+    def perturb(self, text: str, ratio: float = 0.25) -> str:
+        """Perturb ``text`` at token ratio ``ratio`` and return the new text."""
+        return self.perturb_with_records(text, ratio=ratio)[0]
+
+    def perturb_with_records(
+        self, text: str, ratio: float = 0.25
+    ) -> tuple[str, list[PerturbationRecord]]:
+        """Perturb ``text`` and also return what was changed."""
+        if not 0.0 <= ratio <= 1.0:
+            raise CrypTextError(f"ratio must lie in [0, 1], got {ratio}")
+        eligible = self._eligible_tokens(text)
+        if not eligible or ratio == 0.0:
+            return text, []
+        target_count = max(1, math.ceil(ratio * len(eligible))) if ratio > 0 else 0
+        chosen = self.rng.sample(eligible, min(target_count, len(eligible)))
+        replacements: list[tuple[Token, str]] = []
+        records: list[PerturbationRecord] = []
+        for token in chosen:
+            perturbed, operator = self.perturb_token(token.text)
+            if perturbed == token.text:
+                continue
+            replacements.append((token, perturbed))
+            records.append(
+                PerturbationRecord(
+                    original=token.text,
+                    perturbed=perturbed,
+                    start=token.start,
+                    end=token.end,
+                    operator=operator,
+                )
+            )
+        perturbed_text = detokenize(text, replacements) if replacements else text
+        records.sort(key=lambda record: record.start)
+        return perturbed_text, records
+
+    def perturb_many(self, texts: Sequence[str], ratio: float = 0.25) -> list[str]:
+        """Perturb a batch of texts."""
+        return [self.perturb(text, ratio=ratio) for text in texts]
+
+    # ------------------------------------------------------------------ #
+    # helpers shared by subclasses
+    # ------------------------------------------------------------------ #
+    def _random_inner_index(self, token: str) -> int:
+        """Random index excluding the first and last character when possible.
+
+        Attacks prefer inner characters because word-initial and word-final
+        edits are more disruptive to human readability.
+        """
+        if len(token) <= 2:
+            return self.rng.randrange(len(token))
+        return self.rng.randrange(1, len(token) - 1)
+
+    @staticmethod
+    def _replace_at(token: str, index: int, replacement: str) -> str:
+        return token[:index] + replacement + token[index + 1 :]
+
+    @staticmethod
+    def _delete_at(token: str, index: int) -> str:
+        return token[:index] + token[index + 1 :]
+
+    @staticmethod
+    def _insert_at(token: str, index: int, insertion: str) -> str:
+        return token[:index] + insertion + token[index:]
+
+    @staticmethod
+    def _swap_at(token: str, index: int) -> str:
+        if index + 1 >= len(token):
+            return token
+        chars = list(token)
+        chars[index], chars[index + 1] = chars[index + 1], chars[index]
+        return "".join(chars)

@@ -1,0 +1,80 @@
+"""DeepWordBug character transformations (Gao et al., SPW 2018).
+
+DeepWordBug scores tokens with a black-box scoring function and transforms
+the highest-scoring ones with one of four character operators — adjacent
+swap, substitution, deletion, insertion — the substitution/insertion
+characters being drawn so the result stays visually close (the paper
+highlights its homoglyph flavour).  Without a victim model the token
+selection is uniform at the caller's ratio (handled by the shared base
+class); this module reproduces the four transformation operators.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import CrypTextError
+from ..text.charmap import LEET_SUBSTITUTIONS
+from .base import CharacterPerturber
+
+#: The four DeepWordBug transformers.
+DEEPWORDBUG_OPERATORS: tuple[str, ...] = ("swap", "substitute", "delete", "insert")
+
+
+class DeepWordBug(CharacterPerturber):
+    """DeepWordBug transformation functions.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed.
+    operators:
+        Subset of :data:`DEEPWORDBUG_OPERATORS` to draw from.
+    use_homoglyphs:
+        When ``True`` (default) substitutions and insertions prefer
+        homoglyph/leet characters, matching the paper's description of the
+        attack; otherwise a random ASCII letter is used.
+    """
+
+    name = "deepwordbug"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        operators: Sequence[str] | None = None,
+        use_homoglyphs: bool = True,
+    ) -> None:
+        super().__init__(seed=seed)
+        chosen = tuple(operators) if operators is not None else DEEPWORDBUG_OPERATORS
+        unknown = [op for op in chosen if op not in DEEPWORDBUG_OPERATORS]
+        if unknown:
+            raise CrypTextError(f"unknown DeepWordBug operators: {unknown}")
+        if not chosen:
+            raise CrypTextError("at least one operator is required")
+        self.operators = chosen
+        self.use_homoglyphs = use_homoglyphs
+
+    def _substitution_for(self, char: str) -> str:
+        lowered = char.lower()
+        if self.use_homoglyphs and lowered in LEET_SUBSTITUTIONS:
+            return self.rng.choice(LEET_SUBSTITUTIONS[lowered])
+        alphabet = "abcdefghijklmnopqrstuvwxyz".replace(lowered, "") or "x"
+        replacement = self.rng.choice(alphabet)
+        return replacement.upper() if char.isupper() else replacement
+
+    def perturb_token(self, token: str) -> tuple[str, str]:
+        """Apply one randomly drawn DeepWordBug transformer to ``token``."""
+        operator = self.rng.choice(self.operators)
+        index = self._random_inner_index(token)
+        if operator == "swap":
+            perturbed = self._swap_at(token, index)
+        elif operator == "substitute":
+            perturbed = self._replace_at(token, index, self._substitution_for(token[index]))
+        elif operator == "delete":
+            perturbed = self._delete_at(token, index)
+        else:  # insert
+            perturbed = self._insert_at(token, index, self._substitution_for(token[index]))
+        if perturbed == token:
+            perturbed = self._delete_at(token, index)
+            operator = "delete"
+        return perturbed, operator

@@ -1,0 +1,114 @@
+"""TextBugger character-level perturbation operators (Li et al., NDSS 2018).
+
+The paper cites TextBugger as the canonical machine-generated attack:
+"swapping, deleting a character in a word (e.g. 'democrats' -> 'demorcats'),
+replacing a character by its most probable misspell (e.g. 'republicans' ->
+'rwpublicans'), replacing a character by another visually similar digit or
+symbol (e.g. 'democrats' -> 'dem0cr@ts')".  This implementation reproduces
+those five black-box *bug generation* operators:
+
+* ``insert``  — insert a space-free character inside the word;
+* ``delete``  — delete a random inner character;
+* ``swap``    — swap two adjacent inner characters;
+* ``sub-c``   — substitute a character with an adjacent keyboard key
+  (the "most probable misspell");
+* ``sub-w``   — substitute a character with a visually similar symbol.
+
+The original attack greedily picks the bug that most reduces the victim
+model's confidence; without white-box access this implementation samples the
+operator uniformly (or per caller-supplied weights), which is the standard
+black-box transfer setting.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import CrypTextError
+from ..text.charmap import LEET_SUBSTITUTIONS
+from .base import CharacterPerturber
+
+#: QWERTY adjacency used for the "most probable misspell" operator.
+KEYBOARD_NEIGHBORS: dict[str, str] = {
+    "q": "wa", "w": "qes", "e": "wrd", "r": "etf", "t": "ryg", "y": "tuh",
+    "u": "yij", "i": "uok", "o": "ipl", "p": "ol",
+    "a": "qsz", "s": "awdx", "d": "sefc", "f": "drgv", "g": "fthb",
+    "h": "gyjn", "j": "hukm", "k": "jil", "l": "kop",
+    "z": "asx", "x": "zsdc", "c": "xdfv", "v": "cfgb", "b": "vghn",
+    "n": "bhjm", "m": "njk",
+}
+
+#: The five TextBugger operators.
+TEXTBUGGER_OPERATORS: tuple[str, ...] = ("insert", "delete", "swap", "sub-c", "sub-w")
+
+
+class TextBugger(CharacterPerturber):
+    """Black-box TextBugger bug generator.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed.
+    operators:
+        Subset of :data:`TEXTBUGGER_OPERATORS` to draw from (all by default).
+    operator_weights:
+        Optional sampling weights per operator.
+    """
+
+    name = "textbugger"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        operators: Sequence[str] | None = None,
+        operator_weights: Mapping[str, float] | None = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        chosen = tuple(operators) if operators is not None else TEXTBUGGER_OPERATORS
+        unknown = [op for op in chosen if op not in TEXTBUGGER_OPERATORS]
+        if unknown:
+            raise CrypTextError(f"unknown TextBugger operators: {unknown}")
+        if not chosen:
+            raise CrypTextError("at least one operator is required")
+        self.operators = chosen
+        if operator_weights is None:
+            self.weights = tuple(1.0 for _ in chosen)
+        else:
+            self.weights = tuple(float(operator_weights.get(op, 1.0)) for op in chosen)
+
+    # ------------------------------------------------------------------ #
+    def _apply(self, operator: str, token: str) -> str:
+        index = self._random_inner_index(token)
+        char = token[index].lower()
+        if operator == "insert":
+            insertion = self.rng.choice("aeiou" + char)
+            return self._insert_at(token, index + 1, insertion)
+        if operator == "delete":
+            return self._delete_at(token, index)
+        if operator == "swap":
+            return self._swap_at(token, index)
+        if operator == "sub-c":
+            neighbors = KEYBOARD_NEIGHBORS.get(char)
+            if not neighbors:
+                return token
+            replacement = self.rng.choice(neighbors)
+            if token[index].isupper():
+                replacement = replacement.upper()
+            return self._replace_at(token, index, replacement)
+        if operator == "sub-w":
+            visual = LEET_SUBSTITUTIONS.get(char)
+            if not visual:
+                return token
+            return self._replace_at(token, index, self.rng.choice(visual))
+        raise CrypTextError(f"unknown operator {operator!r}")
+
+    def perturb_token(self, token: str) -> tuple[str, str]:
+        """Apply one randomly drawn TextBugger operator to ``token``."""
+        operator = self.rng.choices(self.operators, weights=self.weights, k=1)[0]
+        perturbed = self._apply(operator, token)
+        if perturbed == token:
+            # The drawn operator had no effect (e.g. no keyboard neighbor);
+            # fall back to deletion, which always changes the token.
+            perturbed = self._delete_at(token, self._random_inner_index(token))
+            operator = "delete"
+        return perturbed, operator

@@ -1,0 +1,83 @@
+"""VIPER visual perturbations (Eger et al., NAACL 2019).
+
+VIPER ("VIsual PERturber") replaces characters with visually similar
+code points drawn from a visual-embedding neighborhood; the paper's example
+is "democrats" -> "d ˙emocr¯ats" (accented variants).  This implementation
+reproduces the attack's *easy/"DCES-like"* setting: each selected character
+is replaced, with probability ``prob``, by a visually confusable variant
+drawn from a table of accented and decorated forms.
+"""
+
+from __future__ import annotations
+
+from ..errors import CrypTextError
+from .base import CharacterPerturber
+
+#: Visually-confusable variants per ASCII letter (accented / decorated forms).
+VISUAL_VARIANTS: dict[str, tuple[str, ...]] = {
+    "a": ("á", "à", "â", "ä", "ã", "å", "ā", "ă"),
+    "b": ("ḃ", "ḅ"),
+    "c": ("ç", "ć", "ĉ", "č", "ċ"),
+    "d": ("ď", "ḋ", "ḍ"),
+    "e": ("é", "è", "ê", "ë", "ē", "ĕ", "ė"),
+    "f": ("ḟ",),
+    "g": ("ğ", "ĝ", "ġ", "ģ"),
+    "h": ("ĥ", "ḣ", "ḥ"),
+    "i": ("í", "ì", "î", "ï", "ī", "ĭ"),
+    "j": ("ĵ",),
+    "k": ("ķ", "ḳ"),
+    "l": ("ĺ", "ļ", "ľ", "ḷ"),
+    "m": ("ṁ", "ṃ"),
+    "n": ("ñ", "ń", "ņ", "ň", "ṅ"),
+    "o": ("ó", "ò", "ô", "ö", "õ", "ō", "ŏ"),
+    "p": ("ṗ",),
+    "r": ("ŕ", "ř", "ṙ"),
+    "s": ("ś", "ŝ", "ş", "š", "ṡ"),
+    "t": ("ţ", "ť", "ṫ", "ṭ"),
+    "u": ("ú", "ù", "û", "ü", "ū", "ŭ"),
+    "v": ("ṿ",),
+    "w": ("ŵ", "ẁ", "ẃ", "ẇ"),
+    "x": ("ẋ",),
+    "y": ("ý", "ŷ", "ÿ", "ẏ"),
+    "z": ("ź", "ż", "ž"),
+}
+
+
+class Viper(CharacterPerturber):
+    """Visual character replacement attack.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed.
+    prob:
+        Per-character replacement probability within a selected token
+        (VIPER's ``p`` parameter); at least one character is always replaced
+        so selected tokens are guaranteed to change.
+    """
+
+    name = "viper"
+
+    def __init__(self, seed: int = 0, prob: float = 0.4) -> None:
+        super().__init__(seed=seed)
+        if not 0.0 < prob <= 1.0:
+            raise CrypTextError(f"prob must lie in (0, 1], got {prob}")
+        self.prob = prob
+
+    def perturb_token(self, token: str) -> tuple[str, str]:
+        """Replace characters of ``token`` with accented lookalikes."""
+        characters = list(token)
+        replaceable = [
+            index for index, char in enumerate(characters) if char.lower() in VISUAL_VARIANTS
+        ]
+        if not replaceable:
+            return token, "visual"
+        changed = False
+        for index in replaceable:
+            if self.rng.random() <= self.prob:
+                characters[index] = self.rng.choice(VISUAL_VARIANTS[characters[index].lower()])
+                changed = True
+        if not changed:
+            index = self.rng.choice(replaceable)
+            characters[index] = self.rng.choice(VISUAL_VARIANTS[characters[index].lower()])
+        return "".join(characters), "visual"

@@ -1,0 +1,122 @@
+"""Token authentication for the service layer.
+
+The paper notes that CrypText's public APIs "require an authorization token
+that will be provided upon request".  :class:`TokenAuthenticator` plays the
+role of that token registry: it issues opaque tokens bound to a client name
+and a set of scopes, validates incoming tokens, and supports revocation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+from dataclasses import dataclass, field
+
+from ..errors import AuthenticationError, AuthorizationError
+
+#: Scopes understood by the service layer.
+KNOWN_SCOPES: frozenset[str] = frozenset(
+    {"lookup", "normalize", "perturb", "listen", "stats", "admin"}
+)
+
+
+@dataclass(frozen=True)
+class ApiToken:
+    """An issued API token (returned once, at issue time)."""
+
+    token: str
+    client: str
+    scopes: frozenset[str] = field(default_factory=frozenset)
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize (e.g. to hand to a client)."""
+        return {"token": self.token, "client": self.client, "scopes": sorted(self.scopes)}
+
+
+class TokenAuthenticator:
+    """Issues, validates, and revokes API tokens.
+
+    Tokens are stored only as salted SHA-256 digests, so a dump of the
+    authenticator's state does not leak usable credentials.
+
+    Parameters
+    ----------
+    secret:
+        HMAC key used to derive token digests; a random one is generated when
+        omitted (tests pass a fixed secret for determinism).
+    """
+
+    def __init__(self, secret: str | None = None) -> None:
+        self._secret = (secret or secrets.token_hex(16)).encode("utf-8")
+        self._tokens: dict[str, dict[str, object]] = {}
+
+    # ------------------------------------------------------------------ #
+    def _digest(self, token: str) -> str:
+        return hmac.new(self._secret, token.encode("utf-8"), hashlib.sha256).hexdigest()
+
+    def issue(self, client: str, scopes: frozenset[str] | set[str] | None = None) -> ApiToken:
+        """Issue a new token for ``client`` limited to ``scopes``.
+
+        ``None`` grants every non-admin scope, mirroring the default access a
+        registered CrypText user receives.
+        """
+        if not client or not client.strip():
+            raise AuthenticationError("client name must not be empty")
+        granted = frozenset(scopes) if scopes is not None else KNOWN_SCOPES - {"admin"}
+        unknown = granted - KNOWN_SCOPES
+        if unknown:
+            raise AuthorizationError(f"unknown scopes requested: {sorted(unknown)}")
+        token_value = secrets.token_urlsafe(24)
+        self._tokens[self._digest(token_value)] = {
+            "client": client,
+            "scopes": granted,
+            "revoked": False,
+        }
+        return ApiToken(token=token_value, client=client, scopes=granted)
+
+    def revoke(self, token: str) -> bool:
+        """Revoke a token; returns whether it existed."""
+        record = self._tokens.get(self._digest(token))
+        if record is None:
+            return False
+        record["revoked"] = True
+        return True
+
+    # ------------------------------------------------------------------ #
+    def authenticate(self, token: str | None) -> dict[str, object]:
+        """Validate ``token`` and return its record.
+
+        Raises
+        ------
+        AuthenticationError
+            If the token is missing, unknown, or revoked.
+        """
+        if not token:
+            raise AuthenticationError("missing API token")
+        record = self._tokens.get(self._digest(token))
+        if record is None:
+            raise AuthenticationError("unknown API token")
+        if record["revoked"]:
+            raise AuthenticationError("revoked API token")
+        return {"client": record["client"], "scopes": record["scopes"]}
+
+    def authorize(self, token: str | None, scope: str) -> str:
+        """Authenticate and check the token carries ``scope``; returns the client.
+
+        Raises
+        ------
+        AuthorizationError
+            If the token is valid but lacks the scope.
+        """
+        record = self.authenticate(token)
+        scopes: frozenset[str] = record["scopes"]  # type: ignore[assignment]
+        if scope not in scopes and "admin" not in scopes:
+            raise AuthorizationError(
+                f"token of client {record['client']!r} lacks scope {scope!r}"
+            )
+        return str(record["client"])
+
+    def known_clients(self) -> tuple[str, ...]:
+        """Names of clients with at least one issued token."""
+        return tuple(sorted({str(record["client"]) for record in self._tokens.values()}))

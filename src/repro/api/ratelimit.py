@@ -1,0 +1,80 @@
+"""Sliding-window rate limiting for the service layer.
+
+Because "some queries might take a longer time to process" (paper §III-F),
+the deployed system protects itself with a cache and, as any public API
+does, per-client request limits.  :class:`RateLimiter` implements a simple
+sliding-window limit with an injectable clock so tests can control time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict, deque
+from typing import Callable, Deque
+
+from ..errors import RateLimitExceededError
+
+
+class RateLimiter:
+    """Allows at most ``max_requests`` per ``window_seconds`` per key.
+
+    Parameters
+    ----------
+    max_requests:
+        Requests allowed inside one window.
+    window_seconds:
+        Window length.
+    clock:
+        Callable returning the current time in seconds (defaults to
+        :func:`time.monotonic`).
+    """
+
+    def __init__(
+        self,
+        max_requests: int = 60,
+        window_seconds: float = 60.0,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if max_requests < 1:
+            raise RateLimitExceededError(
+                f"max_requests must be >= 1, got {max_requests}"
+            )
+        if window_seconds <= 0:
+            raise RateLimitExceededError(
+                f"window_seconds must be positive, got {window_seconds}"
+            )
+        self.max_requests = max_requests
+        self.window_seconds = window_seconds
+        self._clock = clock or time.monotonic
+        self._events: dict[str, Deque[float]] = defaultdict(deque)
+
+    def _prune(self, key: str, now: float) -> None:
+        events = self._events[key]
+        horizon = now - self.window_seconds
+        while events and events[0] <= horizon:
+            events.popleft()
+
+    def check(self, key: str) -> None:
+        """Record one request for ``key``; raise when over the limit."""
+        now = self._clock()
+        self._prune(key, now)
+        events = self._events[key]
+        if len(events) >= self.max_requests:
+            raise RateLimitExceededError(
+                f"client {key!r} exceeded {self.max_requests} requests "
+                f"per {self.window_seconds:g}s"
+            )
+        events.append(now)
+
+    def remaining(self, key: str) -> int:
+        """Requests left in the current window for ``key``."""
+        now = self._clock()
+        self._prune(key, now)
+        return max(self.max_requests - len(self._events[key]), 0)
+
+    def reset(self, key: str | None = None) -> None:
+        """Forget recorded requests (for one key, or all keys)."""
+        if key is None:
+            self._events.clear()
+        else:
+            self._events.pop(key, None)

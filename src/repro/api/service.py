@@ -1,0 +1,243 @@
+"""In-process service layer: the bulk Look Up / Normalize / Perturb endpoints.
+
+:class:`CrypTextService` is the library equivalent of the Django/FastAPI
+back end in Figure 5: every endpoint takes and returns plain dictionaries
+(what a JSON HTTP layer would serialize), enforces token authentication and
+per-client rate limits, and caches responses in the Redis-style cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.pipeline import CrypText
+from ..errors import (
+    AuthenticationError,
+    AuthorizationError,
+    RateLimitExceededError,
+    ServiceError,
+)
+from ..social.listening import SocialListener
+from ..social.platform import SocialPlatform
+from ..storage import TTLCache, make_key
+from .auth import ApiToken, TokenAuthenticator
+from .ratelimit import RateLimiter
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """Envelope every endpoint returns."""
+
+    status: int
+    body: dict[str, object]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request succeeded."""
+        return 200 <= self.status < 300
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize the full envelope."""
+        return {"status": self.status, "body": dict(self.body)}
+
+
+class CrypTextService:
+    """Token-authorized facade over a :class:`~repro.core.pipeline.CrypText`.
+
+    Parameters
+    ----------
+    cryptext:
+        The system instance to expose.
+    authenticator:
+        Token registry (a private one is created when omitted; use
+        :meth:`issue_token` to mint credentials).
+    rate_limiter:
+        Per-client limiter (default 120 requests / 60 s).
+    platform:
+        Optional platform bound to the ``listen`` endpoint.
+    cache:
+        Response cache; defaults to the CrypText instance's cache.
+    max_batch_size:
+        Upper bound on bulk request sizes.
+    """
+
+    def __init__(
+        self,
+        cryptext: CrypText,
+        authenticator: TokenAuthenticator | None = None,
+        rate_limiter: RateLimiter | None = None,
+        platform: SocialPlatform | None = None,
+        cache: TTLCache | None = None,
+        max_batch_size: int = 256,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ServiceError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        self.cryptext = cryptext
+        self.authenticator = authenticator if authenticator is not None else TokenAuthenticator()
+        self.rate_limiter = rate_limiter if rate_limiter is not None else RateLimiter(
+            max_requests=120, window_seconds=60.0
+        )
+        self.platform = platform
+        self.cache = cache if cache is not None else cryptext.cache
+        self.max_batch_size = max_batch_size
+        self._listener: SocialListener | None = None
+
+    # ------------------------------------------------------------------ #
+    # administration
+    # ------------------------------------------------------------------ #
+    def issue_token(
+        self, client: str, scopes: frozenset[str] | set[str] | None = None
+    ) -> ApiToken:
+        """Mint an API token (the paper's "provided upon request")."""
+        return self.authenticator.issue(client, scopes)
+
+    def bind_platform(self, platform: SocialPlatform) -> None:
+        """Attach (or replace) the platform used by the ``listen`` endpoint."""
+        self.platform = platform
+        self._listener = None
+
+    def _listener_or_error(self) -> SocialListener:
+        if self.platform is None:
+            raise ServiceError("no platform is bound; call bind_platform() first")
+        if self._listener is None:
+            self._listener = self.cryptext.social_listener(self.platform)
+        return self._listener
+
+    # ------------------------------------------------------------------ #
+    # request plumbing
+    # ------------------------------------------------------------------ #
+    def _guard(self, token: str | None, scope: str) -> ServiceResponse | str:
+        """Authenticate, authorize and rate-limit; returns client or an error response."""
+        try:
+            client = self.authenticator.authorize(token, scope)
+        except AuthenticationError as exc:
+            return ServiceResponse(status=401, body={"error": str(exc)})
+        except AuthorizationError as exc:
+            return ServiceResponse(status=403, body={"error": str(exc)})
+        try:
+            self.rate_limiter.check(client)
+        except RateLimitExceededError as exc:
+            return ServiceResponse(status=429, body={"error": str(exc)})
+        return client
+
+    @staticmethod
+    def _validate_batch(items: Sequence[str], maximum: int, what: str) -> None:
+        if not items:
+            raise ServiceError(f"{what} must not be empty")
+        if len(items) > maximum:
+            raise ServiceError(
+                f"{what} exceeds the maximum batch size of {maximum} "
+                f"(got {len(items)})"
+            )
+        if any(not isinstance(item, str) for item in items):
+            raise ServiceError(f"every element of {what} must be a string")
+
+    def _cached(self, key: tuple, compute):
+        if self.cache is None:
+            return compute()
+        return self.cache.get_or_compute(key, compute)
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def lookup(
+        self,
+        token: str | None,
+        queries: Sequence[str],
+        phonetic_level: int | None = None,
+        max_edit_distance: int | None = None,
+        case_sensitive: bool = True,
+    ) -> ServiceResponse:
+        """Bulk Look Up endpoint."""
+        guard = self._guard(token, "lookup")
+        if isinstance(guard, ServiceResponse):
+            return guard
+        try:
+            self._validate_batch(queries, self.max_batch_size, "queries")
+        except ServiceError as exc:
+            return ServiceResponse(status=400, body={"error": str(exc)})
+        key = make_key(
+            "service.lookup", list(queries), phonetic_level, max_edit_distance, case_sensitive
+        )
+        results = self._cached(
+            key,
+            lambda: {
+                query: self.cryptext.look_up(
+                    query,
+                    phonetic_level=phonetic_level,
+                    max_edit_distance=max_edit_distance,
+                    case_sensitive=case_sensitive,
+                ).to_dict()
+                for query in queries
+            },
+        )
+        return ServiceResponse(status=200, body={"results": results})
+
+    def normalize(self, token: str | None, texts: Sequence[str]) -> ServiceResponse:
+        """Bulk Normalization endpoint."""
+        guard = self._guard(token, "normalize")
+        if isinstance(guard, ServiceResponse):
+            return guard
+        try:
+            self._validate_batch(texts, self.max_batch_size, "texts")
+        except ServiceError as exc:
+            return ServiceResponse(status=400, body={"error": str(exc)})
+        key = make_key("service.normalize", list(texts))
+        results = self._cached(
+            key,
+            lambda: [self.cryptext.normalize(text).to_dict() for text in texts],
+        )
+        return ServiceResponse(status=200, body={"results": results})
+
+    def perturb(
+        self,
+        token: str | None,
+        texts: Sequence[str],
+        ratio: float | None = None,
+        case_sensitive: bool | None = None,
+    ) -> ServiceResponse:
+        """Bulk Perturbation endpoint (not cached: sampling is stochastic)."""
+        guard = self._guard(token, "perturb")
+        if isinstance(guard, ServiceResponse):
+            return guard
+        try:
+            self._validate_batch(texts, self.max_batch_size, "texts")
+            if ratio is not None and not 0.0 <= ratio <= 1.0:
+                raise ServiceError(f"ratio must lie in [0, 1], got {ratio}")
+        except ServiceError as exc:
+            return ServiceResponse(status=400, body={"error": str(exc)})
+        results = [
+            self.cryptext.perturb(text, ratio=ratio, case_sensitive=case_sensitive).to_dict()
+            for text in texts
+        ]
+        return ServiceResponse(status=200, body={"results": results})
+
+    def listen(
+        self,
+        token: str | None,
+        keywords: Sequence[str],
+        since: str | None = None,
+        until: str | None = None,
+    ) -> ServiceResponse:
+        """Social Listening endpoint."""
+        guard = self._guard(token, "listen")
+        if isinstance(guard, ServiceResponse):
+            return guard
+        try:
+            self._validate_batch(keywords, self.max_batch_size, "keywords")
+            listener = self._listener_or_error()
+        except ServiceError as exc:
+            return ServiceResponse(status=400, body={"error": str(exc)})
+        usage = listener.monitor_keywords(keywords, since=since, until=until)
+        return ServiceResponse(
+            status=200,
+            body={"results": {keyword: report.to_dict() for keyword, report in usage.items()}},
+        )
+
+    def stats(self, token: str | None) -> ServiceResponse:
+        """Dictionary statistics endpoint."""
+        guard = self._guard(token, "stats")
+        if isinstance(guard, ServiceResponse):
+            return guard
+        return ServiceResponse(status=200, body={"stats": self.cryptext.stats().to_dict()})

@@ -1,0 +1,45 @@
+"""Text classifiers and simulated third-party NLP APIs.
+
+Figure 4 of the paper evaluates how Google Cloud's NLP APIs — Perspective
+toxicity detection, sentiment analysis, and text categorization — degrade on
+texts perturbed by CrypText.  Those APIs are closed black boxes and
+unreachable offline, so this subpackage builds the equivalent experimental
+setup from scratch:
+
+* :mod:`repro.classifiers.features` — word and character n-gram feature
+  extraction;
+* :mod:`repro.classifiers.naive_bayes` — multinomial Naive Bayes;
+* :mod:`repro.classifiers.logistic` — multinomial logistic regression trained
+  with mini-batch gradient descent (NumPy);
+* :mod:`repro.classifiers.apis` — the simulated APIs: each one wraps a
+  classifier trained on *clean* text only, so that — exactly like the real
+  services the paper probes — its accuracy drops when inputs carry
+  human-written perturbations.
+"""
+
+from .features import NgramVectorizer
+from .naive_bayes import MultinomialNaiveBayes
+from .logistic import LogisticRegressionClassifier
+from .apis import (
+    SimulatedToxicityAPI,
+    SimulatedSentimentAPI,
+    SimulatedCategoryAPI,
+    APIPrediction,
+    RobustnessEvaluator,
+    RobustnessPoint,
+)
+from .signals import PerturbationSignalExtractor, combine_feature_vectors
+
+__all__ = [
+    "NgramVectorizer",
+    "MultinomialNaiveBayes",
+    "LogisticRegressionClassifier",
+    "SimulatedToxicityAPI",
+    "SimulatedSentimentAPI",
+    "SimulatedCategoryAPI",
+    "APIPrediction",
+    "RobustnessEvaluator",
+    "RobustnessPoint",
+    "PerturbationSignalExtractor",
+    "combine_feature_vectors",
+]

@@ -1,0 +1,291 @@
+"""Simulated third-party NLP APIs and the robustness evaluation harness.
+
+Figure 4 of the paper measures the accuracy of three Google Cloud services —
+the Perspective toxic-content detector, the sentiment API, and the text
+categorization API — on inputs perturbed by CrypText at increasing
+manipulation ratios, and finds that all three degrade (Perspective loses
+almost 10 accuracy points at a 25% ratio).
+
+Those services are black boxes and unreachable offline.  This module builds
+the equivalent experimental subjects: each ``Simulated*API`` wraps a
+from-scratch classifier trained on *clean* text only (mirroring "models
+often trained only on clean English corpus"), and exposes an ``analyze``
+method shaped like the corresponding cloud response plus a ``predict_label``
+method used for accuracy measurement.  :class:`RobustnessEvaluator` then
+sweeps the perturbation ratio and reports the accuracy curve — the data
+behind Figure 4 and behind the "ML benchmark page" the system maintains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+from ..errors import ClassifierError
+from ..metrics import accuracy
+from .features import NgramVectorizer
+from .logistic import LogisticRegressionClassifier
+from .naive_bayes import MultinomialNaiveBayes
+
+
+@dataclass(frozen=True)
+class APIPrediction:
+    """A single API response: predicted label plus per-label scores."""
+
+    label: str
+    scores: dict[str, float]
+    raw: dict[str, object]
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize for the benchmark page export."""
+        return {"label": self.label, "scores": dict(self.scores), "raw": dict(self.raw)}
+
+
+class _TextClassifierAPI:
+    """Shared plumbing of the simulated APIs: vectorizer + classifier."""
+
+    #: Human-readable service name (shown in Figure-4-style outputs).
+    service_name: str = "api"
+
+    def __init__(
+        self,
+        vectorizer: NgramVectorizer | None = None,
+        classifier: MultinomialNaiveBayes | LogisticRegressionClassifier | None = None,
+    ) -> None:
+        self.vectorizer = vectorizer if vectorizer is not None else NgramVectorizer()
+        self.classifier = (
+            classifier if classifier is not None else MultinomialNaiveBayes()
+        )
+        self._trained = False
+
+    def train(self, texts: Sequence[str], labels: Sequence[str]) -> "_TextClassifierAPI":
+        """Fit the vectorizer and classifier on clean labelled text."""
+        if len(texts) != len(labels):
+            raise ClassifierError(f"got {len(texts)} texts but {len(labels)} labels")
+        vectors = self.vectorizer.fit_transform(texts)
+        self.classifier.fit(vectors, labels)
+        self._trained = True
+        return self
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`train` has been called."""
+        return self._trained
+
+    def _require_trained(self) -> None:
+        if not self._trained:
+            raise ClassifierError(f"{self.service_name} has not been trained yet")
+
+    def predict_label(self, text: str) -> str:
+        """Predicted label of ``text``."""
+        self._require_trained()
+        vector = self.vectorizer.transform_one(text)
+        return str(self.classifier.predict(vector))
+
+    def predict_scores(self, text: str) -> dict[str, float]:
+        """Per-label probabilities for ``text``."""
+        self._require_trained()
+        vector = self.vectorizer.transform_one(text)
+        return {str(label): float(p) for label, p in self.classifier.predict_proba(vector).items()}
+
+    def accuracy_on(self, texts: Sequence[str], labels: Sequence[str]) -> float:
+        """Accuracy on a labelled evaluation set."""
+        predictions = [self.predict_label(text) for text in texts]
+        return accuracy(list(labels), predictions)
+
+
+class SimulatedToxicityAPI(_TextClassifierAPI):
+    """Stand-in for the Perspective toxic-content API.
+
+    Binary labels ``{"toxic", "nontoxic"}``; :meth:`analyze` mirrors the
+    Perspective response shape (a summary toxicity score in ``[0, 1]``).
+    """
+
+    service_name = "perspective_toxicity"
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        # Word-level features only: the toxicity service is the most lexical
+        # of the three probed APIs, which is also why it degrades the most in
+        # the paper's Figure 4.
+        super().__init__(
+            vectorizer=NgramVectorizer(word_ngrams=(1, 2), char_ngrams=None),
+            classifier=MultinomialNaiveBayes(alpha=0.5),
+        )
+        self.threshold = threshold
+
+    def analyze(self, text: str) -> APIPrediction:
+        """Perspective-style response for ``text``."""
+        scores = self.predict_scores(text)
+        toxicity = scores.get("toxic", 0.0)
+        label = "toxic" if toxicity >= self.threshold else "nontoxic"
+        raw = {
+            "attributeScores": {
+                "TOXICITY": {"summaryScore": {"value": toxicity, "type": "PROBABILITY"}}
+            }
+        }
+        return APIPrediction(label=label, scores=scores, raw=raw)
+
+    def predict_label(self, text: str) -> str:
+        return self.analyze(text).label
+
+
+class SimulatedSentimentAPI(_TextClassifierAPI):
+    """Stand-in for the Google Cloud sentiment API.
+
+    Three-way labels ``{"negative", "neutral", "positive"}``; the raw
+    response carries a document score in ``[-1, 1]`` like the real service.
+    """
+
+    service_name = "cloud_sentiment"
+
+    def __init__(self) -> None:
+        super().__init__(
+            vectorizer=NgramVectorizer(word_ngrams=(1, 2), char_ngrams=None),
+            classifier=LogisticRegressionClassifier(epochs=40, seed=13),
+        )
+
+    def analyze(self, text: str) -> APIPrediction:
+        """Cloud-NL-style sentiment response for ``text``."""
+        scores = self.predict_scores(text)
+        label = max(scores.items(), key=lambda item: (item[1], item[0]))[0]
+        document_score = scores.get("positive", 0.0) - scores.get("negative", 0.0)
+        raw = {"documentSentiment": {"score": document_score, "magnitude": abs(document_score)}}
+        return APIPrediction(label=label, scores=scores, raw=raw)
+
+
+class SimulatedCategoryAPI(_TextClassifierAPI):
+    """Stand-in for the Google Cloud text-categorization API.
+
+    Topic labels (e.g. ``politics``, ``health``, ``technology``, ...); the
+    raw response lists categories with confidence, like ``classifyText``.
+    """
+
+    service_name = "cloud_categories"
+
+    def __init__(self) -> None:
+        super().__init__(
+            vectorizer=NgramVectorizer(word_ngrams=(1, 1), char_ngrams=None),
+            classifier=MultinomialNaiveBayes(alpha=1.0),
+        )
+
+    def analyze(self, text: str) -> APIPrediction:
+        """classifyText-style response for ``text``."""
+        scores = self.predict_scores(text)
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        label = ranked[0][0]
+        raw = {
+            "categories": [
+                {"name": f"/{name}", "confidence": confidence}
+                for name, confidence in ranked[:3]
+            ]
+        }
+        return APIPrediction(label=label, scores=scores, raw=raw)
+
+
+class _SupportsPredictLabel(Protocol):
+    service_name: str
+
+    def predict_label(self, text: str) -> str:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """Accuracy of one API at one perturbation ratio."""
+
+    service: str
+    ratio: float
+    accuracy: float
+    num_samples: int
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize for the benchmark page export."""
+        return {
+            "service": self.service,
+            "ratio": self.ratio,
+            "accuracy": self.accuracy,
+            "num_samples": self.num_samples,
+        }
+
+
+class RobustnessEvaluator:
+    """Sweeps perturbation ratios and measures API accuracy (Figure 4).
+
+    Parameters
+    ----------
+    perturb:
+        A callable ``(text, ratio) -> perturbed_text`` — typically
+        ``lambda text, ratio: cryptext.perturb(text, ratio=ratio).perturbed_text``
+        for CrypText, or one of the machine baselines from
+        :mod:`repro.adversarial` for comparison runs.
+    ratios:
+        Manipulation ratios to evaluate (0 is always worth including as the
+        clean reference point).
+    """
+
+    def __init__(
+        self,
+        perturb: Callable[[str, float], str],
+        ratios: Sequence[float] = (0.0, 0.15, 0.25, 0.5),
+        repeats: int = 1,
+    ) -> None:
+        if not ratios:
+            raise ClassifierError("ratios must not be empty")
+        if repeats < 1:
+            raise ClassifierError(f"repeats must be >= 1, got {repeats}")
+        self.perturb = perturb
+        self.ratios = tuple(ratios)
+        self.repeats = repeats
+
+    def evaluate(
+        self,
+        api: _SupportsPredictLabel,
+        texts: Sequence[str],
+        labels: Sequence[str],
+    ) -> list[RobustnessPoint]:
+        """Accuracy of ``api`` at every configured ratio.
+
+        For ratios above zero the perturbation sampling is stochastic, so the
+        reported accuracy is the mean over ``repeats`` independent
+        perturbation passes.
+        """
+        if len(texts) != len(labels):
+            raise ClassifierError(f"got {len(texts)} texts but {len(labels)} labels")
+        if not texts:
+            raise ClassifierError("cannot evaluate on an empty set")
+        points: list[RobustnessPoint] = []
+        reference = list(labels)
+        for ratio in self.ratios:
+            passes = 1 if ratio <= 0.0 else self.repeats
+            scores: list[float] = []
+            for _ in range(passes):
+                if ratio <= 0.0:
+                    evaluated_texts: Sequence[str] = texts
+                else:
+                    evaluated_texts = [self.perturb(text, ratio) for text in texts]
+                predictions = [api.predict_label(text) for text in evaluated_texts]
+                scores.append(accuracy(reference, predictions))
+            points.append(
+                RobustnessPoint(
+                    service=api.service_name,
+                    ratio=ratio,
+                    accuracy=sum(scores) / len(scores),
+                    num_samples=len(texts),
+                )
+            )
+        return points
+
+    def evaluate_many(
+        self,
+        apis: Sequence[_SupportsPredictLabel],
+        datasets: Sequence[tuple[Sequence[str], Sequence[str]]],
+    ) -> dict[str, list[RobustnessPoint]]:
+        """Evaluate several APIs, each on its own ``(texts, labels)`` set."""
+        if len(apis) != len(datasets):
+            raise ClassifierError(
+                f"got {len(apis)} APIs but {len(datasets)} datasets"
+            )
+        results: dict[str, list[RobustnessPoint]] = {}
+        for api, (texts, labels) in zip(apis, datasets):
+            results[api.service_name] = self.evaluate(api, texts, labels)
+        return results

@@ -1,0 +1,141 @@
+"""N-gram feature extraction for the simulated NLP APIs.
+
+The simulated APIs must behave like models "trained only on clean English
+corpus" (paper §III-C): they learn word-level and character-level n-gram
+features from clean text, which is precisely why out-of-vocabulary perturbed
+tokens hurt them at inference time.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import ClassifierError
+from ..text.tokenizer import Tokenizer
+
+#: Sparse feature vector: feature name -> count/weight.
+FeatureVector = dict[str, float]
+
+
+class NgramVectorizer:
+    """Bag of word n-grams plus optional character n-grams.
+
+    Parameters
+    ----------
+    word_ngrams:
+        Inclusive range ``(low, high)`` of word n-gram lengths.
+    char_ngrams:
+        Inclusive range of character n-gram lengths, or ``None`` to disable
+        character features.
+    lowercase:
+        Lowercase text before feature extraction.
+    min_document_frequency:
+        Features occurring in fewer training documents are pruned from the
+        vocabulary.
+    max_features:
+        Keep only this many most-frequent features (``None`` = unlimited).
+    """
+
+    def __init__(
+        self,
+        word_ngrams: tuple[int, int] = (1, 2),
+        char_ngrams: tuple[int, int] | None = (3, 4),
+        lowercase: bool = True,
+        min_document_frequency: int = 1,
+        max_features: int | None = None,
+    ) -> None:
+        if word_ngrams[0] < 1 or word_ngrams[0] > word_ngrams[1]:
+            raise ClassifierError(f"invalid word_ngrams range: {word_ngrams}")
+        if char_ngrams is not None and (char_ngrams[0] < 1 or char_ngrams[0] > char_ngrams[1]):
+            raise ClassifierError(f"invalid char_ngrams range: {char_ngrams}")
+        if min_document_frequency < 1:
+            raise ClassifierError(
+                f"min_document_frequency must be >= 1, got {min_document_frequency}"
+            )
+        self.word_ngrams = word_ngrams
+        self.char_ngrams = char_ngrams
+        self.lowercase = lowercase
+        self.min_document_frequency = min_document_frequency
+        self.max_features = max_features
+        self._tokenizer = Tokenizer(lowercase=lowercase)
+        self._vocabulary: dict[str, int] = {}
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    def _raw_features(self, text: str) -> FeatureVector:
+        source = text.lower() if self.lowercase else text
+        tokens = [token.text for token in self._tokenizer.word_tokens(text)]
+        features: Counter[str] = Counter()
+        low, high = self.word_ngrams
+        for size in range(low, high + 1):
+            for start in range(len(tokens) - size + 1):
+                gram = " ".join(tokens[start : start + size])
+                features[f"w{size}:{gram}"] += 1
+        if self.char_ngrams is not None:
+            padded = f" {source} "
+            char_low, char_high = self.char_ngrams
+            for size in range(char_low, char_high + 1):
+                for start in range(len(padded) - size + 1):
+                    features[f"c{size}:{padded[start:start + size]}"] += 1
+        return dict(features)
+
+    def fit(self, texts: Sequence[str]) -> "NgramVectorizer":
+        """Learn the feature vocabulary from ``texts``."""
+        if not texts:
+            raise ClassifierError("cannot fit a vectorizer on an empty corpus")
+        document_frequency: Counter[str] = Counter()
+        total_frequency: Counter[str] = Counter()
+        for text in texts:
+            features = self._raw_features(text)
+            for name, count in features.items():
+                document_frequency[name] += 1
+                total_frequency[name] += count
+        kept = [
+            name
+            for name, frequency in document_frequency.items()
+            if frequency >= self.min_document_frequency
+        ]
+        kept.sort(key=lambda name: (-total_frequency[name], name))
+        if self.max_features is not None:
+            kept = kept[: self.max_features]
+        self._vocabulary = {name: index for index, name in enumerate(sorted(kept))}
+        self._fitted = True
+        return self
+
+    @property
+    def vocabulary(self) -> Mapping[str, int]:
+        """Feature name -> column index."""
+        return dict(self._vocabulary)
+
+    def __len__(self) -> int:
+        return len(self._vocabulary)
+
+    def transform_one(self, text: str) -> FeatureVector:
+        """Sparse feature vector of ``text`` restricted to the fitted vocabulary."""
+        if not self._fitted:
+            raise ClassifierError("the vectorizer has not been fitted yet")
+        raw = self._raw_features(text)
+        return {name: count for name, count in raw.items() if name in self._vocabulary}
+
+    def transform(self, texts: Iterable[str]) -> list[FeatureVector]:
+        """Transform many texts."""
+        return [self.transform_one(text) for text in texts]
+
+    def fit_transform(self, texts: Sequence[str]) -> list[FeatureVector]:
+        """Fit on ``texts`` then transform them."""
+        return self.fit(texts).transform(texts)
+
+    def coverage(self, text: str) -> float:
+        """Fraction of the text's raw features present in the vocabulary.
+
+        A direct measurement of *why* perturbations hurt a clean-trained
+        model: perturbed inputs have lower feature coverage.
+        """
+        if not self._fitted:
+            raise ClassifierError("the vectorizer has not been fitted yet")
+        raw = self._raw_features(text)
+        if not raw:
+            return 0.0
+        known = sum(1 for name in raw if name in self._vocabulary)
+        return known / len(raw)

@@ -1,0 +1,164 @@
+"""Multinomial logistic regression over sparse n-gram features.
+
+A second, discriminative model family for the simulated APIs (the paper
+probes three different services; using two different model families plus the
+rule-based sentiment analyzer keeps the robustness benchmark from measuring a
+single model's quirks).  Implemented with NumPy mini-batch gradient descent
+over a dense matrix materialized from the sparse feature vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from ..errors import ClassifierError
+from .features import FeatureVector
+
+Label = Hashable
+
+
+class LogisticRegressionClassifier:
+    """Softmax regression trained with mini-batch gradient descent.
+
+    Parameters
+    ----------
+    learning_rate:
+        Gradient-descent step size.
+    epochs:
+        Number of passes over the training data.
+    batch_size:
+        Mini-batch size.
+    l2:
+        L2 regularization strength.
+    seed:
+        Seed of the shuffling RNG (training is deterministic given the seed).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        epochs: int = 30,
+        batch_size: int = 32,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ClassifierError(f"learning_rate must be positive, got {learning_rate}")
+        if epochs < 1:
+            raise ClassifierError(f"epochs must be >= 1, got {epochs}")
+        if batch_size < 1:
+            raise ClassifierError(f"batch_size must be >= 1, got {batch_size}")
+        if l2 < 0:
+            raise ClassifierError(f"l2 must be >= 0, got {l2}")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+        self._feature_index: dict[str, int] = {}
+        self._classes: tuple[Label, ...] = ()
+        self._weights: np.ndarray | None = None
+        self._bias: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    def _build_feature_index(self, vectors: Sequence[FeatureVector]) -> None:
+        names = sorted({name for vector in vectors for name in vector})
+        self._feature_index = {name: index for index, name in enumerate(names)}
+
+    def _densify(self, vectors: Sequence[FeatureVector]) -> np.ndarray:
+        matrix = np.zeros((len(vectors), len(self._feature_index)), dtype=np.float64)
+        for row, vector in enumerate(vectors):
+            for name, value in vector.items():
+                column = self._feature_index.get(name)
+                if column is not None:
+                    matrix[row, column] = value
+        # L2-normalize rows so documents of different lengths are comparable.
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return matrix / norms
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exponentials = np.exp(shifted)
+        return exponentials / exponentials.sum(axis=1, keepdims=True)
+
+    def fit(
+        self, vectors: Sequence[FeatureVector], labels: Sequence[Label]
+    ) -> "LogisticRegressionClassifier":
+        """Train the softmax weights."""
+        if len(vectors) != len(labels):
+            raise ClassifierError(f"got {len(vectors)} vectors but {len(labels)} labels")
+        if not vectors:
+            raise ClassifierError("cannot fit on an empty training set")
+        self._build_feature_index(vectors)
+        self._classes = tuple(sorted(set(labels), key=str))
+        class_index = {label: index for index, label in enumerate(self._classes)}
+        features = self._densify(vectors)
+        targets = np.array([class_index[label] for label in labels], dtype=np.int64)
+        num_samples, num_features = features.shape
+        num_classes = len(self._classes)
+        rng = np.random.default_rng(self.seed)
+        self._weights = np.zeros((num_features, num_classes), dtype=np.float64)
+        self._bias = np.zeros(num_classes, dtype=np.float64)
+        one_hot = np.eye(num_classes)[targets]
+        for _epoch in range(self.epochs):
+            order = rng.permutation(num_samples)
+            for start in range(0, num_samples, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                batch_features = features[batch]
+                batch_targets = one_hot[batch]
+                logits = batch_features @ self._weights + self._bias
+                probabilities = self._softmax(logits)
+                error = probabilities - batch_targets
+                gradient_weights = (
+                    batch_features.T @ error / len(batch) + self.l2 * self._weights
+                )
+                gradient_bias = error.mean(axis=0)
+                self._weights -= self.learning_rate * gradient_weights
+                self._bias -= self.learning_rate * gradient_bias
+        return self
+
+    @property
+    def classes(self) -> tuple[Label, ...]:
+        """Class labels seen at training time."""
+        return self._classes
+
+    def _require_fitted(self) -> None:
+        if self._weights is None or self._bias is None:
+            raise ClassifierError("the classifier has not been fitted yet")
+
+    # ------------------------------------------------------------------ #
+    def predict_proba(self, vector: FeatureVector) -> dict[Label, float]:
+        """Class probabilities for one sparse vector."""
+        self._require_fitted()
+        features = self._densify([vector])
+        probabilities = self._softmax(features @ self._weights + self._bias)[0]
+        return {label: float(probabilities[index]) for index, label in enumerate(self._classes)}
+
+    def predict(self, vector: FeatureVector) -> Label:
+        """Most probable class for one sparse vector."""
+        probabilities = self.predict_proba(vector)
+        return max(probabilities.items(), key=lambda item: (item[1], str(item[0])))[0]
+
+    def predict_many(self, vectors: Sequence[FeatureVector]) -> list[Label]:
+        """Predict a batch of sparse vectors."""
+        self._require_fitted()
+        features = self._densify(vectors)
+        probabilities = self._softmax(features @ self._weights + self._bias)
+        indices = probabilities.argmax(axis=1)
+        return [self._classes[index] for index in indices]
+
+    def score(self, vectors: Sequence[FeatureVector], labels: Sequence[Label]) -> float:
+        """Accuracy on a labelled set."""
+        if len(vectors) != len(labels):
+            raise ClassifierError(f"got {len(vectors)} vectors but {len(labels)} labels")
+        if not vectors:
+            raise ClassifierError("cannot score an empty evaluation set")
+        predictions = self.predict_many(vectors)
+        correct = sum(
+            1 for prediction, label in zip(predictions, labels) if prediction == label
+        )
+        return correct / len(labels)

@@ -1,0 +1,125 @@
+"""Multinomial Naive Bayes over sparse n-gram features."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Hashable, Mapping, Sequence
+
+from ..errors import ClassifierError
+from .features import FeatureVector
+
+Label = Hashable
+
+
+class MultinomialNaiveBayes:
+    """Classic multinomial Naive Bayes with Laplace smoothing.
+
+    Works directly on the sparse ``{feature: count}`` vectors produced by
+    :class:`~repro.classifiers.features.NgramVectorizer`; unseen features at
+    prediction time are ignored (they carry no class evidence), which is the
+    textbook behaviour that makes the model brittle to perturbed tokens.
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ClassifierError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+        self._class_log_prior: dict[Label, float] = {}
+        self._feature_log_likelihood: dict[Label, dict[str, float]] = {}
+        self._default_log_likelihood: dict[Label, float] = {}
+        self._classes: tuple[Label, ...] = ()
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    def fit(
+        self, vectors: Sequence[FeatureVector], labels: Sequence[Label]
+    ) -> "MultinomialNaiveBayes":
+        """Estimate class priors and per-class feature likelihoods."""
+        if len(vectors) != len(labels):
+            raise ClassifierError(
+                f"got {len(vectors)} vectors but {len(labels)} labels"
+            )
+        if not vectors:
+            raise ClassifierError("cannot fit on an empty training set")
+        class_counts: Counter[Label] = Counter(labels)
+        feature_counts: dict[Label, Counter[str]] = defaultdict(Counter)
+        vocabulary: set[str] = set()
+        for vector, label in zip(vectors, labels):
+            for feature, count in vector.items():
+                feature_counts[label][feature] += count
+                vocabulary.add(feature)
+        vocabulary_size = max(len(vocabulary), 1)
+        total = sum(class_counts.values())
+        self._classes = tuple(sorted(class_counts, key=str))
+        self._class_log_prior = {
+            label: math.log(count / total) for label, count in class_counts.items()
+        }
+        self._feature_log_likelihood = {}
+        self._default_log_likelihood = {}
+        for label in self._classes:
+            counts = feature_counts[label]
+            denominator = sum(counts.values()) + self.alpha * vocabulary_size
+            self._feature_log_likelihood[label] = {
+                feature: math.log((count + self.alpha) / denominator)
+                for feature, count in counts.items()
+            }
+            self._default_log_likelihood[label] = math.log(self.alpha / denominator)
+        self._fitted = True
+        return self
+
+    @property
+    def classes(self) -> tuple[Label, ...]:
+        """Class labels seen at training time."""
+        return self._classes
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise ClassifierError("the classifier has not been fitted yet")
+
+    # ------------------------------------------------------------------ #
+    def log_scores(self, vector: FeatureVector) -> dict[Label, float]:
+        """Unnormalized per-class log joint scores for ``vector``."""
+        self._require_fitted()
+        scores: dict[Label, float] = {}
+        for label in self._classes:
+            likelihoods = self._feature_log_likelihood[label]
+            default = self._default_log_likelihood[label]
+            score = self._class_log_prior[label]
+            for feature, count in vector.items():
+                score += count * likelihoods.get(feature, default)
+            scores[label] = score
+        return scores
+
+    def predict_proba(self, vector: FeatureVector) -> dict[Label, float]:
+        """Posterior class probabilities (softmax of the log scores)."""
+        scores = self.log_scores(vector)
+        peak = max(scores.values())
+        exponentials = {label: math.exp(score - peak) for label, score in scores.items()}
+        normalizer = sum(exponentials.values())
+        return {label: value / normalizer for label, value in exponentials.items()}
+
+    def predict(self, vector: FeatureVector) -> Label:
+        """Most probable class for ``vector``."""
+        scores = self.log_scores(vector)
+        return max(scores.items(), key=lambda item: (item[1], str(item[0])))[0]
+
+    def predict_many(self, vectors: Sequence[FeatureVector]) -> list[Label]:
+        """Predict a batch of vectors."""
+        return [self.predict(vector) for vector in vectors]
+
+    def score(
+        self, vectors: Sequence[FeatureVector], labels: Sequence[Label]
+    ) -> float:
+        """Accuracy on a labelled set."""
+        if len(vectors) != len(labels):
+            raise ClassifierError(
+                f"got {len(vectors)} vectors but {len(labels)} labels"
+            )
+        if not vectors:
+            raise ClassifierError("cannot score an empty evaluation set")
+        predictions = self.predict_many(vectors)
+        correct = sum(
+            1 for prediction, label in zip(predictions, labels) if prediction == label
+        )
+        return correct / len(labels)

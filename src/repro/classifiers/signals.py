@@ -1,0 +1,86 @@
+"""Perturbation-presence signals for downstream ML pipelines.
+
+Paper §III-C (second Normalization use case): "the presence of perturbations
+within a sentence can also inform potential adversarial behaviors from its
+writer, especially those offensive or controversial perturbations ... as
+part of a ML pipeline."
+
+:class:`PerturbationSignalExtractor` converts a Normalization result into a
+small, interpretable feature dictionary (how many tokens were perturbed,
+which strategies were used, whether sensitive vocabulary was hidden), in the
+same sparse ``{feature: value}`` format the n-gram vectorizer produces so the
+two can be merged into one classifier input, and
+:func:`combine_feature_vectors` does that merge.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.categories import HUMAN_DISTINCTIVE_CATEGORIES
+from ..core.normalizer import NormalizationResult, Normalizer
+from ..text.tokenizer import Tokenizer
+from .features import FeatureVector
+
+
+class PerturbationSignalExtractor:
+    """Extracts perturbation-evidence features from texts.
+
+    Parameters
+    ----------
+    normalizer:
+        The CrypText normalizer used to detect (and undo) perturbations.
+    prefix:
+        Feature-name prefix, kept distinct from the n-gram features so the
+        two vocabularies never collide.
+    """
+
+    def __init__(self, normalizer: Normalizer, prefix: str = "sig") -> None:
+        self.normalizer = normalizer
+        self.prefix = prefix
+        self._tokenizer = Tokenizer()
+
+    # ------------------------------------------------------------------ #
+    def features_from_result(self, result: NormalizationResult) -> FeatureVector:
+        """Feature dictionary for an already-computed normalization result."""
+        corrections = result.perturbed_corrections
+        num_tokens = max(len(self._tokenizer.word_tokens(result.original_text)), 1)
+        features: FeatureVector = {
+            f"{self.prefix}:num_perturbations": float(len(corrections)),
+            f"{self.prefix}:perturbation_ratio": len(corrections) / num_tokens,
+        }
+        if not corrections:
+            features[f"{self.prefix}:clean"] = 1.0
+            return features
+        sensitive = 0
+        human_distinctive = 0
+        for correction in corrections:
+            features[f"{self.prefix}:category:{correction.category.value}"] = (
+                features.get(f"{self.prefix}:category:{correction.category.value}", 0.0)
+                + 1.0
+            )
+            if correction.category in HUMAN_DISTINCTIVE_CATEGORIES:
+                human_distinctive += 1
+            if self.normalizer.lexicon.is_word(correction.corrected):
+                sensitive += 1
+        features[f"{self.prefix}:num_sensitive_restored"] = float(sensitive)
+        features[f"{self.prefix}:human_distinctive"] = float(human_distinctive)
+        return features
+
+    def extract(self, text: str) -> FeatureVector:
+        """Feature dictionary for a raw text (runs Normalization internally)."""
+        return self.features_from_result(self.normalizer.normalize(text))
+
+    def extract_many(self, texts: Sequence[str]) -> list[FeatureVector]:
+        """Features for a batch of texts."""
+        return [self.extract(text) for text in texts]
+
+
+def combine_feature_vectors(
+    base: Mapping[str, float], extra: Mapping[str, float]
+) -> FeatureVector:
+    """Merge two sparse feature vectors (values of shared keys are summed)."""
+    combined: FeatureVector = dict(base)
+    for name, value in extra.items():
+        combined[name] = combined.get(name, 0.0) + value
+    return combined

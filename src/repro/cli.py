@@ -1,0 +1,264 @@
+"""Command-line interface to the CrypText reproduction.
+
+The deployed CrypText is driven from a web GUI; an open-source library
+release needs the equivalent one-shot commands.  The CLI exposes the four
+paper functions plus database construction and persistence::
+
+    cryptext-repro build --posts 1500 --out ./db          # build + save the dictionary
+    cryptext-repro lookup democrats vaccine --db ./db      # Look Up (§III-B)
+    cryptext-repro normalize "the demokrats push the vacc1ne" --db ./db
+    cryptext-repro perturb "the democrats support the vaccine" --ratio 0.5 --db ./db
+    cryptext-repro listen vaccine --posts 1500             # Social Listening (§III-E)
+    cryptext-repro stats --db ./db
+
+Every command can either load a previously built dictionary (``--db DIR``)
+or build one on the fly from the synthetic corpus (``--posts N --seed S``).
+Output is plain text by default or JSON with ``--json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from . import __version__
+from .core.pipeline import CrypText
+from .datasets import build_social_corpus, corpus_texts
+from .errors import CrypTextError
+from .social import SocialListener, SocialPlatform
+from .storage import dump_collection, load_collection
+from .viz import build_word_cloud
+
+#: File name used inside a ``--db`` directory for the token collection.
+DB_FILE_NAME = "tokens.jsonl"
+
+
+# --------------------------------------------------------------------------- #
+# system construction helpers
+# --------------------------------------------------------------------------- #
+def _build_system(args: argparse.Namespace, train_scorer: bool = True) -> CrypText:
+    """Build or load the CrypText system an invocation should run against."""
+    if getattr(args, "db", None):
+        db_path = Path(args.db) / DB_FILE_NAME
+        if not db_path.exists():
+            raise CrypTextError(
+                f"no dictionary found at {db_path}; run 'build --out {args.db}' first"
+            )
+        system = CrypText.empty(seed_lexicon=False)
+        load_collection(system.dictionary.collection, db_path)
+        return system
+    posts = build_social_corpus(num_posts=args.posts, seed=args.seed)
+    return CrypText.from_corpus(corpus_texts(posts), train_scorer=train_scorer)
+
+
+def _emit(payload: dict[str, object], args: argparse.Namespace, text_lines: list[str]) -> None:
+    """Print either the JSON payload or the human-readable lines."""
+    if args.json:
+        print(json.dumps(payload, indent=2, ensure_ascii=False, sort_keys=True))
+    else:
+        for line in text_lines:
+            print(line)
+
+
+# --------------------------------------------------------------------------- #
+# subcommands
+# --------------------------------------------------------------------------- #
+def _cmd_build(args: argparse.Namespace) -> int:
+    posts = build_social_corpus(num_posts=args.posts, seed=args.seed)
+    system = CrypText.from_corpus(corpus_texts(posts), train_scorer=False)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = dump_collection(system.dictionary.collection, out_dir / DB_FILE_NAME)
+    stats = system.stats()
+    payload = {
+        "written_entries": written,
+        "db_path": str(out_dir / DB_FILE_NAME),
+        "stats": stats.to_dict(),
+    }
+    _emit(
+        payload,
+        args,
+        [
+            f"built dictionary from {args.posts} synthetic posts (seed {args.seed})",
+            f"saved {written} entries to {out_dir / DB_FILE_NAME}",
+            f"tokens={stats.total_tokens} unique-sounds(k=1)={stats.unique_keys[1]}",
+        ],
+    )
+    return 0
+
+
+def _cmd_lookup(args: argparse.Namespace) -> int:
+    system = _build_system(args, train_scorer=False)
+    payload: dict[str, object] = {}
+    lines: list[str] = []
+    for word in args.words:
+        result = system.look_up(
+            word,
+            phonetic_level=args.phonetic_level,
+            max_edit_distance=args.edit_distance,
+            case_sensitive=not args.case_insensitive,
+        )
+        payload[word] = result.to_dict()
+        perturbations = ", ".join(result.perturbation_tokens()[: args.limit]) or "(none)"
+        lines.append(f"{word}: {perturbations}")
+        if args.word_cloud and result.matches:
+            cloud = build_word_cloud(result, max_items=args.limit)
+            payload[f"{word}_word_cloud"] = [item.to_dict() for item in cloud]
+    _emit(payload, args, lines)
+    return 0
+
+
+def _cmd_normalize(args: argparse.Namespace) -> int:
+    system = _build_system(args)
+    result = system.normalize(args.text)
+    payload = result.to_dict()
+    lines = [result.normalized_text]
+    if args.explain:
+        for correction in result.perturbed_corrections:
+            lines.append(
+                f"  {correction.original!r} -> {correction.corrected!r} "
+                f"({correction.category.value})"
+            )
+    _emit(payload, args, lines)
+    return 0
+
+
+def _cmd_perturb(args: argparse.Namespace) -> int:
+    system = _build_system(args, train_scorer=False)
+    outcome = system.perturber.perturb(
+        args.text, ratio=args.ratio, fill_target=args.fill_target
+    )
+    payload = outcome.to_dict()
+    lines = [outcome.perturbed_text]
+    if args.explain:
+        for replacement in outcome.replacements:
+            lines.append(
+                f"  {replacement.original!r} -> {replacement.perturbed!r} "
+                f"({replacement.category.value})"
+            )
+    _emit(payload, args, lines)
+    return 0
+
+
+def _cmd_listen(args: argparse.Namespace) -> int:
+    posts = build_social_corpus(num_posts=args.posts, seed=args.seed)
+    system = CrypText.from_corpus(corpus_texts(posts), train_scorer=False)
+    platform = SocialPlatform(args.platform)
+    platform.ingest_posts(posts, only_matching_platform=True)
+    listener = SocialListener(platform, system.lookup_engine)
+    usage = listener.monitor_keyword(args.keyword)
+    payload = usage.to_dict()
+    lines = [
+        f"keyword {args.keyword!r} on {args.platform}: {usage.total_posts} posts, "
+        f"{usage.perturbed_posts} reached via perturbations "
+        f"({usage.perturbed_share:.0%})",
+    ]
+    for point in usage.timeline:
+        lines.append(
+            f"  {point.date}: {point.frequency:>3} posts  "
+            f"sentiment {point.average_sentiment:+.2f}  "
+            f"negative {point.negative_share:.0%}"
+        )
+    _emit(payload, args, lines)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    system = _build_system(args, train_scorer=False)
+    stats = system.stats()
+    payload = {"stats": stats.to_dict()}
+    lines = [
+        f"raw tokens          : {stats.total_tokens}",
+        f"total occurrences   : {stats.total_occurrences}",
+        f"lexicon tokens      : {stats.lexicon_tokens}",
+        f"perturbation tokens : {stats.perturbation_tokens}",
+    ]
+    for level, count in sorted(stats.unique_keys.items()):
+        lines.append(f"unique sounds (k={level}) : {count}")
+    _emit(payload, args, lines)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------------- #
+def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--db", help="directory of a dictionary saved by the 'build' command"
+    )
+    parser.add_argument(
+        "--posts", type=int, default=800, help="synthetic corpus size when no --db is given"
+    )
+    parser.add_argument("--seed", type=int, default=20230116, help="corpus seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="cryptext-repro",
+        description="CrypText reproduction: human-written text perturbations in the wild",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build_cmd = commands.add_parser("build", help="build and save the token dictionary")
+    build_cmd.add_argument("--posts", type=int, default=1500)
+    build_cmd.add_argument("--seed", type=int, default=20230116)
+    build_cmd.add_argument("--out", required=True, help="output directory")
+    build_cmd.set_defaults(handler=_cmd_build)
+
+    lookup_cmd = commands.add_parser("lookup", help="Look Up perturbations of words")
+    lookup_cmd.add_argument("words", nargs="+")
+    lookup_cmd.add_argument("--phonetic-level", type=int, default=None)
+    lookup_cmd.add_argument("--edit-distance", type=int, default=None)
+    lookup_cmd.add_argument("--case-insensitive", action="store_true")
+    lookup_cmd.add_argument("--limit", type=int, default=15)
+    lookup_cmd.add_argument("--word-cloud", action="store_true", help="include word-cloud data")
+    _add_source_arguments(lookup_cmd)
+    lookup_cmd.set_defaults(handler=_cmd_lookup)
+
+    normalize_cmd = commands.add_parser("normalize", help="detect and de-perturb a text")
+    normalize_cmd.add_argument("text")
+    normalize_cmd.add_argument("--explain", action="store_true")
+    _add_source_arguments(normalize_cmd)
+    normalize_cmd.set_defaults(handler=_cmd_normalize)
+
+    perturb_cmd = commands.add_parser("perturb", help="perturb a text at a ratio")
+    perturb_cmd.add_argument("text")
+    perturb_cmd.add_argument("--ratio", type=float, default=0.25)
+    perturb_cmd.add_argument("--fill-target", action="store_true")
+    perturb_cmd.add_argument("--explain", action="store_true")
+    _add_source_arguments(perturb_cmd)
+    perturb_cmd.set_defaults(handler=_cmd_perturb)
+
+    listen_cmd = commands.add_parser("listen", help="monitor a keyword's perturbations")
+    listen_cmd.add_argument("keyword")
+    listen_cmd.add_argument("--platform", default="twitter", choices=("twitter", "reddit"))
+    listen_cmd.add_argument("--posts", type=int, default=1200)
+    listen_cmd.add_argument("--seed", type=int, default=20230116)
+    listen_cmd.set_defaults(handler=_cmd_listen)
+
+    stats_cmd = commands.add_parser("stats", help="dictionary statistics")
+    _add_source_arguments(stats_cmd)
+    stats_cmd.set_defaults(handler=_cmd_stats)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.handler(args))
+    except CrypTextError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""Configuration objects for the CrypText reproduction.
+
+The paper exposes two user-facing hyper-parameters:
+
+* the *phonetic level* ``k`` — the number of extra leading characters
+  (beyond the first) that the customized Soundex encoding keeps verbatim;
+  the paper stores hash-maps ``H_k`` for ``k <= 2`` and defaults the
+  interactive functions to ``k = 1``;
+* the *edit-distance bound* ``d`` — the maximum Levenshtein distance
+  between a perturbation and its original word for the pair to satisfy the
+  SMS ("same Sound, same Meaning, different Spelling") property; the paper
+  defaults to ``d = 3``.
+
+The perturbation function additionally takes a *manipulation ratio* ``r``
+(the paper demonstrates 15%, 25% and 50%).
+
+:class:`CrypTextConfig` gathers these together with the operational knobs of
+the architecture (cache TTL/size, crawler batch size, RNG seed) so that every
+component of the system can be constructed from a single validated object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from .errors import ConfigurationError
+
+#: The phonetic levels for which the paper materializes hash-maps ``H_k``.
+SUPPORTED_PHONETIC_LEVELS: tuple[int, ...] = (0, 1, 2)
+
+#: Default phonetic level used by Look Up / Normalization (paper §III-B).
+DEFAULT_PHONETIC_LEVEL: int = 1
+
+#: Default Levenshtein bound used by Look Up / Normalization (paper §III-B).
+DEFAULT_EDIT_DISTANCE: int = 3
+
+#: Manipulation ratios showcased by the paper's Perturbation function.
+DEFAULT_PERTURBATION_RATIOS: tuple[float, ...] = (0.15, 0.25, 0.50)
+
+
+@dataclass(frozen=True)
+class CrypTextConfig:
+    """Validated bundle of every tunable used across the system.
+
+    Parameters
+    ----------
+    phonetic_level:
+        The ``k`` parameter of the customized Soundex encoding.  Must be one
+        of :data:`SUPPORTED_PHONETIC_LEVELS`.
+    edit_distance:
+        The ``d`` parameter bounding the Levenshtein distance of the SMS
+        property.  Must be a non-negative integer.
+    max_phonetic_level:
+        The largest ``k`` for which the dictionary materializes a hash-map
+        ``H_k`` (the paper stores all ``k <= 2``).
+    perturbation_ratio:
+        Default manipulation ratio ``r`` used by the Perturbation function.
+    case_sensitive:
+        Whether the Perturbation function samples case-sensitive
+        perturbations (the paper supports both modes).
+    cache_enabled / cache_ttl_seconds / cache_max_entries:
+        Knobs of the Redis-style query cache.
+    crawler_batch_size:
+        Number of posts ingested per crawl round when enriching the
+        dictionary from the (simulated) social stream.
+    normalizer_max_candidates:
+        Upper bound on the number of candidate English words ranked by the
+        coherency scorer per token during Normalization.
+    lm_order:
+        Order of the n-gram language model that substitutes the paper's
+        masked language model ``G``.
+    seed:
+        Seed used by every stochastic component (perturbation sampling,
+        synthetic data generation) for reproducibility.
+    """
+
+    phonetic_level: int = DEFAULT_PHONETIC_LEVEL
+    edit_distance: int = DEFAULT_EDIT_DISTANCE
+    max_phonetic_level: int = 2
+    perturbation_ratio: float = 0.25
+    case_sensitive: bool = True
+    cache_enabled: bool = True
+    cache_ttl_seconds: float = 300.0
+    cache_max_entries: int = 4096
+    crawler_batch_size: int = 200
+    normalizer_max_candidates: int = 10
+    lm_order: int = 3
+    seed: int = 20230116
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.phonetic_level not in SUPPORTED_PHONETIC_LEVELS:
+            raise ConfigurationError(
+                f"phonetic_level must be one of {SUPPORTED_PHONETIC_LEVELS}, "
+                f"got {self.phonetic_level!r}"
+            )
+        if self.max_phonetic_level not in SUPPORTED_PHONETIC_LEVELS:
+            raise ConfigurationError(
+                f"max_phonetic_level must be one of {SUPPORTED_PHONETIC_LEVELS}, "
+                f"got {self.max_phonetic_level!r}"
+            )
+        if self.phonetic_level > self.max_phonetic_level:
+            raise ConfigurationError(
+                "phonetic_level cannot exceed max_phonetic_level "
+                f"({self.phonetic_level} > {self.max_phonetic_level})"
+            )
+        if not isinstance(self.edit_distance, int) or self.edit_distance < 0:
+            raise ConfigurationError(
+                f"edit_distance must be a non-negative integer, got {self.edit_distance!r}"
+            )
+        if not 0.0 <= self.perturbation_ratio <= 1.0:
+            raise ConfigurationError(
+                f"perturbation_ratio must lie in [0, 1], got {self.perturbation_ratio!r}"
+            )
+        if self.cache_ttl_seconds <= 0:
+            raise ConfigurationError(
+                f"cache_ttl_seconds must be positive, got {self.cache_ttl_seconds!r}"
+            )
+        if self.cache_max_entries <= 0:
+            raise ConfigurationError(
+                f"cache_max_entries must be positive, got {self.cache_max_entries!r}"
+            )
+        if self.crawler_batch_size <= 0:
+            raise ConfigurationError(
+                f"crawler_batch_size must be positive, got {self.crawler_batch_size!r}"
+            )
+        if self.normalizer_max_candidates <= 0:
+            raise ConfigurationError(
+                "normalizer_max_candidates must be positive, "
+                f"got {self.normalizer_max_candidates!r}"
+            )
+        if self.lm_order < 1:
+            raise ConfigurationError(f"lm_order must be >= 1, got {self.lm_order!r}")
+
+    def with_overrides(self, **overrides: Any) -> "CrypTextConfig":
+        """Return a copy of the configuration with ``overrides`` applied.
+
+        The copy is re-validated, so an invalid override raises
+        :class:`~repro.errors.ConfigurationError` immediately.
+        """
+        return replace(self, **overrides)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize the configuration to a plain dictionary."""
+        return {
+            "phonetic_level": self.phonetic_level,
+            "edit_distance": self.edit_distance,
+            "max_phonetic_level": self.max_phonetic_level,
+            "perturbation_ratio": self.perturbation_ratio,
+            "case_sensitive": self.case_sensitive,
+            "cache_enabled": self.cache_enabled,
+            "cache_ttl_seconds": self.cache_ttl_seconds,
+            "cache_max_entries": self.cache_max_entries,
+            "crawler_batch_size": self.crawler_batch_size,
+            "normalizer_max_candidates": self.normalizer_max_candidates,
+            "lm_order": self.lm_order,
+            "seed": self.seed,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CrypTextConfig":
+        """Build a configuration from :meth:`to_dict` output.
+
+        Unknown keys are collected under :attr:`extra` instead of raising, so
+        configurations serialized by newer versions remain loadable.
+        """
+        known = {
+            "phonetic_level",
+            "edit_distance",
+            "max_phonetic_level",
+            "perturbation_ratio",
+            "case_sensitive",
+            "cache_enabled",
+            "cache_ttl_seconds",
+            "cache_max_entries",
+            "crawler_batch_size",
+            "normalizer_max_candidates",
+            "lm_order",
+            "seed",
+        }
+        kwargs: dict[str, Any] = {}
+        extra: dict[str, Any] = {}
+        for key, value in payload.items():
+            if key == "extra":
+                extra.update(dict(value))
+            elif key in known:
+                kwargs[key] = value
+            else:
+                extra[key] = value
+        return cls(extra=extra, **kwargs)
+
+
+#: A module-level default configuration mirroring the paper's defaults.
+DEFAULT_CONFIG = CrypTextConfig()

@@ -1,0 +1,66 @@
+"""Core CrypText library: the paper's primary contribution.
+
+The modules in this subpackage implement, from scratch, everything the paper
+describes in §III:
+
+* :mod:`repro.core.soundex` — the original SOUNDEX algorithm and the
+  customized variant CrypText introduces (visual-character folding,
+  phonetic-level-``k`` prefixes);
+* :mod:`repro.core.edit_distance` — Levenshtein / Damerau-Levenshtein
+  distances, including a bounded variant used by the SMS property check;
+* :mod:`repro.core.sms` — the "same Sound, same Meaning, different Spelling"
+  property that defines a perturbation;
+* :mod:`repro.core.categories` — the taxonomy of human-written perturbation
+  strategies the paper observes in the wild;
+* :mod:`repro.core.dictionary` — the human-written token database: hash-maps
+  ``H_k`` from Soundex encodings to the tokens sharing them;
+* :mod:`repro.core.lookup` — the Look Up function (§III-B);
+* :mod:`repro.core.normalizer` — the Normalization function (§III-C);
+* :mod:`repro.core.perturber` — the Perturbation function (§III-D);
+* :mod:`repro.core.pipeline` — the :class:`~repro.core.pipeline.CrypText`
+  facade tying everything together.
+"""
+
+from .soundex import OriginalSoundex, CustomSoundex, soundex_key
+from .metaphone import MetaphoneEncoder
+from .edit_distance import (
+    levenshtein_distance,
+    bounded_levenshtein,
+    damerau_levenshtein_distance,
+    similarity_ratio,
+)
+from .sms import SMSCheck, SMSResult
+from .categories import PerturbationCategory, categorize_perturbation
+from .dictionary import DictionaryEntry, DictionaryStats, PerturbationDictionary
+from .lookup import LookupEngine, LookupResult, PerturbationMatch
+from .normalizer import Normalizer, NormalizationResult, TokenCorrection
+from .perturber import Perturber, PerturbationOutcome, PerturbedToken
+from .pipeline import CrypText
+
+__all__ = [
+    "OriginalSoundex",
+    "CustomSoundex",
+    "MetaphoneEncoder",
+    "soundex_key",
+    "levenshtein_distance",
+    "bounded_levenshtein",
+    "damerau_levenshtein_distance",
+    "similarity_ratio",
+    "SMSCheck",
+    "SMSResult",
+    "PerturbationCategory",
+    "categorize_perturbation",
+    "DictionaryEntry",
+    "DictionaryStats",
+    "PerturbationDictionary",
+    "LookupEngine",
+    "LookupResult",
+    "PerturbationMatch",
+    "Normalizer",
+    "NormalizationResult",
+    "TokenCorrection",
+    "Perturber",
+    "PerturbationOutcome",
+    "PerturbedToken",
+    "CrypText",
+]

@@ -1,0 +1,211 @@
+"""Taxonomy of human-written perturbation strategies.
+
+Paper §II-C observes that humans perturb words in characteristic ways that
+differ from machine-generated attacks:
+
+* **emphasis capitalization** — uppercasing an embedded word to add a second
+  layer of meaning ("democRATs", "repubLIEcans");
+* **leet / visual substitution** — replacing letters with visually similar
+  digits or symbols ("suic1de", "dem0cr@ts");
+* **hyphenation / separator insertion** — breaking a word with separators to
+  dodge keyword filters ("mus-lim", "vac-cine");
+* **character repetition** — stretching a word ("porrrrn", "dirrrty");
+* **phonetic respelling** — swapping in phonetically similar characters
+  ("depresxion");
+* **emoticon / symbol insertion** — decorating a word with emoticons;
+* plus the classic typo-style edits machines also use: **deletion**,
+  **insertion**, **swap** (adjacent transposition), and **substitution**.
+
+:func:`categorize_perturbation` classifies an ``(original, perturbed)`` pair
+into these categories.  The classification powers the Social Listening
+aggregations, the dataset builders (which generate each category on purpose),
+and the baseline-comparison benchmark (which shows machine baselines cover
+only a subset of the taxonomy).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..text.charmap import (
+    LEET_SUBSTITUTIONS,
+    VISUAL_EQUIVALENTS,
+    is_word_internal_separator,
+    strip_word_internal_separators,
+)
+from ..text.unicode_fold import fold_text
+from .edit_distance import damerau_levenshtein_distance, levenshtein_distance
+
+
+class PerturbationCategory(str, Enum):
+    """Categories of character-level perturbation strategies."""
+
+    EMPHASIS_CAPITALIZATION = "emphasis_capitalization"
+    LEET_SUBSTITUTION = "leet_substitution"
+    SEPARATOR_INSERTION = "separator_insertion"
+    CHARACTER_REPETITION = "character_repetition"
+    PHONETIC_RESPELLING = "phonetic_respelling"
+    EMOTICON_DECORATION = "emoticon_decoration"
+    ACCENT_SUBSTITUTION = "accent_substitution"
+    CHARACTER_DELETION = "character_deletion"
+    CHARACTER_INSERTION = "character_insertion"
+    ADJACENT_SWAP = "adjacent_swap"
+    CHARACTER_SUBSTITUTION = "character_substitution"
+    MIXED = "mixed"
+    IDENTICAL = "identical"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Categories the paper identifies as distinctly *human* strategies.
+HUMAN_DISTINCTIVE_CATEGORIES: frozenset[PerturbationCategory] = frozenset(
+    {
+        PerturbationCategory.EMPHASIS_CAPITALIZATION,
+        PerturbationCategory.SEPARATOR_INSERTION,
+        PerturbationCategory.CHARACTER_REPETITION,
+        PerturbationCategory.PHONETIC_RESPELLING,
+        PerturbationCategory.EMOTICON_DECORATION,
+    }
+)
+
+
+def _collapse_repeats(text: str) -> str:
+    """Collapse runs of the same character to a single occurrence."""
+    collapsed: list[str] = []
+    for char in text:
+        if not collapsed or collapsed[-1] != char:
+            collapsed.append(char)
+    return "".join(collapsed)
+
+
+def _has_emphasis_capitalization(original: str, perturbed: str) -> bool:
+    """Detect embedded-uppercase emphasis ("democRATs")."""
+    if perturbed.lower() != original.lower():
+        return False
+    if perturbed == original:
+        return False
+    # Emphasis means a run of uppercase letters strictly inside the token
+    # (all-caps or capitalized-first-letter variants are ordinary styling).
+    if perturbed.isupper() or perturbed == original.capitalize():
+        return False
+    inner = perturbed[1:]
+    return any(ch.isupper() for ch in inner)
+
+
+def _has_leet(perturbed: str) -> bool:
+    return any(ch.lower() in VISUAL_EQUIVALENTS or ch in VISUAL_EQUIVALENTS for ch in perturbed)
+
+
+def _is_leet_substitution(original_lower: str, perturbed_lower: str) -> bool:
+    """Same length and every differing position is a known leet substitution."""
+    if len(original_lower) != len(perturbed_lower):
+        return False
+    saw_substitution = False
+    for orig_ch, pert_ch in zip(original_lower, perturbed_lower):
+        if orig_ch == pert_ch:
+            continue
+        allowed = LEET_SUBSTITUTIONS.get(orig_ch, ())
+        if pert_ch not in allowed and VISUAL_EQUIVALENTS.get(pert_ch) != orig_ch:
+            return False
+        saw_substitution = True
+    return saw_substitution
+
+
+def _has_separator(perturbed: str) -> bool:
+    return any(is_word_internal_separator(ch) for ch in perturbed[1:-1]) if len(perturbed) > 2 else False
+
+
+def _has_repetition(original: str, perturbed: str) -> bool:
+    if len(perturbed) <= len(original):
+        return False
+    return _collapse_repeats(perturbed.lower()) == _collapse_repeats(original.lower())
+
+
+def _has_accent(perturbed: str) -> bool:
+    return fold_text(perturbed) != perturbed
+
+
+def categorize_perturbation(original: str, perturbed: str) -> PerturbationCategory:
+    """Classify how ``perturbed`` was derived from ``original``.
+
+    The classification is heuristic but deterministic: specifically human
+    strategies are tested first (emphasis, separators, leet, repetition,
+    accents), then the generic single-edit typo categories, and anything that
+    mixes several strategies or needs several edits is labelled
+    :attr:`PerturbationCategory.MIXED`.
+
+    >>> categorize_perturbation("democrats", "democRATs")
+    <PerturbationCategory.EMPHASIS_CAPITALIZATION: 'emphasis_capitalization'>
+    >>> categorize_perturbation("muslim", "mus-lim")
+    <PerturbationCategory.SEPARATOR_INSERTION: 'separator_insertion'>
+    >>> categorize_perturbation("suicide", "suic1de")
+    <PerturbationCategory.LEET_SUBSTITUTION: 'leet_substitution'>
+    """
+    if original == perturbed:
+        return PerturbationCategory.IDENTICAL
+
+    original_lower = original.lower()
+    perturbed_lower = perturbed.lower()
+
+    if _has_emphasis_capitalization(original, perturbed):
+        return PerturbationCategory.EMPHASIS_CAPITALIZATION
+
+    if _has_separator(perturbed) and not _has_separator(original):
+        if strip_word_internal_separators(perturbed_lower) == strip_word_internal_separators(
+            original_lower
+        ):
+            return PerturbationCategory.SEPARATOR_INSERTION
+
+    if _has_leet(perturbed) and not _has_leet(original):
+        if _is_leet_substitution(original_lower, perturbed_lower):
+            return PerturbationCategory.LEET_SUBSTITUTION
+
+    if _has_repetition(original, perturbed):
+        return PerturbationCategory.CHARACTER_REPETITION
+
+    if _has_accent(perturbed) and not _has_accent(original):
+        if fold_text(perturbed_lower) == original_lower:
+            return PerturbationCategory.ACCENT_SUBSTITUTION
+
+    if any(perturbed_lower.endswith(emote_core) for emote_core in (":)", ":(", "<3", ";)")):
+        stripped = perturbed_lower.rstrip(":;()<3-^_ ")
+        if stripped == original_lower:
+            return PerturbationCategory.EMOTICON_DECORATION
+
+    distance = levenshtein_distance(original_lower, perturbed_lower)
+    osa_distance = damerau_levenshtein_distance(original_lower, perturbed_lower)
+
+    if osa_distance == 1:
+        if distance == 2:
+            return PerturbationCategory.ADJACENT_SWAP
+        if len(perturbed_lower) == len(original_lower) - 1:
+            return PerturbationCategory.CHARACTER_DELETION
+        if len(perturbed_lower) == len(original_lower) + 1:
+            return PerturbationCategory.CHARACTER_INSERTION
+        # Same length, one substitution: phonetic respelling when the
+        # substituted character is a letter ("depresxion"), plain
+        # substitution otherwise.
+        substituted = [
+            (orig_ch, pert_ch)
+            for orig_ch, pert_ch in zip(original_lower, perturbed_lower)
+            if orig_ch != pert_ch
+        ]
+        if substituted and all(
+            orig_ch.isalpha() and pert_ch.isalpha() for orig_ch, pert_ch in substituted
+        ):
+            return PerturbationCategory.PHONETIC_RESPELLING
+        return PerturbationCategory.CHARACTER_SUBSTITUTION
+
+    return PerturbationCategory.MIXED
+
+
+def category_counts(
+    pairs: list[tuple[str, str]] | tuple[tuple[str, str], ...]
+) -> dict[PerturbationCategory, int]:
+    """Aggregate :func:`categorize_perturbation` over many pairs."""
+    counts: dict[PerturbationCategory, int] = {}
+    for original, perturbed in pairs:
+        category = categorize_perturbation(original, perturbed)
+        counts[category] = counts.get(category, 0) + 1
+    return counts

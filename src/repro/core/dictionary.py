@@ -1,0 +1,358 @@
+"""The human-written token database.
+
+Paper §III-A: CrypText tokenizes every sentence of its source corpora,
+encodes each token's sound with the customized Soundex algorithm, and stores
+the result as hash-maps ``H_k`` (one per phonetic level ``k <= 2``) whose
+keys are Soundex encodings and whose values are the sets of raw,
+case-sensitive tokens sharing that encoding.  Table I of the paper shows a
+tiny ``H_1`` built from three sentences.
+
+:class:`PerturbationDictionary` implements that database on top of the
+embedded document store (:mod:`repro.storage`), keeping one document per
+distinct raw token::
+
+    {
+        "_id":        <auto>,
+        "token":      "repubLIEcans",          # raw, case-sensitive
+        "canonical":  "republiecans",          # folded form
+        "keys":       {"k0": "R...", "k1": "RE...", "k2": "REP..."},
+        "count":      3,                        # total occurrences seen
+        "is_word":    false,                    # in the English lexicon?
+        "sources":    ["hatespeech", "twitter_stream"],
+    }
+
+Secondary indexes over ``keys.k0`` / ``keys.k1`` / ``keys.k2`` and ``token``
+make the Look Up hot path an index probe rather than a scan, mirroring the
+MongoDB indexes of the original system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..config import CrypTextConfig, DEFAULT_CONFIG
+from ..errors import DictionaryError
+from ..storage import Collection, DocumentStore
+from ..text.tokenizer import Tokenizer
+from ..text.wordlist import EnglishLexicon, default_lexicon
+from .soundex import CustomSoundex
+
+#: Name of the document-store collection backing the dictionary.
+TOKEN_COLLECTION = "tokens"
+
+
+@dataclass(frozen=True)
+class DictionaryEntry:
+    """A single raw token and its database record."""
+
+    token: str
+    canonical: str
+    keys: Mapping[str, str]
+    count: int
+    is_word: bool
+    sources: tuple[str, ...]
+
+    def key_at(self, phonetic_level: int) -> str | None:
+        """The Soundex key of this token at the requested level (or ``None``)."""
+        return self.keys.get(f"k{phonetic_level}")
+
+
+@dataclass(frozen=True)
+class DictionaryStats:
+    """Aggregate statistics of the dictionary.
+
+    The paper's headline figures ("over 2M human-written tokens ... over 400K
+    unique phonetic sounds") correspond to :attr:`total_tokens` and
+    :attr:`unique_keys` at the default phonetic level.
+    """
+
+    total_tokens: int
+    total_occurrences: int
+    lexicon_tokens: int
+    perturbation_tokens: int
+    unique_keys: Mapping[int, int]
+    tokens_per_key: Mapping[int, float]
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize (used by benchmarks and the benchmark page export)."""
+        return {
+            "total_tokens": self.total_tokens,
+            "total_occurrences": self.total_occurrences,
+            "lexicon_tokens": self.lexicon_tokens,
+            "perturbation_tokens": self.perturbation_tokens,
+            "unique_keys": {str(level): count for level, count in self.unique_keys.items()},
+            "tokens_per_key": {
+                str(level): ratio for level, ratio in self.tokens_per_key.items()
+            },
+        }
+
+
+class PerturbationDictionary:
+    """Database of raw human-written tokens grouped by phonetic sound.
+
+    Parameters
+    ----------
+    store:
+        Document store to keep the token collection in (a private store is
+        created when omitted).
+    config:
+        Library configuration; ``max_phonetic_level`` controls how many
+        hash-maps ``H_k`` are materialized (the paper uses ``k <= 2``).
+    lexicon:
+        English lexicon used to flag which tokens are correctly-spelled
+        words.  Needed by Normalization (candidate targets must be English
+        words) and by the statistics.
+    """
+
+    def __init__(
+        self,
+        store: DocumentStore | None = None,
+        config: CrypTextConfig = DEFAULT_CONFIG,
+        lexicon: EnglishLexicon | None = None,
+    ) -> None:
+        self.config = config
+        self.store = store if store is not None else DocumentStore("cryptext")
+        self.lexicon = lexicon if lexicon is not None else default_lexicon()
+        self.tokenizer = Tokenizer(lowercase=False)
+        self._encoders: dict[int, CustomSoundex] = {
+            level: CustomSoundex(phonetic_level=level)
+            for level in range(config.max_phonetic_level + 1)
+        }
+        collection = self.store.collection(TOKEN_COLLECTION)
+        collection.create_index("token")
+        for level in self._encoders:
+            collection.create_index(f"keys.k{level}")
+        collection.create_index("is_word")
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @property
+    def collection(self) -> Collection:
+        """The underlying token collection."""
+        return self.store.collection(TOKEN_COLLECTION)
+
+    @property
+    def phonetic_levels(self) -> tuple[int, ...]:
+        """Phonetic levels for which hash-maps are materialized."""
+        return tuple(sorted(self._encoders))
+
+    def encoder(self, phonetic_level: int) -> CustomSoundex:
+        """The Soundex encoder for ``phonetic_level``."""
+        try:
+            return self._encoders[phonetic_level]
+        except KeyError as exc:
+            raise DictionaryError(
+                f"phonetic level {phonetic_level} is not materialized "
+                f"(available: {sorted(self._encoders)})"
+            ) from exc
+
+    def _keys_for(self, token: str) -> dict[str, str] | None:
+        keys: dict[str, str] = {}
+        for level, encoder in self._encoders.items():
+            code = encoder.encode_or_none(token)
+            if code is None:
+                return None
+            keys[f"k{level}"] = code
+        return keys
+
+    def add_token(self, token: str, source: str | None = None, count: int = 1) -> bool:
+        """Record ``count`` occurrences of the raw token ``token``.
+
+        Returns ``True`` if the token was encodable and recorded, ``False``
+        if it had no phonetic content (pure punctuation/emoji tokens are
+        silently skipped — they cannot participate in phonetic lookup).
+        """
+        if count < 1:
+            raise DictionaryError(f"count must be >= 1, got {count}")
+        keys = self._keys_for(token)
+        if keys is None:
+            return False
+        collection = self.collection
+        existing = collection.find_one({"token": token})
+        if existing is None:
+            canonical = self._encoders[min(self._encoders)].canonicalize(token)
+            document = {
+                "token": token,
+                "canonical": canonical,
+                "keys": keys,
+                "count": count,
+                "is_word": self.lexicon.is_word(token),
+                "sources": [source] if source else [],
+            }
+            collection.insert_one(document)
+        else:
+            update: dict[str, dict[str, object]] = {"$inc": {"count": count}}
+            if source:
+                update["$addToSet"] = {"sources": source}
+            collection.update_one({"token": token}, update)
+        return True
+
+    def add_text(self, text: str, source: str | None = None) -> int:
+        """Tokenize ``text`` and add every word token; returns tokens added."""
+        added = 0
+        for token in self.tokenizer.word_tokens(text):
+            if self.add_token(token.text, source=source):
+                added += 1
+        return added
+
+    def add_corpus(self, texts: Iterable[str], source: str | None = None) -> int:
+        """Add every text of ``texts``; returns total word tokens recorded."""
+        return sum(self.add_text(text, source=source) for text in texts)
+
+    def seed_lexicon(self, words: Iterable[str] | None = None) -> int:
+        """Ensure canonical English words are present as dictionary entries.
+
+        The Look Up function maps a query word to its Soundex bucket; if the
+        canonical spelling itself was never observed in a corpus it must
+        still exist in the bucket so Normalization has correction targets.
+        Returns the number of words added.
+        """
+        vocabulary = tuple(words) if words is not None else tuple(self.lexicon)
+        added = 0
+        for word in vocabulary:
+            if self.add_token(word, source="lexicon"):
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.collection)
+
+    def __contains__(self, token: object) -> bool:
+        if not isinstance(token, str):
+            return False
+        return self.collection.find_one({"token": token}) is not None
+
+    def entry(self, token: str) -> DictionaryEntry | None:
+        """Return the :class:`DictionaryEntry` for a raw token, if present."""
+        document = self.collection.find_one({"token": token})
+        if document is None:
+            return None
+        return self._to_entry(document)
+
+    def _to_entry(self, document: Mapping[str, object]) -> DictionaryEntry:
+        return DictionaryEntry(
+            token=str(document["token"]),
+            canonical=str(document["canonical"]),
+            keys=dict(document["keys"]),  # type: ignore[arg-type]
+            count=int(document["count"]),  # type: ignore[arg-type]
+            is_word=bool(document["is_word"]),
+            sources=tuple(document.get("sources", ())),  # type: ignore[arg-type]
+        )
+
+    def tokens_for_key(
+        self, key: str, phonetic_level: int | None = None
+    ) -> list[DictionaryEntry]:
+        """All entries whose Soundex encoding at the given level equals ``key``."""
+        level = self.config.phonetic_level if phonetic_level is None else phonetic_level
+        if level not in self._encoders:
+            raise DictionaryError(
+                f"phonetic level {level} is not materialized "
+                f"(available: {sorted(self._encoders)})"
+            )
+        documents = self.collection.find({f"keys.k{level}": key})
+        return [self._to_entry(document) for document in documents]
+
+    def bucket_for_token(
+        self, token: str, phonetic_level: int | None = None
+    ) -> list[DictionaryEntry]:
+        """Entries sharing ``token``'s Soundex bucket (the raw Look Up set)."""
+        level = self.config.phonetic_level if phonetic_level is None else phonetic_level
+        key = self.encoder(level).encode_or_none(token)
+        if key is None:
+            return []
+        return self.tokens_for_key(key, phonetic_level=level)
+
+    def hashmap(self, phonetic_level: int | None = None) -> dict[str, set[str]]:
+        """Materialize the full hash-map ``H_k`` as ``{encoding: {tokens}}``.
+
+        This reproduces the structure of Table I.  For large dictionaries
+        prefer :meth:`tokens_for_key`, which uses the index instead of
+        scanning.
+        """
+        level = self.config.phonetic_level if phonetic_level is None else phonetic_level
+        if level not in self._encoders:
+            raise DictionaryError(
+                f"phonetic level {level} is not materialized "
+                f"(available: {sorted(self._encoders)})"
+            )
+        mapping: dict[str, set[str]] = {}
+        for document in self.collection:
+            key = document["keys"][f"k{level}"]
+            mapping.setdefault(key, set()).add(document["token"])
+        return mapping
+
+    def english_words_for_key(
+        self, key: str, phonetic_level: int | None = None
+    ) -> list[DictionaryEntry]:
+        """Entries in the bucket that are correctly-spelled English words."""
+        return [
+            entry
+            for entry in self.tokens_for_key(key, phonetic_level=phonetic_level)
+            if entry.is_word
+        ]
+
+    def iter_entries(self) -> Iterator[DictionaryEntry]:
+        """Iterate over every entry (arbitrary but deterministic order)."""
+        for document in self.collection:
+            yield self._to_entry(document)
+
+    def token_counts(self) -> dict[str, int]:
+        """Mapping from raw token to its observed occurrence count."""
+        return {
+            str(document["token"]): int(document["count"])
+            for document in self.collection
+        }
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def stats(self) -> DictionaryStats:
+        """Aggregate statistics (token counts, unique keys per level)."""
+        total_tokens = 0
+        total_occurrences = 0
+        lexicon_tokens = 0
+        unique_keys: dict[int, set[str]] = {level: set() for level in self._encoders}
+        for document in self.collection:
+            total_tokens += 1
+            total_occurrences += int(document["count"])
+            if document["is_word"]:
+                lexicon_tokens += 1
+            for level in self._encoders:
+                unique_keys[level].add(document["keys"][f"k{level}"])
+        unique_key_counts = {level: len(keys) for level, keys in unique_keys.items()}
+        tokens_per_key = {
+            level: (total_tokens / count if count else 0.0)
+            for level, count in unique_key_counts.items()
+        }
+        return DictionaryStats(
+            total_tokens=total_tokens,
+            total_occurrences=total_occurrences,
+            lexicon_tokens=lexicon_tokens,
+            perturbation_tokens=total_tokens - lexicon_tokens,
+            unique_keys=unique_key_counts,
+            tokens_per_key=tokens_per_key,
+        )
+
+    # ------------------------------------------------------------------ #
+    # factories
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_corpus(
+        cls,
+        texts: Sequence[str],
+        config: CrypTextConfig = DEFAULT_CONFIG,
+        lexicon: EnglishLexicon | None = None,
+        source: str | None = "corpus",
+        seed_lexicon: bool = False,
+    ) -> "PerturbationDictionary":
+        """Build a dictionary directly from an iterable of sentences."""
+        dictionary = cls(config=config, lexicon=lexicon)
+        dictionary.add_corpus(texts, source=source)
+        if seed_lexicon:
+            dictionary.seed_lexicon()
+        return dictionary

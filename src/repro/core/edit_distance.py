@@ -1,0 +1,173 @@
+"""Edit distances used by the SMS property.
+
+The Look Up and Normalization functions decide whether two tokens "mean the
+same thing" by combining phonetic equality (customized Soundex) with a bound
+on their Levenshtein edit distance (paper §III-B): two tokens that sound the
+same and are separated by a sufficiently small number of character edits are
+treated as spelling variants of one word.
+
+Three implementations are provided:
+
+* :func:`levenshtein_distance` — the classic Wagner-Fischer dynamic program
+  (two-row memory);
+* :func:`bounded_levenshtein` — a banded variant that stops as soon as the
+  distance provably exceeds a caller-supplied bound (the hot path of the
+  dictionary lookups, where only ``d <= 3`` matters);
+* :func:`damerau_levenshtein_distance` — the optimal-string-alignment
+  variant that counts adjacent transpositions as a single edit, which better
+  matches human typo behaviour ("demorcats") and is exposed as an option on
+  the SMS check.
+"""
+
+from __future__ import annotations
+
+from ..errors import CrypTextError
+
+
+def _validate(first: str, second: str) -> None:
+    if not isinstance(first, str) or not isinstance(second, str):
+        raise CrypTextError(
+            "edit distances are defined over strings, got "
+            f"{type(first).__name__} and {type(second).__name__}"
+        )
+
+
+def levenshtein_distance(first: str, second: str) -> int:
+    """Number of single-character insertions/deletions/substitutions.
+
+    >>> levenshtein_distance("democrats", "demokRATs".lower())
+    1
+    >>> levenshtein_distance("kitten", "sitting")
+    3
+    """
+    _validate(first, second)
+    if first == second:
+        return 0
+    if not first:
+        return len(second)
+    if not second:
+        return len(first)
+    # Keep the shorter string in the inner loop for cache friendliness.
+    if len(second) < len(first):
+        first, second = second, first
+    previous = list(range(len(first) + 1))
+    current = [0] * (len(first) + 1)
+    for row, char_second in enumerate(second, start=1):
+        current[0] = row
+        for col, char_first in enumerate(first, start=1):
+            substitution = previous[col - 1] + (char_first != char_second)
+            insertion = current[col - 1] + 1
+            deletion = previous[col] + 1
+            current[col] = min(substitution, insertion, deletion)
+        previous, current = current, previous
+    return previous[len(first)]
+
+
+def bounded_levenshtein(first: str, second: str, bound: int) -> int | None:
+    """Levenshtein distance if it is ``<= bound``, else ``None``.
+
+    Uses a diagonal band of width ``2 * bound + 1``: cells outside the band
+    can never contribute to a distance within the bound, and a row whose
+    in-band minimum already exceeds the bound terminates the computation
+    early.
+
+    >>> bounded_levenshtein("republicans", "repubLIEcans".lower(), 3)
+    1
+    >>> bounded_levenshtein("vaccine", "elephant", 2) is None
+    True
+    """
+    _validate(first, second)
+    if bound < 0:
+        raise CrypTextError(f"bound must be non-negative, got {bound}")
+    if first == second:
+        return 0
+    length_difference = abs(len(first) - len(second))
+    if length_difference > bound:
+        return None
+    if not first or not second:
+        return length_difference if length_difference <= bound else None
+    if len(second) < len(first):
+        first, second = second, first
+    width = len(first)
+    infinity = bound + 1
+    previous = [col if col <= bound else infinity for col in range(width + 1)]
+    for row, char_second in enumerate(second, start=1):
+        window_start = max(1, row - bound)
+        window_end = min(width, row + bound)
+        current = [infinity] * (width + 1)
+        if window_start == 1:
+            current[0] = row if row <= bound else infinity
+        row_minimum = infinity
+        for col in range(window_start, window_end + 1):
+            char_first = first[col - 1]
+            substitution = previous[col - 1] + (char_first != char_second)
+            insertion = current[col - 1] + 1
+            deletion = previous[col] + 1
+            value = min(substitution, insertion, deletion)
+            current[col] = value if value <= bound else infinity
+            if current[col] < row_minimum:
+                row_minimum = current[col]
+        if row_minimum >= infinity:
+            return None
+        previous = current
+    distance = previous[width]
+    return distance if distance <= bound else None
+
+
+def damerau_levenshtein_distance(first: str, second: str) -> int:
+    """Optimal-string-alignment distance (transpositions count as one edit).
+
+    >>> damerau_levenshtein_distance("democrats", "demorcats")
+    1
+    >>> levenshtein_distance("democrats", "demorcats")
+    2
+    """
+    _validate(first, second)
+    if first == second:
+        return 0
+    if not first:
+        return len(second)
+    if not second:
+        return len(first)
+    rows = len(first) + 1
+    cols = len(second) + 1
+    table = [[0] * cols for _ in range(rows)]
+    for row in range(rows):
+        table[row][0] = row
+    for col in range(cols):
+        table[0][col] = col
+    for row in range(1, rows):
+        for col in range(1, cols):
+            cost = first[row - 1] != second[col - 1]
+            best = min(
+                table[row - 1][col] + 1,
+                table[row][col - 1] + 1,
+                table[row - 1][col - 1] + cost,
+            )
+            if (
+                row > 1
+                and col > 1
+                and first[row - 1] == second[col - 2]
+                and first[row - 2] == second[col - 1]
+            ):
+                best = min(best, table[row - 2][col - 2] + 1)
+            table[row][col] = best
+    return table[rows - 1][cols - 1]
+
+
+def similarity_ratio(first: str, second: str) -> float:
+    """Normalized similarity in ``[0, 1]`` derived from the Levenshtein distance.
+
+    ``1.0`` means identical strings; ``0.0`` means nothing in common (for two
+    empty strings the ratio is defined as ``1.0``).
+
+    >>> similarity_ratio("vaccine", "vaccine")
+    1.0
+    >>> round(similarity_ratio("vaccine", "vacc1ne"), 3)
+    0.857
+    """
+    _validate(first, second)
+    longest = max(len(first), len(second))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(first, second) / longest

@@ -1,0 +1,286 @@
+"""The Look Up function: discovering text perturbations (paper §III-B).
+
+Given a query token ``x``, Look Up returns the set ``P_x`` of tokens in the
+database that satisfy the SMS property with respect to ``x``: they share the
+customized Soundex encoding at phonetic level ``k`` and lie within
+Levenshtein distance ``d`` of the query.  The paper's GUI displays the result
+as an interactive word cloud whose word sizes follow observed frequencies;
+the equivalent data export lives in :mod:`repro.viz.wordcloud`.
+
+The default hyper-parameters are the paper's (``k = 1``, ``d = 3``);
+"advanced users" may override both per query, which is exposed here as plain
+keyword arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import CrypTextConfig, DEFAULT_CONFIG
+from ..storage import TTLCache, make_key
+from .categories import PerturbationCategory, categorize_perturbation
+from .dictionary import DictionaryEntry, PerturbationDictionary
+from .edit_distance import bounded_levenshtein
+from .sms import SMSCheck
+
+
+@dataclass(frozen=True)
+class PerturbationMatch:
+    """One token of ``P_x`` returned by Look Up."""
+
+    token: str
+    canonical: str
+    edit_distance: int
+    count: int
+    is_original: bool
+    is_word: bool
+    category: PerturbationCategory
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize for the API layer and visualization exports."""
+        return {
+            "token": self.token,
+            "canonical": self.canonical,
+            "edit_distance": self.edit_distance,
+            "count": self.count,
+            "is_original": self.is_original,
+            "is_word": self.is_word,
+            "category": self.category.value,
+        }
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """The full result of a Look Up query."""
+
+    query: str
+    phonetic_level: int
+    max_edit_distance: int
+    soundex_key: str | None
+    matches: tuple[PerturbationMatch, ...] = field(default_factory=tuple)
+
+    @property
+    def perturbations(self) -> tuple[PerturbationMatch, ...]:
+        """Matches other than the query word itself (``P_x`` proper)."""
+        return tuple(match for match in self.matches if not match.is_original)
+
+    @property
+    def tokens(self) -> tuple[str, ...]:
+        """Raw token strings of every match (query included), most frequent first."""
+        return tuple(match.token for match in self.matches)
+
+    def perturbation_tokens(self) -> tuple[str, ...]:
+        """Raw token strings of the perturbations only."""
+        return tuple(match.token for match in self.perturbations)
+
+    def enriched_queries(self, limit: int | None = None) -> tuple[str, ...]:
+        """Query plus perturbations — the "keyword enrichment" use case.
+
+        The §III-B use case searches a platform with the original keyword
+        *and* its perturbations; this helper returns that expanded query set.
+        """
+        extra = self.perturbation_tokens()
+        if limit is not None:
+            extra = extra[:limit]
+        return (self.query, *extra)
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize for the API layer."""
+        return {
+            "query": self.query,
+            "phonetic_level": self.phonetic_level,
+            "max_edit_distance": self.max_edit_distance,
+            "soundex_key": self.soundex_key,
+            "matches": [match.to_dict() for match in self.matches],
+        }
+
+
+class LookupEngine:
+    """Executes Look Up queries against a :class:`PerturbationDictionary`.
+
+    Parameters
+    ----------
+    dictionary:
+        The token database to query.
+    config:
+        Default hyper-parameters (``phonetic_level``, ``edit_distance``) and
+        cache settings.
+    cache:
+        Optional query cache; when omitted and ``config.cache_enabled`` is
+        true a private :class:`~repro.storage.TTLCache` is created.  The
+        cache mirrors the Redis layer of the original architecture.
+    """
+
+    def __init__(
+        self,
+        dictionary: PerturbationDictionary,
+        config: CrypTextConfig = DEFAULT_CONFIG,
+        cache: TTLCache | None = None,
+    ) -> None:
+        self.dictionary = dictionary
+        self.config = config
+        if cache is not None:
+            self.cache = cache
+        elif config.cache_enabled:
+            self.cache = TTLCache(
+                max_entries=config.cache_max_entries,
+                default_ttl=config.cache_ttl_seconds,
+            )
+        else:
+            self.cache = None
+
+    # ------------------------------------------------------------------ #
+    def _match_from_entry(
+        self,
+        query: str,
+        query_canonical: str,
+        entry: DictionaryEntry,
+        max_edit_distance: int,
+        canonical_distance: bool,
+    ) -> PerturbationMatch | None:
+        # The paper's d bounds the Levenshtein distance between the raw
+        # spellings (its worked example counts "republic@@ns" as two edits
+        # from "republicans"); canonical-distance mode is offered for callers
+        # that want visual folds to count as zero-cost.
+        if canonical_distance:
+            distance = bounded_levenshtein(
+                query_canonical, entry.canonical, max_edit_distance
+            )
+        else:
+            distance = bounded_levenshtein(
+                query.lower(), entry.token.lower(), max_edit_distance
+            )
+        if distance is None:
+            return None
+        is_original = entry.token == query
+        category = (
+            PerturbationCategory.IDENTICAL
+            if is_original
+            else categorize_perturbation(query, entry.token)
+        )
+        return PerturbationMatch(
+            token=entry.token,
+            canonical=entry.canonical,
+            edit_distance=distance,
+            count=entry.count,
+            is_original=is_original,
+            is_word=entry.is_word,
+            category=category,
+        )
+
+    def _execute(
+        self,
+        query: str,
+        phonetic_level: int,
+        max_edit_distance: int,
+        case_sensitive: bool,
+        canonical_distance: bool = False,
+    ) -> LookupResult:
+        encoder = self.dictionary.encoder(phonetic_level)
+        soundex_key = encoder.encode_or_none(query)
+        if soundex_key is None:
+            return LookupResult(
+                query=query,
+                phonetic_level=phonetic_level,
+                max_edit_distance=max_edit_distance,
+                soundex_key=None,
+                matches=(),
+            )
+        query_canonical = encoder.canonicalize(query)
+        bucket = self.dictionary.tokens_for_key(soundex_key, phonetic_level=phonetic_level)
+        matches: dict[str, PerturbationMatch] = {}
+        for entry in bucket:
+            match = self._match_from_entry(
+                query, query_canonical, entry, max_edit_distance, canonical_distance
+            )
+            if match is None:
+                continue
+            key = match.token if case_sensitive else match.token.lower()
+            existing = matches.get(key)
+            if existing is None:
+                matches[key] = match
+            else:
+                # Case-insensitive mode merges "DemocRATs"/"democRATs":
+                # keep the more frequent spelling, sum the counts.
+                keep, drop = (
+                    (existing, match)
+                    if existing.count >= match.count
+                    else (match, existing)
+                )
+                matches[key] = PerturbationMatch(
+                    token=keep.token,
+                    canonical=keep.canonical,
+                    edit_distance=min(keep.edit_distance, drop.edit_distance),
+                    count=keep.count + drop.count,
+                    is_original=keep.is_original or drop.is_original,
+                    is_word=keep.is_word or drop.is_word,
+                    category=keep.category,
+                )
+        ordered = sorted(
+            matches.values(),
+            key=lambda match: (-match.count, match.edit_distance, match.token),
+        )
+        return LookupResult(
+            query=query,
+            phonetic_level=phonetic_level,
+            max_edit_distance=max_edit_distance,
+            soundex_key=soundex_key,
+            matches=tuple(ordered),
+        )
+
+    def look_up(
+        self,
+        query: str,
+        phonetic_level: int | None = None,
+        max_edit_distance: int | None = None,
+        case_sensitive: bool = True,
+        canonical_distance: bool = False,
+    ) -> LookupResult:
+        """Return ``P_query``: the perturbations of ``query`` in the database.
+
+        Parameters
+        ----------
+        query:
+            The token to search for (typically a correctly-spelled keyword).
+        phonetic_level / max_edit_distance:
+            Override the configured ``k`` / ``d`` for this query (the paper's
+            "advanced users ... through a provided API").
+        case_sensitive:
+            When ``False``, case variants are merged into a single match.
+        canonical_distance:
+            Compute the ``d`` bound between canonical (visually folded) forms
+            instead of raw spellings.
+        """
+        level = self.config.phonetic_level if phonetic_level is None else phonetic_level
+        distance = (
+            self.config.edit_distance if max_edit_distance is None else max_edit_distance
+        )
+        if self.cache is None:
+            return self._execute(query, level, distance, case_sensitive, canonical_distance)
+        cache_key = make_key(
+            "lookup", query, level, distance, case_sensitive, canonical_distance
+        )
+        return self.cache.get_or_compute(
+            cache_key,
+            lambda: self._execute(
+                query, level, distance, case_sensitive, canonical_distance
+            ),
+        )
+
+    def look_up_many(
+        self,
+        queries: list[str] | tuple[str, ...],
+        phonetic_level: int | None = None,
+        max_edit_distance: int | None = None,
+        case_sensitive: bool = True,
+    ) -> dict[str, LookupResult]:
+        """Bulk Look Up (the API layer's batch endpoint)."""
+        return {
+            query: self.look_up(
+                query,
+                phonetic_level=phonetic_level,
+                max_edit_distance=max_edit_distance,
+                case_sensitive=case_sensitive,
+            )
+            for query in queries
+        }

@@ -1,0 +1,212 @@
+"""A Metaphone-style phonetic encoder (alternative to the customized Soundex).
+
+The paper keys its database with a customized Soundex; reviewers of phonetic
+matching systems usually ask how a richer algorithm of the Metaphone family
+would behave.  This module provides a compact, dependency-free Metaphone
+variant with the same interface as :class:`~repro.core.soundex.CustomSoundex`
+(``encode`` / ``encode_or_none`` / ``canonicalize`` / ``same_sound`` and a
+phonetic-level prefix), so it can be swapped into experiments that study the
+encoding choice.  It reuses the same canonicalization (visual folding,
+separator stripping, accent folding), because recognizing leet/homoglyph
+substitutions is orthogonal to the phonetic rule set.
+
+The rule set is a simplified Metaphone: it maps consonant clusters to a
+phonetic alphabet (e.g. ``PH -> F``, ``CK -> K``, ``TIO -> X``), drops vowels
+after the prefix, and collapses duplicates.  It is *not* a full Double
+Metaphone implementation (no secondary codes), which the experiments here do
+not need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EncodingError
+from .soundex import CustomSoundex
+
+_VOWELS = set("aeiou")
+
+
+def _metaphone_transform(word: str) -> str:
+    """Apply the simplified Metaphone consonant rules to a canonical word."""
+    if not word:
+        return ""
+    output: list[str] = []
+    length = len(word)
+    index = 0
+    while index < length:
+        char = word[index]
+        nxt = word[index + 1] if index + 1 < length else ""
+        prev = word[index - 1] if index > 0 else ""
+
+        # skip duplicate adjacent letters (except 'c' as in "accident")
+        if char == prev and char != "c":
+            index += 1
+            continue
+
+        if char in _VOWELS:
+            # vowels are kept only at the very beginning of the word
+            if index == 0:
+                output.append(char.upper())
+            index += 1
+            continue
+
+        if char == "b":
+            # silent terminal B after M ("comb")
+            if not (index == length - 1 and prev == "m"):
+                output.append("B")
+        elif char == "c":
+            if word[index : index + 3] == "cia":
+                output.append("X")
+            elif nxt == "h":
+                output.append("X")
+                index += 1
+            elif nxt in ("i", "e", "y"):
+                output.append("S")
+            else:
+                output.append("K")
+        elif char == "d":
+            if nxt == "g" and word[index + 2 : index + 3] in ("e", "i", "y"):
+                output.append("J")
+                index += 1
+            else:
+                output.append("T")
+        elif char == "g":
+            if nxt == "h":
+                # GH is silent before a consonant / at word end ("night")
+                if index + 2 >= length or word[index + 2] not in _VOWELS:
+                    index += 1
+                else:
+                    output.append("K")
+                    index += 1
+            elif nxt == "n":
+                # GN: silent G ("gnome", "sign")
+                pass
+            elif nxt in ("i", "e", "y"):
+                output.append("J")
+            else:
+                output.append("K")
+        elif char == "h":
+            # H is kept only between vowel and vowel-ish sound
+            if prev in _VOWELS and nxt in _VOWELS:
+                output.append("H")
+        elif char == "j":
+            output.append("J")
+        elif char == "k":
+            if prev != "c":
+                output.append("K")
+        elif char == "l":
+            output.append("L")
+        elif char == "m":
+            output.append("M")
+        elif char == "n":
+            output.append("N")
+        elif char == "p":
+            if nxt == "h":
+                output.append("F")
+                index += 1
+            else:
+                output.append("P")
+        elif char == "q":
+            output.append("K")
+        elif char == "r":
+            output.append("R")
+        elif char == "s":
+            if nxt == "h":
+                output.append("X")
+                index += 1
+            elif word[index : index + 3] in ("sio", "sia"):
+                output.append("X")
+            else:
+                output.append("S")
+        elif char == "t":
+            if nxt == "h":
+                output.append("0")  # theta
+                index += 1
+            elif word[index : index + 3] in ("tio", "tia"):
+                output.append("X")
+            else:
+                output.append("T")
+        elif char == "v":
+            output.append("F")
+        elif char == "w":
+            if nxt in _VOWELS:
+                output.append("W")
+        elif char == "x":
+            output.append("KS")
+        elif char == "y":
+            if nxt in _VOWELS:
+                output.append("Y")
+        elif char == "z":
+            output.append("S")
+        # any other character (digits already folded away) is ignored
+        index += 1
+
+    # collapse adjacent duplicates produced by the mapping
+    collapsed: list[str] = []
+    for symbol in "".join(output):
+        if not collapsed or collapsed[-1] != symbol:
+            collapsed.append(symbol)
+    return "".join(collapsed)
+
+
+@dataclass(frozen=True)
+class MetaphoneEncoder:
+    """Metaphone-style encoder with CrypText's canonicalization and ``k`` prefix.
+
+    Parameters
+    ----------
+    phonetic_level:
+        Number of extra leading characters (beyond the first) kept verbatim,
+        mirroring :class:`~repro.core.soundex.CustomSoundex`.
+    max_code_length:
+        Truncate the phonetic part to this many symbols (0 = unlimited).
+    """
+
+    phonetic_level: int = 1
+    max_code_length: int = 8
+
+    def __post_init__(self) -> None:
+        if self.phonetic_level < 0:
+            raise EncodingError(
+                f"phonetic_level must be >= 0, got {self.phonetic_level}"
+            )
+        if self.max_code_length < 0:
+            raise EncodingError(
+                f"max_code_length must be >= 0, got {self.max_code_length}"
+            )
+
+    # the canonicalization is shared with the customized Soundex
+    def canonicalize(self, token: str) -> str:
+        """Fold a raw token onto its canonical letter form (shared rules)."""
+        return CustomSoundex(phonetic_level=self.phonetic_level).canonicalize(token)
+
+    def encode(self, token: str) -> str:
+        """Encode ``token`` as ``PREFIX`` + Metaphone symbols."""
+        canonical = self.canonicalize(token)
+        if not canonical:
+            raise EncodingError(
+                f"token {token!r} has no phonetic content after canonicalization"
+            )
+        prefix_length = min(self.phonetic_level + 1, len(canonical))
+        prefix = canonical[:prefix_length].upper()
+        if len(prefix) < self.phonetic_level + 1:
+            prefix = prefix + "0" * (self.phonetic_level + 1 - len(prefix))
+        remainder = canonical[prefix_length:]
+        code = _metaphone_transform(remainder)
+        if self.max_code_length:
+            code = code[: self.max_code_length]
+        return prefix + code
+
+    def encode_or_none(self, token: str) -> str | None:
+        """Like :meth:`encode` but returning ``None`` for unencodable tokens."""
+        try:
+            return self.encode(token)
+        except EncodingError:
+            return None
+
+    def same_sound(self, first: str, second: str) -> bool:
+        """Whether two tokens share an encoding at this phonetic level."""
+        first_code = self.encode_or_none(first)
+        second_code = self.encode_or_none(second)
+        return first_code is not None and first_code == second_code

@@ -1,0 +1,256 @@
+"""The Perturbation function: text manipulation with human-written perturbations.
+
+Paper §III-D: given an input text ``x`` and a manipulation ratio ``r``,
+CrypText randomly samples a subset of tokens of ``x`` according to ``r`` and
+replaces each selected token with a perturbation randomly drawn from the
+Look Up function's output for that token.  Both case-sensitive and
+case-insensitive perturbations are supported.
+
+Because every replacement comes from the dictionary of *observed* tokens,
+the perturbations applied here are guaranteed to be realizable human-written
+spellings — the property that distinguishes CrypText from machine-generated
+attack baselines (TextBugger, VIPER, DeepWordBug) when evaluating model
+robustness (Figure 4).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..config import CrypTextConfig, DEFAULT_CONFIG
+from ..errors import CrypTextError
+from ..text.tokenizer import Token, Tokenizer, detokenize
+from .categories import PerturbationCategory
+from .lookup import LookupEngine, PerturbationMatch
+
+
+@dataclass(frozen=True)
+class PerturbedToken:
+    """One token that was replaced in the input text."""
+
+    original: str
+    perturbed: str
+    start: int
+    end: int
+    category: PerturbationCategory
+    edit_distance: int
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize for the API layer / GUI highlighting."""
+        return {
+            "original": self.original,
+            "perturbed": self.perturbed,
+            "start": self.start,
+            "end": self.end,
+            "category": self.category.value,
+            "edit_distance": self.edit_distance,
+        }
+
+
+@dataclass(frozen=True)
+class PerturbationOutcome:
+    """Result of perturbing one input text."""
+
+    original_text: str
+    perturbed_text: str
+    ratio: float
+    requested_replacements: int
+    replacements: tuple[PerturbedToken, ...] = field(default_factory=tuple)
+
+    @property
+    def achieved_ratio(self) -> float:
+        """Fraction of word tokens actually replaced (<= requested ratio when
+        the dictionary lacks perturbations for some sampled tokens)."""
+        if self.requested_replacements == 0:
+            return 0.0
+        return len(self.replacements) / max(self._word_token_count(), 1)
+
+    def _word_token_count(self) -> int:
+        return len(Tokenizer().word_tokens(self.original_text))
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize for the API layer."""
+        return {
+            "original_text": self.original_text,
+            "perturbed_text": self.perturbed_text,
+            "ratio": self.ratio,
+            "requested_replacements": self.requested_replacements,
+            "replacements": [replacement.to_dict() for replacement in self.replacements],
+        }
+
+
+class Perturber:
+    """Replaces tokens of an input text with observed human-written perturbations.
+
+    Parameters
+    ----------
+    lookup:
+        The Look Up engine supplying ``P_x`` for each sampled token.
+    config:
+        Default ratio, case sensitivity, hyper-parameters and RNG seed.
+    rng:
+        Optional :class:`random.Random`; a seeded one is created from
+        ``config.seed`` when omitted so results are reproducible.
+    """
+
+    def __init__(
+        self,
+        lookup: LookupEngine,
+        config: CrypTextConfig = DEFAULT_CONFIG,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.lookup = lookup
+        self.config = config
+        self.rng = rng if rng is not None else random.Random(config.seed)
+        self.tokenizer = Tokenizer(lowercase=False)
+
+    # ------------------------------------------------------------------ #
+    def _candidate_perturbations(
+        self, token: Token, case_sensitive: bool, allow_word_targets: bool
+    ) -> list[PerturbationMatch]:
+        result = self.lookup.look_up(
+            token.text,
+            case_sensitive=case_sensitive,
+        )
+        candidates = [
+            match
+            for match in result.perturbations
+            if match.token.lower() != token.text.lower() or case_sensitive
+        ]
+        if not allow_word_targets:
+            # A replacement that is itself a correctly-spelled English word
+            # ("democrats" -> "democratic") is a different word, not a
+            # perturbation; keep only noisy spellings unless asked otherwise.
+            candidates = [match for match in candidates if not match.is_word]
+        # Never "perturb" a token into its own identical spelling.
+        return [match for match in candidates if match.token != token.text]
+
+    def _weighted_choice(self, matches: list[PerturbationMatch]) -> PerturbationMatch:
+        total = sum(match.count for match in matches)
+        if total <= 0:
+            return self.rng.choice(matches)
+        threshold = self.rng.uniform(0, total)
+        cumulative = 0.0
+        for match in matches:
+            cumulative += match.count
+            if cumulative >= threshold:
+                return match
+        return matches[-1]
+
+    def perturb(
+        self,
+        text: str,
+        ratio: float | None = None,
+        case_sensitive: bool | None = None,
+        weighted_by_frequency: bool = True,
+        protected_tokens: frozenset[str] | set[str] = frozenset(),
+        allow_word_targets: bool = False,
+        fill_target: bool = False,
+    ) -> PerturbationOutcome:
+        """Perturb ``text`` at manipulation ratio ``ratio``.
+
+        Parameters
+        ----------
+        text:
+            The input text ``x``.
+        ratio:
+            Fraction of word tokens to replace (defaults to the configured
+            ratio; the paper demonstrates 15%, 25% and 50%).
+        case_sensitive:
+            Whether to draw case-sensitive perturbations (default from
+            config).
+        weighted_by_frequency:
+            Sample perturbations proportionally to their observed frequency
+            (more realistic); uniform sampling when ``False``.
+        protected_tokens:
+            Lowercased tokens that must never be replaced (e.g. named
+            entities a caller wants to preserve).
+        allow_word_targets:
+            Also allow replacements that are correctly-spelled English words
+            sharing the sound bucket (off by default: such replacements are
+            synonymy-by-sound, not perturbation).
+        fill_target:
+            The paper's procedure (default ``False``) samples ``ceil(r * n)``
+            tokens first and replaces only those that have observed
+            perturbations, so the achieved ratio can fall short of ``r``.
+            With ``fill_target=True`` additional tokens are drawn until the
+            requested number of replacements is reached (or no candidates
+            remain), which concentrates manipulation on perturbable tokens.
+        """
+        requested_ratio = self.config.perturbation_ratio if ratio is None else ratio
+        if not 0.0 <= requested_ratio <= 1.0:
+            raise CrypTextError(f"ratio must lie in [0, 1], got {requested_ratio}")
+        sensitive = (
+            self.config.case_sensitive if case_sensitive is None else case_sensitive
+        )
+        word_tokens = [
+            token
+            for token in self.tokenizer.word_tokens(text)
+            if token.text.lower() not in protected_tokens
+        ]
+        target_count = math.ceil(requested_ratio * len(word_tokens)) if word_tokens else 0
+        if target_count == 0:
+            return PerturbationOutcome(
+                original_text=text,
+                perturbed_text=text,
+                ratio=requested_ratio,
+                requested_replacements=0,
+                replacements=(),
+            )
+        # Paper §III-D: first randomly sample the subset of tokens to
+        # manipulate according to r, then replace each sampled token with a
+        # perturbation drawn from its Look Up output.  Tokens without any
+        # observed perturbation are left unchanged (unless fill_target asks
+        # for extra draws to make up the difference).
+        shuffled = list(word_tokens)
+        self.rng.shuffle(shuffled)
+        attempt_limit = len(shuffled) if fill_target else target_count
+        replacements: list[tuple[Token, str]] = []
+        recorded: list[PerturbedToken] = []
+        for position, token in enumerate(shuffled):
+            if len(recorded) >= target_count or position >= attempt_limit:
+                break
+            candidates = self._candidate_perturbations(
+                token, sensitive, allow_word_targets
+            )
+            if not candidates:
+                continue
+            chosen = (
+                self._weighted_choice(candidates)
+                if weighted_by_frequency
+                else self.rng.choice(candidates)
+            )
+            replacements.append((token, chosen.token))
+            recorded.append(
+                PerturbedToken(
+                    original=token.text,
+                    perturbed=chosen.token,
+                    start=token.start,
+                    end=token.end,
+                    category=chosen.category,
+                    edit_distance=chosen.edit_distance,
+                )
+            )
+        perturbed_text = detokenize(text, replacements) if replacements else text
+        recorded.sort(key=lambda item: item.start)
+        return PerturbationOutcome(
+            original_text=text,
+            perturbed_text=perturbed_text,
+            ratio=requested_ratio,
+            requested_replacements=target_count,
+            replacements=tuple(recorded),
+        )
+
+    def perturb_many(
+        self,
+        texts: list[str] | tuple[str, ...],
+        ratio: float | None = None,
+        case_sensitive: bool | None = None,
+    ) -> list[PerturbationOutcome]:
+        """Bulk perturbation (the API layer's batch endpoint)."""
+        return [
+            self.perturb(text, ratio=ratio, case_sensitive=case_sensitive)
+            for text in texts
+        ]

@@ -1,0 +1,207 @@
+"""The CrypText facade: one object exposing the paper's four functions.
+
+:class:`CrypText` wires together the token database, the Look Up engine, the
+Normalization function, the Perturbation function, and (optionally) a trained
+coherency scorer, behind the compact API that the examples, the service
+layer, and the benchmarks use::
+
+    cryptext = CrypText.from_corpus(sentences)
+    cryptext.look_up("democrats")            # §III-B
+    cryptext.normalize("the demokRATs ...")  # §III-C
+    cryptext.perturb("the democrats ...", ratio=0.25)  # §III-D
+
+Social Listening (§III-E) lives in :mod:`repro.social.listening` because it
+needs a platform to listen to; :meth:`CrypText.social_listener` constructs
+one bound to this instance's dictionary.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence, TYPE_CHECKING
+
+from ..config import CrypTextConfig, DEFAULT_CONFIG
+from ..lm import CoherencyScorer
+from ..storage import DocumentStore, TTLCache
+from ..text.tokenizer import Tokenizer
+from ..text.wordlist import EnglishLexicon, default_lexicon
+from .dictionary import DictionaryStats, PerturbationDictionary
+from .lookup import LookupEngine, LookupResult
+from .normalizer import NormalizationResult, Normalizer
+from .perturber import PerturbationOutcome, Perturber
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from ..social.listening import SocialListener
+    from ..social.platform import SocialPlatform
+
+
+class CrypText:
+    """End-to-end CrypText system over an in-process database.
+
+    Most callers should use the :meth:`from_corpus` factory, which builds the
+    dictionary, trains the coherency scorer, and seeds the English lexicon in
+    one call.  The plain constructor accepts pre-built components for
+    advanced composition (e.g. sharing one document store across systems).
+    """
+
+    def __init__(
+        self,
+        dictionary: PerturbationDictionary,
+        config: CrypTextConfig = DEFAULT_CONFIG,
+        scorer: CoherencyScorer | None = None,
+        cache: TTLCache | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.config = config
+        self.dictionary = dictionary
+        self.scorer = scorer
+        if cache is None and config.cache_enabled:
+            # Always own the query cache so learn_from() can invalidate it;
+            # otherwise the lookup engine would create a private one that the
+            # facade cannot see.
+            cache = TTLCache(
+                max_entries=config.cache_max_entries,
+                default_ttl=config.cache_ttl_seconds,
+            )
+        self.cache = cache
+        self.lookup_engine = LookupEngine(dictionary, config=config, cache=cache)
+        self.normalizer = Normalizer(dictionary, scorer=scorer, config=config)
+        self.perturber = Perturber(self.lookup_engine, config=config, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # factories
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_corpus(
+        cls,
+        texts: Sequence[str],
+        config: CrypTextConfig = DEFAULT_CONFIG,
+        lexicon: EnglishLexicon | None = None,
+        store: DocumentStore | None = None,
+        source: str = "corpus",
+        seed_lexicon: bool = True,
+        train_scorer: bool = True,
+    ) -> "CrypText":
+        """Build a complete CrypText system from an iterable of sentences.
+
+        Parameters
+        ----------
+        texts:
+            Source corpus (e.g. the synthetic social posts from
+            :mod:`repro.datasets`, or any list of raw strings).
+        config:
+            Hyper-parameters; defaults mirror the paper (``k=1, d=3``).
+        lexicon:
+            English lexicon; the bundled one is used when omitted.
+        store:
+            Optional shared document store.
+        source:
+            Source label recorded on every dictionary entry.
+        seed_lexicon:
+            Also insert every lexicon word into the dictionary so Look Up
+            buckets always contain the canonical spelling.
+        train_scorer:
+            Train the n-gram coherency scorer on the same corpus (needed for
+            context-aware normalization ranking).
+        """
+        lexicon = lexicon if lexicon is not None else default_lexicon()
+        dictionary = PerturbationDictionary(store=store, config=config, lexicon=lexicon)
+        dictionary.add_corpus(texts, source=source)
+        if seed_lexicon:
+            dictionary.seed_lexicon()
+        scorer: CoherencyScorer | None = None
+        if train_scorer:
+            tokenizer = Tokenizer(lowercase=True)
+            tokenized = [
+                [token.text for token in tokenizer.word_tokens(text)] for text in texts
+            ]
+            tokenized = [sentence for sentence in tokenized if sentence]
+            if tokenized:
+                scorer = CoherencyScorer(order=config.lm_order)
+                scorer.fit(tokenized)
+        cache = (
+            TTLCache(
+                max_entries=config.cache_max_entries,
+                default_ttl=config.cache_ttl_seconds,
+            )
+            if config.cache_enabled
+            else None
+        )
+        return cls(
+            dictionary=dictionary,
+            config=config,
+            scorer=scorer,
+            cache=cache,
+            rng=random.Random(config.seed),
+        )
+
+    @classmethod
+    def empty(
+        cls,
+        config: CrypTextConfig = DEFAULT_CONFIG,
+        lexicon: EnglishLexicon | None = None,
+        seed_lexicon: bool = True,
+    ) -> "CrypText":
+        """A system with no observed corpus (lexicon-only dictionary).
+
+        Useful as the starting point for crawler-driven enrichment
+        (:mod:`repro.social.crawler`), mirroring how the deployed system
+        "constantly learn[s] new perturbations from social platforms".
+        """
+        lexicon = lexicon if lexicon is not None else default_lexicon()
+        dictionary = PerturbationDictionary(config=config, lexicon=lexicon)
+        if seed_lexicon:
+            dictionary.seed_lexicon()
+        return cls(dictionary=dictionary, config=config, rng=random.Random(config.seed))
+
+    # ------------------------------------------------------------------ #
+    # the four paper functions
+    # ------------------------------------------------------------------ #
+    def look_up(
+        self,
+        query: str,
+        phonetic_level: int | None = None,
+        max_edit_distance: int | None = None,
+        case_sensitive: bool = True,
+    ) -> LookupResult:
+        """Look Up (§III-B): the perturbations ``P_query`` in the database."""
+        return self.lookup_engine.look_up(
+            query,
+            phonetic_level=phonetic_level,
+            max_edit_distance=max_edit_distance,
+            case_sensitive=case_sensitive,
+        )
+
+    def normalize(self, text: str) -> NormalizationResult:
+        """Normalization (§III-C): detect and de-perturb ``text``."""
+        return self.normalizer.normalize(text)
+
+    def perturb(
+        self,
+        text: str,
+        ratio: float | None = None,
+        case_sensitive: bool | None = None,
+    ) -> PerturbationOutcome:
+        """Perturbation (§III-D): manipulate ``text`` at ratio ``ratio``."""
+        return self.perturber.perturb(text, ratio=ratio, case_sensitive=case_sensitive)
+
+    def social_listener(self, platform: "SocialPlatform") -> "SocialListener":
+        """Social Listening (§III-E): a listener bound to this dictionary."""
+        from ..social.listening import SocialListener
+
+        return SocialListener(platform=platform, lookup=self.lookup_engine)
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def learn_from(self, texts: Iterable[str], source: str = "stream") -> int:
+        """Enrich the dictionary with newly observed texts (crawler path)."""
+        added = self.dictionary.add_corpus(texts, source=source)
+        if self.cache is not None:
+            # New tokens may change Look Up results; drop stale cached queries.
+            self.cache.clear()
+        return added
+
+    def stats(self) -> DictionaryStats:
+        """Dictionary statistics (token counts, unique phonetic sounds)."""
+        return self.dictionary.stats()

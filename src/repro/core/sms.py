@@ -1,0 +1,151 @@
+"""The SMS property: same Sound, same Meaning, different Spelling.
+
+Paper §III-B defines a *perturbation* of a word as a token that
+
+* has a phonetically similar **S**\\ ound — captured by equality of the
+  customized Soundex encodings at phonetic level ``k``;
+* is perceived with the same **M**\\ eaning — approximated by a small
+  Levenshtein edit distance ``d`` between the canonicalized spellings
+  (there is no reliable semantic similarity for out-of-vocabulary tokens);
+* has a different **S**\\ pelling — the raw strings differ.
+
+:class:`SMSCheck` bundles the two hyper-parameters ``(k, d)`` and produces a
+:class:`SMSResult` explaining which of the three conditions held, so the
+Look Up function can filter candidates and the tests/benchmarks can report
+*why* a pair was accepted or rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DEFAULT_EDIT_DISTANCE, DEFAULT_PHONETIC_LEVEL
+from .edit_distance import bounded_levenshtein, damerau_levenshtein_distance
+from .soundex import CustomSoundex
+
+
+@dataclass(frozen=True)
+class SMSResult:
+    """Outcome of an SMS-property evaluation for an ordered pair of tokens.
+
+    Attributes
+    ----------
+    original / candidate:
+        The pair that was tested (original word, candidate perturbation).
+    same_sound:
+        Whether the customized Soundex encodings matched at level ``k``.
+    different_spelling:
+        Whether the raw spellings differ (case-insensitively equal spellings
+        with different case still count as different spelling, because
+        emphasis capitalization such as "democRATs" is a perturbation).
+    edit_distance:
+        The Levenshtein distance between canonical forms, or ``None`` when it
+        exceeded the bound ``d`` (in which case the pair fails).
+    is_perturbation:
+        The conjunction of the three conditions.
+    """
+
+    original: str
+    candidate: str
+    same_sound: bool
+    different_spelling: bool
+    edit_distance: int | None
+    is_perturbation: bool
+
+    def explain(self) -> str:
+        """Human-readable explanation used by examples and error messages."""
+        sound = "same sound" if self.same_sound else "different sound"
+        spelling = (
+            "different spelling" if self.different_spelling else "identical spelling"
+        )
+        if self.edit_distance is None:
+            distance = "edit distance above bound"
+        else:
+            distance = f"edit distance {self.edit_distance}"
+        verdict = "perturbation" if self.is_perturbation else "not a perturbation"
+        return (
+            f"{self.candidate!r} vs {self.original!r}: {sound}, {spelling}, "
+            f"{distance} -> {verdict}"
+        )
+
+
+class SMSCheck:
+    """Evaluate the SMS property for token pairs.
+
+    Parameters
+    ----------
+    phonetic_level:
+        The ``k`` parameter of the customized Soundex encoding.
+    max_edit_distance:
+        The ``d`` bound on the Levenshtein distance between canonical forms.
+    use_transpositions:
+        If ``True`` the Damerau (optimal-string-alignment) distance is used
+        instead of plain Levenshtein, so a single adjacent transposition
+        ("demorcats") costs one edit.
+    compare_canonical:
+        If ``True`` (default) the edit distance is computed between the
+        *canonicalized* forms (visual folding, separators stripped), which is
+        what makes "dem0cr@ts" one edit-distance-0 perturbation of
+        "democrats"; set to ``False`` to compare raw strings.
+    """
+
+    def __init__(
+        self,
+        phonetic_level: int = DEFAULT_PHONETIC_LEVEL,
+        max_edit_distance: int = DEFAULT_EDIT_DISTANCE,
+        use_transpositions: bool = False,
+        compare_canonical: bool = True,
+    ) -> None:
+        self.phonetic_level = phonetic_level
+        self.max_edit_distance = max_edit_distance
+        self.use_transpositions = use_transpositions
+        self.compare_canonical = compare_canonical
+        self._encoder = CustomSoundex(phonetic_level=phonetic_level)
+
+    @property
+    def encoder(self) -> CustomSoundex:
+        """The Soundex encoder used for the Sound condition."""
+        return self._encoder
+
+    def _distance(self, original: str, candidate: str) -> int | None:
+        if self.compare_canonical:
+            left = self._encoder.canonicalize(original)
+            right = self._encoder.canonicalize(candidate)
+        else:
+            left = original.lower()
+            right = candidate.lower()
+        if self.use_transpositions:
+            distance = damerau_levenshtein_distance(left, right)
+            return distance if distance <= self.max_edit_distance else None
+        return bounded_levenshtein(left, right, self.max_edit_distance)
+
+    def evaluate(self, original: str, candidate: str) -> SMSResult:
+        """Evaluate the SMS property for ``(original, candidate)``."""
+        same_sound = self._encoder.same_sound(original, candidate)
+        different_spelling = original != candidate
+        edit_distance = self._distance(original, candidate)
+        is_perturbation = bool(
+            same_sound and different_spelling and edit_distance is not None
+        )
+        return SMSResult(
+            original=original,
+            candidate=candidate,
+            same_sound=same_sound,
+            different_spelling=different_spelling,
+            edit_distance=edit_distance,
+            is_perturbation=is_perturbation,
+        )
+
+    def is_perturbation(self, original: str, candidate: str) -> bool:
+        """Shortcut returning only the final verdict."""
+        return self.evaluate(original, candidate).is_perturbation
+
+    def filter_perturbations(
+        self, original: str, candidates: list[str] | tuple[str, ...]
+    ) -> list[str]:
+        """Return the candidates that are SMS perturbations of ``original``."""
+        return [
+            candidate
+            for candidate in candidates
+            if self.is_perturbation(original, candidate)
+        ]

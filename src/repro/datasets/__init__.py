@@ -1,0 +1,45 @@
+"""Synthetic corpora that stand in for the paper's crawled social data.
+
+The original CrypText database is curated from public abuse-detection
+corpora (rumours, hate speech, cyberbullying, Wikipedia personal attacks)
+and a continuous Twitter crawl — data this offline reproduction cannot
+redistribute or reach.  This subpackage builds the closest synthetic
+equivalent: seeded generators that produce social-media-style posts about
+the paper's focus topics (politics, vaccine mandates, abusive discourse)
+and then *perturb them with the same human-written strategies the paper
+catalogues* (emphasis capitalization, leet substitution, hyphenation,
+character repetition, phonetic respelling).
+
+Everything downstream — dictionary construction, Look Up, Normalization,
+keyword enrichment, Social Listening, the Figure-4 robustness sweep —
+exercises exactly the code paths a real crawl would; only the byte source
+differs (see DESIGN.md §3).
+"""
+
+from .seeds import (
+    HUMAN_STRATEGIES,
+    HumanPerturbationGenerator,
+    SENTENCE_TEMPLATES,
+    Template,
+)
+from .builders import (
+    SyntheticPost,
+    build_social_corpus,
+    build_classification_dataset,
+    build_perturbation_pairs,
+    build_robustness_dataset,
+    corpus_texts,
+)
+
+__all__ = [
+    "HUMAN_STRATEGIES",
+    "HumanPerturbationGenerator",
+    "SENTENCE_TEMPLATES",
+    "Template",
+    "SyntheticPost",
+    "build_social_corpus",
+    "build_classification_dataset",
+    "build_perturbation_pairs",
+    "build_robustness_dataset",
+    "corpus_texts",
+]

@@ -1,0 +1,365 @@
+"""Seed material for the synthetic corpora.
+
+Two ingredients live here:
+
+* :class:`HumanPerturbationGenerator` — programmatic versions of the
+  perturbation strategies the paper observes humans using in the wild
+  (§II-C).  The generators are used to inject realistic perturbations into
+  the synthetic posts, and independently as labelled ground truth for the
+  ``(k, d)`` ablation benchmark.
+* :data:`SENTENCE_TEMPLATES` — post templates per topic, with sentiment and
+  toxicity annotations, whose slots are filled from the bundled lexicon's
+  thematic word groups.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import DatasetError
+from ..text.charmap import LEET_SUBSTITUTIONS
+
+# --------------------------------------------------------------------------- #
+# human-written perturbation strategies
+# --------------------------------------------------------------------------- #
+
+#: Strategy names implemented by :class:`HumanPerturbationGenerator`.
+HUMAN_STRATEGIES: tuple[str, ...] = (
+    "emphasis",
+    "leet",
+    "separator",
+    "repetition",
+    "phonetic",
+    "deletion",
+    "doubling",
+)
+
+#: Phonetically-similar single-character swaps observed in the wild
+#: ("depression" -> "depresxion", "vaccine" -> "vakcine").
+_PHONETIC_SWAPS: dict[str, tuple[str, ...]] = {
+    "c": ("k", "s"),
+    "k": ("c",),
+    "s": ("x", "z", "c"),
+    "x": ("s",),
+    "z": ("s",),
+    "f": ("ph",),
+    "v": ("f",),
+    "i": ("y",),
+    "y": ("i",),
+    "o": ("u",),
+    "u": ("o",),
+    "e": ("a",),
+    "a": ("e",),
+}
+
+#: Iconic emphasis rewrites observed in the wild, reproduced verbatim.  Note
+#: that "repubLIEcans" also *inserts* a character — exactly the kind of
+#: creative, rule-defying manipulation the paper highlights (§II-C).
+_EMPHASIS_REWRITES: dict[str, str] = {
+    "democrats": "democRATs",
+    "democrat": "democRAT",
+    "republicans": "repubLIEcans",
+    "republican": "repubLIEcan",
+    "politicians": "politiLIARcians",
+}
+
+#: Embedded words humans uppercase for emphasis, per target word; fall back
+#: to uppercasing a random span when no known sub-word exists.
+_EMPHASIS_SPANS: dict[str, str] = {
+    "media": "me",
+    "vaccine": "vax",
+    "government": "men",
+    "mandate": "man",
+}
+
+
+class HumanPerturbationGenerator:
+    """Applies wild-style, human-like perturbations to single words.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness (pass a seeded :class:`random.Random` for
+        reproducible corpora).
+    """
+
+    def __init__(self, rng: random.Random | None = None) -> None:
+        self.rng = rng if rng is not None else random.Random(0)
+
+    # ------------------------------------------------------------------ #
+    def emphasis(self, word: str) -> str:
+        """Uppercase an embedded span ("democrats" -> "democRATs")."""
+        lowered = word.lower()
+        if lowered in _EMPHASIS_REWRITES:
+            return _EMPHASIS_REWRITES[lowered]
+        span = _EMPHASIS_SPANS.get(lowered)
+        if span and span in lowered:
+            start = lowered.index(span)
+            return word[:start] + word[start : start + len(span)].upper() + word[start + len(span):]
+        if len(word) < 4:
+            return word.upper()
+        start = self.rng.randrange(1, max(2, len(word) - 2))
+        length = self.rng.choice((2, 3))
+        return word[:start] + word[start : start + length].upper() + word[start + length:]
+
+    def leet(self, word: str) -> str:
+        """Replace one or two letters with visually similar symbols."""
+        positions = [
+            index for index, char in enumerate(word) if char.lower() in LEET_SUBSTITUTIONS
+        ]
+        if not positions:
+            return word
+        how_many = 1 if len(positions) == 1 else self.rng.choice((1, 2))
+        chosen = self.rng.sample(positions, how_many)
+        characters = list(word)
+        for index in chosen:
+            characters[index] = self.rng.choice(LEET_SUBSTITUTIONS[characters[index].lower()])
+        return "".join(characters)
+
+    def separator(self, word: str) -> str:
+        """Insert a separator inside the word ("muslim" -> "mus-lim")."""
+        if len(word) < 4:
+            return word
+        index = self.rng.randrange(2, len(word) - 1)
+        mark = self.rng.choice(("-", ".", "_"))
+        return word[:index] + mark + word[index:]
+
+    def repetition(self, word: str) -> str:
+        """Stretch one character ("porn" -> "porrrrn")."""
+        if len(word) < 3:
+            return word
+        index = self.rng.randrange(1, len(word) - 1)
+        repeats = self.rng.choice((2, 3, 4))
+        return word[: index + 1] + word[index] * repeats + word[index + 1 :]
+
+    def phonetic(self, word: str) -> str:
+        """Swap one character for a phonetically similar one."""
+        positions = [
+            index for index, char in enumerate(word) if char.lower() in _PHONETIC_SWAPS
+        ]
+        if not positions:
+            return word
+        index = self.rng.choice(positions[1:] if len(positions) > 1 else positions)
+        replacement = self.rng.choice(_PHONETIC_SWAPS[word[index].lower()])
+        if word[index].isupper():
+            replacement = replacement.upper()
+        return word[:index] + replacement + word[index + 1 :]
+
+    def deletion(self, word: str) -> str:
+        """Drop one inner character ("democrats" -> "demcrats")."""
+        if len(word) < 4:
+            return word
+        index = self.rng.randrange(1, len(word) - 1)
+        return word[:index] + word[index + 1 :]
+
+    def doubling(self, word: str) -> str:
+        """Double one inner character ("dirty" -> "dirrty")."""
+        if len(word) < 3:
+            return word
+        index = self.rng.randrange(1, len(word) - 1)
+        return word[: index + 1] + word[index] + word[index + 1 :]
+
+    # ------------------------------------------------------------------ #
+    def apply(self, word: str, strategy: str | None = None) -> tuple[str, str]:
+        """Perturb ``word``; returns ``(perturbed, strategy_used)``.
+
+        When ``strategy`` is omitted one is drawn at random.  If the drawn
+        strategy leaves the word unchanged (e.g. no leet-able characters),
+        the other strategies are tried in random order so the caller always
+        receives a genuine perturbation for words of length >= 3.
+        """
+        if strategy is not None and strategy not in HUMAN_STRATEGIES:
+            raise DatasetError(f"unknown perturbation strategy: {strategy!r}")
+        order = [strategy] if strategy is not None else []
+        remaining = [name for name in HUMAN_STRATEGIES if name not in order]
+        self.rng.shuffle(remaining)
+        order.extend(remaining)
+        for name in order:
+            perturbed = getattr(self, name)(word)
+            if perturbed != word:
+                return perturbed, name
+        return word, "none"
+
+
+# --------------------------------------------------------------------------- #
+# sentence templates
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Template:
+    """A post template.
+
+    ``text`` may contain ``{politics}``, ``{health}``, ``{abuse}``,
+    ``{identity}``, ``{common}`` slots — each is filled with a random word
+    from the corresponding lexicon group — plus the fixed ``{keyword}`` slot
+    filled with the template's focus keyword.
+    """
+
+    text: str
+    topic: str
+    sentiment: str
+    toxic: bool
+    keywords: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.sentiment not in ("negative", "neutral", "positive"):
+            raise DatasetError(f"invalid sentiment label: {self.sentiment!r}")
+
+
+#: Post templates.  The register intentionally mirrors the paper's scenarios:
+#: political discourse, vaccine-mandate debate, abusive content, plus neutral
+#: technology/product chatter so topic categorization has contrast.
+SENTENCE_TEMPLATES: tuple[Template, ...] = (
+    # ---- politics, negative -------------------------------------------------
+    Template(
+        "the {keyword} are responsible for this mess and everyone knows they lie",
+        "politics", "negative", False, ("democrats", "republicans", "politicians"),
+    ),
+    Template(
+        "i hate how the {keyword} keep pushing their corrupt agenda on us",
+        "politics", "negative", False, ("democrats", "republicans"),
+    ),
+    Template(
+        "the {keyword} rigged the election and the media covers it up",
+        "politics", "negative", False, ("democrats", "republicans"),
+    ),
+    Template(
+        "these {keyword} are liars and traitors who destroy this country",
+        "politics", "negative", True, ("democrats", "republicans", "politicians"),
+    ),
+    Template(
+        "wake up people the {keyword} want total control over your life",
+        "politics", "negative", False, ("democrats", "republicans"),
+    ),
+    Template(
+        "the {keyword} attempted a race war and nobody talks about it",
+        "politics", "negative", False, ("democrats", "republicans"),
+    ),
+    Template(
+        "another fake scandal pushed by the {keyword} and their corrupt friends",
+        "politics", "negative", False, ("democrats", "republicans"),
+    ),
+    # ---- politics, positive / neutral --------------------------------------
+    Template(
+        "proud of the {keyword} for passing the new bill today",
+        "politics", "positive", False, ("democrats", "republicans"),
+    ),
+    Template(
+        "great speech tonight the {keyword} finally support working families",
+        "politics", "positive", False, ("democrats", "republicans"),
+    ),
+    Template(
+        "the {keyword} announced their new policy platform this morning",
+        "politics", "neutral", False, ("democrats", "republicans"),
+    ),
+    Template(
+        "the {keyword} will debate the budget in congress next week",
+        "politics", "neutral", False, ("democrats", "republicans"),
+    ),
+    # ---- health / vaccine ----------------------------------------------------
+    Template(
+        "the {keyword} mandate is government overreach and i refuse to comply",
+        "health", "negative", False, ("vaccine", "mask", "booster"),
+    ),
+    Template(
+        "they hide the adverse reactions because the {keyword} is a big pharma scam",
+        "health", "negative", False, ("vaccine", "booster"),
+    ),
+    Template(
+        "stop forcing the {keyword} on our children it is dangerous and untested",
+        "health", "negative", False, ("vaccine", "booster"),
+    ),
+    Template(
+        "my friend got sick after the {keyword} and doctors refuse to listen",
+        "health", "negative", False, ("vaccine", "booster", "shot"),
+    ),
+    Template(
+        "the {keyword} saved my family and i am grateful to every nurse out there",
+        "health", "positive", False, ("vaccine", "booster"),
+    ),
+    Template(
+        "got my {keyword} today quick and easy thank you to the clinic staff",
+        "health", "positive", False, ("vaccine", "booster", "shot"),
+    ),
+    Template(
+        "the county opens a new {keyword} clinic downtown on monday",
+        "health", "neutral", False, ("vaccine", "booster"),
+    ),
+    Template(
+        "struggling with {keyword} lately and it feels like nobody cares",
+        "health", "negative", False, ("depression", "anxiety"),
+    ),
+    Template(
+        "if you are thinking about {keyword} please reach out to the hotline",
+        "health", "negative", False, ("suicide", "selfharm"),
+    ),
+    # ---- abusive / toxic -----------------------------------------------------
+    Template(
+        "you are a worthless {abuse} and everyone at school hates you",
+        "abuse", "negative", True, (),
+    ),
+    Template(
+        "shut up you pathetic {abuse} nobody wants you here",
+        "abuse", "negative", True, (),
+    ),
+    Template(
+        "these {identity} people are {abuse} and should get out of our country",
+        "abuse", "negative", True, (),
+    ),
+    Template(
+        "all {identity} are criminals and liars simple as that",
+        "abuse", "negative", True, (),
+    ),
+    Template(
+        "go back to where you came from you dirty {abuse}",
+        "abuse", "negative", True, (),
+    ),
+    Template(
+        "the {identity} community deserves respect and support from all of us",
+        "abuse", "positive", False, (),
+    ),
+    Template(
+        "report and block accounts that harass {identity} users please stay safe",
+        "abuse", "neutral", False, (),
+    ),
+    # ---- technology / products (neutral contrast for categorization) --------
+    Template(
+        "the new {keyword} delivery arrived early and the packaging was perfect",
+        "technology", "positive", False, ("amazon", "apple", "google"),
+    ),
+    Template(
+        "my {keyword} order is three weeks late and support keeps lying to me",
+        "technology", "negative", False, ("amazon", "apple"),
+    ),
+    Template(
+        "{keyword} announced a new data center in the region this quarter",
+        "technology", "neutral", False, ("amazon", "google", "microsoft"),
+    ),
+    Template(
+        "the {keyword} algorithm keeps recommending the same viral posts",
+        "technology", "neutral", False, ("youtube", "tiktok", "twitter", "reddit"),
+    ),
+    Template(
+        "love the new update the {keyword} app finally works offline",
+        "technology", "positive", False, ("reddit", "twitter", "youtube"),
+    ),
+    Template(
+        "the {keyword} outage broke half the internet again today",
+        "technology", "negative", False, ("amazon", "google", "facebook"),
+    ),
+)
+
+
+def templates_for_topic(topic: str) -> tuple[Template, ...]:
+    """All templates of one topic."""
+    selected = tuple(template for template in SENTENCE_TEMPLATES if template.topic == topic)
+    if not selected:
+        raise DatasetError(f"no templates for topic {topic!r}")
+    return selected
+
+
+def available_topics() -> tuple[str, ...]:
+    """Topics covered by the bundled templates."""
+    return tuple(sorted({template.topic for template in SENTENCE_TEMPLATES}))

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the CrypText reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`CrypTextError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems, storage problems,
+API-layer problems, and data problems.
+"""
+
+from __future__ import annotations
+
+
+class CrypTextError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ConfigurationError(CrypTextError):
+    """Raised when a configuration value is out of its legal range."""
+
+
+class TokenizationError(CrypTextError):
+    """Raised when an input text cannot be tokenized."""
+
+
+class EncodingError(CrypTextError):
+    """Raised when a token cannot be phonetically encoded."""
+
+
+class DictionaryError(CrypTextError):
+    """Raised on invalid operations against the perturbation dictionary."""
+
+
+class StorageError(CrypTextError):
+    """Base class for document-store and cache failures."""
+
+
+class DuplicateKeyError(StorageError):
+    """Raised when inserting a document whose ``_id`` already exists."""
+
+
+class DocumentNotFoundError(StorageError):
+    """Raised when a requested document id does not exist."""
+
+
+class QueryError(StorageError):
+    """Raised when a filter/query document is malformed."""
+
+
+class PersistenceError(StorageError):
+    """Raised when loading or saving a collection to disk fails."""
+
+
+class CacheError(StorageError):
+    """Raised on invalid cache configuration or usage."""
+
+
+class LanguageModelError(CrypTextError):
+    """Raised when the language model is asked to score before training."""
+
+
+class ClassifierError(CrypTextError):
+    """Raised when a classifier is used before it has been fitted."""
+
+
+class PlatformError(CrypTextError):
+    """Raised on invalid operations against the simulated social platform."""
+
+
+class CrawlerError(CrypTextError):
+    """Raised when the stream crawler is misconfigured."""
+
+
+class AuthenticationError(CrypTextError):
+    """Raised when an API request carries a missing or invalid token."""
+
+
+class AuthorizationError(CrypTextError):
+    """Raised when an authenticated principal lacks the required scope."""
+
+
+class RateLimitExceededError(CrypTextError):
+    """Raised when a client exceeds its API rate limit."""
+
+
+class ServiceError(CrypTextError):
+    """Raised for malformed requests against the in-process service layer."""
+
+
+class DatasetError(CrypTextError):
+    """Raised when a synthetic dataset builder receives invalid parameters."""
+
+
+class VisualizationError(CrypTextError):
+    """Raised when a visualization export receives inconsistent data."""

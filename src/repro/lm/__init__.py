@@ -1,0 +1,28 @@
+"""Language-model substrate.
+
+The Normalization function ranks candidate corrections by a *coherency
+score*: "how likely w* appears in the immediate context of x_i", computed in
+the paper with a large pre-trained masked language model (BERT).  Offline and
+from scratch, this subpackage provides the equivalent ranking signal:
+
+* :class:`repro.lm.Vocabulary` — token/id mapping with an unknown token;
+* :class:`repro.lm.NgramLanguageModel` — an interpolated n-gram model with
+  Lidstone smoothing, trainable on any corpus of sentences;
+* :class:`repro.lm.CoherencyScorer` — the masked-position scoring API used by
+  the normalizer: a forward and a backward n-gram model are combined so both
+  left and right context contribute, mirroring a masked LM's bidirectional
+  conditioning.
+"""
+
+from .vocab import Vocabulary, UNK_TOKEN, SENTENCE_START, SENTENCE_END
+from .ngram import NgramLanguageModel
+from .coherency import CoherencyScorer
+
+__all__ = [
+    "Vocabulary",
+    "UNK_TOKEN",
+    "SENTENCE_START",
+    "SENTENCE_END",
+    "NgramLanguageModel",
+    "CoherencyScorer",
+]

@@ -1,0 +1,103 @@
+"""Coherency scoring for Normalization candidates.
+
+Paper §III-C: when several English words could explain a perturbed token,
+CrypText "utilize[s] a large pre-trained masked language model G to calculate
+a coherency score ... how likely w* appears in the immediate context of
+x_i".  This module reproduces that ranking signal without a pre-trained
+transformer: a forward n-gram model and a backward n-gram model (trained on
+the reversed corpus) are combined so that both the left and the right context
+of the masked position contribute, which is the essential property of masked
+LM scoring that the normalizer relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import LanguageModelError
+from .ngram import NgramLanguageModel
+
+
+class CoherencyScorer:
+    """Masked-position coherency scorer backed by two n-gram models.
+
+    Parameters
+    ----------
+    order:
+        N-gram order of both directional models.
+    alpha:
+        Lidstone smoothing constant.
+    backward_weight:
+        Weight of the backward (right-context) model in the combined score;
+        the forward model receives ``1 - backward_weight``.
+    """
+
+    def __init__(
+        self,
+        order: int = 3,
+        alpha: float = 0.1,
+        backward_weight: float = 0.5,
+    ) -> None:
+        if not 0.0 <= backward_weight <= 1.0:
+            raise LanguageModelError(
+                f"backward_weight must lie in [0, 1], got {backward_weight}"
+            )
+        self.backward_weight = backward_weight
+        self.forward_model = NgramLanguageModel(order=order, alpha=alpha)
+        self.backward_model = NgramLanguageModel(order=order, alpha=alpha)
+        self._trained = False
+
+    def fit(self, sentences: Iterable[Sequence[str]]) -> "CoherencyScorer":
+        """Train both directional models on tokenized sentences."""
+        corpus = [list(sentence) for sentence in sentences]
+        self.forward_model.fit(corpus)
+        self.backward_model.fit([list(reversed(sentence)) for sentence in corpus])
+        self._trained = True
+        return self
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._trained
+
+    def _require_trained(self) -> None:
+        if not self._trained:
+            raise LanguageModelError("the coherency scorer has not been trained yet")
+
+    def score(
+        self,
+        candidate: str,
+        left_context: Sequence[str],
+        right_context: Sequence[str] = (),
+    ) -> float:
+        """Coherency (log-likelihood) of ``candidate`` at a masked position.
+
+        Higher is more coherent.  The forward model conditions on
+        ``left_context`` (closest word last); the backward model conditions on
+        ``right_context`` (closest word first, internally reversed).
+        """
+        self._require_trained()
+        forward = self.forward_model.log_probability(candidate, left_context)
+        backward = self.backward_model.log_probability(
+            candidate, list(reversed(list(right_context)))
+        )
+        return (1.0 - self.backward_weight) * forward + self.backward_weight * backward
+
+    def rank_candidates(
+        self,
+        candidates: Sequence[str],
+        left_context: Sequence[str],
+        right_context: Sequence[str] = (),
+    ) -> list[tuple[str, float]]:
+        """Score every candidate and return ``(candidate, score)`` best first."""
+        scored = [
+            (candidate, self.score(candidate, left_context, right_context))
+            for candidate in candidates
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored
+
+    def sentence_log_probability(self, tokens: Sequence[str]) -> float:
+        """Forward-model log probability of a full sentence (for diagnostics)."""
+        self._require_trained()
+        return self.forward_model.sentence_log_probability(tokens)

@@ -1,0 +1,94 @@
+"""Vocabulary: token/id mapping with special symbols."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+from ..errors import LanguageModelError
+
+#: Symbol substituted for tokens never seen at training time.
+UNK_TOKEN = "<unk>"
+#: Sentence boundary padding symbols.
+SENTENCE_START = "<s>"
+SENTENCE_END = "</s>"
+
+SPECIAL_TOKENS: tuple[str, ...] = (UNK_TOKEN, SENTENCE_START, SENTENCE_END)
+
+
+class Vocabulary:
+    """Bidirectional token/id mapping built from a corpus.
+
+    Parameters
+    ----------
+    min_count:
+        Tokens occurring fewer than this many times are mapped to
+        :data:`UNK_TOKEN` (keeps the model size bounded on noisy corpora).
+    lowercase:
+        Fold tokens to lowercase before counting — the language model scores
+        *meaning-level* coherency, so case variants share statistics.
+    """
+
+    def __init__(self, min_count: int = 1, lowercase: bool = True) -> None:
+        if min_count < 1:
+            raise LanguageModelError(f"min_count must be >= 1, got {min_count}")
+        self.min_count = min_count
+        self.lowercase = lowercase
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        self._counts: Counter[str] = Counter()
+        for token in SPECIAL_TOKENS:
+            self._add(token)
+
+    def _add(self, token: str) -> int:
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+        return self._token_to_id[token]
+
+    def _normalize(self, token: str) -> str:
+        return token.lower() if self.lowercase and token not in SPECIAL_TOKENS else token
+
+    # ------------------------------------------------------------------ #
+    def fit(self, sentences: Iterable[Iterable[str]]) -> "Vocabulary":
+        """Count tokens across ``sentences`` and build the id mapping."""
+        for sentence in sentences:
+            for token in sentence:
+                self._counts[self._normalize(token)] += 1
+        for token, count in sorted(self._counts.items()):
+            if count >= self.min_count:
+                self._add(token)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: object) -> bool:
+        return isinstance(token, str) and self._normalize(token) in self._token_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_token)
+
+    def id_of(self, token: str) -> int:
+        """Id of ``token`` (the UNK id when out of vocabulary)."""
+        return self._token_to_id.get(self._normalize(token), self._token_to_id[UNK_TOKEN])
+
+    def token_of(self, token_id: int) -> str:
+        """Token string for ``token_id``."""
+        try:
+            return self._id_to_token[token_id]
+        except IndexError as exc:
+            raise LanguageModelError(f"unknown token id {token_id}") from exc
+
+    def encode(self, tokens: Iterable[str]) -> list[int]:
+        """Map a token sequence to ids (OOV tokens become UNK)."""
+        return [self.id_of(token) for token in tokens]
+
+    def count_of(self, token: str) -> int:
+        """Training-corpus count of ``token`` (0 if unseen)."""
+        return self._counts.get(self._normalize(token), 0)
+
+    @property
+    def tokens(self) -> tuple[str, ...]:
+        """Every token in id order (specials first)."""
+        return tuple(self._id_to_token)

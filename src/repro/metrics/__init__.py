@@ -1,0 +1,17 @@
+"""Evaluation metrics used by the robustness benchmarks."""
+
+from .classification import (
+    ConfusionMatrix,
+    accuracy,
+    precision_recall_f1,
+    macro_f1,
+    classification_report,
+)
+
+__all__ = [
+    "ConfusionMatrix",
+    "accuracy",
+    "precision_recall_f1",
+    "macro_f1",
+    "classification_report",
+]

@@ -1,0 +1,135 @@
+"""Classification metrics.
+
+Figure 4 of the paper reports the *accuracy* of third-party NLP APIs on
+inputs perturbed at increasing ratios; the benchmark page additionally needs
+per-class precision/recall/F1.  These helpers are dependency-free and work on
+plain label sequences.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from ..errors import CrypTextError
+
+Label = Hashable
+
+
+def _check_lengths(y_true: Sequence[Label], y_pred: Sequence[Label]) -> None:
+    if len(y_true) != len(y_pred):
+        raise CrypTextError(
+            f"label sequences differ in length: {len(y_true)} vs {len(y_pred)}"
+        )
+    if not y_true:
+        raise CrypTextError("cannot compute metrics on empty label sequences")
+
+
+def accuracy(y_true: Sequence[Label], y_pred: Sequence[Label]) -> float:
+    """Fraction of predictions equal to the reference labels."""
+    _check_lengths(y_true, y_pred)
+    correct = sum(1 for truth, prediction in zip(y_true, y_pred) if truth == prediction)
+    return correct / len(y_true)
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Confusion counts for a multi-class problem."""
+
+    labels: tuple[Label, ...]
+    counts: Mapping[tuple[Label, Label], int]
+
+    @classmethod
+    def from_labels(
+        cls, y_true: Sequence[Label], y_pred: Sequence[Label]
+    ) -> "ConfusionMatrix":
+        """Build the matrix from reference and predicted label sequences."""
+        _check_lengths(y_true, y_pred)
+        labels = tuple(sorted(set(y_true) | set(y_pred), key=str))
+        counts: Counter[tuple[Label, Label]] = Counter()
+        for truth, prediction in zip(y_true, y_pred):
+            counts[(truth, prediction)] += 1
+        return cls(labels=labels, counts=dict(counts))
+
+    def count(self, true_label: Label, predicted_label: Label) -> int:
+        """Number of samples with the given (true, predicted) pair."""
+        return self.counts.get((true_label, predicted_label), 0)
+
+    def support(self, label: Label) -> int:
+        """Number of reference samples of ``label``."""
+        return sum(
+            count for (truth, _prediction), count in self.counts.items() if truth == label
+        )
+
+    def predicted(self, label: Label) -> int:
+        """Number of samples predicted as ``label``."""
+        return sum(
+            count
+            for (_truth, prediction), count in self.counts.items()
+            if prediction == label
+        )
+
+    def as_table(self) -> list[list[int]]:
+        """Dense row-major matrix ordered by :attr:`labels`."""
+        return [
+            [self.count(true_label, predicted_label) for predicted_label in self.labels]
+            for true_label in self.labels
+        ]
+
+
+def precision_recall_f1(
+    y_true: Sequence[Label], y_pred: Sequence[Label], positive_label: Label
+) -> tuple[float, float, float]:
+    """Precision, recall and F1 of ``positive_label``.
+
+    Degenerate cases (no predicted positives / no reference positives) yield
+    zeros rather than raising, matching common evaluation-toolkit behaviour.
+    """
+    _check_lengths(y_true, y_pred)
+    true_positive = sum(
+        1
+        for truth, prediction in zip(y_true, y_pred)
+        if truth == positive_label and prediction == positive_label
+    )
+    predicted_positive = sum(1 for prediction in y_pred if prediction == positive_label)
+    actual_positive = sum(1 for truth in y_true if truth == positive_label)
+    precision = true_positive / predicted_positive if predicted_positive else 0.0
+    recall = true_positive / actual_positive if actual_positive else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if (precision + recall) > 0
+        else 0.0
+    )
+    return precision, recall, f1
+
+
+def macro_f1(y_true: Sequence[Label], y_pred: Sequence[Label]) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    _check_lengths(y_true, y_pred)
+    labels = sorted(set(y_true), key=str)
+    scores = [precision_recall_f1(y_true, y_pred, label)[2] for label in labels]
+    return sum(scores) / len(scores)
+
+
+def classification_report(
+    y_true: Sequence[Label], y_pred: Sequence[Label]
+) -> dict[str, object]:
+    """Accuracy, macro F1 and per-class precision/recall/F1/support."""
+    _check_lengths(y_true, y_pred)
+    labels = sorted(set(y_true) | set(y_pred), key=str)
+    matrix = ConfusionMatrix.from_labels(y_true, y_pred)
+    per_class: dict[str, dict[str, float | int]] = {}
+    for label in labels:
+        precision, recall, f1 = precision_recall_f1(y_true, y_pred, label)
+        per_class[str(label)] = {
+            "precision": precision,
+            "recall": recall,
+            "f1": f1,
+            "support": matrix.support(label),
+        }
+    return {
+        "accuracy": accuracy(y_true, y_pred),
+        "macro_f1": macro_f1(y_true, y_pred),
+        "per_class": per_class,
+    }

@@ -1,0 +1,24 @@
+"""Lexicon-and-rule sentiment analysis.
+
+The paper's Look Up use case (§III-B) and the Social Listening function
+(§III-E) both report the *sentiment* of matched posts ("only 67% of the
+tweets found ... using keyword 'democrats' has negative sentiment, while that
+number is much higher of 87% if a search query also includes the
+perturbations").  This subpackage provides the sentiment signal those
+analyses need: a from-scratch lexicon + rule analyzer in the VADER style
+(polarity lexicon, negation flipping, intensity boosters, punctuation and
+all-caps emphasis), returning a compound score in ``[-1, 1]`` and a
+negative / neutral / positive label.
+"""
+
+from .lexicon import POLARITY_LEXICON, NEGATIONS, INTENSIFIERS, DIMINISHERS
+from .analyzer import SentimentAnalyzer, SentimentResult
+
+__all__ = [
+    "POLARITY_LEXICON",
+    "NEGATIONS",
+    "INTENSIFIERS",
+    "DIMINISHERS",
+    "SentimentAnalyzer",
+    "SentimentResult",
+]

@@ -1,0 +1,169 @@
+"""Rule-based sentiment analyzer (VADER-style, from scratch).
+
+Used by three parts of the reproduction:
+
+* the **keyword enrichment** use case (§III-B): share of negative posts among
+  search results, with and without perturbation-enriched queries;
+* **Social Listening** (§III-E): per-day sentiment timelines of perturbation
+  usage;
+* the **simulated sentiment API** of Figure 4 compares against this analyzer
+  when reporting robustness to perturbed inputs.
+
+The analyzer is deliberately dictionary-driven: perturbed tokens
+("demokRATs", "vacc1ne") are out of its lexicon, so — exactly like the
+commercial APIs the paper evaluates — its accuracy degrades on perturbed
+text unless the input is normalized first.  The ``normalizer`` hook makes
+that comparison a one-liner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..text.tokenizer import Tokenizer
+from .lexicon import DIMINISHERS, INTENSIFIERS, NEGATIONS, POLARITY_LEXICON
+
+#: Labels produced by :meth:`SentimentAnalyzer.label`.
+SENTIMENT_LABELS: tuple[str, ...] = ("negative", "neutral", "positive")
+
+
+@dataclass(frozen=True)
+class SentimentResult:
+    """Sentiment of one text."""
+
+    text: str
+    compound: float
+    label: str
+    positive_hits: int
+    negative_hits: int
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize for the API layer and timeline exports."""
+        return {
+            "text": self.text,
+            "compound": self.compound,
+            "label": self.label,
+            "positive_hits": self.positive_hits,
+            "negative_hits": self.negative_hits,
+        }
+
+
+class SentimentAnalyzer:
+    """Lexicon + rule sentiment scorer.
+
+    Parameters
+    ----------
+    lexicon:
+        Word -> polarity mapping on a [-4, 4] scale; defaults to the bundled
+        lexicon.
+    positive_threshold / negative_threshold:
+        Compound-score cut-offs for the three-way label.
+    normalizer:
+        Optional callable applied to the text before scoring (typically
+        ``CrypText.normalize(...).normalized_text`` bound via a lambda);
+        demonstrates the paper's "de-noising inputs of textual ML models"
+        use case.
+    """
+
+    def __init__(
+        self,
+        lexicon: dict[str, float] | None = None,
+        positive_threshold: float = 0.05,
+        negative_threshold: float = -0.05,
+        normalizer: Callable[[str], str] | None = None,
+    ) -> None:
+        self.lexicon = dict(POLARITY_LEXICON if lexicon is None else lexicon)
+        self.positive_threshold = positive_threshold
+        self.negative_threshold = negative_threshold
+        self.normalizer = normalizer
+        self._tokenizer = Tokenizer(lowercase=False)
+
+    # ------------------------------------------------------------------ #
+    def _token_valence(self, tokens: Sequence[str], position: int) -> float:
+        token = tokens[position]
+        lowered = token.lower()
+        valence = self.lexicon.get(lowered, 0.0)
+        if valence == 0.0:
+            return 0.0
+        # ALL-CAPS emphasis strengthens the expressed sentiment.
+        if token.isupper() and len(token) > 2:
+            valence *= 1.25
+        # Look back up to three tokens for negations / intensity modifiers.
+        scale = 1.0
+        negated = False
+        for offset in range(1, 4):
+            index = position - offset
+            if index < 0:
+                break
+            previous = tokens[index].lower()
+            if previous in NEGATIONS:
+                negated = not negated
+            elif previous in INTENSIFIERS:
+                scale += INTENSIFIERS[previous] * (1.0 - 0.15 * (offset - 1))
+            elif previous in DIMINISHERS and DIMINISHERS[previous] > 0:
+                scale -= DIMINISHERS[previous] * (1.0 - 0.15 * (offset - 1))
+        valence *= max(scale, 0.1)
+        if negated:
+            valence *= -0.74
+        return valence
+
+    def _punctuation_emphasis(self, text: str) -> float:
+        exclamations = min(text.count("!"), 4)
+        return 1.0 + 0.05 * exclamations
+
+    def polarity(self, text: str) -> SentimentResult:
+        """Score ``text`` and return a :class:`SentimentResult`."""
+        source = text
+        if self.normalizer is not None:
+            source = self.normalizer(text)
+        tokens = [token.text for token in self._tokenizer.tokenize(source)]
+        valences = [self._token_valence(tokens, position) for position in range(len(tokens))]
+        positive_hits = sum(1 for valence in valences if valence > 0)
+        negative_hits = sum(1 for valence in valences if valence < 0)
+        total = sum(valences) * self._punctuation_emphasis(source)
+        # VADER-style normalization squashes the sum into [-1, 1].
+        compound = total / math.sqrt(total * total + 15.0) if total else 0.0
+        label = self._label_for(compound)
+        return SentimentResult(
+            text=text,
+            compound=round(compound, 4),
+            label=label,
+            positive_hits=positive_hits,
+            negative_hits=negative_hits,
+        )
+
+    def _label_for(self, compound: float) -> str:
+        if compound >= self.positive_threshold:
+            return "positive"
+        if compound <= self.negative_threshold:
+            return "negative"
+        return "neutral"
+
+    def label(self, text: str) -> str:
+        """Three-way label of ``text``."""
+        return self.polarity(text).label
+
+    def compound(self, text: str) -> float:
+        """Compound score of ``text`` in ``[-1, 1]``."""
+        return self.polarity(text).compound
+
+    def is_negative(self, text: str) -> bool:
+        """Whether ``text`` is labelled negative."""
+        return self.label(text) == "negative"
+
+    # ------------------------------------------------------------------ #
+    def negative_share(self, texts: Sequence[str]) -> float:
+        """Fraction of ``texts`` labelled negative (0 for an empty input).
+
+        This is the statistic reported by the paper's keyword-enrichment use
+        case ("67% of the tweets ... has negative sentiment").
+        """
+        if not texts:
+            return 0.0
+        return sum(1 for text in texts if self.is_negative(text)) / len(texts)
+
+    def score_many(self, texts: Sequence[str]) -> list[SentimentResult]:
+        """Score every text (bulk endpoint)."""
+        return [self.polarity(text) for text in texts]

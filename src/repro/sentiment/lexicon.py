@@ -1,0 +1,129 @@
+"""Polarity lexicon and modifier inventories for the sentiment analyzer.
+
+Scores are on a ``[-4, 4]`` scale (VADER convention): strongly negative words
+near -3/-4, strongly positive near +3/+4.  The lexicon deliberately covers
+the registers the reproduction works with — political discourse, public
+health debate, abusive language — because those drive the paper's
+keyword-enrichment and social-listening analyses.
+"""
+
+from __future__ import annotations
+
+#: Word -> polarity score on a [-4, 4] scale.
+POLARITY_LEXICON: dict[str, float] = {
+    # strongly positive
+    "love": 3.2, "loved": 3.0, "loves": 3.0, "great": 3.1, "excellent": 3.4,
+    "amazing": 3.3, "awesome": 3.2, "wonderful": 3.2, "fantastic": 3.3,
+    "brilliant": 3.0, "best": 3.2, "perfect": 3.1, "beautiful": 2.9,
+    "happy": 2.7, "happiness": 2.7, "joy": 2.8, "win": 2.4, "winner": 2.4,
+    "winning": 2.4, "success": 2.6, "successful": 2.6, "effective": 2.2,
+    "safe": 2.0, "safety": 1.8, "protect": 2.0, "protected": 2.0,
+    "protection": 2.0, "support": 1.8, "supports": 1.8, "supported": 1.8,
+    "good": 1.9, "nice": 1.8, "better": 1.6, "improved": 1.8, "improve": 1.6,
+    "strong": 1.5, "stronger": 1.5, "hope": 1.9, "hopeful": 2.0,
+    "thank": 2.0, "thanks": 2.0, "grateful": 2.4, "proud": 2.2,
+    "freedom": 1.6, "liberty": 1.5, "right": 1.0, "rights": 1.0,
+    "true": 1.3, "truth": 1.3, "honest": 2.0, "fair": 1.7, "justice": 1.7,
+    "smart": 1.9, "brave": 2.2, "hero": 2.6, "heroes": 2.6, "care": 1.5,
+    "caring": 1.8, "help": 1.7, "helps": 1.7, "helpful": 2.0, "works": 1.3,
+    "worked": 1.3, "trust": 1.8, "trusted": 1.8, "recovery": 1.6,
+    "recovered": 1.6, "healthy": 2.0, "cure": 1.8, "celebrate": 2.4,
+    "victory": 2.5, "progress": 1.8, "peace": 2.4, "peaceful": 2.3,
+    "respect": 1.9, "welcome": 1.7, "agree": 1.3, "agreed": 1.3,
+    # mildly positive
+    "ok": 0.8, "okay": 0.8, "fine": 0.9, "interesting": 1.1, "cool": 1.4,
+    "like": 1.2, "likes": 1.2, "liked": 1.2, "glad": 1.9, "useful": 1.5,
+    # strongly negative
+    "hate": -3.2, "hates": -3.2, "hated": -3.0, "hateful": -3.1,
+    "terrible": -3.0, "horrible": -3.1, "awful": -2.9, "disgusting": -3.2,
+    "worst": -3.3, "evil": -3.4, "vile": -3.2, "despicable": -3.3,
+    "pathetic": -2.8, "worthless": -3.0, "garbage": -2.6, "trash": -2.6,
+    "scum": -3.3, "filth": -3.0, "vermin": -3.2, "stupid": -2.6,
+    "idiot": -2.8, "idiots": -2.8, "moron": -2.9, "morons": -2.9,
+    "dumb": -2.4, "crazy": -1.8, "insane": -2.0, "liar": -2.8, "liars": -2.8,
+    "lie": -2.3, "lies": -2.3, "lying": -2.5, "fraud": -2.8, "corrupt": -2.9,
+    "corruption": -2.8, "scam": -2.8, "hoax": -2.5, "fake": -2.2,
+    "criminal": -2.6, "criminals": -2.6, "crime": -2.3, "dangerous": -2.4,
+    "danger": -2.3, "deadly": -2.8, "kill": -3.2, "kills": -3.2,
+    "killed": -3.0, "killing": -3.1, "murder": -3.5, "murderer": -3.5,
+    "die": -2.8, "died": -2.7, "dead": -2.6, "death": -2.7, "deaths": -2.7,
+    "destroy": -2.7, "destroyed": -2.7, "destroying": -2.7, "ruin": -2.5,
+    "ruined": -2.5, "war": -2.4, "violence": -2.8, "violent": -2.7,
+    "attack": -2.3, "attacks": -2.3, "attacked": -2.3, "threat": -2.3,
+    "threats": -2.3, "terror": -3.0, "terrorist": -3.2, "terrorists": -3.2,
+    "terrorism": -3.1, "racist": -3.0, "racists": -3.0, "racism": -2.9,
+    "bigot": -2.9, "bigots": -2.9, "bigotry": -2.8, "nazi": -3.3,
+    "nazis": -3.3, "sexist": -2.8, "misogynist": -2.9, "abuse": -2.8,
+    "abusive": -2.8, "harass": -2.7, "harassment": -2.7, "bully": -2.6,
+    "bullying": -2.7, "troll": -1.9, "trolls": -1.9, "toxic": -2.5,
+    "poison": -2.6, "poisoning": -2.6, "sick": -1.8, "sickening": -2.7,
+    "disease": -2.0, "infection": -1.9, "infected": -1.9, "suffering": -2.4,
+    "suffer": -2.3, "pain": -2.1, "painful": -2.2, "hurt": -2.0,
+    "hurts": -2.0, "damage": -2.0, "damaged": -2.0, "harm": -2.2,
+    "harmful": -2.4, "adverse": -1.8, "risk": -1.5, "risky": -1.7,
+    "unsafe": -2.2, "fear": -2.0, "afraid": -1.9, "scared": -2.0,
+    "scary": -2.0, "panic": -2.1, "crisis": -2.2, "disaster": -2.7,
+    "catastrophe": -2.9, "collapse": -2.2, "fail": -2.1, "failed": -2.2,
+    "failure": -2.3, "failing": -2.1, "loser": -2.4, "losers": -2.4,
+    "lose": -1.8, "lost": -1.6, "losing": -1.8, "wrong": -1.7,
+    "bad": -1.9, "worse": -2.2, "sad": -1.8, "angry": -2.1, "anger": -2.1,
+    "furious": -2.6, "outrage": -2.4, "outrageous": -2.3, "disgrace": -2.6,
+    "disgraceful": -2.6, "shame": -2.2, "shameful": -2.4, "ashamed": -2.1,
+    "embarrassing": -1.9, "ridiculous": -1.9, "absurd": -1.8,
+    "nonsense": -1.8, "useless": -2.2, "broken": -1.7, "mess": -1.6,
+    "problem": -1.4, "problems": -1.4, "issue": -0.8, "issues": -0.8,
+    "blame": -1.7, "blamed": -1.7, "guilty": -1.9, "cheat": -2.3,
+    "cheated": -2.3, "steal": -2.4, "stole": -2.4, "stolen": -2.4,
+    "rigged": -2.5, "censorship": -2.0, "censored": -1.9, "banned": -1.7,
+    "ban": -1.4, "mandate": -0.9, "mandates": -0.9, "forced": -1.8,
+    "force": -1.2, "coercion": -2.2, "tyranny": -2.8, "tyrant": -2.8,
+    "dictator": -2.7, "sheep": -1.6, "sheeple": -2.0, "propaganda": -2.2,
+    "disinformation": -2.2, "misinformation": -2.1, "conspiracy": -1.9,
+    "cover": -0.3, "coverup": -2.2, "swamp": -1.7, "disgust": -2.8,
+    "depression": -2.3, "depressed": -2.4, "anxiety": -2.0, "suicide": -3.0,
+    "suicidal": -3.0, "overdose": -2.6, "addiction": -2.2, "cancer": -2.4,
+    "whore": -3.0, "slut": -3.0, "bitch": -2.8, "bastard": -2.7,
+    "damn": -1.6, "hell": -1.5, "crap": -1.9, "sucks": -2.1, "wtf": -1.8,
+    "stfu": -2.2, "gtfo": -2.1, "pedophile": -3.4, "predator": -3.0,
+    "groomer": -2.9, "pervert": -2.8, "creep": -2.3, "freak": -2.0,
+    "savage": -1.9, "invasion": -2.2, "invaders": -2.3, "illegal": -1.9,
+    "illegals": -2.2, "deport": -1.8, "wall": -0.2, "myocarditis": -2.0,
+    "microchip": -1.2, "plandemic": -2.3, "scamdemic": -2.5,
+    "depopulation": -2.4, "bioweapon": -2.6, "experimental": -1.3,
+    "untested": -1.6, "exterminate": -3.4, "eradicate": -2.4, "lynch": -3.3,
+    "shoot": -2.4, "shooting": -2.6, "gun": -1.2, "guns": -1.2,
+    "bomb": -2.7, "bombs": -2.7, "doom": -2.4, "doomed": -2.4,
+    "nightmare": -2.5, "slave": -2.4, "slavery": -2.6, "oppression": -2.5,
+    "oppressed": -2.2, "discrimination": -2.4, "prejudice": -2.2,
+    "injustice": -2.4, "victim": -1.6, "victims": -1.6,
+}
+
+#: Tokens that flip the polarity of the following sentiment-bearing word.
+NEGATIONS: frozenset[str] = frozenset(
+    {
+        "not", "no", "never", "none", "nobody", "nothing", "neither",
+        "nowhere", "hardly", "barely", "scarcely", "without", "cannot",
+        "cant", "can't", "dont", "don't", "doesnt", "doesn't", "didnt",
+        "didn't", "isnt", "isn't", "arent", "aren't", "wasnt", "wasn't",
+        "wont", "won't", "wouldnt", "wouldn't", "shouldnt", "shouldn't",
+        "couldnt", "couldn't", "aint", "ain't", "refuse", "refuses",
+        "refused", "stop", "stopped",
+    }
+)
+
+#: Tokens that amplify the polarity of the following word (booster value).
+INTENSIFIERS: dict[str, float] = {
+    "very": 0.3, "really": 0.3, "extremely": 0.4, "absolutely": 0.35,
+    "totally": 0.3, "completely": 0.3, "utterly": 0.35, "so": 0.25,
+    "too": 0.2, "incredibly": 0.4, "insanely": 0.35, "super": 0.3,
+    "deeply": 0.3, "highly": 0.25, "truly": 0.25, "literally": 0.2,
+    "damn": 0.25, "fucking": 0.4, "freaking": 0.3,
+}
+
+#: Tokens that dampen the polarity of the following word.
+DIMINISHERS: dict[str, float] = {
+    "slightly": 0.3, "somewhat": 0.3, "kinda": 0.25, "kind": 0.2,
+    "sorta": 0.25, "a": 0.0, "bit": 0.25, "little": 0.25, "barely": 0.4,
+    "hardly": 0.4, "almost": 0.2, "partly": 0.25, "rather": 0.15,
+    "fairly": 0.15, "moderately": 0.25,
+}

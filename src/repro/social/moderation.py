@@ -1,0 +1,193 @@
+"""Content-moderation assistant: catching perturbation-based evasion.
+
+Paper §III-E: "gatekeepers of social platforms also can utilize this
+function for better content moderation, especially in detecting and removing
+abusive texts on web ..., many of which are often intentionally written with
+misspellings to evade automatic detection."  §III-C likewise proposes using
+CrypText to de-noise classifier inputs and to treat the *presence* of
+perturbations as a predictive signal.
+
+:class:`ModerationPipeline` turns those use cases into a concrete tool: for
+each post it runs a toxicity classifier on the raw text, on the normalized
+text, and combines both with the perturbation evidence that Normalization
+uncovered, producing a moderation verdict with an explanation:
+
+* ``flagged_raw`` — the classifier already flags the raw text;
+* ``flagged_after_normalization`` — the raw text evades the classifier but
+  the de-perturbed text is flagged (the evasion case the paper highlights);
+* ``suspicious_perturbations`` — not flagged either way, but the post
+  perturbs sensitive vocabulary, which a human reviewer may want to see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from ..core.normalizer import Normalizer
+from ..core.pipeline import CrypText
+from ..errors import CrypTextError
+
+
+class _ToxicityClassifier(Protocol):
+    """Anything with a ``predict_label(text) -> str`` method (label "toxic")."""
+
+    def predict_label(self, text: str) -> str:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class ModerationVerdict:
+    """Decision for one post."""
+
+    text: str
+    normalized_text: str
+    raw_label: str
+    normalized_label: str
+    num_perturbations: int
+    perturbed_sensitive_tokens: tuple[str, ...]
+    action: str
+    reason: str
+
+    @property
+    def flagged(self) -> bool:
+        """Whether the post needs moderator attention."""
+        return self.action != "allow"
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize for moderation queues / audit logs."""
+        return {
+            "text": self.text,
+            "normalized_text": self.normalized_text,
+            "raw_label": self.raw_label,
+            "normalized_label": self.normalized_label,
+            "num_perturbations": self.num_perturbations,
+            "perturbed_sensitive_tokens": list(self.perturbed_sensitive_tokens),
+            "action": self.action,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class ModerationReport:
+    """Aggregate outcome over a batch of posts."""
+
+    verdicts: list[ModerationVerdict] = field(default_factory=list)
+
+    @property
+    def flagged_raw(self) -> list[ModerationVerdict]:
+        """Posts the classifier flags without any help."""
+        return [v for v in self.verdicts if v.action == "remove"]
+
+    @property
+    def caught_by_normalization(self) -> list[ModerationVerdict]:
+        """Evasive posts: clean to the classifier, toxic once de-perturbed."""
+        return [v for v in self.verdicts if v.action == "remove_after_normalization"]
+
+    @property
+    def needs_review(self) -> list[ModerationVerdict]:
+        """Posts escalated only because they perturb sensitive vocabulary."""
+        return [v for v in self.verdicts if v.action == "review"]
+
+    @property
+    def allowed(self) -> list[ModerationVerdict]:
+        """Posts that pass."""
+        return [v for v in self.verdicts if v.action == "allow"]
+
+    def summary(self) -> dict[str, int]:
+        """Counts per action."""
+        return {
+            "total": len(self.verdicts),
+            "remove": len(self.flagged_raw),
+            "remove_after_normalization": len(self.caught_by_normalization),
+            "review": len(self.needs_review),
+            "allow": len(self.allowed),
+        }
+
+
+class ModerationPipeline:
+    """Moderation assistant combining a toxicity model with CrypText.
+
+    Parameters
+    ----------
+    cryptext:
+        The CrypText system (supplies the normalizer and the sensitive
+        perturbation detection).
+    classifier:
+        Toxicity classifier with a ``predict_label`` method returning
+        ``"toxic"`` for abusive text (e.g.
+        :class:`~repro.classifiers.apis.SimulatedToxicityAPI`).
+    toxic_label:
+        The label value treated as abusive.
+    sensitive_review_threshold:
+        Escalate a non-flagged post to human review when it contains at
+        least this many perturbed sensitive tokens.
+    """
+
+    def __init__(
+        self,
+        cryptext: CrypText,
+        classifier: _ToxicityClassifier,
+        toxic_label: str = "toxic",
+        sensitive_review_threshold: int = 2,
+    ) -> None:
+        if sensitive_review_threshold < 1:
+            raise CrypTextError(
+                "sensitive_review_threshold must be >= 1, "
+                f"got {sensitive_review_threshold}"
+            )
+        self.cryptext = cryptext
+        self.classifier = classifier
+        self.toxic_label = toxic_label
+        self.sensitive_review_threshold = sensitive_review_threshold
+
+    @property
+    def normalizer(self) -> Normalizer:
+        """The normalizer used to de-perturb posts."""
+        return self.cryptext.normalizer
+
+    # ------------------------------------------------------------------ #
+    def review_post(self, text: str) -> ModerationVerdict:
+        """Produce the moderation verdict for one post."""
+        normalization = self.normalizer.normalize(text)
+        raw_label = self.classifier.predict_label(text)
+        normalized_label = self.classifier.predict_label(normalization.normalized_text)
+        perturbed = normalization.perturbed_corrections
+        sensitive = tuple(
+            correction.original
+            for correction in perturbed
+            if self.cryptext.dictionary.lexicon.is_word(correction.corrected)
+        )
+        if raw_label == self.toxic_label:
+            action, reason = "remove", "toxicity model flags the raw text"
+        elif normalized_label == self.toxic_label:
+            action = "remove_after_normalization"
+            reason = (
+                "raw text evades the toxicity model but its de-perturbed form is "
+                f"flagged ({len(perturbed)} perturbation(s) undone)"
+            )
+        elif len(sensitive) >= self.sensitive_review_threshold:
+            action = "review"
+            reason = (
+                "post perturbs sensitive vocabulary: "
+                + ", ".join(sensitive[:5])
+            )
+        else:
+            action, reason = "allow", "no toxicity detected and no evasion signals"
+        return ModerationVerdict(
+            text=text,
+            normalized_text=normalization.normalized_text,
+            raw_label=raw_label,
+            normalized_label=normalized_label,
+            num_perturbations=len(perturbed),
+            perturbed_sensitive_tokens=sensitive,
+            action=action,
+            reason=reason,
+        )
+
+    def review_posts(self, texts: Sequence[str]) -> ModerationReport:
+        """Review a batch of posts."""
+        report = ModerationReport()
+        for text in texts:
+            report.verdicts.append(self.review_post(text))
+        return report

@@ -1,0 +1,209 @@
+"""Redis-style TTL cache.
+
+CrypText places a Redis cache in front of its slower DB queries so that
+repeated Look Up / Normalization requests are served from memory (paper
+§III-F).  :class:`TTLCache` reproduces the behaviour the system relies on:
+
+* ``get`` / ``set`` with a per-entry time-to-live;
+* bounded capacity with least-recently-used eviction;
+* hit/miss/eviction statistics (used by the cache ablation benchmark);
+* an injectable clock so tests can control expiry deterministically.
+
+The :func:`cached` decorator wraps a function with a cache keyed on its
+arguments — the API service layer uses it for bulk Look Up calls.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, TypeVar
+
+from ..errors import CacheError
+
+T = TypeVar("T")
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters describing cache effectiveness."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    sets: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of ``get`` calls served from cache (0 when unused)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> dict[str, float | int]:
+        """Serialize the counters plus the derived hit rate."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "sets": self.sets,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Entry:
+    value: Any
+    expires_at: float
+    created_at: float = field(default=0.0)
+
+
+class TTLCache:
+    """Bounded key/value cache with per-entry TTL and LRU eviction.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity; inserting beyond it evicts the least recently used entry.
+    default_ttl:
+        TTL in seconds applied when ``set`` is called without an explicit
+        ``ttl``.
+    clock:
+        Callable returning the current time in seconds.  Defaults to
+        :func:`time.monotonic`; tests inject a fake clock.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        default_ttl: float = 300.0,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if max_entries <= 0:
+            raise CacheError(f"max_entries must be positive, got {max_entries}")
+        if default_ttl <= 0:
+            raise CacheError(f"default_ttl must be positive, got {default_ttl}")
+        self.max_entries = max_entries
+        self.default_ttl = default_ttl
+        self._clock = clock or time.monotonic
+        self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return self.get(key, default=_MISSING) is not _MISSING
+
+    # ------------------------------------------------------------------ #
+    def _purge_expired(self, now: float) -> None:
+        doomed = [key for key, entry in self._entries.items() if entry.expires_at <= now]
+        for key in doomed:
+            del self._entries[key]
+            self.stats.expirations += 1
+
+    def set(self, key: Hashable, value: Any, ttl: float | None = None) -> None:
+        """Store ``value`` under ``key`` for ``ttl`` seconds (default TTL if omitted)."""
+        if ttl is not None and ttl <= 0:
+            raise CacheError(f"ttl must be positive, got {ttl}")
+        now = self._clock()
+        self._purge_expired(now)
+        lifetime = self.default_ttl if ttl is None else ttl
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = _Entry(value=value, expires_at=now + lifetime, created_at=now)
+        self.stats.sets += 1
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value or ``default``; counts a hit or a miss."""
+        now = self._clock()
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return default
+        if entry.expires_at <= now:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.value
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], T], ttl: float | None = None
+    ) -> T:
+        """Return the cached value, computing and storing it on a miss."""
+        value = self.get(key, default=_MISSING)
+        if value is not _MISSING:
+            return value
+        computed = compute()
+        self.set(key, computed, ttl=ttl)
+        return computed
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop ``key`` if present; return whether something was removed."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are preserved)."""
+        self._entries.clear()
+
+    def keys(self) -> tuple[Hashable, ...]:
+        """Currently stored (possibly-expired-but-not-yet-purged) keys."""
+        return tuple(self._entries)
+
+
+def make_key(*args: Any, **kwargs: Any) -> Hashable:
+    """Build a hashable cache key from call arguments.
+
+    Lists/sets are converted to tuples; dictionaries to sorted item tuples.
+    """
+
+    def freeze(value: Any) -> Hashable:
+        if isinstance(value, (list, tuple)):
+            return tuple(freeze(item) for item in value)
+        if isinstance(value, (set, frozenset)):
+            return tuple(sorted(freeze(item) for item in value))
+        if isinstance(value, dict):
+            return tuple(sorted((key, freeze(val)) for key, val in value.items()))
+        return value
+
+    return (
+        tuple(freeze(arg) for arg in args),
+        tuple(sorted((name, freeze(value)) for name, value in kwargs.items())),
+    )
+
+
+def cached(
+    cache: TTLCache, ttl: float | None = None
+) -> Callable[[Callable[..., T]], Callable[..., T]]:
+    """Decorator caching a function's results in ``cache``.
+
+    The wrapped function gains a ``cache`` attribute pointing at the cache so
+    callers can inspect statistics or invalidate entries.
+    """
+
+    def decorator(function: Callable[..., T]) -> Callable[..., T]:
+        def wrapper(*args: Any, **kwargs: Any) -> T:
+            key = (function.__qualname__, make_key(*args, **kwargs))
+            return cache.get_or_compute(key, lambda: function(*args, **kwargs), ttl=ttl)
+
+        wrapper.cache = cache  # type: ignore[attr-defined]
+        wrapper.__name__ = function.__name__
+        wrapper.__doc__ = function.__doc__
+        wrapper.__qualname__ = function.__qualname__
+        return wrapper
+
+    return decorator

@@ -1,0 +1,377 @@
+"""Embedded document store (MongoDB stand-in).
+
+CrypText stores every artifact — the token dictionary hash-maps, crawled
+posts, cached benchmark results — in MongoDB collections (paper §III-F).
+:class:`DocumentStore` reproduces the slice of that interface the system
+needs as an in-process, dependency-free engine:
+
+* schemaless documents (plain ``dict``) with an ``_id`` primary key;
+* ``insert_one`` / ``insert_many`` / ``find`` / ``find_one`` / ``count`` /
+  ``update_one`` / ``delete_many`` / ``distinct``;
+* Mongo-style filter documents (see :mod:`repro.storage.query`);
+* secondary hash indexes that accelerate equality and ``$in`` filters;
+* JSONL persistence via :mod:`repro.storage.persistence`.
+
+The store is deliberately synchronous and single-process: the reproduction
+targets library use, not a networked deployment.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from ..errors import DocumentNotFoundError, DuplicateKeyError, QueryError, StorageError
+from .index import HashIndex
+from .query import compile_filter
+
+
+class Collection:
+    """A named collection of documents.
+
+    Documents are stored as deep copies so callers cannot mutate the store's
+    internal state by accident, mirroring the value semantics of a real
+    database client.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._documents: dict[Any, dict[str, Any]] = {}
+        self._indexes: dict[str, HashIndex] = {}
+        self._id_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._documents
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        for document in self._documents.values():
+            yield copy.deepcopy(document)
+
+    @property
+    def index_fields(self) -> tuple[str, ...]:
+        """Fields that currently have a secondary index."""
+        return tuple(sorted(self._indexes))
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def _next_id(self) -> int:
+        candidate = next(self._id_counter)
+        while candidate in self._documents:
+            candidate = next(self._id_counter)
+        return candidate
+
+    def insert_one(self, document: Mapping[str, Any]) -> Any:
+        """Insert a document, returning its ``_id``.
+
+        If the document has no ``_id`` one is assigned.  Inserting a
+        duplicate ``_id`` raises :class:`~repro.errors.DuplicateKeyError`.
+        """
+        if not isinstance(document, Mapping):
+            raise StorageError(
+                f"documents must be mappings, got {type(document).__name__}"
+            )
+        stored = copy.deepcopy(dict(document))
+        doc_id = stored.get("_id")
+        if doc_id is None:
+            doc_id = self._next_id()
+            stored["_id"] = doc_id
+        elif doc_id in self._documents:
+            raise DuplicateKeyError(
+                f"collection {self.name!r} already has a document with _id={doc_id!r}"
+            )
+        self._documents[doc_id] = stored
+        for index in self._indexes.values():
+            index.add(doc_id, stored)
+        return doc_id
+
+    def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> list[Any]:
+        """Insert many documents, returning their ids in order."""
+        return [self.insert_one(document) for document in documents]
+
+    def replace_one(self, doc_id: Any, document: Mapping[str, Any]) -> None:
+        """Replace the document with id ``doc_id`` entirely."""
+        if doc_id not in self._documents:
+            raise DocumentNotFoundError(
+                f"collection {self.name!r} has no document with _id={doc_id!r}"
+            )
+        stored = copy.deepcopy(dict(document))
+        stored["_id"] = doc_id
+        self._documents[doc_id] = stored
+        for index in self._indexes.values():
+            index.add(doc_id, stored)
+
+    def update_one(
+        self,
+        filter_document: Mapping[str, Any] | None,
+        update: Mapping[str, Any],
+        upsert: bool = False,
+    ) -> bool:
+        """Apply a ``$set`` / ``$inc`` / ``$addToSet`` update to one document.
+
+        Returns ``True`` if a document was modified (or upserted).
+        """
+        allowed = {"$set", "$inc", "$addToSet", "$push"}
+        unknown = set(update) - allowed
+        if unknown:
+            raise QueryError(f"unsupported update operators: {sorted(unknown)}")
+        target = self.find_one(filter_document)
+        if target is None:
+            if not upsert:
+                return False
+            seed: dict[str, Any] = {}
+            if filter_document:
+                for key, value in filter_document.items():
+                    if not key.startswith("$") and not isinstance(value, Mapping):
+                        seed[key] = value
+            document = seed
+            doc_id = None
+        else:
+            doc_id = target["_id"]
+            document = target
+
+        for key, value in update.get("$set", {}).items():
+            document[key] = value
+        for key, value in update.get("$inc", {}).items():
+            document[key] = document.get(key, 0) + value
+        for key, value in update.get("$addToSet", {}).items():
+            existing = list(document.get(key, []))
+            if value not in existing:
+                existing.append(value)
+            document[key] = existing
+        for key, value in update.get("$push", {}).items():
+            existing = list(document.get(key, []))
+            existing.append(value)
+            document[key] = existing
+
+        if doc_id is None:
+            self.insert_one(document)
+        else:
+            self.replace_one(doc_id, document)
+        return True
+
+    def delete_many(self, filter_document: Mapping[str, Any] | None = None) -> int:
+        """Delete every matching document, returning how many were removed."""
+        predicate = compile_filter(filter_document)
+        doomed = [
+            doc_id
+            for doc_id, document in self._documents.items()
+            if predicate(document)
+        ]
+        for doc_id in doomed:
+            del self._documents[doc_id]
+            for index in self._indexes.values():
+                index.remove(doc_id)
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Remove every document (indexes are kept but emptied)."""
+        self._documents.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def _candidate_ids(
+        self, filter_document: Mapping[str, Any] | None
+    ) -> Iterable[Any] | None:
+        """Use an index to narrow the candidate set, when possible."""
+        if not filter_document:
+            return None
+        for field, condition in filter_document.items():
+            if field.startswith("$") or field not in self._indexes:
+                continue
+            index = self._indexes[field]
+            if isinstance(condition, Mapping):
+                if "$eq" in condition:
+                    return index.lookup(condition["$eq"])
+                if "$in" in condition:
+                    return index.lookup_many(condition["$in"])
+                if "$elem" in condition and index.multi:
+                    return index.lookup(condition["$elem"])
+                continue
+            return index.lookup(condition)
+        return None
+
+    def find(
+        self,
+        filter_document: Mapping[str, Any] | None = None,
+        sort: str | None = None,
+        reverse: bool = False,
+        limit: int | None = None,
+        projection: Sequence[str] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Return deep copies of every matching document.
+
+        Parameters
+        ----------
+        filter_document:
+            Mongo-style filter (``None`` matches everything).
+        sort:
+            Field name to sort by (missing values sort first).
+        reverse:
+            Sort descending.
+        limit:
+            Return at most this many documents.
+        projection:
+            If given, keep only these fields (``_id`` is always kept).
+        """
+        predicate = compile_filter(filter_document)
+        candidate_ids = self._candidate_ids(filter_document)
+        if candidate_ids is None:
+            candidates: Iterable[dict[str, Any]] = self._documents.values()
+        else:
+            candidates = (
+                self._documents[doc_id]
+                for doc_id in candidate_ids
+                if doc_id in self._documents
+            )
+        matched = [copy.deepcopy(doc) for doc in candidates if predicate(doc)]
+        if sort is not None:
+            matched.sort(
+                key=lambda doc: (doc.get(sort) is not None, doc.get(sort)),
+                reverse=reverse,
+            )
+        else:
+            matched.sort(key=lambda doc: str(doc.get("_id")))
+        if limit is not None:
+            matched = matched[:limit]
+        if projection is not None:
+            keep = set(projection) | {"_id"}
+            matched = [
+                {key: value for key, value in doc.items() if key in keep}
+                for doc in matched
+            ]
+        return matched
+
+    def find_one(
+        self, filter_document: Mapping[str, Any] | None = None
+    ) -> dict[str, Any] | None:
+        """Return one matching document or ``None``."""
+        results = self.find(filter_document, limit=1)
+        return results[0] if results else None
+
+    def get(self, doc_id: Any) -> dict[str, Any]:
+        """Return the document with ``doc_id`` or raise."""
+        if doc_id not in self._documents:
+            raise DocumentNotFoundError(
+                f"collection {self.name!r} has no document with _id={doc_id!r}"
+            )
+        return copy.deepcopy(self._documents[doc_id])
+
+    def count(self, filter_document: Mapping[str, Any] | None = None) -> int:
+        """Count matching documents."""
+        if not filter_document:
+            return len(self._documents)
+        predicate = compile_filter(filter_document)
+        candidate_ids = self._candidate_ids(filter_document)
+        if candidate_ids is None:
+            return sum(1 for doc in self._documents.values() if predicate(doc))
+        return sum(
+            1
+            for doc_id in candidate_ids
+            if doc_id in self._documents and predicate(self._documents[doc_id])
+        )
+
+    def distinct(
+        self, field: str, filter_document: Mapping[str, Any] | None = None
+    ) -> list[Any]:
+        """Distinct values of ``field`` across matching documents."""
+        predicate = compile_filter(filter_document)
+        seen: list[Any] = []
+        seen_keys: set[Any] = set()
+        for document in self._documents.values():
+            if not predicate(document):
+                continue
+            if field not in document:
+                continue
+            value = document[field]
+            key = tuple(value) if isinstance(value, list) else value
+            if key not in seen_keys:
+                seen_keys.add(key)
+                seen.append(copy.deepcopy(value))
+        return seen
+
+    def aggregate_counts(
+        self,
+        field: str,
+        filter_document: Mapping[str, Any] | None = None,
+    ) -> dict[Any, int]:
+        """Group-by count of ``field`` values (multikey for list fields)."""
+        predicate = compile_filter(filter_document)
+        counts: dict[Any, int] = {}
+        for document in self._documents.values():
+            if not predicate(document) or field not in document:
+                continue
+            value = document[field]
+            values = value if isinstance(value, (list, tuple)) else [value]
+            for item in values:
+                counts[item] = counts.get(item, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # indexes
+    # ------------------------------------------------------------------ #
+    def create_index(self, field: str, multi: bool = False) -> HashIndex:
+        """Create (or return) a secondary hash index over ``field``."""
+        if field in self._indexes:
+            return self._indexes[field]
+        index = HashIndex(field, multi=multi)
+        for doc_id, document in self._documents.items():
+            index.add(doc_id, document)
+        self._indexes[field] = index
+        return index
+
+    def drop_index(self, field: str) -> None:
+        """Drop the index over ``field`` (no-op if absent)."""
+        self._indexes.pop(field, None)
+
+
+class DocumentStore:
+    """A named set of collections — the Mongo-database stand-in."""
+
+    def __init__(self, name: str = "cryptext") -> None:
+        self.name = name
+        self._collections: dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        """Get or create the collection ``name``."""
+        if name not in self._collections:
+            self._collections[name] = Collection(name)
+        return self._collections[name]
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.collection(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._collections
+
+    def collection_names(self) -> tuple[str, ...]:
+        """Names of the collections created so far."""
+        return tuple(sorted(self._collections))
+
+    def drop_collection(self, name: str) -> None:
+        """Remove a collection and all its documents."""
+        self._collections.pop(name, None)
+
+    def stats(self) -> dict[str, dict[str, Any]]:
+        """Per-collection document and index counts."""
+        return {
+            name: {
+                "documents": len(collection),
+                "indexes": list(collection.index_fields),
+            }
+            for name, collection in sorted(self._collections.items())
+        }
+
+    def apply(self, name: str, operation: Callable[[Collection], Any]) -> Any:
+        """Run ``operation`` against collection ``name`` and return its result."""
+        return operation(self.collection(name))

@@ -1,0 +1,118 @@
+"""JSONL persistence for document collections.
+
+The original CrypText keeps its dictionary in MongoDB, which persists to
+disk; this reproduction persists collections as JSON-lines files so a
+dictionary built from a large crawl can be saved once and reloaded quickly
+by examples, tests, and benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..errors import PersistenceError
+from .document_store import Collection, DocumentStore
+
+
+def dump_collection(collection: Collection, path: str | Path) -> int:
+    """Write every document of ``collection`` to ``path`` as JSON lines.
+
+    Returns the number of documents written.  Parent directories are created
+    as needed.
+    """
+    target = Path(path)
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        count = 0
+        with target.open("w", encoding="utf-8") as handle:
+            for document in collection:
+                handle.write(json.dumps(document, ensure_ascii=False, sort_keys=True))
+                handle.write("\n")
+                count += 1
+        return count
+    except (OSError, TypeError, ValueError) as exc:
+        raise PersistenceError(
+            f"failed to dump collection {collection.name!r} to {target}: {exc}"
+        ) from exc
+
+
+def load_collection(
+    collection: Collection, path: str | Path, clear: bool = True
+) -> int:
+    """Load JSON-lines documents from ``path`` into ``collection``.
+
+    Parameters
+    ----------
+    collection:
+        Target collection (its indexes are refreshed automatically by the
+        inserts).
+    path:
+        JSONL file produced by :func:`dump_collection`.
+    clear:
+        Empty the collection first (default) so the load is a replacement
+        rather than a merge.
+
+    Returns the number of documents loaded.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise PersistenceError(f"no such file: {source}")
+    if clear:
+        collection.clear()
+    count = 0
+    try:
+        with source.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    document = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise PersistenceError(
+                        f"{source}:{line_number}: invalid JSON: {exc}"
+                    ) from exc
+                if not isinstance(document, dict):
+                    raise PersistenceError(
+                        f"{source}:{line_number}: expected an object, got "
+                        f"{type(document).__name__}"
+                    )
+                collection.insert_one(document)
+                count += 1
+    except OSError as exc:
+        raise PersistenceError(f"failed to read {source}: {exc}") from exc
+    return count
+
+
+def dump_store(store: DocumentStore, directory: str | Path) -> dict[str, int]:
+    """Dump every collection of ``store`` into ``directory`` (one JSONL each)."""
+    base = Path(directory)
+    written: dict[str, int] = {}
+    for name in store.collection_names():
+        written[name] = dump_collection(store.collection(name), base / f"{name}.jsonl")
+    return written
+
+
+def load_store(store: DocumentStore, directory: str | Path) -> dict[str, int]:
+    """Load every ``*.jsonl`` file in ``directory`` into ``store``."""
+    base = Path(directory)
+    if not base.is_dir():
+        raise PersistenceError(f"no such directory: {base}")
+    loaded: dict[str, int] = {}
+    for path in sorted(base.glob("*.jsonl")):
+        loaded[path.stem] = load_collection(store.collection(path.stem), path)
+    return loaded
+
+
+def iter_jsonl(path: str | Path) -> Iterable[dict[str, Any]]:
+    """Yield documents from a JSONL file without touching a collection."""
+    source = Path(path)
+    if not source.exists():
+        raise PersistenceError(f"no such file: {source}")
+    with source.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -1,0 +1,228 @@
+"""Mongo-style filter documents.
+
+The document store accepts filters expressed as plain dictionaries, following
+the subset of MongoDB's query language that CrypText's collections need:
+
+* equality: ``{"token": "democrats"}``
+* comparison operators: ``$eq``, ``$ne``, ``$gt``, ``$gte``, ``$lt``, ``$lte``
+* membership: ``$in``, ``$nin``
+* existence: ``$exists``
+* substring / regex: ``$contains``, ``$regex``
+* set containment for array fields: ``$all``, ``$elem``
+* boolean composition: ``$and``, ``$or``, ``$not`` at the top level
+
+A filter is *compiled* once into a predicate function so that scans over a
+collection do not re-interpret the dictionary per document.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Mapping, Sequence
+
+from ..errors import QueryError
+
+Predicate = Callable[[Mapping[str, Any]], bool]
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "$eq": lambda value, target: value == target,
+    "$ne": lambda value, target: value != target,
+    "$gt": lambda value, target: value is not None and value > target,
+    "$gte": lambda value, target: value is not None and value >= target,
+    "$lt": lambda value, target: value is not None and value < target,
+    "$lte": lambda value, target: value is not None and value <= target,
+}
+
+
+def _get_path(document: Mapping[str, Any], path: str) -> tuple[bool, Any]:
+    """Resolve a dotted field path; return ``(exists, value)``."""
+    current: Any = document
+    for part in path.split("."):
+        if isinstance(current, Mapping) and part in current:
+            current = current[part]
+        else:
+            return False, None
+    return True, current
+
+
+def _compile_condition(path: str, condition: Any) -> Predicate:
+    """Compile a single field condition into a predicate."""
+    if not isinstance(condition, Mapping):
+        target = condition
+
+        def equality(document: Mapping[str, Any], path=path, target=target) -> bool:
+            exists, value = _get_path(document, path)
+            return exists and value == target
+
+        return equality
+
+    clauses: list[Predicate] = []
+    for operator, target in condition.items():
+        if operator in _COMPARATORS:
+            comparator = _COMPARATORS[operator]
+
+            def compare(
+                document: Mapping[str, Any],
+                path=path,
+                target=target,
+                comparator=comparator,
+            ) -> bool:
+                exists, value = _get_path(document, path)
+                if not exists:
+                    return False
+                try:
+                    return comparator(value, target)
+                except TypeError:
+                    return False
+
+            clauses.append(compare)
+        elif operator == "$in":
+            if not isinstance(target, (list, tuple, set, frozenset)):
+                raise QueryError("$in expects a sequence of values")
+            allowed = set(target)
+
+            def member(document: Mapping[str, Any], path=path, allowed=allowed) -> bool:
+                exists, value = _get_path(document, path)
+                if not exists:
+                    return False
+                # MongoDB semantics: for array-valued fields, $in matches when
+                # any element of the array is in the allowed set.
+                if isinstance(value, (list, tuple, set, frozenset)):
+                    return any(item in allowed for item in value)
+                return value in allowed
+
+            clauses.append(member)
+        elif operator == "$nin":
+            if not isinstance(target, (list, tuple, set, frozenset)):
+                raise QueryError("$nin expects a sequence of values")
+            banned = set(target)
+
+            def not_member(document: Mapping[str, Any], path=path, banned=banned) -> bool:
+                exists, value = _get_path(document, path)
+                if not exists:
+                    return True
+                if isinstance(value, (list, tuple, set, frozenset)):
+                    return not any(item in banned for item in value)
+                return value not in banned
+
+            clauses.append(not_member)
+        elif operator == "$exists":
+            expected = bool(target)
+
+            def exists_clause(
+                document: Mapping[str, Any], path=path, expected=expected
+            ) -> bool:
+                exists, _ = _get_path(document, path)
+                return exists is expected
+
+            clauses.append(exists_clause)
+        elif operator == "$contains":
+            needle = str(target)
+
+            def contains(document: Mapping[str, Any], path=path, needle=needle) -> bool:
+                exists, value = _get_path(document, path)
+                return exists and isinstance(value, str) and needle in value
+
+            clauses.append(contains)
+        elif operator == "$regex":
+            try:
+                pattern = re.compile(str(target))
+            except re.error as exc:
+                raise QueryError(f"invalid $regex pattern: {exc}") from exc
+
+            def regex(document: Mapping[str, Any], path=path, pattern=pattern) -> bool:
+                exists, value = _get_path(document, path)
+                return exists and isinstance(value, str) and bool(pattern.search(value))
+
+            clauses.append(regex)
+        elif operator == "$all":
+            if not isinstance(target, (list, tuple, set, frozenset)):
+                raise QueryError("$all expects a sequence of values")
+            required = set(target)
+
+            def contains_all(
+                document: Mapping[str, Any], path=path, required=required
+            ) -> bool:
+                exists, value = _get_path(document, path)
+                if not exists or not isinstance(value, (list, tuple, set, frozenset)):
+                    return False
+                return required.issubset(set(value))
+
+            clauses.append(contains_all)
+        elif operator == "$elem":
+            element = target
+
+            def contains_element(
+                document: Mapping[str, Any], path=path, element=element
+            ) -> bool:
+                exists, value = _get_path(document, path)
+                if not exists or not isinstance(value, (list, tuple, set, frozenset)):
+                    return False
+                return element in value
+
+            clauses.append(contains_element)
+        elif operator == "$not":
+            inner = _compile_condition(path, target)
+            clauses.append(lambda document, inner=inner: not inner(document))
+        else:
+            raise QueryError(f"unsupported query operator: {operator!r}")
+
+    def all_clauses(document: Mapping[str, Any], clauses=tuple(clauses)) -> bool:
+        return all(clause(document) for clause in clauses)
+
+    return all_clauses
+
+
+def compile_filter(filter_document: Mapping[str, Any] | None) -> Predicate:
+    """Compile ``filter_document`` into a predicate over documents.
+
+    ``None`` or an empty mapping compiles to a predicate that accepts every
+    document (a full collection scan).
+
+    Raises
+    ------
+    QueryError
+        If the filter uses an unsupported operator or malformed operands.
+    """
+    if not filter_document:
+        return lambda _document: True
+    if not isinstance(filter_document, Mapping):
+        raise QueryError(
+            f"filter must be a mapping, got {type(filter_document).__name__}"
+        )
+
+    predicates: list[Predicate] = []
+    for key, condition in filter_document.items():
+        if key == "$and":
+            sub = _compile_boolean_list(condition, "$and")
+            predicates.append(
+                lambda document, sub=sub: all(pred(document) for pred in sub)
+            )
+        elif key == "$or":
+            sub = _compile_boolean_list(condition, "$or")
+            predicates.append(
+                lambda document, sub=sub: any(pred(document) for pred in sub)
+            )
+        elif key == "$not":
+            inner = compile_filter(condition)
+            predicates.append(lambda document, inner=inner: not inner(document))
+        elif key.startswith("$"):
+            raise QueryError(f"unsupported top-level operator: {key!r}")
+        else:
+            predicates.append(_compile_condition(key, condition))
+
+    def conjunction(document: Mapping[str, Any], predicates=tuple(predicates)) -> bool:
+        return all(predicate(document) for predicate in predicates)
+
+    return conjunction
+
+
+def _compile_boolean_list(conditions: Any, name: str) -> tuple[Predicate, ...]:
+    if not isinstance(conditions, Sequence) or isinstance(conditions, (str, bytes)):
+        raise QueryError(f"{name} expects a list of filter documents")
+    return tuple(compile_filter(condition) for condition in conditions)
+
+
+def matches_filter(document: Mapping[str, Any], filter_document: Mapping[str, Any] | None) -> bool:
+    """One-shot convenience: does ``document`` match ``filter_document``?"""
+    return compile_filter(filter_document)(document)

@@ -1,0 +1,46 @@
+"""Text substrate: tokenization, character maps, and the English lexicon.
+
+This subpackage provides the low-level text machinery that every CrypText
+function builds on:
+
+* :mod:`repro.text.charmap` — visually-similar character ("homoglyph" /
+  "leet") mappings that the customized Soundex folds together, plus emoticon
+  and separator inventories used by the perturbation taxonomy;
+* :mod:`repro.text.unicode_fold` — accent/diacritic folding (the VIPER
+  baseline perturbs with accented characters; normalization must undo them);
+* :mod:`repro.text.tokenizer` — a whitespace/punctuation tokenizer that keeps
+  track of character spans so perturbed tokens can be highlighted in place;
+* :mod:`repro.text.wordlist` — the bundled English lexicon used as the
+  "correctly spelled" vocabulary of the perturbation dictionary.
+"""
+
+from .charmap import (
+    VISUAL_EQUIVALENTS,
+    LEET_SUBSTITUTIONS,
+    EMOTICONS,
+    fold_visual_characters,
+    visual_equivalence_class,
+    is_word_internal_separator,
+    strip_word_internal_separators,
+)
+from .unicode_fold import fold_accents, fold_text
+from .tokenizer import Token, Tokenizer, tokenize, detokenize
+from .wordlist import EnglishLexicon, default_lexicon
+
+__all__ = [
+    "VISUAL_EQUIVALENTS",
+    "LEET_SUBSTITUTIONS",
+    "EMOTICONS",
+    "fold_visual_characters",
+    "visual_equivalence_class",
+    "is_word_internal_separator",
+    "strip_word_internal_separators",
+    "fold_accents",
+    "fold_text",
+    "Token",
+    "Tokenizer",
+    "tokenize",
+    "detokenize",
+    "EnglishLexicon",
+    "default_lexicon",
+]

@@ -1,0 +1,206 @@
+"""Span-preserving tokenizer.
+
+CrypText works at the level of *tokens* found in noisy user-generated text:
+the database is built by tokenizing every sentence of the source corpora
+(paper §III-A), and the Look Up / Normalization / Perturbation functions all
+need to replace or highlight individual tokens *in place* inside the original
+string (the GUI highlights corrected or perturbed tokens, Figures 2-3).
+
+The tokenizer therefore keeps, for each token, its character span in the
+source text so that edits can be spliced back without disturbing whitespace
+or punctuation.  Tokens are defined as maximal runs of "wordish" characters:
+letters, digits, and the leet/homoglyph symbols and word-internal separators
+that human-written perturbations embed inside words ("dem0cr@ts",
+"mus-lim", "republic@@ns").  URLs, @-mentions and #-hashtags are kept as
+single tokens and flagged so the perturbation machinery can skip them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import TokenizationError
+
+# Characters that may appear inside a word-like token.  Letters and digits are
+# matched via \w (unicode-aware); the explicit set adds the perturbation
+# symbols that \w excludes.
+_WORD_EXTRA = r"@\$!\|\+\(\)<>\{\}\[\]€£¢§\-\.\*'’_·"
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<url>https?://\S+|www\.\S+)            # URLs
+    | (?P<mention>@\w+)                       # @mentions
+    | (?P<hashtag>\#\w+)                      # #hashtags
+    | (?P<word>[\w%s]+)                       # word-like tokens (incl. leet symbols)
+    """
+    % _WORD_EXTRA,
+    re.VERBOSE | re.UNICODE,
+)
+
+#: Token kinds emitted by :class:`Tokenizer`.
+TOKEN_KINDS = ("word", "url", "mention", "hashtag")
+
+#: Characters trimmed from the edges of word tokens.  Inside a word they are
+#: perturbation signals ("mus-lim", "suic!de"); at the edges they are almost
+#: always ordinary punctuation ("republicans.", "(hello)", "stop!").
+_EDGE_TRIM = set(".-'’*_·!()<>{}[]")
+
+
+def _trim_word_span(raw: str, start: int, end: int) -> tuple[str, int, int]:
+    """Strip edge punctuation from a word match, keeping the span consistent."""
+    left, right = 0, len(raw)
+    while left < right and raw[left] in _EDGE_TRIM:
+        left += 1
+    while right > left and raw[right - 1] in _EDGE_TRIM:
+        right -= 1
+    return raw[left:right], start + left, start + right
+
+
+@dataclass(frozen=True)
+class Token:
+    """A token together with its character span in the source text.
+
+    Attributes
+    ----------
+    text:
+        The raw token text, case preserved.
+    start / end:
+        Character offsets such that ``source[start:end] == text``.
+    kind:
+        One of :data:`TOKEN_KINDS`.  Only ``"word"`` tokens participate in
+        perturbation and normalization; the other kinds are preserved
+        verbatim.
+    index:
+        Position of the token in the token sequence of its source text.
+    """
+
+    text: str
+    start: int
+    end: int
+    kind: str = "word"
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOKEN_KINDS:
+            raise TokenizationError(f"unknown token kind: {self.kind!r}")
+        if self.end - self.start != len(self.text):
+            raise TokenizationError(
+                f"token span [{self.start}, {self.end}) does not match text "
+                f"of length {len(self.text)}"
+            )
+
+    @property
+    def is_word(self) -> bool:
+        """Whether the token is an ordinary word (eligible for perturbation)."""
+        return self.kind == "word"
+
+    def replace_text(self, new_text: str) -> "Token":
+        """Return a copy of the token carrying ``new_text`` (span end adjusted)."""
+        return Token(
+            text=new_text,
+            start=self.start,
+            end=self.start + len(new_text),
+            kind=self.kind,
+            index=self.index,
+        )
+
+
+class Tokenizer:
+    """Tokenizer that records character spans and token kinds.
+
+    Parameters
+    ----------
+    lowercase:
+        If ``True``, token text is lowercased (spans still refer to the
+        original string).  The dictionary builder uses case-sensitive tokens
+        because capitalization-as-emphasis ("democRATs") is itself a
+        perturbation signal, so the default is ``False``.
+    min_token_length:
+        Tokens shorter than this are dropped (default 1 keeps everything).
+    """
+
+    def __init__(self, lowercase: bool = False, min_token_length: int = 1) -> None:
+        if min_token_length < 1:
+            raise TokenizationError("min_token_length must be >= 1")
+        self.lowercase = lowercase
+        self.min_token_length = min_token_length
+
+    def tokenize(self, text: str) -> list[Token]:
+        """Tokenize ``text`` into a list of :class:`Token`.
+
+        Raises
+        ------
+        TokenizationError
+            If ``text`` is not a string.
+        """
+        if not isinstance(text, str):
+            raise TokenizationError(f"expected str, got {type(text).__name__}")
+        tokens: list[Token] = []
+        for match in _TOKEN_PATTERN.finditer(text):
+            kind = match.lastgroup or "word"
+            raw = match.group()
+            start, end = match.start(), match.end()
+            if kind == "word":
+                raw, start, end = _trim_word_span(raw, start, end)
+            if len(raw) < self.min_token_length or not raw:
+                continue
+            token_text = raw.lower() if self.lowercase else raw
+            tokens.append(
+                Token(
+                    text=token_text,
+                    start=start,
+                    end=end,
+                    kind=kind,
+                    index=len(tokens),
+                )
+            )
+        return tokens
+
+    def iter_tokens(self, texts: Iterable[str]) -> Iterator[Token]:
+        """Yield tokens of every text in ``texts`` (document boundaries ignored)."""
+        for text in texts:
+            yield from self.tokenize(text)
+
+    def word_tokens(self, text: str) -> list[Token]:
+        """Tokenize and keep only ``"word"`` tokens."""
+        return [token for token in self.tokenize(text) if token.is_word]
+
+
+def tokenize(text: str, lowercase: bool = False) -> list[Token]:
+    """Module-level convenience wrapper around :class:`Tokenizer`."""
+    return Tokenizer(lowercase=lowercase).tokenize(text)
+
+
+def detokenize(source: str, replacements: Sequence[tuple[Token, str]]) -> str:
+    """Splice token replacements back into ``source``.
+
+    ``replacements`` is a sequence of ``(token, new_text)`` pairs where every
+    token must originate from tokenizing ``source``.  Replacements are applied
+    right-to-left so earlier spans remain valid.  Overlapping spans raise
+    :class:`~repro.errors.TokenizationError`.
+
+    >>> toks = tokenize("the dirty republicans")
+    >>> detokenize("the dirty republicans", [(toks[1], "dirrrty")])
+    'the dirrrty republicans'
+    """
+    ordered = sorted(replacements, key=lambda pair: pair[0].start, reverse=True)
+    previous_start: int | None = None
+    result = source
+    for token, new_text in ordered:
+        if token.start < 0 or token.end > len(source):
+            raise TokenizationError(
+                f"token span [{token.start}, {token.end}) outside source of "
+                f"length {len(source)}"
+            )
+        if source[token.start:token.end].lower() != token.text.lower():
+            raise TokenizationError(
+                f"token text {token.text!r} does not match source span "
+                f"{source[token.start:token.end]!r}"
+            )
+        if previous_start is not None and token.end > previous_start:
+            raise TokenizationError("overlapping replacement spans")
+        result = result[: token.start] + new_text + result[token.end:]
+        previous_start = token.start
+    return result

@@ -1,0 +1,44 @@
+"""Accent and diacritic folding.
+
+The VIPER baseline (Eger et al., NAACL 2019) perturbs text by replacing
+characters with accented variants ("democrats" -> "ḋemocrāts").  Human
+writers occasionally do the same.  Both the customized Soundex encoder and
+the Normalization function therefore need a cheap, dependency-free way to
+strip combining marks and map accented code points back to their ASCII base
+letters.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+
+
+def fold_accents(char: str) -> str:
+    """Return ``char`` with diacritics removed, or ``char`` unchanged.
+
+    The folding is performed via NFKD decomposition: combining marks are
+    dropped and the base character kept.  Characters that do not decompose
+    (including the homoglyphs handled by :mod:`repro.text.charmap`) are
+    returned unchanged.
+
+    >>> fold_accents("ā")
+    'a'
+    >>> fold_accents("ḋ")
+    'd'
+    >>> fold_accents("x")
+    'x'
+    """
+    if not char:
+        return char
+    decomposed = unicodedata.normalize("NFKD", char)
+    stripped = "".join(c for c in decomposed if not unicodedata.combining(c))
+    return stripped if stripped else char
+
+
+def fold_text(text: str) -> str:
+    """Apply :func:`fold_accents` to every character of ``text``.
+
+    >>> fold_text("ḋemocrāts")
+    'democrats'
+    """
+    return "".join(fold_accents(ch) for ch in text)

@@ -1,0 +1,344 @@
+"""Bundled English lexicon.
+
+CrypText's database pairs "correctly-spelled English words" with their
+observed perturbations (paper §III-A), and the Normalization function maps
+out-of-vocabulary tokens back onto English words.  The original system relies
+on a large external dictionary; this reproduction bundles a self-contained
+lexicon so the library works fully offline.
+
+The lexicon is organized in thematic groups.  Besides a core of very common
+English words, it deliberately covers the vocabulary the paper's scenarios
+revolve around: politics ("democrats", "republicans"), public health
+("vaccine", "mandate"), abuse/toxicity, religion and nationality terms that
+appear in cyberbullying contexts, and social-platform vocabulary.  The
+groups also drive the synthetic corpus builders in :mod:`repro.datasets`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Iterator, Mapping
+
+#: Function words and glue vocabulary (never perturbed as "interesting"
+#: targets, but needed by the tokenizer/LM and the Table I example).
+FUNCTION_WORDS: tuple[str, ...] = (
+    "the", "a", "an", "and", "or", "but", "if", "then", "else", "when",
+    "while", "because", "so", "though", "although", "however", "therefore",
+    "of", "in", "on", "at", "by", "for", "with", "about", "against",
+    "between", "into", "through", "during", "before", "after", "above",
+    "below", "to", "from", "up", "down", "out", "off", "over", "under",
+    "again", "further", "once", "here", "there", "where", "why", "how",
+    "all", "any", "both", "each", "few", "more", "most", "other", "some",
+    "such", "no", "nor", "not", "only", "own", "same", "than", "too",
+    "very", "can", "will", "just", "should", "could", "would", "may",
+    "might", "must", "shall", "now", "ever", "never", "always", "often",
+    "sometimes", "rarely", "i", "you", "he", "she", "it", "we", "they",
+    "me", "him", "her", "us", "them", "my", "your", "his", "its", "our",
+    "their", "mine", "yours", "ours", "theirs", "this", "that", "these",
+    "those", "who", "whom", "whose", "which", "what", "is", "am", "are",
+    "was", "were", "be", "been", "being", "have", "has", "had", "having",
+    "do", "does", "did", "doing", "as", "until", "upon", "per", "via",
+    "yes", "ok", "okay", "please", "thanks", "thank", "hello", "hey",
+)
+
+#: Common everyday vocabulary: verbs, nouns, adjectives, adverbs used by the
+#: synthetic sentence templates and by the language model.
+COMMON_WORDS: tuple[str, ...] = (
+    "time", "year", "people", "way", "day", "man", "woman", "child",
+    "children", "world", "life", "hand", "part", "place", "case", "week",
+    "company", "system", "program", "question", "work", "government",
+    "number", "night", "point", "home", "water", "room", "mother", "father",
+    "area", "money", "story", "fact", "month", "lot", "right", "study",
+    "book", "eye", "job", "word", "business", "issue", "side", "kind",
+    "head", "house", "service", "friend", "friends", "power", "hour",
+    "game", "line", "end", "member", "law", "car", "city", "community",
+    "name", "president", "team", "minute", "idea", "body", "information",
+    "back", "parent", "face", "others", "level", "office", "door", "health",
+    "person", "art", "war", "history", "party", "result", "change",
+    "morning", "reason", "research", "girl", "guy", "moment", "air",
+    "teacher", "force", "education", "foot", "boy", "age", "policy",
+    "everything", "process", "music", "market", "sense", "nation", "plan",
+    "college", "interest", "death", "experience", "effect", "use", "class",
+    "control", "care", "field", "development", "role", "effort", "rate",
+    "heart", "drug", "show", "leader", "light", "voice", "wife", "police",
+    "mind", "price", "report", "decision", "son", "view", "relationship",
+    "town", "road", "arm", "difference", "value", "building", "action",
+    "model", "season", "society", "tax", "director", "position", "player",
+    "record", "paper", "space", "ground", "form", "event", "official",
+    "matter", "center", "couple", "site", "project", "activity", "star",
+    "table", "need", "court", "american", "americans", "oil", "situation",
+    "cost", "industry", "figure", "street", "image", "phone", "data",
+    "picture", "practice", "piece", "land", "product", "doctor", "wall",
+    "news", "test", "movie", "north", "love", "support", "technology",
+    "go", "get", "make", "know", "think", "take", "see", "come", "want",
+    "look", "find", "give", "tell", "ask", "seem", "feel", "try", "leave",
+    "call", "say", "said", "need", "become", "put", "mean", "keep", "let",
+    "begin", "help", "talk", "turn", "start", "show", "hear", "play",
+    "run", "move", "like", "live", "believe", "hold", "bring", "happen",
+    "write", "provide", "sit", "stand", "lose", "pay", "meet", "include",
+    "continue", "set", "learn", "lead", "understand", "watch", "follow",
+    "stop", "create", "speak", "read", "allow", "add", "spend", "grow",
+    "open", "walk", "win", "offer", "remember", "consider", "appear",
+    "buy", "wait", "serve", "die", "send", "expect", "build", "stay",
+    "fall", "cut", "reach", "kill", "remain", "suggest", "raise", "pass",
+    "sell", "require", "report", "decide", "pull", "vote", "voted",
+    "good", "new", "first", "last", "long", "great", "little", "old",
+    "big", "high", "different", "small", "large", "next", "early", "young",
+    "important", "public", "bad", "able", "best", "better", "worst",
+    "sure", "free", "true", "false", "whole", "real", "fake", "clear",
+    "strong", "weak", "certain", "likely", "hard", "easy", "possible",
+    "recent", "late", "single", "medical", "current", "wrong", "private",
+    "past", "foreign", "fine", "common", "poor", "natural", "significant",
+    "similar", "hot", "cold", "dead", "central", "happy", "sad", "angry",
+    "serious", "ready", "simple", "left", "physical", "general",
+    "environmental", "financial", "blue", "red", "green", "white", "black",
+    "democratic", "conservative", "liberal", "radical", "really", "also",
+    "even", "still", "already", "actually", "probably", "finally",
+    "totally", "completely", "absolutely", "literally", "honestly",
+    "truly", "apparently", "clearly", "obviously", "simply", "exactly",
+    "today", "tomorrow", "yesterday", "tonight", "everyone", "everybody",
+    "someone", "somebody", "anyone", "nobody", "nothing", "something",
+    "anything", "stupid", "crazy", "insane", "dumb", "smart", "brilliant",
+    "amazing", "awesome", "terrible", "horrible", "awful", "disgusting",
+    "beautiful", "ugly", "nice", "cool", "weird", "strange", "normal",
+    "proud", "afraid", "scared", "worried", "concerned", "excited",
+    "thread", "post", "comment", "share", "retweet", "follow", "block",
+    "report", "account", "profile", "timeline", "trending", "viral",
+    "online", "internet", "website", "platform", "media", "press",
+    "journalist", "article", "headline", "source", "evidence", "claim",
+    "truth", "lie", "lies", "lying", "liar", "hoax", "scam", "fraud",
+    "corrupt", "corruption", "scandal", "coverup", "agenda", "narrative",
+    "propaganda", "censorship", "censored", "banned", "ban", "delete",
+    "deleted", "removed", "moderation", "moderator", "algorithm",
+    "amazon", "google", "facebook", "twitter", "reddit", "youtube",
+    "instagram", "tiktok", "apple", "microsoft",
+)
+
+#: Political vocabulary — the paper's running examples ("democRATs",
+#: "repubLIEcans") come from this register.
+POLITICS_WORDS: tuple[str, ...] = (
+    "democrats", "democrat", "republicans", "republican", "election",
+    "elections", "ballot", "ballots", "senate", "senator", "senators",
+    "congress", "congressman", "congresswoman", "house", "representative",
+    "representatives", "president", "presidential", "biden", "trump",
+    "administration", "campaign", "candidate", "candidates", "politician",
+    "politicians", "politics", "political", "policy", "policies",
+    "legislation", "bill", "amendment", "constitution", "constitutional",
+    "democracy", "socialism", "socialist", "socialists", "communism",
+    "communist", "communists", "fascism", "fascist", "fascists", "leftist",
+    "leftists", "rightwing", "leftwing", "conservatives", "liberals",
+    "progressive", "progressives", "patriot", "patriots", "freedom",
+    "liberty", "rights", "protest", "protesters", "riot", "rioters",
+    "impeach", "impeachment", "investigation", "committee", "hearing",
+    "supreme", "justice", "judges", "governor", "mayor", "voter", "voters",
+    "voting", "fraud", "rigged", "stolen", "landslide", "majority",
+    "minority", "primary", "caucus", "debate", "swamp", "establishment",
+    "deep", "state", "globalist", "globalists", "nationalist",
+    "nationalists", "antifa", "maga", "woke", "partisan", "bipartisan",
+)
+
+#: Public-health vocabulary — the "vaccine mandate" scenario.
+HEALTH_WORDS: tuple[str, ...] = (
+    "vaccine", "vaccines", "vaccinated", "vaccination", "vaccinations",
+    "unvaccinated", "vax", "vaxxed", "antivax", "antivaxxer", "antivaxxers",
+    "mandate", "mandates", "mandatory", "booster", "boosters", "dose",
+    "doses", "shot", "shots", "jab", "jabs", "pfizer", "moderna",
+    "astrazeneca", "covid", "coronavirus", "pandemic", "epidemic", "virus",
+    "variant", "variants", "omicron", "delta", "infection", "infections",
+    "infected", "immunity", "immune", "antibodies", "mask", "masks",
+    "masking", "lockdown", "lockdowns", "quarantine", "isolation",
+    "hospital", "hospitals", "hospitalized", "icu", "ventilator", "nurse",
+    "nurses", "doctors", "physician", "pharma", "pharmaceutical", "cdc",
+    "fda", "who", "fauci", "science", "scientist", "scientists", "study",
+    "studies", "trial", "trials", "efficacy", "effectiveness", "safety",
+    "side", "effects", "adverse", "reaction", "reactions", "myocarditis",
+    "microchip", "sheep", "sheeple", "plandemic", "scamdemic", "depopulation",
+    "suicide", "depression", "anxiety", "selfharm", "overdose", "addiction",
+    "alcohol", "drugs", "therapy", "therapist", "mental", "illness",
+    "disorder", "trauma", "crisis", "hotline",
+)
+
+#: Abusive / toxicity vocabulary — hate-speech and cyberbullying corpora are
+#: where the paper mines many perturbations.  Included because the library's
+#: purpose is to *detect and normalize* abusive perturbations.
+ABUSE_WORDS: tuple[str, ...] = (
+    "hate", "hateful", "hater", "haters", "racist", "racists", "racism",
+    "bigot", "bigots", "bigotry", "sexist", "sexism", "misogynist",
+    "misogyny", "nazi", "nazis", "supremacist", "supremacists", "terrorist",
+    "terrorists", "terrorism", "extremist", "extremists", "violence",
+    "violent", "attack", "attacks", "threat", "threats", "threaten",
+    "threatening", "abuse", "abusive", "harass", "harassment", "bully",
+    "bullies", "bullying", "cyberbullying", "troll", "trolls", "trolling",
+    "doxx", "doxxing", "slur", "slurs", "insult", "insults", "offensive",
+    "idiot", "idiots", "moron", "morons", "imbecile", "loser", "losers",
+    "pathetic", "worthless", "garbage", "trash", "scum", "filth", "vermin",
+    "rats", "snake", "snakes", "pig", "pigs", "dog", "dogs", "animal",
+    "animals", "savage", "savages", "freak", "freaks", "creep", "creeps",
+    "pervert", "perverts", "predator", "predators", "pedophile",
+    "pedophiles", "groomer", "groomers", "kill", "killed", "killing",
+    "murder", "murderer", "die", "death", "dead", "destroy", "destroyed",
+    "eliminate", "eradicate", "exterminate", "lynch", "shoot", "shooting",
+    "gun", "guns", "bomb", "bombs", "porn", "pornography", "sex", "sexual",
+    "nude", "nudes", "explicit", "nsfw", "whore", "slut", "bitch",
+    "bastard", "damn", "hell", "crap", "sucks", "stfu", "gtfo", "wtf",
+    "lmao", "lol", "smh", "fml",
+)
+
+#: Religion / nationality vocabulary — the paper notes these are often
+#: hyphen-perturbed ("mus-lim", "chi-nese") in hateful contexts.
+IDENTITY_WORDS: tuple[str, ...] = (
+    "muslim", "muslims", "islam", "islamic", "christian", "christians",
+    "christianity", "jewish", "jew", "jews", "judaism", "catholic",
+    "catholics", "protestant", "hindu", "hindus", "buddhist", "buddhists",
+    "atheist", "atheists", "religion", "religious", "church", "mosque",
+    "synagogue", "temple", "chinese", "china", "asian", "asians", "mexican",
+    "mexicans", "mexico", "immigrant", "immigrants", "immigration",
+    "migrant", "migrants", "refugee", "refugees", "foreigner", "foreigners",
+    "african", "africans", "black", "white", "latino", "latina", "hispanic",
+    "indian", "indians", "arab", "arabs", "russian", "russians", "russia",
+    "ukrainian", "ukrainians", "ukraine", "american", "europe", "european",
+    "europeans", "gay", "gays", "lesbian", "lesbians", "bisexual",
+    "transgender", "trans", "queer", "lgbt", "lgbtq", "gender", "woman",
+    "women", "man", "men", "female", "male", "feminist", "feminists",
+    "feminism", "minorities", "ethnic", "ethnicity", "race", "racial",
+    "diversity", "inclusion", "equality", "equity", "discrimination",
+    "prejudice", "stereotype", "stereotypes", "privilege", "oppression",
+    "oppressed", "justice", "injustice",
+)
+
+#: Words the paper uses as explicit examples; kept separate so tests and
+#: benchmarks can reference the exact set.
+PAPER_EXAMPLE_WORDS: tuple[str, ...] = (
+    "democrats", "republicans", "vaccine", "suicide", "muslim", "chinese",
+    "amazon", "porn", "depression", "lesbian", "dirty", "the",
+    "tree", "burned", "race", "war", "thinking", "fake", "responsible",
+    "attempted", "calling", "mandate", "politics",
+)
+
+#: All thematic groups, keyed by name.  The synthetic corpus builders pick
+#: topic vocabulary from these groups.
+WORD_GROUPS: dict[str, tuple[str, ...]] = {
+    "function": FUNCTION_WORDS,
+    "common": COMMON_WORDS,
+    "politics": POLITICS_WORDS,
+    "health": HEALTH_WORDS,
+    "abuse": ABUSE_WORDS,
+    "identity": IDENTITY_WORDS,
+    "paper_examples": PAPER_EXAMPLE_WORDS,
+}
+
+
+class EnglishLexicon:
+    """Case-insensitive English lexicon with thematic groups.
+
+    The lexicon answers two questions for the CrypText pipeline:
+
+    * *is this token a correctly-spelled English word?* (``word in lexicon``)
+      — used by the dictionary builder to decide which tokens are canonical
+      words versus perturbation candidates, and by the normalizer to propose
+      correction targets;
+    * *which words belong to topic X?* (:meth:`group`) — used by the
+      synthetic corpus builders and the keyword-enrichment benchmark.
+
+    Parameters
+    ----------
+    words:
+        Optional extra words to include beyond the bundled groups.
+    include_groups:
+        Names of bundled groups to include (default: all).
+    """
+
+    def __init__(
+        self,
+        words: Iterable[str] = (),
+        include_groups: Iterable[str] | None = None,
+    ) -> None:
+        group_names = (
+            tuple(WORD_GROUPS) if include_groups is None else tuple(include_groups)
+        )
+        unknown = [name for name in group_names if name not in WORD_GROUPS]
+        if unknown:
+            raise KeyError(f"unknown lexicon groups: {unknown}")
+        self._groups: dict[str, frozenset[str]] = {
+            name: frozenset(word.lower() for word in WORD_GROUPS[name])
+            for name in group_names
+        }
+        extra = frozenset(word.lower() for word in words)
+        if extra:
+            self._groups["extra"] = extra
+        self._words: frozenset[str] = frozenset().union(*self._groups.values())
+
+    #: Inflectional suffixes accepted by the morphological fallback of
+    #: :meth:`is_word`, longest first so "worries" strips "es" before "s".
+    _SUFFIXES: tuple[str, ...] = ("ings", "ing", "ers", "ies", "es", "ed", "er", "ly", "s", "d")
+
+    def _base_form_known(self, lowered: str) -> bool:
+        """Whether stripping a common inflection suffix yields a known word."""
+        for suffix in self._SUFFIXES:
+            if len(lowered) - len(suffix) >= 3 and lowered.endswith(suffix):
+                stem = lowered[: -len(suffix)]
+                if stem in self._words:
+                    return True
+                # "worries" -> "worri" -> "worry"; "studies" -> "study"
+                if suffix in ("ies", "es") and stem + "y" in self._words:
+                    return True
+                # "debated" -> "debat" -> "debate"
+                if suffix in ("ed", "er", "ers", "ing", "ings", "d") and stem + "e" in self._words:
+                    return True
+                # "stopped" -> "stopp" -> "stop"
+                if len(stem) >= 4 and stem[-1] == stem[-2] and stem[:-1] in self._words:
+                    return True
+        return False
+
+    def __contains__(self, word: object) -> bool:
+        if not isinstance(word, str):
+            return False
+        lowered = word.lower()
+        return lowered in self._words or self._base_form_known(lowered)
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._words))
+
+    @property
+    def words(self) -> frozenset[str]:
+        """The full lowercase word set."""
+        return self._words
+
+    @property
+    def group_names(self) -> tuple[str, ...]:
+        """Names of the groups present in this lexicon."""
+        return tuple(sorted(self._groups))
+
+    def group(self, name: str) -> frozenset[str]:
+        """Return the lowercase word set of group ``name``."""
+        return self._groups[name]
+
+    def groups(self) -> Mapping[str, frozenset[str]]:
+        """Return every group as a read-only mapping."""
+        return dict(self._groups)
+
+    def is_word(self, token: str) -> bool:
+        """Alias of ``token in lexicon`` with an explicit name."""
+        return token in self
+
+    def sample_space(self, *group_names: str) -> tuple[str, ...]:
+        """Return a sorted tuple of the union of the named groups.
+
+        With no arguments the entire lexicon is returned.  Sorted output makes
+        seeded random sampling reproducible across Python hash randomization.
+        """
+        if not group_names:
+            return tuple(sorted(self._words))
+        union: set[str] = set()
+        for name in group_names:
+            union.update(self.group(name))
+        return tuple(sorted(union))
+
+
+@lru_cache(maxsize=1)
+def default_lexicon() -> EnglishLexicon:
+    """Return the process-wide default lexicon (all bundled groups)."""
+    return EnglishLexicon()

@@ -1,0 +1,31 @@
+"""Visualization data exports.
+
+The CrypText front end renders three interactive views (Figure 1-4 and the
+ML benchmark page): a 3D spherical word cloud of Look Up results, timeline
+charts of Social Listening aggregates, and the benchmark table of NLP-API
+accuracy under perturbation.  A library reproduction does not ship a GUI, but
+it ships the *data* those views render, in the JSON-friendly shapes the
+original front-end libraries (TagCloud.js, chart.js, dataTables.js) consume:
+
+* :mod:`repro.viz.wordcloud` — word-cloud items with frequency-scaled sizes
+  and deterministic 3D sphere coordinates;
+* :mod:`repro.viz.timeline` — chart.js-style datasets for frequency and
+  sentiment timelines;
+* :mod:`repro.viz.benchmark_page` — the ML benchmark page table built from
+  robustness sweep results.
+"""
+
+from .wordcloud import WordCloudItem, build_word_cloud
+from .timeline import build_timeline_chart, build_multi_keyword_chart
+from .benchmark_page import build_benchmark_page
+from .html_report import build_html_report, write_html_report
+
+__all__ = [
+    "WordCloudItem",
+    "build_word_cloud",
+    "build_timeline_chart",
+    "build_multi_keyword_chart",
+    "build_benchmark_page",
+    "build_html_report",
+    "write_html_report",
+]

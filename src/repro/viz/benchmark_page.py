@@ -1,0 +1,72 @@
+"""ML benchmark page export (Figure 4 and §III-D).
+
+The paper mentions that "CrypText also dedicates an ML benchmark page that
+frequently updates our evaluation of publicly available NLP APIs and models
+on noisy human-written texts".  This module assembles that page's data from
+robustness sweep results: a dataTables.js-style table (one row per service
+and ratio) plus per-service accuracy-vs-ratio series for the Figure-4 chart.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..classifiers.apis import RobustnessPoint
+from ..errors import VisualizationError
+
+
+def build_benchmark_page(
+    results: Mapping[str, Sequence[RobustnessPoint]],
+    perturbation_source: str = "cryptext",
+) -> dict[str, object]:
+    """Assemble the benchmark page payload.
+
+    Parameters
+    ----------
+    results:
+        Mapping from service name to its robustness points (as returned by
+        :meth:`~repro.classifiers.apis.RobustnessEvaluator.evaluate_many`).
+    perturbation_source:
+        Which perturbation generator produced the inputs (``cryptext`` or a
+        baseline name) — shown on the page so sweeps are comparable.
+    """
+    if not results:
+        raise VisualizationError("at least one service result is required")
+    rows: list[dict[str, object]] = []
+    series: dict[str, dict[str, list[float]]] = {}
+    for service in sorted(results):
+        points = sorted(results[service], key=lambda point: point.ratio)
+        if not points:
+            raise VisualizationError(f"service {service!r} has no robustness points")
+        clean_accuracy = next(
+            (point.accuracy for point in points if point.ratio == 0.0), points[0].accuracy
+        )
+        series[service] = {
+            "ratios": [point.ratio for point in points],
+            "accuracy": [round(point.accuracy, 4) for point in points],
+        }
+        for point in points:
+            rows.append(
+                {
+                    "service": service,
+                    "ratio": point.ratio,
+                    "accuracy": round(point.accuracy, 4),
+                    "accuracy_drop": round(clean_accuracy - point.accuracy, 4),
+                    "num_samples": point.num_samples,
+                    "perturbation_source": perturbation_source,
+                }
+            )
+    return {
+        "title": "Accuracy of NLP APIs on texts perturbed by "
+        + perturbation_source.upper(),
+        "columns": [
+            "service",
+            "ratio",
+            "accuracy",
+            "accuracy_drop",
+            "num_samples",
+            "perturbation_source",
+        ],
+        "rows": rows,
+        "series": series,
+    }

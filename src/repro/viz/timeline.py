@@ -1,0 +1,81 @@
+"""Timeline chart exports (Social Listening, §III-E).
+
+Produces chart.js-style payloads — ``{"labels": [...dates...], "datasets":
+[{"label": ..., "data": [...]}]}`` — from :class:`~repro.social.listening`
+results, one dataset for post frequency and one for average sentiment (and,
+in the multi-keyword variant, one frequency dataset per keyword).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import VisualizationError
+from ..social.listening import KeywordUsage
+
+
+def build_timeline_chart(usage: KeywordUsage) -> dict[str, object]:
+    """Frequency + sentiment chart for one monitored keyword."""
+    if not usage.timeline:
+        return {
+            "title": f"usage of {usage.keyword!r} and its perturbations",
+            "labels": [],
+            "datasets": [],
+        }
+    labels = [point.date for point in usage.timeline]
+    return {
+        "title": f"usage of {usage.keyword!r} and its perturbations",
+        "labels": labels,
+        "datasets": [
+            {
+                "label": "posts per day",
+                "kind": "frequency",
+                "data": [point.frequency for point in usage.timeline],
+            },
+            {
+                "label": "average sentiment",
+                "kind": "sentiment",
+                "data": [round(point.average_sentiment, 4) for point in usage.timeline],
+            },
+            {
+                "label": "negative share",
+                "kind": "sentiment",
+                "data": [round(point.negative_share, 4) for point in usage.timeline],
+            },
+        ],
+    }
+
+
+def build_multi_keyword_chart(
+    usages: Mapping[str, KeywordUsage], kind: str = "frequency"
+) -> dict[str, object]:
+    """One chart comparing several keywords on a shared date axis.
+
+    ``kind`` selects the plotted series: ``"frequency"``,
+    ``"average_sentiment"`` or ``"negative_share"``.
+    """
+    if kind not in ("frequency", "average_sentiment", "negative_share"):
+        raise VisualizationError(f"unknown chart kind: {kind!r}")
+    if not usages:
+        raise VisualizationError("at least one keyword usage is required")
+    all_dates: set[str] = set()
+    for usage in usages.values():
+        all_dates.update(point.date for point in usage.timeline)
+    labels: Sequence[str] = sorted(all_dates)
+    datasets = []
+    for keyword in sorted(usages):
+        usage = usages[keyword]
+        by_date = {point.date: point for point in usage.timeline}
+        data = []
+        for date in labels:
+            point = by_date.get(date)
+            if point is None:
+                data.append(0 if kind == "frequency" else 0.0)
+            elif kind == "frequency":
+                data.append(point.frequency)
+            elif kind == "average_sentiment":
+                data.append(round(point.average_sentiment, 4))
+            else:
+                data.append(round(point.negative_share, 4))
+        datasets.append({"label": keyword, "kind": kind, "data": data})
+    return {"title": f"{kind} by keyword", "labels": list(labels), "datasets": datasets}

@@ -1,0 +1,107 @@
+"""3D spherical word-cloud export (Figure 1).
+
+The Look Up GUI displays ``P_x`` as an interactive 3D spherical word cloud
+(TagCloud.js).  This module produces the data that view renders: one item
+per perturbation with a font size scaled by observed frequency and a
+deterministic position on the unit sphere (a Fibonacci lattice, which spreads
+points evenly without randomness).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.lookup import LookupResult
+from ..errors import VisualizationError
+
+
+@dataclass(frozen=True)
+class WordCloudItem:
+    """One word of the cloud with display size and sphere position."""
+
+    token: str
+    weight: int
+    size: float
+    x: float
+    y: float
+    z: float
+    is_original: bool
+    category: str
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize for the front-end."""
+        return {
+            "token": self.token,
+            "weight": self.weight,
+            "size": self.size,
+            "x": self.x,
+            "y": self.y,
+            "z": self.z,
+            "is_original": self.is_original,
+            "category": self.category,
+        }
+
+
+def _fibonacci_sphere(count: int) -> list[tuple[float, float, float]]:
+    """``count`` evenly spread points on the unit sphere."""
+    if count == 1:
+        return [(0.0, 1.0, 0.0)]
+    golden_angle = math.pi * (3.0 - math.sqrt(5.0))
+    points: list[tuple[float, float, float]] = []
+    for index in range(count):
+        y = 1.0 - 2.0 * index / (count - 1)
+        radius = math.sqrt(max(0.0, 1.0 - y * y))
+        theta = golden_angle * index
+        points.append((math.cos(theta) * radius, y, math.sin(theta) * radius))
+    return points
+
+
+def build_word_cloud(
+    result: LookupResult,
+    min_size: float = 12.0,
+    max_size: float = 48.0,
+    max_items: int | None = 100,
+) -> list[WordCloudItem]:
+    """Turn a Look Up result into word-cloud items.
+
+    Sizes are scaled with the logarithm of each token's observed frequency so
+    a handful of very frequent spellings do not flatten everything else.
+
+    Raises
+    ------
+    VisualizationError
+        If the result has no matches or the size bounds are inconsistent.
+    """
+    if min_size <= 0 or max_size < min_size:
+        raise VisualizationError(
+            f"invalid size bounds: min_size={min_size}, max_size={max_size}"
+        )
+    matches = list(result.matches)
+    if max_items is not None:
+        matches = matches[:max_items]
+    if not matches:
+        raise VisualizationError(
+            f"lookup for {result.query!r} produced no matches to visualize"
+        )
+    log_weights = [math.log1p(match.count) for match in matches]
+    lowest, highest = min(log_weights), max(log_weights)
+    span = highest - lowest
+    positions = _fibonacci_sphere(len(matches))
+    items: list[WordCloudItem] = []
+    for match, log_weight, (x, y, z) in zip(matches, log_weights, positions):
+        scale = 1.0 if span == 0 else (log_weight - lowest) / span
+        size = min_size + scale * (max_size - min_size)
+        items.append(
+            WordCloudItem(
+                token=match.token,
+                weight=match.count,
+                size=round(size, 2),
+                x=round(x, 4),
+                y=round(y, 4),
+                z=round(z, 4),
+                is_original=match.is_original,
+                category=match.category.value,
+            )
+        )
+    return items

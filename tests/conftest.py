@@ -1,0 +1,74 @@
+"""Shared fixtures.
+
+Building a CrypText system (dictionary + lexicon seeding + coherency scorer)
+is the expensive part of the suite, so corpus-backed fixtures are
+session-scoped and treated as read-only by the tests that use them; tests
+that need to mutate state build their own small instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrypText, CrypTextConfig
+from repro.datasets import build_social_corpus, corpus_texts
+from repro.social import SocialPlatform
+
+#: The three sentences of the paper's Table I.
+TABLE1_SENTENCES = (
+    "the dirrty republicans",
+    "thee dirty repubLIEcans",
+    "the dirty republic@@ns",
+)
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> list[str]:
+    """A handful of hand-written sentences with known perturbations."""
+    return [
+        "the dirrty republicans",
+        "thee dirty repubLIEcans",
+        "the dirty republic@@ns",
+        "the democrats support the vaccine mandate",
+        "the demokrats hate the vacc1ne",
+        "the democRATs push their agenda",
+        "thinking about suic1de again tonight",
+        "that movie was about depresxion and recovery",
+        "mus-lim families moved into the neighborhood",
+        "stop the vac-cine mandate now",
+        "the dem0cr@ts and the repubLIEcans argue online",
+        "i ordered from amazon yesterday",
+        "the amaz0n package never arrived",
+    ]
+
+
+@pytest.fixture(scope="session")
+def synthetic_posts():
+    """A seeded synthetic social corpus (read-only)."""
+    return build_social_corpus(num_posts=500, seed=20230116)
+
+
+@pytest.fixture(scope="session")
+def cryptext_small(small_corpus) -> CrypText:
+    """CrypText built from the small hand-written corpus (read-only)."""
+    return CrypText.from_corpus(small_corpus)
+
+
+@pytest.fixture(scope="session")
+def cryptext_synthetic(synthetic_posts) -> CrypText:
+    """CrypText built from the synthetic social corpus (read-only)."""
+    return CrypText.from_corpus(corpus_texts(synthetic_posts))
+
+
+@pytest.fixture(scope="session")
+def twitter_platform(synthetic_posts) -> SocialPlatform:
+    """Simulated Twitter platform holding the synthetic posts (read-only)."""
+    platform = SocialPlatform("twitter")
+    platform.ingest_posts(synthetic_posts)
+    return platform
+
+
+@pytest.fixture()
+def default_config() -> CrypTextConfig:
+    """A fresh default configuration."""
+    return CrypTextConfig()

@@ -1,0 +1,167 @@
+"""Tests for repro.adversarial (TextBugger, VIPER, DeepWordBug baselines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversarial import DeepWordBug, TextBugger, Viper
+from repro.adversarial.textbugger import KEYBOARD_NEIGHBORS, TEXTBUGGER_OPERATORS
+from repro.adversarial.viper import VISUAL_VARIANTS
+from repro.errors import CrypTextError
+from repro.text.unicode_fold import fold_text
+
+SENTENCE = "the democrats support the vaccine mandate for everyone"
+
+
+class TestSharedBehaviour:
+    @pytest.mark.parametrize("attack_cls", [TextBugger, Viper, DeepWordBug])
+    def test_zero_ratio_is_identity(self, attack_cls):
+        attack = attack_cls(seed=3)
+        assert attack.perturb(SENTENCE, ratio=0.0) == SENTENCE
+
+    @pytest.mark.parametrize("attack_cls", [TextBugger, Viper, DeepWordBug])
+    def test_positive_ratio_changes_text(self, attack_cls):
+        attack = attack_cls(seed=3)
+        assert attack.perturb(SENTENCE, ratio=0.5) != SENTENCE
+
+    @pytest.mark.parametrize("attack_cls", [TextBugger, Viper, DeepWordBug])
+    def test_deterministic_given_seed(self, attack_cls):
+        assert attack_cls(seed=11).perturb(SENTENCE, 0.5) == attack_cls(seed=11).perturb(
+            SENTENCE, 0.5
+        )
+
+    @pytest.mark.parametrize("attack_cls", [TextBugger, Viper, DeepWordBug])
+    def test_records_describe_changes(self, attack_cls):
+        attack = attack_cls(seed=5)
+        perturbed, records = attack.perturb_with_records(SENTENCE, ratio=0.5)
+        assert records
+        for record in records:
+            assert SENTENCE[record.start:record.end] == record.original
+            assert record.perturbed != record.original
+            assert record.operator
+            payload = record.to_dict()
+            assert payload["original"] == record.original
+
+    @pytest.mark.parametrize("attack_cls", [TextBugger, Viper, DeepWordBug])
+    def test_short_tokens_skipped(self, attack_cls):
+        attack = attack_cls(seed=5)
+        # every token shorter than the default minimum length -> no change
+        assert attack.perturb("a an it is to we", ratio=1.0) == "a an it is to we"
+
+    @pytest.mark.parametrize("attack_cls", [TextBugger, Viper, DeepWordBug])
+    def test_invalid_ratio_rejected(self, attack_cls):
+        with pytest.raises(CrypTextError):
+            attack_cls().perturb(SENTENCE, ratio=1.5)
+
+    @pytest.mark.parametrize("attack_cls", [TextBugger, Viper, DeepWordBug])
+    def test_perturb_many(self, attack_cls):
+        outputs = attack_cls(seed=1).perturb_many([SENTENCE, SENTENCE], ratio=0.25)
+        assert len(outputs) == 2
+
+
+class TestTextBugger:
+    def test_operator_inventory(self):
+        assert set(TEXTBUGGER_OPERATORS) == {"insert", "delete", "swap", "sub-c", "sub-w"}
+
+    def test_single_operator_restriction(self):
+        attack = TextBugger(seed=2, operators=["delete"])
+        perturbed, records = attack.perturb_with_records(SENTENCE, ratio=1.0)
+        assert all(record.operator == "delete" for record in records)
+        for record in records:
+            assert len(record.perturbed) == len(record.original) - 1
+
+    def test_sub_w_uses_visual_symbols(self):
+        attack = TextBugger(seed=2, operators=["sub-w"])
+        _, records = attack.perturb_with_records(SENTENCE, ratio=1.0)
+        assert any(not record.perturbed.isalpha() for record in records)
+
+    def test_sub_c_uses_keyboard_neighbors(self):
+        attack = TextBugger(seed=4, operators=["sub-c"])
+        _, records = attack.perturb_with_records("vaccine mandate", ratio=1.0)
+        for record in records:
+            if record.operator != "sub-c":
+                continue
+            diffs = [
+                (orig, new)
+                for orig, new in zip(record.original, record.perturbed)
+                if orig != new
+            ]
+            assert diffs
+            original_char, new_char = diffs[0]
+            assert new_char.lower() in KEYBOARD_NEIGHBORS.get(original_char.lower(), "")
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(CrypTextError):
+            TextBugger(operators=["explode"])
+        with pytest.raises(CrypTextError):
+            TextBugger(operators=[])
+
+
+class TestViper:
+    def test_replacements_are_accent_variants(self):
+        attack = Viper(seed=3, prob=1.0)
+        _, records = attack.perturb_with_records(SENTENCE, ratio=1.0)
+        for record in records:
+            # folding the accents back recovers the original token
+            assert fold_text(record.perturbed) == record.original
+
+    def test_variant_table_covers_all_letters_used(self):
+        assert set(VISUAL_VARIANTS) >= set("aeioudlmnrst")
+
+    def test_prob_validation(self):
+        with pytest.raises(CrypTextError):
+            Viper(prob=0.0)
+        with pytest.raises(CrypTextError):
+            Viper(prob=1.5)
+
+    def test_selected_token_always_changes(self):
+        attack = Viper(seed=9, prob=0.01)
+        _, records = attack.perturb_with_records("vaccine", ratio=1.0)
+        assert records and records[0].perturbed != "vaccine"
+
+
+class TestDeepWordBug:
+    def test_operator_restriction(self):
+        attack = DeepWordBug(seed=3, operators=["swap"])
+        _, records = attack.perturb_with_records(SENTENCE, ratio=1.0)
+        for record in records:
+            assert record.operator in {"swap", "delete"}  # delete is the fallback
+            assert sorted(record.perturbed.lower()) == sorted(record.original.lower()) or len(
+                record.perturbed
+            ) == len(record.original) - 1
+
+    def test_homoglyph_substitution(self):
+        attack = DeepWordBug(seed=3, operators=["substitute"], use_homoglyphs=True)
+        _, records = attack.perturb_with_records(SENTENCE, ratio=1.0)
+        assert any(not record.perturbed.isalpha() for record in records)
+
+    def test_ascii_substitution_mode(self):
+        attack = DeepWordBug(seed=3, operators=["substitute"], use_homoglyphs=False)
+        _, records = attack.perturb_with_records(SENTENCE, ratio=1.0)
+        for record in records:
+            assert all(char.isalpha() for char in record.perturbed)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(CrypTextError):
+            DeepWordBug(operators=["nuke"])
+
+
+class TestContrastWithHumanPerturbations:
+    def test_machine_baselines_rarely_produce_observed_human_tokens(self, cryptext_synthetic):
+        # §III-D: CrypText's replacements are guaranteed to be observed
+        # human-written tokens; machine baselines generally are not.
+        attack = TextBugger(seed=13)
+        _, records = attack.perturb_with_records(
+            "the democrats support the vaccine mandate for the republicans", ratio=1.0
+        )
+        observed = sum(
+            1 for record in records if record.perturbed in cryptext_synthetic.dictionary
+        )
+        assert observed <= len(records) // 2
+
+    def test_cryptext_replacements_always_observed(self, cryptext_synthetic):
+        outcome = cryptext_synthetic.perturb(
+            "the democrats support the vaccine mandate for the republicans", ratio=1.0
+        )
+        for replacement in outcome.replacements:
+            assert replacement.perturbed in cryptext_synthetic.dictionary

@@ -1,0 +1,141 @@
+"""Tests for repro.api.auth and repro.api.ratelimit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RateLimiter, TokenAuthenticator
+from repro.api.auth import KNOWN_SCOPES
+from repro.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    RateLimitExceededError,
+)
+
+
+class TestTokenIssue:
+    def test_issue_returns_usable_token(self):
+        authenticator = TokenAuthenticator(secret="unit-test")
+        token = authenticator.issue("alice")
+        record = authenticator.authenticate(token.token)
+        assert record["client"] == "alice"
+
+    def test_default_scopes_exclude_admin(self):
+        token = TokenAuthenticator().issue("alice")
+        assert "admin" not in token.scopes
+        assert "lookup" in token.scopes
+
+    def test_scoped_token(self):
+        authenticator = TokenAuthenticator()
+        token = authenticator.issue("bob", scopes={"lookup"})
+        assert authenticator.authorize(token.token, "lookup") == "bob"
+        with pytest.raises(AuthorizationError):
+            authenticator.authorize(token.token, "perturb")
+
+    def test_admin_scope_grants_everything(self):
+        authenticator = TokenAuthenticator()
+        token = authenticator.issue("root", scopes={"admin"})
+        for scope in KNOWN_SCOPES - {"admin"}:
+            assert authenticator.authorize(token.token, scope) == "root"
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(AuthorizationError):
+            TokenAuthenticator().issue("alice", scopes={"fly"})
+
+    def test_empty_client_rejected(self):
+        with pytest.raises(AuthenticationError):
+            TokenAuthenticator().issue("  ")
+
+    def test_tokens_are_unique(self):
+        authenticator = TokenAuthenticator()
+        assert authenticator.issue("a").token != authenticator.issue("a").token
+
+    def test_token_serialization(self):
+        token = TokenAuthenticator().issue("alice", scopes={"lookup"})
+        payload = token.to_dict()
+        assert payload["client"] == "alice"
+        assert payload["scopes"] == ["lookup"]
+
+
+class TestAuthenticate:
+    def test_missing_token(self):
+        with pytest.raises(AuthenticationError):
+            TokenAuthenticator().authenticate(None)
+        with pytest.raises(AuthenticationError):
+            TokenAuthenticator().authenticate("")
+
+    def test_unknown_token(self):
+        with pytest.raises(AuthenticationError):
+            TokenAuthenticator().authenticate("forged-token")
+
+    def test_revoked_token(self):
+        authenticator = TokenAuthenticator()
+        token = authenticator.issue("alice")
+        assert authenticator.revoke(token.token)
+        with pytest.raises(AuthenticationError):
+            authenticator.authenticate(token.token)
+
+    def test_revoke_unknown_token(self):
+        assert not TokenAuthenticator().revoke("nope")
+
+    def test_known_clients(self):
+        authenticator = TokenAuthenticator()
+        authenticator.issue("alice")
+        authenticator.issue("bob")
+        assert authenticator.known_clients() == ("alice", "bob")
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRateLimiter:
+    def test_allows_up_to_limit(self):
+        limiter = RateLimiter(max_requests=3, window_seconds=60, clock=FakeClock())
+        for _ in range(3):
+            limiter.check("alice")
+        with pytest.raises(RateLimitExceededError):
+            limiter.check("alice")
+
+    def test_limits_are_per_client(self):
+        limiter = RateLimiter(max_requests=1, window_seconds=60, clock=FakeClock())
+        limiter.check("alice")
+        limiter.check("bob")
+        with pytest.raises(RateLimitExceededError):
+            limiter.check("alice")
+
+    def test_window_slides(self):
+        clock = FakeClock()
+        limiter = RateLimiter(max_requests=2, window_seconds=10, clock=clock)
+        limiter.check("alice")
+        limiter.check("alice")
+        clock.advance(11)
+        limiter.check("alice")  # old requests expired
+
+    def test_remaining(self):
+        clock = FakeClock()
+        limiter = RateLimiter(max_requests=5, window_seconds=10, clock=clock)
+        assert limiter.remaining("alice") == 5
+        limiter.check("alice")
+        assert limiter.remaining("alice") == 4
+
+    def test_reset(self):
+        limiter = RateLimiter(max_requests=1, window_seconds=10, clock=FakeClock())
+        limiter.check("alice")
+        limiter.reset("alice")
+        limiter.check("alice")
+        limiter.reset()
+        limiter.check("alice")
+
+    def test_invalid_construction(self):
+        with pytest.raises(RateLimitExceededError):
+            RateLimiter(max_requests=0)
+        with pytest.raises(RateLimitExceededError):
+            RateLimiter(window_seconds=0)

@@ -1,0 +1,94 @@
+"""Tests for repro.text.charmap."""
+
+from __future__ import annotations
+
+from repro.text.charmap import (
+    EMOTICONS,
+    LEET_SUBSTITUTIONS,
+    VISUAL_EQUIVALENTS,
+    fold_visual_characters,
+    is_word_internal_separator,
+    strip_word_internal_separators,
+    visual_equivalence_class,
+)
+
+
+class TestVisualEquivalence:
+    def test_paper_examples(self):
+        # §III-A: "l"->"1", "a"->"@", "S"->"5" must fold onto the letters.
+        assert visual_equivalence_class("@") == "a"
+        assert visual_equivalence_class("5") == "s"
+        assert visual_equivalence_class("0") == "o"
+
+    def test_letters_fold_to_lowercase_self(self):
+        assert visual_equivalence_class("A") == "a"
+        assert visual_equivalence_class("z") == "z"
+
+    def test_unknown_characters_pass_through(self):
+        assert visual_equivalence_class("-") == "-"
+        assert visual_equivalence_class("?") == "?"
+
+    def test_empty_string_passes_through(self):
+        assert visual_equivalence_class("") == ""
+
+    def test_idempotent(self):
+        for char in list(VISUAL_EQUIVALENTS) + ["a", "Z", "-"]:
+            once = visual_equivalence_class(char)
+            assert visual_equivalence_class(once) == once
+
+    def test_cyrillic_homoglyphs_fold(self):
+        assert visual_equivalence_class("а") == "a"  # cyrillic a
+        assert visual_equivalence_class("о") == "o"  # cyrillic o
+
+
+class TestFoldVisualCharacters:
+    def test_democrats_leet(self):
+        assert fold_visual_characters("dem0cr@ts") == "democrats"
+
+    def test_suicide_digit_one(self):
+        assert fold_visual_characters("suic1de") == "suicide"
+
+    def test_vaccine_digit_one(self):
+        assert fold_visual_characters("vacc1ne") == "vaccine"
+
+    def test_output_is_lowercase(self):
+        assert fold_visual_characters("DemocRATs") == "democrats"
+
+    def test_plain_word_unchanged(self):
+        assert fold_visual_characters("vaccine") == "vaccine"
+
+
+class TestLeetSubstitutionsTable:
+    def test_every_substitution_folds_back(self):
+        # The substitution table and the fold table must be mutually
+        # consistent: applying a leet character then folding it must recover
+        # a letter (either the original or its visual class).
+        for letter, variants in LEET_SUBSTITUTIONS.items():
+            for variant in variants:
+                folded = visual_equivalence_class(variant)
+                assert folded.isalpha(), (letter, variant, folded)
+
+    def test_keys_are_lowercase_letters(self):
+        assert all(len(key) == 1 and key.isalpha() and key.islower() for key in LEET_SUBSTITUTIONS)
+
+
+class TestSeparators:
+    def test_hyphen_and_dot_are_separators(self):
+        assert is_word_internal_separator("-")
+        assert is_word_internal_separator(".")
+        assert is_word_internal_separator("_")
+        assert not is_word_internal_separator("a")
+
+    def test_strip_separators_paper_examples(self):
+        assert strip_word_internal_separators("mus-lim") == "muslim"
+        assert strip_word_internal_separators("vac-cine") == "vaccine"
+        assert strip_word_internal_separators("chi-nese") == "chinese"
+
+    def test_strip_separators_no_op_on_clean_words(self):
+        assert strip_word_internal_separators("vaccine") == "vaccine"
+
+
+class TestEmoticons:
+    def test_emoticon_inventory_is_nonempty_and_stringy(self):
+        assert EMOTICONS
+        assert all(isinstance(emoticon, str) and emoticon for emoticon in EMOTICONS)

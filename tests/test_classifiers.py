@@ -1,0 +1,215 @@
+"""Tests for repro.classifiers (Naive Bayes, logistic regression, simulated APIs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classifiers import (
+    LogisticRegressionClassifier,
+    MultinomialNaiveBayes,
+    NgramVectorizer,
+    RobustnessEvaluator,
+    SimulatedCategoryAPI,
+    SimulatedSentimentAPI,
+    SimulatedToxicityAPI,
+)
+from repro.datasets import build_classification_dataset
+from repro.errors import ClassifierError
+
+TRAIN_TEXTS = [
+    "i hate you worthless pathetic loser",
+    "you are scum and trash and everyone hates you",
+    "these vermin should be eliminated from our country",
+    "shut up you disgusting idiot nobody wants you",
+    "what a wonderful sunny day for a walk",
+    "i love this community it is so supportive",
+    "the new library opens downtown next week",
+    "thanks for the help with the garden project",
+]
+TRAIN_LABELS = ["toxic", "toxic", "toxic", "toxic", "nontoxic", "nontoxic", "nontoxic", "nontoxic"]
+
+
+def _vectors(texts, vectorizer=None):
+    vectorizer = vectorizer or NgramVectorizer(char_ngrams=None)
+    return vectorizer.fit_transform(texts), vectorizer
+
+
+class TestNaiveBayes:
+    def test_learns_simple_separation(self):
+        vectors, vectorizer = _vectors(TRAIN_TEXTS)
+        model = MultinomialNaiveBayes().fit(vectors, TRAIN_LABELS)
+        toxic_vector = vectorizer.transform_one("you pathetic worthless scum")
+        clean_vector = vectorizer.transform_one("wonderful sunny day in the garden")
+        assert model.predict(toxic_vector) == "toxic"
+        assert model.predict(clean_vector) == "nontoxic"
+
+    def test_probabilities_sum_to_one(self):
+        vectors, vectorizer = _vectors(TRAIN_TEXTS)
+        model = MultinomialNaiveBayes().fit(vectors, TRAIN_LABELS)
+        probabilities = model.predict_proba(vectorizer.transform_one("i hate you"))
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+        assert set(probabilities) == {"toxic", "nontoxic"}
+
+    def test_score_on_training_data(self):
+        vectors, _ = _vectors(TRAIN_TEXTS)
+        model = MultinomialNaiveBayes().fit(vectors, TRAIN_LABELS)
+        assert model.score(vectors, TRAIN_LABELS) >= 0.9
+
+    def test_empty_vector_falls_back_to_prior(self):
+        vectors, _ = _vectors(TRAIN_TEXTS)
+        labels = ["toxic"] * 6 + ["nontoxic"] * 2
+        model = MultinomialNaiveBayes().fit(vectors, labels)
+        assert model.predict({}) == "toxic"
+
+    def test_validation_errors(self):
+        with pytest.raises(ClassifierError):
+            MultinomialNaiveBayes(alpha=0)
+        with pytest.raises(ClassifierError):
+            MultinomialNaiveBayes().fit([], [])
+        with pytest.raises(ClassifierError):
+            MultinomialNaiveBayes().fit([{}], ["a", "b"])
+        with pytest.raises(ClassifierError):
+            MultinomialNaiveBayes().predict({})
+
+    def test_classes_sorted(self):
+        vectors, _ = _vectors(TRAIN_TEXTS)
+        model = MultinomialNaiveBayes().fit(vectors, TRAIN_LABELS)
+        assert model.classes == ("nontoxic", "toxic")
+
+
+class TestLogisticRegression:
+    def test_learns_simple_separation(self):
+        vectors, vectorizer = _vectors(TRAIN_TEXTS)
+        model = LogisticRegressionClassifier(epochs=60, seed=3).fit(vectors, TRAIN_LABELS)
+        assert model.predict(vectorizer.transform_one("you worthless pathetic idiot")) == "toxic"
+        assert model.predict(vectorizer.transform_one("lovely garden project thanks")) == "nontoxic"
+
+    def test_probabilities_sum_to_one(self):
+        vectors, vectorizer = _vectors(TRAIN_TEXTS)
+        model = LogisticRegressionClassifier(epochs=20).fit(vectors, TRAIN_LABELS)
+        probabilities = model.predict_proba(vectorizer.transform_one("i hate you"))
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+    def test_training_is_deterministic_given_seed(self):
+        vectors, vectorizer = _vectors(TRAIN_TEXTS)
+        first = LogisticRegressionClassifier(epochs=10, seed=7).fit(vectors, TRAIN_LABELS)
+        second = LogisticRegressionClassifier(epochs=10, seed=7).fit(vectors, TRAIN_LABELS)
+        probe = vectorizer.transform_one("hate trash day")
+        assert first.predict_proba(probe) == second.predict_proba(probe)
+
+    def test_predict_many_matches_predict(self):
+        vectors, vectorizer = _vectors(TRAIN_TEXTS)
+        model = LogisticRegressionClassifier(epochs=20).fit(vectors, TRAIN_LABELS)
+        probes = [vectorizer.transform_one(text) for text in TRAIN_TEXTS]
+        assert model.predict_many(probes) == [model.predict(probe) for probe in probes]
+
+    def test_validation_errors(self):
+        with pytest.raises(ClassifierError):
+            LogisticRegressionClassifier(learning_rate=0)
+        with pytest.raises(ClassifierError):
+            LogisticRegressionClassifier(epochs=0)
+        with pytest.raises(ClassifierError):
+            LogisticRegressionClassifier().predict({})
+        with pytest.raises(ClassifierError):
+            LogisticRegressionClassifier().fit([], [])
+
+
+class TestSimulatedAPIs:
+    @pytest.fixture(scope="class")
+    def toxicity_data(self):
+        return build_classification_dataset("toxicity", num_samples=400, seed=5)
+
+    @pytest.fixture(scope="class")
+    def sentiment_data(self):
+        return build_classification_dataset("sentiment", num_samples=400, seed=6)
+
+    @pytest.fixture(scope="class")
+    def topic_data(self):
+        return build_classification_dataset("topic", num_samples=400, seed=7)
+
+    def test_toxicity_api_response_shape(self, toxicity_data):
+        texts, labels = toxicity_data
+        api = SimulatedToxicityAPI().train(texts, labels)
+        prediction = api.analyze("you are a worthless pathetic loser")
+        assert prediction.label in ("toxic", "nontoxic")
+        assert "TOXICITY" in prediction.raw["attributeScores"]
+        assert 0.0 <= prediction.raw["attributeScores"]["TOXICITY"]["summaryScore"]["value"] <= 1.0
+
+    def test_toxicity_api_clean_accuracy(self, toxicity_data):
+        texts, labels = toxicity_data
+        api = SimulatedToxicityAPI().train(texts[:300], labels[:300])
+        assert api.accuracy_on(texts[300:], labels[300:]) >= 0.8
+
+    def test_sentiment_api_response_shape(self, sentiment_data):
+        texts, labels = sentiment_data
+        api = SimulatedSentimentAPI().train(texts[:200], labels[:200])
+        prediction = api.analyze("i love this wonderful community")
+        assert prediction.label in ("negative", "neutral", "positive")
+        assert -1.0 <= prediction.raw["documentSentiment"]["score"] <= 1.0
+
+    def test_category_api_response_shape(self, topic_data):
+        texts, labels = topic_data
+        api = SimulatedCategoryAPI().train(texts, labels)
+        prediction = api.analyze("the senate will debate the election bill")
+        assert prediction.label in {"politics", "health", "abuse", "technology"}
+        assert prediction.raw["categories"][0]["name"].startswith("/")
+
+    def test_untrained_api_rejected(self):
+        with pytest.raises(ClassifierError):
+            SimulatedToxicityAPI().predict_label("hello")
+
+    def test_train_length_mismatch(self):
+        with pytest.raises(ClassifierError):
+            SimulatedToxicityAPI().train(["a"], ["toxic", "nontoxic"])
+
+
+class TestRobustnessEvaluator:
+    def test_accuracy_degrades_with_ratio(self, cryptext_synthetic):
+        texts, labels = build_classification_dataset("toxicity", num_samples=300, seed=9)
+        api = SimulatedToxicityAPI().train(texts[:200], labels[:200])
+        evaluator = RobustnessEvaluator(
+            lambda text, ratio: cryptext_synthetic.perturb(text, ratio=ratio).perturbed_text,
+            ratios=(0.0, 0.5),
+        )
+        points = evaluator.evaluate(api, texts[200:], labels[200:])
+        by_ratio = {point.ratio: point.accuracy for point in points}
+        assert by_ratio[0.5] <= by_ratio[0.0]
+
+    def test_point_metadata(self, cryptext_small):
+        texts, labels = build_classification_dataset("toxicity", num_samples=60, seed=2)
+        api = SimulatedToxicityAPI().train(texts, labels)
+        evaluator = RobustnessEvaluator(
+            lambda text, ratio: cryptext_small.perturb(text, ratio=ratio).perturbed_text,
+            ratios=(0.0, 0.25),
+        )
+        points = evaluator.evaluate(api, texts[:20], labels[:20])
+        assert [point.ratio for point in points] == [0.0, 0.25]
+        assert all(point.num_samples == 20 for point in points)
+        assert all(point.service == "perspective_toxicity" for point in points)
+        assert all(0.0 <= point.accuracy <= 1.0 for point in points)
+
+    def test_evaluate_many_pairs_apis_with_datasets(self, cryptext_small):
+        tox_texts, tox_labels = build_classification_dataset("toxicity", 80, seed=1)
+        topic_texts, topic_labels = build_classification_dataset("topic", 80, seed=2)
+        tox_api = SimulatedToxicityAPI().train(tox_texts, tox_labels)
+        topic_api = SimulatedCategoryAPI().train(topic_texts, topic_labels)
+        evaluator = RobustnessEvaluator(
+            lambda text, ratio: cryptext_small.perturb(text, ratio=ratio).perturbed_text,
+            ratios=(0.0,),
+        )
+        results = evaluator.evaluate_many(
+            [tox_api, topic_api],
+            [(tox_texts[:20], tox_labels[:20]), (topic_texts[:20], topic_labels[:20])],
+        )
+        assert set(results) == {"perspective_toxicity", "cloud_categories"}
+
+    def test_validation(self, cryptext_small):
+        with pytest.raises(ClassifierError):
+            RobustnessEvaluator(lambda text, ratio: text, ratios=())
+        evaluator = RobustnessEvaluator(lambda text, ratio: text)
+        texts, labels = build_classification_dataset("toxicity", 20, seed=1)
+        api = SimulatedToxicityAPI().train(texts, labels)
+        with pytest.raises(ClassifierError):
+            evaluator.evaluate(api, [], [])
+        with pytest.raises(ClassifierError):
+            evaluator.evaluate(api, ["a"], ["toxic", "nontoxic"])

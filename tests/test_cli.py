@@ -1,0 +1,126 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import DB_FILE_NAME, build_parser, main
+
+#: A tiny corpus keeps CLI invocations fast; 120 posts still contain
+#: perturbations of the showcase keywords.
+FAST = ["--posts", "120", "--seed", "3"]
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_parser_knows_all_commands(self):
+        parser = build_parser()
+        for command in ("build", "lookup", "normalize", "perturb", "listen", "stats"):
+            args = parser.parse_args(_minimal_invocation(command))
+            assert args.command == command
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+def _minimal_invocation(command: str) -> list[str]:
+    if command == "build":
+        return ["build", "--out", "/tmp/db"]
+    if command == "lookup":
+        return ["lookup", "vaccine"]
+    if command in ("normalize", "perturb"):
+        return [command, "some text"]
+    if command == "listen":
+        return ["listen", "vaccine"]
+    return ["stats"]
+
+
+class TestLookupCommand:
+    def test_lookup_prints_perturbations(self, capsys):
+        code, out, _err = run_cli(capsys, "lookup", "democrats", *FAST)
+        assert code == 0
+        assert out.startswith("democrats:")
+
+    def test_lookup_json_output(self, capsys):
+        code, out, _err = run_cli(capsys, "--json", "lookup", "vaccine", *FAST)
+        assert code == 0
+        payload = json.loads(out)
+        assert "vaccine" in payload
+        assert payload["vaccine"]["query"] == "vaccine"
+
+    def test_lookup_multiple_words(self, capsys):
+        code, out, _err = run_cli(capsys, "lookup", "democrats", "vaccine", *FAST)
+        assert code == 0
+        assert "democrats:" in out and "vaccine:" in out
+
+
+class TestNormalizePerturbCommands:
+    def test_normalize_restores_paper_example(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "normalize", "Thinking about suic1de", *FAST, "--explain"
+        )
+        assert code == 0
+        assert "suicide" in out.lower()
+
+    def test_perturb_respects_ratio_zero(self, capsys):
+        text = "the democrats support the vaccine mandate"
+        code, out, _err = run_cli(capsys, "perturb", text, "--ratio", "0.0", *FAST)
+        assert code == 0
+        assert out.strip().splitlines()[0] == text
+
+    def test_perturb_json_contains_replacements(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "--json",
+            "perturb",
+            "the democrats support the vaccine mandate",
+            "--ratio",
+            "1.0",
+            "--fill-target",
+            *FAST,
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert "replacements" in payload
+
+
+class TestStatsAndBuildCommands:
+    def test_stats_reports_counts(self, capsys):
+        code, out, _err = run_cli(capsys, "stats", *FAST)
+        assert code == 0
+        assert "raw tokens" in out
+
+    def test_build_then_lookup_from_db(self, capsys, tmp_path):
+        db_dir = tmp_path / "db"
+        code, out, _err = run_cli(
+            capsys, "build", "--posts", "150", "--seed", "5", "--out", str(db_dir)
+        )
+        assert code == 0
+        assert (db_dir / DB_FILE_NAME).exists()
+        code, out, _err = run_cli(capsys, "lookup", "democrats", "--db", str(db_dir))
+        assert code == 0
+        assert out.startswith("democrats:")
+
+    def test_missing_db_is_a_clean_error(self, capsys, tmp_path):
+        code, _out, err = run_cli(
+            capsys, "lookup", "democrats", "--db", str(tmp_path / "nowhere")
+        )
+        assert code == 2
+        assert "error:" in err
+
+
+class TestListenCommand:
+    def test_listen_reports_timeline(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "listen", "vaccine", "--posts", "200", "--seed", "3"
+        )
+        assert code == 0
+        assert "keyword 'vaccine'" in out

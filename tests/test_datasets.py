@@ -1,0 +1,223 @@
+"""Tests for repro.datasets (synthetic corpora and labelled datasets)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import (
+    HUMAN_STRATEGIES,
+    HumanPerturbationGenerator,
+    SENTENCE_TEMPLATES,
+    build_classification_dataset,
+    build_perturbation_pairs,
+    build_social_corpus,
+    corpus_texts,
+)
+from repro.datasets.builders import CORPUS_START_DATE, SENSITIVE_KEYWORDS
+from repro.datasets.seeds import available_topics, templates_for_topic
+from repro.errors import DatasetError
+from repro.core.categories import PerturbationCategory, categorize_perturbation
+
+
+class TestHumanPerturbationGenerator:
+    def test_emphasis_known_span(self):
+        generator = HumanPerturbationGenerator(rng=random.Random(0))
+        assert generator.emphasis("democrats") == "democRATs"
+        assert generator.emphasis("republicans") == "repubLIEcans"
+
+    def test_leet_changes_characters(self):
+        generator = HumanPerturbationGenerator(rng=random.Random(0))
+        perturbed = generator.leet("vaccine")
+        assert perturbed != "vaccine"
+        assert len(perturbed) == len("vaccine")
+
+    def test_separator_inserts_mark(self):
+        generator = HumanPerturbationGenerator(rng=random.Random(0))
+        perturbed = generator.separator("muslim")
+        assert perturbed != "muslim"
+        assert any(mark in perturbed for mark in "-._")
+
+    def test_repetition_stretches_word(self):
+        generator = HumanPerturbationGenerator(rng=random.Random(0))
+        assert len(generator.repetition("porn")) > len("porn")
+
+    def test_deletion_and_doubling_lengths(self):
+        generator = HumanPerturbationGenerator(rng=random.Random(0))
+        assert len(generator.deletion("democrats")) == len("democrats") - 1
+        assert len(generator.doubling("dirty")) == len("dirty") + 1
+
+    def test_apply_returns_strategy_used(self):
+        generator = HumanPerturbationGenerator(rng=random.Random(1))
+        perturbed, strategy = generator.apply("vaccine")
+        assert perturbed != "vaccine"
+        assert strategy in HUMAN_STRATEGIES
+
+    def test_apply_with_named_strategy(self):
+        generator = HumanPerturbationGenerator(rng=random.Random(1))
+        perturbed, strategy = generator.apply("democrats", strategy="leet")
+        assert strategy == "leet"
+        assert categorize_perturbation("democrats", perturbed) == PerturbationCategory.LEET_SUBSTITUTION
+
+    def test_apply_unknown_strategy_rejected(self):
+        with pytest.raises(DatasetError):
+            HumanPerturbationGenerator().apply("vaccine", strategy="teleport")
+
+    def test_generated_perturbations_share_soundex_key_mostly(self):
+        from repro.core.soundex import CustomSoundex
+
+        encoder = CustomSoundex(phonetic_level=1)
+        generator = HumanPerturbationGenerator(rng=random.Random(3))
+        same = 0
+        total = 0
+        for word in ("democrats", "republicans", "vaccine", "muslim", "depression"):
+            for strategy in ("emphasis", "leet", "separator", "repetition", "doubling"):
+                perturbed, used = generator.apply(word, strategy=strategy)
+                if used == "none":
+                    continue
+                total += 1
+                if encoder.encode_or_none(perturbed) == encoder.encode(word):
+                    same += 1
+        assert same / total >= 0.8
+
+
+class TestTemplates:
+    def test_templates_cover_required_topics(self):
+        assert set(available_topics()) == {"politics", "health", "abuse", "technology"}
+
+    def test_templates_for_topic(self):
+        assert all(t.topic == "politics" for t in templates_for_topic("politics"))
+        with pytest.raises(DatasetError):
+            templates_for_topic("sports")
+
+    def test_every_sentiment_label_is_valid(self):
+        assert all(t.sentiment in ("negative", "neutral", "positive") for t in SENTENCE_TEMPLATES)
+
+    def test_toxic_templates_exist(self):
+        assert any(t.toxic for t in SENTENCE_TEMPLATES)
+        assert any(not t.toxic for t in SENTENCE_TEMPLATES)
+
+
+class TestBuildSocialCorpus:
+    def test_deterministic_given_seed(self):
+        first = build_social_corpus(num_posts=50, seed=42)
+        second = build_social_corpus(num_posts=50, seed=42)
+        assert [post.text for post in first] == [post.text for post in second]
+
+    def test_different_seeds_differ(self):
+        first = build_social_corpus(num_posts=50, seed=1)
+        second = build_social_corpus(num_posts=50, seed=2)
+        assert [post.text for post in first] != [post.text for post in second]
+
+    def test_post_fields(self, synthetic_posts):
+        post = synthetic_posts[0]
+        assert post.platform in ("twitter", "reddit")
+        assert post.topic in available_topics()
+        assert post.sentiment in ("negative", "neutral", "positive")
+        assert post.created_at >= CORPUS_START_DATE.isoformat()
+        document = post.to_document()
+        assert document["text"] == post.text
+
+    def test_perturbed_pairs_consistent_with_texts(self, synthetic_posts):
+        for post in synthetic_posts:
+            if post.has_perturbation:
+                assert post.text != post.clean_text
+                for original, perturbed in post.perturbed_pairs:
+                    assert perturbed in post.text
+                    assert original in post.clean_text
+            else:
+                assert post.text == post.clean_text
+
+    def test_negative_posts_perturbed_more_often(self, synthetic_posts):
+        negative = [post for post in synthetic_posts if post.sentiment == "negative"]
+        positive = [post for post in synthetic_posts if post.sentiment == "positive"]
+        negative_rate = sum(post.has_perturbation for post in negative) / len(negative)
+        positive_rate = sum(post.has_perturbation for post in positive) / len(positive)
+        assert negative_rate > positive_rate
+
+    def test_topic_restriction(self):
+        posts = build_social_corpus(num_posts=30, seed=3, topics=["health"])
+        assert all(post.topic == "health" for post in posts)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(DatasetError):
+            build_social_corpus(num_posts=0)
+        with pytest.raises(DatasetError):
+            build_social_corpus(num_posts=10, topics=["sports"])
+        with pytest.raises(DatasetError):
+            build_social_corpus(num_posts=10, platforms=[])
+        with pytest.raises(DatasetError):
+            build_social_corpus(num_posts=10, num_days=0)
+
+    def test_corpus_texts_helper(self, synthetic_posts):
+        published = corpus_texts(synthetic_posts)
+        clean = corpus_texts(synthetic_posts, clean=True)
+        assert len(published) == len(clean) == len(synthetic_posts)
+        assert any(p != c for p, c in zip(published, clean))
+
+
+class TestBuildClassificationDataset:
+    @pytest.mark.parametrize(
+        ("kind", "expected_labels"),
+        [
+            ("toxicity", {"toxic", "nontoxic"}),
+            ("sentiment", {"negative", "neutral", "positive"}),
+            ("topic", {"politics", "health", "abuse", "technology"}),
+        ],
+    )
+    def test_labels_match_kind(self, kind, expected_labels):
+        texts, labels = build_classification_dataset(kind, num_samples=200, seed=4)
+        assert len(texts) == len(labels) == 200
+        assert set(labels) <= expected_labels
+        assert len(set(labels)) >= 2
+
+    def test_texts_are_clean(self):
+        texts, _ = build_classification_dataset("toxicity", num_samples=100, seed=4)
+        # clean texts contain no leet characters
+        assert not any(any(ch in text for ch in "@$013457") for text in texts)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DatasetError):
+            build_classification_dataset("stance")
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(DatasetError):
+            build_classification_dataset("toxicity", num_samples=0)
+
+    def test_deterministic(self):
+        assert build_classification_dataset("topic", 50, seed=1) == build_classification_dataset(
+            "topic", 50, seed=1
+        )
+
+
+class TestBuildPerturbationPairs:
+    def test_pair_count_and_shape(self):
+        pairs = build_perturbation_pairs(num_pairs=100, seed=8)
+        assert len(pairs) == 100
+        for original, perturbed, strategy in pairs:
+            assert original != perturbed
+            assert strategy in HUMAN_STRATEGIES
+
+    def test_deterministic(self):
+        assert build_perturbation_pairs(50, seed=5) == build_perturbation_pairs(50, seed=5)
+
+    def test_strategy_restriction(self):
+        pairs = build_perturbation_pairs(50, seed=5, strategies=["leet"])
+        assert all(strategy == "leet" for _original, _perturbed, strategy in pairs)
+
+    def test_custom_word_pool(self):
+        pairs = build_perturbation_pairs(20, seed=5, words=["vaccine", "democrats"])
+        assert all(original in ("vaccine", "democrats") for original, _p, _s in pairs)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(DatasetError):
+            build_perturbation_pairs(0)
+        with pytest.raises(DatasetError):
+            build_perturbation_pairs(10, strategies=["teleport"])
+        with pytest.raises(DatasetError):
+            build_perturbation_pairs(10, words=["ab"])
+
+    def test_sensitive_keywords_nonempty(self):
+        assert "democrats" in SENSITIVE_KEYWORDS
+        assert "vaccine" in SENSITIVE_KEYWORDS

@@ -1,0 +1,180 @@
+"""Tests for repro.core.dictionary (the human-written token database)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrypTextConfig
+from repro.core.dictionary import PerturbationDictionary
+from repro.errors import DictionaryError
+from tests.conftest import TABLE1_SENTENCES
+
+
+@pytest.fixture()
+def table1_dictionary() -> PerturbationDictionary:
+    """Dictionary built from exactly the paper's Table I corpus."""
+    return PerturbationDictionary.from_corpus(list(TABLE1_SENTENCES))
+
+
+class TestTable1:
+    """Reproduction of the paper's Table I hash-map H1."""
+
+    def test_three_phonetic_buckets(self, table1_dictionary):
+        hashmap = table1_dictionary.hashmap(phonetic_level=1)
+        assert len(hashmap) == 3
+
+    def test_the_bucket(self, table1_dictionary):
+        hashmap = table1_dictionary.hashmap(phonetic_level=1)
+        assert hashmap["TH000"] == {"the", "thee"}
+
+    def test_dirty_bucket(self, table1_dictionary):
+        # The paper's example corpus spells the perturbation "dirrty"; the
+        # key must match Table I's "DI630" and group it with "dirty".
+        hashmap = table1_dictionary.hashmap(phonetic_level=1)
+        assert hashmap["DI630"] == {"dirty", "dirrty"}
+
+    def test_republicans_bucket_groups_all_three_spellings(self, table1_dictionary):
+        hashmap = table1_dictionary.hashmap(phonetic_level=1)
+        key = table1_dictionary.encoder(1).encode("republicans")
+        assert hashmap[key] == {"republicans", "repubLIEcans", "republic@@ns"}
+
+    def test_raw_tokens_are_case_sensitive(self, table1_dictionary):
+        assert "repubLIEcans" in table1_dictionary
+        assert "republiecans" not in table1_dictionary
+
+
+class TestAddToken:
+    def test_add_and_count(self):
+        dictionary = PerturbationDictionary()
+        assert dictionary.add_token("vacc1ne")
+        assert dictionary.add_token("vacc1ne")
+        entry = dictionary.entry("vacc1ne")
+        assert entry is not None
+        assert entry.count == 2
+
+    def test_add_with_sources(self):
+        dictionary = PerturbationDictionary()
+        dictionary.add_token("vacc1ne", source="twitter")
+        dictionary.add_token("vacc1ne", source="reddit")
+        dictionary.add_token("vacc1ne", source="twitter")
+        entry = dictionary.entry("vacc1ne")
+        assert set(entry.sources) == {"twitter", "reddit"}
+
+    def test_unencodable_token_skipped(self):
+        dictionary = PerturbationDictionary()
+        assert not dictionary.add_token("???")
+        assert len(dictionary) == 0
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(DictionaryError):
+            PerturbationDictionary().add_token("vaccine", count=0)
+
+    def test_is_word_flag(self):
+        dictionary = PerturbationDictionary()
+        dictionary.add_token("vaccine")
+        dictionary.add_token("vacc1ne")
+        assert dictionary.entry("vaccine").is_word
+        assert not dictionary.entry("vacc1ne").is_word
+
+    def test_entry_keys_cover_all_levels(self):
+        dictionary = PerturbationDictionary()
+        dictionary.add_token("vaccine")
+        entry = dictionary.entry("vaccine")
+        assert set(entry.keys) == {"k0", "k1", "k2"}
+        assert entry.key_at(1) == dictionary.encoder(1).encode("vaccine")
+        assert entry.key_at(9) is None
+
+
+class TestCorpusConstruction:
+    def test_add_text_tokenizes(self):
+        dictionary = PerturbationDictionary()
+        added = dictionary.add_text("the demokrats hate the vacc1ne")
+        assert added == 5
+        assert "demokrats" in dictionary
+        assert "vacc1ne" in dictionary
+
+    def test_add_corpus_counts_duplicates(self):
+        dictionary = PerturbationDictionary()
+        dictionary.add_corpus(["the the the", "the vaccine"])
+        assert dictionary.entry("the").count == 4
+
+    def test_mentions_and_urls_excluded(self):
+        dictionary = PerturbationDictionary()
+        dictionary.add_text("@user shares https://example.com about vaccine")
+        assert "@user" not in dictionary
+        assert "vaccine" in dictionary
+
+    def test_seed_lexicon_adds_english_words(self):
+        dictionary = PerturbationDictionary()
+        added = dictionary.seed_lexicon(words=["vaccine", "democrats"])
+        assert added == 2
+        assert dictionary.entry("vaccine").is_word
+
+    def test_from_corpus_factory(self):
+        dictionary = PerturbationDictionary.from_corpus(
+            ["the vaccine mandate"], seed_lexicon=False, source="unit"
+        )
+        assert "mandate" in dictionary
+        assert dictionary.entry("mandate").sources == ("unit",)
+
+
+class TestBucketQueries:
+    def test_bucket_for_token_contains_perturbations(self, table1_dictionary):
+        bucket = {entry.token for entry in table1_dictionary.bucket_for_token("republicans")}
+        assert bucket == {"republicans", "repubLIEcans", "republic@@ns"}
+
+    def test_bucket_for_unencodable_token_is_empty(self, table1_dictionary):
+        assert table1_dictionary.bucket_for_token("???") == []
+
+    def test_tokens_for_unknown_key_is_empty(self, table1_dictionary):
+        assert table1_dictionary.tokens_for_key("ZZ999") == []
+
+    def test_unmaterialized_level_rejected(self, table1_dictionary):
+        with pytest.raises(DictionaryError):
+            table1_dictionary.tokens_for_key("TH000", phonetic_level=7)
+        with pytest.raises(DictionaryError):
+            table1_dictionary.hashmap(phonetic_level=7)
+        with pytest.raises(DictionaryError):
+            table1_dictionary.encoder(7)
+
+    def test_english_words_for_key(self):
+        dictionary = PerturbationDictionary.from_corpus(
+            ["the demokrats and democrats"], seed_lexicon=False
+        )
+        key = dictionary.encoder(1).encode("democrats")
+        english = {entry.token for entry in dictionary.english_words_for_key(key)}
+        assert english == {"democrats"}
+
+    def test_respects_config_max_level(self):
+        config = CrypTextConfig(phonetic_level=0, max_phonetic_level=0)
+        dictionary = PerturbationDictionary(config=config)
+        dictionary.add_token("vaccine")
+        assert dictionary.phonetic_levels == (0,)
+        with pytest.raises(DictionaryError):
+            dictionary.tokens_for_key("VA250", phonetic_level=1)
+
+
+class TestStats:
+    def test_stats_counts(self, table1_dictionary):
+        stats = table1_dictionary.stats()
+        assert stats.total_tokens == 7  # the, thee, dirty, dirrrty, 3x republicans forms
+        assert stats.total_occurrences == 9  # 3 sentences x 3 tokens
+        assert stats.unique_keys[1] == 3
+        assert stats.perturbation_tokens + stats.lexicon_tokens == stats.total_tokens
+
+    def test_tokens_per_key_ratio(self, table1_dictionary):
+        stats = table1_dictionary.stats()
+        assert stats.tokens_per_key[1] == pytest.approx(7 / 3)
+
+    def test_stats_serialization(self, table1_dictionary):
+        payload = table1_dictionary.stats().to_dict()
+        assert payload["total_tokens"] == 7
+        assert payload["unique_keys"]["1"] == 3
+
+    def test_token_counts_mapping(self, table1_dictionary):
+        counts = table1_dictionary.token_counts()
+        assert counts["the"] == 2
+        assert counts["dirty"] == 2
+
+    def test_iter_entries_matches_len(self, table1_dictionary):
+        assert len(list(table1_dictionary.iter_entries())) == len(table1_dictionary)

@@ -1,0 +1,116 @@
+"""Tests for repro.core.edit_distance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.edit_distance import (
+    bounded_levenshtein,
+    damerau_levenshtein_distance,
+    levenshtein_distance,
+    similarity_ratio,
+)
+from repro.errors import CrypTextError
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        ("first", "second", "expected"),
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("democrats", "democrats", 0),
+            ("democrats", "demokrats", 1),
+            ("republicans", "republiecans", 1),
+            ("vaccine", "vacine", 1),
+            ("muslim", "mus-lim", 1),
+        ],
+    )
+    def test_known_distances(self, first, second, expected):
+        assert levenshtein_distance(first, second) == expected
+
+    def test_symmetric(self):
+        assert levenshtein_distance("abcdef", "azced") == levenshtein_distance(
+            "azced", "abcdef"
+        )
+
+    def test_non_string_rejected(self):
+        with pytest.raises(CrypTextError):
+            levenshtein_distance("a", 3)  # type: ignore[arg-type]
+
+
+class TestBoundedLevenshtein:
+    def test_agrees_with_full_distance_when_within_bound(self):
+        pairs = [
+            ("democrats", "demokrats"),
+            ("republicans", "republiecans"),
+            ("vaccine", "vaccccine"),
+            ("depression", "depresxion"),
+            ("kitten", "sitting"),
+        ]
+        for first, second in pairs:
+            full = levenshtein_distance(first, second)
+            assert bounded_levenshtein(first, second, bound=5) == full
+
+    def test_returns_none_beyond_bound(self):
+        assert bounded_levenshtein("vaccine", "elephant", 2) is None
+        assert bounded_levenshtein("a", "aaaaaa", 3) is None
+
+    def test_bound_zero_only_accepts_equal_strings(self):
+        assert bounded_levenshtein("same", "same", 0) == 0
+        assert bounded_levenshtein("same", "sane", 0) is None
+
+    def test_length_difference_shortcut(self):
+        assert bounded_levenshtein("ab", "abcdefgh", 3) is None
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(CrypTextError):
+            bounded_levenshtein("a", "b", -1)
+
+    def test_empty_strings(self):
+        assert bounded_levenshtein("", "", 0) == 0
+        assert bounded_levenshtein("", "ab", 3) == 2
+        assert bounded_levenshtein("", "abcd", 3) is None
+
+
+class TestDamerau:
+    def test_transposition_counts_as_one(self):
+        # TextBugger's swap example from the paper: democrats -> demorcats.
+        assert damerau_levenshtein_distance("democrats", "demorcats") == 1
+        assert levenshtein_distance("democrats", "demorcats") == 2
+
+    def test_equal_strings(self):
+        assert damerau_levenshtein_distance("same", "same") == 0
+
+    def test_never_exceeds_levenshtein(self):
+        pairs = [
+            ("republicans", "rwpublicans"),
+            ("vaccine", "vacicne"),
+            ("mandate", "madnate"),
+            ("depression", "depresison"),
+        ]
+        for first, second in pairs:
+            assert damerau_levenshtein_distance(first, second) <= levenshtein_distance(
+                first, second
+            )
+
+    def test_empty_cases(self):
+        assert damerau_levenshtein_distance("", "abc") == 3
+        assert damerau_levenshtein_distance("abc", "") == 3
+
+
+class TestSimilarityRatio:
+    def test_identical_strings(self):
+        assert similarity_ratio("vaccine", "vaccine") == 1.0
+
+    def test_empty_strings(self):
+        assert similarity_ratio("", "") == 1.0
+
+    def test_single_edit(self):
+        assert similarity_ratio("vaccine", "vacc1ne") == pytest.approx(6 / 7)
+
+    def test_bounds(self):
+        assert 0.0 <= similarity_ratio("abc", "xyz") <= 1.0

@@ -1,0 +1,95 @@
+"""Tests for repro.classifiers.features."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classifiers import NgramVectorizer
+from repro.errors import ClassifierError
+
+CORPUS = [
+    "the democrats support the vaccine mandate",
+    "the republicans oppose the vaccine mandate",
+    "i hate these corrupt politicians",
+    "what a wonderful day for everyone",
+]
+
+
+class TestFitting:
+    def test_fit_builds_vocabulary(self):
+        vectorizer = NgramVectorizer().fit(CORPUS)
+        assert len(vectorizer) > 0
+        assert any(name.startswith("w1:") for name in vectorizer.vocabulary)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ClassifierError):
+            NgramVectorizer().fit([])
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(ClassifierError):
+            NgramVectorizer().transform_one("hello world")
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ClassifierError):
+            NgramVectorizer(word_ngrams=(2, 1))
+        with pytest.raises(ClassifierError):
+            NgramVectorizer(char_ngrams=(0, 3))
+        with pytest.raises(ClassifierError):
+            NgramVectorizer(min_document_frequency=0)
+
+
+class TestTransform:
+    def test_word_unigrams_counted(self):
+        vectorizer = NgramVectorizer(word_ngrams=(1, 1), char_ngrams=None).fit(CORPUS)
+        vector = vectorizer.transform_one("the vaccine the mandate")
+        assert vector["w1:the"] == 2
+        assert vector["w1:vaccine"] == 1
+
+    def test_word_bigrams_present(self):
+        vectorizer = NgramVectorizer(word_ngrams=(1, 2), char_ngrams=None).fit(CORPUS)
+        vector = vectorizer.transform_one("the vaccine mandate")
+        assert "w2:vaccine mandate" in vector
+
+    def test_char_ngrams_present(self):
+        vectorizer = NgramVectorizer(word_ngrams=(1, 1), char_ngrams=(3, 3)).fit(CORPUS)
+        vector = vectorizer.transform_one("vaccine")
+        assert any(name.startswith("c3:") for name in vector)
+
+    def test_unseen_features_dropped(self):
+        vectorizer = NgramVectorizer(word_ngrams=(1, 1), char_ngrams=None).fit(CORPUS)
+        vector = vectorizer.transform_one("zyxwv qqqqq")
+        assert vector == {}
+
+    def test_lowercase_folding(self):
+        vectorizer = NgramVectorizer(word_ngrams=(1, 1), char_ngrams=None).fit(CORPUS)
+        assert vectorizer.transform_one("VACCINE")["w1:vaccine"] == 1
+
+    def test_fit_transform_matches_transform(self):
+        vectorizer = NgramVectorizer(char_ngrams=None)
+        vectors = vectorizer.fit_transform(CORPUS)
+        assert vectors == vectorizer.transform(CORPUS)
+
+
+class TestVocabularyControl:
+    def test_min_document_frequency(self):
+        vectorizer = NgramVectorizer(
+            word_ngrams=(1, 1), char_ngrams=None, min_document_frequency=2
+        ).fit(CORPUS)
+        assert "w1:the" in vectorizer.vocabulary
+        assert "w1:wonderful" not in vectorizer.vocabulary
+
+    def test_max_features_cap(self):
+        vectorizer = NgramVectorizer(
+            word_ngrams=(1, 1), char_ngrams=None, max_features=5
+        ).fit(CORPUS)
+        assert len(vectorizer) == 5
+
+    def test_coverage_lower_for_perturbed_text(self):
+        vectorizer = NgramVectorizer().fit(CORPUS)
+        clean = vectorizer.coverage("the democrats support the vaccine mandate")
+        perturbed = vectorizer.coverage("the dem0cr@ts supp0rt the vacc1ne m@ndate")
+        assert clean > perturbed
+
+    def test_coverage_of_empty_text(self):
+        vectorizer = NgramVectorizer().fit(CORPUS)
+        assert vectorizer.coverage("") == 0.0

@@ -1,0 +1,107 @@
+"""Tests for repro.viz.html_report (the standalone HTML report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classifiers import RobustnessPoint
+from repro.errors import VisualizationError
+from repro.social import SocialListener
+from repro.viz import build_html_report, build_word_cloud, write_html_report
+
+
+@pytest.fixture(scope="module")
+def word_clouds(cryptext_small):
+    return {
+        "republicans": build_word_cloud(cryptext_small.look_up("republicans")),
+        "democrats": build_word_cloud(cryptext_small.look_up("democrats")),
+    }
+
+
+@pytest.fixture(scope="module")
+def keyword_usages(cryptext_synthetic, twitter_platform):
+    listener = SocialListener(twitter_platform, cryptext_synthetic.lookup_engine)
+    return {"vaccine": listener.monitor_keyword("vaccine")}
+
+
+@pytest.fixture(scope="module")
+def benchmark_results():
+    return {
+        "perspective_toxicity": [
+            RobustnessPoint("perspective_toxicity", 0.0, 0.95, 100),
+            RobustnessPoint("perspective_toxicity", 0.25, 0.88, 100),
+        ]
+    }
+
+
+class TestBuildHtmlReport:
+    def test_full_report_contains_every_section(
+        self, word_clouds, keyword_usages, benchmark_results
+    ):
+        report = build_html_report(
+            title="CrypText demo report",
+            word_clouds=word_clouds,
+            keyword_usages=keyword_usages,
+            benchmark_results=benchmark_results,
+        )
+        assert report.startswith("<!DOCTYPE html>")
+        assert "CrypText demo report" in report
+        assert "perturbations of" in report
+        assert "repubLIEcans" in report
+        assert "<svg" in report  # timeline bar chart
+        assert "perspective_toxicity" in report
+
+    def test_word_cloud_only_report(self, word_clouds):
+        report = build_html_report(word_clouds=word_clouds)
+        assert "republicans" in report
+        assert "<svg" not in report
+
+    def test_original_and_perturbations_styled_differently(self, word_clouds):
+        report = build_html_report(word_clouds=word_clouds)
+        assert 'class="original"' in report
+        assert 'class="perturbation"' in report
+
+    def test_tokens_are_html_escaped(self):
+        # A token containing markup characters must be escaped, not injected.
+        from repro.viz import WordCloudItem
+
+        item = WordCloudItem(
+            token="repub<b>licans",
+            weight=3,
+            size=20.0,
+            x=0.0,
+            y=1.0,
+            z=0.0,
+            is_original=False,
+            category="mixed",
+        )
+        report = build_html_report(word_clouds={"republicans": [item]})
+        assert "repub<b>licans" not in report
+        assert "repub&lt;b&gt;licans" in report
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(VisualizationError):
+            build_html_report()
+
+    def test_empty_timeline_section_renders_placeholder(
+        self, cryptext_small, twitter_platform
+    ):
+        listener = SocialListener(twitter_platform, cryptext_small.lookup_engine)
+        report = build_html_report(
+            keyword_usages={"zebra": listener.monitor_keyword("zebra")}
+        )
+        assert "(no data)" in report
+
+
+class TestWriteHtmlReport:
+    def test_write_creates_file(self, tmp_path, word_clouds):
+        path = write_html_report(
+            tmp_path / "reports" / "cryptext.html", word_clouds=word_clouds
+        )
+        assert path.exists()
+        content = path.read_text(encoding="utf-8")
+        assert content.startswith("<!DOCTYPE html>")
+
+    def test_write_rejects_empty_report(self, tmp_path):
+        with pytest.raises(VisualizationError):
+            write_html_report(tmp_path / "empty.html")

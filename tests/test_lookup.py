@@ -1,0 +1,141 @@
+"""Tests for repro.core.lookup (the Look Up function, §III-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrypTextConfig
+from repro.core.dictionary import PerturbationDictionary
+from repro.core.lookup import LookupEngine
+from repro.storage import TTLCache
+from tests.conftest import TABLE1_SENTENCES
+
+
+@pytest.fixture()
+def table1_lookup() -> LookupEngine:
+    dictionary = PerturbationDictionary.from_corpus(list(TABLE1_SENTENCES))
+    return LookupEngine(dictionary)
+
+
+class TestPaperQueryExample:
+    def test_republicans_with_k1_d1(self, table1_lookup):
+        # Paper §III-B: query "republicans" with k=1, d=1 returns
+        # {republicans, repubLIEcans} (republic@@ns is 2 edits away).
+        result = table1_lookup.look_up("republicans", phonetic_level=1, max_edit_distance=1)
+        assert set(result.tokens) == {"republicans", "repubLIEcans"}
+
+    def test_republicans_with_default_d3_includes_all(self, table1_lookup):
+        result = table1_lookup.look_up("republicans")
+        assert set(result.tokens) == {"republicans", "repubLIEcans", "republic@@ns"}
+
+    def test_perturbations_exclude_the_query_itself(self, table1_lookup):
+        result = table1_lookup.look_up("republicans")
+        assert "republicans" not in result.perturbation_tokens()
+        assert "repubLIEcans" in result.perturbation_tokens()
+
+    def test_soundex_key_recorded(self, table1_lookup):
+        result = table1_lookup.look_up("republicans")
+        assert result.soundex_key == table1_lookup.dictionary.encoder(1).encode("republicans")
+
+
+class TestMatchMetadata:
+    def test_matches_sorted_by_frequency(self, cryptext_small):
+        result = cryptext_small.look_up("the")
+        counts = [match.count for match in result.matches]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_match_fields(self, table1_lookup):
+        result = table1_lookup.look_up("republicans")
+        by_token = {match.token: match for match in result.matches}
+        assert by_token["republicans"].is_original
+        assert by_token["republicans"].edit_distance == 0
+        assert by_token["repubLIEcans"].edit_distance == 1
+        assert not by_token["repubLIEcans"].is_original
+
+    def test_to_dict_round_trip_fields(self, table1_lookup):
+        payload = table1_lookup.look_up("republicans").to_dict()
+        assert payload["query"] == "republicans"
+        assert payload["phonetic_level"] == 1
+        assert payload["max_edit_distance"] == 3
+        assert {match["token"] for match in payload["matches"]} == {
+            "republicans",
+            "repubLIEcans",
+            "republic@@ns",
+        }
+
+    def test_enriched_queries_start_with_original(self, table1_lookup):
+        enriched = table1_lookup.look_up("republicans").enriched_queries()
+        assert enriched[0] == "republicans"
+        assert len(enriched) == 3
+        assert table1_lookup.look_up("republicans").enriched_queries(limit=1) == (
+            "republicans",
+            table1_lookup.look_up("republicans").perturbation_tokens()[0],
+        )
+
+
+class TestUnknownAndEdgeQueries:
+    def test_unknown_word_returns_empty_or_self(self, table1_lookup):
+        result = table1_lookup.look_up("zebra")
+        assert result.perturbation_tokens() == ()
+
+    def test_unencodable_query(self, table1_lookup):
+        result = table1_lookup.look_up("???")
+        assert result.soundex_key is None
+        assert result.matches == ()
+
+    def test_edit_distance_zero_only_exact_canonical_matches(self, cryptext_small):
+        result = cryptext_small.look_up("democrats", max_edit_distance=0)
+        for match in result.matches:
+            assert match.edit_distance == 0
+
+
+class TestCaseSensitivity:
+    def test_case_insensitive_merges_variants(self):
+        dictionary = PerturbationDictionary.from_corpus(
+            ["the democRATs", "the DemocRATs", "the democrats"]
+        )
+        engine = LookupEngine(dictionary)
+        sensitive = engine.look_up("democrats", case_sensitive=True)
+        insensitive = engine.look_up("democrats", case_sensitive=False)
+        assert len(insensitive.matches) < len(sensitive.matches)
+        merged = {match.token.lower() for match in insensitive.matches}
+        assert merged == {"democrats", "democrats".lower()} or "democrats" in merged
+
+    def test_case_insensitive_sums_counts(self):
+        dictionary = PerturbationDictionary.from_corpus(
+            ["the democRATs", "the DemocRATs", "the democRATs"]
+        )
+        engine = LookupEngine(dictionary)
+        result = engine.look_up("democrats", case_sensitive=False)
+        total = sum(match.count for match in result.matches)
+        assert total == 3
+
+
+class TestCaching:
+    def test_cache_hit_on_repeated_query(self):
+        dictionary = PerturbationDictionary.from_corpus(list(TABLE1_SENTENCES))
+        cache = TTLCache(max_entries=16, default_ttl=60)
+        engine = LookupEngine(dictionary, cache=cache)
+        engine.look_up("republicans")
+        engine.look_up("republicans")
+        assert cache.stats.hits >= 1
+
+    def test_cache_disabled_by_config(self):
+        config = CrypTextConfig(cache_enabled=False)
+        dictionary = PerturbationDictionary.from_corpus(list(TABLE1_SENTENCES), config=config)
+        engine = LookupEngine(dictionary, config=config)
+        assert engine.cache is None
+        assert engine.look_up("republicans").tokens  # still works
+
+    def test_different_parameters_not_conflated_by_cache(self, table1_lookup):
+        loose = table1_lookup.look_up("republicans", max_edit_distance=3)
+        tight = table1_lookup.look_up("republicans", max_edit_distance=1)
+        assert len(loose.matches) > len(tight.matches)
+
+
+class TestBulkLookup:
+    def test_look_up_many(self, table1_lookup):
+        results = table1_lookup.look_up_many(["republicans", "dirty"])
+        assert set(results) == {"republicans", "dirty"}
+        assert "repubLIEcans" in results["republicans"].tokens
+        assert "dirrty" in results["dirty"].tokens

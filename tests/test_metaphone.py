@@ -1,0 +1,116 @@
+"""Tests for repro.core.metaphone (the alternative phonetic encoder)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metaphone import MetaphoneEncoder, _metaphone_transform
+from repro.errors import EncodingError
+
+
+class TestTransformRules:
+    @pytest.mark.parametrize(
+        ("word", "expected"),
+        [
+            ("phone", "FN"),        # PH -> F
+            ("shine", "XN"),        # SH -> X
+            ("this", "0S"),         # TH -> theta
+            ("nation", "NXN"),      # TIO -> X
+            ("knight", "KNT"),      # GH silent before consonant/end
+            ("judge", "J"),         # DGE -> J, collapsed with the initial J
+            ("quick", "K"),         # Q -> K, CK -> K, duplicates collapsed
+            ("vote", "FT"),         # V -> F
+            ("zebra", "SBR"),       # Z -> S
+            ("box", "BKS"),         # X -> KS
+        ],
+    )
+    def test_known_mappings(self, word, expected):
+        assert _metaphone_transform(word) == expected
+
+    def test_empty_word(self):
+        assert _metaphone_transform("") == ""
+
+    def test_leading_vowel_kept(self):
+        assert _metaphone_transform("apple").startswith("A")
+
+    def test_duplicates_collapsed(self):
+        assert _metaphone_transform("bbb") == "B"
+
+
+class TestMetaphoneEncoder:
+    def test_perturbation_pairs_share_codes(self):
+        encoder = MetaphoneEncoder(phonetic_level=1)
+        for original, perturbed in (
+            ("democrats", "dem0cr@ts"),
+            ("democrats", "democRATs"),
+            ("vaccine", "vacc1ne"),
+            ("muslim", "mus-lim"),
+            ("porn", "porrrrn"),
+            ("suicide", "suic1de"),
+        ):
+            assert encoder.encode(original) == encoder.encode(perturbed), (
+                original,
+                perturbed,
+            )
+
+    def test_unrelated_words_differ(self):
+        encoder = MetaphoneEncoder(phonetic_level=1)
+        assert encoder.encode("democrats") != encoder.encode("elephants")
+        assert encoder.encode("vaccine") != encoder.encode("mandate")
+
+    def test_prefix_follows_phonetic_level(self):
+        assert MetaphoneEncoder(phonetic_level=0).encode("republicans").startswith("R")
+        assert MetaphoneEncoder(phonetic_level=2).encode("republicans").startswith("REP")
+
+    def test_losbian_lesbian_separated_like_custom_soundex(self):
+        encoder = MetaphoneEncoder(phonetic_level=1)
+        assert encoder.encode("losbian") != encoder.encode("lesbian")
+
+    def test_same_sound_helper(self):
+        encoder = MetaphoneEncoder()
+        assert encoder.same_sound("vaccine", "vacc1ne")
+        assert not encoder.same_sound("vaccine", "elephant")
+        assert not encoder.same_sound("vaccine", "???")
+
+    def test_unencodable_token(self):
+        encoder = MetaphoneEncoder()
+        assert encoder.encode_or_none("???") is None
+        with pytest.raises(EncodingError):
+            encoder.encode("??,,")
+
+    def test_max_code_length_truncates(self):
+        short = MetaphoneEncoder(phonetic_level=1, max_code_length=2)
+        long = MetaphoneEncoder(phonetic_level=1, max_code_length=0)
+        assert len(short.encode("congratulations")) <= 2 + 2
+        assert len(long.encode("congratulations")) >= len(short.encode("congratulations"))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(EncodingError):
+            MetaphoneEncoder(phonetic_level=-1)
+        with pytest.raises(EncodingError):
+            MetaphoneEncoder(max_code_length=-1)
+
+    def test_deterministic_and_case_insensitive(self):
+        encoder = MetaphoneEncoder()
+        assert encoder.encode("Vaccine") == encoder.encode("vaccine")
+        assert encoder.encode("vaccine") == encoder.encode("vaccine")
+
+    def test_finer_than_soundex_on_distinct_words(self):
+        # Metaphone distinguishes some word pairs the Soundex digit classes
+        # merge (richer consonant alphabet), e.g. "very" vs "fire" share
+        # Soundex digits but not Metaphone symbols with the canonical prefix.
+        from repro.core.soundex import CustomSoundex
+
+        soundex = CustomSoundex(phonetic_level=0)
+        metaphone = MetaphoneEncoder(phonetic_level=0)
+        merged_by_soundex = [
+            ("cat", "cad"),   # t/d share Soundex class 3
+            ("safe", "save"), # f/v share Soundex class 1
+        ]
+        finer = sum(
+            1
+            for first, second in merged_by_soundex
+            if soundex.encode(first) == soundex.encode(second)
+            and metaphone.encode(first) != metaphone.encode(second)
+        )
+        assert finer >= 1

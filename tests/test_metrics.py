@@ -1,0 +1,104 @@
+"""Tests for repro.metrics.classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CrypTextError
+from repro.metrics import (
+    ConfusionMatrix,
+    accuracy,
+    classification_report,
+    macro_f1,
+    precision_recall_f1,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_partial(self):
+        assert accuracy(["a", "b", "a", "b"], ["a", "a", "a", "b"]) == 0.75
+
+    def test_all_wrong(self):
+        assert accuracy(["a", "a"], ["b", "b"]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(CrypTextError):
+            accuracy(["a"], ["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CrypTextError):
+            accuracy([], [])
+
+
+class TestPrecisionRecallF1:
+    def test_known_values(self):
+        y_true = ["toxic", "toxic", "nontoxic", "nontoxic", "toxic"]
+        y_pred = ["toxic", "nontoxic", "nontoxic", "toxic", "toxic"]
+        precision, recall, f1 = precision_recall_f1(y_true, y_pred, "toxic")
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(2 / 3)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_no_predicted_positives(self):
+        precision, recall, f1 = precision_recall_f1(
+            ["toxic", "nontoxic"], ["nontoxic", "nontoxic"], "toxic"
+        )
+        assert precision == 0.0 and recall == 0.0 and f1 == 0.0
+
+    def test_no_actual_positives(self):
+        precision, recall, f1 = precision_recall_f1(
+            ["nontoxic", "nontoxic"], ["toxic", "nontoxic"], "toxic"
+        )
+        assert recall == 0.0 and f1 == 0.0
+
+    def test_perfect_class(self):
+        precision, recall, f1 = precision_recall_f1(["a", "b"], ["a", "b"], "a")
+        assert (precision, recall, f1) == (1.0, 1.0, 1.0)
+
+
+class TestMacroF1AndReport:
+    def test_macro_f1_perfect(self):
+        assert macro_f1(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+
+    def test_macro_f1_between_zero_and_one(self):
+        value = macro_f1(["a", "b", "a", "b"], ["a", "a", "b", "b"])
+        assert 0.0 <= value <= 1.0
+
+    def test_report_structure(self):
+        report = classification_report(["a", "b", "a"], ["a", "b", "b"])
+        assert set(report) == {"accuracy", "macro_f1", "per_class"}
+        assert set(report["per_class"]) == {"a", "b"}
+        assert report["per_class"]["a"]["support"] == 2
+
+    def test_report_accuracy_matches_function(self):
+        y_true = ["a", "b", "a", "c"]
+        y_pred = ["a", "b", "c", "c"]
+        assert classification_report(y_true, y_pred)["accuracy"] == accuracy(y_true, y_pred)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix = ConfusionMatrix.from_labels(["a", "a", "b"], ["a", "b", "b"])
+        assert matrix.count("a", "a") == 1
+        assert matrix.count("a", "b") == 1
+        assert matrix.count("b", "b") == 1
+        assert matrix.count("b", "a") == 0
+
+    def test_support_and_predicted(self):
+        matrix = ConfusionMatrix.from_labels(["a", "a", "b"], ["a", "b", "b"])
+        assert matrix.support("a") == 2
+        assert matrix.predicted("b") == 2
+
+    def test_as_table_shape(self):
+        matrix = ConfusionMatrix.from_labels(["a", "b", "c"], ["a", "b", "c"])
+        table = matrix.as_table()
+        assert len(table) == 3
+        assert all(len(row) == 3 for row in table)
+        assert sum(sum(row) for row in table) == 3
+
+    def test_labels_union_of_true_and_predicted(self):
+        matrix = ConfusionMatrix.from_labels(["a"], ["b"])
+        assert set(matrix.labels) == {"a", "b"}

@@ -1,0 +1,154 @@
+"""Tests for repro.social.moderation (the content-moderation use case)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classifiers import SimulatedToxicityAPI
+from repro.datasets import build_classification_dataset
+from repro.errors import CrypTextError
+from repro.social import ModerationPipeline
+
+
+class KeywordToxicityStub:
+    """Deterministic stand-in classifier: toxic iff a trigger word is present."""
+
+    service_name = "stub_toxicity"
+
+    def __init__(self, triggers=("worthless", "scum", "vermin")) -> None:
+        self.triggers = tuple(triggers)
+
+    def predict_label(self, text: str) -> str:
+        lowered = text.lower()
+        return "toxic" if any(trigger in lowered for trigger in self.triggers) else "nontoxic"
+
+
+@pytest.fixture(scope="module")
+def stub_pipeline(cryptext_synthetic) -> ModerationPipeline:
+    return ModerationPipeline(cryptext_synthetic, KeywordToxicityStub())
+
+
+@pytest.fixture(scope="module")
+def api_pipeline(cryptext_synthetic) -> ModerationPipeline:
+    texts, labels = build_classification_dataset("toxicity", num_samples=400, seed=77)
+    api = SimulatedToxicityAPI().train(texts, labels)
+    return ModerationPipeline(cryptext_synthetic, api)
+
+
+class TestVerdictLogic:
+    def test_overtly_toxic_post_removed(self, stub_pipeline):
+        verdict = stub_pipeline.review_post(
+            "you are a truly worthless person and everyone here knows it"
+        )
+        assert verdict.action == "remove"
+        assert verdict.flagged
+
+    def test_clean_post_allowed(self, stub_pipeline):
+        verdict = stub_pipeline.review_post(
+            "you are a truly wonderful person and everyone here knows it"
+        )
+        assert verdict.action == "allow"
+        assert not verdict.flagged
+
+    def test_evasive_post_caught_after_normalization(self, stub_pipeline):
+        # The abusive keyword is perturbed, so the raw text evades the
+        # classifier; normalization restores it and the post is caught.
+        evasive = "you are a truly w0rthless person and everyone here knows it"
+        verdict = stub_pipeline.review_post(evasive)
+        assert verdict.raw_label == "nontoxic"
+        assert verdict.normalized_label == "toxic"
+        assert verdict.action == "remove_after_normalization"
+        assert verdict.num_perturbations >= 1
+        assert verdict.flagged
+
+    def test_reason_is_informative(self, stub_pipeline):
+        verdict = stub_pipeline.review_post(
+            "you are a truly w0rthless person and everyone here knows it"
+        )
+        assert "de-perturbed" in verdict.reason or "evades" in verdict.reason
+
+    def test_review_action_for_sensitive_perturbations(self, stub_pipeline):
+        # Not toxic even after normalization, but several sensitive words are
+        # perturbed -> escalate for human review.
+        verdict = stub_pipeline.review_post(
+            "people discuss the vacc1ne and the dem0crats man_date all day"
+        )
+        assert verdict.action == "review"
+        assert verdict.num_perturbations >= 2
+        assert verdict.perturbed_sensitive_tokens
+
+    def test_to_dict(self, stub_pipeline):
+        payload = stub_pipeline.review_post("a calm sentence about gardens").to_dict()
+        assert set(payload) >= {"action", "reason", "raw_label", "normalized_label"}
+
+    def test_threshold_validation(self, cryptext_synthetic):
+        with pytest.raises(CrypTextError):
+            ModerationPipeline(
+                cryptext_synthetic, KeywordToxicityStub(), sensitive_review_threshold=0
+            )
+
+
+class TestReport:
+    def test_batch_summary_counts(self, stub_pipeline):
+        posts = [
+            "you are a truly worthless person and everyone here knows it",
+            "you are a truly w0rthless person and everyone here knows it",
+            "you are a truly wonderful person and everyone here knows it",
+            "a quiet post about the garden and the weather",
+        ]
+        report = stub_pipeline.review_posts(posts)
+        summary = report.summary()
+        assert summary["total"] == 4
+        assert summary["remove"] == 1
+        assert summary["remove_after_normalization"] == 1
+        assert summary["allow"] >= 1
+        assert sum(
+            summary[key]
+            for key in ("remove", "remove_after_normalization", "review", "allow")
+        ) == 4
+
+    def test_report_accessors_partition_verdicts(self, stub_pipeline):
+        posts = [
+            "you are a truly worthless person and everyone here knows it",
+            "you are a truly wonderful person and everyone here knows it",
+        ]
+        report = stub_pipeline.review_posts(posts)
+        partitions = (
+            report.flagged_raw
+            + report.caught_by_normalization
+            + report.needs_review
+            + report.allowed
+        )
+        assert len(partitions) == len(report.verdicts)
+
+
+class TestWithSimulatedAPI:
+    def test_moderation_surfaces_perturbed_toxic_traffic(self, api_pipeline, synthetic_posts):
+        # On synthetic traffic, the pipeline (clean-trained toxicity API +
+        # normalization + sensitive-perturbation escalation) must surface a
+        # solid share of toxic posts that carry perturbations.
+        toxic_perturbed = [
+            post.text
+            for post in synthetic_posts
+            if post.toxic and post.has_perturbation
+        ][:40]
+        assert toxic_perturbed
+        report = api_pipeline.review_posts(toxic_perturbed)
+        surfaced = (
+            len(report.flagged_raw)
+            + len(report.caught_by_normalization)
+            + len(report.needs_review)
+        )
+        assert surfaced / len(toxic_perturbed) >= 0.5
+
+    def test_normalization_never_hides_toxicity(self, api_pipeline, synthetic_posts):
+        # A post flagged on its raw text stays flagged: the pipeline checks
+        # the raw label first, so normalization can only add detections.
+        flagged_raw = [
+            verdict
+            for verdict in api_pipeline.review_posts(
+                [post.text for post in synthetic_posts[:60]]
+            ).verdicts
+            if verdict.raw_label == "toxic"
+        ]
+        assert all(verdict.action == "remove" for verdict in flagged_raw)

@@ -1,0 +1,94 @@
+"""Tests for MultiPlatformListener and usage merging (paper §IV future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.social import MultiPlatformListener, SocialListener, SocialPlatform
+
+
+@pytest.fixture(scope="module")
+def reddit_platform(synthetic_posts) -> SocialPlatform:
+    platform = SocialPlatform("reddit")
+    platform.ingest_posts(synthetic_posts)
+    return platform
+
+
+@pytest.fixture(scope="module")
+def multi_listener(cryptext_synthetic, twitter_platform, reddit_platform):
+    return MultiPlatformListener(
+        [twitter_platform, reddit_platform], cryptext_synthetic.lookup_engine
+    )
+
+
+class TestMultiPlatformListener:
+    def test_platform_names(self, multi_listener):
+        assert multi_listener.platform_names == ("reddit", "twitter")
+
+    def test_monitor_returns_per_platform_and_merged(self, multi_listener):
+        usage = multi_listener.monitor_keyword("vaccine")
+        assert set(usage) == {"twitter", "reddit", "all"}
+        assert usage["all"].total_posts == (
+            usage["twitter"].total_posts + usage["reddit"].total_posts
+        )
+        assert usage["all"].perturbed_posts == (
+            usage["twitter"].perturbed_posts + usage["reddit"].perturbed_posts
+        )
+
+    def test_merged_timeline_frequency_sums(self, multi_listener):
+        usage = multi_listener.monitor_keyword("democrats")
+        merged_total = sum(point.frequency for point in usage["all"].timeline)
+        assert merged_total == usage["all"].total_posts
+
+    def test_merged_sentiment_within_bounds(self, multi_listener):
+        usage = multi_listener.monitor_keyword("vaccine")
+        for point in usage["all"].timeline:
+            assert -1.0 <= point.average_sentiment <= 1.0
+            assert 0.0 <= point.negative_share <= 1.0
+
+    def test_monitor_keywords_bulk(self, multi_listener):
+        usage = multi_listener.monitor_keywords(["vaccine", "democrats"])
+        assert set(usage) == {"vaccine", "democrats"}
+        assert set(usage["vaccine"]) == {"twitter", "reddit", "all"}
+
+    def test_empty_platform_list_rejected(self, cryptext_synthetic):
+        with pytest.raises(PlatformError):
+            MultiPlatformListener([], cryptext_synthetic.lookup_engine)
+
+    def test_duplicate_platform_names_rejected(self, cryptext_synthetic, twitter_platform):
+        with pytest.raises(PlatformError):
+            MultiPlatformListener(
+                [twitter_platform, twitter_platform], cryptext_synthetic.lookup_engine
+            )
+
+
+class TestMergeUsage:
+    def test_merge_requires_same_keyword(self, cryptext_synthetic, twitter_platform):
+        listener = SocialListener(twitter_platform, cryptext_synthetic.lookup_engine)
+        first = listener.monitor_keyword("vaccine")
+        second = listener.monitor_keyword("democrats")
+        with pytest.raises(PlatformError):
+            listener.merge_usage([first, second])
+
+    def test_merge_requires_nonempty_input(self, cryptext_synthetic, twitter_platform):
+        listener = SocialListener(twitter_platform, cryptext_synthetic.lookup_engine)
+        with pytest.raises(PlatformError):
+            listener.merge_usage([])
+
+    def test_merge_single_usage_is_identity_like(self, cryptext_synthetic, twitter_platform):
+        listener = SocialListener(twitter_platform, cryptext_synthetic.lookup_engine)
+        usage = listener.monitor_keyword("vaccine")
+        merged = listener.merge_usage([usage])
+        assert merged.total_posts == usage.total_posts
+        assert merged.perturbed_posts == usage.perturbed_posts
+        assert [point.frequency for point in merged.timeline] == [
+            point.frequency for point in usage.timeline
+        ]
+
+    def test_merge_aggregates_perturbation_counts(self, cryptext_synthetic, twitter_platform):
+        listener = SocialListener(twitter_platform, cryptext_synthetic.lookup_engine)
+        usage = listener.monitor_keyword("vaccine")
+        merged = listener.merge_usage([usage, usage])
+        for token, count in usage.per_perturbation_counts.items():
+            assert merged.per_perturbation_counts[token] == 2 * count

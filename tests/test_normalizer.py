@@ -1,0 +1,143 @@
+"""Tests for repro.core.normalizer (the Normalization function, §III-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrypText
+from repro.core.categories import PerturbationCategory
+
+
+class TestBasicCorrection:
+    def test_leet_token_corrected(self, cryptext_small):
+        result = cryptext_small.normalize("the demokrats hate the vacc1ne")
+        assert "democrats" in result.normalized_text
+        assert "vaccine" in result.normalized_text
+
+    def test_original_text_is_preserved_field(self, cryptext_small):
+        text = "the demokrats hate the vacc1ne"
+        result = cryptext_small.normalize(text)
+        assert result.original_text == text
+
+    def test_clean_text_unchanged(self, cryptext_small):
+        text = "the democrats support the vaccine mandate"
+        result = cryptext_small.normalize(text)
+        assert result.normalized_text == text
+        assert result.num_corrected == 0
+
+    def test_hyphenated_perturbation_corrected(self, cryptext_small):
+        result = cryptext_small.normalize("the mus-lim families arrived")
+        assert "muslim" in result.normalized_text
+
+    def test_emphasis_capitalization_lowercased(self, cryptext_small):
+        result = cryptext_small.normalize("the democRATs are at it again")
+        assert "democrats" in result.normalized_text
+        corrections = {c.original: c for c in result.perturbed_corrections}
+        assert corrections["democRATs"].category == PerturbationCategory.EMPHASIS_CAPITALIZATION
+
+    def test_phonetic_respelling_corrected(self, cryptext_small):
+        result = cryptext_small.normalize("a movie about depresxion and recovery")
+        assert "depression" in result.normalized_text
+
+    def test_whitespace_and_punctuation_preserved(self, cryptext_small):
+        result = cryptext_small.normalize("wow, the demokrats... again!")
+        assert result.normalized_text.startswith("wow, the ")
+        assert result.normalized_text.endswith("... again!")
+
+
+class TestCorrectionsMetadata:
+    def test_every_word_token_gets_a_correction_record(self, cryptext_small):
+        result = cryptext_small.normalize("the demokrats hate the vacc1ne")
+        assert len(result.corrections) == 5
+
+    def test_perturbed_corrections_subset(self, cryptext_small):
+        result = cryptext_small.normalize("the demokrats hate the vacc1ne")
+        assert set(result.perturbed_corrections).issubset(set(result.corrections))
+        assert result.num_corrected == len(result.perturbed_corrections)
+
+    def test_candidates_reported_with_scores(self, cryptext_small):
+        result = cryptext_small.normalize("the demokrats won")
+        correction = next(c for c in result.corrections if c.original == "demokrats")
+        assert correction.candidates
+        words = [candidate.word for candidate in correction.candidates]
+        assert "democrats" in words
+        # candidates are sorted by coherency, best first
+        coherencies = [candidate.coherency for candidate in correction.candidates]
+        assert coherencies == sorted(coherencies, reverse=True)
+
+    def test_spans_point_into_original_text(self, cryptext_small):
+        text = "the demokrats hate the vacc1ne"
+        result = cryptext_small.normalize(text)
+        for correction in result.corrections:
+            assert text[correction.start:correction.end] == correction.original
+
+    def test_to_dict_serialization(self, cryptext_small):
+        payload = cryptext_small.normalize("the demokrats won").to_dict()
+        assert payload["original_text"] == "the demokrats won"
+        assert isinstance(payload["corrections"], list)
+        assert all("candidates" in item for item in payload["corrections"])
+
+
+class TestContextSensitivity:
+    def test_coherency_prefers_contextual_candidate(self, cryptext_small):
+        # "amaz0n" should be corrected to "amazon" (seen in context in the
+        # corpus) rather than left alone.
+        result = cryptext_small.normalize("my amaz0n package never arrived")
+        assert "amazon" in result.normalized_text
+
+    def test_casing_preserved_on_correction(self, cryptext_small):
+        result = cryptext_small.normalize("Demokrats keep winning")
+        assert result.normalized_text.startswith("Democrats")
+
+    def test_unknown_oov_token_left_untouched(self, cryptext_small):
+        result = cryptext_small.normalize("the zxqvw reports")
+        assert "zxqvw" in result.normalized_text
+
+    def test_urls_and_mentions_untouched(self, cryptext_small):
+        text = "@user read https://example.com about the vacc1ne"
+        result = cryptext_small.normalize(text)
+        assert "@user" in result.normalized_text
+        assert "https://example.com" in result.normalized_text
+
+
+class TestDetectPerturbations:
+    def test_detection_without_rewriting(self, cryptext_small):
+        detections = cryptext_small.normalizer.detect_perturbations(
+            "the demokrats hate the vacc1ne"
+        )
+        originals = {detection.original for detection in detections}
+        assert originals == {"demokrats", "vacc1ne"}
+
+    def test_detection_on_clean_text_is_empty(self, cryptext_small):
+        assert cryptext_small.normalizer.detect_perturbations("the vaccine works") == ()
+
+    def test_normalize_many(self, cryptext_small):
+        results = cryptext_small.normalizer.normalize_many(
+            ["the demokrats", "the vaccine"]
+        )
+        assert len(results) == 2
+        assert results[0].num_corrected >= 1
+        assert results[1].num_corrected == 0
+
+
+class TestWithoutTrainedScorer:
+    def test_fallback_ranking_still_corrects(self, small_corpus):
+        system = CrypText.from_corpus(small_corpus, train_scorer=False)
+        assert system.normalizer.scorer is None
+        result = system.normalize("the demokrats hate the vacc1ne")
+        assert "democrats" in result.normalized_text
+        assert "vaccine" in result.normalized_text
+
+
+class TestRoundTrip:
+    def test_perturb_then_normalize_recovers_most_tokens(self, cryptext_synthetic):
+        text = "the democrats and republicans debate the vaccine mandate"
+        perturbed = cryptext_synthetic.perturb(text, ratio=0.5)
+        recovered = cryptext_synthetic.normalize(perturbed.perturbed_text)
+        original_tokens = text.split()
+        recovered_tokens = recovered.normalized_text.lower().split()
+        agreement = sum(
+            1 for original, restored in zip(original_tokens, recovered_tokens)
+            if original == restored
+        )
+        assert agreement / len(original_tokens) >= 0.7

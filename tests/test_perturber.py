@@ -1,0 +1,161 @@
+"""Tests for repro.core.perturber (the Perturbation function, §III-D)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import CrypText, CrypTextConfig
+from repro.core.perturber import Perturber
+from repro.errors import CrypTextError
+from repro.text.wordlist import default_lexicon
+
+
+class TestRatioSemantics:
+    def test_zero_ratio_returns_original(self, cryptext_small):
+        text = "the democrats support the vaccine mandate"
+        outcome = cryptext_small.perturb(text, ratio=0.0)
+        assert outcome.perturbed_text == text
+        assert outcome.replacements == ()
+        assert outcome.requested_replacements == 0
+
+    def test_requested_count_matches_ceiling(self, cryptext_small):
+        text = "the democrats support the vaccine mandate"  # 6 word tokens
+        outcome = cryptext_small.perturb(text, ratio=0.25)
+        assert outcome.requested_replacements == 2  # ceil(0.25 * 6)
+
+    def test_replacement_count_bounded_by_request(self, cryptext_synthetic):
+        text = "the democrats and republicans debate the vaccine mandate online"
+        for ratio in (0.15, 0.25, 0.5, 1.0):
+            outcome = cryptext_synthetic.perturb(text, ratio=ratio)
+            assert len(outcome.replacements) <= outcome.requested_replacements
+
+    def test_higher_ratio_perturbs_at_least_as_many(self, cryptext_synthetic):
+        text = "the democrats and republicans debate the vaccine mandate online"
+        low = cryptext_synthetic.perturber.perturb(text, ratio=0.15)
+        high = cryptext_synthetic.perturber.perturb(text, ratio=1.0)
+        assert len(high.replacements) >= len(low.replacements)
+
+    def test_invalid_ratio_rejected(self, cryptext_small):
+        with pytest.raises(CrypTextError):
+            cryptext_small.perturb("some text here", ratio=1.5)
+
+    def test_empty_text(self, cryptext_small):
+        outcome = cryptext_small.perturb("", ratio=0.5)
+        assert outcome.perturbed_text == ""
+        assert outcome.replacements == ()
+
+
+class TestReplacementQuality:
+    def test_replacements_come_from_dictionary(self, cryptext_small):
+        outcome = cryptext_small.perturb(
+            "the democrats support the vaccine mandate", ratio=1.0
+        )
+        for replacement in outcome.replacements:
+            assert replacement.perturbed in cryptext_small.dictionary
+
+    def test_replacements_differ_from_originals(self, cryptext_synthetic):
+        outcome = cryptext_synthetic.perturb(
+            "the democrats and republicans debate the vaccine", ratio=1.0
+        )
+        for replacement in outcome.replacements:
+            assert replacement.perturbed != replacement.original
+
+    def test_word_targets_excluded_by_default(self, cryptext_synthetic):
+        lexicon = default_lexicon()
+        outcome = cryptext_synthetic.perturb(
+            "the democrats and republicans debate the vaccine mandate", ratio=1.0
+        )
+        for replacement in outcome.replacements:
+            assert replacement.perturbed.lower() not in lexicon or (
+                replacement.perturbed.lower() == replacement.original.lower()
+            )
+
+    def test_word_targets_allowed_when_requested(self, cryptext_synthetic):
+        outcome = cryptext_synthetic.perturber.perturb(
+            "the democrats and republicans debate the vaccine mandate",
+            ratio=1.0,
+            allow_word_targets=True,
+        )
+        # with word targets allowed the pool is strictly larger, so at least
+        # as many replacements happen
+        baseline = cryptext_synthetic.perturber.perturb(
+            "the democrats and republicans debate the vaccine mandate", ratio=1.0
+        )
+        assert len(outcome.replacements) >= len(baseline.replacements)
+
+    def test_spans_point_into_original_text(self, cryptext_synthetic):
+        text = "the democrats and republicans debate the vaccine"
+        outcome = cryptext_synthetic.perturb(text, ratio=1.0)
+        for replacement in outcome.replacements:
+            assert text[replacement.start:replacement.end] == replacement.original
+
+    def test_perturbed_text_differs_when_replacements_exist(self, cryptext_synthetic):
+        text = "the democrats and republicans debate the vaccine"
+        outcome = cryptext_synthetic.perturb(text, ratio=1.0)
+        if outcome.replacements:
+            assert outcome.perturbed_text != text
+
+    def test_protected_tokens_never_replaced(self, cryptext_synthetic):
+        text = "the democrats and republicans debate the vaccine"
+        outcome = cryptext_synthetic.perturber.perturb(
+            text, ratio=1.0, protected_tokens={"vaccine", "democrats"}
+        )
+        replaced = {replacement.original.lower() for replacement in outcome.replacements}
+        assert "vaccine" not in replaced
+        assert "democrats" not in replaced
+
+
+class TestDeterminismAndConfig:
+    def test_same_seed_gives_same_output(self, small_corpus):
+        first = CrypText.from_corpus(small_corpus, config=CrypTextConfig(seed=5))
+        second = CrypText.from_corpus(small_corpus, config=CrypTextConfig(seed=5))
+        text = "the democrats support the vaccine mandate"
+        assert first.perturb(text, ratio=0.5).perturbed_text == second.perturb(
+            text, ratio=0.5
+        ).perturbed_text
+
+    def test_injected_rng_is_used(self, cryptext_small):
+        perturber_a = Perturber(cryptext_small.lookup_engine, rng=random.Random(1))
+        perturber_b = Perturber(cryptext_small.lookup_engine, rng=random.Random(1))
+        text = "the democrats support the vaccine mandate"
+        assert (
+            perturber_a.perturb(text, ratio=0.5).perturbed_text
+            == perturber_b.perturb(text, ratio=0.5).perturbed_text
+        )
+
+    def test_default_ratio_comes_from_config(self, small_corpus):
+        system = CrypText.from_corpus(
+            small_corpus, config=CrypTextConfig(perturbation_ratio=0.5)
+        )
+        outcome = system.perturb("the democrats support the vaccine mandate")
+        assert outcome.ratio == 0.5
+
+    def test_uniform_sampling_mode(self, cryptext_small):
+        outcome = cryptext_small.perturber.perturb(
+            "the democrats support the vaccine", ratio=1.0, weighted_by_frequency=False
+        )
+        for replacement in outcome.replacements:
+            assert replacement.perturbed != replacement.original
+
+
+class TestOutcomeSerialization:
+    def test_to_dict(self, cryptext_small):
+        outcome = cryptext_small.perturb("the democrats support the vaccine", ratio=0.5)
+        payload = outcome.to_dict()
+        assert payload["original_text"] == "the democrats support the vaccine"
+        assert payload["ratio"] == 0.5
+        assert isinstance(payload["replacements"], list)
+
+    def test_achieved_ratio_bounded(self, cryptext_synthetic):
+        outcome = cryptext_synthetic.perturb(
+            "the democrats and republicans debate the vaccine", ratio=0.5
+        )
+        assert 0.0 <= outcome.achieved_ratio <= 1.0
+
+    def test_bulk_perturbation(self, cryptext_small):
+        outcomes = cryptext_small.perturber.perturb_many(
+            ["the democrats won", "the vaccine works"], ratio=0.5
+        )
+        assert len(outcomes) == 2

@@ -1,0 +1,121 @@
+"""Tests for repro.social.platform (the simulated social platform)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import build_social_corpus
+from repro.errors import PlatformError
+from repro.social import SocialPlatform
+
+
+@pytest.fixture()
+def platform() -> SocialPlatform:
+    instance = SocialPlatform("twitter")
+    instance.ingest_raw("the democrats push the vaccine mandate", "2021-11-02", author="a")
+    instance.ingest_raw("the dem0crats lie about everything", "2021-11-03", author="b")
+    instance.ingest_raw("i love my garden in november", "2021-11-03", author="c")
+    instance.ingest_raw("republicans block the bill again", "2021-11-05", author="a")
+    return instance
+
+
+class TestIngestion:
+    def test_ingest_posts_filters_by_platform(self, synthetic_posts):
+        twitter = SocialPlatform("twitter")
+        reddit = SocialPlatform("reddit")
+        twitter_count = twitter.ingest_posts(synthetic_posts)
+        reddit_count = reddit.ingest_posts(synthetic_posts)
+        assert twitter_count + reddit_count == len(synthetic_posts)
+        assert len(twitter) == twitter_count
+        assert len(reddit) == reddit_count
+
+    def test_ingest_all_platforms_when_not_filtering(self, synthetic_posts):
+        mixed = SocialPlatform("twitter")
+        count = mixed.ingest_posts(synthetic_posts, only_matching_platform=False)
+        assert count == len(synthetic_posts)
+
+    def test_ingest_raw_assigns_sequential_ids(self, platform):
+        new_id = platform.ingest_raw("another vaccine post", "2021-11-06")
+        assert new_id == len(platform)
+
+    def test_ingest_empty_text_rejected(self, platform):
+        with pytest.raises(PlatformError):
+            platform.ingest_raw("   ", "2021-11-06")
+
+    def test_ingest_raw_metadata_stored(self):
+        platform = SocialPlatform("reddit")
+        platform.ingest_raw("hello world", "2021-11-01", subreddit="politics")
+        assert platform.all_posts()[0]["subreddit"] == "politics"
+
+
+class TestSearch:
+    def test_single_keyword(self, platform):
+        result = platform.search("democrats")
+        assert len(result) == 1
+        assert "democrats" in result.texts[0]
+
+    def test_search_is_case_insensitive(self, platform):
+        assert len(platform.search("DEMOCRATS")) == 1
+
+    def test_multi_keyword_union(self, platform):
+        result = platform.search(["democrats", "dem0crats"])
+        assert len(result) == 2
+
+    def test_perturbed_keyword_only_matches_perturbed_post(self, platform):
+        result = platform.search("dem0crats")
+        assert len(result) == 1
+        assert "dem0crats" in result.texts[0]
+
+    def test_no_match(self, platform):
+        assert len(platform.search("zebra")) == 0
+
+    def test_date_range_filters(self, platform):
+        assert len(platform.search("democrats", since="2021-11-03")) == 0
+        assert len(platform.search(["democrats", "republicans"], since="2021-11-04")) == 1
+        assert len(platform.search(["democrats", "republicans"], until="2021-11-02")) == 1
+
+    def test_limit(self, platform):
+        result = platform.search(["democrats", "dem0crats", "republicans"], limit=2)
+        assert len(result) == 2
+
+    def test_results_sorted_most_recent_first(self, platform):
+        result = platform.search(["democrats", "dem0crats", "republicans"])
+        dates = [str(post["created_at"]) for post in result.posts]
+        assert dates == sorted(dates, reverse=True)
+
+    def test_empty_query_rejected(self, platform):
+        with pytest.raises(PlatformError):
+            platform.search([])
+
+    def test_count_matching(self, platform):
+        assert platform.count_matching("republicans") == 1
+
+
+class TestStream:
+    def test_stream_batches_in_order(self, platform):
+        batches = list(platform.stream(batch_size=3))
+        assert [len(batch) for batch in batches] == [3, 1]
+        ids = [post["post_id"] for batch in batches for post in batch]
+        assert ids == sorted(ids)
+
+    def test_stream_resumes_after_cursor(self, platform):
+        batches = list(platform.stream(batch_size=10, after_post_id=2))
+        assert len(batches) == 1
+        assert [post["post_id"] for post in batches[0]] == [3, 4]
+
+    def test_stream_empty_when_exhausted(self, platform):
+        assert list(platform.stream(batch_size=10, after_post_id=99)) == []
+
+    def test_stream_batch_size_validation(self, platform):
+        with pytest.raises(PlatformError):
+            list(platform.stream(batch_size=0))
+
+    def test_posts_between(self, platform):
+        posts = platform.posts_between("2021-11-02", "2021-11-03")
+        assert len(posts) == 3
+
+    def test_corpus_scale_search(self, twitter_platform):
+        # The ingested synthetic corpus is searchable end to end.
+        result = twitter_platform.search("vaccine")
+        assert len(result) > 0
+        assert all("vaccine" in text.lower() for text in result.texts)

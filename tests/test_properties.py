@@ -1,0 +1,264 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.edit_distance import (
+    bounded_levenshtein,
+    damerau_levenshtein_distance,
+    levenshtein_distance,
+    similarity_ratio,
+)
+from repro.core.soundex import CustomSoundex
+from repro.core.sms import SMSCheck
+from repro.storage import Collection, TTLCache, compile_filter
+from repro.text.charmap import fold_visual_characters, visual_equivalence_class
+from repro.text.tokenizer import Tokenizer, detokenize
+from repro.text.unicode_fold import fold_text
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+words = st.text(alphabet=string.ascii_letters, min_size=1, max_size=12)
+leet_words = st.text(
+    alphabet=string.ascii_letters + "013457@$!|-._", min_size=1, max_size=12
+)
+sentences = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8), min_size=0, max_size=10
+).map(" ".join)
+
+
+# ---------------------------------------------------------------------------
+# edit distance metric axioms
+# ---------------------------------------------------------------------------
+
+
+class TestLevenshteinProperties:
+    @given(words)
+    def test_identity(self, word):
+        assert levenshtein_distance(word, word) == 0
+
+    @given(words, words)
+    def test_symmetry(self, first, second):
+        assert levenshtein_distance(first, second) == levenshtein_distance(second, first)
+
+    @given(words, words)
+    def test_positivity_and_upper_bound(self, first, second):
+        distance = levenshtein_distance(first, second)
+        assert 0 <= distance <= max(len(first), len(second))
+        if first != second:
+            assert distance >= 1
+
+    @given(words, words, words)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= levenshtein_distance(
+            a, b
+        ) + levenshtein_distance(b, c)
+
+    @given(words, words, st.integers(min_value=0, max_value=15))
+    def test_bounded_agrees_with_full(self, first, second, bound):
+        full = levenshtein_distance(first, second)
+        bounded = bounded_levenshtein(first, second, bound)
+        if full <= bound:
+            assert bounded == full
+        else:
+            assert bounded is None
+
+    @given(words, words)
+    def test_damerau_never_exceeds_levenshtein(self, first, second):
+        assert damerau_levenshtein_distance(first, second) <= levenshtein_distance(
+            first, second
+        )
+
+    @given(words, words)
+    def test_similarity_ratio_bounds(self, first, second):
+        assert 0.0 <= similarity_ratio(first, second) <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Soundex invariants
+# ---------------------------------------------------------------------------
+
+
+class TestSoundexProperties:
+    @given(words)
+    def test_deterministic(self, word):
+        encoder = CustomSoundex(phonetic_level=1)
+        assert encoder.encode(word) == encoder.encode(word)
+
+    @given(words)
+    def test_case_insensitive(self, word):
+        encoder = CustomSoundex(phonetic_level=1)
+        assert encoder.encode(word.upper()) == encoder.encode(word.lower())
+
+    @given(leet_words)
+    def test_visual_folding_invariance(self, token):
+        # Encoding a token equals encoding its visually folded form.
+        encoder = CustomSoundex(phonetic_level=1)
+        folded = fold_visual_characters(token)
+        code = encoder.encode_or_none(token)
+        folded_code = encoder.encode_or_none(folded)
+        assert code == folded_code
+
+    @given(words, st.integers(min_value=0, max_value=2))
+    def test_prefix_length_matches_level(self, word, level):
+        encoder = CustomSoundex(phonetic_level=level)
+        code = encoder.encode(word)
+        prefix = code[: level + 1]
+        assert len(prefix) == level + 1
+
+    @given(words)
+    def test_repetition_invariance(self, word):
+        # Stretching characters after the fixed k+1 prefix never changes the
+        # encoding (the "porrrrn" -> "porn" behaviour).
+        encoder = CustomSoundex(phonetic_level=1)
+        stretched = word[:2] + "".join(char * 2 for char in word[2:])
+        assert encoder.encode(word) == encoder.encode(stretched)
+
+    @given(words)
+    def test_canonicalize_idempotent(self, word):
+        encoder = CustomSoundex()
+        canonical = encoder.canonicalize(word)
+        assert encoder.canonicalize(canonical) == canonical
+
+
+class TestCharmapProperties:
+    @given(st.characters())
+    def test_visual_class_total_and_idempotent(self, char):
+        once = visual_equivalence_class(char)
+        assert visual_equivalence_class(once) == once
+
+    @given(st.text(alphabet=string.ascii_letters + string.digits + "@$!|-._ ", max_size=30))
+    def test_fold_visual_preserves_length(self, text):
+        assert len(fold_visual_characters(text)) == len(text)
+
+    @given(st.text(max_size=30))
+    def test_fold_text_never_raises(self, text):
+        fold_text(text)
+
+
+# ---------------------------------------------------------------------------
+# SMS property invariants
+# ---------------------------------------------------------------------------
+
+
+class TestSMSProperties:
+    @given(words)
+    def test_never_a_perturbation_of_itself(self, word):
+        assert not SMSCheck().is_perturbation(word, word)
+
+    @given(words, words)
+    @settings(max_examples=100)
+    def test_verdict_requires_all_three_conditions(self, original, candidate):
+        result = SMSCheck().evaluate(original, candidate)
+        assert result.is_perturbation == (
+            result.same_sound
+            and result.different_spelling
+            and result.edit_distance is not None
+        )
+
+
+# ---------------------------------------------------------------------------
+# tokenizer round trips
+# ---------------------------------------------------------------------------
+
+
+class TestTokenizerProperties:
+    @given(sentences)
+    def test_spans_match_source(self, text):
+        for token in Tokenizer().tokenize(text):
+            assert text[token.start:token.end] == token.text
+
+    @given(sentences)
+    def test_identity_detokenization(self, text):
+        tokens = Tokenizer().tokenize(text)
+        replacements = [(token, token.text) for token in tokens]
+        assert detokenize(text, replacements) == text
+
+    @given(sentences, st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6))
+    @settings(max_examples=50)
+    def test_single_replacement_splices_correctly(self, text, replacement):
+        tokens = Tokenizer().word_tokens(text)
+        if not tokens:
+            return
+        target = tokens[0]
+        rebuilt = detokenize(text, [(target, replacement)])
+        assert rebuilt[: target.start] == text[: target.start]
+        assert rebuilt[target.start : target.start + len(replacement)] == replacement
+
+
+# ---------------------------------------------------------------------------
+# storage invariants
+# ---------------------------------------------------------------------------
+
+document_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(alphabet=string.ascii_lowercase, max_size=8),
+    st.booleans(),
+)
+documents = st.lists(
+    st.fixed_dictionaries(
+        {"group": st.sampled_from(["a", "b", "c"]), "value": document_values}
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+
+class TestStorageProperties:
+    @given(documents)
+    def test_indexed_find_matches_scan(self, docs):
+        plain = Collection("plain")
+        indexed = Collection("indexed")
+        indexed.create_index("group")
+        plain.insert_many(docs)
+        indexed.insert_many(docs)
+        for group in ("a", "b", "c"):
+            scan = {doc["_id"] for doc in plain.find({"group": group})}
+            fast = {doc["_id"] for doc in indexed.find({"group": group})}
+            assert scan == fast
+
+    @given(documents)
+    def test_count_consistent_with_find(self, docs):
+        collection = Collection("c")
+        collection.insert_many(docs)
+        for group in ("a", "b", "c"):
+            assert collection.count({"group": group}) == len(
+                collection.find({"group": group})
+            )
+
+    @given(documents, st.integers(min_value=-1000, max_value=1000))
+    @settings(max_examples=50)
+    def test_filter_predicate_matches_semantics(self, docs, threshold):
+        predicate = compile_filter({"value": {"$gte": threshold}})
+        for doc in docs:
+            expected = isinstance(doc["value"], (int, bool)) and doc["value"] >= threshold
+            if isinstance(doc["value"], str):
+                expected = False
+            assert predicate(doc) == expected
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcdef"), st.integers(min_value=0, max_value=100)),
+            max_size=50,
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_capacity_never_exceeded_and_values_current(self, operations, capacity):
+        cache = TTLCache(max_entries=capacity, default_ttl=1000)
+        latest: dict[str, int] = {}
+        for key, value in operations:
+            cache.set(key, value)
+            latest[key] = value
+        assert len(cache) <= capacity
+        for key in latest:
+            value = cache.get(key)
+            if value is not None:
+                assert value == latest[key]

@@ -1,0 +1,134 @@
+"""Tests for repro.sentiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sentiment import SentimentAnalyzer
+from repro.sentiment.lexicon import POLARITY_LEXICON
+
+
+class TestPolarityBasics:
+    def test_positive_text(self):
+        analyzer = SentimentAnalyzer()
+        assert analyzer.label("i love this wonderful amazing community") == "positive"
+
+    def test_negative_text(self):
+        analyzer = SentimentAnalyzer()
+        assert analyzer.label("i hate these corrupt lying politicians") == "negative"
+
+    def test_neutral_text(self):
+        analyzer = SentimentAnalyzer()
+        assert analyzer.label("the committee meets on monday morning") == "neutral"
+
+    def test_compound_bounds(self):
+        analyzer = SentimentAnalyzer()
+        for text in (
+            "love love love love",
+            "hate hate hate hate hate",
+            "table chair window",
+            "",
+        ):
+            assert -1.0 <= analyzer.compound(text) <= 1.0
+
+    def test_empty_text_is_neutral(self):
+        analyzer = SentimentAnalyzer()
+        assert analyzer.label("") == "neutral"
+        assert analyzer.compound("") == 0.0
+
+    def test_result_fields(self):
+        result = SentimentAnalyzer().polarity("i love this but hate that")
+        assert result.positive_hits >= 1
+        assert result.negative_hits >= 1
+        assert result.label in ("negative", "neutral", "positive")
+        payload = result.to_dict()
+        assert payload["label"] == result.label
+
+
+class TestRules:
+    def test_negation_flips_polarity(self):
+        analyzer = SentimentAnalyzer()
+        positive = analyzer.compound("the vaccine is safe")
+        negated = analyzer.compound("the vaccine is not safe")
+        assert positive > 0
+        assert negated < positive
+        assert negated < 0
+
+    def test_intensifier_amplifies(self):
+        analyzer = SentimentAnalyzer()
+        plain = analyzer.compound("this policy is bad")
+        intense = analyzer.compound("this policy is extremely bad")
+        assert intense < plain  # more negative
+
+    def test_diminisher_softens(self):
+        analyzer = SentimentAnalyzer()
+        plain = analyzer.compound("this policy is bad")
+        softened = analyzer.compound("this policy is slightly bad")
+        assert softened > plain
+
+    def test_all_caps_emphasis(self):
+        analyzer = SentimentAnalyzer()
+        plain = analyzer.compound("these politicians are liars")
+        shouted = analyzer.compound("these politicians are LIARS")
+        assert shouted < plain
+
+    def test_exclamation_emphasis(self):
+        analyzer = SentimentAnalyzer()
+        plain = analyzer.compound("i hate this policy")
+        emphatic = analyzer.compound("i hate this policy!!!")
+        assert emphatic <= plain
+
+
+class TestPerturbationSensitivity:
+    def test_perturbed_keyword_escapes_lexicon(self):
+        # The core phenomenon the paper exploits: "h4te" is invisible to a
+        # dictionary-based system until it is normalized.
+        analyzer = SentimentAnalyzer()
+        clean = analyzer.compound("i hate these corrupt politicians")
+        perturbed = analyzer.compound("i h4te these c0rrupt politicians")
+        assert clean < perturbed  # perturbed looks less negative
+
+    def test_normalizer_hook_restores_signal(self, cryptext_small):
+        plain = SentimentAnalyzer()
+        robust = SentimentAnalyzer(
+            normalizer=lambda text: cryptext_small.normalize(text).normalized_text
+        )
+        perturbed_text = "the demokrats are liars and frauds"
+        assert robust.compound(perturbed_text) <= plain.compound(perturbed_text)
+
+
+class TestAggregates:
+    def test_negative_share(self):
+        analyzer = SentimentAnalyzer()
+        texts = [
+            "i hate this corrupt government",
+            "what a wonderful beautiful day",
+            "these liars destroy everything",
+            "the meeting is at noon",
+        ]
+        share = analyzer.negative_share(texts)
+        assert share == pytest.approx(0.5)
+
+    def test_negative_share_empty(self):
+        assert SentimentAnalyzer().negative_share([]) == 0.0
+
+    def test_score_many(self):
+        results = SentimentAnalyzer().score_many(["i love it", "i hate it"])
+        assert [result.label for result in results] == ["positive", "negative"]
+
+    def test_custom_lexicon(self):
+        analyzer = SentimentAnalyzer(lexicon={"blorp": 3.0})
+        assert analyzer.label("blorp blorp") == "positive"
+        assert analyzer.label("i hate this") == "neutral"  # not in custom lexicon
+
+
+class TestLexiconContents:
+    def test_scores_in_vader_range(self):
+        assert all(-4.0 <= score <= 4.0 for score in POLARITY_LEXICON.values())
+
+    def test_keys_are_lowercase(self):
+        assert all(word == word.lower() for word in POLARITY_LEXICON)
+
+    def test_paper_topics_covered(self):
+        for word in ("hate", "liar", "corrupt", "fraud", "hoax", "mandate", "suicide"):
+            assert word in POLARITY_LEXICON

@@ -1,0 +1,127 @@
+"""Tests for repro.classifiers.signals (perturbation-presence features)."""
+
+from __future__ import annotations
+
+from repro.classifiers import (
+    MultinomialNaiveBayes,
+    NgramVectorizer,
+    PerturbationSignalExtractor,
+    combine_feature_vectors,
+)
+from repro.datasets import build_robustness_dataset
+
+
+class TestFeatureExtraction:
+    def test_clean_text_features(self, cryptext_small):
+        extractor = PerturbationSignalExtractor(cryptext_small.normalizer)
+        features = extractor.extract("the democrats support the vaccine mandate")
+        assert features["sig:num_perturbations"] == 0.0
+        assert features["sig:clean"] == 1.0
+
+    def test_perturbed_text_features(self, cryptext_small):
+        extractor = PerturbationSignalExtractor(cryptext_small.normalizer)
+        features = extractor.extract("the demokrats push the vacc1ne mandate")
+        assert features["sig:num_perturbations"] >= 2.0
+        assert 0.0 < features["sig:perturbation_ratio"] <= 1.0
+        assert features["sig:num_sensitive_restored"] >= 1.0
+        assert "sig:clean" not in features
+
+    def test_category_features_present(self, cryptext_small):
+        extractor = PerturbationSignalExtractor(cryptext_small.normalizer)
+        features = extractor.extract("thinking about suic1de again")
+        assert any(name.startswith("sig:category:") for name in features)
+
+    def test_custom_prefix(self, cryptext_small):
+        extractor = PerturbationSignalExtractor(cryptext_small.normalizer, prefix="p")
+        features = extractor.extract("the demokrats")
+        assert all(name.startswith("p:") for name in features)
+
+    def test_extract_many(self, cryptext_small):
+        extractor = PerturbationSignalExtractor(cryptext_small.normalizer)
+        batch = extractor.extract_many(["the demokrats", "the democrats"])
+        assert len(batch) == 2
+        assert batch[0]["sig:num_perturbations"] > batch[1]["sig:num_perturbations"]
+
+    def test_features_from_precomputed_result(self, cryptext_small):
+        extractor = PerturbationSignalExtractor(cryptext_small.normalizer)
+        result = cryptext_small.normalize("the demokrats push their agenda")
+        assert extractor.features_from_result(result) == extractor.extract(
+            "the demokrats push their agenda"
+        )
+
+
+class TestCombineFeatureVectors:
+    def test_disjoint_keys_union(self):
+        combined = combine_feature_vectors({"a": 1.0}, {"b": 2.0})
+        assert combined == {"a": 1.0, "b": 2.0}
+
+    def test_shared_keys_summed(self):
+        combined = combine_feature_vectors({"a": 1.0, "b": 1.0}, {"b": 2.0})
+        assert combined == {"a": 1.0, "b": 3.0}
+
+    def test_inputs_not_mutated(self):
+        base = {"a": 1.0}
+        extra = {"a": 2.0}
+        combine_feature_vectors(base, extra)
+        assert base == {"a": 1.0} and extra == {"a": 2.0}
+
+
+class TestSignalIsPredictive:
+    """§III-C use case 2: perturbation presence signals adversarial content."""
+
+    def test_toxic_posts_carry_more_perturbation_signal(
+        self, cryptext_synthetic, synthetic_posts
+    ):
+        # In the wild (and in the synthetic corpus that mirrors it), abusive
+        # posts are perturbed more often than benign ones, so the extracted
+        # signal is higher on average for toxic posts.
+        extractor = PerturbationSignalExtractor(cryptext_synthetic.normalizer)
+        toxic = [post.text for post in synthetic_posts if post.toxic][:60]
+        benign = [post.text for post in synthetic_posts if not post.toxic][:60]
+        toxic_signal = sum(
+            extractor.extract(text)["sig:num_perturbations"] for text in toxic
+        ) / len(toxic)
+        benign_signal = sum(
+            extractor.extract(text)["sig:num_perturbations"] for text in benign
+        ) / len(benign)
+        assert toxic_signal > benign_signal
+
+    def test_signal_only_classifier_beats_chance(self, cryptext_synthetic, synthetic_posts):
+        # A Naive Bayes model that sees *only* the perturbation signals (no
+        # text features at all) predicts toxicity above chance on a balanced
+        # sample — the signal genuinely carries class information.
+        extractor = PerturbationSignalExtractor(cryptext_synthetic.normalizer)
+        toxic = [post.text for post in synthetic_posts if post.toxic][:50]
+        benign = [post.text for post in synthetic_posts if not post.toxic][:50]
+        toxic_vectors = [extractor.extract(text) for text in toxic]
+        benign_vectors = [extractor.extract(text) for text in benign]
+        train_vectors = toxic_vectors[:35] + benign_vectors[:35]
+        train_labels = ["toxic"] * 35 + ["nontoxic"] * 35
+        test_vectors = toxic_vectors[35:] + benign_vectors[35:]
+        test_labels = ["toxic"] * len(toxic_vectors[35:]) + ["nontoxic"] * len(
+            benign_vectors[35:]
+        )
+        model = MultinomialNaiveBayes().fit(train_vectors, train_labels)
+        correct = sum(
+            1
+            for vector, label in zip(test_vectors, test_labels)
+            if model.predict(vector) == label
+        )
+        assert correct / len(test_labels) > 0.5
+
+    def test_signals_combine_with_ngram_features(self, cryptext_synthetic):
+        # The two feature families share no names, so combining them never
+        # loses information and classifiers accept the merged vectors.
+        texts, labels = build_robustness_dataset("toxicity", num_samples=80, seed=55)
+        vectorizer = NgramVectorizer(word_ngrams=(1, 1), char_ngrams=None)
+        base_vectors = vectorizer.fit_transform(texts)
+        extractor = PerturbationSignalExtractor(cryptext_synthetic.normalizer)
+        merged = [
+            combine_feature_vectors(vector, extractor.extract(text))
+            for vector, text in zip(base_vectors, texts)
+        ]
+        assert all(
+            set(base) <= set(combined) for base, combined in zip(base_vectors, merged)
+        )
+        model = MultinomialNaiveBayes().fit(merged, labels)
+        assert model.predict(merged[0]) in ("toxic", "nontoxic")

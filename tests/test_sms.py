@@ -1,0 +1,97 @@
+"""Tests for repro.core.sms (the SMS perturbation property)."""
+
+from __future__ import annotations
+
+from repro.core.sms import SMSCheck
+
+
+class TestPaperExamples:
+    def test_demokrats_is_perturbation_of_democrats(self):
+        check = SMSCheck()
+        result = check.evaluate("democrats", "demokRATs")
+        assert result.same_sound
+        assert result.different_spelling
+        assert result.edit_distance is not None
+        assert result.is_perturbation
+
+    def test_republiecans_is_perturbation(self):
+        assert SMSCheck().is_perturbation("republicans", "repubLIEcans")
+
+    def test_leet_democrats(self):
+        assert SMSCheck().is_perturbation("democrats", "dem0cr@ts")
+
+    def test_identical_spelling_is_not_a_perturbation(self):
+        result = SMSCheck().evaluate("democrats", "democrats")
+        assert not result.is_perturbation
+        assert not result.different_spelling
+
+    def test_unrelated_word_is_not_a_perturbation(self):
+        result = SMSCheck().evaluate("democrats", "elephants")
+        assert not result.is_perturbation
+
+    def test_case_change_counts_as_different_spelling(self):
+        # Emphasis capitalization is itself a perturbation (paper §II-C).
+        result = SMSCheck().evaluate("democrats", "democRATs")
+        assert result.different_spelling
+        assert result.is_perturbation
+
+
+class TestHyperParameters:
+    def test_edit_distance_bound_rejects_far_tokens(self):
+        tight = SMSCheck(max_edit_distance=1)
+        loose = SMSCheck(max_edit_distance=4)
+        # four repeated characters -> distance 4 from the original
+        assert not tight.is_perturbation("porn", "porrrrn")
+        assert loose.is_perturbation("porn", "porrrrn")
+
+    def test_phonetic_level_changes_sound_matching(self):
+        level0 = SMSCheck(phonetic_level=0)
+        level1 = SMSCheck(phonetic_level=1)
+        # "losbian" only matches "lesbian" at level 0 (paper's motivation for k).
+        assert level0.evaluate("lesbian", "losbian").same_sound
+        assert not level1.evaluate("lesbian", "losbian").same_sound
+
+    def test_transposition_mode_changes_distance(self):
+        plain = SMSCheck(max_edit_distance=1, use_transpositions=False)
+        osa = SMSCheck(max_edit_distance=1, use_transpositions=True)
+        # A swap costs two plain edits but one OSA edit.
+        assert plain.evaluate("democrats", "demorcats").edit_distance is None
+        assert osa.evaluate("democrats", "demorcats").edit_distance == 1
+
+    def test_transposition_mode_changes_verdict_when_sound_matches(self):
+        # "mandaet" swaps two characters yet keeps the Soundex encoding.
+        plain = SMSCheck(max_edit_distance=1, use_transpositions=False)
+        osa = SMSCheck(max_edit_distance=1, use_transpositions=True)
+        assert not plain.is_perturbation("mandate", "mandaet")
+        assert osa.is_perturbation("mandate", "mandaet")
+
+    def test_raw_spelling_comparison_mode(self):
+        canonical = SMSCheck(compare_canonical=True, max_edit_distance=0)
+        raw = SMSCheck(compare_canonical=False, max_edit_distance=0)
+        # canonically, dem0cr@ts == democrats (distance 0); raw they differ.
+        assert canonical.evaluate("democrats", "dem0cr@ts").edit_distance == 0
+        assert raw.evaluate("democrats", "dem0cr@ts").edit_distance is None
+
+
+class TestHelpers:
+    def test_filter_perturbations(self):
+        check = SMSCheck()
+        candidates = ["demokrats", "democrats", "dem0crats", "elephants", "republic"]
+        kept = check.filter_perturbations("democrats", candidates)
+        assert "demokrats" in kept
+        assert "dem0crats" in kept
+        assert "democrats" not in kept  # identical spelling
+        assert "elephants" not in kept
+
+    def test_explain_mentions_verdict(self):
+        result = SMSCheck().evaluate("democrats", "demokrats")
+        text = result.explain()
+        assert "perturbation" in text
+        assert "demokrats" in text
+
+    def test_explain_for_rejected_pair(self):
+        result = SMSCheck().evaluate("democrats", "elephants")
+        assert "not a perturbation" in result.explain()
+
+    def test_unencodable_candidate_is_not_a_perturbation(self):
+        assert not SMSCheck().is_perturbation("democrats", "!!!")

@@ -1,0 +1,159 @@
+"""Tests for repro.core.soundex."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.soundex import CustomSoundex, OriginalSoundex, soundex_key
+from repro.errors import EncodingError
+
+
+class TestOriginalSoundex:
+    def test_classic_codes(self):
+        encoder = OriginalSoundex()
+        assert encoder.encode("robert") == "R163"
+        assert encoder.encode("rupert") == "R163"
+
+    def test_paper_lesbian_collision(self):
+        # §III-A: original Soundex maps both "losbian" and "lesbian" to L215.
+        encoder = OriginalSoundex()
+        assert encoder.encode("lesbian") == "L215"
+        assert encoder.encode("losbian") == "L215"
+
+    def test_short_words_zero_padded(self):
+        assert OriginalSoundex().encode("the") == "T000"
+
+    def test_case_insensitive(self):
+        encoder = OriginalSoundex()
+        assert encoder.encode("Vaccine") == encoder.encode("vaccine")
+
+    def test_no_alphabetic_content_rejected(self):
+        with pytest.raises(EncodingError):
+            OriginalSoundex().encode("1234")
+
+    def test_empty_token_rejected(self):
+        with pytest.raises(EncodingError):
+            OriginalSoundex().encode("   ")
+
+
+class TestCustomSoundexTable1:
+    """The exact hash-map keys the paper's Table I illustrates."""
+
+    def test_the_and_thee_share_TH000(self):
+        encoder = CustomSoundex(phonetic_level=1)
+        assert encoder.encode("the") == "TH000"
+        assert encoder.encode("thee") == "TH000"
+
+    def test_dirty_variants_share_DI630(self):
+        encoder = CustomSoundex(phonetic_level=1)
+        assert encoder.encode("dirty") == "DI630"
+        assert encoder.encode("dirrrty") == "DI630"
+
+    def test_republicans_variants_share_one_key(self):
+        encoder = CustomSoundex(phonetic_level=1)
+        expected = encoder.encode("republicans")
+        assert encoder.encode("repubLIEcans") == expected
+        assert encoder.encode("republic@@ns") == expected
+
+
+class TestCustomSoundexVisualFolding:
+    def test_leet_variants_match(self):
+        assert soundex_key("democrats") == soundex_key("dem0cr@ts")
+        assert soundex_key("vaccine") == soundex_key("vacc1ne")
+        assert soundex_key("suicide") == soundex_key("suic1de")
+
+    def test_separator_variants_match(self):
+        assert soundex_key("muslim") == soundex_key("mus-lim")
+        assert soundex_key("chinese") == soundex_key("chi-nese")
+        assert soundex_key("vaccine") == soundex_key("vac.cine")
+
+    def test_repetition_variants_match(self):
+        assert soundex_key("porn") == soundex_key("porrrrn")
+
+    def test_phonetic_respelling_matches(self):
+        assert soundex_key("depression") == soundex_key("depresxion")
+
+    def test_case_emphasis_matches(self):
+        assert soundex_key("democrats") == soundex_key("democRATs")
+        assert soundex_key("republicans") == soundex_key("repubLIEcans")
+
+    def test_accented_variants_match(self):
+        assert soundex_key("democrats") == soundex_key("demöcrats")
+
+
+class TestPhoneticLevel:
+    def test_level_separates_losbian_from_lesbian(self):
+        # The whole point of fixing k+1 characters (paper §III-A).
+        assert soundex_key("losbian", phonetic_level=1) != soundex_key(
+            "lesbian", phonetic_level=1
+        )
+
+    def test_level_zero_behaves_like_first_char_prefix(self):
+        assert soundex_key("losbian", phonetic_level=0) == soundex_key(
+            "lesbian", phonetic_level=0
+        )
+
+    def test_prefix_grows_with_level(self):
+        encoder0 = CustomSoundex(phonetic_level=0)
+        encoder2 = CustomSoundex(phonetic_level=2)
+        assert encoder0.encode("republicans").startswith("R")
+        assert encoder2.encode("republicans").startswith("REP")
+
+    def test_short_token_prefix_padded(self):
+        # canonical "a" is shorter than k+1 at level 2; prefix is padded.
+        code = CustomSoundex(phonetic_level=2).encode("a")
+        assert len(code) >= 3 + 3  # 3-char prefix + 3 digits
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(EncodingError):
+            CustomSoundex(phonetic_level=-1)
+
+
+class TestCanonicalization:
+    def test_canonicalize_paper_examples(self):
+        encoder = CustomSoundex()
+        assert encoder.canonicalize("Dem0cr@ts") == "democrats"
+        assert encoder.canonicalize("mus-lim") == "muslim"
+        assert encoder.canonicalize("repubLIEcans") == "republiecans"
+
+    def test_canonicalize_drops_residual_symbols(self):
+        assert CustomSoundex().canonicalize("vac***cine") == "vaccine"
+
+    def test_encode_or_none_on_unencodable(self):
+        encoder = CustomSoundex()
+        # "?" has no visual equivalence class and no phonetic content.
+        assert encoder.encode_or_none("???") is None
+        assert encoder.encode_or_none("vaccine") is not None
+
+    def test_encode_raises_on_unencodable(self):
+        with pytest.raises(EncodingError):
+            CustomSoundex().encode("??,,")
+
+    def test_leet_only_tokens_are_encodable(self):
+        # Digits and symbols fold onto letters, so an all-leet token like
+        # "1!!" still receives a phonetic encoding.
+        assert CustomSoundex().encode_or_none("1!!") is not None
+
+    def test_same_sound_helper(self):
+        encoder = CustomSoundex()
+        assert encoder.same_sound("democrats", "demokrats")
+        assert not encoder.same_sound("democrats", "elephants")
+        assert not encoder.same_sound("democrats", "!!!")
+
+
+class TestDeterminismAndShape:
+    def test_encoding_is_deterministic(self):
+        encoder = CustomSoundex(phonetic_level=1)
+        assert encoder.encode("republicans") == encoder.encode("republicans")
+
+    def test_encoding_shape(self):
+        code = CustomSoundex(phonetic_level=1).encode("vaccine")
+        prefix, digits = code[:2], code[2:]
+        assert prefix.isupper() and prefix.isalpha()
+        assert digits.isdigit()
+        assert len(digits) >= 3
+
+    def test_module_helper_matches_encoder(self):
+        assert soundex_key("vaccine", phonetic_level=2) == CustomSoundex(
+            phonetic_level=2
+        ).encode("vaccine")

@@ -1,0 +1,149 @@
+"""Tests for repro.storage.query (Mongo-style filter documents)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.storage import compile_filter, matches_filter
+
+DOCUMENT = {
+    "token": "repubLIEcans",
+    "count": 3,
+    "is_word": False,
+    "keys": {"k1": "RE14252"},
+    "sources": ["twitter", "hatespeech"],
+    "text": "the repubLIEcans are at it again",
+}
+
+
+class TestEquality:
+    def test_simple_equality(self):
+        assert matches_filter(DOCUMENT, {"token": "repubLIEcans"})
+        assert not matches_filter(DOCUMENT, {"token": "republicans"})
+
+    def test_missing_field_never_matches_equality(self):
+        assert not matches_filter(DOCUMENT, {"missing": "x"})
+
+    def test_dotted_path(self):
+        assert matches_filter(DOCUMENT, {"keys.k1": "RE14252"})
+        assert not matches_filter(DOCUMENT, {"keys.k2": "RE14252"})
+
+    def test_empty_filter_matches_everything(self):
+        assert matches_filter(DOCUMENT, {})
+        assert matches_filter(DOCUMENT, None)
+
+    def test_multiple_fields_are_conjunctive(self):
+        assert matches_filter(DOCUMENT, {"count": 3, "is_word": False})
+        assert not matches_filter(DOCUMENT, {"count": 3, "is_word": True})
+
+
+class TestComparisons:
+    def test_numeric_comparisons(self):
+        assert matches_filter(DOCUMENT, {"count": {"$gt": 2}})
+        assert matches_filter(DOCUMENT, {"count": {"$gte": 3}})
+        assert matches_filter(DOCUMENT, {"count": {"$lt": 4}})
+        assert matches_filter(DOCUMENT, {"count": {"$lte": 3}})
+        assert not matches_filter(DOCUMENT, {"count": {"$gt": 3}})
+
+    def test_ne(self):
+        assert matches_filter(DOCUMENT, {"token": {"$ne": "republicans"}})
+        assert not matches_filter(DOCUMENT, {"token": {"$ne": "repubLIEcans"}})
+
+    def test_string_range_comparison(self):
+        assert matches_filter(DOCUMENT, {"token": {"$gte": "rep"}})
+
+    def test_incomparable_types_do_not_match(self):
+        assert not matches_filter(DOCUMENT, {"token": {"$gt": 10}})
+
+    def test_missing_field_fails_comparison(self):
+        assert not matches_filter(DOCUMENT, {"nope": {"$gt": 1}})
+
+
+class TestMembership:
+    def test_in_scalar_field(self):
+        assert matches_filter(DOCUMENT, {"token": {"$in": ["a", "repubLIEcans"]}})
+        assert not matches_filter(DOCUMENT, {"token": {"$in": ["a", "b"]}})
+
+    def test_in_array_field_matches_any_element(self):
+        assert matches_filter(DOCUMENT, {"sources": {"$in": ["twitter"]}})
+        assert not matches_filter(DOCUMENT, {"sources": {"$in": ["facebook"]}})
+
+    def test_nin(self):
+        assert matches_filter(DOCUMENT, {"token": {"$nin": ["republicans"]}})
+        assert not matches_filter(DOCUMENT, {"sources": {"$nin": ["twitter"]}})
+        assert matches_filter(DOCUMENT, {"missing": {"$nin": ["anything"]}})
+
+    def test_in_requires_sequence(self):
+        with pytest.raises(QueryError):
+            compile_filter({"token": {"$in": "notalist"}})
+        with pytest.raises(QueryError):
+            compile_filter({"token": {"$nin": 5}})
+
+    def test_all_and_elem(self):
+        assert matches_filter(DOCUMENT, {"sources": {"$all": ["twitter", "hatespeech"]}})
+        assert not matches_filter(DOCUMENT, {"sources": {"$all": ["twitter", "reddit"]}})
+        assert matches_filter(DOCUMENT, {"sources": {"$elem": "hatespeech"}})
+        assert not matches_filter(DOCUMENT, {"count": {"$elem": 3}})
+
+    def test_all_requires_sequence(self):
+        with pytest.raises(QueryError):
+            compile_filter({"sources": {"$all": "twitter"}})
+
+
+class TestTextOperators:
+    def test_exists(self):
+        assert matches_filter(DOCUMENT, {"keys": {"$exists": True}})
+        assert matches_filter(DOCUMENT, {"nope": {"$exists": False}})
+        assert not matches_filter(DOCUMENT, {"nope": {"$exists": True}})
+
+    def test_contains(self):
+        assert matches_filter(DOCUMENT, {"text": {"$contains": "LIE"}})
+        assert not matches_filter(DOCUMENT, {"text": {"$contains": "zebra"}})
+        assert not matches_filter(DOCUMENT, {"count": {"$contains": "3"}})
+
+    def test_regex(self):
+        assert matches_filter(DOCUMENT, {"token": {"$regex": r"LIE"}})
+        assert matches_filter(DOCUMENT, {"text": {"$regex": r"^the\s"}})
+        assert not matches_filter(DOCUMENT, {"token": {"$regex": r"^\d+$"}})
+
+    def test_invalid_regex_rejected(self):
+        with pytest.raises(QueryError):
+            compile_filter({"token": {"$regex": "["}})
+
+
+class TestBooleanComposition:
+    def test_or(self):
+        query = {"$or": [{"token": "republicans"}, {"count": {"$gte": 3}}]}
+        assert matches_filter(DOCUMENT, query)
+
+    def test_and(self):
+        query = {"$and": [{"count": 3}, {"is_word": False}]}
+        assert matches_filter(DOCUMENT, query)
+        assert not matches_filter(DOCUMENT, {"$and": [{"count": 3}, {"is_word": True}]})
+
+    def test_top_level_not(self):
+        assert matches_filter(DOCUMENT, {"$not": {"token": "republicans"}})
+        assert not matches_filter(DOCUMENT, {"$not": {"token": "repubLIEcans"}})
+
+    def test_field_level_not(self):
+        assert matches_filter(DOCUMENT, {"count": {"$not": {"$gt": 5}}})
+        assert not matches_filter(DOCUMENT, {"count": {"$not": {"$gt": 2}}})
+
+    def test_or_requires_list(self):
+        with pytest.raises(QueryError):
+            compile_filter({"$or": {"token": "x"}})
+
+
+class TestErrors:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            compile_filter({"count": {"$near": 3}})
+
+    def test_unknown_top_level_operator_rejected(self):
+        with pytest.raises(QueryError):
+            compile_filter({"$nor": []})
+
+    def test_non_mapping_filter_rejected(self):
+        with pytest.raises(QueryError):
+            compile_filter(["not", "a", "mapping"])  # type: ignore[arg-type]

@@ -1,0 +1,153 @@
+"""Tests for repro.text.tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TokenizationError
+from repro.text.tokenizer import Token, Tokenizer, detokenize, tokenize
+
+
+class TestBasicTokenization:
+    def test_simple_sentence(self):
+        tokens = tokenize("the dirty republicans")
+        assert [token.text for token in tokens] == ["the", "dirty", "republicans"]
+
+    def test_spans_recover_source(self):
+        text = "the demokRATs push their agenda"
+        for token in tokenize(text):
+            assert text[token.start:token.end] == token.text
+
+    def test_case_preserved_by_default(self):
+        tokens = tokenize("the demokRATs")
+        assert tokens[1].text == "demokRATs"
+
+    def test_lowercase_mode(self):
+        tokens = tokenize("the demokRATs", lowercase=True)
+        assert tokens[1].text == "demokrats"
+
+    def test_indices_are_sequential(self):
+        tokens = tokenize("a b c d")
+        assert [token.index for token in tokens] == [0, 1, 2, 3]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_non_string_raises(self):
+        with pytest.raises(TokenizationError):
+            Tokenizer().tokenize(42)  # type: ignore[arg-type]
+
+
+class TestPerturbedTokens:
+    def test_leet_token_kept_whole(self):
+        tokens = tokenize("thinking about suic1de")
+        assert tokens[-1].text == "suic1de"
+
+    def test_symbol_heavy_token_kept_whole(self):
+        tokens = tokenize("the dem0cr@ts are here")
+        assert "dem0cr@ts" in [token.text for token in tokens]
+
+    def test_hyphenated_perturbation_kept_whole(self):
+        tokens = tokenize("the mus-lim community")
+        assert "mus-lim" in [token.text for token in tokens]
+
+    def test_repeated_symbol_perturbation(self):
+        tokens = tokenize("those republic@@ns again")
+        assert "republic@@ns" in [token.text for token in tokens]
+
+
+class TestPunctuationHandling:
+    def test_trailing_period_not_part_of_token(self):
+        tokens = tokenize("I support the republicans.")
+        assert tokens[-1].text == "republicans"
+
+    def test_trailing_exclamation_trimmed(self):
+        tokens = tokenize("stop the mandate!")
+        assert tokens[-1].text == "mandate"
+
+    def test_surrounding_parens_trimmed(self):
+        tokens = tokenize("(vaccine)")
+        assert [token.text for token in tokens] == ["vaccine"]
+
+    def test_commas_split_tokens(self):
+        tokens = tokenize("democrats,republicans")
+        assert [token.text for token in tokens] == ["democrats", "republicans"]
+
+
+class TestSpecialTokens:
+    def test_urls_are_single_tokens(self):
+        tokens = tokenize("read https://example.com/a?b=1 now")
+        kinds = {token.text: token.kind for token in tokens}
+        assert kinds["https://example.com/a?b=1"] == "url"
+
+    def test_mentions_and_hashtags(self):
+        tokens = tokenize("@user posted #vaccine news")
+        kinds = {token.text: token.kind for token in tokens}
+        assert kinds["@user"] == "mention"
+        assert kinds["#vaccine"] == "hashtag"
+
+    def test_word_tokens_helper_excludes_specials(self):
+        words = Tokenizer().word_tokens("@user posted #vaccine news")
+        assert [token.text for token in words] == ["posted", "news"]
+
+    def test_special_tokens_are_not_words(self):
+        tokens = tokenize("@user http://x.co #tag word")
+        word_flags = {token.text: token.is_word for token in tokens}
+        assert word_flags["word"] is True
+        assert word_flags["@user"] is False
+        assert word_flags["#tag"] is False
+
+
+class TestTokenObject:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(TokenizationError):
+            Token(text="x", start=0, end=1, kind="emoji")
+
+    def test_span_mismatch_rejected(self):
+        with pytest.raises(TokenizationError):
+            Token(text="abc", start=0, end=2)
+
+    def test_replace_text_adjusts_end(self):
+        token = Token(text="vaccine", start=4, end=11)
+        replaced = token.replace_text("vacc1ne!")
+        assert replaced.start == 4
+        assert replaced.end == 4 + len("vacc1ne!")
+
+    def test_min_token_length_filter(self):
+        tokens = Tokenizer(min_token_length=3).tokenize("a an the vaccine")
+        assert [token.text for token in tokens] == ["the", "vaccine"]
+
+    def test_min_token_length_validation(self):
+        with pytest.raises(TokenizationError):
+            Tokenizer(min_token_length=0)
+
+
+class TestDetokenize:
+    def test_single_replacement(self):
+        text = "the dirty republicans"
+        tokens = tokenize(text)
+        result = detokenize(text, [(tokens[2], "repubLIEcans")])
+        assert result == "the dirty repubLIEcans"
+
+    def test_multiple_replacements_preserve_other_text(self):
+        text = "the democrats and the republicans debate"
+        tokens = tokenize(text)
+        result = detokenize(
+            text, [(tokens[1], "dem0crats"), (tokens[4], "republic@@ns")]
+        )
+        assert result == "the dem0crats and the republic@@ns debate"
+
+    def test_replacement_order_does_not_matter(self):
+        text = "alpha beta gamma"
+        tokens = tokenize(text)
+        forward = detokenize(text, [(tokens[0], "A"), (tokens[2], "C")])
+        backward = detokenize(text, [(tokens[2], "C"), (tokens[0], "A")])
+        assert forward == backward == "A beta C"
+
+    def test_empty_replacements_returns_source(self):
+        assert detokenize("keep me", []) == "keep me"
+
+    def test_mismatched_token_rejected(self):
+        other_tokens = tokenize("different text entirely ok")
+        with pytest.raises(TokenizationError):
+            detokenize("short", [(other_tokens[2], "x")])

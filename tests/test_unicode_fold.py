@@ -1,0 +1,36 @@
+"""Tests for repro.text.unicode_fold."""
+
+from __future__ import annotations
+
+from repro.text.unicode_fold import fold_accents, fold_text
+
+
+class TestFoldAccents:
+    def test_common_accents(self):
+        assert fold_accents("é") == "e"
+        assert fold_accents("ü") == "u"
+        assert fold_accents("ñ") == "n"
+        assert fold_accents("ā") == "a"
+
+    def test_viper_style_decorations(self):
+        assert fold_accents("ḋ") == "d"
+        assert fold_accents("ẏ") == "y"
+
+    def test_plain_ascii_unchanged(self):
+        for char in "abcXYZ019@-":
+            assert fold_accents(char) == char
+
+    def test_empty_string(self):
+        assert fold_accents("") == ""
+
+
+class TestFoldText:
+    def test_viper_example_from_paper(self):
+        # VIPER's example perturbation of "democrats" uses accented chars.
+        assert fold_text("ḋemocrāts") == "democrats"
+
+    def test_mixed_text(self):
+        assert fold_text("vâccïne mandāte") == "vaccine mandate"
+
+    def test_non_decomposable_characters_survive(self):
+        assert fold_text("dem0cr@ts") == "dem0cr@ts"

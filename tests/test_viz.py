@@ -1,0 +1,164 @@
+"""Tests for repro.viz (word cloud, timelines, benchmark page exports)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.classifiers import RobustnessPoint
+from repro.errors import VisualizationError
+from repro.social import SocialListener
+from repro.viz import (
+    build_benchmark_page,
+    build_multi_keyword_chart,
+    build_timeline_chart,
+    build_word_cloud,
+)
+
+
+class TestWordCloud:
+    def test_items_cover_every_match(self, cryptext_small):
+        result = cryptext_small.look_up("republicans")
+        items = build_word_cloud(result)
+        assert {item.token for item in items} == set(result.tokens)
+
+    def test_sizes_scale_with_frequency(self, cryptext_small):
+        items = build_word_cloud(cryptext_small.look_up("the"))
+        by_weight = sorted(items, key=lambda item: item.weight)
+        assert by_weight[0].size <= by_weight[-1].size
+
+    def test_sizes_within_bounds(self, cryptext_small):
+        items = build_word_cloud(
+            cryptext_small.look_up("republicans"), min_size=10, max_size=40
+        )
+        assert all(10 <= item.size <= 40 for item in items)
+
+    def test_positions_on_unit_sphere(self, cryptext_small):
+        items = build_word_cloud(cryptext_small.look_up("republicans"))
+        for item in items:
+            radius = math.sqrt(item.x**2 + item.y**2 + item.z**2)
+            assert radius == pytest.approx(1.0, abs=0.01)
+
+    def test_original_flag_present(self, cryptext_small):
+        items = build_word_cloud(cryptext_small.look_up("republicans"))
+        assert any(item.is_original for item in items)
+
+    def test_max_items_cap(self, cryptext_synthetic):
+        items = build_word_cloud(cryptext_synthetic.look_up("vaccine"), max_items=3)
+        assert len(items) <= 3
+
+    def test_empty_result_rejected(self, cryptext_small):
+        with pytest.raises(VisualizationError):
+            build_word_cloud(cryptext_small.look_up("???"))
+
+    def test_invalid_bounds_rejected(self, cryptext_small):
+        with pytest.raises(VisualizationError):
+            build_word_cloud(cryptext_small.look_up("republicans"), min_size=0)
+        with pytest.raises(VisualizationError):
+            build_word_cloud(cryptext_small.look_up("republicans"), min_size=20, max_size=10)
+
+    def test_items_json_serializable(self, cryptext_small):
+        items = build_word_cloud(cryptext_small.look_up("republicans"))
+        assert json.dumps([item.to_dict() for item in items])
+
+
+@pytest.fixture(scope="module")
+def vaccine_usage(cryptext_synthetic, twitter_platform):
+    listener = SocialListener(twitter_platform, cryptext_synthetic.lookup_engine)
+    return listener.monitor_keyword("vaccine")
+
+
+@pytest.fixture(scope="module")
+def multi_usage(cryptext_synthetic, twitter_platform):
+    listener = SocialListener(twitter_platform, cryptext_synthetic.lookup_engine)
+    return listener.monitor_keywords(["vaccine", "democrats"])
+
+
+class TestTimelineChart:
+    def test_chart_structure(self, vaccine_usage):
+        chart = build_timeline_chart(vaccine_usage)
+        assert chart["labels"]
+        assert len(chart["datasets"]) == 3
+        for dataset in chart["datasets"]:
+            assert len(dataset["data"]) == len(chart["labels"])
+
+    def test_frequency_series_matches_usage(self, vaccine_usage):
+        chart = build_timeline_chart(vaccine_usage)
+        frequency = next(d for d in chart["datasets"] if d["kind"] == "frequency")
+        assert sum(frequency["data"]) == vaccine_usage.total_posts
+
+    def test_chart_json_serializable(self, vaccine_usage):
+        assert json.dumps(build_timeline_chart(vaccine_usage))
+
+    def test_empty_usage_gives_empty_chart(self, cryptext_small, twitter_platform):
+        listener = SocialListener(twitter_platform, cryptext_small.lookup_engine)
+        chart = build_timeline_chart(listener.monitor_keyword("zebra"))
+        assert chart["labels"] == []
+        assert chart["datasets"] == []
+
+    def test_multi_keyword_chart(self, multi_usage):
+        chart = build_multi_keyword_chart(multi_usage, kind="frequency")
+        assert {dataset["label"] for dataset in chart["datasets"]} == {"vaccine", "democrats"}
+        for dataset in chart["datasets"]:
+            assert len(dataset["data"]) == len(chart["labels"])
+
+    def test_multi_keyword_chart_sentiment_kind(self, multi_usage):
+        chart = build_multi_keyword_chart(multi_usage, kind="negative_share")
+        for dataset in chart["datasets"]:
+            assert all(0.0 <= value <= 1.0 for value in dataset["data"])
+
+    def test_multi_keyword_chart_validation(self, multi_usage):
+        with pytest.raises(VisualizationError):
+            build_multi_keyword_chart(multi_usage, kind="volume")
+        with pytest.raises(VisualizationError):
+            build_multi_keyword_chart({})
+
+
+class TestBenchmarkPage:
+    def _points(self, service: str, accuracies: dict[float, float]) -> list[RobustnessPoint]:
+        return [
+            RobustnessPoint(service=service, ratio=ratio, accuracy=accuracy, num_samples=100)
+            for ratio, accuracy in accuracies.items()
+        ]
+
+    def test_page_structure(self):
+        page = build_benchmark_page(
+            {
+                "perspective_toxicity": self._points(
+                    "perspective_toxicity", {0.0: 0.9, 0.25: 0.8, 0.5: 0.7}
+                ),
+                "cloud_sentiment": self._points(
+                    "cloud_sentiment", {0.0: 0.85, 0.25: 0.8, 0.5: 0.75}
+                ),
+            }
+        )
+        assert len(page["rows"]) == 6
+        assert set(page["series"]) == {"perspective_toxicity", "cloud_sentiment"}
+        assert page["series"]["perspective_toxicity"]["ratios"] == [0.0, 0.25, 0.5]
+
+    def test_accuracy_drop_computed_from_clean_point(self):
+        page = build_benchmark_page(
+            {"api": self._points("api", {0.0: 0.9, 0.25: 0.8})}
+        )
+        drop_by_ratio = {row["ratio"]: row["accuracy_drop"] for row in page["rows"]}
+        assert drop_by_ratio[0.0] == pytest.approx(0.0)
+        assert drop_by_ratio[0.25] == pytest.approx(0.1)
+
+    def test_source_label_recorded(self):
+        page = build_benchmark_page(
+            {"api": self._points("api", {0.0: 0.9})}, perturbation_source="textbugger"
+        )
+        assert all(row["perturbation_source"] == "textbugger" for row in page["rows"])
+        assert "TEXTBUGGER" in page["title"]
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(VisualizationError):
+            build_benchmark_page({})
+        with pytest.raises(VisualizationError):
+            build_benchmark_page({"api": []})
+
+    def test_page_json_serializable(self):
+        page = build_benchmark_page({"api": self._points("api", {0.0: 0.9, 0.5: 0.6})})
+        assert json.dumps(page)

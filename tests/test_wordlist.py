@@ -1,0 +1,92 @@
+"""Tests for repro.text.wordlist."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.wordlist import EnglishLexicon, WORD_GROUPS, default_lexicon
+
+
+class TestDefaultLexicon:
+    def test_contains_paper_keywords(self):
+        lexicon = default_lexicon()
+        for word in ("democrats", "republicans", "vaccine", "suicide", "muslim",
+                     "chinese", "amazon", "porn", "depression", "lesbian"):
+            assert word in lexicon
+
+    def test_case_insensitive_membership(self):
+        lexicon = default_lexicon()
+        assert "Democrats" in lexicon
+        assert "VACCINE" in lexicon
+
+    def test_perturbed_tokens_are_not_words(self):
+        lexicon = default_lexicon()
+        for token in ("demokrats", "vacc1ne", "repubLIEcans", "mus-lim"):
+            assert token not in lexicon
+
+    def test_non_string_is_not_member(self):
+        assert 42 not in default_lexicon()
+
+    def test_reasonable_size(self):
+        # The bundled lexicon is intentionally compact but must cover the
+        # function words, topical vocabulary, and paper examples.
+        assert len(default_lexicon()) > 800
+
+    def test_cached_instance_is_reused(self):
+        assert default_lexicon() is default_lexicon()
+
+
+class TestGroups:
+    def test_all_bundled_groups_present(self):
+        lexicon = EnglishLexicon()
+        assert set(lexicon.group_names) == set(WORD_GROUPS)
+
+    def test_group_lookup(self):
+        lexicon = EnglishLexicon()
+        assert "democrats" in lexicon.group("politics")
+        assert "vaccine" in lexicon.group("health")
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(KeyError):
+            EnglishLexicon(include_groups=["nope"])
+        with pytest.raises(KeyError):
+            EnglishLexicon().group("nope")
+
+    def test_group_restriction(self):
+        lexicon = EnglishLexicon(include_groups=["politics"])
+        assert "democrats" in lexicon
+        assert "vaccine" not in lexicon
+
+    def test_extra_words_form_their_own_group(self):
+        lexicon = EnglishLexicon(words=["flibbertigibbet"])
+        assert "flibbertigibbet" in lexicon
+        assert "flibbertigibbet" in lexicon.group("extra")
+
+    def test_groups_mapping_is_a_copy(self):
+        lexicon = EnglishLexicon()
+        groups = lexicon.groups()
+        groups["politics"] = frozenset()
+        assert "democrats" in lexicon.group("politics")
+
+
+class TestSampleSpace:
+    def test_sample_space_union(self):
+        lexicon = EnglishLexicon()
+        space = lexicon.sample_space("politics", "health")
+        assert "democrats" in space
+        assert "vaccine" in space
+
+    def test_sample_space_sorted_and_deterministic(self):
+        lexicon = EnglishLexicon()
+        assert list(lexicon.sample_space("politics")) == sorted(lexicon.sample_space("politics"))
+        assert lexicon.sample_space("politics") == lexicon.sample_space("politics")
+
+    def test_sample_space_default_is_whole_lexicon(self):
+        lexicon = EnglishLexicon()
+        assert len(lexicon.sample_space()) == len(lexicon)
+
+    def test_iteration_yields_sorted_words(self):
+        lexicon = EnglishLexicon(include_groups=["paper_examples"])
+        listed = list(lexicon)
+        assert listed == sorted(listed)
+        assert "democrats" in listed
