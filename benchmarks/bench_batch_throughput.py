@@ -1,0 +1,160 @@
+"""Batch throughput benchmark: docs/sec of the batch engine vs per-call loops.
+
+Measures Look Up and Normalization throughput over a large synthetic
+document corpus:
+
+* **sequential baseline** — one engine call per document, exactly how the
+  pre-batch consumers (`look_up_many`, `normalize_many`) iterate;
+* **batch engine** — `BatchEngine.look_up_batch` / `normalize_batch` at
+  several shard counts (deduplication + per-token memoization + sharded
+  retrieval).
+
+Run as a script (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py              # full: 10k docs
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py --smoke      # CI: small + assertion
+
+The full run writes ``benchmarks/results/batch_throughput.json``; the smoke
+run asserts the batch engine beats the sequential baseline so throughput
+regressions surface in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro import CrypText
+from repro.datasets import build_social_corpus, corpus_texts
+
+RESULTS_PATH = Path(__file__).parent / "results" / "batch_throughput.json"
+
+
+def build_document_corpus(system: CrypText, num_docs: int, seed: int) -> list[str]:
+    """Synthesize ``num_docs`` mostly-unique documents over the corpus vocabulary.
+
+    Documents are random word sequences drawn from the observed vocabulary,
+    so whole-document deduplication barely helps — the measured speedup comes
+    from per-token work sharing, which is the realistic traffic shape.
+    """
+    rng = random.Random(seed)
+    vocabulary = sorted(system.dictionary.token_counts())
+    return [
+        " ".join(rng.choice(vocabulary) for _ in range(rng.randint(5, 12)))
+        for _ in range(num_docs)
+    ]
+
+
+def _time(callable_) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = callable_()
+    return time.perf_counter() - start, result
+
+
+def run_benchmark(num_docs: int, shard_counts: tuple[int, ...], seed: int) -> dict:
+    posts = build_social_corpus(num_posts=1000, seed=seed)
+    base_texts = corpus_texts(posts)
+    print(f"building system from {len(base_texts)} posts ...", file=sys.stderr)
+    system = CrypText.from_corpus(base_texts)
+    documents = build_document_corpus(system, num_docs, seed)
+    queries = [doc.split()[0] for doc in documents]
+
+    report: dict = {
+        "num_docs": num_docs,
+        "unique_docs": len(set(documents)),
+        "dictionary_tokens": len(system.dictionary),
+        "lookup": {},
+        "normalize": {},
+    }
+
+    # Sequential baselines: fresh systems so no batch-warmed cache leaks in.
+    baseline = CrypText.from_corpus(base_texts)
+    elapsed, seq_lookup = _time(lambda: [baseline.look_up(q) for q in queries])
+    report["lookup"]["sequential"] = {"seconds": elapsed, "docs_per_sec": num_docs / elapsed}
+    print(f"lookup    sequential      : {num_docs / elapsed:10.0f} docs/sec", file=sys.stderr)
+
+    elapsed, seq_norm = _time(lambda: [baseline.normalize(d) for d in documents])
+    report["normalize"]["sequential"] = {"seconds": elapsed, "docs_per_sec": num_docs / elapsed}
+    print(f"normalize sequential      : {num_docs / elapsed:10.0f} docs/sec", file=sys.stderr)
+
+    for shards in shard_counts:
+        fresh = CrypText.from_corpus(base_texts)
+        engine = fresh.make_batch_engine(num_shards=shards)
+        elapsed, batch_lookup = _time(lambda: engine.look_up_batch(queries))
+        assert batch_lookup == seq_lookup, "batch Look Up diverged from sequential"
+        report["lookup"][f"batch_{shards}_shards"] = {
+            "seconds": elapsed,
+            "docs_per_sec": num_docs / elapsed,
+            "speedup": report["lookup"]["sequential"]["seconds"] / elapsed,
+        }
+        print(
+            f"lookup    batch {shards:2d} shards : {num_docs / elapsed:10.0f} docs/sec "
+            f"({report['lookup'][f'batch_{shards}_shards']['speedup']:.1f}x)",
+            file=sys.stderr,
+        )
+
+        elapsed, batch_norm = _time(lambda: engine.normalize_batch(documents))
+        assert batch_norm == seq_norm, "batch Normalization diverged from sequential"
+        report["normalize"][f"batch_{shards}_shards"] = {
+            "seconds": elapsed,
+            "docs_per_sec": num_docs / elapsed,
+            "speedup": report["normalize"]["sequential"]["seconds"] / elapsed,
+        }
+        print(
+            f"normalize batch {shards:2d} shards : {num_docs / elapsed:10.0f} docs/sec "
+            f"({report['normalize'][f'batch_{shards}_shards']['speedup']:.1f}x)",
+            file=sys.stderr,
+        )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--docs", type=int, default=10_000, help="document corpus size")
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4, 8], help="shard counts to sweep"
+    )
+    parser.add_argument("--seed", type=int, default=20230116)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast run that asserts batch >= 1.5x sequential (CI guard)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        report = run_benchmark(num_docs=600, shard_counts=(4,), seed=args.seed)
+        speedup = report["normalize"]["batch_4_shards"]["speedup"]
+        lookup_speedup = report["lookup"]["batch_4_shards"]["speedup"]
+        print(
+            f"smoke: normalize speedup {speedup:.1f}x, lookup speedup {lookup_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        assert speedup >= 1.5, (
+            f"batch normalization regressed: only {speedup:.2f}x over sequential"
+        )
+        return 0
+
+    report = run_benchmark(
+        num_docs=args.docs, shard_counts=tuple(args.shards), seed=args.seed
+    )
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {RESULTS_PATH}", file=sys.stderr)
+
+    if 4 in args.shards and args.docs >= 10_000:
+        speedup = report["normalize"]["batch_4_shards"]["speedup"]
+        assert speedup >= 2.0, (
+            f"acceptance criterion failed: batch normalization at 4 shards is "
+            f"{speedup:.2f}x sequential (need >= 2x on a 10k-document corpus)"
+        )
+        print(f"acceptance: normalize batch/sequential = {speedup:.1f}x (>= 2x ok)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

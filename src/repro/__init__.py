@@ -56,10 +56,14 @@ from .core import (
     similarity_ratio,
     soundex_key,
 )
+from .batch import BatchEngine, EnrichmentReport, ShardedPhoneticIndex
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchEngine",
+    "EnrichmentReport",
+    "ShardedPhoneticIndex",
     "CrypTextConfig",
     "DEFAULT_CONFIG",
     "CrypTextError",

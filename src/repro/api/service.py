@@ -59,7 +59,10 @@ class CrypTextService:
     cache:
         Response cache; defaults to the CrypText instance's cache.
     max_batch_size:
-        Upper bound on bulk request sizes.
+        Upper bound on the classic bulk request sizes.
+    max_bulk_batch_size:
+        Upper bound on the high-throughput ``/v1/batch/*`` request sizes
+        (served by the batch engine, so the limit can be much higher).
     """
 
     def __init__(
@@ -70,9 +73,15 @@ class CrypTextService:
         platform: SocialPlatform | None = None,
         cache: TTLCache | None = None,
         max_batch_size: int = 256,
+        max_bulk_batch_size: int = 4096,
     ) -> None:
         if max_batch_size < 1:
             raise ServiceError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_bulk_batch_size < max_batch_size:
+            raise ServiceError(
+                "max_bulk_batch_size must be >= max_batch_size "
+                f"({max_bulk_batch_size} < {max_batch_size})"
+            )
         self.cryptext = cryptext
         self.authenticator = authenticator if authenticator is not None else TokenAuthenticator()
         self.rate_limiter = rate_limiter if rate_limiter is not None else RateLimiter(
@@ -81,6 +90,7 @@ class CrypTextService:
         self.platform = platform
         self.cache = cache if cache is not None else cryptext.cache
         self.max_batch_size = max_batch_size
+        self.max_bulk_batch_size = max_bulk_batch_size
         self._listener: SocialListener | None = None
 
     # ------------------------------------------------------------------ #
@@ -212,6 +222,65 @@ class CrypTextService:
             for text in texts
         ]
         return ServiceResponse(status=200, body={"results": results})
+
+    def batch_lookup(
+        self,
+        token: str | None,
+        queries: Sequence[str],
+        phonetic_level: int | None = None,
+        max_edit_distance: int | None = None,
+        case_sensitive: bool = True,
+    ) -> ServiceResponse:
+        """High-throughput batch Look Up — the ``/v1/batch/lookup`` route.
+
+        Unlike :meth:`lookup`, the response is an order-preserving list (one
+        entry per query, duplicates included) and the work is served by the
+        batch engine: queries are deduplicated, sound buckets are retrieved
+        shard-parallel, and the shared query cache is populated per query —
+        so no whole-response cache entry goes stale on enrichment.
+        """
+        guard = self._guard(token, "lookup")
+        if isinstance(guard, ServiceResponse):
+            return guard
+        try:
+            self._validate_batch(queries, self.max_bulk_batch_size, "queries")
+        except ServiceError as exc:
+            return ServiceResponse(status=400, body={"error": str(exc)})
+        results = self.cryptext.look_up_batch(
+            queries,
+            phonetic_level=phonetic_level,
+            max_edit_distance=max_edit_distance,
+            case_sensitive=case_sensitive,
+        )
+        return ServiceResponse(
+            status=200,
+            body={
+                "count": len(results),
+                "results": [result.to_dict() for result in results],
+            },
+        )
+
+    def batch_normalize(self, token: str | None, texts: Sequence[str]) -> ServiceResponse:
+        """High-throughput batch Normalization — the ``/v1/batch/normalize`` route.
+
+        Order-preserving list response served by the batch engine (duplicate
+        documents normalized once, per-token candidate retrieval memoized).
+        """
+        guard = self._guard(token, "normalize")
+        if isinstance(guard, ServiceResponse):
+            return guard
+        try:
+            self._validate_batch(texts, self.max_bulk_batch_size, "texts")
+        except ServiceError as exc:
+            return ServiceResponse(status=400, body={"error": str(exc)})
+        results = self.cryptext.normalize_batch(texts)
+        return ServiceResponse(
+            status=200,
+            body={
+                "count": len(results),
+                "results": [result.to_dict() for result in results],
+            },
+        )
 
     def listen(
         self,

@@ -1,0 +1,493 @@
+"""Batch throughput engine: Look Up / Normalization / Perturbation at scale.
+
+The deployed CrypText is an always-on service: bulk API requests, a social
+listener expanding whole watch-lists, and a crawler enriching the database
+around the clock.  :class:`BatchEngine` is the throughput layer those paths
+run on.  It combines
+
+* the **sharded phonetic index** (:mod:`repro.batch.sharded_index`) with
+  shard-parallel candidate retrieval on a worker pool,
+* **query deduplication** — repeated tokens across a batch are resolved
+  once — plus **per-token memoization** of Normalization candidate retrieval
+  layered on :class:`~repro.storage.TTLCache`,
+* **backpressure-aware streaming** — chunked generators with a bounded
+  number of in-flight batches — for the crawler / social-listening path,
+* **shard-scoped enrichment**: learning new texts refreshes only the shards
+  whose sound buckets changed and invalidates exactly the cached queries
+  over those sounds.
+
+Batch results are guaranteed identical to N sequential single calls: both
+paths share :meth:`LookupEngine.build_result` and the normalizer's candidate
+logic, and all batch methods preserve input order.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..config import CrypTextConfig
+from ..core.dictionary import PerturbationDictionary
+from ..core.edit_distance import bounded_levenshtein
+from ..core.lookup import LookupEngine, LookupResult, sound_tag
+from ..core.normalizer import NormalizationResult, Normalizer
+from ..core.perturber import PerturbationOutcome, Perturber
+from ..errors import CrypTextError
+from ..lm import CoherencyScorer
+from ..storage import TTLCache, make_key
+from .sharded_index import ShardedPhoneticIndex
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class EnrichmentReport:
+    """What one enrichment pass changed (returned by :meth:`BatchEngine.enrich`)."""
+
+    added: int
+    changed_sounds: frozenset[tuple[int, str]]
+    shards_touched: frozenset[int]
+    invalidated_queries: int
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize for crawler reports and monitoring exports."""
+        return {
+            "added": self.added,
+            "num_changed_sounds": len(self.changed_sounds),
+            "shards_touched": sorted(self.shards_touched),
+            "invalidated_queries": self.invalidated_queries,
+        }
+
+
+class _MemoizedNormalizer(Normalizer):
+    """A :class:`Normalizer` whose candidate retrieval is memoized and sharded.
+
+    Candidate retrieval — bucket probe plus bounded-Levenshtein filtering —
+    is context-free (only the coherency *ranking* looks at neighbors), so a
+    token seen a thousand times across a batch pays the retrieval cost once.
+    Entries come from the sharded index and are ranked by the base class's
+    shared logic (identical results to the sequential path by construction);
+    memo entries are tagged with their sound key so enrichment invalidates
+    exactly the tokens whose buckets changed, and stores are skipped when an
+    enrichment ran mid-retrieval (epoch guard).
+    """
+
+    def __init__(
+        self,
+        dictionary: PerturbationDictionary,
+        index: ShardedPhoneticIndex,
+        memo: TTLCache,
+        scorer: CoherencyScorer | None,
+        config: CrypTextConfig,
+        epoch_source: Callable[[], int],
+    ) -> None:
+        super().__init__(dictionary, scorer=scorer, config=config)
+        self._index = index
+        self._memo = memo
+        self._epoch_source = epoch_source
+
+    def _candidate_entries(self, soundex_key: str):
+        return self._index.english_bucket(soundex_key, self.config.phonetic_level)
+
+    def _retrieve_candidates(self, token_text: str) -> list[tuple[str, int, int]]:
+        level = self.config.phonetic_level
+        memo_key = make_key(
+            "normalize.candidates", token_text, level, self.config.edit_distance
+        )
+        cached = self._memo.get(memo_key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        epoch = self._epoch_source()
+        candidates = super()._retrieve_candidates(token_text)
+        key = self._encoder.encode_or_none(token_text)
+        tags = (sound_tag(level, key),) if key is not None else ()
+        self._memo.set_if(
+            memo_key, candidates, lambda: epoch == self._epoch_source(), tags=tags
+        )
+        return candidates
+
+
+def _chunked(items: Iterable[str], size: int) -> Iterator[list[str]]:
+    chunk: list[str] = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+class BatchEngine:
+    """Runs the paper's functions over batches and streams of documents.
+
+    Parameters
+    ----------
+    dictionary:
+        The token database (source of truth for the sharded index).
+    lookup_engine:
+        Engine whose result builder and query cache the batch path shares; a
+        private one is created when omitted.  Sharing the ``CrypText``
+        facade's engine means batch and per-call traffic populate one cache.
+    config:
+        Hyper-parameters; defaults to the dictionary's configuration.
+    scorer:
+        Coherency scorer for Normalization ranking (optional).
+    perturber:
+        Perturbation sampler used by :meth:`perturb_batch`; a private seeded
+        one is created when omitted.
+    num_shards:
+        Partition count of the phonetic index.
+    chunk_size:
+        Default documents-per-chunk for the streaming methods.
+    max_in_flight:
+        Default bound on concurrently processed chunks in the streaming
+        methods (the backpressure knob: an unbounded reader can be at most
+        ``max_in_flight * chunk_size`` documents ahead of the consumer).
+    memo_cache:
+        Cache for per-token Normalization memoization (a private
+        :class:`TTLCache` is created when omitted).
+    """
+
+    def __init__(
+        self,
+        dictionary: PerturbationDictionary,
+        lookup_engine: LookupEngine | None = None,
+        config: CrypTextConfig | None = None,
+        scorer: CoherencyScorer | None = None,
+        perturber: Perturber | None = None,
+        num_shards: int = 4,
+        chunk_size: int = 256,
+        max_in_flight: int = 4,
+        memo_cache: TTLCache | None = None,
+    ) -> None:
+        if chunk_size < 1:
+            raise CrypTextError(f"chunk_size must be >= 1, got {chunk_size}")
+        if max_in_flight < 1:
+            raise CrypTextError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        self.dictionary = dictionary
+        self.config = config if config is not None else dictionary.config
+        self.lookup_engine = (
+            lookup_engine
+            if lookup_engine is not None
+            else LookupEngine(dictionary, config=self.config)
+        )
+        self.index = ShardedPhoneticIndex(dictionary, num_shards=num_shards)
+        self.num_shards = num_shards
+        self.chunk_size = chunk_size
+        self.max_in_flight = max_in_flight
+        self.memo = (
+            memo_cache
+            if memo_cache is not None
+            else TTLCache(
+                max_entries=self.config.cache_max_entries,
+                default_ttl=self.config.cache_ttl_seconds,
+            )
+        )
+        # The dictionary's mutation counter is bumped on every write, before
+        # any cache invalidation runs — so a retrieval that straddles a write
+        # sees the moved epoch and skips storing its (possibly stale) result.
+        self.normalizer = _MemoizedNormalizer(
+            dictionary, self.index, self.memo, scorer, self.config,
+            epoch_source=lambda: dictionary.version,
+        )
+        self.perturber = (
+            perturber
+            if perturber is not None
+            else Perturber(self.lookup_engine, config=self.config)
+        )
+        #: Minimum number of distinct sound keys in a batch before bucket
+        #: retrieval fans out to the worker pool (below it, pool overhead
+        #: exceeds the probe cost).
+        self.parallel_threshold = 8
+        self._enrich_lock = threading.RLock()
+        # One long-lived pool for shard-parallel bucket retrieval; creating
+        # an executor per batch would pay thread spawn/join on every chunk
+        # of a stream.  Threads start lazily on first use.
+        self._shard_pool: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(
+                max_workers=num_shards, thread_name_prefix="cryptext-shard"
+            )
+            if num_shards > 1
+            else None
+        )
+        # Dictionary writes that bypass this engine (a crawler holding only
+        # the dictionary, direct add_token calls) must still drop the
+        # memoized candidates and cached queries over the changed sounds.
+        dictionary.register_observer(self)
+
+    # ------------------------------------------------------------------ #
+    # Look Up
+    # ------------------------------------------------------------------ #
+    def look_up_batch(
+        self,
+        queries: Sequence[str],
+        phonetic_level: int | None = None,
+        max_edit_distance: int | None = None,
+        case_sensitive: bool = True,
+        canonical_distance: bool = False,
+    ) -> list[LookupResult]:
+        """Look Up every query of a batch; results preserve input order.
+
+        Duplicate queries are resolved once, cache hits are served from the
+        shared query cache, and the remaining misses retrieve their sound
+        buckets shard-parallel before being built with the exact logic of the
+        sequential path — so ``look_up_batch(qs)[i]`` equals
+        ``look_up(qs[i])`` for every ``i``.
+        """
+        queries = list(queries)
+        level = self.config.phonetic_level if phonetic_level is None else phonetic_level
+        distance = (
+            self.config.edit_distance if max_edit_distance is None else max_edit_distance
+        )
+        engine = self.lookup_engine
+        resolved: dict[str, LookupResult] = {}
+        misses: list[str] = []
+        for query in dict.fromkeys(queries):
+            if engine.cache is not None:
+                cache_key = engine.cache_key(
+                    query, level, distance, case_sensitive, canonical_distance
+                )
+                hit = engine.cache.get(cache_key, default=None)
+                if hit is not None:
+                    resolved[query] = hit
+                    continue
+            misses.append(query)
+        if misses:
+            encoder = self.dictionary.encoder(level)
+            sound_keys = {query: encoder.encode_or_none(query) for query in misses}
+            wanted = {(level, key) for key in sound_keys.values() if key is not None}
+            # Same stale-write guard as the sequential look_up: buckets read
+            # before an enrichment's invalidation must not be re-cached after
+            # it (the results are still returned, just not stored).
+            epoch = engine.epoch
+            buckets = self._fetch_buckets(wanted)
+            for query in misses:
+                key = sound_keys[query]
+                bucket = buckets.get((level, key), ()) if key is not None else ()
+                result = engine.build_result(
+                    query, level, distance, case_sensitive, canonical_distance, key, bucket
+                )
+                engine.cache_result(
+                    result, case_sensitive, canonical_distance, epoch=epoch
+                )
+                resolved[query] = result
+        return [resolved[query] for query in queries]
+
+    def _fetch_buckets(self, wanted: set[tuple[int, str]]):
+        if self._shard_pool is not None and len(wanted) >= self.parallel_threshold:
+            return self.index.buckets(wanted, executor=self._shard_pool)
+        return self.index.buckets(wanted)
+
+    def close(self) -> None:
+        """Shut down the shard worker pool (idempotent).
+
+        Optional — an unclosed engine's idle threads are reaped at
+        interpreter exit — but long-running services cycling engines should
+        close retired ones.
+        """
+        if self._shard_pool is not None:
+            self._shard_pool.shutdown(wait=False)
+            self._shard_pool = None
+
+    def look_up_many(
+        self,
+        queries: Sequence[str],
+        phonetic_level: int | None = None,
+        max_edit_distance: int | None = None,
+        case_sensitive: bool = True,
+    ) -> dict[str, LookupResult]:
+        """Dict-shaped bulk Look Up (drop-in for ``LookupEngine.look_up_many``)."""
+        results = self.look_up_batch(
+            queries,
+            phonetic_level=phonetic_level,
+            max_edit_distance=max_edit_distance,
+            case_sensitive=case_sensitive,
+        )
+        return {query: result for query, result in zip(queries, results)}
+
+    def stream_look_up(
+        self,
+        queries: Iterable[str],
+        chunk_size: int | None = None,
+        max_in_flight: int | None = None,
+        phonetic_level: int | None = None,
+        max_edit_distance: int | None = None,
+        case_sensitive: bool = True,
+    ) -> Iterator[LookupResult]:
+        """Stream Look Up results over an unbounded query iterable, in order.
+
+        The iterable is consumed in chunks of ``chunk_size``; at most
+        ``max_in_flight`` chunks are being resolved at once, so a slow
+        consumer exerts backpressure on the producer instead of the engine
+        buffering the whole stream (the crawler / social-listening path).
+        """
+        yield from self._stream(
+            queries,
+            lambda chunk: self.look_up_batch(
+                chunk,
+                phonetic_level=phonetic_level,
+                max_edit_distance=max_edit_distance,
+                case_sensitive=case_sensitive,
+            ),
+            chunk_size,
+            max_in_flight,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Normalization
+    # ------------------------------------------------------------------ #
+    def normalize_batch(self, texts: Sequence[str]) -> list[NormalizationResult]:
+        """Normalize every document of a batch; results preserve input order.
+
+        Duplicate documents are normalized once; across distinct documents
+        every repeated token shares one memoized candidate retrieval, so the
+        per-document cost degenerates to ranking.  Sound buckets for the
+        batch's unique tokens are prefetched shard-parallel.
+        """
+        texts = list(texts)
+        unique = list(dict.fromkeys(texts))
+        self._prefetch_normalization_buckets(unique)
+        resolved = {text: self.normalizer.normalize(text) for text in unique}
+        return [resolved[text] for text in texts]
+
+    def _prefetch_normalization_buckets(self, texts: Sequence[str]) -> None:
+        """Warm the sharded index for every unique token of ``texts``."""
+        level = self.config.phonetic_level
+        encoder = self.dictionary.encoder(level)
+        tokens = {
+            token.text
+            for text in texts
+            for token in self.normalizer.tokenizer.word_tokens(text)
+        }
+        wanted = set()
+        for token_text in tokens:
+            key = encoder.encode_or_none(token_text)
+            if key is not None:
+                wanted.add((level, key))
+        if wanted:
+            self._fetch_buckets(wanted)
+
+    def stream_normalize(
+        self,
+        texts: Iterable[str],
+        chunk_size: int | None = None,
+        max_in_flight: int | None = None,
+    ) -> Iterator[NormalizationResult]:
+        """Stream Normalization results over a document iterable, in order.
+
+        Chunked and bounded exactly like :meth:`stream_look_up`.
+        """
+        yield from self._stream(
+            texts, self.normalize_batch, chunk_size, max_in_flight
+        )
+
+    # ------------------------------------------------------------------ #
+    # Perturbation
+    # ------------------------------------------------------------------ #
+    def perturb_batch(
+        self,
+        texts: Sequence[str],
+        ratio: float | None = None,
+        case_sensitive: bool | None = None,
+    ) -> list[PerturbationOutcome]:
+        """Perturb every document of a batch; results preserve input order.
+
+        Sampling is stochastic, so documents are *not* deduplicated — two
+        occurrences of the same text may legitimately perturb differently —
+        but every per-token Look Up inside the sampler is served from the
+        shared query cache the batch path keeps warm.
+        """
+        return [
+            self.perturber.perturb(text, ratio=ratio, case_sensitive=case_sensitive)
+            for text in texts
+        ]
+
+    # ------------------------------------------------------------------ #
+    # enrichment (crawler / social-listening write path)
+    # ------------------------------------------------------------------ #
+    def enrich(self, texts: Iterable[str], source: str = "stream") -> EnrichmentReport:
+        """Add ``texts`` to the dictionary and resynchronize, shard-scoped.
+
+        Only the shards whose sound buckets changed are refreshed, and only
+        cached queries/memoized tokens over those sounds are invalidated;
+        everything else stays warm.
+        """
+        changed: set[tuple[int, str]] = set()
+        added = self.dictionary.add_corpus(texts, source=source, changed_keys=changed)
+        shards, invalidated = self.apply_enrichment(changed)
+        return EnrichmentReport(
+            added=added,
+            changed_sounds=frozenset(changed),
+            shards_touched=shards,
+            invalidated_queries=invalidated,
+        )
+
+    def note_changes(self, changed_keys: set[tuple[int, str]]) -> None:
+        """Dictionary write notification (the ``ChangeObserver`` hook).
+
+        Fires on *every* dictionary write, including ones that bypass
+        :meth:`enrich` — a crawler holding only the dictionary, a direct
+        ``add_token`` call — so the memoized normalization candidates and
+        the tagged query cache can never go stale behind an out-of-band
+        write.  The sharded index keeps itself in sync through its own
+        observer.
+        """
+        self.memo.invalidate_tags(sound_tag(level, key) for level, key in changed_keys)
+        self.lookup_engine.invalidate_sounds(changed_keys)
+
+    def apply_enrichment(
+        self, changed_keys: Iterable[tuple[int, str]]
+    ) -> tuple[frozenset[int], int]:
+        """Refresh shards and invalidate caches for ``changed_keys``.
+
+        Returns ``(shards_touched, invalidated_query_count)``.  Called by
+        :meth:`enrich` and by ``CrypText.learn_from`` when the dictionary was
+        grown outside this engine.
+        """
+        changed = set(changed_keys)
+        if not changed:
+            return frozenset(), 0
+        with self._enrich_lock:
+            shards = self.index.refresh_keys(changed)
+            self.memo.invalidate_tags(sound_tag(level, key) for level, key in changed)
+            invalidated = self.lookup_engine.invalidate_sounds(changed)
+        return shards, invalidated
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def _stream(self, items, process, chunk_size, max_in_flight):
+        size = self.chunk_size if chunk_size is None else chunk_size
+        bound = self.max_in_flight if max_in_flight is None else max_in_flight
+        if size < 1:
+            raise CrypTextError(f"chunk_size must be >= 1, got {size}")
+        if bound < 1:
+            raise CrypTextError(f"max_in_flight must be >= 1, got {bound}")
+        with ThreadPoolExecutor(
+            max_workers=bound, thread_name_prefix="cryptext-stream"
+        ) as pool:
+            in_flight: deque = deque()
+            for chunk in _chunked(items, size):
+                while len(in_flight) >= bound:
+                    yield from in_flight.popleft().result()
+                in_flight.append(pool.submit(process, chunk))
+            while in_flight:
+                yield from in_flight.popleft().result()
+
+    def stats(self) -> dict[str, object]:
+        """Shard layout plus cache/memoization counters (monitoring export)."""
+        return {
+            "index": self.index.to_dict(),
+            "memo": self.memo.stats.to_dict(),
+            "query_cache": (
+                self.lookup_engine.cache.stats.to_dict()
+                if self.lookup_engine.cache is not None
+                else None
+            ),
+            "chunk_size": self.chunk_size,
+            "max_in_flight": self.max_in_flight,
+        }

@@ -1,0 +1,261 @@
+"""Sharded phonetic index: the dictionary's sound buckets split across shards.
+
+The flat :class:`~repro.core.dictionary.PerturbationDictionary` answers every
+Look Up with one index probe against a single hash-map.  For batch traffic
+(the always-on service path: thousands of documents per request, a crawler
+enriching the database concurrently) this module materializes the same sound
+buckets as an in-memory index **partitioned into N shards** keyed by a stable
+hash of the Soundex code:
+
+* candidate retrieval for a batch groups the queried keys by shard and
+  resolves each shard's group on a worker pool (shard-parallel retrieval);
+* enrichment touches only the shards whose buckets changed, and reports
+  which, so cache invalidation can be scoped to those shards' sounds;
+* each shard carries its own lock and version counter, so readers of
+  untouched shards never contend with a writer refreshing one bucket.
+
+Bucket contents and ordering are exactly what
+:meth:`PerturbationDictionary.tokens_for_key` returns, which is what makes
+batch Look Up results byte-identical to the sequential path.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from concurrent.futures import Executor
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..core.dictionary import DictionaryEntry, PerturbationDictionary
+from ..errors import CrypTextError
+
+
+def shard_of(soundex_key: str, num_shards: int) -> int:
+    """Stable shard assignment for a Soundex key.
+
+    Uses CRC-32 rather than :func:`hash` so the placement is identical across
+    processes and interpreter runs (``PYTHONHASHSEED`` does not leak into
+    shard layout, benchmarks, or golden tests).
+    """
+    return zlib.crc32(soundex_key.encode("utf-8")) % num_shards
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Size and freshness counters for one shard."""
+
+    shard_id: int
+    num_buckets: int
+    num_entries: int
+    refreshes: int
+
+    def to_dict(self) -> dict[str, int]:
+        """Serialize for monitoring exports and the throughput benchmark."""
+        return {
+            "shard_id": self.shard_id,
+            "num_buckets": self.num_buckets,
+            "num_entries": self.num_entries,
+            "refreshes": self.refreshes,
+        }
+
+
+class _Shard:
+    """One partition of the phonetic index (buckets + lock + counters)."""
+
+    __slots__ = ("buckets", "lock", "refreshes")
+
+    def __init__(self) -> None:
+        # (phonetic_level, soundex_key) -> entries in tokens_for_key order
+        self.buckets: dict[tuple[int, str], tuple[DictionaryEntry, ...]] = {}
+        self.lock = threading.RLock()
+        self.refreshes = 0
+
+
+class ShardedPhoneticIndex:
+    """The dictionary's hash-maps ``H_k``, partitioned across N shards.
+
+    Parameters
+    ----------
+    dictionary:
+        Source of truth.  The index registers itself as a change observer on
+        construction, so *every* dictionary write — whether it goes through
+        a batch engine, the ``CrypText`` facade, or a direct ``add_token``
+        call — lands in a pending set that reads drain before serving.  No
+        write path can leave the index permanently stale.
+    num_shards:
+        Number of partitions.  Throughput scales with shards until the
+        per-shard bucket groups become trivially small.
+    """
+
+    def __init__(self, dictionary: PerturbationDictionary, num_shards: int = 4) -> None:
+        if num_shards < 1:
+            raise CrypTextError(f"num_shards must be >= 1, got {num_shards}")
+        self.dictionary = dictionary
+        self.num_shards = num_shards
+        self._shards = tuple(_Shard() for _ in range(num_shards))
+        self._built_levels: set[int] = set()
+        self._build_lock = threading.RLock()
+        # Sound keys written to the dictionary but not yet re-pulled into
+        # their buckets; populated by note_changes, drained on every read.
+        self._pending: set[tuple[int, str]] = set()
+        self._pending_lock = threading.Lock()
+        dictionary.register_observer(self)
+
+    # ------------------------------------------------------------------ #
+    # construction / synchronization
+    # ------------------------------------------------------------------ #
+    def note_changes(self, changed_keys: set[tuple[int, str]]) -> None:
+        """Record dictionary writes to apply lazily (the observer hook)."""
+        with self._pending_lock:
+            self._pending.update(changed_keys)
+
+    def _build_level(self, level: int) -> None:
+        """Materialize every bucket of phonetic level ``level``."""
+        grouped: dict[tuple[int, str], list[DictionaryEntry]] = {}
+        # collection.find(None) sorts by str(_id) — the same global order
+        # tokens_for_key produces per bucket, so grouping preserves it.
+        for document in self.dictionary.collection.find(None):
+            key = document["keys"].get(f"k{level}")
+            if key is None:
+                continue
+            entry = self.dictionary._to_entry(document)
+            grouped.setdefault((level, key), []).append(entry)
+        for shard in self._shards:
+            with shard.lock:
+                shard.buckets = {
+                    bucket_key: entries
+                    for bucket_key, entries in shard.buckets.items()
+                    if bucket_key[0] != level
+                }
+        for bucket_key, entries in grouped.items():
+            shard = self._shards[shard_of(bucket_key[1], self.num_shards)]
+            with shard.lock:
+                shard.buckets[bucket_key] = tuple(entries)
+        self._built_levels.add(level)
+
+    def _ensure_level(self, level: int) -> None:
+        if level not in self._built_levels:
+            with self._build_lock:
+                if level not in self._built_levels:
+                    self._build_level(level)
+        self._drain_pending()
+
+    def _drain_pending(self) -> None:
+        if not self._pending:
+            return
+        with self._pending_lock:
+            pending, self._pending = self._pending, set()
+        self.refresh_keys(pending)
+
+    def warm(self, level: int) -> None:
+        """Make sure ``level`` is materialized and pending writes applied."""
+        self._ensure_level(level)
+
+    def refresh_keys(self, changed_keys: Iterable[tuple[int, str]]) -> frozenset[int]:
+        """Re-pull the buckets for ``changed_keys`` from the dictionary.
+
+        Returns the ids of the shards that were touched.  Levels that were
+        never materialized are skipped (they will be built fresh on demand).
+        Keys refreshed here are also cleared from the pending set so reads
+        don't re-pull them a second time.
+        """
+        changed = set(changed_keys)
+        touched: set[int] = set()
+        with self._build_lock:
+            with self._pending_lock:
+                self._pending.difference_update(changed)
+            for level, key in changed:
+                if level not in self._built_levels:
+                    continue
+                shard_id = shard_of(key, self.num_shards)
+                shard = self._shards[shard_id]
+                bucket = tuple(
+                    self.dictionary.tokens_for_key(key, phonetic_level=level)
+                )
+                with shard.lock:
+                    shard.buckets[(level, key)] = bucket
+                    shard.refreshes += 1
+                touched.add(shard_id)
+        return frozenset(touched)
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def bucket(self, soundex_key: str, phonetic_level: int) -> tuple[DictionaryEntry, ...]:
+        """Entries of one sound bucket (``tokens_for_key`` order)."""
+        self._ensure_level(phonetic_level)
+        shard = self._shards[shard_of(soundex_key, self.num_shards)]
+        with shard.lock:
+            return shard.buckets.get((phonetic_level, soundex_key), ())
+
+    def english_bucket(
+        self, soundex_key: str, phonetic_level: int
+    ) -> tuple[DictionaryEntry, ...]:
+        """The bucket restricted to correctly-spelled English words."""
+        return tuple(
+            entry for entry in self.bucket(soundex_key, phonetic_level) if entry.is_word
+        )
+
+    def buckets(
+        self,
+        keys: Iterable[tuple[int, str]],
+        executor: Executor | None = None,
+    ) -> dict[tuple[int, str], tuple[DictionaryEntry, ...]]:
+        """Resolve many ``(level, key)`` buckets, shard-parallel when possible.
+
+        Keys are grouped by owning shard; with an ``executor`` each shard's
+        group is resolved as one task on the pool, so a batch fans out across
+        shards instead of probing one flat map token by token.
+        """
+        requested = set(keys)
+        for level in {level for level, _ in requested}:
+            self._ensure_level(level)
+
+        by_shard: dict[int, list[tuple[int, str]]] = {}
+        for level, key in requested:
+            by_shard.setdefault(shard_of(key, self.num_shards), []).append((level, key))
+
+        def resolve(shard_id: int, group: Sequence[tuple[int, str]]):
+            shard = self._shards[shard_id]
+            with shard.lock:
+                return {bucket_key: shard.buckets.get(bucket_key, ()) for bucket_key in group}
+
+        results: dict[tuple[int, str], tuple[DictionaryEntry, ...]] = {}
+        if executor is None or len(by_shard) <= 1:
+            for shard_id, group in by_shard.items():
+                results.update(resolve(shard_id, group))
+        else:
+            futures = [
+                executor.submit(resolve, shard_id, group)
+                for shard_id, group in by_shard.items()
+            ]
+            for future in futures:
+                results.update(future.result())
+        return results
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def shard_stats(self) -> tuple[ShardStats, ...]:
+        """Per-shard bucket/entry counts (after forcing a default-level build)."""
+        self._ensure_level(self.dictionary.config.phonetic_level)
+        stats = []
+        for shard_id, shard in enumerate(self._shards):
+            with shard.lock:
+                stats.append(
+                    ShardStats(
+                        shard_id=shard_id,
+                        num_buckets=len(shard.buckets),
+                        num_entries=sum(len(b) for b in shard.buckets.values()),
+                        refreshes=shard.refreshes,
+                    )
+                )
+        return tuple(stats)
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize shard layout for monitoring / the throughput benchmark."""
+        return {
+            "num_shards": self.num_shards,
+            "shards": [stats.to_dict() for stats in self.shard_stats()],
+        }

@@ -9,6 +9,7 @@ paper functions plus database construction and persistence::
     cryptext-repro normalize "the demokrats push the vacc1ne" --db ./db
     cryptext-repro perturb "the democrats support the vaccine" --ratio 0.5 --db ./db
     cryptext-repro listen vaccine --posts 1500             # Social Listening (§III-E)
+    cryptext-repro batch normalize --input docs.jsonl      # batch engine over JSONL
     cryptext-repro stats --db ./db
 
 Every command can either load a previously built dictionary (``--db DIR``)
@@ -166,6 +167,91 @@ def _cmd_listen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _iter_jsonl_values(path: str, field: str):
+    """Yield one string per JSONL line of ``path`` (``-`` reads stdin).
+
+    Each line is either a JSON object holding ``field`` or a bare JSON
+    string; blank lines are skipped.
+    """
+    if path == "-":
+        handle = sys.stdin
+    else:
+        try:
+            handle = open(path, "r", encoding="utf-8")
+        except OSError as exc:
+            raise CrypTextError(f"cannot read {path}: {exc}") from exc
+    try:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise CrypTextError(f"{path}:{line_number}: invalid JSON: {exc}") from exc
+            if isinstance(payload, str):
+                yield payload
+            elif isinstance(payload, dict) and field in payload:
+                yield str(payload[field])
+            else:
+                raise CrypTextError(
+                    f"{path}:{line_number}: expected a JSON string or an object "
+                    f"with a {field!r} field"
+                )
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    system = _build_system(args, train_scorer=args.mode == "normalize")
+    engine = system.make_batch_engine(
+        num_shards=args.shards,
+        chunk_size=args.chunk_size,
+        max_in_flight=args.max_in_flight,
+    )
+    if args.output is None:
+        out = sys.stdout
+    else:
+        try:
+            out = open(args.output, "w", encoding="utf-8")
+        except OSError as exc:
+            raise CrypTextError(f"cannot write {args.output}: {exc}") from exc
+    processed = 0
+    try:
+        if args.mode == "lookup":
+            field = "query"
+            stream = engine.stream_look_up(_iter_jsonl_values(args.input, field))
+            for result in stream:
+                record = {
+                    "query": result.query,
+                    "soundex_key": result.soundex_key,
+                    "perturbations": list(result.perturbation_tokens()[: args.limit]),
+                }
+                print(json.dumps(record, ensure_ascii=False), file=out)
+                processed += 1
+        else:
+            field = "text"
+            stream = engine.stream_normalize(_iter_jsonl_values(args.input, field))
+            for result in stream:
+                record = {
+                    "text": result.original_text,
+                    "normalized": result.normalized_text,
+                    "num_corrected": result.num_corrected,
+                }
+                print(json.dumps(record, ensure_ascii=False), file=out)
+                processed += 1
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    print(
+        f"processed {processed} documents "
+        f"({args.mode}, {args.shards} shards, chunk size {args.chunk_size})",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     system = _build_system(args, train_scorer=False)
     stats = system.stats()
@@ -241,6 +327,27 @@ def build_parser() -> argparse.ArgumentParser:
     listen_cmd.add_argument("--posts", type=int, default=1200)
     listen_cmd.add_argument("--seed", type=int, default=20230116)
     listen_cmd.set_defaults(handler=_cmd_listen)
+
+    batch_cmd = commands.add_parser(
+        "batch",
+        help="run Look Up or Normalization over a JSONL stream via the batch engine",
+    )
+    batch_cmd.add_argument("mode", choices=("lookup", "normalize"))
+    batch_cmd.add_argument(
+        "--input",
+        required=True,
+        help="JSONL file of {'query': ...} / {'text': ...} objects (or bare "
+        "strings); '-' reads stdin",
+    )
+    batch_cmd.add_argument("--output", help="output JSONL path (default: stdout)")
+    batch_cmd.add_argument("--shards", type=int, default=4, help="phonetic index shards")
+    batch_cmd.add_argument("--chunk-size", type=int, default=256, help="documents per chunk")
+    batch_cmd.add_argument(
+        "--max-in-flight", type=int, default=4, help="bound on concurrently processed chunks"
+    )
+    batch_cmd.add_argument("--limit", type=int, default=15, help="perturbations kept per query")
+    _add_source_arguments(batch_cmd)
+    batch_cmd.set_defaults(handler=_cmd_batch)
 
     stats_cmd = commands.add_parser("stats", help="dictionary statistics")
     _add_source_arguments(stats_cmd)

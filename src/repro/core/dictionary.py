@@ -28,8 +28,10 @@ MongoDB indexes of the original system.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Protocol, Sequence
 
 from ..config import CrypTextConfig, DEFAULT_CONFIG
 from ..errors import DictionaryError
@@ -40,6 +42,13 @@ from .soundex import CustomSoundex
 
 #: Name of the document-store collection backing the dictionary.
 TOKEN_COLLECTION = "tokens"
+
+
+class ChangeObserver(Protocol):
+    """Anything that wants to hear which sound buckets a write touched."""
+
+    def note_changes(self, changed_keys: set[tuple[int, str]]) -> None:
+        """Called after every recorded token with its ``(level, key)`` pairs."""
 
 
 @dataclass(frozen=True)
@@ -124,6 +133,23 @@ class PerturbationDictionary:
         for level in self._encoders:
             collection.create_index(f"keys.k{level}")
         collection.create_index("is_word")
+        # Serializes the find-then-insert/update sequence of add_token so
+        # concurrent writers (crawler threads) never lose count increments.
+        self._write_lock = threading.RLock()
+        self._version = 0
+        # Weakly-held observers (sharded phonetic indexes) notified of every
+        # write's touched sound keys, so no write can bypass their sync —
+        # regardless of whether the caller went through a batch engine.
+        self._observers: "weakref.WeakSet[ChangeObserver]" = weakref.WeakSet()
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumped on every recorded token."""
+        return self._version
+
+    def register_observer(self, observer: ChangeObserver) -> None:
+        """Subscribe ``observer`` to write notifications (weakly referenced)."""
+        self._observers.add(observer)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -157,12 +183,22 @@ class PerturbationDictionary:
             keys[f"k{level}"] = code
         return keys
 
-    def add_token(self, token: str, source: str | None = None, count: int = 1) -> bool:
+    def add_token(
+        self,
+        token: str,
+        source: str | None = None,
+        count: int = 1,
+        changed_keys: set[tuple[int, str]] | None = None,
+    ) -> bool:
         """Record ``count`` occurrences of the raw token ``token``.
 
         Returns ``True`` if the token was encodable and recorded, ``False``
         if it had no phonetic content (pure punctuation/emoji tokens are
         silently skipped — they cannot participate in phonetic lookup).
+
+        When ``changed_keys`` is given, the ``(phonetic_level, soundex_key)``
+        pairs whose buckets this write touched are added to it — the hook the
+        batch engine and the facade use for shard-scoped cache invalidation.
         """
         if count < 1:
             raise DictionaryError(f"count must be >= 1, got {count}")
@@ -170,36 +206,56 @@ class PerturbationDictionary:
         if keys is None:
             return False
         collection = self.collection
-        existing = collection.find_one({"token": token})
-        if existing is None:
-            canonical = self._encoders[min(self._encoders)].canonicalize(token)
-            document = {
-                "token": token,
-                "canonical": canonical,
-                "keys": keys,
-                "count": count,
-                "is_word": self.lexicon.is_word(token),
-                "sources": [source] if source else [],
-            }
-            collection.insert_one(document)
-        else:
-            update: dict[str, dict[str, object]] = {"$inc": {"count": count}}
-            if source:
-                update["$addToSet"] = {"sources": source}
-            collection.update_one({"token": token}, update)
+        with self._write_lock:
+            existing = collection.find_one({"token": token})
+            if existing is None:
+                canonical = self._encoders[min(self._encoders)].canonicalize(token)
+                document = {
+                    "token": token,
+                    "canonical": canonical,
+                    "keys": keys,
+                    "count": count,
+                    "is_word": self.lexicon.is_word(token),
+                    "sources": [source] if source else [],
+                }
+                collection.insert_one(document)
+            else:
+                update: dict[str, dict[str, object]] = {"$inc": {"count": count}}
+                if source:
+                    update["$addToSet"] = {"sources": source}
+                collection.update_one({"token": token}, update)
+            self._version += 1
+        pairs = {(level, keys[f"k{level}"]) for level in self._encoders}
+        if changed_keys is not None:
+            changed_keys.update(pairs)
+        for observer in tuple(self._observers):
+            observer.note_changes(pairs)
         return True
 
-    def add_text(self, text: str, source: str | None = None) -> int:
+    def add_text(
+        self,
+        text: str,
+        source: str | None = None,
+        changed_keys: set[tuple[int, str]] | None = None,
+    ) -> int:
         """Tokenize ``text`` and add every word token; returns tokens added."""
         added = 0
         for token in self.tokenizer.word_tokens(text):
-            if self.add_token(token.text, source=source):
+            if self.add_token(token.text, source=source, changed_keys=changed_keys):
                 added += 1
         return added
 
-    def add_corpus(self, texts: Iterable[str], source: str | None = None) -> int:
+    def add_corpus(
+        self,
+        texts: Iterable[str],
+        source: str | None = None,
+        changed_keys: set[tuple[int, str]] | None = None,
+    ) -> int:
         """Add every text of ``texts``; returns total word tokens recorded."""
-        return sum(self.add_text(text, source=source) for text in texts)
+        return sum(
+            self.add_text(text, source=source, changed_keys=changed_keys)
+            for text in texts
+        )
 
     def seed_lexicon(self, words: Iterable[str] | None = None) -> int:
         """Ensure canonical English words are present as dictionary entries.

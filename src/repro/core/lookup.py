@@ -14,7 +14,9 @@ keyword arguments.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
 
 from ..config import CrypTextConfig, DEFAULT_CONFIG
 from ..storage import TTLCache, make_key
@@ -22,6 +24,17 @@ from .categories import PerturbationCategory, categorize_perturbation
 from .dictionary import DictionaryEntry, PerturbationDictionary
 from .edit_distance import bounded_levenshtein
 from .sms import SMSCheck
+
+
+def sound_tag(phonetic_level: int, soundex_key: str) -> tuple[str, int, str]:
+    """Cache tag identifying one sound bucket at one phonetic level.
+
+    Every cached query whose answer depends on the bucket ``soundex_key`` at
+    level ``phonetic_level`` is tagged with this value, so enrichment can
+    invalidate exactly the queries whose buckets changed (shard-scoped
+    invalidation) instead of flushing the whole cache.
+    """
+    return ("sound", phonetic_level, soundex_key)
 
 
 @dataclass(frozen=True)
@@ -128,6 +141,18 @@ class LookupEngine:
             )
         else:
             self.cache = None
+        self._epoch = 0
+        self._epoch_lock = threading.Lock()
+
+    @property
+    def epoch(self) -> int:
+        """Invalidation epoch; bumped by every :meth:`invalidate_sounds`.
+
+        Writers capture it before computing a result and skip caching if it
+        moved, so an in-flight query that read a pre-enrichment bucket can
+        never re-insert a stale entry after the invalidation ran.
+        """
+        return self._epoch
 
     # ------------------------------------------------------------------ #
     def _match_from_entry(
@@ -168,16 +193,24 @@ class LookupEngine:
             category=category,
         )
 
-    def _execute(
+    def build_result(
         self,
         query: str,
         phonetic_level: int,
         max_edit_distance: int,
         case_sensitive: bool,
-        canonical_distance: bool = False,
+        canonical_distance: bool,
+        soundex_key: str | None,
+        bucket: Sequence[DictionaryEntry],
     ) -> LookupResult:
-        encoder = self.dictionary.encoder(phonetic_level)
-        soundex_key = encoder.encode_or_none(query)
+        """Assemble a :class:`LookupResult` from a pre-fetched sound bucket.
+
+        This is the single matching/merging/ranking path shared by the
+        per-query route (:meth:`look_up`, which fetches the bucket from the
+        dictionary) and the batch engine (which fetches buckets shard-parallel
+        from its sharded index) — guaranteeing batch results are identical to
+        sequential ones.
+        """
         if soundex_key is None:
             return LookupResult(
                 query=query,
@@ -186,8 +219,8 @@ class LookupEngine:
                 soundex_key=None,
                 matches=(),
             )
+        encoder = self.dictionary.encoder(phonetic_level)
         query_canonical = encoder.canonicalize(query)
-        bucket = self.dictionary.tokens_for_key(soundex_key, phonetic_level=phonetic_level)
         matches: dict[str, PerturbationMatch] = {}
         for entry in bucket:
             match = self._match_from_entry(
@@ -228,6 +261,95 @@ class LookupEngine:
             matches=tuple(ordered),
         )
 
+    def _execute(
+        self,
+        query: str,
+        phonetic_level: int,
+        max_edit_distance: int,
+        case_sensitive: bool,
+        canonical_distance: bool = False,
+    ) -> LookupResult:
+        soundex_key = self.dictionary.encoder(phonetic_level).encode_or_none(query)
+        bucket: Sequence[DictionaryEntry] = ()
+        if soundex_key is not None:
+            bucket = self.dictionary.tokens_for_key(
+                soundex_key, phonetic_level=phonetic_level
+            )
+        return self.build_result(
+            query,
+            phonetic_level,
+            max_edit_distance,
+            case_sensitive,
+            canonical_distance,
+            soundex_key,
+            bucket,
+        )
+
+    def cache_key(
+        self,
+        query: str,
+        phonetic_level: int,
+        max_edit_distance: int,
+        case_sensitive: bool,
+        canonical_distance: bool,
+    ) -> Hashable:
+        """The cache key a Look Up with these parameters is stored under.
+
+        Exposed so the batch engine populates the same cache entries the
+        per-query route consults (one cache, two access paths).
+        """
+        return make_key(
+            "lookup", query, phonetic_level, max_edit_distance, case_sensitive,
+            canonical_distance,
+        )
+
+    def cache_result(self, result: LookupResult, case_sensitive: bool,
+                     canonical_distance: bool, epoch: int | None = None) -> None:
+        """Store ``result`` in the query cache, tagged with its sound bucket.
+
+        With ``epoch`` (captured before the result was computed), the store
+        is atomically guarded: it is skipped when :meth:`invalidate_sounds`
+        ran in the meantime, so a result built from a pre-enrichment bucket
+        can never survive the invalidation.
+        """
+        if self.cache is None:
+            return
+        key = self.cache_key(
+            result.query,
+            result.phonetic_level,
+            result.max_edit_distance,
+            case_sensitive,
+            canonical_distance,
+        )
+        tags = (
+            (sound_tag(result.phonetic_level, result.soundex_key),)
+            if result.soundex_key is not None
+            else ()
+        )
+        if epoch is None:
+            self.cache.set(key, result, tags=tags)
+        else:
+            self.cache.set_if(key, result, lambda: self._epoch == epoch, tags=tags)
+
+    def invalidate_sounds(self, changed_keys: Iterable[tuple[int, str]]) -> int:
+        """Drop cached queries whose sound buckets changed; returns removals.
+
+        ``changed_keys`` holds ``(phonetic_level, soundex_key)`` pairs, as
+        collected by :meth:`PerturbationDictionary.add_corpus`.  Cached
+        queries over unchanged buckets survive (the shard-scoped alternative
+        to clearing the whole cache on enrichment).
+        """
+        # Bump the epoch *before* dropping entries: a reader that computed
+        # from the old bucket either stores before the drop (and is dropped)
+        # or sees the moved epoch and skips storing.
+        with self._epoch_lock:
+            self._epoch += 1
+        if self.cache is None:
+            return 0
+        return self.cache.invalidate_tags(
+            sound_tag(level, key) for level, key in changed_keys
+        )
+
     def look_up(
         self,
         query: str,
@@ -257,15 +379,16 @@ class LookupEngine:
         )
         if self.cache is None:
             return self._execute(query, level, distance, case_sensitive, canonical_distance)
-        cache_key = make_key(
-            "lookup", query, level, distance, case_sensitive, canonical_distance
+        cache_key = self.cache_key(
+            query, level, distance, case_sensitive, canonical_distance
         )
-        return self.cache.get_or_compute(
-            cache_key,
-            lambda: self._execute(
-                query, level, distance, case_sensitive, canonical_distance
-            ),
-        )
+        cached = self.cache.get(cache_key, default=None)
+        if cached is not None:
+            return cached
+        epoch = self._epoch
+        result = self._execute(query, level, distance, case_sensitive, canonical_distance)
+        self.cache_result(result, case_sensitive, canonical_distance, epoch=epoch)
+        return result
 
     def look_up_many(
         self,

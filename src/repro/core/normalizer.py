@@ -134,32 +134,51 @@ class Normalizer:
         self._encoder: CustomSoundex = dictionary.encoder(config.phonetic_level)
 
     # ------------------------------------------------------------------ #
+    def _candidate_entries(self, soundex_key: str):
+        """English-word entries of the token's sound bucket.
+
+        The seam subclasses override to retrieve from a different source
+        (the batch engine's sharded index) without duplicating the ranking
+        logic below.
+        """
+        return self.dictionary.english_words_for_key(
+            soundex_key, phonetic_level=self.config.phonetic_level
+        )
+
+    def _rank_candidate_entries(
+        self, canonical: str, entries
+    ) -> list[tuple[str, int, int]]:
+        """Filter ``entries`` by the ``d`` bound and rank them.
+
+        Shared by the sequential and batch paths — the single definition of
+        the (distance, -count, word) candidate ordering.
+        """
+        candidates: dict[str, tuple[str, int, int]] = {}
+        for entry in entries:
+            distance = bounded_levenshtein(
+                canonical, entry.canonical, self.config.edit_distance
+            )
+            if distance is None:
+                continue
+            word = entry.canonical
+            existing = candidates.get(word)
+            if existing is None or existing[1] > distance:
+                candidates[word] = (word, distance, entry.count)
+        return sorted(candidates.values(), key=lambda item: (item[1], -item[2], item[0]))
+
     def _retrieve_candidates(self, token_text: str) -> list[tuple[str, int, int]]:
         """Candidate English words: ``(word, edit_distance, observed_count)``.
 
         Candidates are drawn from the dictionary bucket sharing the token's
-        Soundex key (restricted to lexicon words), augmented with a direct
-        lexicon scan fallback for buckets that contain no English word yet.
+        Soundex key, restricted to lexicon words.
         """
         canonical = self._encoder.canonicalize(token_text)
         if not canonical:
             return []
         key = self._encoder.encode_or_none(token_text)
-        candidates: dict[str, tuple[str, int, int]] = {}
-        if key is not None:
-            for entry in self.dictionary.english_words_for_key(
-                key, phonetic_level=self.config.phonetic_level
-            ):
-                distance = bounded_levenshtein(
-                    canonical, entry.canonical, self.config.edit_distance
-                )
-                if distance is None:
-                    continue
-                word = entry.canonical
-                existing = candidates.get(word)
-                if existing is None or existing[1] > distance:
-                    candidates[word] = (word, distance, entry.count)
-        return sorted(candidates.values(), key=lambda item: (item[1], -item[2], item[0]))
+        if key is None:
+            return []
+        return self._rank_candidate_entries(canonical, self._candidate_entries(key))
 
     def _score_candidates(
         self,

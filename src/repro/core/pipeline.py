@@ -31,6 +31,7 @@ from .normalizer import NormalizationResult, Normalizer
 from .perturber import PerturbationOutcome, Perturber
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from ..batch import BatchEngine
     from ..social.listening import SocialListener
     from ..social.platform import SocialPlatform
 
@@ -67,6 +68,7 @@ class CrypText:
         self.lookup_engine = LookupEngine(dictionary, config=config, cache=cache)
         self.normalizer = Normalizer(dictionary, scorer=scorer, config=config)
         self.perturber = Perturber(self.lookup_engine, config=config, rng=rng)
+        self._batch_engine: "BatchEngine | None" = None
 
     # ------------------------------------------------------------------ #
     # factories
@@ -186,20 +188,114 @@ class CrypText:
         return self.perturber.perturb(text, ratio=ratio, case_sensitive=case_sensitive)
 
     def social_listener(self, platform: "SocialPlatform") -> "SocialListener":
-        """Social Listening (§III-E): a listener bound to this dictionary."""
+        """Social Listening (§III-E): a listener bound to this dictionary.
+
+        The listener expands whole watch-lists through this instance's batch
+        engine, so repeated keywords across a watch-list are resolved once.
+        """
         from ..social.listening import SocialListener
 
-        return SocialListener(platform=platform, lookup=self.lookup_engine)
+        return SocialListener(
+            platform=platform, lookup=self.lookup_engine, batch_engine=self.batch
+        )
+
+    # ------------------------------------------------------------------ #
+    # batch & streaming
+    # ------------------------------------------------------------------ #
+    @property
+    def batch(self) -> "BatchEngine":
+        """The batch throughput engine bound to this system (lazily built).
+
+        Shares this instance's query cache, so batch and per-call traffic
+        keep each other warm, and is kept in sync by :meth:`learn_from`.
+        """
+        if self._batch_engine is None:
+            self._batch_engine = self.make_batch_engine()
+        return self._batch_engine
+
+    def make_batch_engine(
+        self,
+        num_shards: int = 4,
+        chunk_size: int = 256,
+        max_in_flight: int = 4,
+    ) -> "BatchEngine":
+        """Build a batch engine over this system with custom shard/stream knobs.
+
+        The returned engine becomes the one :attr:`batch` exposes and the one
+        :meth:`learn_from` keeps synchronized.
+        """
+        from ..batch import BatchEngine
+
+        self._batch_engine = BatchEngine(
+            self.dictionary,
+            lookup_engine=self.lookup_engine,
+            config=self.config,
+            scorer=self.scorer,
+            perturber=self.perturber,
+            num_shards=num_shards,
+            chunk_size=chunk_size,
+            max_in_flight=max_in_flight,
+        )
+        return self._batch_engine
+
+    def look_up_batch(
+        self,
+        queries: Sequence[str],
+        phonetic_level: int | None = None,
+        max_edit_distance: int | None = None,
+        case_sensitive: bool = True,
+    ) -> list[LookupResult]:
+        """Batch Look Up: one result per query, input order preserved.
+
+        Identical to calling :meth:`look_up` once per query, but duplicates
+        are resolved once and sound buckets are retrieved shard-parallel.
+        """
+        return self.batch.look_up_batch(
+            queries,
+            phonetic_level=phonetic_level,
+            max_edit_distance=max_edit_distance,
+            case_sensitive=case_sensitive,
+        )
+
+    def normalize_batch(self, texts: Sequence[str]) -> list[NormalizationResult]:
+        """Batch Normalization: one result per document, input order preserved.
+
+        Identical to calling :meth:`normalize` once per document, with
+        per-token candidate retrieval memoized across the batch.
+        """
+        return self.batch.normalize_batch(texts)
+
+    def perturb_batch(
+        self,
+        texts: Sequence[str],
+        ratio: float | None = None,
+        case_sensitive: bool | None = None,
+    ) -> list[PerturbationOutcome]:
+        """Batch Perturbation: one outcome per document, input order preserved."""
+        return self.batch.perturb_batch(texts, ratio=ratio, case_sensitive=case_sensitive)
 
     # ------------------------------------------------------------------ #
     # maintenance
     # ------------------------------------------------------------------ #
     def learn_from(self, texts: Iterable[str], source: str = "stream") -> int:
-        """Enrich the dictionary with newly observed texts (crawler path)."""
-        added = self.dictionary.add_corpus(texts, source=source)
-        if self.cache is not None:
-            # New tokens may change Look Up results; drop stale cached queries.
-            self.cache.clear()
+        """Enrich the dictionary with newly observed texts (crawler path).
+
+        Cache invalidation is shard-scoped: only cached queries whose sound
+        buckets actually changed are dropped (plus untagged entries such as
+        whole-response service caches, whose dependencies are unknown);
+        unrelated cached queries survive the enrichment.  The batch engine's
+        sharded index, if one was built, is refreshed for the same keys.
+        """
+        changed: set[tuple[int, str]] = set()
+        added = self.dictionary.add_corpus(texts, source=source, changed_keys=changed)
+        if self._batch_engine is not None:
+            # Refreshes the sharded index and invalidates both the memoized
+            # normalization candidates and the tagged query-cache entries.
+            self._batch_engine.apply_enrichment(changed)
+        else:
+            self.lookup_engine.invalidate_sounds(changed)
+        if self.cache is not None and changed:
+            self.cache.invalidate_untagged()
         return added
 
     def stats(self) -> DictionaryStats:

@@ -14,11 +14,15 @@ benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..core.dictionary import PerturbationDictionary
 from ..errors import CrawlerError
 from .platform import SocialPlatform
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from ..batch import BatchEngine
 
 
 @dataclass(frozen=True)
@@ -32,6 +36,7 @@ class CrawlReport:
     new_keys: int
     dictionary_size: int
     unique_keys: int
+    shards_touched: tuple[int, ...] = field(default_factory=tuple)
 
     def to_dict(self) -> dict[str, object]:
         """Serialize for the growth benchmark and monitoring exports."""
@@ -43,6 +48,7 @@ class CrawlReport:
             "new_keys": self.new_keys,
             "dictionary_size": self.dictionary_size,
             "unique_keys": self.unique_keys,
+            "shards_touched": list(self.shards_touched),
         }
 
 
@@ -59,6 +65,12 @@ class StreamCrawler:
         Posts per crawl round.
     source_label:
         Source tag recorded on every dictionary entry added by this crawler.
+    batch_engine:
+        Optional batch engine.  When present, each round is ingested through
+        :meth:`BatchEngine.enrich`, which keeps the sharded phonetic index
+        synchronized and invalidates exactly the cached queries whose sound
+        buckets the round changed (instead of serving an always-on reader
+        population stale or cold results).
     """
 
     def __init__(
@@ -67,13 +79,17 @@ class StreamCrawler:
         dictionary: PerturbationDictionary,
         batch_size: int = 200,
         source_label: str | None = None,
+        batch_engine: "BatchEngine | None" = None,
     ) -> None:
         if batch_size < 1:
             raise CrawlerError(f"batch_size must be >= 1, got {batch_size}")
+        if batch_engine is not None and batch_engine.dictionary is not dictionary:
+            raise CrawlerError("batch_engine must wrap the same dictionary")
         self.platform = platform
         self.dictionary = dictionary
         self.batch_size = batch_size
         self.source_label = source_label or f"{platform.name}_stream"
+        self.batch_engine = batch_engine
         self._cursor = 0
         self._rounds = 0
         self.history: list[CrawlReport] = []
@@ -100,10 +116,16 @@ class StreamCrawler:
             return None
         stats_before = self.dictionary.stats()
         level = self.dictionary.config.phonetic_level
-        tokens_seen = 0
-        for post in batch:
-            tokens_seen += self.dictionary.add_text(
-                str(post["text"]), source=self.source_label
+        texts = [str(post["text"]) for post in batch]
+        shards_touched: tuple[int, ...] = ()
+        if self.batch_engine is not None:
+            enrichment = self.batch_engine.enrich(texts, source=self.source_label)
+            tokens_seen = enrichment.added
+            shards_touched = tuple(sorted(enrichment.shards_touched))
+        else:
+            tokens_seen = sum(
+                self.dictionary.add_text(text, source=self.source_label)
+                for text in texts
             )
         stats_after = self.dictionary.stats()
         self._cursor = int(batch[-1]["post_id"])
@@ -116,6 +138,7 @@ class StreamCrawler:
             new_keys=stats_after.unique_keys[level] - stats_before.unique_keys[level],
             dictionary_size=stats_after.total_tokens,
             unique_keys=stats_after.unique_keys[level],
+            shards_touched=shards_touched,
         )
         self.history.append(report)
         return report

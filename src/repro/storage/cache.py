@@ -7,7 +7,13 @@ repeated Look Up / Normalization requests are served from memory (paper
 * ``get`` / ``set`` with a per-entry time-to-live;
 * bounded capacity with least-recently-used eviction;
 * hit/miss/eviction statistics (used by the cache ablation benchmark);
-* an injectable clock so tests can control expiry deterministically.
+* an injectable clock so tests can control expiry deterministically;
+* optional *tags* on entries so groups of related keys can be invalidated
+  together (the batch engine tags every cached Look Up result with its
+  phonetic sound key, letting dictionary enrichment drop exactly the stale
+  buckets instead of flushing the whole cache);
+* thread safety — the batch engine serves Look Up / Normalization from
+  worker threads while the crawler enriches the dictionary concurrently.
 
 The :func:`cached` decorator wraps a function with a cache keyed on its
 arguments — the API service layer uses it for bulk Look Up calls.
@@ -15,10 +21,11 @@ arguments — the API service layer uses it for bulk Look Up calls.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, TypeVar
+from typing import Any, Callable, Hashable, Iterable, TypeVar
 
 from ..errors import CacheError
 
@@ -64,10 +71,11 @@ class _Entry:
     value: Any
     expires_at: float
     created_at: float = field(default=0.0)
+    tags: tuple[Hashable, ...] = ()
 
 
 class TTLCache:
-    """Bounded key/value cache with per-entry TTL and LRU eviction.
+    """Bounded key/value cache with per-entry TTL, LRU eviction and tags.
 
     Parameters
     ----------
@@ -79,6 +87,10 @@ class TTLCache:
     clock:
         Callable returning the current time in seconds.  Defaults to
         :func:`time.monotonic`; tests inject a fake clock.
+
+    All public operations are thread-safe: a single reentrant lock guards the
+    entry map and the tag index (``get_or_compute`` releases it while running
+    the compute callable so a slow miss never blocks other readers).
     """
 
     def __init__(
@@ -95,74 +107,181 @@ class TTLCache:
         self.default_ttl = default_ttl
         self._clock = clock or time.monotonic
         self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
+        self._tag_index: dict[Hashable, set[Hashable]] = {}
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: object) -> bool:
         return self.get(key, default=_MISSING) is not _MISSING
 
     # ------------------------------------------------------------------ #
+    def _unlink_tags(self, key: Hashable, entry: _Entry) -> None:
+        for tag in entry.tags:
+            keys = self._tag_index.get(tag)
+            if keys is None:
+                continue
+            keys.discard(key)
+            if not keys:
+                del self._tag_index[tag]
+
+    def _remove(self, key: Hashable) -> _Entry | None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._unlink_tags(key, entry)
+        return entry
+
     def _purge_expired(self, now: float) -> None:
         doomed = [key for key, entry in self._entries.items() if entry.expires_at <= now]
         for key in doomed:
-            del self._entries[key]
+            self._remove(key)
             self.stats.expirations += 1
 
-    def set(self, key: Hashable, value: Any, ttl: float | None = None) -> None:
-        """Store ``value`` under ``key`` for ``ttl`` seconds (default TTL if omitted)."""
+    def set(
+        self,
+        key: Hashable,
+        value: Any,
+        ttl: float | None = None,
+        tags: Iterable[Hashable] = (),
+    ) -> None:
+        """Store ``value`` under ``key`` for ``ttl`` seconds (default TTL if omitted).
+
+        ``tags`` associates the entry with invalidation groups; a later
+        :meth:`invalidate_tag` on any of them drops the entry.
+        """
         if ttl is not None and ttl <= 0:
             raise CacheError(f"ttl must be positive, got {ttl}")
-        now = self._clock()
-        self._purge_expired(now)
-        lifetime = self.default_ttl if ttl is None else ttl
-        if key in self._entries:
-            del self._entries[key]
-        elif len(self._entries) >= self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        self._entries[key] = _Entry(value=value, expires_at=now + lifetime, created_at=now)
-        self.stats.sets += 1
+        frozen_tags = tuple(tags)
+        with self._lock:
+            now = self._clock()
+            self._purge_expired(now)
+            lifetime = self.default_ttl if ttl is None else ttl
+            if key in self._entries:
+                self._remove(key)
+            elif len(self._entries) >= self.max_entries:
+                oldest_key, oldest_entry = self._entries.popitem(last=False)
+                self._unlink_tags(oldest_key, oldest_entry)
+                self.stats.evictions += 1
+            self._entries[key] = _Entry(
+                value=value, expires_at=now + lifetime, created_at=now, tags=frozen_tags
+            )
+            for tag in frozen_tags:
+                self._tag_index.setdefault(tag, set()).add(key)
+            self.stats.sets += 1
+
+    def set_if(
+        self,
+        key: Hashable,
+        value: Any,
+        guard: Callable[[], bool],
+        ttl: float | None = None,
+        tags: Iterable[Hashable] = (),
+    ) -> bool:
+        """Store ``value`` only if ``guard()`` is true, atomically.
+
+        The guard runs under the cache lock, so the check and the store
+        cannot interleave with :meth:`invalidate_tag`.  With writers that
+        bump an epoch *before* dropping tagged entries, a reader that
+        captures the epoch, computes, then calls ``set_if`` with a
+        ``guard`` comparing epochs can never leave a stale entry behind:
+        either the guard sees the moved epoch and skips the store, or the
+        store lands before the invalidation and is dropped by it.  Returns
+        whether the value was stored.
+        """
+        with self._lock:
+            if not guard():
+                return False
+            self.set(key, value, ttl=ttl, tags=tags)
+            return True
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value or ``default``; counts a hit or a miss."""
-        now = self._clock()
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return default
-        if entry.expires_at <= now:
-            del self._entries[key]
-            self.stats.expirations += 1
-            self.stats.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry.value
+        with self._lock:
+            now = self._clock()
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return default
+            if entry.expires_at <= now:
+                self._remove(key)
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.value
 
     def get_or_compute(
-        self, key: Hashable, compute: Callable[[], T], ttl: float | None = None
+        self,
+        key: Hashable,
+        compute: Callable[[], T],
+        ttl: float | None = None,
+        tags: Iterable[Hashable] = (),
     ) -> T:
-        """Return the cached value, computing and storing it on a miss."""
+        """Return the cached value, computing and storing it on a miss.
+
+        The compute callable runs outside the lock, so concurrent misses on
+        the same key may compute twice; the last writer wins, which is safe
+        for the pure queries this cache fronts.
+        """
         value = self.get(key, default=_MISSING)
         if value is not _MISSING:
             return value
         computed = compute()
-        self.set(key, computed, ttl=ttl)
+        self.set(key, computed, ttl=ttl, tags=tags)
         return computed
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop ``key`` if present; return whether something was removed."""
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            return self._remove(key) is not None
+
+    def invalidate_tag(self, tag: Hashable) -> int:
+        """Drop every entry carrying ``tag``; returns how many were removed."""
+        with self._lock:
+            keys = self._tag_index.get(tag)
+            if not keys:
+                return 0
+            doomed = list(keys)
+            for key in doomed:
+                self._remove(key)
+            return len(doomed)
+
+    def invalidate_tags(self, tags: Iterable[Hashable]) -> int:
+        """Drop every entry carrying any of ``tags``; returns removals."""
+        return sum(self.invalidate_tag(tag) for tag in set(tags))
+
+    def invalidate_untagged(self) -> int:
+        """Drop every entry that carries no tags; returns removals.
+
+        Used by enrichment: tagged entries are invalidated precisely by sound
+        key, while untagged entries (e.g. whole-response service caches whose
+        dependencies are unknown) must be dropped conservatively.
+        """
+        with self._lock:
+            doomed = [key for key, entry in self._entries.items() if not entry.tags]
+            for key in doomed:
+                self._remove(key)
+            return len(doomed)
 
     def clear(self) -> None:
         """Drop every entry (statistics are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+            self._tag_index.clear()
 
     def keys(self) -> tuple[Hashable, ...]:
         """Currently stored (possibly-expired-but-not-yet-purged) keys."""
-        return tuple(self._entries)
+        with self._lock:
+            return tuple(self._entries)
+
+    def tags(self) -> tuple[Hashable, ...]:
+        """Tags currently attached to at least one live entry."""
+        with self._lock:
+            return tuple(self._tag_index)
 
 
 def make_key(*args: Any, **kwargs: Any) -> Hashable:

@@ -19,12 +19,25 @@ targets library use, not a networked deployment.
 from __future__ import annotations
 
 import copy
+import functools
 import itertools
+import threading
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..errors import DocumentNotFoundError, DuplicateKeyError, QueryError, StorageError
 from .index import HashIndex
 from .query import compile_filter
+
+
+def _locked(method):
+    """Run ``method`` while holding the collection's reentrant lock."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self.lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 class Collection:
@@ -33,6 +46,13 @@ class Collection:
     Documents are stored as deep copies so callers cannot mutate the store's
     internal state by accident, mirroring the value semantics of a real
     database client.
+
+    A reentrant lock serializes every read and write: the batch engine runs
+    Look Up retrieval from worker threads while the crawler concurrently
+    enriches the token collection, and a real database client would likewise
+    present each operation as atomic.  Callers that need a compound
+    read-modify-write to be atomic (e.g. the dictionary's upsert of a token
+    count) should hold :attr:`lock` across the sequence.
     """
 
     def __init__(self, name: str) -> None:
@@ -40,18 +60,26 @@ class Collection:
         self._documents: dict[Any, dict[str, Any]] = {}
         self._indexes: dict[str, HashIndex] = {}
         self._id_counter = itertools.count(1)
+        self.lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # basic properties
     # ------------------------------------------------------------------ #
+    @_locked
     def __len__(self) -> int:
         return len(self._documents)
 
+    @_locked
     def __contains__(self, doc_id: object) -> bool:
         return doc_id in self._documents
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
-        for document in self._documents.values():
+        # Snapshot under the lock, copy outside it: stored documents are
+        # replaced wholesale on update (never mutated in place), so deep
+        # copying the snapshot is safe without holding the lock across yields.
+        with self.lock:
+            snapshot = list(self._documents.values())
+        for document in snapshot:
             yield copy.deepcopy(document)
 
     @property
@@ -68,6 +96,7 @@ class Collection:
             candidate = next(self._id_counter)
         return candidate
 
+    @_locked
     def insert_one(self, document: Mapping[str, Any]) -> Any:
         """Insert a document, returning its ``_id``.
 
@@ -96,6 +125,7 @@ class Collection:
         """Insert many documents, returning their ids in order."""
         return [self.insert_one(document) for document in documents]
 
+    @_locked
     def replace_one(self, doc_id: Any, document: Mapping[str, Any]) -> None:
         """Replace the document with id ``doc_id`` entirely."""
         if doc_id not in self._documents:
@@ -108,6 +138,7 @@ class Collection:
         for index in self._indexes.values():
             index.add(doc_id, stored)
 
+    @_locked
     def update_one(
         self,
         filter_document: Mapping[str, Any] | None,
@@ -157,6 +188,7 @@ class Collection:
             self.replace_one(doc_id, document)
         return True
 
+    @_locked
     def delete_many(self, filter_document: Mapping[str, Any] | None = None) -> int:
         """Delete every matching document, returning how many were removed."""
         predicate = compile_filter(filter_document)
@@ -171,6 +203,7 @@ class Collection:
                 index.remove(doc_id)
         return len(doomed)
 
+    @_locked
     def clear(self) -> None:
         """Remove every document (indexes are kept but emptied)."""
         self._documents.clear()
@@ -201,6 +234,7 @@ class Collection:
             return index.lookup(condition)
         return None
 
+    @_locked
     def find(
         self,
         filter_document: Mapping[str, Any] | None = None,
@@ -259,6 +293,7 @@ class Collection:
         results = self.find(filter_document, limit=1)
         return results[0] if results else None
 
+    @_locked
     def get(self, doc_id: Any) -> dict[str, Any]:
         """Return the document with ``doc_id`` or raise."""
         if doc_id not in self._documents:
@@ -267,6 +302,7 @@ class Collection:
             )
         return copy.deepcopy(self._documents[doc_id])
 
+    @_locked
     def count(self, filter_document: Mapping[str, Any] | None = None) -> int:
         """Count matching documents."""
         if not filter_document:
@@ -281,6 +317,7 @@ class Collection:
             if doc_id in self._documents and predicate(self._documents[doc_id])
         )
 
+    @_locked
     def distinct(
         self, field: str, filter_document: Mapping[str, Any] | None = None
     ) -> list[Any]:
@@ -300,6 +337,7 @@ class Collection:
                 seen.append(copy.deepcopy(value))
         return seen
 
+    @_locked
     def aggregate_counts(
         self,
         field: str,
@@ -320,6 +358,7 @@ class Collection:
     # ------------------------------------------------------------------ #
     # indexes
     # ------------------------------------------------------------------ #
+    @_locked
     def create_index(self, field: str, multi: bool = False) -> HashIndex:
         """Create (or return) a secondary hash index over ``field``."""
         if field in self._indexes:
@@ -330,6 +369,7 @@ class Collection:
         self._indexes[field] = index
         return index
 
+    @_locked
     def drop_index(self, field: str) -> None:
         """Drop the index over ``field`` (no-op if absent)."""
         self._indexes.pop(field, None)

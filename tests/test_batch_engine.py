@@ -1,0 +1,466 @@
+"""Unit and integration tests for the batch throughput layer (repro.batch).
+
+Covers the sharded phonetic index, the batch engine's dedup/memoization and
+streaming semantics, the facade wiring (including shard-scoped cache
+invalidation in ``learn_from``), the ``/v1/batch/*`` service endpoints, the
+CLI ``batch`` command, and the batch paths of the social listener/crawler.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import CrypText
+from repro.api import CrypTextService
+from repro.batch import BatchEngine, ShardedPhoneticIndex, shard_of
+from repro.cli import main as cli_main
+from repro.errors import CrypTextError
+from repro.social import SocialListener, SocialPlatform, StreamCrawler
+from repro.storage import TTLCache
+
+
+CORPUS = [
+    "the dirrty republicans",
+    "thee dirty repubLIEcans",
+    "the dirty republic@@ns",
+    "the democrats support the vaccine mandate",
+    "the demokrats hate the vacc1ne",
+    "the democRATs push their agenda",
+    "the dem0cr@ts and the repubLIEcans argue online",
+    "i ordered from amazon yesterday",
+    "the amaz0n package never arrived",
+]
+
+QUERIES = ["democrats", "republicans", "amazon", "vaccine", "democrats", "vaccine"]
+TEXTS = [
+    "the demokrats hate the vacc1ne",
+    "i ordered from amaz0n",
+    "the demokrats hate the vacc1ne",
+    "nothing perturbed here",
+]
+
+
+@pytest.fixture()
+def system() -> CrypText:
+    return CrypText.from_corpus(CORPUS)
+
+
+@pytest.fixture()
+def engine(system: CrypText) -> BatchEngine:
+    return system.batch
+
+
+# --------------------------------------------------------------------------- #
+# sharded index
+# --------------------------------------------------------------------------- #
+class TestShardedIndex:
+    def test_shard_of_is_stable_and_in_range(self):
+        keys = ["DE52632", "RE1425", "AM250", "VA250", "TH000"]
+        for key in keys:
+            assert 0 <= shard_of(key, 4) < 4
+            assert shard_of(key, 4) == shard_of(key, 4)
+        assert all(shard_of(key, 1) == 0 for key in keys)
+
+    def test_rejects_bad_shard_count(self, system):
+        with pytest.raises(CrypTextError):
+            ShardedPhoneticIndex(system.dictionary, num_shards=0)
+
+    def test_bucket_matches_dictionary(self, system):
+        index = ShardedPhoneticIndex(system.dictionary, num_shards=4)
+        for query in ("democrats", "amazon", "vaccine"):
+            key = system.dictionary.encoder(1).encode(query)
+            assert list(index.bucket(key, 1)) == system.dictionary.tokens_for_key(
+                key, phonetic_level=1
+            )
+
+    def test_english_bucket_filters_words(self, system):
+        index = ShardedPhoneticIndex(system.dictionary, num_shards=2)
+        key = system.dictionary.encoder(1).encode("democrats")
+        english = index.english_bucket(key, 1)
+        assert english
+        assert all(entry.is_word for entry in english)
+
+    def test_every_entry_lands_in_exactly_one_shard(self, system):
+        index = ShardedPhoneticIndex(system.dictionary, num_shards=4)
+        stats = index.shard_stats()
+        total = sum(stat.num_entries for stat in stats)
+        expected = sum(
+            1
+            for document in system.dictionary.collection.find(None)
+            if "k1" in document["keys"]
+        )
+        assert total == expected
+
+    def test_refresh_keys_picks_up_new_tokens(self, system):
+        index = ShardedPhoneticIndex(system.dictionary, num_shards=4)
+        key = system.dictionary.encoder(1).encode("democrats")
+        before = index.bucket(key, 1)
+        changed: set[tuple[int, str]] = set()
+        system.dictionary.add_token("demmocrats", changed_keys=changed)
+        touched = index.refresh_keys(changed)
+        assert shard_of(key, 4) in touched
+        after = index.bucket(key, 1)
+        assert len(after) == len(before) + 1
+        assert "demmocrats" in {entry.token for entry in after}
+
+    def test_out_of_band_growth_triggers_rebuild(self, system):
+        index = ShardedPhoneticIndex(system.dictionary, num_shards=2)
+        key = system.dictionary.encoder(1).encode("amazon")
+        index.bucket(key, 1)  # force a build
+        system.dictionary.add_token("amazzon")  # no refresh_keys call
+        assert "amazzon" in {entry.token for entry in index.bucket(key, 1)}
+
+
+# --------------------------------------------------------------------------- #
+# batch engine
+# --------------------------------------------------------------------------- #
+class TestBatchEngine:
+    def test_look_up_batch_identical_to_sequential(self, system, engine):
+        batch = engine.look_up_batch(QUERIES)
+        sequential = [system.look_up(query) for query in QUERIES]
+        assert batch == sequential
+
+    def test_look_up_batch_preserves_order_and_duplicates(self, engine):
+        results = engine.look_up_batch(QUERIES)
+        assert [result.query for result in results] == QUERIES
+        assert results[0] == results[4]  # duplicate queries: identical results
+
+    def test_look_up_batch_handles_unencodable_queries(self, engine):
+        results = engine.look_up_batch(["democrats", "...", "###"])
+        assert results[1].soundex_key is None and not results[1].matches
+        assert results[2].soundex_key is None
+
+    def test_look_up_batch_empty(self, engine):
+        assert engine.look_up_batch([]) == []
+
+    def test_look_up_batch_respects_overrides(self, system, engine):
+        batch = engine.look_up_batch(["democrats"], max_edit_distance=1, case_sensitive=False)
+        single = system.lookup_engine.look_up(
+            "democrats", max_edit_distance=1, case_sensitive=False
+        )
+        assert batch[0] == single
+
+    def test_duplicates_are_resolved_once(self, system):
+        engine = system.batch
+        cache = system.lookup_engine.cache
+        sets_before = cache.stats.sets
+        engine.look_up_batch(["vaccine"] * 50)
+        assert cache.stats.sets == sets_before + 1
+
+    def test_look_up_many_is_dict_shaped(self, system, engine):
+        many = engine.look_up_many(["democrats", "amazon"])
+        assert set(many) == {"democrats", "amazon"}
+        assert many["amazon"] == system.look_up("amazon")
+
+    def test_normalize_batch_identical_to_sequential(self, system, engine):
+        batch = engine.normalize_batch(TEXTS)
+        sequential = [system.normalize(text) for text in TEXTS]
+        assert batch == sequential
+
+    def test_normalize_batch_memoizes_candidates(self, engine):
+        engine.normalize_batch(["the demokrats lie", "the demokrats cheat"])
+        # Second document's "demokrats" candidate retrieval must hit the memo.
+        assert engine.memo.stats.hits >= 1
+
+    def test_perturb_batch_matches_sequential_with_same_rng(self, system):
+        a = CrypText.from_corpus(CORPUS)
+        outcome_batch = a.perturb_batch(TEXTS, ratio=0.5)
+        b = CrypText.from_corpus(CORPUS)
+        outcome_seq = [b.perturb(text, ratio=0.5) for text in TEXTS]
+        assert [o.perturbed_text for o in outcome_batch] == [
+            o.perturbed_text for o in outcome_seq
+        ]
+
+    def test_invalid_stream_knobs_rejected(self, system):
+        with pytest.raises(CrypTextError):
+            BatchEngine(system.dictionary, chunk_size=0)
+        with pytest.raises(CrypTextError):
+            BatchEngine(system.dictionary, max_in_flight=0)
+
+    def test_stats_exposes_shards_and_caches(self, engine):
+        engine.look_up_batch(["democrats"])
+        stats = engine.stats()
+        assert stats["index"]["num_shards"] == 4
+        assert "hits" in stats["memo"]
+
+
+class TestStreaming:
+    def test_stream_look_up_matches_batch(self, engine):
+        queries = QUERIES * 7
+        streamed = list(engine.stream_look_up(iter(queries), chunk_size=4, max_in_flight=2))
+        assert streamed == engine.look_up_batch(queries)
+
+    def test_stream_normalize_matches_batch(self, engine):
+        texts = TEXTS * 5
+        streamed = list(engine.stream_normalize(iter(texts), chunk_size=3, max_in_flight=2))
+        assert streamed == engine.normalize_batch(texts)
+
+    def test_stream_applies_backpressure(self, engine):
+        pulled = 0
+
+        def producer():
+            nonlocal pulled
+            for _ in range(1000):
+                pulled += 1
+                yield "democrats"
+
+        chunk_size, max_in_flight = 5, 2
+        stream = engine.stream_look_up(
+            producer(), chunk_size=chunk_size, max_in_flight=max_in_flight
+        )
+        next(stream)
+        # The producer may only ever be max_in_flight full chunks plus the
+        # chunk currently being assembled ahead of the consumer.
+        assert pulled <= chunk_size * (max_in_flight + 2)
+        stream.close()
+
+    def test_stream_handles_empty_iterable(self, engine):
+        assert list(engine.stream_look_up(iter(()))) == []
+
+
+class TestEnrichment:
+    def test_enrich_reports_scope(self, engine):
+        engine.look_up_batch(["democrats"])  # materialize the index
+        report = engine.enrich(["the demmocrats lie"], source="test")
+        assert report.added == 3
+        assert report.shards_touched
+        assert report.to_dict()["num_changed_sounds"] == len(report.changed_sounds)
+
+    def test_enrich_makes_new_perturbations_visible(self, engine):
+        engine.look_up_batch(["democrats"])  # warm cache + index
+        engine.enrich(["the demmocrats lie"])
+        result = engine.look_up_batch(["democrats"])[0]
+        assert "demmocrats" in result.tokens
+
+    def test_enrich_refreshes_normalization_candidates(self):
+        # Corpus knows the perturbation but not the clean English word, so
+        # normalization initially has no candidate; enrichment must both add
+        # the word and invalidate the memoized (empty) candidate list.
+        system = CrypText.from_corpus(
+            ["they fear the vacc1ne shot"], seed_lexicon=False
+        )
+        engine = system.batch
+        assert engine.normalize_batch(["vacc1ne"])[0].normalized_text == "vacc1ne"
+        engine.enrich(["the vaccine works"])
+        assert engine.normalize_batch(["vacc1ne"])[0].normalized_text == "vaccine"
+
+
+# --------------------------------------------------------------------------- #
+# facade wiring + shard-scoped invalidation (the learn_from bug fix)
+# --------------------------------------------------------------------------- #
+class TestFacade:
+    def test_facade_batch_methods_delegate(self, system):
+        assert system.look_up_batch(QUERIES) == system.batch.look_up_batch(QUERIES)
+        assert system.normalize_batch(TEXTS) == system.batch.normalize_batch(TEXTS)
+
+    def test_make_batch_engine_rebinds(self, system):
+        engine = system.make_batch_engine(num_shards=2, chunk_size=7)
+        assert system.batch is engine
+        assert engine.num_shards == 2 and engine.chunk_size == 7
+
+    def test_learn_from_invalidation_is_shard_scoped(self, system):
+        cache = system.cache
+        system.look_up("democrats")
+        system.look_up("amazon")
+        democrats_key = system.lookup_engine.cache_key("democrats", 1, 3, True, False)
+        amazon_key = system.lookup_engine.cache_key("amazon", 1, 3, True, False)
+        assert democrats_key in cache.keys() and amazon_key in cache.keys()
+
+        added = system.learn_from(["the demmocrats lie"])
+        assert added == 3
+        # The unrelated cached query survives the enrichment...
+        assert amazon_key in cache.keys()
+        # ...while the touched bucket's entry was dropped and re-resolves
+        # with the new perturbation.
+        assert democrats_key not in cache.keys()
+        assert "demmocrats" in system.look_up("democrats").tokens
+
+    def test_learn_from_keeps_batch_engine_in_sync(self, system):
+        engine = system.batch
+        engine.look_up_batch(["democrats"])
+        system.learn_from(["the demmocrats lie"])
+        assert "demmocrats" in engine.look_up_batch(["democrats"])[0].tokens
+
+    def test_learn_from_without_batch_engine_still_invalidates(self, system):
+        system.look_up("democrats")
+        system.learn_from(["the demmocrats lie"])
+        assert "demmocrats" in system.look_up("democrats").tokens
+
+
+# --------------------------------------------------------------------------- #
+# service endpoints
+# --------------------------------------------------------------------------- #
+class TestServiceBatchEndpoints:
+    @pytest.fixture()
+    def service(self, system):
+        return CrypTextService(system, max_batch_size=4, max_bulk_batch_size=8)
+
+    @pytest.fixture()
+    def token(self, service):
+        return service.issue_token("tester").token
+
+    def test_batch_lookup_is_order_preserving(self, service, token, system):
+        response = service.batch_lookup(token, QUERIES)
+        assert response.status == 200
+        results = response.body["results"]
+        assert [result["query"] for result in results] == QUERIES
+        assert response.body["count"] == len(QUERIES)
+        assert results[0] == system.look_up("democrats").to_dict()
+
+    def test_batch_normalize_is_order_preserving(self, service, token, system):
+        response = service.batch_normalize(token, TEXTS)
+        assert response.status == 200
+        assert [r["original_text"] for r in response.body["results"]] == TEXTS
+        assert response.body["results"][0] == system.normalize(TEXTS[0]).to_dict()
+
+    def test_batch_endpoints_enforce_size_limit(self, service, token):
+        response = service.batch_lookup(token, ["word"] * 9)
+        assert response.status == 400
+        response = service.batch_normalize(token, ["text"] * 9)
+        assert response.status == 400
+
+    def test_batch_endpoints_allow_more_than_classic_limit(self, service, token):
+        # classic limit is 4, bulk limit is 8
+        assert service.lookup(token, ["word"] * 6).status == 400
+        assert service.batch_lookup(token, ["word"] * 6).status == 200
+
+    def test_batch_endpoints_require_auth(self, service):
+        assert service.batch_lookup(None, ["word"]).status == 401
+        assert service.batch_normalize("bogus", ["text"]).status == 401
+
+    def test_bulk_limit_must_dominate_classic_limit(self, system):
+        with pytest.raises(Exception):
+            CrypTextService(system, max_batch_size=64, max_bulk_batch_size=8)
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+class TestCliBatch:
+    def test_batch_normalize_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "docs.jsonl"
+        path.write_text(
+            json.dumps({"text": "the demokrats hate the vacc1ne"})
+            + "\n"
+            + json.dumps("i ordered from amaz0n")
+            + "\n"
+        )
+        out_path = tmp_path / "out.jsonl"
+        code = cli_main(
+            [
+                "batch", "normalize", "--input", str(path), "--output", str(out_path),
+                "--posts", "120", "--seed", "3", "--shards", "2", "--chunk-size", "2",
+            ]
+        )
+        assert code == 0
+        records = [json.loads(line) for line in out_path.read_text().splitlines()]
+        assert len(records) == 2
+        assert records[0]["normalized"] == "the democrats hate the vaccine"
+
+    def test_batch_lookup_jsonl_to_stdout(self, tmp_path, capsys):
+        path = tmp_path / "queries.jsonl"
+        path.write_text(json.dumps({"query": "democrats"}) + "\n")
+        code = cli_main(
+            ["batch", "lookup", "--input", str(path), "--posts", "120", "--seed", "3"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        record = json.loads(captured.out.splitlines()[0])
+        assert record["query"] == "democrats"
+        assert record["perturbations"]
+
+    def test_batch_rejects_malformed_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"wrong_field": 1}\n')
+        code = cli_main(
+            ["batch", "lookup", "--input", str(path), "--posts", "120", "--seed", "3"]
+        )
+        assert code == 2  # CrypTextError -> exit code 2
+
+
+# --------------------------------------------------------------------------- #
+# social layer
+# --------------------------------------------------------------------------- #
+class TestSocialBatchPaths:
+    def test_listener_batch_expansion_matches_sequential(self, system):
+        platform = SocialPlatform("twitter")
+        for text in CORPUS:
+            platform.ingest_raw(text, created_at="2023-01-16")
+        batch_listener = SocialListener(
+            platform, system.lookup_engine, batch_engine=system.batch
+        )
+        plain_listener = SocialListener(platform, system.lookup_engine)
+        keywords = ["democrats", "vaccine", "democrats"]
+        assert batch_listener.expand_keywords(keywords) == plain_listener.expand_keywords(
+            keywords
+        )
+        batch_usage = batch_listener.monitor_keywords(["democrats", "vaccine"])
+        plain_usage = plain_listener.monitor_keywords(["democrats", "vaccine"])
+        assert batch_usage == plain_usage
+
+    def test_facade_listener_uses_batch_engine(self, system):
+        platform = SocialPlatform("twitter")
+        listener = system.social_listener(platform)
+        assert listener.batch_engine is system.batch
+
+    def test_crawler_with_batch_engine_keeps_lookups_fresh(self, system):
+        platform = SocialPlatform("twitter")
+        for text in ("the demmocrats lie", "the amazzon box"):
+            platform.ingest_raw(text, created_at="2023-01-16")
+        engine = system.batch
+        engine.look_up_batch(["democrats", "amazon"])  # warm
+        crawler = StreamCrawler(
+            platform, system.dictionary, batch_size=10, batch_engine=engine
+        )
+        report = crawler.crawl_once()
+        assert report is not None
+        assert report.shards_touched
+        tokens = engine.look_up_batch(["democrats"])[0].tokens
+        assert "demmocrats" in tokens
+
+    def test_crawler_rejects_foreign_engine(self, system):
+        other = CrypText.from_corpus(CORPUS)
+        platform = SocialPlatform("twitter")
+        with pytest.raises(Exception):
+            StreamCrawler(
+                platform, system.dictionary, batch_engine=other.batch
+            )
+
+
+# --------------------------------------------------------------------------- #
+# tagged cache invalidation primitives
+# --------------------------------------------------------------------------- #
+class TestTaggedCache:
+    def test_invalidate_tag_drops_only_tagged_entries(self):
+        cache = TTLCache(max_entries=16, default_ttl=60.0)
+        cache.set("a", 1, tags=[("sound", 1, "AA")])
+        cache.set("b", 2, tags=[("sound", 1, "BB")])
+        cache.set("c", 3)
+        assert cache.invalidate_tag(("sound", 1, "AA")) == 1
+        assert cache.get("a") is None
+        assert cache.get("b") == 2 and cache.get("c") == 3
+
+    def test_invalidate_untagged(self):
+        cache = TTLCache(max_entries=16, default_ttl=60.0)
+        cache.set("a", 1, tags=["t"])
+        cache.set("b", 2)
+        assert cache.invalidate_untagged() == 1
+        assert cache.get("a") == 1 and cache.get("b") is None
+
+    def test_eviction_cleans_tag_index(self):
+        cache = TTLCache(max_entries=2, default_ttl=60.0)
+        cache.set("a", 1, tags=["t"])
+        cache.set("b", 2, tags=["t"])
+        cache.set("c", 3, tags=["t"])  # evicts "a"
+        assert cache.invalidate_tag("t") == 2
+        assert len(cache) == 0
+
+    def test_expiry_cleans_tag_index(self):
+        now = [0.0]
+        cache = TTLCache(max_entries=8, default_ttl=10.0, clock=lambda: now[0])
+        cache.set("a", 1, tags=["t"])
+        now[0] = 11.0
+        assert cache.get("a") is None
+        assert cache.invalidate_tag("t") == 0

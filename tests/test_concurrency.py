@@ -1,0 +1,239 @@
+"""Concurrency tests: TTLCache, the sharded index, and enrichment-vs-lookup.
+
+The batch engine serves Look Up / Normalization from worker threads while
+the crawler enriches the dictionary concurrently, so the storage substrate
+and the batch layer must tolerate that interleaving:
+
+* :class:`TTLCache` is hammered from many threads without corruption, lost
+  counter updates, or capacity violations;
+* ``look_up_batch`` and ``learn_from`` run concurrently without losing
+  dictionary writes and without serving stale cached results once the
+  writers have finished (shard-scoped invalidation is exercised on every
+  enrichment);
+* results are deterministic under a fixed seed — two identical systems
+  produce identical batch results, and repeated parallel retrieval on one
+  engine is stable.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import CrypText
+from repro.storage import TTLCache
+
+
+CORPUS = [
+    "the dirrty republicans",
+    "thee dirty repubLIEcans",
+    "the democrats support the vaccine mandate",
+    "the demokrats hate the vacc1ne",
+    "the dem0cr@ts and the repubLIEcans argue online",
+    "i ordered from amazon yesterday",
+    "the amaz0n package never arrived",
+]
+
+WATCHED = ["democrats", "republicans", "amazon", "vaccine"]
+
+
+def _run_threads(workers) -> list[BaseException]:
+    """Run callables on threads, join them, and collect raised exceptions."""
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def wrap(worker):
+        def target():
+            try:
+                worker()
+            except BaseException as exc:  # noqa: BLE001 - surfaced via assertion
+                with lock:
+                    errors.append(exc)
+
+        return target
+
+    threads = [threading.Thread(target=wrap(worker)) for worker in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+# --------------------------------------------------------------------------- #
+# TTLCache
+# --------------------------------------------------------------------------- #
+class TestTTLCacheConcurrency:
+    def test_mixed_operations_do_not_corrupt(self):
+        cache = TTLCache(max_entries=64, default_ttl=60.0)
+
+        def worker(worker_id: int):
+            def run():
+                for i in range(1500):
+                    key = f"key-{(worker_id * 7 + i) % 100}"
+                    op = i % 4
+                    if op == 0:
+                        cache.set(key, i, tags=[f"tag-{i % 5}"])
+                    elif op == 1:
+                        cache.get(key)
+                    elif op == 2:
+                        cache.invalidate(key)
+                    else:
+                        key in cache  # noqa: B015 - exercising __contains__
+
+            return run
+
+        errors = _run_threads([worker(n) for n in range(8)])
+        assert not errors, errors
+        assert len(cache) <= cache.max_entries
+        stats = cache.stats
+        assert stats.requests == stats.hits + stats.misses
+
+    def test_get_or_compute_is_consistent_under_contention(self):
+        cache = TTLCache(max_entries=256, default_ttl=60.0)
+        observed: dict[str, set[int]] = {f"k{i}": set() for i in range(16)}
+        lock = threading.Lock()
+
+        def worker():
+            for i in range(400):
+                key = f"k{i % 16}"
+                value = cache.get_or_compute(key, lambda i=i: i % 16)
+                with lock:
+                    observed[key].add(value)
+
+        errors = _run_threads([worker] * 8)
+        assert not errors, errors
+        # Every computed value for key k{i} is i: concurrent misses may
+        # compute twice but never produce an inconsistent value.
+        for i in range(16):
+            assert observed[f"k{i}"] == {i}
+
+    def test_tag_invalidation_races_with_sets(self):
+        cache = TTLCache(max_entries=128, default_ttl=60.0)
+
+        def writer():
+            for i in range(1000):
+                cache.set(f"w-{i % 40}", i, tags=[("bucket", i % 4)])
+
+        def invalidator():
+            for i in range(1000):
+                cache.invalidate_tag(("bucket", i % 4))
+
+        errors = _run_threads([writer, writer, invalidator, invalidator])
+        assert not errors, errors
+        # Whatever survived must still be internally consistent.
+        for key in cache.keys():
+            cache.get(key)
+
+
+# --------------------------------------------------------------------------- #
+# look_up_batch vs learn_from
+# --------------------------------------------------------------------------- #
+class TestLookupLearnConcurrency:
+    def test_no_lost_updates_and_no_stale_hits(self):
+        system = CrypText.from_corpus(CORPUS, train_scorer=False)
+        engine = system.batch
+        engine.look_up_batch(WATCHED)  # build index, warm cache
+
+        num_writers = 4
+        repeats = 25
+        # Each writer repeatedly re-learns a shared sentence (count
+        # increments must not be lost) and contributes one unique
+        # perturbation that must be visible once every thread has joined.
+        unique = {
+            0: "the demmocrats lie",
+            1: "the repuublicans lie",
+            2: "the amazzon box broke",
+            3: "the vacciine failed",
+        }
+        expected_tokens = {
+            "democrats": "demmocrats",
+            "republicans": "repuublicans",
+            "amazon": "amazzon",
+            "vaccine": "vacciine",
+        }
+
+        def writer(worker_id: int):
+            def run():
+                system.learn_from([unique[worker_id]], source=f"w{worker_id}")
+                for _ in range(repeats):
+                    system.learn_from(["the democrats argue online"], source="shared")
+
+            return run
+
+        def reader():
+            for _ in range(40):
+                results = engine.look_up_batch(WATCHED)
+                assert [r.query for r in results] == WATCHED
+                for result in results:
+                    assert result.soundex_key is not None
+
+        errors = _run_threads([writer(n) for n in range(num_writers)] + [reader] * 4)
+        assert not errors, errors
+
+        # No lost updates: every shared re-learn incremented the count.
+        entry = system.dictionary.entry("democrats")
+        baseline = CrypText.from_corpus(CORPUS, train_scorer=False)
+        base_count = baseline.dictionary.entry("democrats").count
+        assert entry.count == base_count + num_writers * repeats
+
+        # No stale post-invalidation hits: both the batch path and the
+        # cached facade path see every writer's new perturbation.
+        for keyword, token in expected_tokens.items():
+            assert token in engine.look_up_batch([keyword])[0].tokens
+            assert token in system.look_up(keyword).tokens
+
+    def test_concurrent_normalize_and_learn(self):
+        system = CrypText.from_corpus(CORPUS, train_scorer=False)
+        engine = system.batch
+        texts = ["the demokrats hate the vacc1ne", "i ordered from amaz0n"]
+        expected = [system.normalize(text).normalized_text for text in texts]
+
+        def normalizer():
+            for _ in range(30):
+                results = engine.normalize_batch(texts)
+                assert [r.original_text for r in results] == texts
+
+        def learner():
+            for i in range(30):
+                system.learn_from([f"fresh chatter number {i} appears"], source="t")
+
+        errors = _run_threads([normalizer] * 3 + [learner] * 2)
+        assert not errors, errors
+        # The enrichment never touched these buckets, so results are stable.
+        assert [
+            r.normalized_text for r in engine.normalize_batch(texts)
+        ] == expected
+
+
+# --------------------------------------------------------------------------- #
+# determinism under a fixed seed
+# --------------------------------------------------------------------------- #
+class TestDeterminism:
+    def test_identical_systems_produce_identical_batches(self):
+        queries = WATCHED * 3 + ["unseen", "..."]
+        texts = ["the demokrats hate the vacc1ne", "i ordered from amaz0n"]
+        snapshots = []
+        for _ in range(2):
+            system = CrypText.from_corpus(CORPUS)
+            engine = system.make_batch_engine(num_shards=4)
+            snapshots.append(
+                (
+                    engine.look_up_batch(queries),
+                    engine.normalize_batch(texts),
+                    engine.perturb_batch(texts, ratio=0.5),
+                )
+            )
+        assert snapshots[0][0] == snapshots[1][0]
+        assert snapshots[0][1] == snapshots[1][1]
+        assert [o.perturbed_text for o in snapshots[0][2]] == [
+            o.perturbed_text for o in snapshots[1][2]
+        ]
+
+    def test_parallel_retrieval_is_order_stable(self):
+        system = CrypText.from_corpus(CORPUS, train_scorer=False)
+        engine = system.make_batch_engine(num_shards=8)
+        engine.parallel_threshold = 1  # force the worker-pool path
+        queries = WATCHED * 10
+        first = engine.look_up_batch(queries)
+        for _ in range(5):
+            assert engine.look_up_batch(queries) == first

@@ -1,0 +1,138 @@
+"""Golden regression corpus: any normalization behavior drift fails loudly.
+
+``tests/fixtures/golden_corpus.jsonl`` holds input texts and the full
+normalization output (normalized text, per-token corrections with spans and
+categories) produced by the system built from :data:`GOLDEN_BUILD_CORPUS`.
+This test rebuilds the same system and compares field by field, both through
+the sequential path and the batch engine — a change to the tokenizer, the
+Soundex encoding, candidate retrieval, coherency ranking, case restoration,
+the cache, or the batch layer that alters any observable output shows up as
+a precise diff here.
+
+If a behavior change is *intentional*, regenerate the fixture by running
+this file as a script:  ``PYTHONPATH=src python tests/test_golden_regression.py``
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import CrypText
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden_corpus.jsonl"
+
+#: The corpus the golden system is built from.  Changing it invalidates the
+#: fixture (regenerate — see the module docstring).
+GOLDEN_BUILD_CORPUS = [
+    "the dirrty republicans",
+    "thee dirty repubLIEcans",
+    "the dirty republic@@ns",
+    "the democrats support the vaccine mandate",
+    "the demokrats hate the vacc1ne",
+    "the democRATs push their agenda",
+    "thinking about suic1de again tonight",
+    "that movie was about depresxion and recovery",
+    "mus-lim families moved into the neighborhood",
+    "stop the vac-cine mandate now",
+    "the dem0cr@ts and the repubLIEcans argue online",
+    "i ordered from amazon yesterday",
+    "the amaz0n package never arrived",
+]
+
+#: The texts the fixture records expected outputs for.
+GOLDEN_INPUTS = [
+    "the demokrats hate the vacc1ne",
+    "the dem0cr@ts push their agenda",
+    "i ordered from amaz0n yesterday",
+    "the repubLIEcans argue online",
+    "stop the vac-cine mandate now",
+    "thinking about suic1de again",
+    "that movie was about depresxion",
+    "mus-lim families moved in",
+    "the dirrty republic@@ns lie",
+    "nothing perturbed in this sentence",
+    "the democRATs and the republicans",
+    "the DIRTY democrats",
+    "vacc1ne vacc1ne vacc1ne",
+    "amaz0n and demokrats and suic1de",
+    "punctuation only ... !!!",
+]
+
+
+def _result_record(result) -> dict:
+    return {
+        "text": result.original_text,
+        "normalized": result.normalized_text,
+        "num_corrected": result.num_corrected,
+        "corrections": [
+            {
+                "original": c.original,
+                "corrected": c.corrected,
+                "category": c.category.value,
+                "start": c.start,
+                "end": c.end,
+            }
+            for c in result.perturbed_corrections
+        ],
+    }
+
+
+def _load_fixture() -> list[dict]:
+    with FIXTURE_PATH.open(encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+@pytest.fixture(scope="module")
+def golden_system() -> CrypText:
+    return CrypText.from_corpus(GOLDEN_BUILD_CORPUS)
+
+
+@pytest.fixture(scope="module")
+def fixture_records() -> list[dict]:
+    return _load_fixture()
+
+
+def test_fixture_covers_every_golden_input(fixture_records):
+    assert [record["text"] for record in fixture_records] == GOLDEN_INPUTS
+
+
+def test_sequential_normalization_matches_golden(golden_system, fixture_records):
+    for record in fixture_records:
+        result = golden_system.normalize(record["text"])
+        assert _result_record(result) == record, (
+            f"behavior drift on {record['text']!r} — if intentional, regenerate "
+            f"the fixture (see module docstring)"
+        )
+
+
+def test_batch_normalization_matches_golden(golden_system, fixture_records):
+    texts = [record["text"] for record in fixture_records]
+    results = golden_system.normalize_batch(texts)
+    for record, result in zip(fixture_records, results):
+        assert _result_record(result) == record
+
+
+def test_golden_outputs_survive_unrelated_enrichment(fixture_records):
+    """Enriching untouched buckets must not change any golden output."""
+    system = CrypText.from_corpus(GOLDEN_BUILD_CORPUS)
+    for record in fixture_records:
+        system.normalize(record["text"])  # warm caches/memo
+    system.learn_from(["completely fresh unrelated chatter flows here"])
+    for record in fixture_records:
+        assert _result_record(system.normalize(record["text"])) == record
+
+
+def _regenerate() -> None:
+    system = CrypText.from_corpus(GOLDEN_BUILD_CORPUS)
+    with FIXTURE_PATH.open("w", encoding="utf-8") as handle:
+        for text in GOLDEN_INPUTS:
+            record = _result_record(system.normalize(text))
+            handle.write(json.dumps(record, ensure_ascii=False, sort_keys=True) + "\n")
+    print(f"regenerated {FIXTURE_PATH} ({len(GOLDEN_INPUTS)} records)")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual fixture regeneration
+    _regenerate()
