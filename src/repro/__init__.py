@@ -33,6 +33,7 @@ Quickstart::
 from .config import CrypTextConfig, DEFAULT_CONFIG
 from .errors import CrypTextError
 from .core import (
+    CompiledBucket,
     CrypText,
     CustomSoundex,
     DictionaryEntry,
@@ -68,6 +69,7 @@ __all__ = [
     "DEFAULT_CONFIG",
     "CrypTextError",
     "CrypText",
+    "CompiledBucket",
     "CustomSoundex",
     "OriginalSoundex",
     "soundex_key",

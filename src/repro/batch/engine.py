@@ -264,7 +264,9 @@ class BatchEngine:
             # before an enrichment's invalidation must not be re-cached after
             # it (the results are still returned, just not stored).
             epoch = engine.epoch
-            buckets = self._fetch_buckets(wanted)
+            buckets = self._fetch_buckets(
+                wanted, compiled=self.config.compiled_buckets
+            )
             for query in misses:
                 key = sound_keys[query]
                 bucket = buckets.get((level, key), ()) if key is not None else ()
@@ -277,10 +279,12 @@ class BatchEngine:
                 resolved[query] = result
         return [resolved[query] for query in queries]
 
-    def _fetch_buckets(self, wanted: set[tuple[int, str]]):
+    def _fetch_buckets(self, wanted: set[tuple[int, str]], compiled: bool = False):
         if self._shard_pool is not None and len(wanted) >= self.parallel_threshold:
-            return self.index.buckets(wanted, executor=self._shard_pool)
-        return self.index.buckets(wanted)
+            return self.index.buckets(
+                wanted, executor=self._shard_pool, compiled=compiled
+            )
+        return self.index.buckets(wanted, compiled=compiled)
 
     def close(self) -> None:
         """Shut down the shard worker pool (idempotent).

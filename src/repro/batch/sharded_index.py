@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from ..core.dictionary import DictionaryEntry, PerturbationDictionary
+from ..core.matcher import CompiledBucket
 from ..errors import CrypTextError
 
 
@@ -63,13 +64,32 @@ class ShardStats:
 class _Shard:
     """One partition of the phonetic index (buckets + lock + counters)."""
 
-    __slots__ = ("buckets", "lock", "refreshes")
+    __slots__ = ("buckets", "compiled", "compiled_max", "lock", "refreshes")
 
-    def __init__(self) -> None:
+    def __init__(self, compiled_max: int) -> None:
         # (phonetic_level, soundex_key) -> entries in tokens_for_key order
         self.buckets: dict[tuple[int, str], tuple[DictionaryEntry, ...]] = {}
+        # Lazily compiled tries over the same buckets; dropped whenever the
+        # backing bucket is refreshed, so a shard worker serving a batch's
+        # deduped queries reuses one trie until the bucket actually changes.
+        # Capped (tries cost several times their entry tuples) — on a
+        # paper-scale corpus of 400K+ sound keys an unbounded cache would
+        # grow with workload breadth until OOM.
+        self.compiled: dict[tuple[int, str], CompiledBucket] = {}
+        self.compiled_max = compiled_max
         self.lock = threading.RLock()
         self.refreshes = 0
+
+    def compiled_for(self, bucket_key: tuple[int, str]) -> CompiledBucket:
+        """Get-or-compile the bucket's trie (call with :attr:`lock` held)."""
+        compiled = self.compiled.get(bucket_key)
+        if compiled is None:
+            if len(self.compiled) >= self.compiled_max:
+                # Evict the oldest insertion (dict preserves order).
+                self.compiled.pop(next(iter(self.compiled)))
+            compiled = CompiledBucket(self.buckets.get(bucket_key, ()))
+            self.compiled[bucket_key] = compiled
+        return compiled
 
 
 class ShardedPhoneticIndex:
@@ -93,7 +113,8 @@ class ShardedPhoneticIndex:
             raise CrypTextError(f"num_shards must be >= 1, got {num_shards}")
         self.dictionary = dictionary
         self.num_shards = num_shards
-        self._shards = tuple(_Shard() for _ in range(num_shards))
+        compiled_max = max(1, dictionary.config.cache_max_entries // num_shards)
+        self._shards = tuple(_Shard(compiled_max) for _ in range(num_shards))
         self._built_levels: set[int] = set()
         self._build_lock = threading.RLock()
         # Sound keys written to the dictionary but not yet re-pulled into
@@ -126,6 +147,11 @@ class ShardedPhoneticIndex:
                 shard.buckets = {
                     bucket_key: entries
                     for bucket_key, entries in shard.buckets.items()
+                    if bucket_key[0] != level
+                }
+                shard.compiled = {
+                    bucket_key: compiled
+                    for bucket_key, compiled in shard.compiled.items()
                     if bucket_key[0] != level
                 }
         for bucket_key, entries in grouped.items():
@@ -175,6 +201,7 @@ class ShardedPhoneticIndex:
                 )
                 with shard.lock:
                     shard.buckets[(level, key)] = bucket
+                    shard.compiled.pop((level, key), None)
                     shard.refreshes += 1
                 touched.add(shard_id)
         return frozenset(touched)
@@ -189,6 +216,13 @@ class ShardedPhoneticIndex:
         with shard.lock:
             return shard.buckets.get((phonetic_level, soundex_key), ())
 
+    def compiled_bucket(self, soundex_key: str, phonetic_level: int) -> CompiledBucket:
+        """One sound bucket compiled for trie matching (cached per shard)."""
+        self._ensure_level(phonetic_level)
+        shard = self._shards[shard_of(soundex_key, self.num_shards)]
+        with shard.lock:
+            return shard.compiled_for((phonetic_level, soundex_key))
+
     def english_bucket(
         self, soundex_key: str, phonetic_level: int
     ) -> tuple[DictionaryEntry, ...]:
@@ -201,12 +235,17 @@ class ShardedPhoneticIndex:
         self,
         keys: Iterable[tuple[int, str]],
         executor: Executor | None = None,
-    ) -> dict[tuple[int, str], tuple[DictionaryEntry, ...]]:
+        compiled: bool = False,
+    ) -> dict[tuple[int, str], Sequence[DictionaryEntry]]:
         """Resolve many ``(level, key)`` buckets, shard-parallel when possible.
 
         Keys are grouped by owning shard; with an ``executor`` each shard's
         group is resolved as one task on the pool, so a batch fans out across
-        shards instead of probing one flat map token by token.
+        shards instead of probing one flat map token by token.  With
+        ``compiled`` the values are :class:`CompiledBucket` instances (still
+        sequences of the same entries in the same order), so shard workers
+        compile each bucket's trie at most once per generation and every
+        deduped query of the batch matches against it.
         """
         requested = set(keys)
         for level in {level for level, _ in requested}:
@@ -219,9 +258,14 @@ class ShardedPhoneticIndex:
         def resolve(shard_id: int, group: Sequence[tuple[int, str]]):
             shard = self._shards[shard_id]
             with shard.lock:
+                if compiled:
+                    return {
+                        bucket_key: shard.compiled_for(bucket_key)
+                        for bucket_key in group
+                    }
                 return {bucket_key: shard.buckets.get(bucket_key, ()) for bucket_key in group}
 
-        results: dict[tuple[int, str], tuple[DictionaryEntry, ...]] = {}
+        results: dict[tuple[int, str], Sequence[DictionaryEntry]] = {}
         if executor is None or len(by_shard) <= 1:
             for shard_id, group in by_shard.items():
                 results.update(resolve(shard_id, group))

@@ -61,6 +61,12 @@ class CrypTextConfig:
         perturbations (the paper supports both modes).
     cache_enabled / cache_ttl_seconds / cache_max_entries:
         Knobs of the Redis-style query cache.
+    compiled_buckets:
+        Serve Look Up matching from trie-compiled sound buckets
+        (:mod:`repro.core.matcher`) instead of a per-entry bounded
+        Levenshtein scan.  Results are identical either way; disabling
+        falls back to the linear path (debugging / memory-constrained
+        deployments).
     crawler_batch_size:
         Number of posts ingested per crawl round when enriching the
         dictionary from the (simulated) social stream.
@@ -83,6 +89,7 @@ class CrypTextConfig:
     cache_enabled: bool = True
     cache_ttl_seconds: float = 300.0
     cache_max_entries: int = 4096
+    compiled_buckets: bool = True
     crawler_batch_size: int = 200
     normalizer_max_candidates: int = 10
     lm_order: int = 3
@@ -152,6 +159,7 @@ class CrypTextConfig:
             "cache_enabled": self.cache_enabled,
             "cache_ttl_seconds": self.cache_ttl_seconds,
             "cache_max_entries": self.cache_max_entries,
+            "compiled_buckets": self.compiled_buckets,
             "crawler_batch_size": self.crawler_batch_size,
             "normalizer_max_candidates": self.normalizer_max_candidates,
             "lm_order": self.lm_order,
@@ -175,6 +183,7 @@ class CrypTextConfig:
             "cache_enabled",
             "cache_ttl_seconds",
             "cache_max_entries",
+            "compiled_buckets",
             "crawler_batch_size",
             "normalizer_max_candidates",
             "lm_order",

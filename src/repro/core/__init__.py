@@ -15,6 +15,8 @@ describes in §III:
 * :mod:`repro.core.dictionary` — the human-written token database: hash-maps
   ``H_k`` from Soundex encodings to the tokens sharing them;
 * :mod:`repro.core.lookup` — the Look Up function (§III-B);
+* :mod:`repro.core.matcher` — trie-compiled Levenshtein-automaton matching
+  over whole sound buckets (the Look Up hot path);
 * :mod:`repro.core.normalizer` — the Normalization function (§III-C);
 * :mod:`repro.core.perturber` — the Perturbation function (§III-D);
 * :mod:`repro.core.pipeline` — the :class:`~repro.core.pipeline.CrypText`
@@ -33,6 +35,7 @@ from .sms import SMSCheck, SMSResult
 from .categories import PerturbationCategory, categorize_perturbation
 from .dictionary import DictionaryEntry, DictionaryStats, PerturbationDictionary
 from .lookup import LookupEngine, LookupResult, PerturbationMatch
+from .matcher import CompiledBucket
 from .normalizer import Normalizer, NormalizationResult, TokenCorrection
 from .perturber import Perturber, PerturbationOutcome, PerturbedToken
 from .pipeline import CrypText
@@ -53,6 +56,7 @@ __all__ = [
     "DictionaryEntry",
     "DictionaryStats",
     "PerturbationDictionary",
+    "CompiledBucket",
     "LookupEngine",
     "LookupResult",
     "PerturbationMatch",

@@ -31,7 +31,8 @@ from __future__ import annotations
 import threading
 import weakref
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Protocol, Sequence
+from functools import cached_property
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Protocol, Sequence
 
 from ..config import CrypTextConfig, DEFAULT_CONFIG
 from ..errors import DictionaryError
@@ -39,6 +40,9 @@ from ..storage import Collection, DocumentStore
 from ..text.tokenizer import Tokenizer
 from ..text.wordlist import EnglishLexicon, default_lexicon
 from .soundex import CustomSoundex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (matcher imports us)
+    from .matcher import CompiledBucket
 
 #: Name of the document-store collection backing the dictionary.
 TOKEN_COLLECTION = "tokens"
@@ -65,6 +69,17 @@ class DictionaryEntry:
     def key_at(self, phonetic_level: int) -> str | None:
         """The Soundex key of this token at the requested level (or ``None``)."""
         return self.keys.get(f"k{phonetic_level}")
+
+    @cached_property
+    def token_lower(self) -> str:
+        """Lowered raw spelling, computed once per entry.
+
+        The Look Up matching loop compares lowered spellings for every
+        bucket entry on every query; caching here keeps ``str.lower`` out
+        of that loop for entries that are matched repeatedly (the entry
+        objects are shared through the dictionary's bucket caches).
+        """
+        return self.token.lower()
 
 
 @dataclass(frozen=True)
@@ -137,6 +152,13 @@ class PerturbationDictionary:
         # concurrent writers (crawler threads) never lose count increments.
         self._write_lock = threading.RLock()
         self._version = 0
+        # Compiled-bucket cache: (phonetic_level, soundex_key) -> CompiledBucket.
+        # Writers drop exactly the pairs they touched (same scoped-invalidation
+        # discipline as the query cache); stores are version-guarded so a
+        # compile that straddled a write never caches a stale trie.
+        self._compiled: dict[tuple[int, str], "CompiledBucket"] = {}
+        self._compiled_lock = threading.Lock()
+        self._compiled_max_entries = config.cache_max_entries
         # Weakly-held observers (sharded phonetic indexes) notified of every
         # write's touched sound keys, so no write can bypass their sync —
         # regardless of whether the caller went through a batch engine.
@@ -226,6 +248,9 @@ class PerturbationDictionary:
                 collection.update_one({"token": token}, update)
             self._version += 1
         pairs = {(level, keys[f"k{level}"]) for level in self._encoders}
+        with self._compiled_lock:
+            for pair in pairs:
+                self._compiled.pop(pair, None)
         if changed_keys is not None:
             changed_keys.update(pairs)
         for observer in tuple(self._observers):
@@ -312,6 +337,39 @@ class PerturbationDictionary:
             )
         documents = self.collection.find({f"keys.k{level}": key})
         return [self._to_entry(document) for document in documents]
+
+    def compiled_bucket(
+        self, key: str, phonetic_level: int | None = None
+    ) -> "CompiledBucket":
+        """The sound bucket for ``key``, compiled for one-pass matching.
+
+        Compiled buckets are cached per ``(phonetic_level, soundex_key)``
+        and invalidated incrementally: :meth:`add_token` drops exactly the
+        pairs its write touched, so the next Look Up over a changed bucket
+        recompiles from fresh ``tokens_for_key`` output while untouched
+        buckets keep their tries warm.  The store is skipped when any write
+        landed mid-compile (version guard) — the caller still gets a
+        correct bucket, it just isn't cached.
+        """
+        from .matcher import CompiledBucket
+
+        level = self.config.phonetic_level if phonetic_level is None else phonetic_level
+        cache_key = (level, key)
+        with self._compiled_lock:
+            cached = self._compiled.get(cache_key)
+        if cached is not None:
+            return cached
+        version = self._version
+        compiled = CompiledBucket(self.tokens_for_key(key, phonetic_level=level))
+        with self._compiled_lock:
+            if self._version == version:
+                if len(self._compiled) >= self._compiled_max_entries:
+                    # Dumb capacity guard: evict the oldest insertion (dict
+                    # preserves order) rather than growing without bound on
+                    # a 400K-key corpus.
+                    self._compiled.pop(next(iter(self._compiled)))
+                self._compiled[cache_key] = compiled
+        return compiled
 
     def bucket_for_token(
         self, token: str, phonetic_level: int | None = None

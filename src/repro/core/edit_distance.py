@@ -129,30 +129,31 @@ def damerau_levenshtein_distance(first: str, second: str) -> int:
         return len(second)
     if not second:
         return len(first)
-    rows = len(first) + 1
+    # The transposition lookback only ever reaches two rows up, so three
+    # rolling rows replace the full O(n*m) matrix.
     cols = len(second) + 1
-    table = [[0] * cols for _ in range(rows)]
-    for row in range(rows):
-        table[row][0] = row
-    for col in range(cols):
-        table[0][col] = col
-    for row in range(1, rows):
+    two_back: list[int] = []  # populated once row 2 is reached
+    previous = list(range(cols))
+    for row in range(1, len(first) + 1):
+        current = [row] + [0] * len(second)
+        char_first = first[row - 1]
         for col in range(1, cols):
-            cost = first[row - 1] != second[col - 1]
+            cost = char_first != second[col - 1]
             best = min(
-                table[row - 1][col] + 1,
-                table[row][col - 1] + 1,
-                table[row - 1][col - 1] + cost,
+                previous[col] + 1,
+                current[col - 1] + 1,
+                previous[col - 1] + cost,
             )
             if (
                 row > 1
                 and col > 1
-                and first[row - 1] == second[col - 2]
+                and char_first == second[col - 2]
                 and first[row - 2] == second[col - 1]
             ):
-                best = min(best, table[row - 2][col - 2] + 1)
-            table[row][col] = best
-    return table[rows - 1][cols - 1]
+                best = min(best, two_back[col - 2] + 1)
+            current[col] = best
+        two_back, previous = previous, current
+    return previous[cols - 1]
 
 
 def similarity_ratio(first: str, second: str) -> float:
@@ -167,7 +168,12 @@ def similarity_ratio(first: str, second: str) -> float:
     0.857
     """
     _validate(first, second)
-    longest = max(len(first), len(second))
-    if longest == 0:
+    if first == second:
+        # Covers the two-empty-strings case (defined as 1.0) without a DP.
         return 1.0
+    longest = max(len(first), len(second))
+    if not first or not second:
+        # The distance to an empty string is the other string's length, so
+        # the ratio collapses to 0.0 without running the DP.
+        return 0.0
     return 1.0 - levenshtein_distance(first, second) / longest

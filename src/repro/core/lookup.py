@@ -23,6 +23,7 @@ from ..storage import TTLCache, make_key
 from .categories import PerturbationCategory, categorize_perturbation
 from .dictionary import DictionaryEntry, PerturbationDictionary
 from .edit_distance import bounded_levenshtein
+from .matcher import CompiledBucket
 from .sms import SMSCheck
 
 
@@ -155,28 +156,11 @@ class LookupEngine:
         return self._epoch
 
     # ------------------------------------------------------------------ #
-    def _match_from_entry(
-        self,
-        query: str,
-        query_canonical: str,
-        entry: DictionaryEntry,
-        max_edit_distance: int,
-        canonical_distance: bool,
-    ) -> PerturbationMatch | None:
-        # The paper's d bounds the Levenshtein distance between the raw
-        # spellings (its worked example counts "republic@@ns" as two edits
-        # from "republicans"); canonical-distance mode is offered for callers
-        # that want visual folds to count as zero-cost.
-        if canonical_distance:
-            distance = bounded_levenshtein(
-                query_canonical, entry.canonical, max_edit_distance
-            )
-        else:
-            distance = bounded_levenshtein(
-                query.lower(), entry.token.lower(), max_edit_distance
-            )
-        if distance is None:
-            return None
+    @staticmethod
+    def _finish_match(
+        query: str, entry: DictionaryEntry, distance: int
+    ) -> PerturbationMatch:
+        """Build the match record once the edit distance is known."""
         is_original = entry.token == query
         category = (
             PerturbationCategory.IDENTICAL
@@ -210,6 +194,11 @@ class LookupEngine:
         dictionary) and the batch engine (which fetches buckets shard-parallel
         from its sharded index) — guaranteeing batch results are identical to
         sequential ones.
+
+        When ``bucket`` is a :class:`~repro.core.matcher.CompiledBucket` the
+        edit distances come from one trie traversal instead of a per-entry
+        scan; merge/rank semantics are unchanged because matches are still
+        folded in bucket order with the exact distances the scan produces.
         """
         if soundex_key is None:
             return LookupResult(
@@ -221,13 +210,40 @@ class LookupEngine:
             )
         encoder = self.dictionary.encoder(phonetic_level)
         query_canonical = encoder.canonicalize(query)
-        matches: dict[str, PerturbationMatch] = {}
-        for entry in bucket:
-            match = self._match_from_entry(
-                query, query_canonical, entry, max_edit_distance, canonical_distance
+        query_lower = query.lower()
+        if isinstance(bucket, CompiledBucket):
+            distances = bucket.match(
+                query_canonical if canonical_distance else query_lower,
+                max_edit_distance,
+                canonical=canonical_distance,
             )
-            if match is None:
+            # Visit only the matched entries, in ascending index = bucket
+            # order (the merge below is order-sensitive when counts tie).
+            entries = bucket.entries
+            scored = (
+                (entries[index], distances[index]) for index in sorted(distances)
+            )
+        else:
+            # The paper's d bounds the Levenshtein distance between the raw
+            # spellings (its worked example counts "republic@@ns" as two
+            # edits from "republicans"); canonical-distance mode is offered
+            # for callers that want visual folds to count as zero-cost.
+            scored = (
+                (
+                    entry,
+                    bounded_levenshtein(
+                        query_canonical if canonical_distance else query_lower,
+                        entry.canonical if canonical_distance else entry.token_lower,
+                        max_edit_distance,
+                    ),
+                )
+                for entry in bucket
+            )
+        matches: dict[str, PerturbationMatch] = {}
+        for entry, distance in scored:
+            if distance is None:
                 continue
+            match = self._finish_match(query, entry, distance)
             key = match.token if case_sensitive else match.token.lower()
             existing = matches.get(key)
             if existing is None:
@@ -272,9 +288,14 @@ class LookupEngine:
         soundex_key = self.dictionary.encoder(phonetic_level).encode_or_none(query)
         bucket: Sequence[DictionaryEntry] = ()
         if soundex_key is not None:
-            bucket = self.dictionary.tokens_for_key(
-                soundex_key, phonetic_level=phonetic_level
-            )
+            if self.config.compiled_buckets:
+                bucket = self.dictionary.compiled_bucket(
+                    soundex_key, phonetic_level=phonetic_level
+                )
+            else:
+                bucket = self.dictionary.tokens_for_key(
+                    soundex_key, phonetic_level=phonetic_level
+                )
         return self.build_result(
             query,
             phonetic_level,

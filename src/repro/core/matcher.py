@@ -1,0 +1,234 @@
+"""Trie-compiled Levenshtein-automaton matcher for the Look Up hot path.
+
+The Look Up function (paper §III-B) answers "which tokens share the query's
+Soundex key and lie within edit distance ``d``".  The straightforward
+implementation runs one banded Wagner-Fischer dynamic program per bucket
+entry (:func:`~repro.core.edit_distance.bounded_levenshtein`), which makes
+large sound buckets — the paper reports 400K+ keys over 2M tokens, with
+heavy skew — dominate query latency.
+
+:class:`CompiledBucket` compiles a bucket's tokens into a character trie
+(entries attached at terminal nodes) and matches a query against *all*
+entries in one traversal:
+
+* the banded DP row for a trie node is computed once and **shared by every
+  entry under that prefix** — "vaccine", "vacc1ne" and "vaccinne" pay for
+  their common ``vacc`` prefix a single time;
+* a subtree is **pruned** as soon as its row's in-band minimum exceeds
+  ``d`` (the Levenshtein-automaton dead-state condition) — one bad leading
+  character eliminates every entry spelled that way;
+* each subtree records the **shortest and longest terminal below it**, so
+  branches whose every entry violates ``|len(query) - len(token)| > d``
+  are skipped before any DP work (the length pre-partition).
+
+Cell values are clipped to ``d + 1`` exactly like ``bounded_levenshtein``,
+so the distance reported for each entry is *identical* to the per-entry
+scan — the property tests in ``tests/test_matcher.py`` assert equality over
+random token sets, and the golden-corpus CI guard asserts it end to end.
+
+A compiled bucket is immutable once built; writers invalidate by dropping
+the cached instance (see :meth:`PerturbationDictionary.compiled_bucket` and
+the per-shard caches in :mod:`repro.batch.sharded_index`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, Sequence, Tuple
+
+from .dictionary import DictionaryEntry
+
+__all__ = ["CompiledBucket"]
+
+
+class _TrieNode:
+    """One character of the compiled trie (build-time representation)."""
+
+    __slots__ = ("children", "items", "terminals", "min_depth", "max_depth")
+
+    def __init__(self) -> None:
+        self.children: dict[str, "_TrieNode"] = {}
+        # Frozen (char, child) pairs iterated on the match hot path; the
+        # children dict is dropped after the freeze.
+        self.items: tuple[tuple[str, "_TrieNode"], ...] = ()
+        self.terminals: tuple[int, ...] = ()
+        self.min_depth = 0
+        self.max_depth = 0
+
+
+def _build_trie(strings: Sequence[str]) -> _TrieNode:
+    """Compile ``strings`` into a trie whose terminals carry entry indexes."""
+    root = _TrieNode()
+    for index, text in enumerate(strings):
+        node = root
+        for char in text:
+            child = node.children.get(char)
+            if child is None:
+                child = _TrieNode()
+                node.children[char] = child
+            node = child
+        node.terminals += (index,)
+    _freeze(root)
+    return root
+
+
+def _freeze(root: _TrieNode) -> None:
+    """Compute per-subtree terminal depth bounds and freeze child lists.
+
+    Iterative post-order so pathological one-character-per-node chains
+    (very long tokens) cannot hit the recursion limit.
+    """
+    order: list[tuple[_TrieNode, int]] = []
+    stack: list[tuple[_TrieNode, int]] = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        order.append((node, depth))
+        for child in node.children.values():
+            stack.append((child, depth + 1))
+    for node, depth in reversed(order):
+        minimum = depth if node.terminals else None
+        maximum = depth if node.terminals else None
+        for child in node.children.values():
+            minimum = child.min_depth if minimum is None else min(minimum, child.min_depth)
+            maximum = child.max_depth if maximum is None else max(maximum, child.max_depth)
+        # Every node has a terminal somewhere below it by construction.
+        node.min_depth = depth if minimum is None else minimum
+        node.max_depth = depth if maximum is None else maximum
+        node.items = tuple(node.children.items())
+        node.children = {}
+
+
+class CompiledBucket(Sequence[DictionaryEntry]):
+    """A sound bucket compiled for one-pass edit-distance matching.
+
+    Behaves as an immutable sequence of its :class:`DictionaryEntry` objects
+    (in ``tokens_for_key`` order), so every consumer of a plain bucket —
+    including the linear fallback path of
+    :meth:`~repro.core.lookup.LookupEngine.build_result` — accepts a
+    compiled one unchanged.  The raw-spelling and canonical-form tries are
+    built lazily on first use (canonical-distance queries are rare) and the
+    lowered token spellings are computed once at compile time, never per
+    query.
+    """
+
+    __slots__ = ("entries", "tokens_lower", "_tries", "_trie_lock")
+
+    def __init__(self, entries: Sequence[DictionaryEntry]) -> None:
+        self.entries: tuple[DictionaryEntry, ...] = tuple(entries)
+        self.tokens_lower: tuple[str, ...] = tuple(
+            entry.token_lower for entry in self.entries
+        )
+        self._tries: Dict[bool, _TrieNode] = {}
+        self._trie_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # sequence protocol (drop-in for a plain entry tuple)
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return self.entries[index]
+
+    def __iter__(self) -> Iterator[DictionaryEntry]:
+        return iter(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledBucket({len(self.entries)} entries)"
+
+    # ------------------------------------------------------------------ #
+    # compilation
+    # ------------------------------------------------------------------ #
+    def _trie(self, canonical: bool) -> _TrieNode:
+        trie = self._tries.get(canonical)
+        if trie is None:
+            with self._trie_lock:
+                trie = self._tries.get(canonical)
+                if trie is None:
+                    strings = (
+                        tuple(entry.canonical for entry in self.entries)
+                        if canonical
+                        else self.tokens_lower
+                    )
+                    trie = _build_trie(strings)
+                    self._tries[canonical] = trie
+        return trie
+
+    # ------------------------------------------------------------------ #
+    # matching
+    # ------------------------------------------------------------------ #
+    def match(
+        self, query: str, max_distance: int, canonical: bool = False
+    ) -> Dict[int, int]:
+        """Distances of every entry within ``max_distance`` of ``query``.
+
+        ``query`` must already be in the compared representation — the
+        *lowered* raw spelling for the default mode, the *canonical* folded
+        form when ``canonical`` is true (mirroring what
+        ``LookupEngine.build_result`` compares).  Returns a mapping
+        from entry index (position in :attr:`entries`) to its exact
+        Levenshtein distance; entries beyond the bound are absent, exactly
+        as ``bounded_levenshtein`` returns ``None`` for them.
+        """
+        if max_distance < 0 or not self.entries:
+            return {}
+        n = len(query)
+        limit = max_distance + 1
+        results: Dict[int, int] = {}
+        root = self._trie(canonical)
+        first_row = [col if col <= max_distance else limit for col in range(n + 1)]
+        # Frames carry (node, its DP row, its depth); DFS order is
+        # irrelevant to the result set (each terminal's distance depends
+        # only on its own root-to-terminal path).
+        stack: list[tuple[_TrieNode, list[int], int]] = [(root, first_row, 0)]
+        while stack:
+            node, row, depth = stack.pop()
+            if node.terminals:
+                distance = row[n]
+                if distance <= max_distance:
+                    for index in node.terminals:
+                        results[index] = distance
+            child_depth = depth + 1
+            band_low = child_depth - max_distance
+            window_start = 1 if band_low < 1 else band_low
+            window_end = child_depth + max_distance
+            if window_end > n:
+                window_end = n
+            for char, child in node.items:
+                # Length pre-partition: every terminal below `child` is
+                # shorter than len(query) - d or longer than len(query) + d,
+                # so no descendant can report a distance — skip the DP.
+                if child.min_depth > n + max_distance or child.max_depth < n - max_distance:
+                    continue
+                new_row = [limit] * (n + 1)
+                if band_low <= 0:
+                    new_row[0] = child_depth if child_depth <= max_distance else limit
+                row_minimum = new_row[0]
+                for col in range(window_start, window_end + 1):
+                    value = row[col - 1] + (query[col - 1] != char)
+                    insertion = new_row[col - 1] + 1
+                    if insertion < value:
+                        value = insertion
+                    deletion = row[col] + 1
+                    if deletion < value:
+                        value = deletion
+                    if value < limit:
+                        new_row[col] = value
+                        if value < row_minimum:
+                            row_minimum = value
+                # Automaton dead state: no cell of this row is within the
+                # bound, so no extension of this prefix ever will be.
+                if row_minimum <= max_distance:
+                    stack.append((child, new_row, child_depth))
+        return results
+
+    def match_tokens(
+        self, query: str, max_distance: int, canonical: bool = False
+    ) -> Tuple[Tuple[str, int], ...]:
+        """``(raw token, distance)`` pairs in bucket order (test/debug view)."""
+        distances = self.match(query, max_distance, canonical=canonical)
+        return tuple(
+            (entry.token, distances[index])
+            for index, entry in enumerate(self.entries)
+            if index in distances
+        )

@@ -20,7 +20,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import CrypText
+from repro import CrypText, CrypTextConfig
 
 FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden_corpus.jsonl"
 
@@ -113,6 +113,46 @@ def test_batch_normalization_matches_golden(golden_system, fixture_records):
     results = golden_system.normalize_batch(texts)
     for record, result in zip(fixture_records, results):
         assert _result_record(result) == record
+
+
+def compare_compiled_and_linear_lookups(distances=(1, 3)) -> int:
+    """Look Up every golden-input token through both matching paths.
+
+    Builds the golden system twice (``compiled_buckets`` on and off) and
+    asserts field-identical :class:`LookupResult`s for every token, edit
+    bound, and case mode; returns the number of comparisons made.  Shared
+    by the tier-1 test below and the CI smoke guard in
+    ``benchmarks/bench_lookup_hotpath.py`` so the two checks cannot drift
+    apart.
+    """
+    compiled = CrypText.from_corpus(
+        GOLDEN_BUILD_CORPUS, config=CrypTextConfig(compiled_buckets=True)
+    )
+    linear = CrypText.from_corpus(
+        GOLDEN_BUILD_CORPUS, config=CrypTextConfig(compiled_buckets=False)
+    )
+    queries = sorted({token for text in GOLDEN_INPUTS for token in text.split()})
+    compared = 0
+    for query in queries:
+        for distance in distances:
+            for case_sensitive in (True, False):
+                fast = compiled.look_up(
+                    query, max_edit_distance=distance, case_sensitive=case_sensitive
+                )
+                slow = linear.look_up(
+                    query, max_edit_distance=distance, case_sensitive=case_sensitive
+                )
+                assert fast == slow, (
+                    f"compiled Look Up diverged from linear on golden corpus: "
+                    f"{query!r} (d={distance}, case_sensitive={case_sensitive})"
+                )
+                compared += 1
+    return compared
+
+
+def test_compiled_lookup_matches_linear_on_golden_corpus():
+    """The trie-compiled matcher must be invisible on the golden corpus."""
+    assert compare_compiled_and_linear_lookups() > 0
 
 
 def test_golden_outputs_survive_unrelated_enrichment(fixture_records):
