@@ -36,6 +36,7 @@ from .core import (
     CompiledBucket,
     CrypText,
     CustomSoundex,
+    AddOutcome,
     DictionaryEntry,
     DictionaryStats,
     LookupEngine,
@@ -73,6 +74,7 @@ __all__ = [
     "CustomSoundex",
     "OriginalSoundex",
     "soundex_key",
+    "AddOutcome",
     "DictionaryEntry",
     "DictionaryStats",
     "PerturbationDictionary",

@@ -31,8 +31,8 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 from ..config import CrypTextConfig
 from ..core.dictionary import PerturbationDictionary
-from ..core.edit_distance import bounded_levenshtein
 from ..core.lookup import LookupEngine, LookupResult, sound_tag
+from ..core.matcher import CompiledBucket
 from ..core.normalizer import NormalizationResult, Normalizer
 from ..core.perturber import PerturbationOutcome, Perturber
 from ..errors import CrypTextError
@@ -65,14 +65,15 @@ class EnrichmentReport:
 class _MemoizedNormalizer(Normalizer):
     """A :class:`Normalizer` whose candidate retrieval is memoized and sharded.
 
-    Candidate retrieval — bucket probe plus bounded-Levenshtein filtering —
-    is context-free (only the coherency *ranking* looks at neighbors), so a
+    Candidate retrieval — bucket match plus distance filtering — is
+    context-free (only the coherency *ranking* looks at neighbors), so a
     token seen a thousand times across a batch pays the retrieval cost once.
-    Entries come from the sharded index and are ranked by the base class's
-    shared logic (identical results to the sequential path by construction);
-    memo entries are tagged with their sound key so enrichment invalidates
-    exactly the tokens whose buckets changed, and stores are skipped when an
-    enrichment ran mid-retrieval (epoch guard).
+    Buckets come from the sharded index — compiled per shard, so every
+    deduped token of a batch matches against one warm trie — and are ranked
+    by the base class's shared logic (identical results to the sequential
+    path by construction); memo entries are tagged with their sound key so
+    enrichment invalidates exactly the tokens whose buckets changed, and
+    stores are skipped when an enrichment ran mid-retrieval (epoch guard).
     """
 
     def __init__(
@@ -92,10 +93,17 @@ class _MemoizedNormalizer(Normalizer):
     def _candidate_entries(self, soundex_key: str):
         return self._index.english_bucket(soundex_key, self.config.phonetic_level)
 
+    def _compiled_candidate_bucket(self, soundex_key: str) -> CompiledBucket:
+        return self._index.compiled_bucket(soundex_key, self.config.phonetic_level)
+
     def _retrieve_candidates(self, token_text: str) -> list[tuple[str, int, int]]:
         level = self.config.phonetic_level
         memo_key = make_key(
-            "normalize.candidates", token_text, level, self.config.edit_distance
+            "normalize.candidates",
+            token_text,
+            level,
+            self.config.edit_distance,
+            self.config.use_transpositions,
         )
         cached = self._memo.get(memo_key, _MISSING)
         if cached is not _MISSING:
@@ -373,7 +381,9 @@ class BatchEngine:
             if key is not None:
                 wanted.add((level, key))
         if wanted:
-            self._fetch_buckets(wanted)
+            # Compile while prefetching when the compiled path is on, so the
+            # normalizer's per-token retrievals hit warm per-shard tries.
+            self._fetch_buckets(wanted, compiled=self.config.compiled_buckets)
 
     def stream_normalize(
         self,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 import zlib
+from collections import OrderedDict
 from concurrent.futures import Executor
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
@@ -69,26 +70,31 @@ class _Shard:
     def __init__(self, compiled_max: int) -> None:
         # (phonetic_level, soundex_key) -> entries in tokens_for_key order
         self.buckets: dict[tuple[int, str], tuple[DictionaryEntry, ...]] = {}
-        # Lazily compiled tries over the same buckets; dropped whenever the
-        # backing bucket is refreshed, so a shard worker serving a batch's
-        # deduped queries reuses one trie until the bucket actually changes.
-        # Capped (tries cost several times their entry tuples) — on a
-        # paper-scale corpus of 400K+ sound keys an unbounded cache would
+        # Lazily compiled tries over the same buckets, LRU-ordered; dropped
+        # whenever the backing bucket is refreshed, so a shard worker serving
+        # a batch's deduped queries reuses one trie until the bucket actually
+        # changes.  Capped (tries cost several times their entry tuples) — on
+        # a paper-scale corpus of 400K+ sound keys an unbounded cache would
         # grow with workload breadth until OOM.
-        self.compiled: dict[tuple[int, str], CompiledBucket] = {}
+        self.compiled: "OrderedDict[tuple[int, str], CompiledBucket]" = OrderedDict()
         self.compiled_max = compiled_max
         self.lock = threading.RLock()
         self.refreshes = 0
 
     def compiled_for(self, bucket_key: tuple[int, str]) -> CompiledBucket:
-        """Get-or-compile the bucket's trie (call with :attr:`lock` held)."""
+        """Get-or-compile the bucket's trie (call with :attr:`lock` held).
+
+        Least-recently-used eviction: a hit refreshes the key's recency, so
+        the hot buckets of a skewed batch survive a sweep of cold keys.
+        """
         compiled = self.compiled.get(bucket_key)
         if compiled is None:
-            if len(self.compiled) >= self.compiled_max:
-                # Evict the oldest insertion (dict preserves order).
-                self.compiled.pop(next(iter(self.compiled)))
+            while len(self.compiled) >= self.compiled_max:
+                self.compiled.popitem(last=False)
             compiled = CompiledBucket(self.buckets.get(bucket_key, ()))
             self.compiled[bucket_key] = compiled
+        else:
+            self.compiled.move_to_end(bucket_key)
         return compiled
 
 
@@ -149,11 +155,11 @@ class ShardedPhoneticIndex:
                     for bucket_key, entries in shard.buckets.items()
                     if bucket_key[0] != level
                 }
-                shard.compiled = {
-                    bucket_key: compiled
+                shard.compiled = OrderedDict(
+                    (bucket_key, compiled)
                     for bucket_key, compiled in shard.compiled.items()
                     if bucket_key[0] != level
-                }
+                )
         for bucket_key, entries in grouped.items():
             shard = self._shards[shard_of(bucket_key[1], self.num_shards)]
             with shard.lock:

@@ -51,6 +51,13 @@ class CrypTextConfig:
     edit_distance:
         The ``d`` parameter bounding the Levenshtein distance of the SMS
         property.  Must be a non-negative integer.
+    use_transpositions:
+        Count an adjacent transposition ("teh" for "the") as a single edit
+        (optimal-string-alignment / Damerau distance) instead of two.  This
+        is the one distance-policy switch consumed identically by Look Up,
+        the SMS check, and Normalization candidate retrieval — with it off a
+        ``d = 1`` Normalization would silently drop exactly the swap
+        perturbations an ``SMSCheck(use_transpositions=True)`` certifies.
     max_phonetic_level:
         The largest ``k`` for which the dictionary materializes a hash-map
         ``H_k`` (the paper stores all ``k <= 2``).
@@ -83,6 +90,7 @@ class CrypTextConfig:
 
     phonetic_level: int = DEFAULT_PHONETIC_LEVEL
     edit_distance: int = DEFAULT_EDIT_DISTANCE
+    use_transpositions: bool = False
     max_phonetic_level: int = 2
     perturbation_ratio: float = 0.25
     case_sensitive: bool = True
@@ -153,6 +161,7 @@ class CrypTextConfig:
         return {
             "phonetic_level": self.phonetic_level,
             "edit_distance": self.edit_distance,
+            "use_transpositions": self.use_transpositions,
             "max_phonetic_level": self.max_phonetic_level,
             "perturbation_ratio": self.perturbation_ratio,
             "case_sensitive": self.case_sensitive,
@@ -177,6 +186,7 @@ class CrypTextConfig:
         known = {
             "phonetic_level",
             "edit_distance",
+            "use_transpositions",
             "max_phonetic_level",
             "perturbation_ratio",
             "case_sensitive",

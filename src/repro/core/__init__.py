@@ -33,7 +33,7 @@ from .edit_distance import (
 )
 from .sms import SMSCheck, SMSResult
 from .categories import PerturbationCategory, categorize_perturbation
-from .dictionary import DictionaryEntry, DictionaryStats, PerturbationDictionary
+from .dictionary import AddOutcome, DictionaryEntry, DictionaryStats, PerturbationDictionary
 from .lookup import LookupEngine, LookupResult, PerturbationMatch
 from .matcher import CompiledBucket
 from .normalizer import Normalizer, NormalizationResult, TokenCorrection
@@ -53,6 +53,7 @@ __all__ = [
     "SMSResult",
     "PerturbationCategory",
     "categorize_perturbation",
+    "AddOutcome",
     "DictionaryEntry",
     "DictionaryStats",
     "PerturbationDictionary",

@@ -28,8 +28,10 @@ MongoDB indexes of the original system.
 
 from __future__ import annotations
 
+import enum
 import threading
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Protocol, Sequence
@@ -46,6 +48,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (matcher imports us)
 
 #: Name of the document-store collection backing the dictionary.
 TOKEN_COLLECTION = "tokens"
+
+
+class AddOutcome(enum.Enum):
+    """What one :meth:`PerturbationDictionary.add_token` call did.
+
+    Truthy when the token was recorded at all, so existing
+    ``if add_token(...)`` call sites keep working; callers that care whether
+    the write created a new entry or incremented an existing one (e.g.
+    :meth:`~PerturbationDictionary.seed_lexicon`, which reports "words
+    added") compare against the members.
+    """
+
+    SKIPPED = "skipped"  # no phonetic content — nothing recorded
+    INSERTED = "inserted"  # first observation of this raw spelling
+    UPDATED = "updated"  # count incremented on an existing entry
+
+    def __bool__(self) -> bool:
+        return self is not AddOutcome.SKIPPED
 
 
 class ChangeObserver(Protocol):
@@ -152,11 +172,12 @@ class PerturbationDictionary:
         # concurrent writers (crawler threads) never lose count increments.
         self._write_lock = threading.RLock()
         self._version = 0
-        # Compiled-bucket cache: (phonetic_level, soundex_key) -> CompiledBucket.
+        # Compiled-bucket cache: (phonetic_level, soundex_key) -> CompiledBucket,
+        # LRU-ordered (hits refresh recency, capacity evicts the coldest key).
         # Writers drop exactly the pairs they touched (same scoped-invalidation
         # discipline as the query cache); stores are version-guarded so a
         # compile that straddled a write never caches a stale trie.
-        self._compiled: dict[tuple[int, str], "CompiledBucket"] = {}
+        self._compiled: "OrderedDict[tuple[int, str], CompiledBucket]" = OrderedDict()
         self._compiled_lock = threading.Lock()
         self._compiled_max_entries = config.cache_max_entries
         # Weakly-held observers (sharded phonetic indexes) notified of every
@@ -211,12 +232,16 @@ class PerturbationDictionary:
         source: str | None = None,
         count: int = 1,
         changed_keys: set[tuple[int, str]] | None = None,
-    ) -> bool:
+    ) -> AddOutcome:
         """Record ``count`` occurrences of the raw token ``token``.
 
-        Returns ``True`` if the token was encodable and recorded, ``False``
-        if it had no phonetic content (pure punctuation/emoji tokens are
-        silently skipped — they cannot participate in phonetic lookup).
+        Returns an :class:`AddOutcome`: :attr:`~AddOutcome.INSERTED` for a
+        first observation, :attr:`~AddOutcome.UPDATED` when an existing
+        entry's count was incremented, and the falsy
+        :attr:`~AddOutcome.SKIPPED` when the token had no phonetic content
+        (pure punctuation/emoji tokens cannot participate in phonetic
+        lookup).  Boolean call sites keep their meaning — the outcome is
+        truthy exactly when something was recorded.
 
         When ``changed_keys`` is given, the ``(phonetic_level, soundex_key)``
         pairs whose buckets this write touched are added to it — the hook the
@@ -226,7 +251,7 @@ class PerturbationDictionary:
             raise DictionaryError(f"count must be >= 1, got {count}")
         keys = self._keys_for(token)
         if keys is None:
-            return False
+            return AddOutcome.SKIPPED
         collection = self.collection
         with self._write_lock:
             existing = collection.find_one({"token": token})
@@ -241,11 +266,13 @@ class PerturbationDictionary:
                     "sources": [source] if source else [],
                 }
                 collection.insert_one(document)
+                outcome = AddOutcome.INSERTED
             else:
                 update: dict[str, dict[str, object]] = {"$inc": {"count": count}}
                 if source:
                     update["$addToSet"] = {"sources": source}
                 collection.update_one({"token": token}, update)
+                outcome = AddOutcome.UPDATED
             self._version += 1
         pairs = {(level, keys[f"k{level}"]) for level in self._encoders}
         with self._compiled_lock:
@@ -255,7 +282,7 @@ class PerturbationDictionary:
             changed_keys.update(pairs)
         for observer in tuple(self._observers):
             observer.note_changes(pairs)
-        return True
+        return outcome
 
     def add_text(
         self,
@@ -288,12 +315,14 @@ class PerturbationDictionary:
         The Look Up function maps a query word to its Soundex bucket; if the
         canonical spelling itself was never observed in a corpus it must
         still exist in the bucket so Normalization has correction targets.
-        Returns the number of words added.
+        Returns the number of words actually *added* — re-seeding over a
+        dictionary that already contains a word only bumps its count
+        (:attr:`AddOutcome.UPDATED`) and is not counted.
         """
         vocabulary = tuple(words) if words is not None else tuple(self.lexicon)
         added = 0
         for word in vocabulary:
-            if self.add_token(word, source="lexicon"):
+            if self.add_token(word, source="lexicon") is AddOutcome.INSERTED:
                 added += 1
         return added
 
@@ -347,7 +376,9 @@ class PerturbationDictionary:
         and invalidated incrementally: :meth:`add_token` drops exactly the
         pairs its write touched, so the next Look Up over a changed bucket
         recompiles from fresh ``tokens_for_key`` output while untouched
-        buckets keep their tries warm.  The store is skipped when any write
+        buckets keep their tries warm.  The cache evicts least-recently-used
+        — hits refresh recency, so the hot buckets of a skewed workload
+        survive a sweep of cold keys.  The store is skipped when any write
         landed mid-compile (version guard) — the caller still gets a
         correct bucket, it just isn't cached.
         """
@@ -357,17 +388,16 @@ class PerturbationDictionary:
         cache_key = (level, key)
         with self._compiled_lock:
             cached = self._compiled.get(cache_key)
+            if cached is not None:
+                self._compiled.move_to_end(cache_key)
         if cached is not None:
             return cached
         version = self._version
         compiled = CompiledBucket(self.tokens_for_key(key, phonetic_level=level))
         with self._compiled_lock:
             if self._version == version:
-                if len(self._compiled) >= self._compiled_max_entries:
-                    # Dumb capacity guard: evict the oldest insertion (dict
-                    # preserves order) rather than growing without bound on
-                    # a 400K-key corpus.
-                    self._compiled.pop(next(iter(self._compiled)))
+                while len(self._compiled) >= self._compiled_max_entries:
+                    self._compiled.popitem(last=False)
                 self._compiled[cache_key] = compiled
         return compiled
 

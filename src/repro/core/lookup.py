@@ -22,7 +22,7 @@ from ..config import CrypTextConfig, DEFAULT_CONFIG
 from ..storage import TTLCache, make_key
 from .categories import PerturbationCategory, categorize_perturbation
 from .dictionary import DictionaryEntry, PerturbationDictionary
-from .edit_distance import bounded_levenshtein
+from .edit_distance import bounded_levenshtein, bounded_osa
 from .matcher import CompiledBucket
 from .sms import SMSCheck
 
@@ -211,11 +211,16 @@ class LookupEngine:
         encoder = self.dictionary.encoder(phonetic_level)
         query_canonical = encoder.canonicalize(query)
         query_lower = query.lower()
+        # One config-driven distance policy, shared with SMSCheck and the
+        # normalizer: with use_transpositions an adjacent swap costs one
+        # edit on the compiled and the linear path alike.
+        transpositions = self.config.use_transpositions
         if isinstance(bucket, CompiledBucket):
             distances = bucket.match(
                 query_canonical if canonical_distance else query_lower,
                 max_edit_distance,
                 canonical=canonical_distance,
+                transpositions=transpositions,
             )
             # Visit only the matched entries, in ascending index = bucket
             # order (the merge below is order-sensitive when counts tie).
@@ -228,10 +233,11 @@ class LookupEngine:
             # spellings (its worked example counts "republic@@ns" as two
             # edits from "republicans"); canonical-distance mode is offered
             # for callers that want visual folds to count as zero-cost.
+            bounded_distance = bounded_osa if transpositions else bounded_levenshtein
             scored = (
                 (
                     entry,
-                    bounded_levenshtein(
+                    bounded_distance(
                         query_canonical if canonical_distance else query_lower,
                         entry.canonical if canonical_distance else entry.token_lower,
                         max_edit_distance,
@@ -317,11 +323,15 @@ class LookupEngine:
         """The cache key a Look Up with these parameters is stored under.
 
         Exposed so the batch engine populates the same cache entries the
-        per-query route consults (one cache, two access paths).
+        per-query route consults (one cache, two access paths).  The distance
+        policy is part of the key: engines sharing one cache object with
+        different ``use_transpositions`` settings must never serve each
+        other's results (the same pair can be in-bound under OSA and
+        out-of-bound under plain Levenshtein).
         """
         return make_key(
             "lookup", query, phonetic_level, max_edit_distance, case_sensitive,
-            canonical_distance,
+            canonical_distance, self.config.use_transpositions,
         )
 
     def cache_result(self, result: LookupResult, case_sensitive: bool,

@@ -56,10 +56,15 @@ class _TrieNode:
         self.max_depth = 0
 
 
-def _build_trie(strings: Sequence[str]) -> _TrieNode:
-    """Compile ``strings`` into a trie whose terminals carry entry indexes."""
+def _build_trie(items: Sequence[tuple[int, str]]) -> _TrieNode:
+    """Compile ``(entry index, text)`` pairs into a terminal-indexed trie.
+
+    Indexes are carried explicitly (rather than by enumeration) so filtered
+    views — the English-only trie below — keep reporting positions in the
+    full entry sequence.
+    """
     root = _TrieNode()
-    for index, text in enumerate(strings):
+    for index, text in items:
         node = root
         for char in text:
             child = node.children.get(char)
@@ -118,7 +123,8 @@ class CompiledBucket(Sequence[DictionaryEntry]):
         self.tokens_lower: tuple[str, ...] = tuple(
             entry.token_lower for entry in self.entries
         )
-        self._tries: Dict[bool, _TrieNode] = {}
+        # Tries keyed by (canonical representation?, English entries only?).
+        self._tries: Dict[tuple[bool, bool], _TrieNode] = {}
         self._trie_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -139,26 +145,38 @@ class CompiledBucket(Sequence[DictionaryEntry]):
     # ------------------------------------------------------------------ #
     # compilation
     # ------------------------------------------------------------------ #
-    def _trie(self, canonical: bool) -> _TrieNode:
-        trie = self._tries.get(canonical)
+    def _trie(self, canonical: bool, english_only: bool = False) -> _TrieNode:
+        key = (canonical, english_only)
+        trie = self._tries.get(key)
         if trie is None:
             with self._trie_lock:
-                trie = self._tries.get(canonical)
+                trie = self._tries.get(key)
                 if trie is None:
                     strings = (
                         tuple(entry.canonical for entry in self.entries)
                         if canonical
                         else self.tokens_lower
                     )
-                    trie = _build_trie(strings)
-                    self._tries[canonical] = trie
+                    trie = _build_trie(
+                        [
+                            (index, strings[index])
+                            for index, entry in enumerate(self.entries)
+                            if not english_only or entry.is_word
+                        ]
+                    )
+                    self._tries[key] = trie
         return trie
 
     # ------------------------------------------------------------------ #
     # matching
     # ------------------------------------------------------------------ #
     def match(
-        self, query: str, max_distance: int, canonical: bool = False
+        self,
+        query: str,
+        max_distance: int,
+        canonical: bool = False,
+        transpositions: bool = False,
+        english_only: bool = False,
     ) -> Dict[int, int]:
         """Distances of every entry within ``max_distance`` of ``query``.
 
@@ -167,22 +185,41 @@ class CompiledBucket(Sequence[DictionaryEntry]):
         form when ``canonical`` is true (mirroring what
         ``LookupEngine.build_result`` compares).  Returns a mapping
         from entry index (position in :attr:`entries`) to its exact
-        Levenshtein distance; entries beyond the bound are absent, exactly
-        as ``bounded_levenshtein`` returns ``None`` for them.
+        distance; entries beyond the bound are absent, exactly as
+        ``bounded_levenshtein`` returns ``None`` for them.
+
+        With ``transpositions`` the distance is optimal-string-alignment
+        (Damerau): an adjacent swap costs one edit, matching ``bounded_osa``
+        cell for cell.  The traversal is still one pass — each DFS frame
+        additionally carries its parent's DP row and the character of the
+        edge into the node, which is exactly the two-back state the OSA
+        transposition case reads.
+
+        With ``english_only`` the traversal runs over a trie holding only
+        the bucket's lexicon-word entries (built lazily, cached like the
+        other variants).  Normalization discards non-word candidates
+        unconditionally, and real sound buckets are dominated by observed
+        misspellings — matching the filtered trie does strictly less DP
+        work than matching everything and filtering afterwards.  Reported
+        indexes still address :attr:`entries`.
         """
         if max_distance < 0 or not self.entries:
             return {}
         n = len(query)
         limit = max_distance + 1
         results: Dict[int, int] = {}
-        root = self._trie(canonical)
+        root = self._trie(canonical, english_only)
         first_row = [col if col <= max_distance else limit for col in range(n + 1)]
-        # Frames carry (node, its DP row, its depth); DFS order is
-        # irrelevant to the result set (each terminal's distance depends
-        # only on its own root-to-terminal path).
-        stack: list[tuple[_TrieNode, list[int], int]] = [(root, first_row, 0)]
+        # Frames carry (node, its DP row, its depth, the parent's DP row,
+        # the edge character into the node); DFS order is irrelevant to the
+        # result set (each terminal's distance depends only on its own
+        # root-to-terminal path).  The last two fields are the transposition
+        # lookback; the plain-Levenshtein mode never reads them.
+        stack: list[tuple[_TrieNode, list[int], int, list[int] | None, str]] = [
+            (root, first_row, 0, None, "")
+        ]
         while stack:
-            node, row, depth = stack.pop()
+            node, row, depth, parent_row, edge_char = stack.pop()
             if node.terminals:
                 distance = row[n]
                 if distance <= max_distance:
@@ -212,21 +249,48 @@ class CompiledBucket(Sequence[DictionaryEntry]):
                     deletion = row[col] + 1
                     if deletion < value:
                         value = deletion
+                    if (
+                        transpositions
+                        and parent_row is not None
+                        and col > 1
+                        and char == query[col - 2]
+                        and edge_char == query[col - 1]
+                    ):
+                        # OSA: token[-1] == query[col-2] and token[-2] ==
+                        # query[col-1] — swap the pair for one edit on top
+                        # of the grandparent prefix's cost.
+                        transposition = parent_row[col - 2] + 1
+                        if transposition < value:
+                            value = transposition
                     if value < limit:
                         new_row[col] = value
                         if value < row_minimum:
                             row_minimum = value
                 # Automaton dead state: no cell of this row is within the
-                # bound, so no extension of this prefix ever will be.
+                # bound, so no extension of this prefix ever will be.  Valid
+                # under OSA too: a transposition reaching two rows back from
+                # a descendant would imply an in-band cell <= bound in this
+                # row (OSA cells still dominate |row - col|).
                 if row_minimum <= max_distance:
-                    stack.append((child, new_row, child_depth))
+                    stack.append((child, new_row, child_depth, row, char))
         return results
 
     def match_tokens(
-        self, query: str, max_distance: int, canonical: bool = False
+        self,
+        query: str,
+        max_distance: int,
+        canonical: bool = False,
+        transpositions: bool = False,
+        english_only: bool = False,
     ) -> Tuple[Tuple[str, int], ...]:
         """``(raw token, distance)`` pairs in bucket order (test/debug view)."""
-        distances = self.match(query, max_distance, canonical=canonical)
+        distances = self.match(
+            query,
+            max_distance,
+            canonical=canonical,
+            transpositions=transpositions,
+            english_only=english_only,
+        )
         return tuple(
             (entry.token, distances[index])
             for index, entry in enumerate(self.entries)

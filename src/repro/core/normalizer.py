@@ -16,15 +16,16 @@ This module implements that flow on top of :class:`PerturbationDictionary`
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 from ..config import CrypTextConfig, DEFAULT_CONFIG
 from ..lm import CoherencyScorer
 from ..text.tokenizer import Token, Tokenizer, detokenize
 from ..text.wordlist import EnglishLexicon
 from .categories import PerturbationCategory, categorize_perturbation
-from .dictionary import PerturbationDictionary
-from .edit_distance import bounded_levenshtein
+from .dictionary import DictionaryEntry, PerturbationDictionary
+from .edit_distance import bounded_levenshtein, bounded_osa
+from .matcher import CompiledBucket
 from .soundex import CustomSoundex
 
 
@@ -135,31 +136,72 @@ class Normalizer:
 
     # ------------------------------------------------------------------ #
     def _candidate_entries(self, soundex_key: str):
-        """English-word entries of the token's sound bucket.
+        """English-word entries of the token's sound bucket (linear fallback).
 
         The seam subclasses override to retrieve from a different source
         (the batch engine's sharded index) without duplicating the ranking
-        logic below.
+        logic below.  Only consulted when ``config.compiled_buckets`` is off.
         """
         return self.dictionary.english_words_for_key(
             soundex_key, phonetic_level=self.config.phonetic_level
         )
 
+    def _compiled_candidate_bucket(self, soundex_key: str) -> CompiledBucket:
+        """The token's sound bucket compiled for one-pass matching.
+
+        The compiled-path counterpart of :meth:`_candidate_entries` — the
+        batch engine's memoized normalizer overrides it to reuse the sharded
+        index's per-shard trie caches instead of the dictionary's.
+        """
+        return self.dictionary.compiled_bucket(
+            soundex_key, phonetic_level=self.config.phonetic_level
+        )
+
+    def _scored_candidate_entries(
+        self, canonical: str, soundex_key: str
+    ) -> Iterator[tuple[DictionaryEntry, int]]:
+        """``(english entry, edit distance)`` pairs within the ``d`` bound.
+
+        The compiled path matches the bucket's English-only canonical trie
+        in one traversal (shared DP rows across common prefixes, and no DP
+        spent on the misspelling variants that dominate real buckets); the
+        linear fallback scans the pre-filtered English entries with one
+        banded DP each.  Both honour the config's distance policy —
+        ``use_transpositions`` scores an adjacent swap ("teh" for "the") as
+        a single edit, exactly as the SMS filter does — and yield identical
+        pairs in identical bucket order.
+        """
+        bound = self.config.edit_distance
+        transpositions = self.config.use_transpositions
+        if self.config.compiled_buckets:
+            bucket = self._compiled_candidate_bucket(soundex_key)
+            distances = bucket.match(
+                canonical,
+                bound,
+                canonical=True,
+                transpositions=transpositions,
+                english_only=True,
+            )
+            entries = bucket.entries
+            for index in sorted(distances):
+                yield entries[index], distances[index]
+            return
+        bounded_distance = bounded_osa if transpositions else bounded_levenshtein
+        for entry in self._candidate_entries(soundex_key):
+            distance = bounded_distance(canonical, entry.canonical, bound)
+            if distance is not None:
+                yield entry, distance
+
     def _rank_candidate_entries(
-        self, canonical: str, entries
+        self, scored: Iterable[tuple[DictionaryEntry, int]]
     ) -> list[tuple[str, int, int]]:
-        """Filter ``entries`` by the ``d`` bound and rank them.
+        """Rank ``(entry, distance)`` pairs already within the ``d`` bound.
 
         Shared by the sequential and batch paths — the single definition of
         the (distance, -count, word) candidate ordering.
         """
         candidates: dict[str, tuple[str, int, int]] = {}
-        for entry in entries:
-            distance = bounded_levenshtein(
-                canonical, entry.canonical, self.config.edit_distance
-            )
-            if distance is None:
-                continue
+        for entry, distance in scored:
             word = entry.canonical
             existing = candidates.get(word)
             if existing is None or existing[1] > distance:
@@ -178,7 +220,9 @@ class Normalizer:
         key = self._encoder.encode_or_none(token_text)
         if key is None:
             return []
-        return self._rank_candidate_entries(canonical, self._candidate_entries(key))
+        return self._rank_candidate_entries(
+            self._scored_candidate_entries(canonical, key)
+        )
 
     def _score_candidates(
         self,
@@ -236,11 +280,14 @@ class Normalizer:
         original = token.text
         if self.lexicon.is_word(original):
             # Correctly-spelled word: the only perturbation left to undo is
-            # emphasis capitalization ("democRATs" -> "democrats").
+            # emphasis capitalization ("democRATs" -> "democrats").  Tokens
+            # whose exact casing *is* a lexicon form ("McDonald", "iPhone")
+            # are not emphasis — rewriting them would destroy the word.
             is_emphasis = (
                 original != original.lower()
                 and original != original.capitalize()
                 and not original.isupper()
+                and not self.lexicon.is_lexicon_casing(original)
             )
             if not is_emphasis:
                 return TokenCorrection(

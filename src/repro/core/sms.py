@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..config import DEFAULT_EDIT_DISTANCE, DEFAULT_PHONETIC_LEVEL
-from .edit_distance import bounded_levenshtein, damerau_levenshtein_distance
+from ..config import DEFAULT_EDIT_DISTANCE, DEFAULT_PHONETIC_LEVEL, CrypTextConfig
+from .edit_distance import bounded_levenshtein, bounded_osa
 from .soundex import CustomSoundex
 
 
@@ -102,6 +102,21 @@ class SMSCheck:
         self.compare_canonical = compare_canonical
         self._encoder = CustomSoundex(phonetic_level=phonetic_level)
 
+    @classmethod
+    def from_config(cls, config: CrypTextConfig, compare_canonical: bool = True) -> "SMSCheck":
+        """Build a check consuming the config's ``(k, d)`` and distance policy.
+
+        This is the one switch shared by Look Up, Normalization and the SMS
+        filter: all three read ``config.use_transpositions`` to decide whether
+        an adjacent swap costs one edit or two.
+        """
+        return cls(
+            phonetic_level=config.phonetic_level,
+            max_edit_distance=config.edit_distance,
+            use_transpositions=config.use_transpositions,
+            compare_canonical=compare_canonical,
+        )
+
     @property
     def encoder(self) -> CustomSoundex:
         """The Soundex encoder used for the Sound condition."""
@@ -114,9 +129,11 @@ class SMSCheck:
         else:
             left = original.lower()
             right = candidate.lower()
+        # Both policies run the banded kernel: the transposition mode used to
+        # pay a full unbounded O(n*m) OSA table per pair even though every
+        # caller only asks "is it within d".
         if self.use_transpositions:
-            distance = damerau_levenshtein_distance(left, right)
-            return distance if distance <= self.max_edit_distance else None
+            return bounded_osa(left, right, self.max_edit_distance)
         return bounded_levenshtein(left, right, self.max_edit_distance)
 
     def evaluate(self, original: str, candidate: str) -> SMSResult:

@@ -263,32 +263,55 @@ class EnglishLexicon:
             name: frozenset(word.lower() for word in WORD_GROUPS[name])
             for name in group_names
         }
+        words = tuple(words)
         extra = frozenset(word.lower() for word in words)
         if extra:
             self._groups["extra"] = extra
         self._words: frozenset[str] = frozenset().union(*self._groups.values())
+        # Mixed-case lexicon forms ("iPhone", "McDonald") keyed by their
+        # lowered spelling.  Membership stays case-insensitive, but the
+        # normalizer consults these to avoid rewriting a token whose exact
+        # casing *is* the lexicon form (it is not emphasis capitalization).
+        cased: dict[str, set[str]] = {}
+        for word in words:
+            if word != word.lower():
+                cased.setdefault(word.lower(), set()).add(word)
+        self._cased_forms: dict[str, frozenset[str]] = {
+            lowered: frozenset(forms) for lowered, forms in cased.items()
+        }
 
     #: Inflectional suffixes accepted by the morphological fallback of
     #: :meth:`is_word`, longest first so "worries" strips "es" before "s".
     _SUFFIXES: tuple[str, ...] = ("ings", "ing", "ers", "ies", "es", "ed", "er", "ly", "s", "d")
 
+    @classmethod
+    def _stem_candidates(cls, token: str) -> Iterator[str]:
+        """Candidate base forms of ``token`` under the inflection rules.
+
+        The single definition of the suffix-stripping morphology, consumed
+        by both :meth:`_base_form_known` (case-insensitive word membership)
+        and :meth:`is_lexicon_casing` (case-preserving form protection) so
+        the two can never drift apart.
+        """
+        for suffix in cls._SUFFIXES:
+            if len(token) - len(suffix) >= 3 and token.endswith(suffix):
+                stem = token[: -len(suffix)]
+                yield stem
+                # "worries" -> "worri" -> "worry"; "studies" -> "study"
+                if suffix in ("ies", "es"):
+                    yield stem + "y"
+                # "debated" -> "debat" -> "debate"
+                if suffix in ("ed", "er", "ers", "ing", "ings", "d"):
+                    yield stem + "e"
+                # "stopped" -> "stopp" -> "stop"
+                if len(stem) >= 4 and stem[-1] == stem[-2]:
+                    yield stem[:-1]
+
     def _base_form_known(self, lowered: str) -> bool:
         """Whether stripping a common inflection suffix yields a known word."""
-        for suffix in self._SUFFIXES:
-            if len(lowered) - len(suffix) >= 3 and lowered.endswith(suffix):
-                stem = lowered[: -len(suffix)]
-                if stem in self._words:
-                    return True
-                # "worries" -> "worri" -> "worry"; "studies" -> "study"
-                if suffix in ("ies", "es") and stem + "y" in self._words:
-                    return True
-                # "debated" -> "debat" -> "debate"
-                if suffix in ("ed", "er", "ers", "ing", "ings", "d") and stem + "e" in self._words:
-                    return True
-                # "stopped" -> "stopp" -> "stop"
-                if len(stem) >= 4 and stem[-1] == stem[-2] and stem[:-1] in self._words:
-                    return True
-        return False
+        return any(
+            candidate in self._words for candidate in self._stem_candidates(lowered)
+        )
 
     def __contains__(self, word: object) -> bool:
         if not isinstance(word, str):
@@ -323,6 +346,35 @@ class EnglishLexicon:
     def is_word(self, token: str) -> bool:
         """Alias of ``token in lexicon`` with an explicit name."""
         return token in self
+
+    def cased_forms(self, word: str) -> frozenset[str]:
+        """Mixed-case lexicon spellings recorded for ``word`` (may be empty).
+
+        Bundled groups are all lowercase, so this is only non-empty for
+        words supplied to the constructor with deliberate casing
+        ("iPhone", "McDonald").
+        """
+        return self._cased_forms.get(word.lower(), frozenset())
+
+    def is_lexicon_casing(self, token: str) -> bool:
+        """Whether ``token``'s exact casing is a recorded lexicon form.
+
+        Inflections keep their stem's recorded casing — "iPhones" and
+        "McDonalds" are the lexicon forms "iPhone" / "McDonald" plus a
+        lowercase suffix, mirroring the morphological fallback that makes
+        ``is_word`` accept them in the first place.
+        """
+        if token in self._cased_forms.get(token.lower(), frozenset()):
+            return True
+        if not self._cased_forms:
+            return False
+        # The same stem transforms that let is_word accept an inflection
+        # protect it under its stem's recorded casing ("iPhoning" strips
+        # "ing" and restores the "e" to find "iPhone").
+        return any(
+            candidate in self._cased_forms.get(candidate.lower(), frozenset())
+            for candidate in self._stem_candidates(token)
+        )
 
     def sample_space(self, *group_names: str) -> tuple[str, ...]:
         """Return a sorted tuple of the union of the named groups.

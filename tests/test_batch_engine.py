@@ -112,6 +112,22 @@ class TestShardedIndex:
         system.dictionary.add_token("amazzon")  # no refresh_keys call
         assert "amazzon" in {entry.token for entry in index.bucket(key, 1)}
 
+    def test_shard_compiled_cache_evicts_lru_not_fifo(self, system):
+        index = ShardedPhoneticIndex(system.dictionary, num_shards=1)
+        shard = index._shards[0]
+        shard.compiled_max = 2
+        encoder = system.dictionary.encoder(1)
+        k_hot, k_cold, k_new = (
+            encoder.encode(word) for word in ("democrats", "amazon", "vaccine")
+        )
+        hot = index.compiled_bucket(k_hot, 1)
+        index.compiled_bucket(k_cold, 1)
+        # The hit refreshes recency, so overflow evicts the cold bucket.
+        assert index.compiled_bucket(k_hot, 1) is hot
+        index.compiled_bucket(k_new, 1)
+        assert index.compiled_bucket(k_hot, 1) is hot
+        assert set(shard.compiled) == {(1, k_hot), (1, k_new)}
+
 
 # --------------------------------------------------------------------------- #
 # batch engine

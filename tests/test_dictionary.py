@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import CrypTextConfig
-from repro.core.dictionary import PerturbationDictionary
+from repro.core.dictionary import AddOutcome, PerturbationDictionary
 from repro.errors import DictionaryError
 from tests.conftest import TABLE1_SENTENCES
 
@@ -76,6 +76,14 @@ class TestAddToken:
         assert dictionary.entry("vaccine").is_word
         assert not dictionary.entry("vacc1ne").is_word
 
+    def test_outcome_distinguishes_insert_from_update(self):
+        dictionary = PerturbationDictionary()
+        assert dictionary.add_token("vacc1ne") is AddOutcome.INSERTED
+        assert dictionary.add_token("vacc1ne") is AddOutcome.UPDATED
+        assert dictionary.add_token("???") is AddOutcome.SKIPPED
+        # Truthiness is preserved for the existing boolean call sites.
+        assert AddOutcome.INSERTED and AddOutcome.UPDATED and not AddOutcome.SKIPPED
+
     def test_entry_keys_cover_all_levels(self):
         dictionary = PerturbationDictionary()
         dictionary.add_token("vaccine")
@@ -109,6 +117,14 @@ class TestCorpusConstruction:
         added = dictionary.seed_lexicon(words=["vaccine", "democrats"])
         assert added == 2
         assert dictionary.entry("vaccine").is_word
+
+    def test_seed_lexicon_counts_only_new_insertions(self):
+        dictionary = PerturbationDictionary()
+        dictionary.add_token("vaccine", source="corpus")
+        # "vaccine" already exists, so only "democrats" is an actual add.
+        assert dictionary.seed_lexicon(words=["vaccine", "democrats"]) == 1
+        # Re-seeding adds nothing — every word only gets a count bump.
+        assert dictionary.seed_lexicon(words=["vaccine", "democrats"]) == 0
 
     def test_from_corpus_factory(self):
         dictionary = PerturbationDictionary.from_corpus(
@@ -152,6 +168,38 @@ class TestBucketQueries:
         assert dictionary.phonetic_levels == (0,)
         with pytest.raises(DictionaryError):
             dictionary.tokens_for_key("VA250", phonetic_level=1)
+
+
+class TestCompiledBucketLRU:
+    def test_hot_bucket_survives_cold_sweep(self):
+        config = CrypTextConfig(cache_max_entries=2)
+        dictionary = PerturbationDictionary.from_corpus(
+            ["the vaccine mandate"], config=config
+        )
+        encoder = dictionary.encoder(1)
+        k_the, k_vac, k_man = (
+            encoder.encode(word) for word in ("the", "vaccine", "mandate")
+        )
+        hot = dictionary.compiled_bucket(k_the)
+        dictionary.compiled_bucket(k_vac)
+        # A cache hit refreshes recency, so overflowing the capacity evicts
+        # the cold "vaccine" bucket, not the hot "the" bucket (under the old
+        # FIFO guard the oldest *insertion* — the hot bucket — was evicted).
+        assert dictionary.compiled_bucket(k_the) is hot
+        dictionary.compiled_bucket(k_man)
+        assert dictionary.compiled_bucket(k_the) is hot
+        assert set(dictionary._compiled) == {(1, k_the), (1, k_man)}
+
+    def test_eviction_does_not_affect_correctness(self):
+        config = CrypTextConfig(cache_max_entries=1)
+        dictionary = PerturbationDictionary.from_corpus(
+            ["the vaccine mandate"], config=config
+        )
+        encoder = dictionary.encoder(1)
+        for word in ("the", "vaccine", "mandate", "the", "vaccine"):
+            bucket = dictionary.compiled_bucket(encoder.encode(word))
+            assert word in {entry.token for entry in bucket}
+            assert len(dictionary._compiled) <= 1
 
 
 class TestStats:

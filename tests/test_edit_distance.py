@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import string
+
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.edit_distance import (
     bounded_levenshtein,
+    bounded_osa,
     damerau_levenshtein_distance,
     levenshtein_distance,
     similarity_ratio,
@@ -100,6 +104,59 @@ class TestDamerau:
     def test_empty_cases(self):
         assert damerau_levenshtein_distance("", "abc") == 3
         assert damerau_levenshtein_distance("abc", "") == 3
+
+
+class TestBoundedOSA:
+    def test_transposition_costs_one(self):
+        assert bounded_osa("the", "teh", 1) == 1
+        assert bounded_levenshtein("the", "teh", 1) is None
+
+    def test_agrees_with_full_osa_when_within_bound(self):
+        pairs = [
+            ("democrats", "demorcats"),
+            ("republicans", "rwpublicans"),
+            ("vaccine", "vacicne"),
+            ("mandate", "madnate"),
+            ("depression", "depresison"),
+            ("kitten", "sitting"),
+        ]
+        for first, second in pairs:
+            full = damerau_levenshtein_distance(first, second)
+            assert bounded_osa(first, second, bound=5) == full
+
+    def test_returns_none_beyond_bound(self):
+        assert bounded_osa("vaccine", "elephant", 2) is None
+        assert bounded_osa("a", "aaaaaa", 3) is None
+
+    def test_bound_zero_only_accepts_equal_strings(self):
+        assert bounded_osa("same", "same", 0) == 0
+        assert bounded_osa("same", "asme", 0) is None
+
+    def test_length_difference_shortcut(self):
+        assert bounded_osa("ab", "abcdefgh", 3) is None
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(CrypTextError):
+            bounded_osa("a", "b", -1)
+
+    def test_empty_strings(self):
+        assert bounded_osa("", "", 0) == 0
+        assert bounded_osa("", "ab", 3) == 2
+        assert bounded_osa("", "abcd", 3) is None
+
+    def test_symmetric(self):
+        assert bounded_osa("abcdef", "azced", 4) == bounded_osa("azced", "abcdef", 4)
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        st.text(alphabet=string.ascii_lowercase + "013@é", max_size=12),
+        st.text(alphabet=string.ascii_lowercase + "013@é", max_size=12),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_matches_unbounded_osa(self, first, second, bound):
+        full = damerau_levenshtein_distance(first, second)
+        expected = full if full <= bound else None
+        assert bounded_osa(first, second, bound) == expected
 
 
 class TestSimilarityRatio:

@@ -16,7 +16,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro import CrypText, CrypTextConfig
 from repro.core.dictionary import DictionaryEntry, PerturbationDictionary
-from repro.core.edit_distance import bounded_levenshtein
+from repro.core.edit_distance import bounded_levenshtein, damerau_levenshtein_distance
 from repro.core.lookup import LookupEngine
 from repro.core.matcher import CompiledBucket
 
@@ -28,13 +28,15 @@ queries = st.text(alphabet=token_alphabet, min_size=0, max_size=14)
 bounds = st.integers(min_value=0, max_value=4)
 
 
-def make_entry(token: str, canonical: str | None = None) -> DictionaryEntry:
+def make_entry(
+    token: str, canonical: str | None = None, is_word: bool = False
+) -> DictionaryEntry:
     return DictionaryEntry(
         token=token,
         canonical=canonical if canonical is not None else token.lower(),
         keys={},
         count=1,
-        is_word=False,
+        is_word=is_word,
         sources=(),
     )
 
@@ -48,6 +50,24 @@ def linear_scan(
         target = entry.canonical if canonical else entry.token_lower
         distance = bounded_levenshtein(query, target, bound)
         if distance is not None:
+            distances[index] = distance
+    return distances
+
+
+def osa_scan(
+    query: str, entries: list[DictionaryEntry], bound: int, canonical: bool = False
+) -> dict[int, int]:
+    """Brute-force OSA reference: one full (unbounded) table per entry.
+
+    Deliberately uses the unbounded ``damerau_levenshtein_distance`` rather
+    than ``bounded_osa`` so the compiled Damerau traversal is checked against
+    an implementation that shares none of its banding/clipping machinery.
+    """
+    distances = {}
+    for index, entry in enumerate(entries):
+        target = entry.canonical if canonical else entry.token_lower
+        distance = damerau_levenshtein_distance(query, target)
+        if distance <= bound:
             distances[index] = distance
     return distances
 
@@ -82,6 +102,96 @@ class TestMatchEqualsLinearScan:
         compiled = CompiledBucket(entries)
         for index, entry in enumerate(entries):
             assert compiled.match(entry.token_lower, bound)[index] == 0
+
+
+class TestDamerauMatchEqualsBruteForceOSA:
+    """The transposition mode must equal a per-entry brute-force OSA filter."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.lists(tokens, min_size=0, max_size=30), queries, bounds)
+    def test_raw_mode_identical_to_osa_scan(self, bucket_tokens, query, bound):
+        entries = [make_entry(token) for token in bucket_tokens]
+        compiled = CompiledBucket(entries)
+        assert compiled.match(query.lower(), bound, transpositions=True) == osa_scan(
+            query.lower(), entries, bound
+        )
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(st.tuples(tokens, tokens), min_size=0, max_size=20), queries, bounds
+    )
+    def test_canonical_mode_identical_to_osa_scan(self, pairs, query, bound):
+        entries = [make_entry(token, canonical=canon) for token, canon in pairs]
+        compiled = CompiledBucket(entries)
+        assert compiled.match(
+            query, bound, canonical=True, transpositions=True
+        ) == osa_scan(query, entries, bound, canonical=True)
+
+    def test_transposition_scored_as_one_edit(self):
+        entries = [make_entry(t) for t in ["the", "then", "than", "hat"]]
+        compiled = CompiledBucket(entries)
+        # "teh" is one swap from "the": invisible to the plain automaton at
+        # d=1, a single edit to the Damerau one.
+        assert compiled.match("teh", 1) == {}
+        assert compiled.match("teh", 1, transpositions=True) == {0: 1}
+
+    def test_transposition_pair_spanning_shared_prefix(self):
+        # The swap reaches across the trie edge between a shared prefix and
+        # its children — the parent-row lookback must come from the right
+        # ancestor for every entry under the prefix.
+        entries = [make_entry(t) for t in ["abcd", "abdc", "acbd", "bacd"]]
+        compiled = CompiledBucket(entries)
+        assert compiled.match("abcd", 1, transpositions=True) == {
+            0: 0, 1: 1, 2: 1, 3: 1
+        }
+
+    def test_match_tokens_passes_transpositions_through(self):
+        entries = [make_entry(t) for t in ["mandate", "madnate"]]
+        compiled = CompiledBucket(entries)
+        assert compiled.match_tokens("mandate", 1, transpositions=True) == (
+            ("mandate", 0), ("madnate", 1)
+        )
+        assert compiled.match_tokens("mandate", 1) == (("mandate", 0),)
+
+
+class TestEnglishOnlyMode:
+    """``english_only`` must equal matching everything then filtering."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(st.tuples(tokens, st.booleans()), min_size=0, max_size=30),
+        queries,
+        bounds,
+        st.booleans(),
+    )
+    def test_equals_filtered_full_match(self, flagged, query, bound, transpositions):
+        entries = [make_entry(token, is_word=is_word) for token, is_word in flagged]
+        compiled = CompiledBucket(entries)
+        full = compiled.match(query.lower(), bound, transpositions=transpositions)
+        expected = {
+            index: distance
+            for index, distance in full.items()
+            if entries[index].is_word
+        }
+        assert (
+            compiled.match(
+                query.lower(), bound, transpositions=transpositions, english_only=True
+            )
+            == expected
+        )
+
+    def test_word_sparse_bucket(self):
+        # The normalizer's shape: a few lexicon words among many variants.
+        entries = [make_entry("vaccine", is_word=True)] + [
+            make_entry(f"vacc{digit}ne") for digit in range(10)
+        ]
+        compiled = CompiledBucket(entries)
+        assert compiled.match("vaccine", 1, english_only=True) == {0: 0}
+        assert len(compiled.match("vaccine", 1)) == 11
+
+    def test_no_english_entries(self):
+        compiled = CompiledBucket([make_entry("vacc1ne")])
+        assert compiled.match("vaccine", 3, english_only=True) == {}
 
 
 class TestEdgeCases:

@@ -4,8 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro import CrypText
+from repro import CrypText, CrypTextConfig
 from repro.core.categories import PerturbationCategory
+from repro.core.dictionary import PerturbationDictionary
+from repro.core.normalizer import Normalizer
+from repro.text.wordlist import EnglishLexicon
 
 
 class TestBasicCorrection:
@@ -118,6 +121,123 @@ class TestDetectPerturbations:
         assert len(results) == 2
         assert results[0].num_corrected >= 1
         assert results[1].num_corrected == 0
+
+
+class TestTranspositionPolicy:
+    """One config switch drives the distance policy on every normalize path.
+
+    "teh"/"the" share a sound bucket at phonetic level 0 and differ by one
+    adjacent swap — two plain Levenshtein edits but a single OSA edit.  At
+    ``d = 1`` only the transposition-aware policy may recover the word, and
+    it must do so identically on the sequential and batch paths and with the
+    compiled matcher on or off.
+    """
+
+    CORPUS = [
+        "the democrats support the vaccine mandate",
+        "i saw the thing yesterday",
+    ]
+    TEXT = "teh vaccine works"
+
+    @staticmethod
+    def _config(**overrides):
+        return CrypTextConfig(phonetic_level=0, edit_distance=1, **overrides)
+
+    def test_swap_recovered_only_with_transpositions(self):
+        osa = CrypText.from_corpus(
+            self.CORPUS, config=self._config(use_transpositions=True)
+        )
+        plain = CrypText.from_corpus(
+            self.CORPUS, config=self._config(use_transpositions=False)
+        )
+        assert osa.normalize(self.TEXT).normalized_text == "the vaccine works"
+        assert plain.normalize(self.TEXT).normalized_text == self.TEXT
+
+    def test_sequential_and_batch_paths_agree(self):
+        system = CrypText.from_corpus(
+            self.CORPUS, config=self._config(use_transpositions=True)
+        )
+        sequential = system.normalize(self.TEXT)
+        (batched,) = system.batch.normalize_batch([self.TEXT])
+        assert batched == sequential
+        assert batched.normalized_text == "the vaccine works"
+
+    @pytest.mark.parametrize("use_transpositions", [True, False])
+    def test_compiled_and_linear_candidates_identical(self, use_transpositions):
+        compiled = CrypText.from_corpus(
+            self.CORPUS,
+            config=self._config(
+                use_transpositions=use_transpositions, compiled_buckets=True
+            ),
+        )
+        linear = CrypText.from_corpus(
+            self.CORPUS,
+            config=self._config(
+                use_transpositions=use_transpositions, compiled_buckets=False
+            ),
+        )
+        for token in ("teh", "vacicne", "mandaet", "demorcats", "unseenword"):
+            fast = compiled.normalizer._retrieve_candidates(token)
+            slow = linear.normalizer._retrieve_candidates(token)
+            assert fast == slow
+        assert compiled.normalize(self.TEXT) == linear.normalize(self.TEXT)
+
+
+class TestLexiconCasingPreserved:
+    """Mixed-case lexicon forms must not be flagged as emphasis."""
+
+    LEXICON_WORDS = ("McDonald", "iPhone")
+    CORPUS = ["i love my iPhone", "lunch at McDonald today"]
+
+    @pytest.fixture()
+    def normalizer(self):
+        lexicon = EnglishLexicon(words=self.LEXICON_WORDS)
+        dictionary = PerturbationDictionary.from_corpus(self.CORPUS, lexicon=lexicon)
+        return Normalizer(dictionary, lexicon=lexicon)
+
+    def test_lexicon_casing_left_untouched(self, normalizer):
+        result = normalizer.normalize("my iPhone broke at McDonald today")
+        assert result.normalized_text == "my iPhone broke at McDonald today"
+        assert result.num_corrected == 0
+
+    def test_inflections_keep_their_stem_casing(self, normalizer):
+        # "iPhones"/"McDonalds" pass is_word via the suffix fallback; the
+        # casing guard must extend to them the same way — including the
+        # stem transforms ("iPhoning" strips "ing" and restores the "e").
+        result = normalizer.normalize(
+            "two McDonalds and my iPhones while iPhoning and iPhoned"
+        )
+        assert (
+            result.normalized_text
+            == "two McDonalds and my iPhones while iPhoning and iPhoned"
+        )
+        assert result.num_corrected == 0
+
+    def test_emphasis_capitalization_still_corrected(self, cryptext_small):
+        # The fix must not reintroduce "democRATs" (no recorded casing).
+        result = cryptext_small.normalize("the democRATs are at it again")
+        corrections = {c.original: c for c in result.perturbed_corrections}
+        assert "democrats" in result.normalized_text
+        assert (
+            corrections["democRATs"].category
+            == PerturbationCategory.EMPHASIS_CAPITALIZATION
+        )
+
+    def test_other_casings_of_cased_word_follow_existing_rules(self, normalizer):
+        # All-caps and capitalized variants were never emphasis; a scrambled
+        # casing that is not the lexicon form still is.
+        assert normalizer.normalize("IPHONE").num_corrected == 0
+        assert normalizer.normalize("Iphone").num_corrected == 0
+        scrambled = normalizer.normalize("iPhONE")
+        assert scrambled.num_corrected == 1
+        assert scrambled.normalized_text == "iphone"
+
+    def test_cased_forms_accessor(self):
+        lexicon = EnglishLexicon(words=self.LEXICON_WORDS)
+        assert lexicon.cased_forms("mcdonald") == frozenset({"McDonald"})
+        assert lexicon.is_lexicon_casing("iPhone")
+        assert not lexicon.is_lexicon_casing("iPhONE")
+        assert lexicon.cased_forms("vaccine") == frozenset()
 
 
 class TestWithoutTrainedScorer:

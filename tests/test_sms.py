@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro import CrypTextConfig
 from repro.core.sms import SMSCheck
 
 
@@ -71,6 +72,22 @@ class TestHyperParameters:
         # canonically, dem0cr@ts == democrats (distance 0); raw they differ.
         assert canonical.evaluate("democrats", "dem0cr@ts").edit_distance == 0
         assert raw.evaluate("democrats", "dem0cr@ts").edit_distance is None
+
+
+class TestFromConfig:
+    def test_consumes_k_d_and_distance_policy(self):
+        config = CrypTextConfig(
+            phonetic_level=0, edit_distance=1, use_transpositions=True
+        )
+        check = SMSCheck.from_config(config)
+        assert check.phonetic_level == 0
+        assert check.max_edit_distance == 1
+        assert check.use_transpositions
+        # The config-driven policy certifies the swap the default would not.
+        assert check.is_perturbation("the", "teh")
+        assert not SMSCheck.from_config(
+            config.with_overrides(use_transpositions=False)
+        ).is_perturbation("the", "teh")
 
 
 class TestHelpers:
