@@ -39,6 +39,10 @@ from .core import (
     AddOutcome,
     DictionaryEntry,
     DictionaryStats,
+    SnapshotLoadReport,
+    SnapshotSaveReport,
+    TrieFamily,
+    TrieFamilyRegistry,
     LookupEngine,
     LookupResult,
     NormalizationResult,
@@ -71,6 +75,10 @@ __all__ = [
     "CrypTextError",
     "CrypText",
     "CompiledBucket",
+    "TrieFamily",
+    "TrieFamilyRegistry",
+    "SnapshotLoadReport",
+    "SnapshotSaveReport",
     "CustomSoundex",
     "OriginalSoundex",
     "soundex_key",

@@ -15,6 +15,7 @@ from ..core.pipeline import CrypText
 from ..errors import (
     AuthenticationError,
     AuthorizationError,
+    CrypTextError,
     RateLimitExceededError,
     ServiceError,
 )
@@ -158,8 +159,17 @@ class CrypTextService:
         phonetic_level: int | None = None,
         max_edit_distance: int | None = None,
         case_sensitive: bool = True,
+        use_transpositions: bool | None = None,
     ) -> ServiceResponse:
-        """Bulk Look Up endpoint."""
+        """Bulk Look Up endpoint — the ``/v1/lookup`` route.
+
+        ``use_transpositions`` is the request-level distance-policy
+        override: ``true`` scores adjacent swaps as one edit for this
+        request only, ``false`` forces plain Levenshtein, omitted/``null``
+        keeps the server's configured policy.  It participates in the
+        response cache key, so differently-policied requests never share a
+        cached response.
+        """
         guard = self._guard(token, "lookup")
         if isinstance(guard, ServiceResponse):
             return guard
@@ -168,7 +178,8 @@ class CrypTextService:
         except ServiceError as exc:
             return ServiceResponse(status=400, body={"error": str(exc)})
         key = make_key(
-            "service.lookup", list(queries), phonetic_level, max_edit_distance, case_sensitive
+            "service.lookup", list(queries), phonetic_level, max_edit_distance,
+            case_sensitive, use_transpositions,
         )
         results = self._cached(
             key,
@@ -178,6 +189,7 @@ class CrypTextService:
                     phonetic_level=phonetic_level,
                     max_edit_distance=max_edit_distance,
                     case_sensitive=case_sensitive,
+                    use_transpositions=use_transpositions,
                 ).to_dict()
                 for query in queries
             },
@@ -230,6 +242,7 @@ class CrypTextService:
         phonetic_level: int | None = None,
         max_edit_distance: int | None = None,
         case_sensitive: bool = True,
+        use_transpositions: bool | None = None,
     ) -> ServiceResponse:
         """High-throughput batch Look Up — the ``/v1/batch/lookup`` route.
 
@@ -251,6 +264,7 @@ class CrypTextService:
             phonetic_level=phonetic_level,
             max_edit_distance=max_edit_distance,
             case_sensitive=case_sensitive,
+            use_transpositions=use_transpositions,
         )
         return ServiceResponse(
             status=200,
@@ -310,3 +324,38 @@ class CrypTextService:
         if isinstance(guard, ServiceResponse):
             return guard
         return ServiceResponse(status=200, body={"stats": self.cryptext.stats().to_dict()})
+
+    def snapshot_save(self, token: str | None, path: str | None = None) -> ServiceResponse:
+        """Warm-start snapshot save — the ``/v1/admin/snapshot`` POST route.
+
+        Requires the ``admin`` scope.  Persists the dictionary plus its
+        compiled tries to ``path`` (or the configured
+        ``config.snapshot_dir``) so the next deploy/restart hydrates instead
+        of recompiling.
+        """
+        guard = self._guard(token, "admin")
+        if isinstance(guard, ServiceResponse):
+            return guard
+        try:
+            report = self.cryptext.save_snapshot(path)
+        except CrypTextError as exc:
+            return ServiceResponse(status=400, body={"error": str(exc)})
+        return ServiceResponse(status=200, body={"snapshot": report.to_dict()})
+
+    def snapshot_load(self, token: str | None, path: str | None = None) -> ServiceResponse:
+        """Warm-start snapshot load — the ``/v1/admin/snapshot`` PUT route.
+
+        Requires the ``admin`` scope.  Replaces the live dictionary and
+        warms every cache layer from the snapshot; a corrupt or
+        incompatible snapshot leaves the service untouched and reports why
+        (status 409, ``loaded: false``) rather than failing the process.
+        """
+        guard = self._guard(token, "admin")
+        if isinstance(guard, ServiceResponse):
+            return guard
+        try:
+            report = self.cryptext.load_snapshot(path)
+        except CrypTextError as exc:
+            return ServiceResponse(status=400, body={"error": str(exc)})
+        status = 200 if report.loaded else 409
+        return ServiceResponse(status=status, body={"snapshot": report.to_dict()})

@@ -237,6 +237,7 @@ class BatchEngine:
         max_edit_distance: int | None = None,
         case_sensitive: bool = True,
         canonical_distance: bool = False,
+        use_transpositions: bool | None = None,
     ) -> list[LookupResult]:
         """Look Up every query of a batch; results preserve input order.
 
@@ -244,7 +245,10 @@ class BatchEngine:
         shared query cache, and the remaining misses retrieve their sound
         buckets shard-parallel before being built with the exact logic of the
         sequential path — so ``look_up_batch(qs)[i]`` equals
-        ``look_up(qs[i])`` for every ``i``.
+        ``look_up(qs[i])`` for every ``i``.  ``use_transpositions``
+        overrides the distance policy for the whole batch exactly as the
+        per-query parameter does on :meth:`LookupEngine.look_up` (it is part
+        of every cache key consulted and populated here).
         """
         queries = list(queries)
         level = self.config.phonetic_level if phonetic_level is None else phonetic_level
@@ -257,7 +261,8 @@ class BatchEngine:
         for query in dict.fromkeys(queries):
             if engine.cache is not None:
                 cache_key = engine.cache_key(
-                    query, level, distance, case_sensitive, canonical_distance
+                    query, level, distance, case_sensitive, canonical_distance,
+                    use_transpositions,
                 )
                 hit = engine.cache.get(cache_key, default=None)
                 if hit is not None:
@@ -279,13 +284,37 @@ class BatchEngine:
                 key = sound_keys[query]
                 bucket = buckets.get((level, key), ()) if key is not None else ()
                 result = engine.build_result(
-                    query, level, distance, case_sensitive, canonical_distance, key, bucket
+                    query, level, distance, case_sensitive, canonical_distance, key,
+                    bucket, use_transpositions=use_transpositions,
                 )
                 engine.cache_result(
-                    result, case_sensitive, canonical_distance, epoch=epoch
+                    result, case_sensitive, canonical_distance, epoch=epoch,
+                    use_transpositions=use_transpositions,
                 )
                 resolved[query] = result
         return [resolved[query] for query in queries]
+
+    def warm_from_snapshot(self, source=None, level: int | None = None):
+        """Hydrate the sharded index's compiled buckets from a snapshot.
+
+        ``source`` is a snapshot path or a loaded
+        :class:`~repro.storage.snapshot.Snapshot`; when omitted the
+        configured ``config.snapshot_dir`` is used.  Returns the
+        :class:`~repro.core.dictionary.SnapshotLoadReport` —
+        ``loaded=False`` with a ``reason`` means the snapshot was unusable
+        (corrupt, stale fingerprint) and the shards were warmed the normal
+        recompiling way instead, so the engine is ready to serve either way.
+        """
+        if source is None:
+            from ..storage.snapshot import SNAPSHOT_FILE_NAME
+            from pathlib import Path
+
+            if self.config.snapshot_dir is None:
+                raise CrypTextError(
+                    "no snapshot source given and config.snapshot_dir is not set"
+                )
+            source = Path(self.config.snapshot_dir) / SNAPSHOT_FILE_NAME
+        return self.index.warm(level=level, from_snapshot=source)
 
     def _fetch_buckets(self, wanted: set[tuple[int, str]], compiled: bool = False):
         if self._shard_pool is not None and len(wanted) >= self.parallel_threshold:
@@ -311,6 +340,7 @@ class BatchEngine:
         phonetic_level: int | None = None,
         max_edit_distance: int | None = None,
         case_sensitive: bool = True,
+        use_transpositions: bool | None = None,
     ) -> dict[str, LookupResult]:
         """Dict-shaped bulk Look Up (drop-in for ``LookupEngine.look_up_many``)."""
         results = self.look_up_batch(
@@ -318,6 +348,7 @@ class BatchEngine:
             phonetic_level=phonetic_level,
             max_edit_distance=max_edit_distance,
             case_sensitive=case_sensitive,
+            use_transpositions=use_transpositions,
         )
         return {query: result for query, result in zip(queries, results)}
 
@@ -329,6 +360,7 @@ class BatchEngine:
         phonetic_level: int | None = None,
         max_edit_distance: int | None = None,
         case_sensitive: bool = True,
+        use_transpositions: bool | None = None,
     ) -> Iterator[LookupResult]:
         """Stream Look Up results over an unbounded query iterable, in order.
 
@@ -344,6 +376,7 @@ class BatchEngine:
                 phonetic_level=phonetic_level,
                 max_edit_distance=max_edit_distance,
                 case_sensitive=case_sensitive,
+                use_transpositions=use_transpositions,
             ),
             chunk_size,
             max_in_flight,
@@ -493,7 +526,12 @@ class BatchEngine:
                 yield from in_flight.popleft().result()
 
     def stats(self) -> dict[str, object]:
-        """Shard layout plus cache/memoization counters (monitoring export)."""
+        """Shard layout plus cache/memoization counters (monitoring export).
+
+        ``compiled_buckets`` aggregates the trie-cache counters across the
+        shards and the dictionary's own LRU (including trie-family sharing),
+        the capacity-tuning view for ``config.cache_max_entries``.
+        """
         return {
             "index": self.index.to_dict(),
             "memo": self.memo.stats.to_dict(),
@@ -502,6 +540,10 @@ class BatchEngine:
                 if self.lookup_engine.cache is not None
                 else None
             ),
+            "compiled_buckets": {
+                "shards": self.index.compiled_cache_stats(),
+                "dictionary": self.dictionary.compiled_cache_stats(),
+            },
             "chunk_size": self.chunk_size,
             "max_in_flight": self.max_in_flight,
         }

@@ -26,11 +26,19 @@ import zlib
 from collections import OrderedDict
 from concurrent.futures import Executor
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
-from ..core.dictionary import DictionaryEntry, PerturbationDictionary
-from ..core.matcher import CompiledBucket
-from ..errors import CrypTextError
+from ..core.dictionary import (
+    DictionaryEntry,
+    PerturbationDictionary,
+    SnapshotLoadReport,
+)
+from ..core.matcher import CompiledBucket, TrieFamilyRegistry
+from ..errors import CrypTextError, SnapshotError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..storage.snapshot import Snapshot
 
 
 def shard_of(soundex_key: str, num_shards: int) -> int:
@@ -45,12 +53,21 @@ def shard_of(soundex_key: str, num_shards: int) -> int:
 
 @dataclass(frozen=True)
 class ShardStats:
-    """Size and freshness counters for one shard."""
+    """Size and freshness counters for one shard.
+
+    The ``compiled_*`` fields describe the shard's compiled-bucket LRU —
+    hit/miss/eviction counters plus current size — the capacity-tuning
+    signal for ``config.cache_max_entries`` under batch workloads.
+    """
 
     shard_id: int
     num_buckets: int
     num_entries: int
     refreshes: int
+    compiled_hits: int = 0
+    compiled_misses: int = 0
+    compiled_evictions: int = 0
+    compiled_size: int = 0
 
     def to_dict(self) -> dict[str, int]:
         """Serialize for monitoring exports and the throughput benchmark."""
@@ -59,15 +76,29 @@ class ShardStats:
             "num_buckets": self.num_buckets,
             "num_entries": self.num_entries,
             "refreshes": self.refreshes,
+            "compiled_hits": self.compiled_hits,
+            "compiled_misses": self.compiled_misses,
+            "compiled_evictions": self.compiled_evictions,
+            "compiled_size": self.compiled_size,
         }
 
 
 class _Shard:
     """One partition of the phonetic index (buckets + lock + counters)."""
 
-    __slots__ = ("buckets", "compiled", "compiled_max", "lock", "refreshes")
+    __slots__ = (
+        "buckets",
+        "compiled",
+        "compiled_max",
+        "families",
+        "lock",
+        "refreshes",
+        "compiled_hits",
+        "compiled_misses",
+        "compiled_evictions",
+    )
 
-    def __init__(self, compiled_max: int) -> None:
+    def __init__(self, compiled_max: int, families: TrieFamilyRegistry) -> None:
         # (phonetic_level, soundex_key) -> entries in tokens_for_key order
         self.buckets: dict[tuple[int, str], tuple[DictionaryEntry, ...]] = {}
         # Lazily compiled tries over the same buckets, LRU-ordered; dropped
@@ -78,8 +109,16 @@ class _Shard:
         # grow with workload breadth until OOM.
         self.compiled: "OrderedDict[tuple[int, str], CompiledBucket]" = OrderedDict()
         self.compiled_max = compiled_max
+        # The dictionary's trie-family registry: a bucket whose token
+        # sequence was already compiled — by another level, the dictionary's
+        # own cache, or a snapshot hydration — reuses those tries instead of
+        # building fresh ones.
+        self.families = families
         self.lock = threading.RLock()
         self.refreshes = 0
+        self.compiled_hits = 0
+        self.compiled_misses = 0
+        self.compiled_evictions = 0
 
     def compiled_for(self, bucket_key: tuple[int, str]) -> CompiledBucket:
         """Get-or-compile the bucket's trie (call with :attr:`lock` held).
@@ -89,11 +128,15 @@ class _Shard:
         """
         compiled = self.compiled.get(bucket_key)
         if compiled is None:
+            self.compiled_misses += 1
             while len(self.compiled) >= self.compiled_max:
                 self.compiled.popitem(last=False)
-            compiled = CompiledBucket(self.buckets.get(bucket_key, ()))
+                self.compiled_evictions += 1
+            entries = self.buckets.get(bucket_key, ())
+            compiled = CompiledBucket(entries, family=self.families.family_for(entries))
             self.compiled[bucket_key] = compiled
         else:
+            self.compiled_hits += 1
             self.compiled.move_to_end(bucket_key)
         return compiled
 
@@ -120,7 +163,9 @@ class ShardedPhoneticIndex:
         self.dictionary = dictionary
         self.num_shards = num_shards
         compiled_max = max(1, dictionary.config.cache_max_entries // num_shards)
-        self._shards = tuple(_Shard(compiled_max) for _ in range(num_shards))
+        self._shards = tuple(
+            _Shard(compiled_max, dictionary.trie_families) for _ in range(num_shards)
+        )
         self._built_levels: set[int] = set()
         self._build_lock = threading.RLock()
         # Sound keys written to the dictionary but not yet re-pulled into
@@ -180,9 +225,94 @@ class ShardedPhoneticIndex:
             pending, self._pending = self._pending, set()
         self.refresh_keys(pending)
 
-    def warm(self, level: int) -> None:
-        """Make sure ``level`` is materialized and pending writes applied."""
-        self._ensure_level(level)
+    def warm(
+        self,
+        level: int | None = None,
+        from_snapshot: "str | Path | Snapshot | None" = None,
+    ) -> SnapshotLoadReport | None:
+        """Materialize buckets — optionally hydrating tries from a snapshot.
+
+        Without ``from_snapshot`` this is the original eager build of
+        ``level`` (defaulting to the configured level) plus a drain of
+        pending writes, returning ``None``.
+
+        With ``from_snapshot`` (a path or a loaded
+        :class:`~repro.storage.snapshot.Snapshot`), the snapshot's pre-built
+        trie families are installed into the shard compiled caches so batch
+        engines start serving without recompiling a single trie.  Guards:
+
+        * the snapshot's content fingerprint must match the live
+          dictionary's (the ``version()``-epoch/staleness guard — a snapshot
+          saved before writes the dictionary has since absorbed must not
+          resurrect old tries);
+        * each bucket's token sequence is checked against its family before
+          installation, so even an order drift between stores degrades to
+          lazy recompilation of that bucket, never to wrong matches;
+        * corruption or a mismatch falls back to the normal eager build and
+          reports the reason (``loaded=False``) instead of raising.
+        """
+        if from_snapshot is None:
+            self._ensure_level(
+                self.dictionary.config.phonetic_level if level is None else level
+            )
+            return None
+        return self._warm_from_snapshot(from_snapshot, level=level)
+
+    def _warm_from_snapshot(
+        self,
+        source: "str | Path | Snapshot",
+        level: int | None = None,
+    ) -> SnapshotLoadReport:
+        from ..storage.snapshot import resolve_snapshot
+
+        def fallback(reason: str) -> SnapshotLoadReport:
+            self.warm(level=level)
+            return SnapshotLoadReport(loaded=False, hydrated_tries=False, reason=reason)
+
+        try:
+            snapshot = resolve_snapshot(source)
+        except SnapshotError as exc:
+            return fallback(str(exc))
+        if snapshot.fingerprint != self.dictionary.content_fingerprint():
+            return fallback(
+                "snapshot fingerprint does not match the live dictionary "
+                "(stale snapshot or diverged store)"
+            )
+        try:
+            families = self.dictionary.adopt_snapshot_families(snapshot)
+        except SnapshotError as exc:
+            return fallback(str(exc))
+
+        wanted_levels = snapshot.levels if level is None else (level,)
+        built = [lvl for lvl in wanted_levels if lvl in self.dictionary.phonetic_levels]
+        for lvl in built:
+            self._ensure_level(lvl)
+        installed = 0
+        for lvl, key, family_row in snapshot.buckets:
+            if lvl not in built:
+                continue
+            family = families[family_row]
+            shard = self._shards[shard_of(key, self.num_shards)]
+            with shard.lock:
+                entries = shard.buckets.get((lvl, key))
+                if entries is None:
+                    continue
+                if tuple(entry.token for entry in entries) != family.tokens:
+                    # Bucket drifted from the snapshot despite the matching
+                    # fingerprint (e.g. a write raced the warm-up); leave it
+                    # to lazy compilation rather than install a wrong view.
+                    continue
+                if len(shard.compiled) >= shard.compiled_max:
+                    continue
+                shard.compiled[(lvl, key)] = CompiledBucket(entries, family=family)
+                installed += 1
+        return SnapshotLoadReport(
+            loaded=True,
+            hydrated_tries=True,
+            documents=len(snapshot.documents),
+            families=len(families),
+            buckets=installed,
+        )
 
     def refresh_keys(self, changed_keys: Iterable[tuple[int, str]]) -> frozenset[int]:
         """Re-pull the buckets for ``changed_keys`` from the dictionary.
@@ -299,9 +429,24 @@ class ShardedPhoneticIndex:
                         num_buckets=len(shard.buckets),
                         num_entries=sum(len(b) for b in shard.buckets.values()),
                         refreshes=shard.refreshes,
+                        compiled_hits=shard.compiled_hits,
+                        compiled_misses=shard.compiled_misses,
+                        compiled_evictions=shard.compiled_evictions,
+                        compiled_size=len(shard.compiled),
                     )
                 )
         return tuple(stats)
+
+    def compiled_cache_stats(self) -> dict[str, int]:
+        """Aggregated compiled-bucket counters across every shard."""
+        totals = {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
+        for shard in self._shards:
+            with shard.lock:
+                totals["hits"] += shard.compiled_hits
+                totals["misses"] += shard.compiled_misses
+                totals["evictions"] += shard.compiled_evictions
+                totals["size"] += len(shard.compiled)
+        return totals
 
     def to_dict(self) -> dict[str, object]:
         """Serialize shard layout for monitoring / the throughput benchmark."""

@@ -28,9 +28,9 @@ from typing import Sequence
 from . import __version__
 from .core.pipeline import CrypText
 from .datasets import build_social_corpus, corpus_texts
-from .errors import CrypTextError
+from .errors import CrypTextError, SnapshotError
 from .social import SocialListener, SocialPlatform
-from .storage import dump_collection, load_collection
+from .storage import SNAPSHOT_FILE_NAME, dump_collection, load_collection, read_snapshot
 from .viz import build_word_cloud
 
 #: File name used inside a ``--db`` directory for the token collection.
@@ -41,14 +41,26 @@ DB_FILE_NAME = "tokens.jsonl"
 # system construction helpers
 # --------------------------------------------------------------------------- #
 def _build_system(args: argparse.Namespace, train_scorer: bool = True) -> CrypText:
-    """Build or load the CrypText system an invocation should run against."""
+    """Build or load the CrypText system an invocation should run against.
+
+    A ``--db`` directory that contains a warm-start snapshot hydrates from
+    it (documents *and* compiled tries in one load); a missing, corrupt, or
+    stale snapshot silently falls back to the plain JSONL load followed by
+    lazy recompilation, so old databases keep working unchanged.
+    """
     if getattr(args, "db", None):
-        db_path = Path(args.db) / DB_FILE_NAME
+        db_dir = Path(args.db)
+        snapshot_path = db_dir / SNAPSHOT_FILE_NAME
+        db_path = db_dir / DB_FILE_NAME
+        system = CrypText.empty(seed_lexicon=False)
+        if snapshot_path.exists():
+            report = system.load_snapshot(snapshot_path)
+            if report.loaded:
+                return system
         if not db_path.exists():
             raise CrypTextError(
                 f"no dictionary found at {db_path}; run 'build --out {args.db}' first"
             )
-        system = CrypText.empty(seed_lexicon=False)
         load_collection(system.dictionary.collection, db_path)
         return system
     posts = build_social_corpus(num_posts=args.posts, seed=args.seed)
@@ -79,13 +91,85 @@ def _cmd_build(args: argparse.Namespace) -> int:
         "db_path": str(out_dir / DB_FILE_NAME),
         "stats": stats.to_dict(),
     }
+    lines = [
+        f"built dictionary from {args.posts} synthetic posts (seed {args.seed})",
+        f"saved {written} entries to {out_dir / DB_FILE_NAME}",
+        f"tokens={stats.total_tokens} unique-sounds(k=1)={stats.unique_keys[1]}",
+    ]
+    snapshot_path = out_dir / SNAPSHOT_FILE_NAME
+    if args.snapshot or system.config.snapshot_on_save:
+        report = system.save_snapshot(snapshot_path)
+        payload["snapshot"] = report.to_dict()
+        lines.append(
+            f"saved warm-start snapshot ({report.buckets} buckets, "
+            f"{report.families} trie families) to {report.path}"
+        )
+    elif snapshot_path.exists():
+        # A rebuild without --snapshot must not leave a stale snapshot
+        # shadowing the fresh JSONL dump (--db loading prefers snapshots).
+        snapshot_path.unlink()
+        lines.append(f"removed stale warm-start snapshot {snapshot_path}")
+    _emit(payload, args, lines)
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    """The ``snapshot`` subcommand: save / load / info on warm-start snapshots."""
+    path = Path(args.file) if args.file else (Path(args.db) / SNAPSHOT_FILE_NAME if args.db else None)
+    if path is None:
+        raise CrypTextError("snapshot requires --file or --db")
+    if args.action == "save":
+        system = _build_system(args, train_scorer=False)
+        report = system.save_snapshot(path)
+        _emit(
+            {"snapshot": report.to_dict()},
+            args,
+            [
+                f"saved snapshot to {report.path}: {report.documents} documents, "
+                f"{report.buckets} buckets sharing {report.families} trie families "
+                f"(levels {', '.join(map(str, report.levels))})"
+            ],
+        )
+        return 0
+    if args.action == "load":
+        system = CrypText.empty(seed_lexicon=False)
+        report = system.load_snapshot(path)
+        stats = system.stats()
+        _emit(
+            {"snapshot": report.to_dict(), "stats": stats.to_dict()},
+            args,
+            [
+                (
+                    f"loaded snapshot from {path}: {report.documents} documents, "
+                    f"{report.buckets} warm buckets"
+                    if report.loaded
+                    else f"snapshot unusable ({report.reason}); nothing loaded"
+                ),
+            ],
+        )
+        return 0 if report.loaded else 2
+    # info: read and validate without building a system
+    try:
+        snapshot = read_snapshot(path)
+    except SnapshotError as exc:
+        raise CrypTextError(str(exc)) from exc
+    payload = {
+        "path": str(path),
+        "dictionary_version": snapshot.dictionary_version,
+        "fingerprint": snapshot.fingerprint,
+        "documents": len(snapshot.documents),
+        "families": len(snapshot.families),
+        "buckets": len(snapshot.buckets),
+        "levels": list(snapshot.levels),
+    }
     _emit(
         payload,
         args,
         [
-            f"built dictionary from {args.posts} synthetic posts (seed {args.seed})",
-            f"saved {written} entries to {out_dir / DB_FILE_NAME}",
-            f"tokens={stats.total_tokens} unique-sounds(k=1)={stats.unique_keys[1]}",
+            f"{path}: {len(snapshot.documents)} documents, "
+            f"{len(snapshot.buckets)} buckets sharing {len(snapshot.families)} "
+            f"trie families, levels {list(snapshot.levels)}, "
+            f"fingerprint {snapshot.fingerprint}"
         ],
     )
     return 0
@@ -101,6 +185,7 @@ def _cmd_lookup(args: argparse.Namespace) -> int:
             phonetic_level=args.phonetic_level,
             max_edit_distance=args.edit_distance,
             case_sensitive=not args.case_insensitive,
+            use_transpositions=args.transpositions,
         )
         payload[word] = result.to_dict()
         perturbations = ", ".join(result.perturbation_tokens()[: args.limit]) or "(none)"
@@ -295,6 +380,11 @@ def build_parser() -> argparse.ArgumentParser:
     build_cmd.add_argument("--posts", type=int, default=1500)
     build_cmd.add_argument("--seed", type=int, default=20230116)
     build_cmd.add_argument("--out", required=True, help="output directory")
+    build_cmd.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="also write a warm-start snapshot (compiled tries) next to the JSONL dump",
+    )
     build_cmd.set_defaults(handler=_cmd_build)
 
     lookup_cmd = commands.add_parser("lookup", help="Look Up perturbations of words")
@@ -302,10 +392,29 @@ def build_parser() -> argparse.ArgumentParser:
     lookup_cmd.add_argument("--phonetic-level", type=int, default=None)
     lookup_cmd.add_argument("--edit-distance", type=int, default=None)
     lookup_cmd.add_argument("--case-insensitive", action="store_true")
+    lookup_cmd.add_argument(
+        "--transpositions",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="override the distance policy: --transpositions counts an adjacent "
+        "swap as one edit (OSA), --no-transpositions as two (plain Levenshtein); "
+        "omitted keeps the configured policy",
+    )
     lookup_cmd.add_argument("--limit", type=int, default=15)
     lookup_cmd.add_argument("--word-cloud", action="store_true", help="include word-cloud data")
     _add_source_arguments(lookup_cmd)
     lookup_cmd.set_defaults(handler=_cmd_lookup)
+
+    snapshot_cmd = commands.add_parser(
+        "snapshot",
+        help="save, load, or inspect a warm-start snapshot (dictionary + compiled tries)",
+    )
+    snapshot_cmd.add_argument("action", choices=("save", "load", "info"))
+    snapshot_cmd.add_argument(
+        "--file", help=f"snapshot path (default: <--db>/{SNAPSHOT_FILE_NAME})"
+    )
+    _add_source_arguments(snapshot_cmd)
+    snapshot_cmd.set_defaults(handler=_cmd_snapshot)
 
     normalize_cmd = commands.add_parser("normalize", help="detect and de-perturb a text")
     normalize_cmd.add_argument("text")

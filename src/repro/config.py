@@ -74,6 +74,16 @@ class CrypTextConfig:
         Levenshtein scan.  Results are identical either way; disabling
         falls back to the linear path (debugging / memory-constrained
         deployments).
+    snapshot_dir:
+        Default directory for warm-start snapshots
+        (:mod:`repro.storage.snapshot`): ``save_snapshot()`` /
+        ``load_snapshot()`` calls without an explicit path read and write
+        ``dictionary.snapshot.json`` here.  ``None`` (the default) means
+        snapshot operations require an explicit path.
+    snapshot_on_save:
+        When persisting a dictionary (the CLI ``build`` command, service
+        admin saves), also write the warm-start snapshot alongside the
+        JSONL dump so the next process start skips trie recompilation.
     crawler_batch_size:
         Number of posts ingested per crawl round when enriching the
         dictionary from the (simulated) social stream.
@@ -98,6 +108,8 @@ class CrypTextConfig:
     cache_ttl_seconds: float = 300.0
     cache_max_entries: int = 4096
     compiled_buckets: bool = True
+    snapshot_dir: str | None = None
+    snapshot_on_save: bool = False
     crawler_batch_size: int = 200
     normalizer_max_candidates: int = 10
     lm_order: int = 3
@@ -169,6 +181,8 @@ class CrypTextConfig:
             "cache_ttl_seconds": self.cache_ttl_seconds,
             "cache_max_entries": self.cache_max_entries,
             "compiled_buckets": self.compiled_buckets,
+            "snapshot_dir": self.snapshot_dir,
+            "snapshot_on_save": self.snapshot_on_save,
             "crawler_batch_size": self.crawler_batch_size,
             "normalizer_max_candidates": self.normalizer_max_candidates,
             "lm_order": self.lm_order,
@@ -194,6 +208,8 @@ class CrypTextConfig:
             "cache_ttl_seconds",
             "cache_max_entries",
             "compiled_buckets",
+            "snapshot_dir",
+            "snapshot_on_save",
             "crawler_batch_size",
             "normalizer_max_candidates",
             "lm_order",

@@ -33,9 +33,16 @@ from .edit_distance import (
 )
 from .sms import SMSCheck, SMSResult
 from .categories import PerturbationCategory, categorize_perturbation
-from .dictionary import AddOutcome, DictionaryEntry, DictionaryStats, PerturbationDictionary
+from .dictionary import (
+    AddOutcome,
+    DictionaryEntry,
+    DictionaryStats,
+    PerturbationDictionary,
+    SnapshotLoadReport,
+    SnapshotSaveReport,
+)
 from .lookup import LookupEngine, LookupResult, PerturbationMatch
-from .matcher import CompiledBucket
+from .matcher import CompiledBucket, TrieFamily, TrieFamilyRegistry
 from .normalizer import Normalizer, NormalizationResult, TokenCorrection
 from .perturber import Perturber, PerturbationOutcome, PerturbedToken
 from .pipeline import CrypText
@@ -57,7 +64,11 @@ __all__ = [
     "DictionaryEntry",
     "DictionaryStats",
     "PerturbationDictionary",
+    "SnapshotLoadReport",
+    "SnapshotSaveReport",
     "CompiledBucket",
+    "TrieFamily",
+    "TrieFamilyRegistry",
     "LookupEngine",
     "LookupResult",
     "PerturbationMatch",

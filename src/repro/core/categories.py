@@ -126,7 +126,9 @@ def _has_accent(perturbed: str) -> bool:
     return fold_text(perturbed) != perturbed
 
 
-def categorize_perturbation(original: str, perturbed: str) -> PerturbationCategory:
+def categorize_perturbation(
+    original: str, perturbed: str, use_transpositions: bool = True
+) -> PerturbationCategory:
     """Classify how ``perturbed`` was derived from ``original``.
 
     The classification is heuristic but deterministic: specifically human
@@ -135,12 +137,27 @@ def categorize_perturbation(original: str, perturbed: str) -> PerturbationCatego
     mixes several strategies or needs several edits is labelled
     :attr:`PerturbationCategory.MIXED`.
 
+    ``use_transpositions`` selects the canonical-distance mode the
+    single-edit tail is judged under.  With it on (the default, matching the
+    historical behavior) distances are optimal-string-alignment: an adjacent
+    swap is one edit and classifies as
+    :attr:`PerturbationCategory.ADJACENT_SWAP`.  With it off the distance is
+    plain Levenshtein — the same pair costs two substitutions, is not a
+    single edit, and falls through to ``MIXED`` — so callers that thread
+    ``config.use_transpositions`` here label swap perturbations consistently
+    with the distance policy Look Up / SMS / Normalization filtered them
+    under.
+
     >>> categorize_perturbation("democrats", "democRATs")
     <PerturbationCategory.EMPHASIS_CAPITALIZATION: 'emphasis_capitalization'>
     >>> categorize_perturbation("muslim", "mus-lim")
     <PerturbationCategory.SEPARATOR_INSERTION: 'separator_insertion'>
     >>> categorize_perturbation("suicide", "suic1de")
     <PerturbationCategory.LEET_SUBSTITUTION: 'leet_substitution'>
+    >>> categorize_perturbation("the", "teh")
+    <PerturbationCategory.ADJACENT_SWAP: 'adjacent_swap'>
+    >>> categorize_perturbation("the", "teh", use_transpositions=False)
+    <PerturbationCategory.MIXED: 'mixed'>
     """
     if original == perturbed:
         return PerturbationCategory.IDENTICAL
@@ -174,11 +191,14 @@ def categorize_perturbation(original: str, perturbed: str) -> PerturbationCatego
             return PerturbationCategory.EMOTICON_DECORATION
 
     distance = levenshtein_distance(original_lower, perturbed_lower)
-    osa_distance = damerau_levenshtein_distance(original_lower, perturbed_lower)
-
-    if osa_distance == 1:
-        if distance == 2:
+    if use_transpositions:
+        osa_distance = damerau_levenshtein_distance(original_lower, perturbed_lower)
+        # osa == 1 with lev == 2 is exactly one adjacent swap; every other
+        # osa == 1 pair also has lev == 1 and falls through below.
+        if osa_distance == 1 and distance == 2:
             return PerturbationCategory.ADJACENT_SWAP
+
+    if distance == 1:
         if len(perturbed_lower) == len(original_lower) - 1:
             return PerturbationCategory.CHARACTER_DELETION
         if len(perturbed_lower) == len(original_lower) + 1:
@@ -201,11 +221,14 @@ def categorize_perturbation(original: str, perturbed: str) -> PerturbationCatego
 
 
 def category_counts(
-    pairs: list[tuple[str, str]] | tuple[tuple[str, str], ...]
+    pairs: list[tuple[str, str]] | tuple[tuple[str, str], ...],
+    use_transpositions: bool = True,
 ) -> dict[PerturbationCategory, int]:
     """Aggregate :func:`categorize_perturbation` over many pairs."""
     counts: dict[PerturbationCategory, int] = {}
     for original, perturbed in pairs:
-        category = categorize_perturbation(original, perturbed)
+        category = categorize_perturbation(
+            original, perturbed, use_transpositions=use_transpositions
+        )
         counts[category] = counts.get(category, 0) + 1
     return counts

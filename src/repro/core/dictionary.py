@@ -31,9 +31,11 @@ from __future__ import annotations
 import enum
 import threading
 import weakref
+import zlib
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
+from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Protocol, Sequence
 
 from ..config import CrypTextConfig, DEFAULT_CONFIG
@@ -44,7 +46,8 @@ from ..text.wordlist import EnglishLexicon, default_lexicon
 from .soundex import CustomSoundex
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (matcher imports us)
-    from .matcher import CompiledBucket
+    from ..storage.snapshot import Snapshot
+    from .matcher import CompiledBucket, TrieFamily, TrieFamilyRegistry
 
 #: Name of the document-store collection backing the dictionary.
 TOKEN_COLLECTION = "tokens"
@@ -109,6 +112,9 @@ class DictionaryStats:
     The paper's headline figures ("over 2M human-written tokens ... over 400K
     unique phonetic sounds") correspond to :attr:`total_tokens` and
     :attr:`unique_keys` at the default phonetic level.
+    :attr:`compiled_cache` carries the compiled-bucket LRU and trie-family
+    counters (hits/misses/evictions plus family sharing) used for capacity
+    tuning of ``config.cache_max_entries``.
     """
 
     total_tokens: int
@@ -117,6 +123,7 @@ class DictionaryStats:
     perturbation_tokens: int
     unique_keys: Mapping[int, int]
     tokens_per_key: Mapping[int, float]
+    compiled_cache: Mapping[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, object]:
         """Serialize (used by benchmarks and the benchmark page export)."""
@@ -129,6 +136,58 @@ class DictionaryStats:
             "tokens_per_key": {
                 str(level): ratio for level, ratio in self.tokens_per_key.items()
             },
+            "compiled_cache": dict(self.compiled_cache),
+        }
+
+
+@dataclass(frozen=True)
+class SnapshotSaveReport:
+    """What :meth:`PerturbationDictionary.save_snapshot` wrote."""
+
+    path: str
+    documents: int
+    families: int
+    buckets: int
+    levels: tuple[int, ...]
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize for the CLI and the admin API endpoint."""
+        return {
+            "path": self.path,
+            "documents": self.documents,
+            "families": self.families,
+            "buckets": self.buckets,
+            "levels": list(self.levels),
+        }
+
+
+@dataclass(frozen=True)
+class SnapshotLoadReport:
+    """What a snapshot load did — or why it fell back to recompilation.
+
+    ``loaded`` is true when documents were installed; ``hydrated_tries``
+    when pre-built trie families were adopted (a trie-only warm over an
+    existing dictionary sets only the latter).  ``reason`` explains a
+    fallback (corruption, format/version mismatch, fingerprint drift) and
+    is ``None`` on full success.
+    """
+
+    loaded: bool
+    hydrated_tries: bool
+    reason: str | None = None
+    documents: int = 0
+    families: int = 0
+    buckets: int = 0
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize for the CLI and the admin API endpoint."""
+        return {
+            "loaded": self.loaded,
+            "hydrated_tries": self.hydrated_tries,
+            "reason": self.reason,
+            "documents": self.documents,
+            "families": self.families,
+            "buckets": self.buckets,
         }
 
 
@@ -180,6 +239,23 @@ class PerturbationDictionary:
         self._compiled: "OrderedDict[tuple[int, str], CompiledBucket]" = OrderedDict()
         self._compiled_lock = threading.Lock()
         self._compiled_max_entries = config.cache_max_entries
+        self._compiled_hits = 0
+        self._compiled_misses = 0
+        self._compiled_evictions = 0
+        self._compiled_invalidations = 0
+        # One trie-family registry per dictionary: buckets whose token
+        # sequences coincide across phonetic levels (every singleton bucket,
+        # and any bucket that never splits at a deeper level) compile one
+        # trie instead of one per level.  The sharded index reuses this
+        # registry, so dictionary-side and shard-side compilations share too.
+        from .matcher import TrieFamilyRegistry
+
+        self._trie_families = TrieFamilyRegistry()
+        # Strong references to snapshot-hydrated families: the registry is
+        # weak, so without these a cache eviction would silently discard the
+        # pre-built tries the snapshot paid to persist.  Bounded by snapshot
+        # size; replaced wholesale on every load.
+        self._snapshot_families: tuple["TrieFamily", ...] = ()
         # Weakly-held observers (sharded phonetic indexes) notified of every
         # write's touched sound keys, so no write can bypass their sync —
         # regardless of whether the caller went through a batch engine.
@@ -189,6 +265,11 @@ class PerturbationDictionary:
     def version(self) -> int:
         """Monotonic mutation counter; bumped on every recorded token."""
         return self._version
+
+    @property
+    def trie_families(self) -> "TrieFamilyRegistry":
+        """The trie-family registry shared by every compiled-bucket cache."""
+        return self._trie_families
 
     def register_observer(self, observer: ChangeObserver) -> None:
         """Subscribe ``observer`` to write notifications (weakly referenced)."""
@@ -277,7 +358,8 @@ class PerturbationDictionary:
         pairs = {(level, keys[f"k{level}"]) for level in self._encoders}
         with self._compiled_lock:
             for pair in pairs:
-                self._compiled.pop(pair, None)
+                if self._compiled.pop(pair, None) is not None:
+                    self._compiled_invalidations += 1
         if changed_keys is not None:
             changed_keys.update(pairs)
         for observer in tuple(self._observers):
@@ -390,14 +472,19 @@ class PerturbationDictionary:
             cached = self._compiled.get(cache_key)
             if cached is not None:
                 self._compiled.move_to_end(cache_key)
+                self._compiled_hits += 1
+            else:
+                self._compiled_misses += 1
         if cached is not None:
             return cached
         version = self._version
-        compiled = CompiledBucket(self.tokens_for_key(key, phonetic_level=level))
+        entries = self.tokens_for_key(key, phonetic_level=level)
+        compiled = CompiledBucket(entries, family=self._trie_families.family_for(entries))
         with self._compiled_lock:
             if self._version == version:
                 while len(self._compiled) >= self._compiled_max_entries:
                     self._compiled.popitem(last=False)
+                    self._compiled_evictions += 1
                 self._compiled[cache_key] = compiled
         return compiled
 
@@ -455,6 +542,53 @@ class PerturbationDictionary:
     # ------------------------------------------------------------------ #
     # statistics
     # ------------------------------------------------------------------ #
+    def compiled_cache_stats(self) -> dict[str, object]:
+        """Compiled-bucket LRU counters plus trie-family sharing counters.
+
+        ``hits``/``misses``/``evictions``/``invalidations`` describe the
+        per-``(level, key)`` bucket cache (capacity tuning for
+        ``config.cache_max_entries``); ``families`` describes how often the
+        level-shared registry let a bucket reuse another bucket's tries
+        instead of compiling its own.
+        """
+        with self._compiled_lock:
+            counters: dict[str, object] = {
+                "hits": self._compiled_hits,
+                "misses": self._compiled_misses,
+                "evictions": self._compiled_evictions,
+                "invalidations": self._compiled_invalidations,
+                "size": len(self._compiled),
+                "capacity": self._compiled_max_entries,
+            }
+        counters["families"] = self._trie_families.stats()
+        return counters
+
+    @staticmethod
+    def _documents_fingerprint(documents: Iterable[Mapping[str, object]]) -> str:
+        """CRC-32 (hex) over the trie-relevant fields of ``documents``."""
+        digest = 0
+        lines = sorted(
+            f"{document['token']}\x00{document['canonical']}\x00{int(bool(document['is_word']))}"
+            for document in documents
+        )
+        for line in lines:
+            digest = zlib.crc32(line.encode("utf-8"), digest)
+            digest = zlib.crc32(b"\n", digest)
+        return format(digest & 0xFFFFFFFF, "08x")
+
+    def content_fingerprint(self) -> str:
+        """CRC-32 (hex) over the trie-relevant content of the dictionary.
+
+        Two dictionaries with equal fingerprints compile byte-identical
+        tries for every bucket: the fingerprint folds in each raw token, its
+        canonical form, and its lexicon flag — everything the matcher reads —
+        but *not* counts or sources, which tries never see.  The warm-start
+        loaders use it as the staleness guard: a snapshot whose recorded
+        fingerprint differs from the live dictionary's must not install its
+        tries.
+        """
+        return self._documents_fingerprint(self.collection)
+
     def stats(self) -> DictionaryStats:
         """Aggregate statistics (token counts, unique keys per level)."""
         total_tokens = 0
@@ -480,7 +614,269 @@ class PerturbationDictionary:
             perturbation_tokens=total_tokens - lexicon_tokens,
             unique_keys=unique_key_counts,
             tokens_per_key=tokens_per_key,
+            compiled_cache=self.compiled_cache_stats(),
         )
+
+    # ------------------------------------------------------------------ #
+    # warm-start snapshots
+    # ------------------------------------------------------------------ #
+    def _snapshot_path(self, path: "str | Path | None") -> Path:
+        """Resolve an explicit path or the configured snapshot directory."""
+        from ..storage.snapshot import SNAPSHOT_FILE_NAME
+
+        if path is not None:
+            return Path(path)
+        if self.config.snapshot_dir is not None:
+            return Path(self.config.snapshot_dir) / SNAPSHOT_FILE_NAME
+        raise DictionaryError(
+            "no snapshot path given and config.snapshot_dir is not set"
+        )
+
+    def _grouped_documents(
+        self, documents: Sequence[Mapping[str, object]], levels: Sequence[int]
+    ) -> "tuple[list[DictionaryEntry], dict[tuple[int, str], list[DictionaryEntry]]]":
+        """Entries (in ``documents`` order) grouped per ``(level, key)`` bucket.
+
+        ``documents`` must already be in str(``_id``) order — the order
+        ``tokens_for_key`` serves buckets in — so the grouped entry lists
+        are exactly what a live query would retrieve.
+        """
+        entries: list[DictionaryEntry] = []
+        grouped: dict[tuple[int, str], list[DictionaryEntry]] = {}
+        level_fields = [(level, f"k{level}") for level in levels]
+        for document in documents:
+            entry = self._to_entry(document)
+            entries.append(entry)
+            keys = document.get("keys")
+            if not isinstance(keys, dict):
+                continue
+            for level, field_name in level_fields:
+                key = keys.get(field_name)
+                if key is not None:
+                    grouped.setdefault((level, str(key)), []).append(entry)
+        return entries, grouped
+
+    def build_snapshot(
+        self, levels: Sequence[int] | None = None
+    ) -> "Snapshot":
+        """Compile every bucket and capture documents + tries in memory.
+
+        For each bucket the raw trie (the Look Up hot path) and the
+        canonical English-only trie (the Normalization hot path) are
+        force-built through the shared family registry, so a token sequence
+        appearing at several phonetic levels is compiled and serialized
+        exactly once.
+        """
+        from ..storage.snapshot import Snapshot
+        from .matcher import TrieFamily
+
+        wanted = tuple(self.phonetic_levels if levels is None else sorted(set(levels)))
+        for level in wanted:
+            if level not in self._encoders:
+                raise DictionaryError(
+                    f"phonetic level {level} is not materialized "
+                    f"(available: {sorted(self._encoders)})"
+                )
+        documents = self.collection.find(None)
+        _, grouped = self._grouped_documents(documents, wanted)
+        families: list[TrieFamily] = []
+        family_rows: dict[int, int] = {}
+        buckets: list[tuple[int, str, int]] = []
+        for (level, key), bucket_entries in grouped.items():
+            family = self._trie_families.family_for(bucket_entries)
+            family.trie(False, False, bucket_entries)
+            family.trie(True, True, bucket_entries)
+            row = family_rows.get(id(family))
+            if row is None:
+                row = len(families)
+                families.append(family)
+                family_rows[id(family)] = row
+            buckets.append((level, key, row))
+        return Snapshot(
+            dictionary_version=self._version,
+            # Fingerprint the captured documents, not the live collection: a
+            # concurrent write between the capture above and here must not
+            # produce a snapshot that can never pass its own staleness guard.
+            fingerprint=self._documents_fingerprint(documents),
+            config={
+                "phonetic_level": self.config.phonetic_level,
+                "max_phonetic_level": self.config.max_phonetic_level,
+                "levels": list(wanted),
+            },
+            documents=tuple(documents),
+            families=tuple(family.to_payload() for family in families),
+            buckets=tuple(buckets),
+        )
+
+    def save_snapshot(
+        self,
+        path: "str | Path | None" = None,
+        levels: Sequence[int] | None = None,
+    ) -> SnapshotSaveReport:
+        """Persist the collection plus its compiled tries for warm starts.
+
+        ``path`` defaults to ``config.snapshot_dir`` (raising
+        :class:`DictionaryError` when neither is available).  Compilation
+        cost is paid here, once, instead of on every process start.
+        """
+        from ..storage.snapshot import write_snapshot
+
+        target = self._snapshot_path(path)
+        snapshot = self.build_snapshot(levels=levels)
+        write_snapshot(target, snapshot)
+        return SnapshotSaveReport(
+            path=str(target),
+            documents=len(snapshot.documents),
+            families=len(snapshot.families),
+            buckets=len(snapshot.buckets),
+            levels=snapshot.levels,
+        )
+
+    def adopt_snapshot_families(
+        self, snapshot: "Snapshot"
+    ) -> "tuple[TrieFamily, ...]":
+        """Hydrate the snapshot's trie families into the shared registry.
+
+        Returns one family per snapshot row (registry-deduplicated) and
+        pins them with strong references so later compilations — dictionary
+        LRU or shard caches — keep finding the pre-built tries even after
+        cache evictions.  Malformed family payloads raise
+        :class:`~repro.errors.SnapshotError`.
+        """
+        from ..errors import SnapshotError
+        from .matcher import TrieFamily
+
+        hydrated: list[TrieFamily] = []
+        for payload in snapshot.families:
+            try:
+                family = TrieFamily.from_payload(payload)
+            except (KeyError, IndexError, TypeError, ValueError) as exc:
+                raise SnapshotError(f"malformed trie family payload: {exc}") from exc
+            hydrated.append(self._trie_families.adopt(family))
+        self._snapshot_families = tuple(hydrated)
+        return self._snapshot_families
+
+    def load_snapshot(
+        self,
+        path: "str | Path | None" = None,
+        strict: bool = False,
+    ) -> SnapshotLoadReport:
+        """Replace the collection from a snapshot and install its warm tries.
+
+        The epoch guard and corruption handling:
+
+        * a missing/corrupt file, a foreign format version, or a checksum
+          mismatch raises :class:`~repro.errors.SnapshotError` under
+          ``strict`` and otherwise returns a fallback report
+          (``loaded=False``) — the dictionary is left untouched and keeps
+          recompiling lazily, exactly as before snapshots existed;
+        * on success the documents are installed with their original
+          ``_id``\\ s (preserving bucket order), the mutation version is
+          bumped so every stale cache (compiled buckets, observers, query
+          caches) drops, and the compiled-bucket LRU is pre-seeded with
+          hydrated views up to its capacity.
+        """
+        from ..errors import SnapshotError
+        from ..storage.snapshot import read_snapshot
+        from .matcher import CompiledBucket
+
+        try:
+            target = self._snapshot_path(path)
+            snapshot = read_snapshot(target)
+        except (SnapshotError, DictionaryError) as exc:
+            if strict:
+                raise
+            return SnapshotLoadReport(
+                loaded=False, hydrated_tries=False, reason=str(exc)
+            )
+
+        collection = self.collection
+        with self._write_lock:
+            # Sound keys present before the load: observers must refresh
+            # them too, or buckets that vanish with the reload would linger.
+            # (Computed only when someone is listening — the scan deep-copies
+            # every document, which a fresh warm start need not pay.)
+            stale_pairs: set[tuple[int, str]] = set()
+            if self._observers:
+                stale_pairs = {
+                    (level, document["keys"][f"k{level}"])
+                    for document in collection
+                    for level in self._encoders
+                    if f"k{level}" in document.get("keys", {})
+                }
+            collection.clear()
+            # Adopt by reference: the parsed snapshot documents are owned by
+            # this load, and the store never mutates stored documents in
+            # place (updates replace them wholesale), so no copy is needed.
+            collection.load_documents(snapshot.documents, copy=False)
+            self._version += 1
+            with self._compiled_lock:
+                self._compiled.clear()
+
+        try:
+            families = self.adopt_snapshot_families(snapshot)
+        except SnapshotError as exc:
+            # Documents are in and consistent; only the warm tries are lost.
+            self._notify_snapshot_change(stale_pairs, snapshot)
+            if strict:
+                raise
+            return SnapshotLoadReport(
+                loaded=True,
+                hydrated_tries=False,
+                reason=str(exc),
+                documents=len(snapshot.documents),
+            )
+
+        # Snapshot documents were saved in find(None) — str(_id) — order,
+        # which load_documents preserved, so grouping them directly yields
+        # the exact bucket order a live query would retrieve.
+        ordered = sorted(snapshot.documents, key=lambda doc: str(doc.get("_id")))
+        _, grouped = self._grouped_documents(ordered, snapshot.levels)
+        installed = 0
+        with self._compiled_lock:
+            for level, key, family_row in snapshot.buckets:
+                if installed >= self._compiled_max_entries:
+                    break
+                bucket_entries = grouped.get((level, key), [])
+                family = families[family_row]
+                if tuple(entry.token for entry in bucket_entries) != family.tokens:
+                    # A family whose token sequence does not spell the bucket
+                    # (corrupt mapping) must not serve it; the bucket falls
+                    # back to lazy compilation instead.
+                    continue
+                self._compiled[(level, key)] = CompiledBucket(
+                    bucket_entries, family=family
+                )
+                installed += 1
+        self._notify_snapshot_change(stale_pairs, snapshot)
+        return SnapshotLoadReport(
+            loaded=True,
+            hydrated_tries=True,
+            documents=len(snapshot.documents),
+            families=len(families),
+            buckets=installed,
+        )
+
+    def _notify_snapshot_change(
+        self, stale_pairs: set[tuple[int, str]], snapshot: "Snapshot"
+    ) -> None:
+        """Tell observers every sound key a snapshot load may have changed."""
+        observers = tuple(self._observers)
+        if not observers:
+            return
+        pairs = set(stale_pairs)
+        pairs.update((level, key) for level, key, _ in snapshot.buckets)
+        for document in snapshot.documents:
+            keys = document.get("keys")
+            if isinstance(keys, dict):
+                for level in self._encoders:
+                    key = keys.get(f"k{level}")
+                    if key is not None:
+                        pairs.add((level, str(key)))
+        if not pairs:
+            return
+        for observer in observers:
+            observer.note_changes(pairs)
 
     # ------------------------------------------------------------------ #
     # factories

@@ -155,17 +155,33 @@ class LookupEngine:
         """
         return self._epoch
 
+    def resolve_transpositions(self, use_transpositions: bool | None) -> bool:
+        """The distance policy for one query: explicit override or config."""
+        return (
+            self.config.use_transpositions
+            if use_transpositions is None
+            else use_transpositions
+        )
+
     # ------------------------------------------------------------------ #
     @staticmethod
     def _finish_match(
-        query: str, entry: DictionaryEntry, distance: int
+        query: str, entry: DictionaryEntry, distance: int, transpositions: bool
     ) -> PerturbationMatch:
-        """Build the match record once the edit distance is known."""
+        """Build the match record once the edit distance is known.
+
+        The categorizer runs in the same canonical-distance mode the match
+        was filtered under, so a swap perturbation admitted as one OSA edit
+        is labelled ``adjacent_swap`` while the same pair admitted under
+        plain Levenshtein (two edits) reports ``mixed``.
+        """
         is_original = entry.token == query
         category = (
             PerturbationCategory.IDENTICAL
             if is_original
-            else categorize_perturbation(query, entry.token)
+            else categorize_perturbation(
+                query, entry.token, use_transpositions=transpositions
+            )
         )
         return PerturbationMatch(
             token=entry.token,
@@ -186,6 +202,7 @@ class LookupEngine:
         canonical_distance: bool,
         soundex_key: str | None,
         bucket: Sequence[DictionaryEntry],
+        use_transpositions: bool | None = None,
     ) -> LookupResult:
         """Assemble a :class:`LookupResult` from a pre-fetched sound bucket.
 
@@ -211,10 +228,12 @@ class LookupEngine:
         encoder = self.dictionary.encoder(phonetic_level)
         query_canonical = encoder.canonicalize(query)
         query_lower = query.lower()
-        # One config-driven distance policy, shared with SMSCheck and the
-        # normalizer: with use_transpositions an adjacent swap costs one
-        # edit on the compiled and the linear path alike.
-        transpositions = self.config.use_transpositions
+        # One distance policy for filtering *and* categorization, shared
+        # with SMSCheck and the normalizer: with transpositions an adjacent
+        # swap costs one edit on the compiled and the linear path alike.
+        # ``use_transpositions`` overrides the config per query (the paper's
+        # "advanced users" hook); ``None`` keeps the configured policy.
+        transpositions = self.resolve_transpositions(use_transpositions)
         if isinstance(bucket, CompiledBucket):
             distances = bucket.match(
                 query_canonical if canonical_distance else query_lower,
@@ -249,7 +268,7 @@ class LookupEngine:
         for entry, distance in scored:
             if distance is None:
                 continue
-            match = self._finish_match(query, entry, distance)
+            match = self._finish_match(query, entry, distance, transpositions)
             key = match.token if case_sensitive else match.token.lower()
             existing = matches.get(key)
             if existing is None:
@@ -290,6 +309,7 @@ class LookupEngine:
         max_edit_distance: int,
         case_sensitive: bool,
         canonical_distance: bool = False,
+        use_transpositions: bool | None = None,
     ) -> LookupResult:
         soundex_key = self.dictionary.encoder(phonetic_level).encode_or_none(query)
         bucket: Sequence[DictionaryEntry] = ()
@@ -310,6 +330,7 @@ class LookupEngine:
             canonical_distance,
             soundex_key,
             bucket,
+            use_transpositions=use_transpositions,
         )
 
     def cache_key(
@@ -319,23 +340,27 @@ class LookupEngine:
         max_edit_distance: int,
         case_sensitive: bool,
         canonical_distance: bool,
+        use_transpositions: bool | None = None,
     ) -> Hashable:
         """The cache key a Look Up with these parameters is stored under.
 
         Exposed so the batch engine populates the same cache entries the
-        per-query route consults (one cache, two access paths).  The distance
-        policy is part of the key: engines sharing one cache object with
-        different ``use_transpositions`` settings must never serve each
-        other's results (the same pair can be in-bound under OSA and
-        out-of-bound under plain Levenshtein).
+        per-query route consults (one cache, two access paths).  The
+        *resolved* distance policy — the per-query ``use_transpositions``
+        override, or the config default when none was given — is part of the
+        key: engines sharing one cache object with different policies must
+        never serve each other's results (the same pair can be in-bound
+        under OSA and out-of-bound under plain Levenshtein), and an
+        overridden query must not collide with a default-policy one.
         """
         return make_key(
             "lookup", query, phonetic_level, max_edit_distance, case_sensitive,
-            canonical_distance, self.config.use_transpositions,
+            canonical_distance, self.resolve_transpositions(use_transpositions),
         )
 
     def cache_result(self, result: LookupResult, case_sensitive: bool,
-                     canonical_distance: bool, epoch: int | None = None) -> None:
+                     canonical_distance: bool, epoch: int | None = None,
+                     use_transpositions: bool | None = None) -> None:
         """Store ``result`` in the query cache, tagged with its sound bucket.
 
         With ``epoch`` (captured before the result was computed), the store
@@ -351,6 +376,7 @@ class LookupEngine:
             result.max_edit_distance,
             case_sensitive,
             canonical_distance,
+            use_transpositions,
         )
         tags = (
             (sound_tag(result.phonetic_level, result.soundex_key),)
@@ -388,6 +414,7 @@ class LookupEngine:
         max_edit_distance: int | None = None,
         case_sensitive: bool = True,
         canonical_distance: bool = False,
+        use_transpositions: bool | None = None,
     ) -> LookupResult:
         """Return ``P_query``: the perturbations of ``query`` in the database.
 
@@ -403,22 +430,39 @@ class LookupEngine:
         canonical_distance:
             Compute the ``d`` bound between canonical (visually folded) forms
             instead of raw spellings.
+        use_transpositions:
+            Override the configured distance policy for this query: ``True``
+            scores an adjacent swap as one edit (OSA/Damerau), ``False`` as
+            two (plain Levenshtein), ``None`` keeps
+            ``config.use_transpositions``.  The resolved policy is part of
+            the cache key, so overridden and default queries never serve
+            each other's results.
         """
         level = self.config.phonetic_level if phonetic_level is None else phonetic_level
         distance = (
             self.config.edit_distance if max_edit_distance is None else max_edit_distance
         )
         if self.cache is None:
-            return self._execute(query, level, distance, case_sensitive, canonical_distance)
+            return self._execute(
+                query, level, distance, case_sensitive, canonical_distance,
+                use_transpositions,
+            )
         cache_key = self.cache_key(
-            query, level, distance, case_sensitive, canonical_distance
+            query, level, distance, case_sensitive, canonical_distance,
+            use_transpositions,
         )
         cached = self.cache.get(cache_key, default=None)
         if cached is not None:
             return cached
         epoch = self._epoch
-        result = self._execute(query, level, distance, case_sensitive, canonical_distance)
-        self.cache_result(result, case_sensitive, canonical_distance, epoch=epoch)
+        result = self._execute(
+            query, level, distance, case_sensitive, canonical_distance,
+            use_transpositions,
+        )
+        self.cache_result(
+            result, case_sensitive, canonical_distance, epoch=epoch,
+            use_transpositions=use_transpositions,
+        )
         return result
 
     def look_up_many(
@@ -427,6 +471,7 @@ class LookupEngine:
         phonetic_level: int | None = None,
         max_edit_distance: int | None = None,
         case_sensitive: bool = True,
+        use_transpositions: bool | None = None,
     ) -> dict[str, LookupResult]:
         """Bulk Look Up (the API layer's batch endpoint)."""
         return {
@@ -435,6 +480,7 @@ class LookupEngine:
                 phonetic_level=phonetic_level,
                 max_edit_distance=max_edit_distance,
                 case_sensitive=case_sensitive,
+                use_transpositions=use_transpositions,
             )
             for query in queries
         }

@@ -29,16 +29,30 @@ random token sets, and the golden-corpus CI guard asserts it end to end.
 A compiled bucket is immutable once built; writers invalidate by dropping
 the cached instance (see :meth:`PerturbationDictionary.compiled_bucket` and
 the per-shard caches in :mod:`repro.batch.sharded_index`).
+
+Two pieces make compiled buckets cheap to share and to persist:
+
+* :class:`TrieFamily` owns the actual trie variants for one token sequence;
+  a :class:`CompiledBucket` is a *view* onto a family.  Buckets whose token
+  sequences are identical across phonetic levels — every singleton bucket,
+  and any bucket whose tokens never split at a deeper level — share one
+  family through a :class:`TrieFamilyRegistry`, so the trie is compiled
+  once instead of once per level.
+* families serialize to flat JSON-compatible node arrays
+  (:meth:`TrieFamily.to_payload` / :meth:`TrieFamily.from_payload`), which
+  is what the warm-start snapshot subsystem (:mod:`repro.storage.snapshot`)
+  persists so process restarts skip recompilation entirely.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterator, Sequence, Tuple
+import weakref
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
 from .dictionary import DictionaryEntry
 
-__all__ = ["CompiledBucket"]
+__all__ = ["CompiledBucket", "TrieFamily", "TrieFamilyRegistry"]
 
 
 class _TrieNode:
@@ -103,6 +117,306 @@ def _freeze(root: _TrieNode) -> None:
         node.children = {}
 
 
+#: Serialized names of the trie variants, keyed by (canonical, english_only).
+_VARIANT_NAMES: Dict[Tuple[bool, bool], str] = {
+    (False, False): "raw",
+    (True, False): "canonical",
+    (False, True): "raw_english",
+    (True, True): "canonical_english",
+}
+_VARIANT_KEYS: Dict[str, Tuple[bool, bool]] = {
+    name: key for key, name in _VARIANT_NAMES.items()
+}
+
+
+def _trie_to_payload(root: _TrieNode) -> List[list]:
+    """Flatten a frozen trie into JSON-serializable node rows.
+
+    Nodes are emitted in breadth-first order (row 0 is the root); each row is
+    ``[edge_chars, edge_targets, terminals, min_depth, max_depth]`` with the
+    edge characters joined into one string and ``edge_targets`` the matching
+    child row indexes (splitting the pair keeps the JSON compact and lets
+    hydration zip two C-speed sequences instead of slicing an interleaved
+    list).  The format is stable — it is what the snapshot subsystem
+    persists — so changes here must bump
+    ``repro.storage.snapshot.SNAPSHOT_FORMAT_VERSION``.
+    """
+    nodes: List[_TrieNode] = [root]
+    row_of: Dict[int, int] = {id(root): 0}
+    cursor = 0
+    while cursor < len(nodes):
+        node = nodes[cursor]
+        cursor += 1
+        for _, child in node.items:
+            row_of[id(child)] = len(nodes)
+            nodes.append(child)
+    payload: List[list] = []
+    for node in nodes:
+        payload.append(
+            [
+                "".join(char for char, _ in node.items),
+                [row_of[id(child)] for _, child in node.items],
+                list(node.terminals),
+                node.min_depth,
+                node.max_depth,
+            ]
+        )
+    return payload
+
+
+def _trie_from_payload(
+    payload: Sequence[Sequence], terminal_bound: int | None = None
+) -> _TrieNode:
+    """Rebuild a frozen trie from :func:`_trie_to_payload` rows.
+
+    This is the warm-start fast path: reconstructing nodes from flat rows
+    does no per-character insertion and no freeze pass, which is what makes
+    snapshot hydration several times cheaper than recompilation.  Nodes are
+    allocated raw (``__new__``) with only the four slots the matcher reads —
+    the build-time ``children`` dict never exists.  Malformed rows raise
+    ``ValueError``/``IndexError``/``TypeError``/``KeyError`` — callers (the
+    snapshot loader) treat any of them as corruption.  With
+    ``terminal_bound`` every terminal must index a real entry of the bucket
+    the trie will serve.
+    """
+    if not payload:
+        return _build_trie([])
+    new = _TrieNode.__new__
+    built = [new(_TrieNode) for _ in payload]
+    getter = built.__getitem__
+    node_count = len(payload)
+    for node, (edge_chars, edge_targets, terminals, min_depth, max_depth) in zip(
+        built, payload
+    ):
+        if len(edge_chars) != len(edge_targets):
+            raise ValueError("trie row edge chars/targets length mismatch")
+        node.terminals = tuple(terminals)
+        node.min_depth = min_depth
+        node.max_depth = max_depth
+        node.items = tuple(zip(edge_chars, map(getter, edge_targets)))
+    root = built[0]
+    # Sanity-check the fields the match loop does arithmetic on or indexes
+    # with; a checksum collision or hand-edited file must raise here (and
+    # fall back to compilation), never degenerate into wrong matches or an
+    # IndexError on the query path.
+    for node, row in zip(built, payload):
+        if not isinstance(node.min_depth, int) or not isinstance(node.max_depth, int):
+            raise ValueError("trie row depth bounds must be integers")
+        for index in node.terminals:
+            if not isinstance(index, int):
+                raise ValueError("trie row terminals must be integers")
+            if terminal_bound is not None and not 0 <= index < terminal_bound:
+                raise ValueError("trie row terminal out of range for its bucket")
+        for target in row[1]:
+            # map(getter, ...) above accepted negative indexes (Python
+            # wrap-around) — reject them and anything out of range.
+            if not isinstance(target, int) or not 0 <= target < node_count:
+                raise ValueError("trie row edge target out of range")
+    return root
+
+
+class TrieFamily:
+    """The trie variants shared by every bucket with one token sequence.
+
+    The same token sequence produces byte-identical tries regardless of
+    which phonetic level's bucket asked for them (the lowered spelling, the
+    canonical fold, and the lexicon flag are all functions of the raw
+    token), so buckets at different levels hand out views onto one family
+    instead of compiling per level.  Variants are built lazily under the
+    family lock and cached forever — a family is immutable once its token
+    sequence is fixed; writers invalidate by dropping the *bucket* that
+    points at it, never by mutating the family.
+    """
+
+    __slots__ = ("tokens", "_tries", "_pending", "_lock", "_builds", "_hydrated", "__weakref__")
+
+    def __init__(self, tokens: Sequence[str]) -> None:
+        self.tokens: Tuple[str, ...] = tuple(tokens)
+        # Tries keyed by (canonical representation?, English entries only?).
+        self._tries: Dict[Tuple[bool, bool], _TrieNode] = {}
+        # Serialized rows awaiting decode (snapshot hydration is lazy: the
+        # load installs payloads in O(1) and the first query of each variant
+        # pays the — cheap, insertion-free — node rebuild).
+        self._pending: Dict[Tuple[bool, bool], Sequence[Sequence]] = {}
+        self._lock = threading.Lock()
+        self._builds = 0
+        self._hydrated = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrieFamily({len(self.tokens)} tokens, {len(self._tries)} tries)"
+
+    @property
+    def tries_built(self) -> int:
+        """How many trie variants this family compiled (not counting hydration)."""
+        return self._builds
+
+    @property
+    def tries_hydrated(self) -> int:
+        """How many trie variants were decoded from snapshot payloads."""
+        return self._hydrated
+
+    @property
+    def compiled_variants(self) -> Tuple[str, ...]:
+        """Names of the variants currently materialized or pending (sorted)."""
+        with self._lock:
+            keys = set(self._tries) | set(self._pending)
+            return tuple(sorted(_VARIANT_NAMES[key] for key in keys))
+
+    def trie(
+        self,
+        canonical: bool,
+        english_only: bool,
+        entries: Sequence[DictionaryEntry],
+    ) -> _TrieNode:
+        """Get, decode, or build the requested variant from ``entries``.
+
+        ``entries`` must spell :attr:`tokens` in order — any bucket viewing
+        this family satisfies that by construction, so whichever view asks
+        first pays the compilation and every later view (same level or not)
+        reuses it.  A pending snapshot payload is decoded in preference to
+        compiling; a payload that fails to decode (possible only on a
+        checksum collision or concurrent file tampering) falls back to a
+        fresh compile, never to an error on the query path.
+        """
+        key = (canonical, english_only)
+        trie = self._tries.get(key)
+        if trie is None:
+            with self._lock:
+                trie = self._tries.get(key)
+                if trie is None:
+                    rows = self._pending.pop(key, None)
+                    if rows is not None:
+                        try:
+                            trie = _trie_from_payload(
+                                rows, terminal_bound=len(self.tokens)
+                            )
+                            self._hydrated += 1
+                        except (KeyError, IndexError, TypeError, ValueError):
+                            trie = None
+                    if trie is None:
+                        strings = tuple(
+                            entry.canonical if canonical else entry.token_lower
+                            for entry in entries
+                        )
+                        trie = _build_trie(
+                            [
+                                (index, strings[index])
+                                for index, entry in enumerate(entries)
+                                if not english_only or entry.is_word
+                            ]
+                        )
+                        self._builds += 1
+                    self._tries[key] = trie
+        return trie
+
+    def to_payload(self) -> dict:
+        """Serialize the token sequence plus every materialized variant.
+
+        Variants still pending from a snapshot load are passed through
+        verbatim (re-snapshotting a hydrated system must not lose the tries
+        it never happened to query).
+        """
+        with self._lock:
+            tries = {
+                _VARIANT_NAMES[key]: list(rows) for key, rows in self._pending.items()
+            }
+            tries.update(
+                {
+                    _VARIANT_NAMES[key]: _trie_to_payload(trie)
+                    for key, trie in self._tries.items()
+                }
+            )
+            return {"tokens": list(self.tokens), "tries": tries}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "TrieFamily":
+        """Rebuild a family (tokens + serialized tries) from :meth:`to_payload`.
+
+        Decoding is deferred: the payload rows are parked per variant and
+        decoded on first use (see :meth:`trie`), so hydrating thousands of
+        families is O(families), not O(trie nodes).  Unknown variant names
+        are ignored so snapshots written by newer minor revisions stay
+        loadable; a structurally foreign payload raises
+        (``KeyError``/``TypeError``/``ValueError``), which the snapshot
+        loader reports as corruption.
+        """
+        tokens = payload["tokens"]
+        tries = payload.get("tries", {})
+        if not isinstance(tokens, (list, tuple)) or not isinstance(tries, Mapping):
+            raise ValueError("family payload must carry 'tokens' and a 'tries' mapping")
+        family = cls(tuple(str(token) for token in tokens))
+        for name, rows in tries.items():
+            key = _VARIANT_KEYS.get(str(name))
+            if key is None:
+                continue
+            if not isinstance(rows, (list, tuple)):
+                raise ValueError(f"trie variant {name!r} must be a list of node rows")
+            family._pending[key] = rows
+        return family
+
+
+class TrieFamilyRegistry:
+    """Deduplicates trie compilation across buckets sharing one token sequence.
+
+    Families are held weakly: a family stays alive exactly as long as some
+    compiled bucket (dictionary LRU, shard cache, snapshot hydration list)
+    references it, so the registry never pins memory on its own.  The
+    counters feed the compiled-cache stats surface — ``views`` counts every
+    bucket that attached to a family, ``families_created`` how many distinct
+    tries-sets were actually compiled or adopted; their difference is the
+    number of compilations the level-sharing saved.
+    """
+
+    def __init__(self) -> None:
+        self._families: "weakref.WeakValueDictionary[Tuple[str, ...], TrieFamily]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._lock = threading.Lock()
+        self._created = 0
+        self._views = 0
+        self._adopted = 0
+
+    def family_for(self, entries: Sequence[DictionaryEntry]) -> TrieFamily:
+        """The shared family for ``entries``' token sequence (created on miss)."""
+        key = tuple(entry.token for entry in entries)
+        with self._lock:
+            self._views += 1
+            family = self._families.get(key)
+            if family is None:
+                family = TrieFamily(key)
+                self._families[key] = family
+                self._created += 1
+            return family
+
+    def adopt(self, family: TrieFamily) -> TrieFamily:
+        """Register a hydrated family, preferring an existing live one.
+
+        Snapshot loading rebuilds families from disk; adopting them here
+        means later compilations (dictionary or shard) find the pre-built
+        tries instead of compiling fresh ones.
+        """
+        with self._lock:
+            existing = self._families.get(family.tokens)
+            if existing is not None:
+                return existing
+            self._families[family.tokens] = family
+            self._adopted += 1
+            return family
+
+    def stats(self) -> dict[str, int]:
+        """Counters for the stats surfaces (views - created - adopted = shares)."""
+        with self._lock:
+            return {
+                "views": self._views,
+                "families_created": self._created,
+                "families_adopted": self._adopted,
+                "families_shared": max(
+                    0, self._views - self._created - self._adopted
+                ),
+                "live_families": len(self._families),
+            }
+
+
 class CompiledBucket(Sequence[DictionaryEntry]):
     """A sound bucket compiled for one-pass edit-distance matching.
 
@@ -111,21 +425,31 @@ class CompiledBucket(Sequence[DictionaryEntry]):
     including the linear fallback path of
     :meth:`~repro.core.lookup.LookupEngine.build_result` — accepts a
     compiled one unchanged.  The raw-spelling and canonical-form tries are
-    built lazily on first use (canonical-distance queries are rare) and the
-    lowered token spellings are computed once at compile time, never per
-    query.
+    built lazily on first use (canonical-distance queries are rare) and live
+    on the bucket's :class:`TrieFamily` — pass ``family`` (usually obtained
+    from a :class:`TrieFamilyRegistry`) to share tries with every other
+    bucket spelling the same token sequence; without it the bucket gets a
+    private family, preserving the original standalone behavior.
     """
 
-    __slots__ = ("entries", "tokens_lower", "_tries", "_trie_lock")
+    __slots__ = ("entries", "family")
 
-    def __init__(self, entries: Sequence[DictionaryEntry]) -> None:
+    def __init__(
+        self,
+        entries: Sequence[DictionaryEntry],
+        family: TrieFamily | None = None,
+    ) -> None:
         self.entries: tuple[DictionaryEntry, ...] = tuple(entries)
-        self.tokens_lower: tuple[str, ...] = tuple(
-            entry.token_lower for entry in self.entries
+        self.family: TrieFamily = (
+            family
+            if family is not None
+            else TrieFamily(tuple(entry.token for entry in self.entries))
         )
-        # Tries keyed by (canonical representation?, English entries only?).
-        self._tries: Dict[tuple[bool, bool], _TrieNode] = {}
-        self._trie_lock = threading.Lock()
+
+    @property
+    def tokens_lower(self) -> tuple[str, ...]:
+        """Lowered raw spellings in bucket order (cached per entry)."""
+        return tuple(entry.token_lower for entry in self.entries)
 
     # ------------------------------------------------------------------ #
     # sequence protocol (drop-in for a plain entry tuple)
@@ -146,26 +470,7 @@ class CompiledBucket(Sequence[DictionaryEntry]):
     # compilation
     # ------------------------------------------------------------------ #
     def _trie(self, canonical: bool, english_only: bool = False) -> _TrieNode:
-        key = (canonical, english_only)
-        trie = self._tries.get(key)
-        if trie is None:
-            with self._trie_lock:
-                trie = self._tries.get(key)
-                if trie is None:
-                    strings = (
-                        tuple(entry.canonical for entry in self.entries)
-                        if canonical
-                        else self.tokens_lower
-                    )
-                    trie = _build_trie(
-                        [
-                            (index, strings[index])
-                            for index, entry in enumerate(self.entries)
-                            if not english_only or entry.is_word
-                        ]
-                    )
-                    self._tries[key] = trie
-        return trie
+        return self.family.trie(canonical, english_only, self.entries)
 
     # ------------------------------------------------------------------ #
     # matching

@@ -326,8 +326,15 @@ class Normalizer:
         best = scored[0]
         corrected = self._match_case(original, best.word)
         changed = corrected.lower() != original.lower()
+        # Categorize under the same distance policy that admitted the
+        # candidate, so a swap recovered as one OSA edit reports
+        # ``adjacent_swap`` while a plain-Levenshtein config labels the
+        # same two-edit pair ``mixed``.
         category = (
-            categorize_perturbation(best.word, original)
+            categorize_perturbation(
+                best.word, original,
+                use_transpositions=self.config.use_transpositions,
+            )
             if changed or original != corrected
             else PerturbationCategory.IDENTICAL
         )

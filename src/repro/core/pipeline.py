@@ -165,13 +165,19 @@ class CrypText:
         phonetic_level: int | None = None,
         max_edit_distance: int | None = None,
         case_sensitive: bool = True,
+        use_transpositions: bool | None = None,
     ) -> LookupResult:
-        """Look Up (§III-B): the perturbations ``P_query`` in the database."""
+        """Look Up (§III-B): the perturbations ``P_query`` in the database.
+
+        ``use_transpositions`` overrides the configured distance policy for
+        this query only (``True`` = adjacent swaps cost one edit).
+        """
         return self.lookup_engine.look_up(
             query,
             phonetic_level=phonetic_level,
             max_edit_distance=max_edit_distance,
             case_sensitive=case_sensitive,
+            use_transpositions=use_transpositions,
         )
 
     def normalize(self, text: str) -> NormalizationResult:
@@ -244,17 +250,20 @@ class CrypText:
         phonetic_level: int | None = None,
         max_edit_distance: int | None = None,
         case_sensitive: bool = True,
+        use_transpositions: bool | None = None,
     ) -> list[LookupResult]:
         """Batch Look Up: one result per query, input order preserved.
 
         Identical to calling :meth:`look_up` once per query, but duplicates
         are resolved once and sound buckets are retrieved shard-parallel.
+        ``use_transpositions`` overrides the distance policy for the batch.
         """
         return self.batch.look_up_batch(
             queries,
             phonetic_level=phonetic_level,
             max_edit_distance=max_edit_distance,
             case_sensitive=case_sensitive,
+            use_transpositions=use_transpositions,
         )
 
     def normalize_batch(self, texts: Sequence[str]) -> list[NormalizationResult]:
@@ -301,3 +310,39 @@ class CrypText:
     def stats(self) -> DictionaryStats:
         """Dictionary statistics (token counts, unique phonetic sounds)."""
         return self.dictionary.stats()
+
+    # ------------------------------------------------------------------ #
+    # warm-start snapshots
+    # ------------------------------------------------------------------ #
+    def save_snapshot(self, path=None, levels: Sequence[int] | None = None):
+        """Persist the dictionary plus compiled tries for warm restarts.
+
+        Delegates to
+        :meth:`~repro.core.dictionary.PerturbationDictionary.save_snapshot`;
+        ``path`` defaults to ``config.snapshot_dir``.
+        """
+        return self.dictionary.save_snapshot(path, levels=levels)
+
+    def load_snapshot(self, path=None, strict: bool = False):
+        """Hydrate the dictionary and every live cache layer from a snapshot.
+
+        On success the batch engine's sharded index (when one was built) is
+        warmed from the same snapshot and the query cache is cleared, so no
+        stale pre-load result survives.  On failure (corrupt file, version
+        or fingerprint mismatch) the system keeps its current state and the
+        report's ``reason`` says why — unless ``strict``, which raises.
+        """
+        report = self.dictionary.load_snapshot(path, strict=strict)
+        if report.loaded:
+            if self.cache is not None:
+                self.cache.clear()
+            if self._batch_engine is not None:
+                self._batch_engine.memo.clear()
+                # Re-warm the already-built shards from the same snapshot
+                # (the observer refresh only *drops* their compiled tries);
+                # the fingerprint matches by construction, so this installs
+                # the hydrated families instead of recompiling per bucket.
+                self._batch_engine.warm_from_snapshot(
+                    self.dictionary._snapshot_path(path)
+                )
+        return report

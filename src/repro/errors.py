@@ -49,6 +49,14 @@ class PersistenceError(StorageError):
     """Raised when loading or saving a collection to disk fails."""
 
 
+class SnapshotError(PersistenceError):
+    """Raised when a warm-start snapshot is missing, corrupt, or incompatible.
+
+    Loaders that were asked for a *graceful* load catch this and fall back
+    to recompilation; strict loaders let it propagate.
+    """
+
+
 class CacheError(StorageError):
     """Raised on invalid cache configuration or usage."""
 

@@ -23,6 +23,18 @@ from .persistence import (
     iter_jsonl,
     load_collection,
     load_store,
+    read_json,
+    write_json_atomic,
+    write_text_atomic,
+)
+from .snapshot import (
+    SNAPSHOT_FILE_NAME,
+    SNAPSHOT_FORMAT_VERSION,
+    Snapshot,
+    read_snapshot,
+    resolve_snapshot,
+    snapshot_checksum,
+    write_snapshot,
 )
 from .cache import CacheStats, TTLCache, cached, make_key
 
@@ -37,6 +49,16 @@ __all__ = [
     "iter_jsonl",
     "load_collection",
     "load_store",
+    "read_json",
+    "write_json_atomic",
+    "write_text_atomic",
+    "SNAPSHOT_FILE_NAME",
+    "SNAPSHOT_FORMAT_VERSION",
+    "Snapshot",
+    "read_snapshot",
+    "resolve_snapshot",
+    "snapshot_checksum",
+    "write_snapshot",
     "CacheStats",
     "TTLCache",
     "cached",

@@ -22,6 +22,7 @@ import copy
 import functools
 import itertools
 import threading
+from copy import deepcopy as _deepcopy
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..errors import DocumentNotFoundError, DuplicateKeyError, QueryError, StorageError
@@ -124,6 +125,41 @@ class Collection:
     def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> list[Any]:
         """Insert many documents, returning their ids in order."""
         return [self.insert_one(document) for document in documents]
+
+    @_locked
+    def load_documents(
+        self, documents: Iterable[Mapping[str, Any]], copy: bool = True
+    ) -> int:
+        """Bulk-insert ``documents`` in one locked pass; returns the count.
+
+        The warm-start path for persistence: one lock acquisition and one
+        index update per document, and with ``copy=False`` the documents are
+        adopted by reference — only valid when the caller hands over
+        ownership (freshly parsed JSON it will never touch again), which is
+        exactly what the JSONL loader and the snapshot loader do.  Duplicate
+        ``_id``\\ s raise :class:`~repro.errors.DuplicateKeyError` exactly
+        like :meth:`insert_one`.
+        """
+        count = 0
+        for document in documents:
+            if not isinstance(document, dict) and not isinstance(document, Mapping):
+                raise StorageError(
+                    f"documents must be mappings, got {type(document).__name__}"
+                )
+            stored = _deepcopy(dict(document)) if copy else dict(document)
+            doc_id = stored.get("_id")
+            if doc_id is None:
+                doc_id = self._next_id()
+                stored["_id"] = doc_id
+            elif doc_id in self._documents:
+                raise DuplicateKeyError(
+                    f"collection {self.name!r} already has a document with _id={doc_id!r}"
+                )
+            self._documents[doc_id] = stored
+            for index in self._indexes.values():
+                index.add(doc_id, stored)
+            count += 1
+        return count
 
     @_locked
     def replace_one(self, doc_id: Any, document: Mapping[str, Any]) -> None:

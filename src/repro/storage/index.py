@@ -22,6 +22,11 @@ def _freeze(value: Any) -> Hashable:
     their exact content; dictionaries are rejected (index a scalar field
     instead).
     """
+    # Scalar fast path: almost every indexed value is a string (tokens,
+    # Soundex keys) or a bool/int — skip the container isinstance ladder.
+    kind = type(value)
+    if kind is str or kind is bool or kind is int or kind is float or value is None:
+        return value
     if isinstance(value, (list, tuple)):
         return tuple(_freeze(item) for item in value)
     if isinstance(value, (set, frozenset)):
@@ -47,6 +52,7 @@ class HashIndex:
     def __init__(self, field: str, multi: bool = False) -> None:
         self.field = field
         self.multi = multi
+        self._field_parts = tuple(field.split("."))
         self._buckets: dict[Hashable, set[Any]] = defaultdict(set)
         self._entries: dict[Any, tuple[Hashable, ...]] = {}
 
@@ -55,7 +61,17 @@ class HashIndex:
 
     def _extract(self, document: Mapping[str, Any]) -> tuple[Hashable, ...]:
         current: Any = document
-        for part in self.field.split("."):
+        # Runs once per index per write — the bulk-load hot loop.  Concrete
+        # dict checks here: an ``isinstance(..., typing.Mapping)`` costs a
+        # cached-but-slow ABC dispatch, which dominated warm-start loads.
+        for part in self._field_parts:
+            if isinstance(current, dict):
+                if part in current:
+                    current = current[part]
+                    continue
+                return ()
+            # Rare path: a caller stored a non-dict Mapping (e.g. a
+            # MappingProxyType) — still index it correctly.
             if isinstance(current, Mapping) and part in current:
                 current = current[part]
             else:

@@ -9,6 +9,7 @@ by examples, tests, and benchmarks.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Iterable
 
@@ -16,23 +17,70 @@ from ..errors import PersistenceError
 from .document_store import Collection, DocumentStore
 
 
+def write_text_atomic(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    The dump/load hook shared by collection dumps and warm-start snapshots:
+    a crash mid-write leaves either the old file or the new one on disk,
+    never a truncated hybrid — which is what lets snapshot loading treat
+    "unparseable" strictly as corruption rather than a normal race.
+    Parent directories are created as needed.
+    """
+    target = Path(path)
+    scratch = target.with_name(target.name + ".tmp")
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        scratch.write_text(text, encoding="utf-8")
+        os.replace(scratch, target)
+    except OSError as exc:
+        try:
+            scratch.unlink()
+        except OSError:
+            pass
+        raise PersistenceError(f"failed to write {target}: {exc}") from exc
+    return target
+
+
+def write_json_atomic(path: str | Path, payload: Any) -> Path:
+    """Serialize ``payload`` as JSON and write it atomically to ``path``."""
+    try:
+        text = json.dumps(payload, ensure_ascii=False, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise PersistenceError(f"payload for {path} is not JSON-serializable: {exc}") from exc
+    return write_text_atomic(path, text)
+
+
+def read_json(path: str | Path) -> Any:
+    """Read one JSON document from ``path`` (the snapshot load hook)."""
+    source = Path(path)
+    if not source.exists():
+        raise PersistenceError(f"no such file: {source}")
+    try:
+        text = source.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise PersistenceError(f"failed to read {source}: {exc}") from exc
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"{source}: invalid JSON: {exc}") from exc
+
+
 def dump_collection(collection: Collection, path: str | Path) -> int:
     """Write every document of ``collection`` to ``path`` as JSON lines.
 
     Returns the number of documents written.  Parent directories are created
-    as needed.
+    as needed; the file is written atomically (temp file + rename) so a
+    crash mid-dump cannot truncate a previously good dump.
     """
     target = Path(path)
     try:
-        target.parent.mkdir(parents=True, exist_ok=True)
-        count = 0
-        with target.open("w", encoding="utf-8") as handle:
-            for document in collection:
-                handle.write(json.dumps(document, ensure_ascii=False, sort_keys=True))
-                handle.write("\n")
-                count += 1
-        return count
-    except (OSError, TypeError, ValueError) as exc:
+        lines = []
+        for document in collection:
+            lines.append(json.dumps(document, ensure_ascii=False, sort_keys=True))
+        lines.append("")
+        write_text_atomic(target, "\n".join(lines))
+        return len(lines) - 1
+    except (TypeError, ValueError) as exc:
         raise PersistenceError(
             f"failed to dump collection {collection.name!r} to {target}: {exc}"
         ) from exc
@@ -59,9 +107,7 @@ def load_collection(
     source = Path(path)
     if not source.exists():
         raise PersistenceError(f"no such file: {source}")
-    if clear:
-        collection.clear()
-    count = 0
+    documents: list[dict[str, Any]] = []
     try:
         with source.open("r", encoding="utf-8") as handle:
             for line_number, line in enumerate(handle, start=1):
@@ -79,11 +125,14 @@ def load_collection(
                         f"{source}:{line_number}: expected an object, got "
                         f"{type(document).__name__}"
                     )
-                collection.insert_one(document)
-                count += 1
+                documents.append(document)
     except OSError as exc:
         raise PersistenceError(f"failed to read {source}: {exc}") from exc
-    return count
+    if clear:
+        collection.clear()
+    # The parsed documents are owned by this call — adopt them by reference
+    # (one locked pass, no per-document deepcopy).
+    return collection.load_documents(documents, copy=False)
 
 
 def dump_store(store: DocumentStore, directory: str | Path) -> dict[str, int]:

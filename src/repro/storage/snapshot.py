@@ -1,0 +1,220 @@
+"""Versioned warm-start snapshots: token documents plus frozen trie structures.
+
+The compiled-matcher stack (PR 2/3) makes Look Up / Normalization fast only
+*after* its tries are built; a process restart used to pay full Soundex
+bucketing and trie compilation from scratch.  A snapshot captures everything
+a warm engine needs in one on-disk artifact:
+
+* the token **documents** of the dictionary collection (with their ``_id``\\ s,
+  so the str(``_id``)-sorted bucket order every matcher relies on survives a
+  reload byte for byte);
+* the **trie families** — each distinct token sequence serialized once, with
+  every trie variant it had materialized (see
+  :meth:`repro.core.matcher.TrieFamily.to_payload`);
+* the **bucket table** mapping each ``(phonetic_level, soundex_key)`` bucket
+  to its family, which is how level-shared families are persisted without
+  duplicating tries.
+
+The on-disk layout is a two-line envelope — a small header object followed
+by the body on its own line::
+
+    {"checksum": "<crc32 of the body line>", "format_version": 1}
+    {"buckets": [...], "documents": [...], "families": [...], ...}
+
+Keeping the body on one raw line lets the checksum be computed over the
+exact bytes on disk (one C-speed CRC pass) instead of re-serializing a
+multi-megabyte object graph on every load.  :func:`read_snapshot` refuses
+anything with the wrong format version, a
+checksum mismatch, or a structurally malformed body by raising
+:class:`~repro.errors.SnapshotError`; callers that asked for a graceful load
+(the dictionary, the sharded index, the CLI/DB auto-hydrate) catch it and
+fall back to recompilation, so a corrupt or stale snapshot can never take a
+service down — it only costs the warm start.
+
+This module deliberately knows nothing about the dictionary or the matcher:
+it stores opaque family payloads, keeping the storage layer below the core
+layer.  The save/load orchestration lives in
+:meth:`repro.core.dictionary.PerturbationDictionary.save_snapshot` /
+``load_snapshot`` and :meth:`repro.batch.sharded_index.ShardedPhoneticIndex.warm`.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..errors import PersistenceError, SnapshotError
+from .persistence import write_text_atomic
+
+#: Version of the on-disk snapshot envelope/body layout.  Bump whenever the
+#: body structure or the trie node-row format changes; readers refuse other
+#: versions and fall back to recompilation.
+SNAPSHOT_FORMAT_VERSION = 1
+
+#: Conventional file name for a dictionary snapshot inside a ``--db`` /
+#: ``config.snapshot_dir`` directory.
+SNAPSHOT_FILE_NAME = "dictionary.snapshot.json"
+
+
+def snapshot_checksum(body_text: str) -> str:
+    """CRC-32 (hex) over the serialized body line exactly as stored."""
+    return format(zlib.crc32(body_text.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """In-memory form of one warm-start snapshot.
+
+    ``buckets`` rows are ``[phonetic_level, soundex_key, family_index]``
+    triples (a list, not a mapping, so soundex keys never need escaping);
+    ``family_index`` addresses :attr:`families`.
+    """
+
+    dictionary_version: int
+    fingerprint: str
+    config: Mapping[str, Any] = field(default_factory=dict)
+    documents: tuple[Mapping[str, Any], ...] = ()
+    families: tuple[Mapping[str, Any], ...] = ()
+    buckets: tuple[tuple[int, str, int], ...] = ()
+
+    @property
+    def levels(self) -> tuple[int, ...]:
+        """Phonetic levels with at least one bucket in the snapshot."""
+        return tuple(sorted({level for level, _, _ in self.buckets}))
+
+    def body(self) -> dict[str, Any]:
+        """The checksummed payload written as the envelope's body line."""
+        return {
+            "dictionary_version": self.dictionary_version,
+            "fingerprint": self.fingerprint,
+            "config": dict(self.config),
+            "documents": list(self.documents),
+            "families": list(self.families),
+            "buckets": [list(bucket) for bucket in self.buckets],
+        }
+
+    @classmethod
+    def from_body(cls, body: Mapping[str, Any]) -> "Snapshot":
+        """Rebuild a snapshot from a parsed body; raises on malformed shape.
+
+        Documents and families are kept by reference (the parsed JSON is
+        owned by the loader, and a 10k-entry snapshot would pay dearly for
+        ~16k defensive dict copies); per-row structure of families is
+        validated lazily by the trie hydration.
+        """
+        try:
+            buckets = tuple(
+                (int(level), str(key), int(family_index))
+                for level, key, family_index in body["buckets"]
+            )
+            documents = tuple(body["documents"])
+            families = tuple(body["families"])
+            snapshot = cls(
+                dictionary_version=int(body["dictionary_version"]),
+                fingerprint=str(body["fingerprint"]),
+                config=dict(body.get("config", {})),
+                documents=documents,
+                families=families,
+                buckets=buckets,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"malformed snapshot body: {exc}") from exc
+        # Parsed JSON objects are always plain dicts; concrete checks keep
+        # this validation pass off the warm-start critical path.
+        if not all(type(document) is dict for document in documents):
+            raise SnapshotError("snapshot documents must be objects")
+        if not all(type(family) is dict for family in families):
+            raise SnapshotError("snapshot families must be objects")
+        for level, key, family_index in snapshot.buckets:
+            if not 0 <= family_index < len(families):
+                raise SnapshotError(
+                    f"bucket ({level}, {key!r}) references family "
+                    f"{family_index} of {len(families)}"
+                )
+        return snapshot
+
+
+def write_snapshot(path: str | Path, snapshot: Snapshot) -> Path:
+    """Persist ``snapshot`` atomically; returns the path written."""
+    try:
+        body_text = json.dumps(
+            snapshot.body(), ensure_ascii=False, sort_keys=True, separators=(",", ":")
+        )
+    except (TypeError, ValueError) as exc:
+        raise SnapshotError(f"snapshot for {path} is not JSON-serializable: {exc}") from exc
+    header = json.dumps(
+        {"checksum": snapshot_checksum(body_text), "format_version": SNAPSHOT_FORMAT_VERSION},
+        sort_keys=True,
+    )
+    try:
+        return write_text_atomic(path, header + "\n" + body_text + "\n")
+    except PersistenceError as exc:
+        raise SnapshotError(str(exc)) from exc
+
+
+def read_snapshot(path: str | Path) -> Snapshot:
+    """Load and validate a snapshot written by :func:`write_snapshot`.
+
+    Raises :class:`~repro.errors.SnapshotError` when the file is missing,
+    unparseable, carries a different format version, fails its checksum, or
+    has a malformed body — every one of which graceful loaders treat as
+    "no usable snapshot, recompile".
+    """
+    source = Path(path)
+    if not source.exists():
+        raise SnapshotError(f"no such file: {source}")
+    try:
+        text = source.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SnapshotError(f"failed to read {source}: {exc}") from exc
+    header_text, separator, body_text = text.partition("\n")
+    if not separator:
+        raise SnapshotError(f"{source}: snapshot must be a two-line envelope")
+    body_text = body_text.rstrip("\n")
+    try:
+        header = json.loads(header_text)
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"{source}: invalid snapshot header: {exc}") from exc
+    if not isinstance(header, Mapping):
+        raise SnapshotError(f"{source}: snapshot header must be a JSON object")
+    version = header.get("format_version")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotError(
+            f"{source}: snapshot format version {version!r} is not supported "
+            f"(expected {SNAPSHOT_FORMAT_VERSION})"
+        )
+    recorded = header.get("checksum")
+    actual = snapshot_checksum(body_text)
+    if recorded != actual:
+        raise SnapshotError(
+            f"{source}: checksum mismatch (recorded {recorded!r}, computed {actual!r})"
+        )
+    try:
+        body = json.loads(body_text)
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"{source}: invalid snapshot body: {exc}") from exc
+    if not isinstance(body, Mapping):
+        raise SnapshotError(f"{source}: snapshot body must be a JSON object")
+    return Snapshot.from_body(body)
+
+
+def resolve_snapshot(
+    source: "str | Path | Snapshot", strict: bool = True
+) -> Snapshot | None:
+    """Normalize a path-or-snapshot argument to a :class:`Snapshot`.
+
+    Shared by every ``from_snapshot=...`` entry point.  With ``strict``
+    false, a :class:`SnapshotError` is swallowed and ``None`` returned so
+    the caller can fall back to recompilation.
+    """
+    if isinstance(source, Snapshot):
+        return source
+    try:
+        return read_snapshot(source)
+    except SnapshotError:
+        if strict:
+            raise
+        return None

@@ -155,6 +155,62 @@ def test_compiled_lookup_matches_linear_on_golden_corpus():
     assert compare_compiled_and_linear_lookups() > 0
 
 
+def compare_cold_and_warm_systems(distances=(1, 3)) -> int:
+    """Golden-corpus equality guard for the warm-start snapshot subsystem.
+
+    Builds the golden system cold, snapshots it, hydrates a *fresh* system
+    (documents + pre-built tries, batch shards warmed from the same file),
+    and asserts field-identical Look Up results — sequential and batch —
+    plus identical normalization outputs for every golden input.  Shared by
+    the tier-1 test below and the CI smoke guard in
+    ``benchmarks/bench_cold_start.py`` so the two checks cannot drift apart.
+    Returns the number of comparisons made.
+    """
+    import tempfile
+
+    cold = CrypText.from_corpus(GOLDEN_BUILD_CORPUS)
+    compared = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        snapshot_path = Path(tmp) / "golden.snapshot.json"
+        cold.save_snapshot(snapshot_path)
+        warm = CrypText.empty(seed_lexicon=False)
+        report = warm.load_snapshot(snapshot_path, strict=True)
+        assert report.loaded and report.hydrated_tries, report
+        shard_report = warm.batch.warm_from_snapshot(snapshot_path)
+        assert shard_report.loaded, shard_report
+
+        queries = sorted({token for text in GOLDEN_INPUTS for token in text.split()})
+        for query in queries:
+            for distance in distances:
+                assert cold.look_up(
+                    query, max_edit_distance=distance
+                ) == warm.look_up(query, max_edit_distance=distance), (
+                    f"warm-start Look Up diverged from cold compile: "
+                    f"{query!r} (d={distance})"
+                )
+                compared += 1
+        assert cold.look_up_batch(queries) == warm.look_up_batch(queries)
+        compared += len(queries)
+
+        # The hydrated system carries no trained scorer; compare against a
+        # scorer-free view over the cold dictionary so only candidate
+        # retrieval and ranking (the snapshot-dependent parts) are compared.
+        cold_plain = CrypText(dictionary=cold.dictionary, config=cold.config)
+        for text in GOLDEN_INPUTS:
+            assert (
+                cold_plain.normalize(text).to_dict() == warm.normalize(text).to_dict()
+            ), f"warm-start normalization diverged on {text!r}"
+            compared += 1
+        cold.batch.close()
+        warm.batch.close()
+    return compared
+
+
+def test_cold_and_warm_systems_identical_on_golden_corpus():
+    """Snapshot hydration must be invisible on the golden corpus."""
+    assert compare_cold_and_warm_systems() > 0
+
+
 def test_golden_outputs_survive_unrelated_enrichment(fixture_records):
     """Enriching untouched buckets must not change any golden output."""
     system = CrypText.from_corpus(GOLDEN_BUILD_CORPUS)

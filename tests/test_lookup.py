@@ -139,3 +139,78 @@ class TestBulkLookup:
         assert set(results) == {"republicans", "dirty"}
         assert "repubLIEcans" in results["republicans"].tokens
         assert "dirrty" in results["dirty"].tokens
+
+
+class TestTranspositionOverride:
+    """Per-query ``use_transpositions`` override (the PR 3 follow-up).
+
+    "teh" and "the" share a sound bucket at phonetic level 0 and differ by
+    one adjacent swap — in-bound at ``d = 1`` only under the OSA policy, so
+    the override observably flips the result set.
+    """
+
+    CORPUS = ["the democrats support the vaccine mandate", "i saw the thing"]
+
+    @pytest.fixture()
+    def engine(self) -> LookupEngine:
+        config = CrypTextConfig(phonetic_level=0, edit_distance=1)
+        dictionary = PerturbationDictionary.from_corpus(self.CORPUS, config=config)
+        dictionary.seed_lexicon(["the", "thing", "vaccine"])
+        return LookupEngine(dictionary, config=config)
+
+    def test_override_flips_the_swap_result(self, engine):
+        assert "the" not in engine.look_up("teh").tokens
+        assert "the" in engine.look_up("teh", use_transpositions=True).tokens
+        # Explicit False equals the configured default here.
+        assert engine.look_up("teh", use_transpositions=False) == engine.look_up("teh")
+
+    def test_override_categorizes_consistently_with_its_policy(self, engine):
+        result = engine.look_up("teh", use_transpositions=True)
+        categories = {match.token: match.category.value for match in result.matches}
+        assert categories["the"] == "adjacent_swap"
+        wide = engine.look_up("teh", max_edit_distance=2)
+        wide_categories = {match.token: match.category.value for match in wide.matches}
+        # Same pair admitted as two plain-Levenshtein edits is not one swap.
+        assert wide_categories["the"] == "mixed"
+
+    def test_override_is_part_of_the_cache_key(self, engine):
+        osa = engine.look_up("teh", use_transpositions=True)
+        plain = engine.look_up("teh")
+        assert osa != plain
+        # Serve both again from cache: still distinct, no cross-talk.
+        assert engine.look_up("teh", use_transpositions=True) == osa
+        assert engine.look_up("teh") == plain
+
+    def test_override_matches_config_level_policy(self):
+        config = CrypTextConfig(
+            phonetic_level=0, edit_distance=1, use_transpositions=True
+        )
+        dictionary = PerturbationDictionary.from_corpus(self.CORPUS, config=config)
+        dictionary.seed_lexicon(["the", "thing", "vaccine"])
+        configured = LookupEngine(dictionary, config=config).look_up("teh")
+        overridden = self._engine_with_default_policy().look_up(
+            "teh", use_transpositions=True
+        )
+        assert configured.tokens == overridden.tokens
+
+    def _engine_with_default_policy(self) -> LookupEngine:
+        config = CrypTextConfig(phonetic_level=0, edit_distance=1)
+        dictionary = PerturbationDictionary.from_corpus(self.CORPUS, config=config)
+        dictionary.seed_lexicon(["the", "thing", "vaccine"])
+        return LookupEngine(dictionary, config=config)
+
+    def test_batch_engine_honours_the_override(self):
+        from repro.batch import BatchEngine
+
+        config = CrypTextConfig(phonetic_level=0, edit_distance=1)
+        dictionary = PerturbationDictionary.from_corpus(self.CORPUS, config=config)
+        dictionary.seed_lexicon(["the", "thing", "vaccine"])
+        engine = BatchEngine(dictionary, config=config, num_shards=2)
+        try:
+            sequential = engine.lookup_engine.look_up("teh", use_transpositions=True)
+            (batched,) = engine.look_up_batch(["teh"], use_transpositions=True)
+            assert batched == sequential
+            (plain,) = engine.look_up_batch(["teh"])
+            assert "the" not in plain.tokens
+        finally:
+            engine.close()

@@ -18,7 +18,7 @@ from repro import CrypText, CrypTextConfig
 from repro.core.dictionary import DictionaryEntry, PerturbationDictionary
 from repro.core.edit_distance import bounded_levenshtein, damerau_levenshtein_distance
 from repro.core.lookup import LookupEngine
-from repro.core.matcher import CompiledBucket
+from repro.core.matcher import CompiledBucket, TrieFamily, TrieFamilyRegistry
 
 # Raw spellings mix plain letters, leetspeak symbols, separators, and the
 # Unicode folds the canonicalizer handles (accents, homoglyph-ish letters).
@@ -325,3 +325,89 @@ class TestInvalidation:
         engine = LookupEngine(dictionary, config=config)
         assert "republicans" in engine.look_up("republicans").tokens
         assert dictionary._compiled == {}
+
+
+class TestTrieFamilies:
+    """Level-shared trie families and their snapshot serialization."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(tokens, min_size=0, max_size=25), queries, bounds)
+    def test_payload_round_trip_matches_identically(self, bucket_tokens, query, bound):
+        entries = [
+            make_entry(token, is_word=index % 2 == 0)
+            for index, token in enumerate(bucket_tokens)
+        ]
+        original = CompiledBucket(entries)
+        # Materialize every variant, then rebuild the family from its payload.
+        for canonical in (False, True):
+            for english_only in (False, True):
+                original.match(
+                    query.lower(), bound, canonical=canonical, english_only=english_only
+                )
+        rebuilt = TrieFamily.from_payload(original.family.to_payload())
+        hydrated = CompiledBucket(entries, family=rebuilt)
+        assert rebuilt.tries_built == 0  # nothing recompiled
+        for canonical in (False, True):
+            for english_only in (False, True):
+                for transpositions in (False, True):
+                    assert hydrated.match(
+                        query.lower(),
+                        bound,
+                        canonical=canonical,
+                        english_only=english_only,
+                        transpositions=transpositions,
+                    ) == original.match(
+                        query.lower(),
+                        bound,
+                        canonical=canonical,
+                        english_only=english_only,
+                        transpositions=transpositions,
+                    )
+
+    def test_registry_shares_one_family_across_views(self):
+        registry = TrieFamilyRegistry()
+        entries = [make_entry(token) for token in ("cat", "cart", "card")]
+        first = CompiledBucket(entries, family=registry.family_for(entries))
+        second = CompiledBucket(entries, family=registry.family_for(entries))
+        assert first.family is second.family
+        first.match("cat", 1)
+        assert second.family.tries_built == 1  # compiled once, shared
+        stats = registry.stats()
+        assert stats["views"] == 2
+        assert stats["families_created"] == 1
+        assert stats["families_shared"] == 1
+
+    def test_registry_is_weak(self):
+        import gc
+
+        registry = TrieFamilyRegistry()
+        entries = [make_entry("cat")]
+        bucket = CompiledBucket(entries, family=registry.family_for(entries))
+        assert registry.stats()["live_families"] == 1
+        del bucket
+        gc.collect()
+        assert registry.stats()["live_families"] == 0
+
+    def test_dictionary_levels_share_families(self):
+        dictionary = PerturbationDictionary.from_corpus(
+            ["the vaccine mandate divides the neighborhood"]
+        )
+        for level in dictionary.phonetic_levels:
+            for entry in dictionary.iter_entries():
+                key = entry.key_at(level)
+                if key is not None:
+                    dictionary.compiled_bucket(key, phonetic_level=level)
+        stats = dictionary.trie_families.stats()
+        # Three levels viewed every bucket; singleton buckets never split,
+        # so strictly fewer families exist than bucket views.
+        assert stats["families_created"] < stats["views"]
+        assert stats["families_shared"] > 0
+
+    def test_adopt_prefers_existing_live_family(self):
+        registry = TrieFamilyRegistry()
+        entries = [make_entry("cat")]
+        live = registry.family_for(entries)
+        incoming = TrieFamily(("cat",))
+        assert registry.adopt(incoming) is live
+        other = TrieFamily(("dog",))
+        assert registry.adopt(other) is other

@@ -1,0 +1,339 @@
+"""Tests for the warm-start snapshot subsystem.
+
+The contract under test: a snapshot-hydrated system is *observably
+identical* to a freshly compiled one (Look Up and Normalization results,
+byte for byte), and every failure mode — corruption, format-version drift,
+stale fingerprints — degrades to recompilation instead of wrong answers or
+a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import string
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CrypText, CrypTextConfig
+from repro.core.dictionary import PerturbationDictionary
+from repro.core.lookup import LookupEngine
+from repro.errors import DictionaryError, SnapshotError
+from repro.storage import (
+    SNAPSHOT_FORMAT_VERSION,
+    read_snapshot,
+    write_snapshot,
+)
+
+CORPUS = [
+    "the demokrats hate the vacc1ne",
+    "the dirrty republicans lie",
+    "teh vaccine works",
+    "mus-lim families moved into the neighborhood",
+    "the democRATs and the repubLIEcans argue online",
+]
+
+QUERIES = ("vaccine", "democrats", "republicans", "the", "muslim", "zzzz")
+TEXTS = (
+    "the demokrats push the vacc1ne",
+    "teh dirrty republicans",
+    "nothing perturbed here",
+)
+
+
+def build_dictionary(config: CrypTextConfig | None = None) -> PerturbationDictionary:
+    config = config if config is not None else CrypTextConfig()
+    dictionary = PerturbationDictionary(config=config)
+    dictionary.add_corpus(CORPUS, source="test")
+    dictionary.seed_lexicon()
+    return dictionary
+
+
+@pytest.fixture()
+def snapshot_path(tmp_path) -> Path:
+    return tmp_path / "dictionary.snapshot.json"
+
+
+class TestRoundTrip:
+    def test_save_then_load_is_lookup_identical(self, snapshot_path):
+        original = build_dictionary()
+        report = original.save_snapshot(snapshot_path)
+        assert report.documents == len(original)
+        assert report.buckets > report.families > 0
+
+        hydrated = PerturbationDictionary(config=CrypTextConfig())
+        load = hydrated.load_snapshot(snapshot_path)
+        assert load.loaded and load.hydrated_tries and load.reason is None
+        assert len(hydrated) == len(original)
+        assert hydrated.content_fingerprint() == original.content_fingerprint()
+
+        cold_engine = LookupEngine(original)
+        warm_engine = LookupEngine(hydrated)
+        for query in QUERIES:
+            for distance in (1, 3):
+                assert cold_engine.look_up(
+                    query, max_edit_distance=distance
+                ) == warm_engine.look_up(query, max_edit_distance=distance)
+
+    def test_hydrated_tries_serve_without_recompiling(self, snapshot_path):
+        original = build_dictionary()
+        original.save_snapshot(snapshot_path)
+        hydrated = PerturbationDictionary(config=CrypTextConfig())
+        hydrated.load_snapshot(snapshot_path)
+        LookupEngine(hydrated).look_up("vaccine")
+        stats = hydrated.compiled_cache_stats()
+        # The pre-seeded LRU serves the query; nothing recompiles.
+        assert stats["hits"] >= 1
+        assert stats["misses"] == 0
+        assert stats["families"]["families_adopted"] > 0
+
+    def test_full_system_cold_vs_warm_normalization(self, tmp_path):
+        cold = CrypText.from_corpus(CORPUS)
+        path = tmp_path / "snap.json"
+        cold.save_snapshot(path)
+        warm = CrypText.empty(seed_lexicon=False)
+        report = warm.load_snapshot(path)
+        assert report.loaded
+        # The warm system has no trained scorer — compare candidate-level
+        # outputs through dictionaries with identical (scorer-free) setups.
+        cold_plain = CrypText(dictionary=cold.dictionary, config=cold.config)
+        for text in TEXTS:
+            assert (
+                cold_plain.normalize(text).to_dict() == warm.normalize(text).to_dict()
+            )
+
+    def test_save_requires_a_path_or_configured_dir(self):
+        dictionary = build_dictionary()
+        with pytest.raises(DictionaryError):
+            dictionary.save_snapshot()
+
+    def test_snapshot_dir_config_provides_default_path(self, tmp_path):
+        config = CrypTextConfig(snapshot_dir=str(tmp_path))
+        dictionary = build_dictionary(config)
+        report = dictionary.save_snapshot()
+        assert Path(report.path).parent == tmp_path
+        fresh = PerturbationDictionary(config=config)
+        assert fresh.load_snapshot().loaded
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.text(alphabet=string.ascii_lowercase + "013@-", min_size=1, max_size=10),
+            min_size=1,
+            max_size=25,
+        ),
+        st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8),
+    )
+    def test_random_corpora_round_trip(self, tmp_path_factory, tokens, query):
+        path = tmp_path_factory.mktemp("snap") / "s.json"
+        config = CrypTextConfig(cache_enabled=False)
+        original = PerturbationDictionary(config=config)
+        for token in tokens:
+            original.add_token(token, source="prop")
+        original.save_snapshot(path)
+        hydrated = PerturbationDictionary(config=config)
+        assert hydrated.load_snapshot(path).loaded
+        cold_engine = LookupEngine(original, config=config)
+        warm_engine = LookupEngine(hydrated, config=config)
+        probes = [query, *tokens[:5]]
+        for probe in probes:
+            for distance in (0, 2):
+                assert cold_engine.look_up(
+                    probe, max_edit_distance=distance
+                ) == warm_engine.look_up(probe, max_edit_distance=distance)
+
+
+class TestCorruptionAndVersioning:
+    def test_missing_file_falls_back(self, snapshot_path):
+        dictionary = build_dictionary()
+        report = dictionary.load_snapshot(snapshot_path)
+        assert not report.loaded and not report.hydrated_tries
+        assert "no such file" in report.reason
+        # Dictionary untouched and still serving.
+        assert len(dictionary) > 0
+        with pytest.raises(SnapshotError):
+            dictionary.load_snapshot(snapshot_path, strict=True)
+
+    def test_truncated_file_falls_back(self, snapshot_path):
+        dictionary = build_dictionary()
+        dictionary.save_snapshot(snapshot_path)
+        text = snapshot_path.read_text(encoding="utf-8")
+        snapshot_path.write_text(text[: len(text) // 2], encoding="utf-8")
+        fresh = PerturbationDictionary(config=CrypTextConfig())
+        report = fresh.load_snapshot(snapshot_path)
+        assert not report.loaded
+        assert len(fresh) == 0
+
+    def test_flipped_payload_fails_checksum(self, snapshot_path):
+        dictionary = build_dictionary()
+        dictionary.save_snapshot(snapshot_path)
+        header, body = snapshot_path.read_text(encoding="utf-8").split("\n", 1)
+        tampered = json.loads(body)
+        tampered["dictionary_version"] += 1
+        snapshot_path.write_text(
+            header + "\n" + json.dumps(tampered), encoding="utf-8"
+        )
+        with pytest.raises(SnapshotError, match="checksum"):
+            read_snapshot(snapshot_path)
+        report = PerturbationDictionary(config=CrypTextConfig()).load_snapshot(
+            snapshot_path
+        )
+        assert not report.loaded and "checksum" in report.reason
+
+    def test_foreign_format_version_falls_back(self, snapshot_path):
+        dictionary = build_dictionary()
+        dictionary.save_snapshot(snapshot_path)
+        header, body = snapshot_path.read_text(encoding="utf-8").split("\n", 1)
+        envelope = json.loads(header)
+        envelope["format_version"] = SNAPSHOT_FORMAT_VERSION + 1
+        snapshot_path.write_text(
+            json.dumps(envelope) + "\n" + body, encoding="utf-8"
+        )
+        with pytest.raises(SnapshotError, match="format version"):
+            read_snapshot(snapshot_path)
+        report = PerturbationDictionary(config=CrypTextConfig()).load_snapshot(
+            snapshot_path
+        )
+        assert not report.loaded and "format version" in report.reason
+
+    def test_structurally_foreign_family_degrades_to_documents_only(
+        self, snapshot_path
+    ):
+        dictionary = build_dictionary()
+        dictionary.save_snapshot(snapshot_path)
+        snapshot = read_snapshot(snapshot_path)
+        broken = snapshot.__class__(
+            dictionary_version=snapshot.dictionary_version,
+            fingerprint=snapshot.fingerprint,
+            config=snapshot.config,
+            documents=snapshot.documents,
+            families=({"tokens": "not-a-list", "tries": 7},) + snapshot.families[1:],
+            buckets=snapshot.buckets,
+        )
+        write_snapshot(snapshot_path, broken)
+        fresh = PerturbationDictionary(config=CrypTextConfig())
+        report = fresh.load_snapshot(snapshot_path)
+        # Documents landed; tries fall back to lazy recompilation.
+        assert report.loaded and not report.hydrated_tries
+        assert len(fresh) == len(dictionary)
+        assert LookupEngine(fresh).look_up("vaccine") == LookupEngine(
+            dictionary
+        ).look_up("vaccine")
+
+    def test_corrupt_trie_rows_fall_back_to_compilation_per_bucket(
+        self, snapshot_path
+    ):
+        dictionary = build_dictionary()
+        dictionary.save_snapshot(snapshot_path)
+        snapshot = read_snapshot(snapshot_path)
+        # Corrupt every family's serialized rows but keep the structure
+        # (tokens + tries mapping) intact: hydration is lazy, so the damage
+        # surfaces at query time — where it must degrade to a fresh compile,
+        # never to an error or a wrong match.
+        vandalized = tuple(
+            {"tokens": family["tokens"], "tries": {"raw": [["bad row"]]}}
+            for family in snapshot.families
+        )
+        broken = snapshot.__class__(
+            dictionary_version=snapshot.dictionary_version,
+            fingerprint=snapshot.fingerprint,
+            config=snapshot.config,
+            documents=snapshot.documents,
+            families=vandalized,
+            buckets=snapshot.buckets,
+        )
+        write_snapshot(snapshot_path, broken)
+        fresh = PerturbationDictionary(config=CrypTextConfig())
+        report = fresh.load_snapshot(snapshot_path)
+        assert report.loaded and report.hydrated_tries
+        for query in QUERIES:
+            assert LookupEngine(fresh).look_up(query) == LookupEngine(
+                dictionary
+            ).look_up(query)
+
+
+class TestShardedWarmStart:
+    def test_batch_engine_hydrates_without_recompiling(self, tmp_path):
+        system = CrypText.from_corpus(CORPUS)
+        path = tmp_path / "snap.json"
+        system.save_snapshot(path)
+
+        fresh = CrypText.empty(seed_lexicon=False)
+        assert fresh.load_snapshot(path).loaded
+        report = fresh.batch.warm_from_snapshot(path)
+        assert report.loaded and report.hydrated_tries and report.buckets > 0
+        queries = ["vaccine", "democrats", "republicans", "vaccine"]
+        assert system.look_up_batch(queries) == fresh.look_up_batch(queries)
+        shard_stats = fresh.batch.index.compiled_cache_stats()
+        assert shard_stats["misses"] == 0 and shard_stats["size"] > 0
+
+    def test_stale_snapshot_is_refused_and_engine_still_serves(self, tmp_path):
+        system = CrypText.from_corpus(CORPUS)
+        path = tmp_path / "snap.json"
+        system.save_snapshot(path)
+        system.learn_from(["brand new chatter changes the fingerprint"])
+        report = system.batch.warm_from_snapshot(path)
+        assert not report.loaded
+        assert "fingerprint" in report.reason
+        # Fallback warmed the index the normal way; results are correct.
+        assert system.look_up_batch(["vaccine"])[0] == system.look_up("vaccine")
+
+    def test_writes_after_hydration_invalidate_warm_buckets(self, tmp_path):
+        system = CrypText.from_corpus(CORPUS)
+        path = tmp_path / "snap.json"
+        system.save_snapshot(path)
+        fresh = CrypText.empty(seed_lexicon=False)
+        assert fresh.load_snapshot(path).loaded
+        before = fresh.look_up("vaccine")
+        fresh.learn_from(["a vacine variant spotted"])
+        after = fresh.look_up("vaccine")
+        assert "vacine" in after.tokens
+        assert before != after
+
+
+class TestCompiledCacheCounters:
+    def test_dictionary_counters_track_hits_misses_and_invalidations(self):
+        dictionary = build_dictionary()
+        engine = LookupEngine(dictionary, config=CrypTextConfig(cache_enabled=False))
+        engine.look_up("vaccine")
+        engine.look_up("vaccine")
+        stats = dictionary.compiled_cache_stats()
+        assert stats["misses"] >= 1
+        assert stats["hits"] >= 1
+        dictionary.add_token("vacine")
+        assert dictionary.compiled_cache_stats()["invalidations"] >= 1
+
+    def test_dictionary_stats_exports_compiled_cache(self):
+        dictionary = build_dictionary()
+        payload = dictionary.stats().to_dict()
+        assert "compiled_cache" in payload
+        for key in ("hits", "misses", "evictions", "invalidations", "families"):
+            assert key in payload["compiled_cache"]
+
+    def test_shard_stats_and_engine_stats_export_compiled_counters(self):
+        system = CrypText.from_corpus(CORPUS)
+        system.look_up_batch(["vaccine", "democrats", "vaccine"])
+        shard_payloads = [s.to_dict() for s in system.batch.index.shard_stats()]
+        assert all("compiled_hits" in payload for payload in shard_payloads)
+        engine_stats = system.batch.stats()
+        compiled = engine_stats["compiled_buckets"]
+        assert set(compiled) == {"shards", "dictionary"}
+        assert compiled["shards"]["misses"] >= 1
+
+    def test_trie_families_shared_across_levels(self):
+        dictionary = build_dictionary()
+        # Compile the same token's bucket at every materialized level: the
+        # singleton buckets (and any level-stable bucket) share one family.
+        key_counts = 0
+        for level in dictionary.phonetic_levels:
+            for entry in dictionary.iter_entries():
+                key = entry.key_at(level)
+                if key is not None:
+                    dictionary.compiled_bucket(key, phonetic_level=level)
+                    key_counts += 1
+        stats = dictionary.trie_families.stats()
+        assert stats["families_created"] < stats["views"]
+        assert stats["families_shared"] > 0
