@@ -39,6 +39,7 @@ from .core import (
     AddOutcome,
     DictionaryEntry,
     DictionaryStats,
+    RecoveryReport,
     SnapshotLoadReport,
     SnapshotSaveReport,
     TrieFamily,
@@ -77,6 +78,7 @@ __all__ = [
     "CompiledBucket",
     "TrieFamily",
     "TrieFamilyRegistry",
+    "RecoveryReport",
     "SnapshotLoadReport",
     "SnapshotSaveReport",
     "CustomSoundex",

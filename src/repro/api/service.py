@@ -43,6 +43,56 @@ class ServiceResponse:
         return {"status": self.status, "body": dict(self.body)}
 
 
+@dataclass(frozen=True)
+class CompiledCacheStats:
+    """Structured view of the compiled-bucket LRU counters.
+
+    What ``/v1/stats`` dashboards consume instead of the raw dictionary:
+    explicit hit/miss/eviction/invalidation fields plus a derived hit rate,
+    with the trie-family sharing counters kept as a nested block.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    size: int
+    capacity: int
+    families: dict[str, object]
+
+    @classmethod
+    def from_raw(cls, raw: dict[str, object]) -> "CompiledCacheStats":
+        """Build from :meth:`PerturbationDictionary.compiled_cache_stats` output."""
+        return cls(
+            hits=int(raw.get("hits", 0)),  # type: ignore[arg-type]
+            misses=int(raw.get("misses", 0)),  # type: ignore[arg-type]
+            evictions=int(raw.get("evictions", 0)),  # type: ignore[arg-type]
+            invalidations=int(raw.get("invalidations", 0)),  # type: ignore[arg-type]
+            size=int(raw.get("size", 0)),  # type: ignore[arg-type]
+            capacity=int(raw.get("capacity", 0)),  # type: ignore[arg-type]
+            families=dict(raw.get("families", {})),  # type: ignore[arg-type]
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total probes (0.0 when the cache was never probed)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize for the stats endpoint."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+            "size": self.size,
+            "capacity": self.capacity,
+            "families": dict(self.families),
+        }
+
+
 class CrypTextService:
     """Token-authorized facade over a :class:`~repro.core.pipeline.CrypText`.
 
@@ -75,6 +125,7 @@ class CrypTextService:
         cache: TTLCache | None = None,
         max_batch_size: int = 256,
         max_bulk_batch_size: int = 4096,
+        scheduler=None,
     ) -> None:
         if max_batch_size < 1:
             raise ServiceError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -92,6 +143,9 @@ class CrypTextService:
         self.cache = cache if cache is not None else cryptext.cache
         self.max_batch_size = max_batch_size
         self.max_bulk_batch_size = max_bulk_batch_size
+        #: Optional maintenance scheduler behind ``/v1/admin/maintenance``
+        #: and the ``maintenance`` section of ``/v1/stats``.
+        self.scheduler = scheduler
         self._listener: SocialListener | None = None
 
     # ------------------------------------------------------------------ #
@@ -319,25 +373,96 @@ class CrypTextService:
         )
 
     def stats(self, token: str | None) -> ServiceResponse:
-        """Dictionary statistics endpoint."""
+        """Dictionary statistics endpoint — the ``/v1/stats`` route.
+
+        Beyond the raw dictionary aggregates (``stats``), the body carries
+        structured operational sections: ``compiled_cache`` (the
+        trie-cache LRU counters with a derived hit rate —
+        :class:`CompiledCacheStats`), ``recovery`` (the last crash-recovery
+        outcome, when the dictionary was reconstructed via
+        :meth:`~repro.core.dictionary.PerturbationDictionary.recover`), and
+        ``maintenance`` (the scheduler's counters/due times, when one is
+        bound).
+        """
         guard = self._guard(token, "stats")
         if isinstance(guard, ServiceResponse):
             return guard
-        return ServiceResponse(status=200, body={"stats": self.cryptext.stats().to_dict()})
+        dictionary = self.cryptext.dictionary
+        recovery = dictionary.last_recovery
+        body: dict[str, object] = {
+            "stats": self.cryptext.stats().to_dict(),
+            "compiled_cache": CompiledCacheStats.from_raw(
+                dictionary.compiled_cache_stats()
+            ).to_dict(),
+            "recovery": recovery.to_dict() if recovery is not None else None,
+            "maintenance": (
+                self.scheduler.status() if self.scheduler is not None else None
+            ),
+        }
+        return ServiceResponse(status=200, body=body)
 
-    def snapshot_save(self, token: str | None, path: str | None = None) -> ServiceResponse:
+    # ------------------------------------------------------------------ #
+    # durability administration
+    # ------------------------------------------------------------------ #
+    def bind_scheduler(self, scheduler) -> None:
+        """Attach (or replace) the maintenance scheduler behind the admin API."""
+        self.scheduler = scheduler
+
+    def maintenance_status(self, token: str | None) -> ServiceResponse:
+        """Maintenance status — the ``/v1/admin/maintenance`` GET route.
+
+        Requires the ``admin`` scope.  409 when no scheduler is bound.
+        """
+        guard = self._guard(token, "admin")
+        if isinstance(guard, ServiceResponse):
+            return guard
+        if self.scheduler is None:
+            return ServiceResponse(
+                status=409, body={"error": "no maintenance scheduler is bound"}
+            )
+        return ServiceResponse(status=200, body={"maintenance": self.scheduler.status()})
+
+    def maintenance_trigger(
+        self, token: str | None, task: str = "save"
+    ) -> ServiceResponse:
+        """Run one maintenance task now — the ``/v1/admin/maintenance`` POST route.
+
+        Requires the ``admin`` scope.  ``task`` is ``save`` (respects the
+        incremental policy), ``full_save``, ``compact``, or
+        ``truncate_wal``.
+        """
+        guard = self._guard(token, "admin")
+        if isinstance(guard, ServiceResponse):
+            return guard
+        if self.scheduler is None:
+            return ServiceResponse(
+                status=409, body={"error": "no maintenance scheduler is bound"}
+            )
+        try:
+            outcome = self.scheduler.run_now(task)
+        except CrypTextError as exc:
+            return ServiceResponse(status=400, body={"error": str(exc)})
+        return ServiceResponse(status=200, body={"maintenance": outcome})
+
+    def snapshot_save(
+        self,
+        token: str | None,
+        path: str | None = None,
+        incremental: bool = False,
+    ) -> ServiceResponse:
         """Warm-start snapshot save — the ``/v1/admin/snapshot`` POST route.
 
         Requires the ``admin`` scope.  Persists the dictionary plus its
         compiled tries to ``path`` (or the configured
         ``config.snapshot_dir``) so the next deploy/restart hydrates instead
-        of recompiling.
+        of recompiling.  ``incremental`` writes a delta covering only the
+        buckets changed since the last save (:mod:`repro.wal.delta`).
         """
         guard = self._guard(token, "admin")
         if isinstance(guard, ServiceResponse):
             return guard
         try:
-            report = self.cryptext.save_snapshot(path)
+            report = self.cryptext.save_snapshot(path, incremental=incremental)
         except CrypTextError as exc:
             return ServiceResponse(status=400, body={"error": str(exc)})
         return ServiceResponse(status=200, body={"snapshot": report.to_dict()})

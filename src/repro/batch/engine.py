@@ -211,6 +211,11 @@ class BatchEngine:
         #: retrieval fans out to the worker pool (below it, pool overhead
         #: exceeds the probe cost).
         self.parallel_threshold = 8
+        # Cooperative maintenance hook (attach_maintenance): streaming
+        # generators tick it between chunks, so a long-running stream
+        # refreshes snapshots on schedule while the shard pool keeps
+        # serving — saves never pause the shards.
+        self._maintenance = None
         self._enrich_lock = threading.RLock()
         # One long-lived pool for shard-parallel bucket retrieval; creating
         # an executor per batch would pay thread spawn/join on every chunk
@@ -507,6 +512,21 @@ class BatchEngine:
     # ------------------------------------------------------------------ #
     # plumbing
     # ------------------------------------------------------------------ #
+    def attach_maintenance(self, scheduler) -> None:
+        """Tick ``scheduler`` between streamed chunks (cooperative upkeep).
+
+        The streaming generators call
+        :meth:`~repro.wal.maintenance.MaintenanceScheduler.tick` each time a
+        chunk's results are drained — a cheap no-op until the auto-save
+        interval elapses, then an incremental snapshot refresh that runs
+        while the shard pool keeps resolving the next chunks.
+        """
+        self._maintenance = scheduler
+
+    def _tick_maintenance(self) -> None:
+        if self._maintenance is not None:
+            self._maintenance.tick()
+
     def _stream(self, items, process, chunk_size, max_in_flight):
         size = self.chunk_size if chunk_size is None else chunk_size
         bound = self.max_in_flight if max_in_flight is None else max_in_flight
@@ -521,9 +541,11 @@ class BatchEngine:
             for chunk in _chunked(items, size):
                 while len(in_flight) >= bound:
                     yield from in_flight.popleft().result()
+                    self._tick_maintenance()
                 in_flight.append(pool.submit(process, chunk))
             while in_flight:
                 yield from in_flight.popleft().result()
+                self._tick_maintenance()
 
     def stats(self) -> dict[str, object]:
         """Shard layout plus cache/memoization counters (monitoring export).
@@ -546,4 +568,7 @@ class BatchEngine:
             },
             "chunk_size": self.chunk_size,
             "max_in_flight": self.max_in_flight,
+            "maintenance": (
+                self._maintenance.status() if self._maintenance is not None else None
+            ),
         }

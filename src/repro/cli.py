@@ -43,10 +43,14 @@ DB_FILE_NAME = "tokens.jsonl"
 def _build_system(args: argparse.Namespace, train_scorer: bool = True) -> CrypText:
     """Build or load the CrypText system an invocation should run against.
 
-    A ``--db`` directory that contains a warm-start snapshot hydrates from
-    it (documents *and* compiled tries in one load); a missing, corrupt, or
-    stale snapshot silently falls back to the plain JSONL load followed by
-    lazy recompilation, so old databases keep working unchanged.
+    A ``--db`` directory that contains a warm-start snapshot hydrates the
+    *whole durability state* — base snapshot, delta chain, and the WAL
+    tail past it — via ``recover()``, so a database maintained by a
+    scheduler-driven service is never served stale by a one-shot command
+    (and ``snapshot save --db`` extends the real chain instead of
+    rewriting a stale base over it).  A missing, corrupt, or stale
+    snapshot silently falls back to the plain JSONL load followed by lazy
+    recompilation, so old databases keep working unchanged.
     """
     if getattr(args, "db", None):
         db_dir = Path(args.db)
@@ -54,9 +58,12 @@ def _build_system(args: argparse.Namespace, train_scorer: bool = True) -> CrypTe
         db_path = db_dir / DB_FILE_NAME
         system = CrypText.empty(seed_lexicon=False)
         if snapshot_path.exists():
-            report = system.load_snapshot(snapshot_path)
+            report = system.recover(db_dir)
             if report.loaded:
                 return system
+            # Unusable snapshot: discard whatever partial WAL replay the
+            # recovery attempt applied and fall back to the JSONL dump.
+            system = CrypText.empty(seed_lexicon=False)
         if not db_path.exists():
             raise CrypTextError(
                 f"no dictionary found at {db_path}; run 'build --out {args.db}' first"
@@ -85,6 +92,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     written = dump_collection(system.dictionary.collection, out_dir / DB_FILE_NAME)
+    # A rebuild starts a fresh history: journal segments from the previous
+    # life of this directory must not replay over the new dictionary (the
+    # fresh snapshot records wal_seq=0).
+    from .wal import resolve_wal_directory, supersede_wal_segments
+
+    wal_dir = resolve_wal_directory(system.config, out_dir)
+    stale_segments = supersede_wal_segments(wal_dir)
     stats = system.stats()
     payload = {
         "written_entries": written,
@@ -96,6 +110,11 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"saved {written} entries to {out_dir / DB_FILE_NAME}",
         f"tokens={stats.total_tokens} unique-sounds(k=1)={stats.unique_keys[1]}",
     ]
+    if stale_segments:
+        lines.append(
+            f"sidelined {stale_segments} stale change-log segment(s) in {wal_dir} "
+            f"(renamed *.superseded)"
+        )
     snapshot_path = out_dir / SNAPSHOT_FILE_NAME
     if args.snapshot or system.config.snapshot_on_save:
         report = system.save_snapshot(snapshot_path)
@@ -105,9 +124,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
             f"{report.families} trie families) to {report.path}"
         )
     elif snapshot_path.exists():
-        # A rebuild without --snapshot must not leave a stale snapshot
-        # shadowing the fresh JSONL dump (--db loading prefers snapshots).
+        # A rebuild without --snapshot must not leave a stale snapshot (or
+        # its delta chain) shadowing the fresh JSONL dump (--db loading
+        # prefers snapshots).
+        from .wal.delta import remove_delta_files
+
         snapshot_path.unlink()
+        remove_delta_files(out_dir)
         lines.append(f"removed stale warm-start snapshot {snapshot_path}")
     _emit(payload, args, lines)
     return 0
@@ -120,16 +143,26 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         raise CrypTextError("snapshot requires --file or --db")
     if args.action == "save":
         system = _build_system(args, train_scorer=False)
-        report = system.save_snapshot(path)
-        _emit(
-            {"snapshot": report.to_dict()},
-            args,
-            [
+        if getattr(args, "incremental", False):
+            # An incremental save extends the chain last saved into this
+            # directory; with no prior save this process knows about, it
+            # falls back to a full rewrite (and says so).
+            report = system.save_snapshot(path, incremental=True)
+        else:
+            report = system.save_snapshot(path)
+        if report.incremental:
+            lines = [
+                f"saved delta {report.delta_index or '(none: nothing dirty)'} "
+                f"to {report.path}: {report.documents} changed documents, "
+                f"{report.buckets} dirty buckets sharing {report.families} trie families"
+            ]
+        else:
+            lines = [
                 f"saved snapshot to {report.path}: {report.documents} documents, "
                 f"{report.buckets} buckets sharing {report.families} trie families "
                 f"(levels {', '.join(map(str, report.levels))})"
-            ],
-        )
+            ]
+        _emit({"snapshot": report.to_dict()}, args, lines)
         return 0
     if args.action == "load":
         system = CrypText.empty(seed_lexicon=False)
@@ -170,6 +203,113 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
             f"{len(snapshot.buckets)} buckets sharing {len(snapshot.families)} "
             f"trie families, levels {list(snapshot.levels)}, "
             f"fingerprint {snapshot.fingerprint}"
+        ],
+    )
+    return 0
+
+
+def _wal_directory(args: argparse.Namespace) -> Path:
+    """Resolve the change-log directory for the ``wal`` subcommand.
+
+    Shares the library-wide precedence rule (explicit override, else
+    ``config.wal_dir``, else the ``<db>/wal`` sibling) so ``wal info``
+    always reports the same journal recovery would replay.
+    """
+    from .config import DEFAULT_CONFIG
+    from .wal import resolve_wal_directory
+
+    override = getattr(args, "wal_dir", None) or None
+    if override is None and not getattr(args, "db", None):
+        raise CrypTextError("wal requires --wal-dir or --db")
+    return resolve_wal_directory(DEFAULT_CONFIG, args.db or ".", override)
+
+
+def _cmd_wal(args: argparse.Namespace) -> int:
+    """The ``wal`` subcommand: inspect / replay / compact the durability layer."""
+    from .errors import WalError
+    from .wal import ChangeLog, MaintenancePolicy, MaintenanceScheduler, list_delta_paths
+
+    wal_dir = _wal_directory(args)
+    if args.action == "info":
+        try:
+            stats = ChangeLog.scan(wal_dir)
+        except WalError as exc:
+            raise CrypTextError(str(exc)) from exc
+        payload: dict[str, object] = {"wal": stats.to_dict()}
+        lines = [
+            f"{stats.directory}: {stats.records} records in {stats.segments} "
+            f"segments (seq {stats.first_seq}..{stats.last_seq}, "
+            f"{stats.total_bytes} bytes"
+            + (f", {stats.torn_bytes} torn tail bytes)" if stats.torn_bytes else ")")
+        ]
+        if getattr(args, "db", None):
+            db_dir = Path(args.db)
+            snapshot_path = db_dir / SNAPSHOT_FILE_NAME
+            try:
+                from .wal import read_delta
+
+                base = read_snapshot(snapshot_path)
+                deltas = list_delta_paths(db_dir)
+                # Recovery replays past the chain *tip* (the last delta's
+                # recorded position), not past the base.
+                tip_seq = read_delta(deltas[-1]).wal_seq if deltas else base.wal_seq
+                pending = max(0, stats.last_seq - tip_seq)
+                payload["chain"] = {
+                    "base": str(snapshot_path),
+                    "base_wal_seq": base.wal_seq,
+                    "tip_wal_seq": tip_seq,
+                    "deltas": [str(path) for path in deltas],
+                    "replay_pending": pending,
+                }
+                lines.append(
+                    f"chain: base covers seq <= {base.wal_seq}, "
+                    f"{len(deltas)} delta(s) extending to seq <= {tip_seq}, "
+                    f"{pending} records to replay"
+                )
+            except SnapshotError as exc:
+                payload["chain"] = {"error": str(exc)}
+                lines.append(f"chain: no usable snapshot chain ({exc})")
+        _emit(payload, args, lines)
+        return 0
+
+    if not getattr(args, "db", None):
+        raise CrypTextError(f"wal {args.action} requires --db (the snapshot directory)")
+    db_dir = Path(args.db)
+    system = CrypText.empty(seed_lexicon=False)
+    report = system.recover(db_dir, wal_dir=wal_dir)
+    stats = system.stats()
+    if args.action == "replay":
+        payload = {"recovery": report.to_dict(), "stats": stats.to_dict()}
+        lines = [
+            f"recovered {stats.total_tokens} tokens: snapshot "
+            f"{'loaded' if report.loaded else 'missing'} "
+            f"({report.deltas_applied} delta(s)), {report.replayed_records} WAL "
+            f"records replayed past seq {report.snapshot_wal_seq}"
+        ]
+        if report.torn_bytes:
+            lines.append(f"discarded {report.torn_bytes} torn tail bytes")
+        for reason in report.degraded:
+            lines.append(f"degraded: {reason}")
+        _emit(payload, args, lines)
+        return 0
+    # compact: recovery above reconstructed the full state; fold it into a
+    # fresh full snapshot and drop the WAL segments it covers.
+    scheduler = MaintenanceScheduler(
+        system.dictionary,
+        snapshot_dir=db_dir,
+        wal_dir=wal_dir,
+        policy=MaintenancePolicy(autosave_interval=None, incremental=False),
+    )
+    save = scheduler.compact()
+    payload = {"recovery": report.to_dict(), "snapshot": save.to_dict()}
+    _emit(
+        payload,
+        args,
+        [
+            f"compacted {report.deltas_applied} delta(s) + "
+            f"{report.replayed_records} WAL records into {save.path} "
+            f"({save.documents} documents, {save.buckets} buckets); "
+            f"WAL truncated through seq {save.wal_seq}"
         ],
     )
     return 0
@@ -413,8 +553,31 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot_cmd.add_argument(
         "--file", help=f"snapshot path (default: <--db>/{SNAPSHOT_FILE_NAME})"
     )
+    snapshot_cmd.add_argument(
+        "--incremental",
+        action="store_true",
+        help="(save only) write a delta covering only the buckets changed "
+        "since the last save into this directory, instead of a full rewrite",
+    )
     _add_source_arguments(snapshot_cmd)
     snapshot_cmd.set_defaults(handler=_cmd_snapshot)
+
+    wal_cmd = commands.add_parser(
+        "wal",
+        help="inspect, replay, or compact the durability layer (change log + deltas)",
+    )
+    wal_cmd.add_argument(
+        "action",
+        choices=("info", "replay", "compact"),
+        help="info: segment/record/torn-tail summary; replay: rebuild the "
+        "dictionary from snapshot chain + WAL tail and report; compact: fold "
+        "deltas and the WAL tail into one full snapshot and truncate the log",
+    )
+    wal_cmd.add_argument(
+        "--db", help="snapshot-chain directory (wal defaults to <db>/wal)"
+    )
+    wal_cmd.add_argument("--wal-dir", help="change-log directory override")
+    wal_cmd.set_defaults(handler=_cmd_wal)
 
     normalize_cmd = commands.add_parser("normalize", help="detect and de-perturb a text")
     normalize_cmd.add_argument("text")

@@ -84,6 +84,23 @@ class CrypTextConfig:
         When persisting a dictionary (the CLI ``build`` command, service
         admin saves), also write the warm-start snapshot alongside the
         JSONL dump so the next process start skips trie recompilation.
+    wal_dir:
+        Default directory for the segmented change log
+        (:mod:`repro.wal.log`).  ``None`` (the default) means no WAL is
+        opened implicitly; durability entry points
+        (``PerturbationDictionary.recover``, the maintenance scheduler, the
+        CLI ``wal`` commands) require an explicit directory instead.
+    wal_segment_bytes:
+        Size at which the change log rotates to a fresh segment file.
+        Smaller segments mean finer-grained truncation after snapshots at
+        the cost of more files.
+    snapshot_autosave_interval:
+        Seconds between automatic snapshot refreshes performed by the
+        :class:`~repro.wal.maintenance.MaintenanceScheduler` (the crawler /
+        listener auto-save hook).  ``None`` (the default) defers to the
+        scheduler's own default interval; to disable interval-driven saves
+        entirely, construct the scheduler with an explicit
+        ``MaintenancePolicy(autosave_interval=None)``.
     crawler_batch_size:
         Number of posts ingested per crawl round when enriching the
         dictionary from the (simulated) social stream.
@@ -110,6 +127,9 @@ class CrypTextConfig:
     compiled_buckets: bool = True
     snapshot_dir: str | None = None
     snapshot_on_save: bool = False
+    wal_dir: str | None = None
+    wal_segment_bytes: int = 1 << 20
+    snapshot_autosave_interval: float | None = None
     crawler_batch_size: int = 200
     normalizer_max_candidates: int = 10
     lm_order: int = 3
@@ -148,6 +168,18 @@ class CrypTextConfig:
             raise ConfigurationError(
                 f"cache_max_entries must be positive, got {self.cache_max_entries!r}"
             )
+        if self.wal_segment_bytes <= 0:
+            raise ConfigurationError(
+                f"wal_segment_bytes must be positive, got {self.wal_segment_bytes!r}"
+            )
+        if (
+            self.snapshot_autosave_interval is not None
+            and self.snapshot_autosave_interval <= 0
+        ):
+            raise ConfigurationError(
+                "snapshot_autosave_interval must be positive (or None), "
+                f"got {self.snapshot_autosave_interval!r}"
+            )
         if self.crawler_batch_size <= 0:
             raise ConfigurationError(
                 f"crawler_batch_size must be positive, got {self.crawler_batch_size!r}"
@@ -183,6 +215,9 @@ class CrypTextConfig:
             "compiled_buckets": self.compiled_buckets,
             "snapshot_dir": self.snapshot_dir,
             "snapshot_on_save": self.snapshot_on_save,
+            "wal_dir": self.wal_dir,
+            "wal_segment_bytes": self.wal_segment_bytes,
+            "snapshot_autosave_interval": self.snapshot_autosave_interval,
             "crawler_batch_size": self.crawler_batch_size,
             "normalizer_max_candidates": self.normalizer_max_candidates,
             "lm_order": self.lm_order,
@@ -210,6 +245,9 @@ class CrypTextConfig:
             "compiled_buckets",
             "snapshot_dir",
             "snapshot_on_save",
+            "wal_dir",
+            "wal_segment_bytes",
+            "snapshot_autosave_interval",
             "crawler_batch_size",
             "normalizer_max_candidates",
             "lm_order",

@@ -38,6 +38,7 @@ from .dictionary import (
     DictionaryEntry,
     DictionaryStats,
     PerturbationDictionary,
+    RecoveryReport,
     SnapshotLoadReport,
     SnapshotSaveReport,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "DictionaryEntry",
     "DictionaryStats",
     "PerturbationDictionary",
+    "RecoveryReport",
     "SnapshotLoadReport",
     "SnapshotSaveReport",
     "CompiledBucket",

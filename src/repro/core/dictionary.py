@@ -47,6 +47,7 @@ from .soundex import CustomSoundex
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (matcher imports us)
     from ..storage.snapshot import Snapshot
+    from ..wal.log import ChangeLog
     from .matcher import CompiledBucket, TrieFamily, TrieFamilyRegistry
 
 #: Name of the document-store collection backing the dictionary.
@@ -142,13 +143,25 @@ class DictionaryStats:
 
 @dataclass(frozen=True)
 class SnapshotSaveReport:
-    """What :meth:`PerturbationDictionary.save_snapshot` wrote."""
+    """What :meth:`PerturbationDictionary.save_snapshot` wrote.
+
+    ``incremental`` distinguishes a delta save from a full rewrite; for a
+    delta, ``documents``/``families``/``buckets`` count only the dirty
+    slice that was serialized, and ``delta_index`` is its position in the
+    chain (``None`` for a full save, or for an incremental call that found
+    nothing dirty and wrote no file).  ``wal_seq`` is the change-log
+    position the artifact covers — crash recovery replays only records
+    past it.
+    """
 
     path: str
     documents: int
     families: int
     buckets: int
     levels: tuple[int, ...]
+    incremental: bool = False
+    delta_index: int | None = None
+    wal_seq: int = 0
 
     def to_dict(self) -> dict[str, object]:
         """Serialize for the CLI and the admin API endpoint."""
@@ -158,6 +171,9 @@ class SnapshotSaveReport:
             "families": self.families,
             "buckets": self.buckets,
             "levels": list(self.levels),
+            "incremental": self.incremental,
+            "delta_index": self.delta_index,
+            "wal_seq": self.wal_seq,
         }
 
 
@@ -188,6 +204,46 @@ class SnapshotLoadReport:
             "documents": self.documents,
             "families": self.families,
             "buckets": self.buckets,
+        }
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`PerturbationDictionary.recover` reconstructed.
+
+    ``loaded`` is true when a snapshot (base, possibly plus deltas) was
+    installed; ``deltas_applied`` counts the chain links folded in.
+    ``replayed_records`` is the WAL tail applied past the snapshot's
+    recorded position, ``torn_bytes`` what a crash mid-append left behind
+    (discarded by the tail repair), and ``degraded`` collects the reasons
+    any layer fell back (broken delta chain, unusable base, foreign trie
+    payloads) — empty for a fully clean recovery.
+    """
+
+    loaded: bool
+    deltas_applied: int = 0
+    documents: int = 0
+    replayed_records: int = 0
+    skipped_records: int = 0
+    torn_bytes: int = 0
+    snapshot_wal_seq: int = 0
+    wal_seq: int = 0
+    fingerprint: str = ""
+    degraded: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize for the CLI, ``/v1/stats``, and monitoring exports."""
+        return {
+            "loaded": self.loaded,
+            "deltas_applied": self.deltas_applied,
+            "documents": self.documents,
+            "replayed_records": self.replayed_records,
+            "skipped_records": self.skipped_records,
+            "torn_bytes": self.torn_bytes,
+            "snapshot_wal_seq": self.snapshot_wal_seq,
+            "wal_seq": self.wal_seq,
+            "fingerprint": self.fingerprint,
+            "degraded": list(self.degraded),
         }
 
 
@@ -260,6 +316,39 @@ class PerturbationDictionary:
         # write's touched sound keys, so no write can bypass their sync —
         # regardless of whether the caller went through a batch engine.
         self._observers: "weakref.WeakSet[ChangeObserver]" = weakref.WeakSet()
+        # --- durability state (the WAL subsystem, repro.wal) ---
+        # Attached change log: every recorded add_token is journaled before
+        # it is acknowledged.  The replay guard keeps recovery from
+        # re-journaling the records it is reading.
+        self._wal: "ChangeLog | None" = None
+        # Identity of the thread currently replaying WAL records (None
+        # otherwise).  Thread-scoped on purpose: during a live recovery,
+        # *other* threads' writes must still be journaled — only the
+        # replaying thread itself re-applies records that already exist.
+        self._wal_replaying_thread: int | None = None
+        # Dirty sets since the last persisted snapshot (full or delta):
+        # the (level, key) buckets an incremental save must re-serialize and
+        # the raw tokens whose documents it must carry.  Maintained on the
+        # same write path that feeds the change observers.
+        self._dirty_pairs: set[tuple[int, str]] = set()
+        self._dirty_tokens: set[str] = set()
+        # In-memory tip of the on-disk snapshot chain (directory,
+        # fingerprint of the chain tip, number of delta links).  Set by full
+        # saves, delta saves, and recovery; cleared when unknown — an
+        # incremental save without a tip falls back to a full rewrite.
+        self._chain_dir: Path | None = None
+        self._chain_fingerprint: str | None = None
+        self._chain_deltas = 0
+        # Change-log position the persisted chain covers; a log attached
+        # later must assign only sequences past it, or replay (which skips
+        # records <= the snapshot's recorded position) would drop them.
+        self._chain_wal_seq = 0
+        # Serializes whole snapshot saves (full and delta): concurrent
+        # savers would otherwise race the chain-tip read/advance and write
+        # the same delta file.  Separate from the write lock, which must
+        # stay free during trie compilation.
+        self._snapshot_lock = threading.RLock()
+        self._last_recovery: RecoveryReport | None = None
 
     @property
     def version(self) -> int:
@@ -335,6 +424,21 @@ class PerturbationDictionary:
             return AddOutcome.SKIPPED
         collection = self.collection
         with self._write_lock:
+            # Journal-before-apply, under the write lock: a write is
+            # acknowledged only once it is replayable, so a failed append
+            # (disk full, closed log) rejects the whole write instead of
+            # leaving a served-but-unjournaled document behind — and append
+            # order is exactly collection insertion order, which is what
+            # lets replay reassign the same auto ``_id``s (and thus the
+            # same bucket order) a crashed process had handed out.
+            if (
+                self._wal is not None
+                and self._wal_replaying_thread != threading.get_ident()
+            ):
+                self._wal.append(
+                    "add_token",
+                    {"token": token, "source": source, "count": count},
+                )
             existing = collection.find_one({"token": token})
             if existing is None:
                 canonical = self._encoders[min(self._encoders)].canonicalize(token)
@@ -355,7 +459,9 @@ class PerturbationDictionary:
                 collection.update_one({"token": token}, update)
                 outcome = AddOutcome.UPDATED
             self._version += 1
-        pairs = {(level, keys[f"k{level}"]) for level in self._encoders}
+            pairs = {(level, keys[f"k{level}"]) for level in self._encoders}
+            self._dirty_pairs.update(pairs)
+            self._dirty_tokens.add(token)
         with self._compiled_lock:
             for pair in pairs:
                 if self._compiled.pop(pair, None) is not None:
@@ -564,17 +670,25 @@ class PerturbationDictionary:
         return counters
 
     @staticmethod
-    def _documents_fingerprint(documents: Iterable[Mapping[str, object]]) -> str:
-        """CRC-32 (hex) over the trie-relevant fields of ``documents``."""
+    def _fingerprint_lines(lines: "list[str]") -> str:
         digest = 0
-        lines = sorted(
-            f"{document['token']}\x00{document['canonical']}\x00{int(bool(document['is_word']))}"
-            for document in documents
-        )
+        lines.sort()
         for line in lines:
             digest = zlib.crc32(line.encode("utf-8"), digest)
             digest = zlib.crc32(b"\n", digest)
         return format(digest & 0xFFFFFFFF, "08x")
+
+    @classmethod
+    def _documents_fingerprint(
+        cls, documents: Iterable[Mapping[str, object]]
+    ) -> str:
+        """CRC-32 (hex) over the trie-relevant fields of ``documents``."""
+        return cls._fingerprint_lines(
+            [
+                f"{document['token']}\x00{document['canonical']}\x00{int(bool(document['is_word']))}"
+                for document in documents
+            ]
+        )
 
     def content_fingerprint(self) -> str:
         """CRC-32 (hex) over the trie-relevant content of the dictionary.
@@ -586,8 +700,20 @@ class PerturbationDictionary:
         loaders use it as the staleness guard: a snapshot whose recorded
         fingerprint differs from the live dictionary's must not install its
         tries.
+
+        Reads the three fields through the collection's copy-free
+        projection — this runs on every incremental save (it is the delta
+        chain's linkage value), where deep-copying the whole collection
+        would put an O(size) wall in front of an O(changes) operation.
         """
-        return self._documents_fingerprint(self.collection)
+        return self._fingerprint_lines(
+            [
+                f"{token}\x00{canonical}\x00{int(bool(is_word))}"
+                for token, canonical, is_word in self.collection.project_values(
+                    ("token", "canonical", "is_word")
+                )
+            ]
+        )
 
     def stats(self) -> DictionaryStats:
         """Aggregate statistics (token counts, unique keys per level)."""
@@ -677,7 +803,14 @@ class PerturbationDictionary:
                     f"phonetic level {level} is not materialized "
                     f"(available: {sorted(self._encoders)})"
                 )
-        documents = self.collection.find(None)
+        # Capture documents and the WAL position atomically with respect to
+        # writers: a record journaled after this point is *not* in the
+        # captured documents, so it must stay past the recorded ``wal_seq``
+        # for replay to find — the no-lost-writes invariant of recovery.
+        with self._write_lock:
+            documents = self.collection.find(None)
+            wal_seq = self._wal.last_seq if self._wal is not None else 0
+            version = self._version
         _, grouped = self._grouped_documents(documents, wanted)
         families: list[TrieFamily] = []
         family_rows: dict[int, int] = {}
@@ -693,7 +826,7 @@ class PerturbationDictionary:
                 family_rows[id(family)] = row
             buckets.append((level, key, row))
         return Snapshot(
-            dictionary_version=self._version,
+            dictionary_version=version,
             # Fingerprint the captured documents, not the live collection: a
             # concurrent write between the capture above and here must not
             # produce a snapshot that can never pass its own staleness guard.
@@ -706,30 +839,197 @@ class PerturbationDictionary:
             documents=tuple(documents),
             families=tuple(family.to_payload() for family in families),
             buckets=tuple(buckets),
+            wal_seq=wal_seq,
         )
 
     def save_snapshot(
         self,
         path: "str | Path | None" = None,
         levels: Sequence[int] | None = None,
+        incremental: bool = False,
     ) -> SnapshotSaveReport:
         """Persist the collection plus its compiled tries for warm starts.
 
         ``path`` defaults to ``config.snapshot_dir`` (raising
         :class:`DictionaryError` when neither is available).  Compilation
         cost is paid here, once, instead of on every process start.
+
+        With ``incremental`` true, only the buckets written since the last
+        save are re-serialized into a delta file chained onto the base
+        snapshot by content fingerprint (:mod:`repro.wal.delta`) — the cost
+        scales with how much changed, not with dictionary size.  An
+        incremental save silently falls back to a full rewrite when there
+        is no known chain to extend (no prior save into this directory, a
+        non-conventional file name, or ``levels`` narrowing the default
+        set); an incremental call that finds nothing dirty writes no file
+        and reports zero documents.
         """
-        from ..storage.snapshot import write_snapshot
+        from ..storage.snapshot import SNAPSHOT_FILE_NAME, write_snapshot
+        from ..wal.delta import remove_delta_files
 
         target = self._snapshot_path(path)
-        snapshot = self.build_snapshot(levels=levels)
-        write_snapshot(target, snapshot)
+        with self._snapshot_lock:
+            if incremental and levels is None and target.name == SNAPSHOT_FILE_NAME:
+                report = self._save_delta(target.parent)
+                if report is not None:
+                    return report
+                # No usable chain tip — fall through to the full rewrite.
+            # Dirty state is swapped out (not copied) *before* the document
+            # capture inside build_snapshot: a write landing during the
+            # save dirties the fresh sets, so it can never be subtracted
+            # away by this save's completion — at worst it is both in the
+            # snapshot and re-saved by the next delta, never lost.  Only a
+            # save into the chain resets the baseline; a side export under
+            # another name leaves the dirty sets alone.
+            into_chain = target.name == SNAPSHOT_FILE_NAME
+            if into_chain:
+                with self._write_lock:
+                    captured_pairs, self._dirty_pairs = self._dirty_pairs, set()
+                    captured_tokens, self._dirty_tokens = self._dirty_tokens, set()
+            try:
+                snapshot = self.build_snapshot(levels=levels)
+                write_snapshot(target, snapshot)
+            except BaseException:
+                if into_chain:
+                    with self._write_lock:
+                        self._dirty_pairs |= captured_pairs
+                        self._dirty_tokens |= captured_tokens
+                raise
+            if into_chain:
+                with self._write_lock:
+                    # A full rewrite supersedes the chain: stale deltas would
+                    # reference a base fingerprint that no longer exists.
+                    remove_delta_files(target.parent)
+                    if self._wal is None:
+                        # No journal fed this state, so any segments in the
+                        # conventional location are from a previous life of
+                        # the directory.  The base being written records
+                        # wal_seq=0; leaving them would make the next
+                        # recovery replay the old history on top of it.
+                        self._remove_stale_wal_segments(target.parent)
+                    self._chain_dir = target.parent
+                    self._chain_fingerprint = snapshot.fingerprint
+                    self._chain_deltas = 0
+                    self._chain_wal_seq = snapshot.wal_seq
         return SnapshotSaveReport(
             path=str(target),
             documents=len(snapshot.documents),
             families=len(snapshot.families),
             buckets=len(snapshot.buckets),
             levels=snapshot.levels,
+            incremental=False,
+            wal_seq=snapshot.wal_seq,
+        )
+
+    def _remove_stale_wal_segments(self, directory: Path) -> None:
+        """Sideline journal segments superseded by a WAL-less full save.
+
+        Scoped to the journal locations that belong to *this* chain
+        directory: its conventional ``wal`` sibling, plus the configured
+        ``wal_dir`` only when ``directory`` is the configured snapshot
+        directory it backs.  A side export into an unrelated directory must
+        never touch a production journal configured elsewhere.
+        """
+        from ..wal.log import supersede_wal_segments, wal_directory_for
+
+        supersede_wal_segments(wal_directory_for(directory))
+        if (
+            self.config.wal_dir is not None
+            and self.config.snapshot_dir is not None
+            and Path(self.config.snapshot_dir) == directory
+        ):
+            supersede_wal_segments(Path(self.config.wal_dir))
+
+    def _save_delta(self, directory: Path) -> SnapshotSaveReport | None:
+        """Write one delta link covering the dirty buckets.
+
+        Returns ``None`` when there is no usable chain tip for
+        ``directory`` (never saved there, or a concurrent load invalidated
+        it) — the caller then performs a full rewrite instead.  Runs under
+        :attr:`_snapshot_lock`; the tip is re-read together with the dirty
+        capture so it cannot change between validation and use.
+        """
+        from ..wal.delta import DeltaSnapshot, delta_path, write_delta
+        from .matcher import TrieFamily
+
+        with self._write_lock:
+            if self._chain_dir != directory or self._chain_fingerprint is None:
+                return None
+            wal_seq = self._wal.last_seq if self._wal is not None else 0
+            version = self._version
+            parent = self._chain_fingerprint
+            index = self._chain_deltas + 1
+            if not self._dirty_pairs and not self._dirty_tokens:
+                return SnapshotSaveReport(
+                    path=str(directory),
+                    documents=0,
+                    families=0,
+                    buckets=0,
+                    levels=(),
+                    incremental=True,
+                    delta_index=None,
+                    wal_seq=wal_seq,
+                )
+            # Swap the dirty sets out (writes landing after this lock is
+            # released dirty the fresh sets and sit past the recorded
+            # ``wal_seq``, so they are never lost to this save's success);
+            # restored wholesale if the save fails.
+            captured_pairs, self._dirty_pairs = self._dirty_pairs, set()
+            captured_tokens, self._dirty_tokens = self._dirty_tokens, set()
+            documents = self.collection.find(
+                {"token": {"$in": sorted(captured_tokens)}}
+            )
+            bucket_entries = {
+                (level, key): self.tokens_for_key(key, phonetic_level=level)
+                for level, key in captured_pairs
+            }
+            fingerprint = self.content_fingerprint()
+        try:
+            # Trie compilation happens outside the write lock — a concurrent
+            # writer only re-dirties a bucket, which the next delta re-saves.
+            families: list[TrieFamily] = []
+            family_rows: dict[int, int] = {}
+            buckets: list[tuple[int, str, int]] = []
+            for (level, key), entries in sorted(bucket_entries.items()):
+                family = self._trie_families.family_for(entries)
+                family.trie(False, False, entries)
+                family.trie(True, True, entries)
+                row = family_rows.get(id(family))
+                if row is None:
+                    row = len(families)
+                    families.append(family)
+                    family_rows[id(family)] = row
+                buckets.append((level, key, row))
+            delta = DeltaSnapshot(
+                parent_fingerprint=parent,
+                fingerprint=fingerprint,
+                dictionary_version=version,
+                wal_seq=wal_seq,
+                documents=tuple(documents),
+                families=tuple(family.to_payload() for family in families),
+                buckets=tuple(buckets),
+            )
+            target = delta_path(directory, index)
+            write_delta(target, delta)
+        except BaseException:
+            with self._write_lock:
+                self._dirty_pairs |= captured_pairs
+                self._dirty_tokens |= captured_tokens
+            raise
+        with self._write_lock:
+            self._chain_fingerprint = fingerprint
+            self._chain_deltas = index
+            self._chain_wal_seq = wal_seq
+        levels = tuple(sorted({level for level, _, _ in buckets}))
+        return SnapshotSaveReport(
+            path=str(target),
+            documents=len(delta.documents),
+            families=len(delta.families),
+            buckets=len(delta.buckets),
+            levels=levels,
+            incremental=True,
+            delta_index=index,
+            wal_seq=wal_seq,
         )
 
     def adopt_snapshot_families(
@@ -789,6 +1089,72 @@ class PerturbationDictionary:
             return SnapshotLoadReport(
                 loaded=False, hydrated_tries=False, reason=str(exc)
             )
+        report = self._install_snapshot(snapshot, strict=strict)
+        if report.loaded:
+            self._note_persisted_state(target, snapshot)
+        return report
+
+    def _note_persisted_state(self, target: Path, snapshot: "Snapshot") -> None:
+        """Synchronize durability state after a wholesale snapshot install.
+
+        The journal no longer applies to the replaced state, so an attached
+        WAL starts a new epoch (with its sequence floor raised past the
+        snapshot's recorded position, in case the snapshot came from a
+        different journal's history).  The chain tip is adopted only when
+        the installed file is a conventional base with no delta siblings —
+        a base loaded out from under its deltas must not be extended.
+        """
+        from ..errors import SnapshotError
+        from ..storage.snapshot import SNAPSHOT_FILE_NAME
+        from ..wal.delta import list_delta_paths, read_delta
+
+        # The sequence floor must clear every position a later recovery
+        # might filter replay by.  For a base loaded out from under its
+        # delta chain that is the *chain tip's* recorded position, not the
+        # base's: recovery resolves the whole chain, and records of a
+        # fresh journal numbered below the tip would be skipped as
+        # "already covered".
+        floor = snapshot.wal_seq
+        has_deltas = False
+        usable_chain = True
+        if target.name == SNAPSHOT_FILE_NAME:
+            try:
+                deltas = list_delta_paths(target.parent)
+                has_deltas = bool(deltas)
+                if deltas:
+                    floor = max(floor, read_delta(deltas[-1]).wal_seq)
+            except SnapshotError:
+                has_deltas = True
+                usable_chain = False
+        with self._write_lock:
+            if self._wal is not None:
+                self._wal.reset(next_seq_floor=floor)
+            # Remembered even with no log attached yet: a later attach_wal
+            # must still start past the installed chain's position.
+            self._chain_wal_seq = max(self._chain_wal_seq, floor)
+            self._dirty_pairs.clear()
+            self._dirty_tokens.clear()
+            if target.name != SNAPSHOT_FILE_NAME:
+                return
+            if has_deltas or not usable_chain:
+                if self._chain_dir == target.parent:
+                    self._chain_fingerprint = None
+            else:
+                self._chain_dir = target.parent
+                self._chain_fingerprint = snapshot.fingerprint
+                self._chain_deltas = 0
+
+    def _install_snapshot(
+        self, snapshot: "Snapshot", strict: bool = False
+    ) -> SnapshotLoadReport:
+        """Replace the collection from an in-memory snapshot (see above).
+
+        The file-less core of :meth:`load_snapshot`, shared with
+        :meth:`recover` — which installs a snapshot merged from a base plus
+        delta chain that never existed as a single file on disk.
+        """
+        from ..errors import SnapshotError
+        from .matcher import CompiledBucket
 
         collection = self.collection
         with self._write_lock:
@@ -877,6 +1243,251 @@ class PerturbationDictionary:
             return
         for observer in observers:
             observer.note_changes(pairs)
+
+    # ------------------------------------------------------------------ #
+    # durability: WAL attachment & crash recovery
+    # ------------------------------------------------------------------ #
+    @property
+    def wal(self) -> "ChangeLog | None":
+        """The attached change log, if any."""
+        return self._wal
+
+    @property
+    def last_recovery(self) -> RecoveryReport | None:
+        """The most recent :meth:`recover` outcome (``/v1/stats`` surface)."""
+        return self._last_recovery
+
+    def attach_wal(self, wal: "ChangeLog") -> None:
+        """Journal every subsequent recorded write to ``wal``.
+
+        The log's sequence floor is raised past anything a previously
+        installed snapshot chain covers (``ensure_seq_at_least``), so a
+        log attached *after* a snapshot load cannot hand out sequences the
+        snapshot's recorded position would shadow at replay time.
+        """
+        with self._write_lock:
+            if self._chain_wal_seq:
+                wal.ensure_seq_at_least(self._chain_wal_seq)
+            self._wal = wal
+
+    def detach_wal(self) -> "ChangeLog | None":
+        """Stop journaling; returns the previously attached log."""
+        with self._write_lock:
+            wal, self._wal = self._wal, None
+            return wal
+
+    def dirty_state(self) -> dict[str, int]:
+        """How much has changed since the last persisted snapshot."""
+        with self._write_lock:
+            return {
+                "dirty_buckets": len(self._dirty_pairs),
+                "dirty_tokens": len(self._dirty_tokens),
+                "chain_deltas": self._chain_deltas,
+            }
+
+    def _clear_for_replay(self) -> None:
+        """Empty the dictionary so a WAL-only recovery starts from scratch.
+
+        The no-snapshot analogue of :meth:`_install_snapshot`'s wholesale
+        replacement: drops every document, compiled bucket, and dirty
+        marker, and tells observers about every sound key that vanished.
+        """
+        collection = self.collection
+        with self._write_lock:
+            stale_pairs: set[tuple[int, str]] = set()
+            if self._observers:
+                stale_pairs = {
+                    (level, document["keys"][f"k{level}"])
+                    for document in collection
+                    for level in self._encoders
+                    if f"k{level}" in document.get("keys", {})
+                }
+            collection.clear()
+            self._version += 1
+            with self._compiled_lock:
+                self._compiled.clear()
+            self._dirty_pairs.clear()
+            self._dirty_tokens.clear()
+        if stale_pairs:
+            for observer in tuple(self._observers):
+                observer.note_changes(stale_pairs)
+
+    def _wal_directory(self, snapshot_dir: Path, wal_dir: "str | Path | None") -> Path:
+        from ..wal.log import resolve_wal_directory
+
+        return resolve_wal_directory(self.config, snapshot_dir, wal_dir)
+
+    def recover(
+        self,
+        snapshot_dir: "str | Path | None" = None,
+        wal_dir: "str | Path | None" = None,
+        strict: bool = False,
+    ) -> RecoveryReport:
+        """Reconstruct the dictionary after a crash: chain hydrate + WAL replay.
+
+        Three layers, each degrading independently (``strict`` turns any
+        degradation into a raised :class:`~repro.errors.SnapshotError` /
+        :class:`~repro.errors.WalError` instead):
+
+        1. the **snapshot chain** — base plus deltas resolved by content
+           fingerprint; a broken delta chain falls back to the base alone,
+           an unusable base to an empty start (full recompilation);
+        2. the **WAL tail** — the change log at ``wal_dir`` (default
+           ``config.wal_dir``, else ``<snapshot_dir>/wal``) is repaired
+           (torn tail truncated) and every record past the installed
+           snapshot's ``wal_seq`` is re-applied in order, so a ``kill -9``
+           mid-ingest loses nothing that was acknowledged;
+        3. the log stays **attached** afterwards: subsequent writes keep
+           journaling, and the replayed tail is marked dirty so the next
+           incremental save persists it.
+        """
+        from ..errors import SnapshotError
+        from ..storage.snapshot import SNAPSHOT_FILE_NAME, read_snapshot
+        from ..wal.delta import resolve_snapshot_chain
+        from ..wal.log import ChangeLog
+
+        if snapshot_dir is not None:
+            directory = Path(snapshot_dir)
+        elif self.config.snapshot_dir is not None:
+            directory = Path(self.config.snapshot_dir)
+        else:
+            raise DictionaryError(
+                "no snapshot directory given and config.snapshot_dir is not set"
+            )
+        degraded: list[str] = []
+
+        snapshot: "Snapshot | None" = None
+        deltas_applied = 0
+        try:
+            chain = resolve_snapshot_chain(directory, strict=False)
+        except SnapshotError as exc:
+            # Base was readable but a delta link is broken: degrade to the
+            # base alone — the WAL (retained since the last *full* save)
+            # still replays everything the deltas carried.
+            if strict:
+                raise
+            degraded.append(str(exc))
+            chain = None
+            try:
+                snapshot = read_snapshot(directory / SNAPSHOT_FILE_NAME)
+            except SnapshotError as base_exc:
+                degraded.append(str(base_exc))
+        if chain is not None:
+            snapshot = chain.snapshot
+            deltas_applied = chain.deltas_applied
+        elif snapshot is None and not degraded:
+            degraded.append(f"no usable snapshot in {directory}")
+            if strict:
+                raise SnapshotError(degraded[-1])
+
+        from ..errors import WalError
+
+        after_seq = snapshot.wal_seq if snapshot is not None else 0
+        wal_path = self._wal_directory(directory, wal_dir)
+        wal: "ChangeLog | None" = None
+        try:
+            attached = self._wal
+            if attached is not None and Path(attached.directory) == wal_path:
+                # Recovery over a live system: keep the already-attached
+                # log instead of opening a second handle on the same
+                # directory — holders of the existing instance (the
+                # maintenance scheduler) must keep operating on the log
+                # that stays attached, not on an orphaned twin whose
+                # truncations would unlink the live segments.
+                wal = attached
+                wal.repair()
+            else:
+                wal = ChangeLog(
+                    wal_path,
+                    segment_bytes=self.config.wal_segment_bytes,
+                )
+        except WalError as exc:
+            # Interior corruption (a bad frame before the final segment):
+            # records past the tear cannot be trusted, so non-strict
+            # recovery degrades to snapshot-only instead of taking the
+            # serving path down.  No log is attached — a fresh epoch needs
+            # an operator decision (move the corrupt directory aside).
+            if strict:
+                raise
+            degraded.append(str(exc))
+            wal = None
+
+        install_loaded = False
+        documents = 0
+        replayed = 0
+        skipped = 0
+        torn = wal.stats().torn_bytes if wal is not None else 0
+        # State replacement, log attachment, and replay run as one unit
+        # under the (reentrant) write lock: recovery is atomic with
+        # respect to concurrent writers, so no write can slip between the
+        # install and the attach unjournaled, or interleave with the
+        # replay and be double-applied.
+        with self._write_lock:
+            if snapshot is not None:
+                report = self._install_snapshot(snapshot, strict=strict)
+                install_loaded = report.loaded
+                documents = report.documents
+                if report.reason:
+                    degraded.append(report.reason)
+                self._dirty_pairs.clear()
+                self._dirty_tokens.clear()
+            else:
+                # Pure-replay reconstruction: recovery *replaces* state.
+                # Replaying onto whatever the dictionary already holds (a
+                # seeded lexicon, or the live state on a second recover
+                # call) would double-apply every record.
+                self._clear_for_replay()
+            # Even with no usable log, a log attached later (after the
+            # operator moves a corrupt directory aside) must start past
+            # the installed snapshot's position.
+            self._chain_wal_seq = max(self._chain_wal_seq, after_seq)
+            if wal is not None:
+                wal.ensure_seq_at_least(after_seq)
+                self._wal = wal
+                self._chain_wal_seq = after_seq
+                self._wal_replaying_thread = threading.get_ident()
+                try:
+                    for record in wal.iter_records(after_seq=after_seq):
+                        if record.op == "add_token":
+                            self.add_token(
+                                str(record.payload["token"]),
+                                source=record.payload.get("source"),
+                                count=int(record.payload.get("count", 1)),
+                            )
+                            replayed += 1
+                        else:
+                            # Unknown operation (a newer writer's record):
+                            # skip it rather than fail the whole recovery,
+                            # but say so.
+                            skipped += 1
+                finally:
+                    self._wal_replaying_thread = None
+                if skipped:
+                    degraded.append(
+                        f"skipped {skipped} records with unknown operations"
+                    )
+            if install_loaded and snapshot is not None:
+                # The next delta extends the *on-disk* tip; the replayed
+                # tail is dirty on top of it and rides along in that delta.
+                self._chain_dir = directory
+                self._chain_fingerprint = snapshot.fingerprint
+                self._chain_deltas = deltas_applied
+            else:
+                self._chain_fingerprint = None
+        outcome = RecoveryReport(
+            loaded=install_loaded,
+            deltas_applied=deltas_applied,
+            documents=documents,
+            replayed_records=replayed,
+            skipped_records=skipped,
+            torn_bytes=torn,
+            snapshot_wal_seq=after_seq,
+            wal_seq=wal.last_seq if wal is not None else after_seq,
+            fingerprint=self.content_fingerprint(),
+            degraded=tuple(degraded),
+        )
+        self._last_recovery = outcome
+        return outcome
 
     # ------------------------------------------------------------------ #
     # factories

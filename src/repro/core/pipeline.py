@@ -69,6 +69,7 @@ class CrypText:
         self.normalizer = Normalizer(dictionary, scorer=scorer, config=config)
         self.perturber = Perturber(self.lookup_engine, config=config, rng=rng)
         self._batch_engine: "BatchEngine | None" = None
+        self._maintenance = None
 
     # ------------------------------------------------------------------ #
     # factories
@@ -242,6 +243,8 @@ class CrypText:
             chunk_size=chunk_size,
             max_in_flight=max_in_flight,
         )
+        if self._maintenance is not None:
+            self._batch_engine.attach_maintenance(self._maintenance)
         return self._batch_engine
 
     def look_up_batch(
@@ -312,16 +315,72 @@ class CrypText:
         return self.dictionary.stats()
 
     # ------------------------------------------------------------------ #
-    # warm-start snapshots
+    # warm-start snapshots & durability
     # ------------------------------------------------------------------ #
-    def save_snapshot(self, path=None, levels: Sequence[int] | None = None):
+    def save_snapshot(
+        self,
+        path=None,
+        levels: Sequence[int] | None = None,
+        incremental: bool = False,
+    ):
         """Persist the dictionary plus compiled tries for warm restarts.
 
         Delegates to
         :meth:`~repro.core.dictionary.PerturbationDictionary.save_snapshot`;
-        ``path`` defaults to ``config.snapshot_dir``.
+        ``path`` defaults to ``config.snapshot_dir``.  ``incremental``
+        writes a delta covering only the buckets changed since the last
+        save instead of rewriting the whole snapshot.
         """
-        return self.dictionary.save_snapshot(path, levels=levels)
+        return self.dictionary.save_snapshot(path, levels=levels, incremental=incremental)
+
+    def recover(self, snapshot_dir=None, wal_dir=None, strict: bool = False):
+        """Crash recovery: hydrate base + deltas, then replay the WAL tail.
+
+        Delegates to
+        :meth:`~repro.core.dictionary.PerturbationDictionary.recover` and
+        then drops every response-level cache (query cache, batch memo), so
+        nothing computed against the pre-recovery state survives.  The
+        change log stays attached: subsequent writes keep journaling.
+        """
+        report = self.dictionary.recover(snapshot_dir, wal_dir=wal_dir, strict=strict)
+        if self.cache is not None:
+            self.cache.clear()
+        if self._batch_engine is not None:
+            self._batch_engine.memo.clear()
+        return report
+
+    def make_maintenance_scheduler(
+        self,
+        snapshot_dir=None,
+        wal_dir=None,
+        policy=None,
+    ):
+        """Build (and remember) a :class:`~repro.wal.maintenance.MaintenanceScheduler`.
+
+        ``snapshot_dir`` defaults to ``config.snapshot_dir``; when
+        ``wal_dir`` (default ``config.wal_dir``, else ``<snapshot_dir>/wal``)
+        is resolvable, a change log is opened there and attached to the
+        dictionary so every write is journaled between saves.  The returned
+        scheduler is also attached to the batch engine (existing or built
+        later), whose streaming loops tick it between chunks.
+        """
+        from ..wal.maintenance import MaintenanceScheduler
+
+        scheduler = MaintenanceScheduler(
+            self.dictionary,
+            snapshot_dir=snapshot_dir,
+            wal_dir=wal_dir,
+            policy=policy,
+        )
+        self._maintenance = scheduler
+        if self._batch_engine is not None:
+            self._batch_engine.attach_maintenance(scheduler)
+        return scheduler
+
+    @property
+    def maintenance(self):
+        """The maintenance scheduler built by :meth:`make_maintenance_scheduler`."""
+        return self._maintenance
 
     def load_snapshot(self, path=None, strict: bool = False):
         """Hydrate the dictionary and every live cache layer from a snapshot.

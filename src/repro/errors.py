@@ -57,6 +57,16 @@ class SnapshotError(PersistenceError):
     """
 
 
+class WalError(PersistenceError):
+    """Raised when the segmented change log is misused or unreadable.
+
+    A torn tail (a record cut short by a crash mid-append) is *not* an
+    error — replay stops cleanly before it — so this is reserved for real
+    misuse: appending to a closed log, an unwritable directory, or a
+    segment whose interior (not tail) fails its checksum.
+    """
+
+
 class CacheError(StorageError):
     """Raised on invalid cache configuration or usage."""
 

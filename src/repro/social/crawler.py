@@ -23,6 +23,7 @@ from .platform import SocialPlatform
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from ..batch import BatchEngine
+    from ..wal.maintenance import MaintenanceScheduler
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,13 @@ class StreamCrawler:
         synchronized and invalidates exactly the cached queries whose sound
         buckets the round changed (instead of serving an always-on reader
         population stale or cold results).
+    scheduler:
+        Optional :class:`~repro.wal.maintenance.MaintenanceScheduler`.
+        When present, every crawl round ends with a cooperative
+        :meth:`~repro.wal.maintenance.MaintenanceScheduler.tick`, so a
+        long-running enrichment loop periodically persists its warm state
+        (incremental snapshot + WAL upkeep) without a background thread —
+        the auto-save hook.
     """
 
     def __init__(
@@ -80,6 +88,7 @@ class StreamCrawler:
         batch_size: int = 200,
         source_label: str | None = None,
         batch_engine: "BatchEngine | None" = None,
+        scheduler: "MaintenanceScheduler | None" = None,
     ) -> None:
         if batch_size < 1:
             raise CrawlerError(f"batch_size must be >= 1, got {batch_size}")
@@ -89,7 +98,10 @@ class StreamCrawler:
         self.dictionary = dictionary
         self.batch_size = batch_size
         self.source_label = source_label or f"{platform.name}_stream"
+        if scheduler is not None and scheduler.dictionary is not dictionary:
+            raise CrawlerError("scheduler must maintain the same dictionary")
         self.batch_engine = batch_engine
+        self.scheduler = scheduler
         self._cursor = 0
         self._rounds = 0
         self.history: list[CrawlReport] = []
@@ -113,6 +125,12 @@ class StreamCrawler:
         try:
             batch = next(stream)
         except StopIteration:
+            # An exhausted stream still persists what the previous rounds
+            # ingested — a crawl that ends exactly on a batch boundary must
+            # not leave its last rounds only in the WAL longer than a
+            # snapshot interval.
+            if self.scheduler is not None:
+                self.scheduler.tick()
             return None
         stats_before = self.dictionary.stats()
         level = self.dictionary.config.phonetic_level
@@ -141,6 +159,10 @@ class StreamCrawler:
             shards_touched=shards_touched,
         )
         self.history.append(report)
+        if self.scheduler is not None:
+            # Cooperative auto-save: a cheap no-op until the configured
+            # interval elapses, then an incremental snapshot refresh.
+            self.scheduler.tick()
         return report
 
     def crawl_all(self, max_rounds: int | None = None) -> list[CrawlReport]:

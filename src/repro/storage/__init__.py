@@ -31,9 +31,11 @@ from .snapshot import (
     SNAPSHOT_FILE_NAME,
     SNAPSHOT_FORMAT_VERSION,
     Snapshot,
+    read_envelope,
     read_snapshot,
     resolve_snapshot,
     snapshot_checksum,
+    write_envelope,
     write_snapshot,
 )
 from .cache import CacheStats, TTLCache, cached, make_key
@@ -55,9 +57,11 @@ __all__ = [
     "SNAPSHOT_FILE_NAME",
     "SNAPSHOT_FORMAT_VERSION",
     "Snapshot",
+    "read_envelope",
     "read_snapshot",
     "resolve_snapshot",
     "snapshot_checksum",
+    "write_envelope",
     "write_snapshot",
     "CacheStats",
     "TTLCache",

@@ -241,8 +241,17 @@ class Collection:
 
     @_locked
     def clear(self) -> None:
-        """Remove every document (indexes are kept but emptied)."""
+        """Remove every document (indexes are kept but emptied).
+
+        The auto-id counter restarts too: a cleared collection assigns ids
+        exactly like a freshly constructed one (``_next_id`` skips over any
+        ids reinstalled by a snapshot load).  Wholesale replacement relies
+        on this — crash recovery must hand a replayed insert the same id
+        the crashed process assigned, because ``str(_id)`` order is bucket
+        order and bucket order is ranking order.
+        """
         self._documents.clear()
+        self._id_counter = itertools.count(1)
         for index in self._indexes.values():
             index.clear()
 
@@ -337,6 +346,22 @@ class Collection:
                 f"collection {self.name!r} has no document with _id={doc_id!r}"
             )
         return copy.deepcopy(self._documents[doc_id])
+
+    @_locked
+    def project_values(self, fields: Sequence[str]) -> list[tuple]:
+        """Top-level field values of every document, without deep copies.
+
+        One tuple per document (missing fields yield ``None``), in
+        arbitrary order.  Only the *values* are shared with storage — safe
+        for scalar fields (strings, numbers, booleans), which is exactly
+        what the dictionary's content fingerprint reads on every
+        incremental save; deep-copying 10k documents just to hash three
+        scalar fields was the dominant cost of a small delta.
+        """
+        return [
+            tuple(document.get(field) for field in fields)
+            for document in self._documents.values()
+        ]
 
     @_locked
     def count(self, filter_document: Mapping[str, Any] | None = None) -> int:

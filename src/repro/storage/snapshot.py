@@ -64,84 +64,17 @@ def snapshot_checksum(body_text: str) -> str:
     return format(zlib.crc32(body_text.encode("utf-8")) & 0xFFFFFFFF, "08x")
 
 
-@dataclass(frozen=True)
-class Snapshot:
-    """In-memory form of one warm-start snapshot.
+def write_envelope(path: str | Path, body: Mapping[str, Any]) -> Path:
+    """Write ``body`` atomically inside the checksummed two-line envelope.
 
-    ``buckets`` rows are ``[phonetic_level, soundex_key, family_index]``
-    triples (a list, not a mapping, so soundex keys never need escaping);
-    ``family_index`` addresses :attr:`families`.
+    The shared on-disk frame of every snapshot-family artifact (full
+    snapshots and the WAL subsystem's delta snapshots): one header line
+    carrying the checksum and format version, one raw body line the
+    checksum covers byte for byte.
     """
-
-    dictionary_version: int
-    fingerprint: str
-    config: Mapping[str, Any] = field(default_factory=dict)
-    documents: tuple[Mapping[str, Any], ...] = ()
-    families: tuple[Mapping[str, Any], ...] = ()
-    buckets: tuple[tuple[int, str, int], ...] = ()
-
-    @property
-    def levels(self) -> tuple[int, ...]:
-        """Phonetic levels with at least one bucket in the snapshot."""
-        return tuple(sorted({level for level, _, _ in self.buckets}))
-
-    def body(self) -> dict[str, Any]:
-        """The checksummed payload written as the envelope's body line."""
-        return {
-            "dictionary_version": self.dictionary_version,
-            "fingerprint": self.fingerprint,
-            "config": dict(self.config),
-            "documents": list(self.documents),
-            "families": list(self.families),
-            "buckets": [list(bucket) for bucket in self.buckets],
-        }
-
-    @classmethod
-    def from_body(cls, body: Mapping[str, Any]) -> "Snapshot":
-        """Rebuild a snapshot from a parsed body; raises on malformed shape.
-
-        Documents and families are kept by reference (the parsed JSON is
-        owned by the loader, and a 10k-entry snapshot would pay dearly for
-        ~16k defensive dict copies); per-row structure of families is
-        validated lazily by the trie hydration.
-        """
-        try:
-            buckets = tuple(
-                (int(level), str(key), int(family_index))
-                for level, key, family_index in body["buckets"]
-            )
-            documents = tuple(body["documents"])
-            families = tuple(body["families"])
-            snapshot = cls(
-                dictionary_version=int(body["dictionary_version"]),
-                fingerprint=str(body["fingerprint"]),
-                config=dict(body.get("config", {})),
-                documents=documents,
-                families=families,
-                buckets=buckets,
-            )
-        except (KeyError, TypeError, ValueError) as exc:
-            raise SnapshotError(f"malformed snapshot body: {exc}") from exc
-        # Parsed JSON objects are always plain dicts; concrete checks keep
-        # this validation pass off the warm-start critical path.
-        if not all(type(document) is dict for document in documents):
-            raise SnapshotError("snapshot documents must be objects")
-        if not all(type(family) is dict for family in families):
-            raise SnapshotError("snapshot families must be objects")
-        for level, key, family_index in snapshot.buckets:
-            if not 0 <= family_index < len(families):
-                raise SnapshotError(
-                    f"bucket ({level}, {key!r}) references family "
-                    f"{family_index} of {len(families)}"
-                )
-        return snapshot
-
-
-def write_snapshot(path: str | Path, snapshot: Snapshot) -> Path:
-    """Persist ``snapshot`` atomically; returns the path written."""
     try:
         body_text = json.dumps(
-            snapshot.body(), ensure_ascii=False, sort_keys=True, separators=(",", ":")
+            body, ensure_ascii=False, sort_keys=True, separators=(",", ":")
         )
     except (TypeError, ValueError) as exc:
         raise SnapshotError(f"snapshot for {path} is not JSON-serializable: {exc}") from exc
@@ -155,13 +88,11 @@ def write_snapshot(path: str | Path, snapshot: Snapshot) -> Path:
         raise SnapshotError(str(exc)) from exc
 
 
-def read_snapshot(path: str | Path) -> Snapshot:
-    """Load and validate a snapshot written by :func:`write_snapshot`.
+def read_envelope(path: str | Path) -> dict[str, Any]:
+    """Read and validate a two-line envelope; returns the parsed body.
 
     Raises :class:`~repro.errors.SnapshotError` when the file is missing,
-    unparseable, carries a different format version, fails its checksum, or
-    has a malformed body — every one of which graceful loaders treat as
-    "no usable snapshot, recompile".
+    unparseable, carries a different format version, or fails its checksum.
     """
     source = Path(path)
     if not source.exists():
@@ -196,8 +127,113 @@ def read_snapshot(path: str | Path) -> Snapshot:
         body = json.loads(body_text)
     except json.JSONDecodeError as exc:
         raise SnapshotError(f"{source}: invalid snapshot body: {exc}") from exc
-    if not isinstance(body, Mapping):
+    if not isinstance(body, dict):
         raise SnapshotError(f"{source}: snapshot body must be a JSON object")
+    return body
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """In-memory form of one warm-start snapshot.
+
+    ``buckets`` rows are ``[phonetic_level, soundex_key, family_index]``
+    triples (a list, not a mapping, so soundex keys never need escaping);
+    ``family_index`` addresses :attr:`families`.
+    """
+
+    dictionary_version: int
+    fingerprint: str
+    config: Mapping[str, Any] = field(default_factory=dict)
+    documents: tuple[Mapping[str, Any], ...] = ()
+    families: tuple[Mapping[str, Any], ...] = ()
+    buckets: tuple[tuple[int, str, int], ...] = ()
+    #: Sequence number of the last change-log record this snapshot covers.
+    #: Crash recovery replays only WAL records *after* this position; 0
+    #: (the default, and what pre-WAL snapshots read back as) means
+    #: "replay everything".
+    wal_seq: int = 0
+
+    @property
+    def levels(self) -> tuple[int, ...]:
+        """Phonetic levels with at least one bucket in the snapshot."""
+        return tuple(sorted({level for level, _, _ in self.buckets}))
+
+    def body(self) -> dict[str, Any]:
+        """The checksummed payload written as the envelope's body line."""
+        return {
+            "dictionary_version": self.dictionary_version,
+            "fingerprint": self.fingerprint,
+            "config": dict(self.config),
+            "documents": list(self.documents),
+            "families": list(self.families),
+            "buckets": [list(bucket) for bucket in self.buckets],
+            "wal_seq": self.wal_seq,
+        }
+
+    @classmethod
+    def from_body(cls, body: Mapping[str, Any]) -> "Snapshot":
+        """Rebuild a snapshot from a parsed body; raises on malformed shape.
+
+        Documents and families are kept by reference (the parsed JSON is
+        owned by the loader, and a 10k-entry snapshot would pay dearly for
+        ~16k defensive dict copies); per-row structure of families is
+        validated lazily by the trie hydration.
+        """
+        try:
+            buckets = tuple(
+                (int(level), str(key), int(family_index))
+                for level, key, family_index in body["buckets"]
+            )
+            documents = tuple(body["documents"])
+            families = tuple(body["families"])
+            snapshot = cls(
+                dictionary_version=int(body["dictionary_version"]),
+                fingerprint=str(body["fingerprint"]),
+                config=dict(body.get("config", {})),
+                documents=documents,
+                families=families,
+                buckets=buckets,
+                wal_seq=int(body.get("wal_seq", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"malformed snapshot body: {exc}") from exc
+        # Parsed JSON objects are always plain dicts; concrete checks keep
+        # this validation pass off the warm-start critical path.
+        if not all(type(document) is dict for document in documents):
+            raise SnapshotError("snapshot documents must be objects")
+        if not all(type(family) is dict for family in families):
+            raise SnapshotError("snapshot families must be objects")
+        for level, key, family_index in snapshot.buckets:
+            if not 0 <= family_index < len(families):
+                raise SnapshotError(
+                    f"bucket ({level}, {key!r}) references family "
+                    f"{family_index} of {len(families)}"
+                )
+        return snapshot
+
+
+def write_snapshot(path: str | Path, snapshot: Snapshot) -> Path:
+    """Persist ``snapshot`` atomically; returns the path written."""
+    return write_envelope(path, snapshot.body())
+
+
+def read_snapshot(path: str | Path) -> Snapshot:
+    """Load and validate a snapshot written by :func:`write_snapshot`.
+
+    Raises :class:`~repro.errors.SnapshotError` when the file is missing,
+    unparseable, carries a different format version, fails its checksum, or
+    has a malformed body — every one of which graceful loaders treat as
+    "no usable snapshot, recompile".  A delta-snapshot file (``kind`` marker
+    in the body, see :mod:`repro.wal.delta`) is refused too: a delta is not
+    loadable on its own, only through its chain.
+    """
+    body = read_envelope(path)
+    kind = body.get("kind")
+    if kind is not None and kind != "snapshot":
+        raise SnapshotError(
+            f"{path}: not a full snapshot (kind={kind!r}); deltas load only "
+            f"through their chain"
+        )
     return Snapshot.from_body(body)
 
 

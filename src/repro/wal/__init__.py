@@ -1,0 +1,67 @@
+"""Durability subsystem: change log, delta snapshots, crash recovery, maintenance.
+
+The warm-start snapshot subsystem (:mod:`repro.storage.snapshot`) made
+restarts fast, but every save was a full rewrite and every unclean shutdown
+lost all mutations since the last save.  This package closes that gap:
+
+* :mod:`repro.wal.log` — a **segmented append-only change log** journaling
+  every dictionary mutation as a length-prefixed, checksummed record, with
+  segment rotation, torn-tail detection, and ordered replay;
+* :mod:`repro.wal.delta` — **incremental delta snapshots**: only the trie
+  families whose buckets changed since the base snapshot are re-serialized,
+  into a delta file that references its parent by content fingerprint and is
+  resolved by chaining base + deltas (with compaction folding the chain back
+  into one full snapshot);
+* **crash recovery** —
+  :meth:`repro.core.dictionary.PerturbationDictionary.recover` hydrates the
+  base + delta chain and replays the WAL tail past the snapshot's recorded
+  log position, so a ``kill -9`` mid-ingest loses nothing;
+* :mod:`repro.wal.maintenance` — a **background scheduler** driving
+  interval/TTL auto-saves, delta compaction, and WAL truncation for the
+  crawler, listener, batch-engine, and service loops.
+"""
+
+from .log import (
+    WAL_SEGMENT_GLOB,
+    ChangeLog,
+    WalRecord,
+    WalStats,
+    resolve_wal_directory,
+    supersede_wal_segments,
+    wal_directory_for,
+)
+from .delta import (
+    DELTA_FILE_GLOB,
+    DeltaSnapshot,
+    SnapshotChain,
+    compact_chain,
+    delta_path,
+    list_delta_paths,
+    read_delta,
+    remove_delta_files,
+    resolve_snapshot_chain,
+    write_delta,
+)
+from .maintenance import MaintenancePolicy, MaintenanceScheduler
+
+__all__ = [
+    "WAL_SEGMENT_GLOB",
+    "ChangeLog",
+    "WalRecord",
+    "WalStats",
+    "resolve_wal_directory",
+    "supersede_wal_segments",
+    "wal_directory_for",
+    "DELTA_FILE_GLOB",
+    "DeltaSnapshot",
+    "SnapshotChain",
+    "compact_chain",
+    "delta_path",
+    "list_delta_paths",
+    "read_delta",
+    "remove_delta_files",
+    "resolve_snapshot_chain",
+    "write_delta",
+    "MaintenancePolicy",
+    "MaintenanceScheduler",
+]

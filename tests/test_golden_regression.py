@@ -211,6 +211,76 @@ def test_cold_and_warm_systems_identical_on_golden_corpus():
     assert compare_cold_and_warm_systems() > 0
 
 
+def compare_cold_and_recovered_systems(distances=(1, 3)) -> int:
+    """Golden-corpus equality guard for the durability subsystem.
+
+    Journals the golden build into a WAL, snapshots the dictionary
+    mid-ingest, keeps writing (so the tail lives only in the log), then
+    simulates a ``kill -9`` by recovering into a *fresh* system — and
+    asserts the recovered system is field-identical to an uninterrupted
+    cold build on every golden Look Up and normalization.  Shared by the
+    tier-1 test below and the CI smoke guard in
+    ``benchmarks/bench_incremental_snapshot.py`` so the two checks cannot
+    drift apart.  Returns the number of comparisons made.
+    """
+    import tempfile
+
+    from repro.storage import SNAPSHOT_FILE_NAME
+    from repro.wal import ChangeLog, wal_directory_for
+
+    compared = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        work = Path(tmp)
+        midpoint = len(GOLDEN_BUILD_CORPUS) // 2
+
+        # The uninterrupted reference (same write order, no journaling).
+        cold = CrypText.empty(seed_lexicon=False)
+        cold.dictionary.add_corpus(GOLDEN_BUILD_CORPUS, source="corpus")
+        cold.dictionary.seed_lexicon()
+
+        # The crash victim: base snapshot after half the corpus, everything
+        # after it — including the whole lexicon seeding — only in the WAL.
+        victim = CrypText.empty(seed_lexicon=False)
+        victim.dictionary.attach_wal(ChangeLog(wal_directory_for(work)))
+        victim.dictionary.add_corpus(GOLDEN_BUILD_CORPUS[:midpoint], source="corpus")
+        victim.save_snapshot(work / SNAPSHOT_FILE_NAME)
+        victim.dictionary.add_corpus(GOLDEN_BUILD_CORPUS[midpoint:], source="corpus")
+        victim.dictionary.save_snapshot(work / SNAPSHOT_FILE_NAME, incremental=True)
+        victim.dictionary.seed_lexicon()
+
+        recovered = CrypText.empty(seed_lexicon=False)
+        report = recovered.recover(work)
+        assert report.loaded and report.deltas_applied == 1, report
+        assert report.replayed_records > 0, report
+        assert report.degraded == (), report
+
+        queries = sorted({token for text in GOLDEN_INPUTS for token in text.split()})
+        for query in queries:
+            for distance in distances:
+                assert cold.look_up(
+                    query, max_edit_distance=distance
+                ) == recovered.look_up(query, max_edit_distance=distance), (
+                    f"recovered Look Up diverged from cold build: "
+                    f"{query!r} (d={distance})"
+                )
+                compared += 1
+        assert cold.look_up_batch(queries) == recovered.look_up_batch(queries)
+        compared += len(queries)
+        for text in GOLDEN_INPUTS:
+            assert (
+                cold.normalize(text).to_dict() == recovered.normalize(text).to_dict()
+            ), f"recovered normalization diverged on {text!r}"
+            compared += 1
+        cold.batch.close()
+        recovered.batch.close()
+    return compared
+
+
+def test_cold_and_recovered_systems_identical_on_golden_corpus():
+    """Crash recovery (chain + WAL replay) must be invisible on the corpus."""
+    assert compare_cold_and_recovered_systems() > 0
+
+
 def test_golden_outputs_survive_unrelated_enrichment(fixture_records):
     """Enriching untouched buckets must not change any golden output."""
     system = CrypText.from_corpus(GOLDEN_BUILD_CORPUS)

@@ -1,0 +1,268 @@
+"""Tests for the segmented change log (:mod:`repro.wal.log`).
+
+The contract under test: every acknowledged append is replayable in order
+and exactly once (idempotent by sequence number), a crash mid-append is
+detected as a torn tail and truncated instead of propagating garbage, and
+maintenance (rotation, truncation, epoch reset) never loses an uncovered
+record.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WalError
+from repro.wal import ChangeLog, WalRecord
+from repro.wal.log import decode_segment, encode_record
+
+
+def _append_n(wal: ChangeLog, count: int, start: int = 0) -> None:
+    for index in range(start, start + count):
+        wal.append("add_token", {"token": f"tok{index}", "source": "t", "count": 1})
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        record = WalRecord(seq=7, op="add_token", payload={"token": "vacc1ne", "count": 2})
+        records, valid = decode_segment(encode_record(record))
+        assert records == [record]
+        assert valid == len(encode_record(record))
+
+    def test_decode_stops_at_partial_header(self):
+        frame = encode_record(WalRecord(seq=1, op="x", payload={}))
+        records, valid = decode_segment(frame + b"0001")
+        assert [r.seq for r in records] == [1]
+        assert valid == len(frame)
+
+    def test_decode_stops_at_short_payload(self):
+        frame = encode_record(WalRecord(seq=1, op="x", payload={}))
+        torn = encode_record(WalRecord(seq=2, op="x", payload={"token": "abcdef"}))[:-4]
+        records, valid = decode_segment(frame + torn)
+        assert [r.seq for r in records] == [1]
+        assert valid == len(frame)
+
+    def test_decode_rejects_checksum_mismatch(self):
+        frame = bytearray(encode_record(WalRecord(seq=1, op="x", payload={"token": "aa"})))
+        frame[-3] = frame[-3] ^ 0x01  # flip a payload byte, keep the frame shape
+        records, valid = decode_segment(bytes(frame))
+        assert records == [] and valid == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(min_size=1, max_size=12),
+                st.integers(min_value=1, max_value=5),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_random_payloads_round_trip(self, entries):
+        data = b"".join(
+            encode_record(WalRecord(seq=i, op="add_token", payload={"token": t, "count": c}))
+            for i, (t, c) in enumerate(entries, start=1)
+        )
+        records, valid = decode_segment(data)
+        assert valid == len(data)
+        assert [(r.payload["token"], r.payload["count"]) for r in records] == entries
+
+
+class TestAppendAndReplay:
+    def test_append_assigns_contiguous_sequences(self, tmp_path):
+        wal = ChangeLog(tmp_path)
+        _append_n(wal, 10)
+        assert wal.last_seq == 10
+        assert [r.seq for r in wal.iter_records()] == list(range(1, 11))
+
+    def test_iter_after_seq_is_exclusive(self, tmp_path):
+        wal = ChangeLog(tmp_path)
+        _append_n(wal, 10)
+        assert [r.seq for r in wal.iter_records(after_seq=7)] == [8, 9, 10]
+        assert list(wal.iter_records(after_seq=10)) == []
+
+    def test_reopen_resumes_sequences(self, tmp_path):
+        _append_n(ChangeLog(tmp_path), 5)
+        wal = ChangeLog(tmp_path)
+        assert wal.last_seq == 5
+        _append_n(wal, 3, start=5)
+        assert [r.seq for r in ChangeLog(tmp_path).iter_records()] == list(range(1, 9))
+
+    def test_rotation_splits_segments(self, tmp_path):
+        wal = ChangeLog(tmp_path, segment_bytes=128)
+        _append_n(wal, 40)
+        stats = wal.stats()
+        assert stats.segments > 1
+        assert stats.records == 40
+        # Replay is seamless across the segment boundaries.
+        assert [r.seq for r in wal.iter_records()] == list(range(1, 41))
+
+    def test_append_to_closed_log_raises(self, tmp_path):
+        wal = ChangeLog(tmp_path)
+        wal.close()
+        with pytest.raises(WalError):
+            wal.append("add_token", {"token": "x"})
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        tokens=st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=40),
+        segment_bytes=st.integers(min_value=64, max_value=512),
+        after=st.integers(min_value=0, max_value=45),
+    )
+    def test_replay_property(self, tmp_path_factory, tokens, segment_bytes, after):
+        """Replay returns exactly the records past ``after``, in order,
+        regardless of where segment boundaries fall."""
+        directory = tmp_path_factory.mktemp("wal")
+        wal = ChangeLog(directory, segment_bytes=segment_bytes)
+        for token in tokens:
+            wal.append("add_token", {"token": token, "source": None, "count": 1})
+        replayed = [r.payload["token"] for r in ChangeLog(directory).iter_records(after)]
+        assert replayed == tokens[after:]
+
+
+class TestTornTail:
+    def test_torn_tail_is_truncated_on_open(self, tmp_path):
+        wal = ChangeLog(tmp_path)
+        _append_n(wal, 6)
+        segment = sorted(tmp_path.glob("wal-*.seg"))[-1]
+        with segment.open("ab") as handle:
+            handle.write(b"00000042deadbeef{\"seq\": 7, \"op\"")  # cut mid-payload
+        reopened = ChangeLog(tmp_path)
+        assert reopened.last_seq == 6
+        assert reopened.stats().torn_bytes > 0
+        # The tail was physically truncated: appends resume cleanly.
+        _append_n(reopened, 1, start=6)
+        assert [r.seq for r in ChangeLog(tmp_path).iter_records()] == list(range(1, 8))
+
+    def test_repair_rescans_and_keeps_fresh_appends(self, tmp_path):
+        """repair() must decode the tail as it is *now*: complete frames
+        another handle appended after this handle's scan are records, not
+        torn bytes."""
+        writer = ChangeLog(tmp_path)
+        _append_n(writer, 3)
+        reader = ChangeLog(tmp_path)  # scanned at 3 records
+        _append_n(writer, 2, start=3)  # live writer keeps appending
+        assert reader.repair() == 0  # nothing torn — nothing truncated
+        assert reader.last_seq == 5  # bookkeeping refreshed from disk
+        assert [r.seq for r in ChangeLog(tmp_path).iter_records()] == [1, 2, 3, 4, 5]
+
+    def test_scan_reports_torn_bytes_without_repairing(self, tmp_path):
+        wal = ChangeLog(tmp_path)
+        _append_n(wal, 3)
+        segment = sorted(tmp_path.glob("wal-*.seg"))[-1]
+        before = segment.stat().st_size
+        with segment.open("ab") as handle:
+            handle.write(b"garbage")
+        stats = ChangeLog.scan(tmp_path)
+        assert stats.torn_bytes == 7
+        assert stats.records == 3
+        assert segment.stat().st_size == before + 7  # untouched
+
+    def test_interior_corruption_refuses_to_replay(self, tmp_path):
+        wal = ChangeLog(tmp_path, segment_bytes=64)
+        _append_n(wal, 20)
+        first = sorted(tmp_path.glob("wal-*.seg"))[0]
+        data = bytearray(first.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        first.write_bytes(bytes(data))
+        with pytest.raises(WalError):
+            ChangeLog(tmp_path)
+
+
+class TestMaintenance:
+    def test_truncate_through_deletes_covered_segments(self, tmp_path):
+        wal = ChangeLog(tmp_path, segment_bytes=96)
+        _append_n(wal, 30)
+        assert wal.stats().segments > 2
+        covered = [s for s in sorted(tmp_path.glob("wal-*.seg"))]
+        wal.truncate_through(15)
+        remaining = [r.seq for r in wal.iter_records()]
+        # Everything past 15 survives; earlier records may survive only in
+        # the first retained segment (no in-place splicing).
+        assert [r for r in remaining if r > 15] == list(range(16, 31))
+        assert wal.stats().segments < len(covered)
+        # Appends continue with contiguous sequences after truncation.
+        _append_n(wal, 2, start=30)
+        assert wal.last_seq == 32
+
+    def test_truncate_everything_keeps_sequence_monotonic(self, tmp_path):
+        wal = ChangeLog(tmp_path, segment_bytes=64)
+        _append_n(wal, 12)
+        wal.truncate_through(12)
+        assert list(wal.iter_records()) == []
+        assert wal.last_seq == 12  # floor preserved by the empty segment
+        _append_n(wal, 1, start=12)
+        assert [r.seq for r in wal.iter_records()] == [13]
+        # ... and the floor survives a reopen.
+        assert ChangeLog(tmp_path).last_seq == 13
+
+    def test_reset_raises_sequence_floor(self, tmp_path):
+        wal = ChangeLog(tmp_path)
+        _append_n(wal, 4)
+        wal.reset(next_seq_floor=100)
+        assert list(wal.iter_records()) == []
+        record = wal.append("add_token", {"token": "fresh"})
+        assert record.seq == 101
+
+    def test_ensure_seq_at_least_noop_when_past(self, tmp_path):
+        wal = ChangeLog(tmp_path)
+        _append_n(wal, 9)
+        wal.ensure_seq_at_least(5)
+        assert [r.seq for r in wal.iter_records()] == list(range(1, 10))
+        wal.ensure_seq_at_least(50)
+        assert list(wal.iter_records()) == []
+        assert wal.append("add_token", {"token": "x"}).seq == 51
+
+
+class TestFailedAppend:
+    def test_failed_append_rolls_back_partial_frame(self, tmp_path):
+        """A write that dies mid-frame must not leave garbage that later
+        successful appends land after — they would be acknowledged yet
+        destroyed by recovery's torn-tail truncation."""
+        wal = ChangeLog(tmp_path)
+        _append_n(wal, 2)
+
+        class HalfWriter:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def write(self, data):
+                self.inner.write(data[: len(data) // 2])
+                self.inner.flush()
+                raise OSError("disk full")
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+        real_handle = wal._tail_handle(sorted(tmp_path.glob("wal-*.seg"))[0])
+        wal._handle = HalfWriter(real_handle)
+        with pytest.raises(WalError):
+            wal.append("add_token", {"token": "doomed"})
+        # The partial frame was rolled back; the next append is replayable.
+        record = wal.append("add_token", {"token": "survivor"})
+        assert record.seq == 3
+        assert [r.payload.get("token") for r in ChangeLog(tmp_path).iter_records()] == [
+            "tok0",
+            "tok1",
+            "survivor",
+        ]
+
+
+class TestForeignFiles:
+    def test_foreign_file_in_directory_raises(self, tmp_path):
+        (tmp_path / "wal-notanumber.seg").write_text("junk")
+        with pytest.raises(WalError):
+            ChangeLog(tmp_path)
+
+    def test_record_payload_survives_json(self, tmp_path):
+        wal = ChangeLog(tmp_path)
+        wal.append("add_token", {"token": "naïve🙂", "source": "unicode", "count": 3})
+        (record,) = list(wal.iter_records())
+        assert record.payload == {"token": "naïve🙂", "source": "unicode", "count": 3}
+        # The on-disk payload is honest JSON.
+        segment = sorted(tmp_path.glob("wal-*.seg"))[0]
+        payload = segment.read_bytes()[16:-1]
+        assert json.loads(payload)["token"] == "naïve🙂"
