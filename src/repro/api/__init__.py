@@ -15,6 +15,7 @@ layer in process:
   cached in the Redis-style cache.
 """
 
+from .async_service import AsyncCrypTextService
 from .auth import ApiToken, TokenAuthenticator
 from .ratelimit import RateLimiter
 from .service import CrypTextService, ServiceResponse
@@ -23,6 +24,7 @@ __all__ = [
     "ApiToken",
     "TokenAuthenticator",
     "RateLimiter",
+    "AsyncCrypTextService",
     "CrypTextService",
     "ServiceResponse",
 ]

@@ -1,0 +1,257 @@
+"""Asyncio service front: one event loop multiplexing many connections.
+
+The sync :class:`~repro.api.service.CrypTextService` is the handler layer —
+authentication, scopes, rate limits, validation, response caching — and
+stays exactly as it is.  :class:`AsyncCrypTextService` puts an event loop in
+front of it:
+
+* every request is dispatched to the sync handler on a **thread pool**
+  (``config.reader_processes`` workers), so one slow normalization never
+  blocks the accept loop or the other connections;
+* **read** endpoints (lookup / normalize and their batch variants) are
+  routed across the follower replicas by the service's bound
+  :class:`~repro.replication.ReplicaSet` — each request lands on one
+  replica inside the staleness bound;
+* **write and admin** endpoints (perturb sampling mutates RNG state,
+  listen enriches, maintenance/snapshot administer) are pinned to the
+  leader by the handlers themselves — the routing layer never sees them.
+
+Two entry points:
+
+* :meth:`dispatch` — the transport-free async callable
+  (``await front.dispatch("POST", "/v1/lookup", token, payload)``), usable
+  directly from any asyncio application;
+* :meth:`start` — a minimal HTTP/1.1 server on ``asyncio.start_server``
+  mapping the conventional routes (``POST /v1/lookup``,
+  ``GET /v1/replication``, …) with ``Authorization: Bearer`` credentials
+  and JSON bodies.  It exists so the CLI and the fault-injection harness
+  can exercise the full socket path; it is deliberately not a general web
+  server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+from ..errors import CrypTextError
+from .service import CrypTextService, ServiceResponse
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+#: Hard cap on accepted request bodies (a service front, not a file server).
+MAX_BODY_BYTES = 8 << 20
+
+
+class AsyncCrypTextService:
+    """Event-loop front over a sync :class:`CrypTextService`."""
+
+    def __init__(
+        self,
+        service: CrypTextService,
+        reader_threads: int | None = None,
+    ) -> None:
+        self.service = service
+        workers = (
+            reader_threads
+            if reader_threads is not None
+            else service.cryptext.config.reader_processes
+        )
+        if workers < 1:
+            raise CrypTextError(f"reader_threads must be >= 1, got {workers!r}")
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="cryptext-read"
+        )
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    async def _call(self, handler, /, *args, **kwargs) -> ServiceResponse:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, functools.partial(handler, *args, **kwargs)
+        )
+
+    async def dispatch(
+        self,
+        method: str,
+        path: str,
+        token: str | None,
+        payload: dict | None = None,
+    ) -> ServiceResponse:
+        """Route one request to its sync handler on the thread pool."""
+        body = payload if payload is not None else {}
+        if not isinstance(body, dict):
+            return ServiceResponse(
+                status=400, body={"error": "request body must be a JSON object"}
+            )
+        service = self.service
+        route = (method.upper(), path)
+        try:
+            if route == ("POST", "/v1/lookup"):
+                return await self._call(
+                    service.lookup,
+                    token,
+                    body.get("queries", []),
+                    phonetic_level=body.get("phonetic_level"),
+                    max_edit_distance=body.get("max_edit_distance"),
+                    case_sensitive=body.get("case_sensitive", True),
+                    use_transpositions=body.get("use_transpositions"),
+                )
+            if route == ("POST", "/v1/normalize"):
+                return await self._call(service.normalize, token, body.get("texts", []))
+            if route == ("POST", "/v1/batch/lookup"):
+                return await self._call(
+                    service.batch_lookup,
+                    token,
+                    body.get("queries", []),
+                    phonetic_level=body.get("phonetic_level"),
+                    max_edit_distance=body.get("max_edit_distance"),
+                    case_sensitive=body.get("case_sensitive", True),
+                    use_transpositions=body.get("use_transpositions"),
+                )
+            if route == ("POST", "/v1/batch/normalize"):
+                return await self._call(
+                    service.batch_normalize, token, body.get("texts", [])
+                )
+            if route == ("POST", "/v1/perturb"):
+                return await self._call(
+                    service.perturb,
+                    token,
+                    body.get("texts", []),
+                    ratio=body.get("ratio"),
+                    case_sensitive=body.get("case_sensitive"),
+                )
+            if route == ("POST", "/v1/listen"):
+                return await self._call(
+                    service.listen,
+                    token,
+                    body.get("keywords", []),
+                    since=body.get("since"),
+                    until=body.get("until"),
+                )
+            if route == ("GET", "/v1/stats"):
+                return await self._call(service.stats, token)
+            if route == ("GET", "/v1/replication"):
+                return await self._call(service.replication_status, token)
+            if route == ("GET", "/v1/admin/maintenance"):
+                return await self._call(service.maintenance_status, token)
+            if route == ("POST", "/v1/admin/maintenance"):
+                return await self._call(
+                    service.maintenance_trigger, token, task=body.get("task", "save")
+                )
+            if route == ("POST", "/v1/admin/snapshot"):
+                return await self._call(
+                    service.snapshot_save,
+                    token,
+                    path=body.get("path"),
+                    incremental=bool(body.get("incremental", False)),
+                )
+            if route == ("PUT", "/v1/admin/snapshot"):
+                return await self._call(
+                    service.snapshot_load, token, path=body.get("path")
+                )
+        except CrypTextError as exc:
+            return ServiceResponse(status=400, body={"error": str(exc)})
+        return ServiceResponse(
+            status=404, body={"error": f"no route for {method.upper()} {path}"}
+        )
+
+    # ------------------------------------------------------------------ #
+    # the socket server
+    # ------------------------------------------------------------------ #
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            response = await self._read_and_dispatch(reader)
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.LimitOverrunError):
+            writer.close()
+            return
+        except Exception as exc:  # noqa: BLE001 - the front must not die
+            response = ServiceResponse(status=500, body={"error": str(exc)})
+        data = json.dumps(response.body, ensure_ascii=False).encode("utf-8")
+        reason = _REASONS.get(response.status, "Unknown")
+        head = (
+            f"HTTP/1.1 {response.status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + data)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _read_and_dispatch(self, reader: asyncio.StreamReader) -> ServiceResponse:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            return ServiceResponse(status=400, body={"error": "malformed request line"})
+        method, target, _version = parts
+        path = target.split("?", 1)[0]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        token: str | None = None
+        authorization = headers.get("authorization", "")
+        if authorization.lower().startswith("bearer "):
+            token = authorization[len("bearer ") :].strip()
+        try:
+            length = int(headers.get("content-length", "0") or 0)
+        except ValueError:
+            return ServiceResponse(status=400, body={"error": "bad Content-Length"})
+        if length > MAX_BODY_BYTES:
+            return ServiceResponse(status=400, body={"error": "request body too large"})
+        payload: dict | None = None
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return ServiceResponse(
+                    status=400, body={"error": "request body is not valid JSON"}
+                )
+        return await self.dispatch(method, path, token, payload)
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and serve; returns the actual ``(host, port)`` bound."""
+        if self._server is not None:
+            raise CrypTextError("the async service front is already serving")
+        self._server = await asyncio.start_server(self._handle, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        return str(sockname[0]), int(sockname[1])
+
+    async def stop(self) -> None:
+        """Stop accepting connections and release the thread pool."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        self._executor.shutdown(wait=False)
+
+    async def serve_forever(self) -> None:
+        """Block on the running server (call :meth:`start` first)."""
+        if self._server is None:
+            raise CrypTextError("call start() before serve_forever()")
+        await self._server.serve_forever()

@@ -114,6 +114,12 @@ class CrypTextService:
     max_bulk_batch_size:
         Upper bound on the high-throughput ``/v1/batch/*`` request sizes
         (served by the batch engine, so the limit can be much higher).
+    replica_set:
+        Optional :class:`~repro.replication.ReplicaSet`; when bound, read
+        endpoints (lookup / normalize and their batch variants) are routed
+        across the follower replicas inside the staleness bound instead of
+        always hitting the leader.  Write and admin endpoints stay pinned
+        to the leader regardless.
     """
 
     def __init__(
@@ -126,6 +132,7 @@ class CrypTextService:
         max_batch_size: int = 256,
         max_bulk_batch_size: int = 4096,
         scheduler=None,
+        replica_set=None,
     ) -> None:
         if max_batch_size < 1:
             raise ServiceError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -146,6 +153,8 @@ class CrypTextService:
         #: Optional maintenance scheduler behind ``/v1/admin/maintenance``
         #: and the ``maintenance`` section of ``/v1/stats``.
         self.scheduler = scheduler
+        #: Optional replica set routing the read endpoints.
+        self.replica_set = replica_set
         self._listener: SocialListener | None = None
 
     # ------------------------------------------------------------------ #
@@ -203,6 +212,12 @@ class CrypTextService:
             return compute()
         return self.cache.get_or_compute(key, compute)
 
+    def _read_system(self) -> CrypText:
+        """The system serving this read: a routed replica, or the leader."""
+        if self.replica_set is not None:
+            return self.replica_set.route()
+        return self.cryptext
+
     # ------------------------------------------------------------------ #
     # endpoints
     # ------------------------------------------------------------------ #
@@ -235,10 +250,11 @@ class CrypTextService:
             "service.lookup", list(queries), phonetic_level, max_edit_distance,
             case_sensitive, use_transpositions,
         )
+        system = self._read_system()
         results = self._cached(
             key,
             lambda: {
-                query: self.cryptext.look_up(
+                query: system.look_up(
                     query,
                     phonetic_level=phonetic_level,
                     max_edit_distance=max_edit_distance,
@@ -260,9 +276,10 @@ class CrypTextService:
         except ServiceError as exc:
             return ServiceResponse(status=400, body={"error": str(exc)})
         key = make_key("service.normalize", list(texts))
+        system = self._read_system()
         results = self._cached(
             key,
-            lambda: [self.cryptext.normalize(text).to_dict() for text in texts],
+            lambda: [system.normalize(text).to_dict() for text in texts],
         )
         return ServiceResponse(status=200, body={"results": results})
 
@@ -313,7 +330,7 @@ class CrypTextService:
             self._validate_batch(queries, self.max_bulk_batch_size, "queries")
         except ServiceError as exc:
             return ServiceResponse(status=400, body={"error": str(exc)})
-        results = self.cryptext.look_up_batch(
+        results = self._read_system().look_up_batch(
             queries,
             phonetic_level=phonetic_level,
             max_edit_distance=max_edit_distance,
@@ -341,7 +358,7 @@ class CrypTextService:
             self._validate_batch(texts, self.max_bulk_batch_size, "texts")
         except ServiceError as exc:
             return ServiceResponse(status=400, body={"error": str(exc)})
-        results = self.cryptext.normalize_batch(texts)
+        results = self._read_system().normalize_batch(texts)
         return ServiceResponse(
             status=200,
             body={
@@ -400,6 +417,30 @@ class CrypTextService:
             ),
         }
         return ServiceResponse(status=200, body=body)
+
+    # ------------------------------------------------------------------ #
+    # replication
+    # ------------------------------------------------------------------ #
+    def bind_replica_set(self, replica_set) -> None:
+        """Attach (or replace) the replica set routing the read endpoints."""
+        self.replica_set = replica_set
+
+    def replication_status(self, token: str | None) -> ServiceResponse:
+        """Replication topology and lag — the ``/v1/replication`` route.
+
+        Requires the ``stats`` scope.  409 when the service runs
+        unreplicated (no replica set bound).
+        """
+        guard = self._guard(token, "stats")
+        if isinstance(guard, ServiceResponse):
+            return guard
+        if self.replica_set is None:
+            return ServiceResponse(
+                status=409, body={"error": "no replica set is bound"}
+            )
+        return ServiceResponse(
+            status=200, body={"replication": self.replica_set.status()}
+        )
 
     # ------------------------------------------------------------------ #
     # durability administration

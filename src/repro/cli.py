@@ -315,6 +315,133 @@ def _cmd_wal(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replica(args: argparse.Namespace) -> int:
+    """The ``replica`` subcommand: replicated read-scaling operations.
+
+    ``status`` inspects a leader directory read-only: journal position,
+    snapshot-chain tip, and how many records a fresh follower would replay.
+    ``run`` starts a leader (behind the single-writer guard) plus N
+    follower replicas, catches them up, and either reports convergence and
+    exits (the default, used by scripts and tests) or keeps serving over
+    the asyncio front (``--serve``).
+    """
+    from .config import DEFAULT_CONFIG
+    from .errors import WalError
+    from .wal import ChangeLog, SingleWriterGuard, resolve_wal_directory
+    from .wal.delta import resolve_snapshot_chain
+
+    if not getattr(args, "db", None):
+        raise CrypTextError("replica requires --db (the leader's snapshot directory)")
+    db_dir = Path(args.db)
+    wal_dir = resolve_wal_directory(
+        DEFAULT_CONFIG, db_dir, getattr(args, "wal_dir", None) or None
+    )
+
+    if args.action == "status":
+        payload: dict[str, object] = {"wal_dir": str(wal_dir)}
+        lines: list[str] = []
+        try:
+            wal_stats = ChangeLog.scan(wal_dir)
+            payload["wal"] = wal_stats.to_dict()
+            leader_seq = wal_stats.last_seq
+            lines.append(
+                f"journal {wal_dir}: {wal_stats.records} records, "
+                f"last seq {wal_stats.last_seq}"
+            )
+        except WalError as exc:
+            payload["wal"] = {"error": str(exc)}
+            leader_seq = 0
+            lines.append(f"journal {wal_dir}: unreadable ({exc})")
+        try:
+            chain = resolve_snapshot_chain(db_dir, strict=False)
+        except SnapshotError as exc:
+            chain = None
+            payload["chain"] = {"error": str(exc)}
+            lines.append(f"chain: broken ({exc})")
+        if chain is not None:
+            tip_seq = chain.snapshot.wal_seq
+            pending = max(0, leader_seq - tip_seq)
+            payload["chain"] = {
+                "base": chain.base_path,
+                "deltas": chain.deltas_applied,
+                "tip_wal_seq": tip_seq,
+                "replay_pending": pending,
+            }
+            lines.append(
+                f"chain: base + {chain.deltas_applied} delta(s) covering "
+                f"seq <= {tip_seq}; a fresh follower replays {pending} record(s)"
+            )
+        elif "chain" not in payload:
+            payload["chain"] = None
+            lines.append(
+                f"chain: no usable snapshot in {db_dir}; a fresh follower "
+                f"replays the whole journal"
+            )
+        _emit(payload, args, lines)
+        return 0
+
+    # run: leader behind the single-writer guard, N tailing followers.
+    from .api import AsyncCrypTextService, CrypTextService
+    from .replication import Follower, ReplicaSet
+
+    with SingleWriterGuard(wal_dir):
+        leader = CrypText.empty(seed_lexicon=False)
+        recovery = leader.recover(db_dir, wal_dir=wal_dir)
+        followers = [
+            Follower(db_dir, wal_dir=wal_dir, name=f"follower-{index}")
+            for index in range(args.followers)
+        ]
+        replica_set = ReplicaSet(leader, followers)
+        try:
+            for follower in followers:
+                follower.catch_up()
+            if args.serve:
+                service = CrypTextService(leader, replica_set=replica_set)
+                token = service.issue_token("cli")
+                front = AsyncCrypTextService(service)
+
+                async def serve() -> None:
+                    host, port = await front.start(args.host, args.port)
+                    print(f"serving on http://{host}:{port} (token: {token.token})")
+                    replica_set.start(args.poll_interval)
+                    try:
+                        await front.serve_forever()
+                    finally:
+                        replica_set.stop()
+                        await front.stop()
+
+                try:
+                    import asyncio
+
+                    asyncio.run(serve())
+                except KeyboardInterrupt:  # pragma: no cover - interactive exit
+                    pass
+                return 0
+            status = replica_set.status()
+            payload = {"recovery": recovery.to_dict(), "replication": status}
+            lines = [
+                f"leader recovered {len(leader.dictionary)} tokens "
+                f"(wal seq {recovery.wal_seq})"
+            ]
+            for member in status["followers"]:
+                lines.append(
+                    f"{member['name']}: applied seq {member['applied_seq']}, "
+                    f"{member['tokens']} tokens, "
+                    f"lag {member['replication_lag_seqs']} seq(s)"
+                )
+            converged = all(
+                member["applied_seq"] == status["leader_seq"]
+                for member in status["followers"]
+            )
+            lines.append(
+                "all followers converged" if converged else "followers still behind"
+            )
+            _emit(payload, args, lines)
+            return 0 if converged else 2
+        finally:
+            replica_set.close()
+
+
 def _cmd_lookup(args: argparse.Namespace) -> int:
     system = _build_system(args, train_scorer=False)
     payload: dict[str, object] = {}
@@ -578,6 +705,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     wal_cmd.add_argument("--wal-dir", help="change-log directory override")
     wal_cmd.set_defaults(handler=_cmd_wal)
+
+    replica_cmd = commands.add_parser(
+        "replica",
+        help="replicated read scaling: run follower replicas or inspect lag",
+    )
+    replica_cmd.add_argument(
+        "action",
+        choices=("run", "status"),
+        help="run: leader (single-writer guarded) + N WAL-tailing followers, "
+        "converge and report, or keep serving with --serve; status: journal "
+        "position, chain tip, and pending replay for a fresh follower",
+    )
+    replica_cmd.add_argument(
+        "--db", help="leader snapshot-chain directory (wal defaults to <db>/wal)"
+    )
+    replica_cmd.add_argument("--wal-dir", help="change-log directory override")
+    replica_cmd.add_argument(
+        "--followers", type=int, default=2, help="number of follower replicas (run)"
+    )
+    replica_cmd.add_argument(
+        "--poll-interval",
+        type=float,
+        default=None,
+        help="follower poll interval in seconds (default: config value)",
+    )
+    replica_cmd.add_argument(
+        "--serve",
+        action="store_true",
+        help="keep running and serve the asyncio HTTP front over the replica set",
+    )
+    replica_cmd.add_argument("--host", default="127.0.0.1", help="bind host (--serve)")
+    replica_cmd.add_argument(
+        "--port", type=int, default=0, help="bind port, 0 picks a free one (--serve)"
+    )
+    replica_cmd.set_defaults(handler=_cmd_replica)
 
     normalize_cmd = commands.add_parser("normalize", help="detect and de-perturb a text")
     normalize_cmd.add_argument("text")

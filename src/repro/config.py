@@ -101,6 +101,27 @@ class CrypTextConfig:
         scheduler's own default interval; to disable interval-driven saves
         entirely, construct the scheduler with an explicit
         ``MaintenancePolicy(autosave_interval=None)``.
+    wal_fsync_batch:
+        Group-commit width for the change log: ``os.fsync`` once every N
+        appends instead of never (``0``, the default) or every append
+        (``ChangeLog(fsync=True)``).  A crash between batch syncs loses at
+        most the unsynced suffix — the log can never decode with an
+        interior gap.
+    wal_superseded_retention:
+        Seconds a sidelined ``*.seg.superseded`` journal is kept for
+        operator salvage before maintenance garbage-collects it.  ``None``
+        disables the GC entirely; the default keeps one week.
+    replica_poll_interval:
+        Seconds between WAL-tail polls of a follower replica
+        (:class:`~repro.replication.Follower`).
+    max_staleness_seconds:
+        Staleness bound for replicated reads: a follower that has not
+        caught up to the leader within this many seconds is excluded from
+        read routing (the :class:`~repro.replication.ReplicaSet` falls back
+        to fresher followers or the leader itself).
+    reader_processes:
+        Parallelism of the read path: the number of follower replicas /
+        executor workers the replicated service front fans reads across.
     crawler_batch_size:
         Number of posts ingested per crawl round when enriching the
         dictionary from the (simulated) social stream.
@@ -130,6 +151,11 @@ class CrypTextConfig:
     wal_dir: str | None = None
     wal_segment_bytes: int = 1 << 20
     snapshot_autosave_interval: float | None = None
+    wal_fsync_batch: int = 0
+    wal_superseded_retention: float | None = 604800.0
+    replica_poll_interval: float = 0.5
+    max_staleness_seconds: float = 5.0
+    reader_processes: int = 4
     crawler_batch_size: int = 200
     normalizer_max_candidates: int = 10
     lm_order: int = 3
@@ -180,6 +206,34 @@ class CrypTextConfig:
                 "snapshot_autosave_interval must be positive (or None), "
                 f"got {self.snapshot_autosave_interval!r}"
             )
+        if not isinstance(self.wal_fsync_batch, int) or self.wal_fsync_batch < 0:
+            raise ConfigurationError(
+                f"wal_fsync_batch must be a non-negative integer, "
+                f"got {self.wal_fsync_batch!r}"
+            )
+        if (
+            self.wal_superseded_retention is not None
+            and self.wal_superseded_retention < 0
+        ):
+            raise ConfigurationError(
+                "wal_superseded_retention must be >= 0 (or None), "
+                f"got {self.wal_superseded_retention!r}"
+            )
+        if self.replica_poll_interval <= 0:
+            raise ConfigurationError(
+                f"replica_poll_interval must be positive, "
+                f"got {self.replica_poll_interval!r}"
+            )
+        if self.max_staleness_seconds <= 0:
+            raise ConfigurationError(
+                f"max_staleness_seconds must be positive, "
+                f"got {self.max_staleness_seconds!r}"
+            )
+        if not isinstance(self.reader_processes, int) or self.reader_processes < 1:
+            raise ConfigurationError(
+                f"reader_processes must be a positive integer, "
+                f"got {self.reader_processes!r}"
+            )
         if self.crawler_batch_size <= 0:
             raise ConfigurationError(
                 f"crawler_batch_size must be positive, got {self.crawler_batch_size!r}"
@@ -218,6 +272,11 @@ class CrypTextConfig:
             "wal_dir": self.wal_dir,
             "wal_segment_bytes": self.wal_segment_bytes,
             "snapshot_autosave_interval": self.snapshot_autosave_interval,
+            "wal_fsync_batch": self.wal_fsync_batch,
+            "wal_superseded_retention": self.wal_superseded_retention,
+            "replica_poll_interval": self.replica_poll_interval,
+            "max_staleness_seconds": self.max_staleness_seconds,
+            "reader_processes": self.reader_processes,
             "crawler_batch_size": self.crawler_batch_size,
             "normalizer_max_candidates": self.normalizer_max_candidates,
             "lm_order": self.lm_order,
@@ -248,6 +307,11 @@ class CrypTextConfig:
             "wal_dir",
             "wal_segment_bytes",
             "snapshot_autosave_interval",
+            "wal_fsync_batch",
+            "wal_superseded_retention",
+            "replica_poll_interval",
+            "max_staleness_seconds",
+            "reader_processes",
             "crawler_batch_size",
             "normalizer_max_candidates",
             "lm_order",

@@ -497,6 +497,58 @@ class PerturbationDictionary:
             for text in texts
         )
 
+    def learn_batch(
+        self,
+        texts: Iterable[str],
+        source: str | None = None,
+        changed_keys: set[tuple[int, str]] | None = None,
+    ) -> int:
+        """Record a whole enrichment round as one journaled mutation.
+
+        State-equivalent to :meth:`add_corpus` — tokens are merged in
+        first-occurrence order with accumulated counts, so document
+        insertion order (hence ``_id`` assignment and bucket order) and
+        final counts/sources come out identical — but an attached WAL
+        receives a single compound ``learn_batch`` record instead of one
+        frame per token occurrence, shrinking journal volume for
+        learn-heavy ingest by the batch width.  Returns the number of
+        token occurrences recorded (:meth:`add_corpus`'s return value).
+        """
+        merged: dict[str, int] = {}
+        for text in texts:
+            for token in self.tokenizer.word_tokens(text):
+                if self._keys_for(token.text) is None:
+                    continue
+                merged[token.text] = merged.get(token.text, 0) + 1
+        if not merged:
+            return 0
+        recorded = 0
+        with self._write_lock:
+            if (
+                self._wal is not None
+                and self._wal_replaying_thread != threading.get_ident()
+            ):
+                self._wal.append(
+                    "learn_batch",
+                    {
+                        "source": source,
+                        "tokens": [list(item) for item in merged.items()],
+                    },
+                )
+            # The compound record is journaled; the per-token applies below
+            # must not journal themselves again.
+            previous = self._wal_replaying_thread
+            self._wal_replaying_thread = threading.get_ident()
+            try:
+                for token, count in merged.items():
+                    if self.add_token(
+                        token, source=source, count=count, changed_keys=changed_keys
+                    ):
+                        recorded += count
+            finally:
+                self._wal_replaying_thread = previous
+        return recorded
+
     def seed_lexicon(self, words: Iterable[str] | None = None) -> int:
         """Ensure canonical English words are present as dictionary entries.
 
@@ -1276,6 +1328,71 @@ class PerturbationDictionary:
             wal, self._wal = self._wal, None
             return wal
 
+    def hydrate_snapshot(
+        self, snapshot: "Snapshot", strict: bool = False
+    ) -> SnapshotLoadReport:
+        """Replace all state from an in-memory (chain-resolved) snapshot.
+
+        The follower-replication entry point: a replica resolves the
+        leader's base + delta chain with
+        :func:`~repro.wal.delta.resolve_snapshot_chain` and installs the
+        merged snapshot here — no file round-trip, no journal side effects
+        beyond raising the sequence floor so a log attached later starts
+        past the snapshot's recorded position.  The installed state counts
+        as persisted (nothing dirty).
+        """
+        with self._write_lock:
+            report = self._install_snapshot(snapshot, strict=strict)
+            self._dirty_pairs.clear()
+            self._dirty_tokens.clear()
+            self._chain_wal_seq = max(self._chain_wal_seq, snapshot.wal_seq)
+            if self._wal is not None:
+                self._wal.ensure_seq_at_least(snapshot.wal_seq)
+        return report
+
+    def apply_wal_record(
+        self,
+        record: "WalRecord",
+        changed_keys: set[tuple[int, str]] | None = None,
+    ) -> bool:
+        """Apply one journaled mutation without re-journaling it.
+
+        The shared replay core of crash recovery and follower replication:
+        ``add_token`` and compound ``learn_batch`` records mutate the
+        dictionary with journaling suppressed (a replica consuming history
+        must not append it again), anything else returns ``False`` for the
+        caller to count as skipped.  Idempotence by sequence number is the
+        *caller's* contract — apply each record at most once, filtered by
+        ``seq`` against the last applied position.
+        """
+        if record.op == "add_token":
+            ops = [
+                (
+                    str(record.payload["token"]),
+                    record.payload.get("source"),
+                    int(record.payload.get("count", 1)),
+                )
+            ]
+        elif record.op == "learn_batch":
+            source = record.payload.get("source")
+            ops = [
+                (str(token), source, int(count))
+                for token, count in record.payload.get("tokens", ())
+            ]
+        else:
+            return False
+        with self._write_lock:
+            previous = self._wal_replaying_thread
+            self._wal_replaying_thread = threading.get_ident()
+            try:
+                for token, source, count in ops:
+                    self.add_token(
+                        token, source=source, count=count, changed_keys=changed_keys
+                    )
+            finally:
+                self._wal_replaying_thread = previous
+        return True
+
     def dirty_state(self) -> dict[str, int]:
         """How much has changed since the last persisted snapshot."""
         with self._write_lock:
@@ -1445,23 +1562,14 @@ class PerturbationDictionary:
                 wal.ensure_seq_at_least(after_seq)
                 self._wal = wal
                 self._chain_wal_seq = after_seq
-                self._wal_replaying_thread = threading.get_ident()
-                try:
-                    for record in wal.iter_records(after_seq=after_seq):
-                        if record.op == "add_token":
-                            self.add_token(
-                                str(record.payload["token"]),
-                                source=record.payload.get("source"),
-                                count=int(record.payload.get("count", 1)),
-                            )
-                            replayed += 1
-                        else:
-                            # Unknown operation (a newer writer's record):
-                            # skip it rather than fail the whole recovery,
-                            # but say so.
-                            skipped += 1
-                finally:
-                    self._wal_replaying_thread = None
+                for record in wal.iter_records(after_seq=after_seq):
+                    if self.apply_wal_record(record):
+                        replayed += 1
+                    else:
+                        # Unknown operation (a newer writer's record):
+                        # skip it rather than fail the whole recovery,
+                        # but say so.
+                        skipped += 1
                 if skipped:
                     degraded.append(
                         f"skipped {skipped} records with unknown operations"

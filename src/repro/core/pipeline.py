@@ -299,7 +299,19 @@ class CrypText:
         sharded index, if one was built, is refreshed for the same keys.
         """
         changed: set[tuple[int, str]] = set()
-        added = self.dictionary.add_corpus(texts, source=source, changed_keys=changed)
+        added = self.dictionary.learn_batch(texts, source=source, changed_keys=changed)
+        self.note_external_changes(changed)
+        return added
+
+    def note_external_changes(self, changed: set[tuple[int, str]]) -> None:
+        """Propagate dictionary changes that bypassed this facade's writers.
+
+        The invalidation half of :meth:`learn_from`, shared with follower
+        replication (which mutates the dictionary by replaying WAL records):
+        refreshes the batch engine's sharded index and drops exactly the
+        cached queries whose sound buckets changed, plus untagged entries
+        whose dependencies are unknown.
+        """
         if self._batch_engine is not None:
             # Refreshes the sharded index and invalidates both the memoized
             # normalization candidates and the tagged query-cache entries.
@@ -308,7 +320,6 @@ class CrypText:
             self.lookup_engine.invalidate_sounds(changed)
         if self.cache is not None and changed:
             self.cache.invalidate_untagged()
-        return added
 
     def stats(self) -> DictionaryStats:
         """Dictionary statistics (token counts, unique phonetic sounds)."""

@@ -1,0 +1,30 @@
+"""Single-writer / many-reader replication over the durability subsystem.
+
+The PR 5 change log is already a total-ordered, checksummed, idempotent
+replication log; this package puts read scaling on top of it:
+
+* :mod:`repro.replication.tailer` — **read-only WAL tailing**
+  (:class:`WalTail`): decode the leader's segments without ever repairing,
+  truncating, or creating anything, detecting torn tails and
+  truncated-under-us gaps instead;
+* :mod:`repro.replication.follower` — a :class:`Follower` replica that
+  hydrates from the snapshot/delta chain, continuously applies the journal
+  tail, re-hydrates when the leader truncates history under it, and
+  exposes its replication lag;
+* :mod:`repro.replication.replica_set` — a :class:`ReplicaSet` router
+  fanning reads round-robin across the followers inside the staleness
+  bound, falling back to the leader;
+* the **single-writer guard** lives with the log itself
+  (:class:`repro.wal.log.SingleWriterGuard`) — an ``flock`` on the WAL
+  directory so a second writer fails loudly instead of corrupting seqs.
+
+The asyncio service front (:mod:`repro.api.async_service`) dispatches read
+endpoints to the ReplicaSet via a thread pool and pins writes to the
+leader.
+"""
+
+from .follower import Follower
+from .replica_set import ReplicaSet
+from .tailer import TailBatch, WalTail
+
+__all__ = ["Follower", "ReplicaSet", "TailBatch", "WalTail"]

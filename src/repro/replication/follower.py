@@ -1,0 +1,270 @@
+"""Follower replicas: hydrate from the snapshot chain, tail the leader's WAL.
+
+A :class:`Follower` owns a complete read-only :class:`~repro.core.pipeline.CrypText`
+system of its own — documents, compiled tries, batch shards, query cache —
+reconstructed from the leader's persisted artifacts and kept fresh by
+polling the journal:
+
+1. **hydrate** — resolve the leader's base + delta chain
+   (:func:`~repro.wal.delta.resolve_snapshot_chain`) and install the merged
+   snapshot; the chain tip's recorded ``wal_seq`` becomes the applied
+   position.  With no usable chain the follower starts empty at position 0
+   and replays the journal from its beginning.
+2. **catch up / poll** — read every complete record past the applied
+   position (:class:`~repro.replication.tailer.WalTail`) and apply it
+   through the same replay core crash recovery uses
+   (:meth:`~repro.core.dictionary.PerturbationDictionary.apply_wal_record`),
+   invalidating exactly the caches whose sound buckets changed.  Applying
+   is idempotent by sequence number: a record at or below the applied
+   position is never applied twice, so a follower killed mid-catch-up
+   simply re-tails.
+3. **degrade gracefully** — when the leader truncates or supersedes
+   segments under the tail (a gap), the follower re-hydrates from the
+   latest chain, which by the truncation contract covers everything the
+   deleted segments held.
+
+The follower never journals: its dictionary has no WAL attached, and the
+replay core suppresses journaling anyway.  It never writes to the leader's
+directories either — hydration and tailing are strictly read-only, which is
+what lets N followers share one leader's disk artifacts without any
+coordination beyond the single-writer guard on the leader itself.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Callable
+
+from ..config import CrypTextConfig, DEFAULT_CONFIG
+from ..core.pipeline import CrypText
+from ..errors import SnapshotError
+from ..wal.delta import resolve_snapshot_chain
+from ..wal.log import resolve_wal_directory
+from .tailer import WalTail
+
+
+class Follower:
+    """One read replica tailing a leader's snapshot directory + WAL.
+
+    Parameters
+    ----------
+    snapshot_dir:
+        The leader's snapshot directory (base + deltas live here).
+    wal_dir:
+        The leader's journal; resolved like every other entry point
+        (explicit beats ``config.wal_dir`` beats ``<snapshot_dir>/wal``).
+    config:
+        Configuration for the replica's own system (and the source of
+        ``replica_poll_interval`` / ``max_staleness_seconds`` defaults).
+    name:
+        Identifier used in stats and routing output.
+    clock:
+        Monotonic-seconds source, injectable for staleness tests.
+    record_applied_seqs:
+        Keep the set of every sequence number ever applied (the
+        concurrency harness asserts no loss and no duplication with it).
+        Off by default — it grows without bound.
+    """
+
+    def __init__(
+        self,
+        snapshot_dir: str | Path,
+        wal_dir: str | Path | None = None,
+        config: CrypTextConfig = DEFAULT_CONFIG,
+        name: str = "follower",
+        clock: Callable[[], float] = time.monotonic,
+        record_applied_seqs: bool = False,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.snapshot_dir = Path(snapshot_dir)
+        self.wal_dir = resolve_wal_directory(config, self.snapshot_dir, wal_dir)
+        self.system = CrypText.empty(config=config, seed_lexicon=False)
+        self._tail = WalTail(self.wal_dir)
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._applied_seq = 0
+        self._applied_records = 0
+        self._applied_seq_log: set[int] | None = set() if record_applied_seqs else None
+        self._skipped_records = 0
+        self._rehydrations = 0
+        self._hydrated = False
+        self._last_sync: float | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # hydration & polling
+    # ------------------------------------------------------------------ #
+    @property
+    def applied_seq(self) -> int:
+        """Position of the last WAL record folded into this replica."""
+        with self._lock:
+            return self._applied_seq
+
+    @property
+    def applied_seqs(self) -> frozenset[int]:
+        """Every sequence number ever applied (requires ``record_applied_seqs``)."""
+        with self._lock:
+            return frozenset(self._applied_seq_log or ())
+
+    def hydrate(self) -> bool:
+        """(Re)install the leader's snapshot chain; returns whether one loaded.
+
+        Safe to call on a live replica — a re-hydration replaces the whole
+        state and moves the applied position to the chain tip, after which
+        polling resumes from there.  With no usable chain the replica keeps
+        its current state (initially empty) and position.
+        """
+        with self._lock:
+            try:
+                chain = resolve_snapshot_chain(self.snapshot_dir, strict=False)
+            except SnapshotError:
+                # A broken delta link: the base alone may still be stale vs.
+                # our position; replaying the WAL from 0 over the base risks
+                # double-apply.  Treat as unusable and keep the current state.
+                chain = None
+            if chain is None:
+                return False
+            self.system.dictionary.hydrate_snapshot(chain.snapshot)
+            if self.system.cache is not None:
+                self.system.cache.clear()
+            engine = self.system._batch_engine
+            if engine is not None:
+                engine.memo.clear()
+                engine.warm_from_snapshot(chain.snapshot)
+            self._applied_seq = chain.snapshot.wal_seq
+            self._hydrated = True
+            return True
+
+    def poll(self) -> int:
+        """One tail round: apply every new complete record; returns how many.
+
+        A detected gap triggers one re-hydration attempt, then a re-tail
+        from the new position inside the same call.  Raises nothing on a
+        quiet log — zero is a normal return.
+        """
+        with self._lock:
+            if self._closed:
+                return 0
+            batch = self._tail.read_after(self._applied_seq)
+            if batch.gap:
+                self._rehydrations += 1
+                if self.hydrate():
+                    batch = self._tail.read_after(self._applied_seq)
+                if batch.gap:
+                    # Still unreachable (no usable chain yet — e.g. the
+                    # leader is mid-save).  Stay stale; the routing layer
+                    # will exclude us until a later poll succeeds.
+                    return 0
+            changed: set[tuple[int, str]] = set()
+            applied = 0
+            for record in batch.records:
+                if record.seq <= self._applied_seq:
+                    continue
+                if self.system.dictionary.apply_wal_record(record, changed_keys=changed):
+                    self._applied_records += 1
+                else:
+                    self._skipped_records += 1
+                # Unknown operations advance the position too — they were
+                # journaled by a newer writer and will be equally unknown
+                # on every future poll.
+                self._applied_seq = record.seq
+                if self._applied_seq_log is not None:
+                    self._applied_seq_log.add(record.seq)
+                applied += 1
+            if changed:
+                self.system.note_external_changes(changed)
+            self._last_sync = self._clock()
+            return applied
+
+    def catch_up(self) -> int:
+        """Hydrate (once, if never done) and poll until the tail runs dry."""
+        with self._lock:
+            if not self._hydrated:
+                self.hydrate()
+            total = 0
+            while True:
+                applied = self.poll()
+                total += applied
+                if applied == 0:
+                    return total
+
+    # ------------------------------------------------------------------ #
+    # background tailing
+    # ------------------------------------------------------------------ #
+    def start(self, poll_interval: float | None = None) -> None:
+        """Tail continuously on a daemon thread every ``poll_interval`` seconds."""
+        interval = (
+            poll_interval if poll_interval is not None else self.config.replica_poll_interval
+        )
+        if interval <= 0:
+            raise ValueError(f"poll_interval must be positive, got {interval!r}")
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def run() -> None:
+            while not self._stop.is_set():
+                self.poll()
+                self._stop.wait(interval)
+
+        self._thread = threading.Thread(
+            target=run, name=f"cryptext-{self.name}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the background tail (the replica keeps serving reads)."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._stop.set()
+            thread.join()
+
+    def close(self) -> None:
+        """Stop tailing and release the replica's own executors."""
+        self.stop()
+        with self._lock:
+            self._closed = True
+            engine = self.system._batch_engine
+        if engine is not None:
+            engine.close()
+
+    # ------------------------------------------------------------------ #
+    # staleness & stats
+    # ------------------------------------------------------------------ #
+    def lag_seconds(self) -> float | None:
+        """Seconds since the last successful tail round (``None``: never)."""
+        with self._lock:
+            if self._last_sync is None:
+                return None
+            return max(0.0, self._clock() - self._last_sync)
+
+    def is_fresh(self, max_staleness_seconds: float | None = None) -> bool:
+        """Whether this replica is inside the staleness bound."""
+        bound = (
+            max_staleness_seconds
+            if max_staleness_seconds is not None
+            else self.config.max_staleness_seconds
+        )
+        lag = self.lag_seconds()
+        return lag is not None and lag <= bound
+
+    def stats(self) -> dict[str, object]:
+        """Replication counters (the ``/v1/replication`` per-follower view)."""
+        with self._lock:
+            lag = None if self._last_sync is None else max(0.0, self._clock() - self._last_sync)
+            return {
+                "name": self.name,
+                "applied_seq": self._applied_seq,
+                "applied_records": self._applied_records,
+                "skipped_records": self._skipped_records,
+                "rehydrations": self._rehydrations,
+                "hydrated": self._hydrated,
+                "replication_lag_seconds": lag,
+                "tailing": self._thread is not None,
+                "tokens": len(self.system.dictionary),
+            }

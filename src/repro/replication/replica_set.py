@@ -1,0 +1,131 @@
+"""Read routing across a leader and its follower replicas.
+
+:class:`ReplicaSet` is the policy layer between the service front and the
+replicas: reads rotate round-robin across every follower inside the
+staleness bound; a follower that has fallen behind (its last successful
+tail round is older than ``max_staleness_seconds``) is excluded until it
+catches up; with no eligible follower the read lands on the leader itself,
+which is always current.  Writes never route here — the service front pins
+them to the leader, and the single-writer guard on the WAL directory
+enforces it across processes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from ..core.pipeline import CrypText
+from .follower import Follower
+
+
+class ReplicaSet:
+    """Round-robin, staleness-aware read router.
+
+    Parameters
+    ----------
+    leader:
+        The writable system; fallback target and source of truth for the
+        sequence-number lag report.
+    followers:
+        The read replicas (may be empty — every read then hits the leader).
+    max_staleness_seconds:
+        Eligibility bound; defaults to the leader config's value.
+    """
+
+    def __init__(
+        self,
+        leader: CrypText,
+        followers: Sequence[Follower] = (),
+        max_staleness_seconds: float | None = None,
+    ) -> None:
+        self.leader = leader
+        self.followers = list(followers)
+        self.max_staleness_seconds = (
+            max_staleness_seconds
+            if max_staleness_seconds is not None
+            else leader.config.max_staleness_seconds
+        )
+        self._lock = threading.Lock()
+        self._next = 0
+        self._routed_to_followers = 0
+        self._routed_to_leader = 0
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def route(self) -> CrypText:
+        """The system the next read should hit (and count it as routed)."""
+        with self._lock:
+            eligible = [
+                follower
+                for follower in self.followers
+                if follower.is_fresh(self.max_staleness_seconds)
+            ]
+            if not eligible:
+                self._routed_to_leader += 1
+                return self.leader
+            follower = eligible[self._next % len(eligible)]
+            self._next += 1
+            self._routed_to_followers += 1
+            return follower.system
+
+    # Read endpoints: same signatures as the facade, dispatched per call so
+    # consecutive reads spread across the set.
+    def look_up(self, query: str, **kwargs):
+        """Replicated Look Up (see :meth:`CrypText.look_up`)."""
+        return self.route().look_up(query, **kwargs)
+
+    def normalize(self, text: str):
+        """Replicated Normalization (see :meth:`CrypText.normalize`)."""
+        return self.route().normalize(text)
+
+    def look_up_batch(self, queries: Sequence[str], **kwargs):
+        """Replicated batch Look Up — one replica serves the whole batch."""
+        return self.route().look_up_batch(queries, **kwargs)
+
+    def normalize_batch(self, texts: Sequence[str]):
+        """Replicated batch Normalization — one replica serves the whole batch."""
+        return self.route().normalize_batch(texts)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle & introspection
+    # ------------------------------------------------------------------ #
+    def start(self, poll_interval: float | None = None) -> None:
+        """Start every follower's background tail."""
+        for follower in self.followers:
+            follower.start(poll_interval)
+
+    def stop(self) -> None:
+        """Stop every follower's background tail."""
+        for follower in self.followers:
+            follower.stop()
+
+    def close(self) -> None:
+        """Stop tails and release every follower's executors."""
+        for follower in self.followers:
+            follower.close()
+
+    def status(self) -> dict[str, object]:
+        """The ``/v1/replication`` payload: per-follower lag + routing counters."""
+        wal = self.leader.dictionary.wal
+        leader_seq = wal.last_seq if wal is not None else None
+        with self._lock:
+            routed_followers = self._routed_to_followers
+            routed_leader = self._routed_to_leader
+        members = []
+        for follower in self.followers:
+            stats = follower.stats()
+            if leader_seq is not None:
+                stats["replication_lag_seqs"] = max(
+                    0, leader_seq - int(stats["applied_seq"])
+                )
+            stats["fresh"] = follower.is_fresh(self.max_staleness_seconds)
+            members.append(stats)
+        return {
+            "leader_seq": leader_seq,
+            "max_staleness_seconds": self.max_staleness_seconds,
+            "followers": members,
+            "routed_to_followers": routed_followers,
+            "routed_to_leader": routed_leader,
+        }

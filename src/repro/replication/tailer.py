@@ -1,0 +1,117 @@
+"""Read-only WAL tailing for follower replicas.
+
+A follower consumes the leader's journal *without* opening a
+:class:`~repro.wal.log.ChangeLog` on it: that constructor repairs torn
+tails, creates directories, and keeps an append handle — all writer
+privileges a replica must never exercise (two processes "repairing" the
+same tail race each other into corruption).  :class:`WalTail` is the
+reader-side counterpart: it globs the segment files fresh on every read,
+decodes complete frames only, and reports — rather than fixes — anything
+unusual.
+
+The segment naming convention (``wal-<first_seq:020d>.seg``) lets the tail
+skip whole files without decoding them: segment *i* covers sequence numbers
+``[first_i, first_{i+1} - 1]``, so any segment whose successor starts at or
+below ``after_seq + 1`` holds nothing new.
+
+Two race conditions with a live leader are normal and handled:
+
+* **torn tail while tailing** — the leader is mid-append when we read; the
+  cut-off frame fails to decode and the batch simply ends at the last
+  complete record.  The next poll picks up the finished frame.
+* **truncation / reset under us** — maintenance deleted segments we were
+  about to read, or superseded the whole journal.  If the surviving files
+  no longer cover ``after_seq + 1`` the batch reports a **gap**: the
+  follower cannot catch up from the log alone and must re-hydrate from the
+  latest snapshot chain (which, by the truncation contract, covers at
+  least everything the deleted segments held).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..wal.log import WAL_SEGMENT_GLOB, WalRecord, decode_segment
+
+
+@dataclass(frozen=True)
+class TailBatch:
+    """The outcome of one tail read.
+
+    ``records`` is the contiguous run of new records starting at
+    ``after_seq + 1`` (possibly empty); ``gap`` means the journal no longer
+    reaches back to ``after_seq + 1`` at all — the caller must re-hydrate
+    from the snapshot chain before tailing again.
+    """
+
+    records: tuple[WalRecord, ...] = ()
+    gap: bool = False
+
+
+class WalTail:
+    """Reader-side view of a (possibly live) WAL directory."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def _segments(self) -> list[tuple[int, Path]]:
+        """``(first_seq, path)`` pairs in sequence order.
+
+        Files that do not follow the naming convention are ignored — a
+        writer-side :class:`ChangeLog` refuses to open such a directory,
+        but a tail has no business policing files it will never touch
+        (the ``wal.lock`` guard file lives here too).
+        """
+        found: list[tuple[int, Path]] = []
+        if self.directory.is_dir():
+            for path in self.directory.glob(WAL_SEGMENT_GLOB):
+                stem = path.stem
+                try:
+                    found.append((int(stem.split("-", 1)[1]), path))
+                except (IndexError, ValueError):
+                    continue
+        found.sort()
+        return found
+
+    def read_after(self, after_seq: int) -> TailBatch:
+        """Every complete record with ``seq`` contiguously above ``after_seq``.
+
+        Only the gapless run starting at ``after_seq + 1`` is returned; a
+        jump mid-stream (an interior tear, or a rotation racing the read)
+        ends the batch — the suffix is retried on the next poll once the
+        leader has repaired or finished writing.
+        """
+        segments = self._segments()
+        if not segments:
+            # Nothing on disk: a leader that has not journaled yet (or a
+            # directory mid-supersede).  Not a gap — there is no evidence
+            # history was lost, so the follower just keeps waiting.
+            return TailBatch()
+        if segments[0][0] > after_seq + 1:
+            # Truncation or reset consumed the records we still need; the
+            # snapshot chain covers them now.
+            return TailBatch(gap=True)
+        collected: list[WalRecord] = []
+        expected = after_seq + 1
+        for index, (first_seq, path) in enumerate(segments):
+            next_first = segments[index + 1][0] if index + 1 < len(segments) else None
+            if next_first is not None and next_first <= expected:
+                continue  # fully covered by what we already applied
+            try:
+                data = path.read_bytes()
+            except OSError:
+                break  # unlinked by truncation mid-read; retry next poll
+            records, _ = decode_segment(data)
+            jumped = False
+            for record in records:
+                if record.seq < expected:
+                    continue
+                if record.seq > expected:
+                    jumped = True
+                    break
+                collected.append(record)
+                expected += 1
+            if jumped:
+                break
+        return TailBatch(records=tuple(collected))

@@ -24,8 +24,10 @@ lost all mutations since the last save.  This package closes that gap:
 from .log import (
     WAL_SEGMENT_GLOB,
     ChangeLog,
+    SingleWriterGuard,
     WalRecord,
     WalStats,
+    gc_superseded_segments,
     resolve_wal_directory,
     supersede_wal_segments,
     wal_directory_for,
@@ -47,8 +49,10 @@ from .maintenance import MaintenancePolicy, MaintenanceScheduler
 __all__ = [
     "WAL_SEGMENT_GLOB",
     "ChangeLog",
+    "SingleWriterGuard",
     "WalRecord",
     "WalStats",
+    "gc_superseded_segments",
     "resolve_wal_directory",
     "supersede_wal_segments",
     "wal_directory_for",

@@ -47,10 +47,16 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator, Mapping
+
+try:  # pragma: no cover - fcntl is present on every POSIX build
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from ..errors import WalError
 
@@ -108,6 +114,102 @@ def supersede_wal_segments(wal_dir: str | Path) -> int:
             segment.rename(segment.with_name(segment.name + ".superseded"))
             sidelined += 1
     return sidelined
+
+
+def gc_superseded_segments(
+    wal_dir: str | Path, retention_seconds: float, now: float | None = None
+) -> int:
+    """Delete ``*.seg.superseded`` files older than the retention window.
+
+    Sidelined segments exist for operator salvage, not forever; once their
+    modification time is more than ``retention_seconds`` in the past they
+    are deleted.  Returns how many were removed.  ``now`` (wall-clock
+    seconds, as from :func:`time.time`) is injectable for tests; files at
+    *exactly* the retention boundary are kept — only strictly older ones go.
+    """
+    if retention_seconds < 0:
+        raise WalError(
+            f"retention_seconds must be >= 0, got {retention_seconds!r}"
+        )
+    cutoff = (time.time() if now is None else now) - retention_seconds
+    removed = 0
+    base = Path(wal_dir)
+    if base.is_dir():
+        for path in sorted(base.glob(WAL_SEGMENT_GLOB + ".superseded")):
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue  # raced with another collector; nothing to do
+            if mtime < cutoff:
+                try:
+                    path.unlink()
+                except OSError as exc:
+                    raise WalError(f"failed to delete {path}: {exc}") from exc
+                removed += 1
+    return removed
+
+
+class SingleWriterGuard:
+    """An ``flock``-based exclusive lock on a WAL directory.
+
+    Two processes appending to the same journal interleave frames and
+    corrupt the sequence ordering silently; this guard makes the second
+    writer fail loudly instead.  The lock file (``wal.lock``) lives inside
+    the WAL directory and is held for the guard's lifetime — use as a
+    context manager or call :meth:`release` explicitly.  ``flock`` locks
+    conflict between file descriptors even within one process, so acquire
+    exactly one guard per leader, at the replication/CLI entry point, not
+    per :class:`ChangeLog` handle.
+
+    On platforms without :mod:`fcntl` the guard degrades to a no-op (the
+    reproduction targets POSIX; Windows users lose the loud failure, not
+    correctness of a single-writer deployment).
+    """
+
+    LOCK_FILE_NAME = "wal.lock"
+
+    def __init__(self, wal_dir: str | Path) -> None:
+        self.directory = Path(wal_dir)
+        self.path = self.directory / self.LOCK_FILE_NAME
+        self._handle = None
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            handle = self.path.open("a")
+        except OSError as exc:
+            raise WalError(f"cannot open WAL lock file {self.path}: {exc}") from exc
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            handle.close()
+            return
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            raise WalError(
+                f"WAL directory {self.directory} already has an active writer "
+                f"(lock {self.path} is held); refusing to start a second one"
+            ) from None
+        self._handle = handle
+
+    @property
+    def held(self) -> bool:
+        """Whether this guard currently holds the lock."""
+        return self._handle is not None
+
+    def release(self) -> None:
+        """Drop the lock (idempotent)."""
+        if self._handle is not None:
+            try:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover - unlock failures are benign
+                pass
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SingleWriterGuard":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
 
 @dataclass(frozen=True)
@@ -241,6 +343,15 @@ class ChangeLog:
         Force an ``os.fsync`` after every append.  Off by default — the
         reproduction favors throughput, and the frame format already
         guarantees a torn tail is detected rather than misread.
+    fsync_batch:
+        Group-commit middle ground: ``os.fsync`` once every N appends
+        (and whenever the active segment handle is released) instead of
+        on every one.  ``0`` (the default) disables batching; ignored
+        when ``fsync`` is set, which already syncs every append.  Because
+        appends go through a single ``O_APPEND`` handle in order, a crash
+        between batch syncs can only lose a suffix of unsynced frames —
+        the decoded log is always a contiguous prefix, never a log with
+        an interior gap.
 
     Opening a directory scans existing segments, validates their frames,
     and — when the last segment carries a torn tail — truncates it
@@ -256,12 +367,17 @@ class ChangeLog:
         directory: str | Path,
         segment_bytes: int = 1 << 20,
         fsync: bool = False,
+        fsync_batch: int = 0,
     ) -> None:
         if segment_bytes < 1:
             raise WalError(f"segment_bytes must be >= 1, got {segment_bytes}")
+        if fsync_batch < 0:
+            raise WalError(f"fsync_batch must be >= 0, got {fsync_batch}")
         self.directory = Path(directory)
         self.segment_bytes = segment_bytes
         self.fsync = fsync
+        self.fsync_batch = fsync_batch
+        self._unsynced_appends = 0
         self._lock = threading.RLock()
         self._closed = False
         self._torn_bytes_repaired = 0
@@ -407,6 +523,11 @@ class ChangeLog:
                 handle.flush()
                 if self.fsync:
                     os.fsync(handle.fileno())
+                elif self.fsync_batch:
+                    self._unsynced_appends += 1
+                    if self._unsynced_appends >= self.fsync_batch:
+                        os.fsync(handle.fileno())
+                        self._unsynced_appends = 0
             except OSError as exc:
                 self._drop_handle()
                 # A failed write may have left a partial frame *mid-segment*;
@@ -441,11 +562,32 @@ class ChangeLog:
     def _drop_handle(self) -> None:
         if self._handle is not None:
             try:
+                if self._unsynced_appends:
+                    # Best-effort: releasing the handle (rotation, close,
+                    # truncation) flushes a pending batch so group commit
+                    # never widens the loss window past the configured N.
+                    os.fsync(self._handle.fileno())
+            except OSError:  # pragma: no cover - sync-on-release is advisory
+                pass
+            try:
                 self._handle.close()
             except OSError:  # pragma: no cover - close failures are benign
                 pass
         self._handle = None
         self._handle_path = None
+        self._unsynced_appends = 0
+
+    def sync(self) -> None:
+        """Flush any batched, not-yet-fsynced appends to stable storage."""
+        with self._lock:
+            if self._handle is not None and self._unsynced_appends:
+                try:
+                    os.fsync(self._handle.fileno())
+                except OSError as exc:
+                    raise WalError(
+                        f"failed to sync {self._handle_path}: {exc}"
+                    ) from exc
+                self._unsynced_appends = 0
 
     # ------------------------------------------------------------------ #
     # replay

@@ -38,7 +38,7 @@ from typing import TYPE_CHECKING, Callable
 
 from ..errors import CrypTextError, SnapshotError, WalError
 from ..storage.snapshot import SNAPSHOT_FILE_NAME
-from .log import ChangeLog, resolve_wal_directory
+from .log import ChangeLog, gc_superseded_segments, resolve_wal_directory
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.dictionary import PerturbationDictionary, SnapshotSaveReport
@@ -52,12 +52,16 @@ class MaintenancePolicy:
     scheduler then only acts on explicit :meth:`MaintenanceScheduler.run_now`
     triggers).  ``compact_every`` bounds the delta-chain length; 0 disables
     compaction entirely (chains grow until an explicit trigger).
+    ``superseded_retention`` is how long (seconds) sidelined
+    ``*.seg.superseded`` journals are kept for operator salvage before the
+    scheduler deletes them; ``None`` disables the GC.
     """
 
     autosave_interval: float | None = 300.0
     incremental: bool = True
     compact_every: int = 8
     truncate_wal: bool = True
+    superseded_retention: float | None = 604800.0
 
     def __post_init__(self) -> None:
         if self.autosave_interval is not None and self.autosave_interval <= 0:
@@ -69,6 +73,11 @@ class MaintenancePolicy:
             raise CrypTextError(
                 f"compact_every must be >= 0, got {self.compact_every!r}"
             )
+        if self.superseded_retention is not None and self.superseded_retention < 0:
+            raise CrypTextError(
+                f"superseded_retention must be >= 0 (or None), "
+                f"got {self.superseded_retention!r}"
+            )
 
     def to_dict(self) -> dict[str, object]:
         """Serialize for the maintenance status surface."""
@@ -77,6 +86,7 @@ class MaintenancePolicy:
             "incremental": self.incremental,
             "compact_every": self.compact_every,
             "truncate_wal": self.truncate_wal,
+            "superseded_retention": self.superseded_retention,
         }
 
 
@@ -126,7 +136,8 @@ class MaintenanceScheduler:
             self.policy = policy
         elif config.snapshot_autosave_interval is not None:
             self.policy = MaintenancePolicy(
-                autosave_interval=config.snapshot_autosave_interval
+                autosave_interval=config.snapshot_autosave_interval,
+                superseded_retention=config.wal_superseded_retention,
             )
         else:
             # An unset config interval means "use the scheduler default",
@@ -134,7 +145,9 @@ class MaintenanceScheduler:
             # would silently void the durability the caller asked for.
             # Interval-driven saves are disabled only explicitly, by
             # passing MaintenancePolicy(autosave_interval=None).
-            self.policy = MaintenancePolicy()
+            self.policy = MaintenancePolicy(
+                superseded_retention=config.wal_superseded_retention
+            )
         if wal is None:
             wal_dir = resolve_wal_directory(config, self.snapshot_dir, wal_dir)
             wal = dictionary.wal
@@ -163,6 +176,7 @@ class MaintenanceScheduler:
         self._full_saves = 0
         self._compactions = 0
         self._wal_truncations = 0
+        self._superseded_removed = 0
         self._last_report: "SnapshotSaveReport | None" = None
         self._last_error: str | None = None
 
@@ -198,6 +212,11 @@ class MaintenanceScheduler:
             if not report.incremental and self.policy.truncate_wal:
                 self.wal.truncate_through(report.wal_seq)
                 truncated = True
+            if not report.incremental:
+                # Full saves are the natural cadence for retiring sidelined
+                # journals too — frequent enough to bound disk growth,
+                # infrequent enough to stay off the ingest hot path.
+                self.gc_superseded()
             with self._state_lock:
                 self._last_save_at = self._clock()
                 self._last_report = report
@@ -238,6 +257,21 @@ class MaintenanceScheduler:
                 with self._state_lock:
                     self._wal_truncations += 1
             return deleted
+
+    def gc_superseded(self) -> int:
+        """Delete ``*.seg.superseded`` journals older than the retention window.
+
+        Returns how many were removed; 0 when the policy disables the GC
+        (``superseded_retention=None``) or nothing has aged out yet.
+        """
+        retention = self.policy.superseded_retention
+        if retention is None:
+            return 0
+        removed = gc_superseded_segments(self.wal.directory, retention)
+        if removed:
+            with self._state_lock:
+                self._superseded_removed += removed
+        return removed
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -291,7 +325,7 @@ class MaintenanceScheduler:
         """Explicit trigger (the ``/v1/admin/maintenance`` POST surface).
 
         ``task`` is one of ``save`` (respects the incremental policy),
-        ``full_save``, ``compact``, or ``truncate_wal``.
+        ``full_save``, ``compact``, ``truncate_wal``, or ``gc_superseded``.
         """
         if task == "save":
             return {"task": task, "report": self.save().to_dict()}
@@ -301,9 +335,11 @@ class MaintenanceScheduler:
             return {"task": task, "report": self.compact().to_dict()}
         if task == "truncate_wal":
             return {"task": task, "segments_deleted": self.truncate_wal()}
+        if task == "gc_superseded":
+            return {"task": task, "segments_deleted": self.gc_superseded()}
         raise CrypTextError(
             f"unknown maintenance task {task!r} "
-            "(expected save, full_save, compact, or truncate_wal)"
+            "(expected save, full_save, compact, truncate_wal, or gc_superseded)"
         )
 
     def start(self, poll_interval: float = 1.0) -> None:
@@ -360,6 +396,7 @@ class MaintenanceScheduler:
                 "full_saves": self._full_saves,
                 "compactions": self._compactions,
                 "wal_truncations": self._wal_truncations,
+                "superseded_removed": self._superseded_removed,
                 "due_in_seconds": self.due_in(),
                 "last_error": self._last_error,
                 "last_save": (

@@ -124,3 +124,39 @@ class TestListenCommand:
         )
         assert code == 0
         assert "keyword 'vaccine'" in out
+
+
+class TestReplicaCommand:
+    def _build_db(self, capsys, tmp_path):
+        code, _out, _err = run_cli(
+            capsys, "build", "--out", str(tmp_path), "--snapshot", *FAST
+        )
+        assert code == 0
+
+    def test_status_reports_chain_and_journal(self, capsys, tmp_path):
+        self._build_db(capsys, tmp_path)
+        code, out, _err = run_cli(
+            capsys, "--json", "replica", "status", "--db", str(tmp_path)
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["chain"]["replay_pending"] == 0
+        assert payload["chain"]["tip_wal_seq"] == 0
+
+    def test_run_converges_followers(self, capsys, tmp_path):
+        self._build_db(capsys, tmp_path)
+        code, out, _err = run_cli(
+            capsys, "--json", "replica", "run", "--db", str(tmp_path),
+            "--followers", "2",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        followers = payload["replication"]["followers"]
+        assert len(followers) == 2
+        assert all(member["tokens"] > 0 for member in followers)
+        assert all(member["replication_lag_seqs"] == 0 for member in followers)
+
+    def test_run_requires_db(self, capsys):
+        code, _out, err = run_cli(capsys, "replica", "run")
+        assert code == 2
+        assert "--db" in err

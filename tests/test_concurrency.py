@@ -237,3 +237,68 @@ class TestDeterminism:
         first = engine.look_up_batch(queries)
         for _ in range(5):
             assert engine.look_up_batch(queries) == first
+
+
+# --------------------------------------------------------------------------- #
+# replication: leader writes while followers tail
+# --------------------------------------------------------------------------- #
+class TestReplicationConcurrency:
+    def test_followers_tail_a_live_leader_without_loss_or_duplication(
+        self, tmp_path
+    ):
+        """Background tails racing a writing leader apply every seq exactly once.
+
+        The leader journals a stream of enrichments while two followers
+        poll on their own threads.  Each follower records the set of every
+        sequence number it ever applied: at the end that set must be
+        exactly ``{1 .. last_seq}`` — nothing lost to a torn read, nothing
+        applied twice by a racing re-tail — and both replicas must be
+        observably identical to the leader.
+        """
+        from repro import CrypTextConfig
+        from repro.replication import Follower
+        from repro.wal import ChangeLog, wal_directory_for
+
+        config = CrypTextConfig(cache_enabled=False)
+        leader = CrypText.empty(config=config, seed_lexicon=False)
+        leader.dictionary.attach_wal(ChangeLog(wal_directory_for(tmp_path)))
+        followers = [
+            Follower(
+                tmp_path,
+                config=config,
+                name=f"follower-{index}",
+                record_applied_seqs=True,
+            )
+            for index in range(2)
+        ]
+        for follower in followers:
+            follower.start(poll_interval=0.002)
+
+        def writer():
+            for index in range(40):
+                leader.learn_from(
+                    [f"the brandnewword{index}x spreads online"], source="stream"
+                )
+
+        errors = _run_threads([writer])
+        assert errors == []
+        try:
+            last_seq = leader.dictionary.wal.last_seq
+            assert last_seq == 40
+            for follower in followers:
+                follower.stop()
+                follower.catch_up()
+                assert follower.applied_seqs == frozenset(range(1, last_seq + 1))
+                stats = follower.stats()
+                assert stats["applied_records"] == last_seq
+                assert (
+                    follower.system.dictionary.content_fingerprint()
+                    == leader.dictionary.content_fingerprint()
+                )
+                assert (
+                    follower.system.dictionary.token_counts()
+                    == leader.dictionary.token_counts()
+                )
+        finally:
+            for follower in followers:
+                follower.close()

@@ -238,6 +238,12 @@ def compare_cold_and_recovered_systems(distances=(1, 3)) -> int:
         cold.dictionary.add_corpus(GOLDEN_BUILD_CORPUS, source="corpus")
         cold.dictionary.seed_lexicon()
 
+        # Streamed enrichment past the corpus: journaled as ONE compound
+        # learn_batch record per call, which replay must expand back into
+        # the identical per-token write order.
+        stream = ["completely fresh unrelated chatter flows here tonight"]
+        cold.learn_from(stream, source="stream")
+
         # The crash victim: base snapshot after half the corpus, everything
         # after it — including the whole lexicon seeding — only in the WAL.
         victim = CrypText.empty(seed_lexicon=False)
@@ -247,12 +253,19 @@ def compare_cold_and_recovered_systems(distances=(1, 3)) -> int:
         victim.dictionary.add_corpus(GOLDEN_BUILD_CORPUS[midpoint:], source="corpus")
         victim.dictionary.save_snapshot(work / SNAPSHOT_FILE_NAME, incremental=True)
         victim.dictionary.seed_lexicon()
+        victim.learn_from(stream, source="stream")
+        journaled_ops = [record.op for record in victim.dictionary.wal.iter_records()]
+        assert journaled_ops.count("learn_batch") == 1, journaled_ops
 
         recovered = CrypText.empty(seed_lexicon=False)
         report = recovered.recover(work)
         assert report.loaded and report.deltas_applied == 1, report
         assert report.replayed_records > 0, report
         assert report.degraded == (), report
+        assert (
+            recovered.dictionary.content_fingerprint()
+            == cold.dictionary.content_fingerprint()
+        )
 
         queries = sorted({token for text in GOLDEN_INPUTS for token in text.split()})
         for query in queries:

@@ -1,0 +1,609 @@
+"""Fault-injection harness for the replication subsystem.
+
+The contract under test: a follower replica that hydrates from the leader's
+snapshot chain and tails its WAL converges to a dictionary observably
+identical to the leader — through leader crashes mid-append (torn tails),
+follower kills mid-catch-up (idempotent re-tail), segment truncation under
+a live tail (graceful re-hydration), and arbitrary interleavings of leader
+writes, saves, compactions, and poll ticks.  Around the replicas: the
+single-writer flock guard fails loudly, the staleness bound is enforced
+against an injectable clock, the replica set routes round-robin with
+lag-aware exclusion, and the asyncio front serves the whole path over real
+sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CrypText, CrypTextConfig
+from repro.api import AsyncCrypTextService, CrypTextService, RateLimiter
+from repro.errors import WalError
+from repro.replication import Follower, ReplicaSet, WalTail
+from repro.storage import SNAPSHOT_FILE_NAME
+from repro.wal import (
+    ChangeLog,
+    SingleWriterGuard,
+    gc_superseded_segments,
+    supersede_wal_segments,
+    wal_directory_for,
+)
+from repro.wal.log import decode_segment
+
+CONFIG = CrypTextConfig(cache_enabled=False)
+
+CORPUS = [
+    "the demokrats hate the vacc1ne",
+    "the dirrty republicans lie",
+    "teh vaccine works",
+    "the democRATs and the repubLIEcans argue online",
+]
+
+LATER = [
+    "fresh amaz0n chatter tonight",
+    "mus-lim families moved into the neighborhood",
+    "the m0derators deleted everything again",
+]
+
+
+class FakeClock:
+    """Injectable monotonic clock for staleness tests."""
+
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _leader(directory: Path) -> CrypText:
+    """A journaling leader writing its chain + WAL under ``directory``."""
+    system = CrypText.empty(config=CONFIG, seed_lexicon=False)
+    system.dictionary.attach_wal(ChangeLog(wal_directory_for(directory)))
+    return system
+
+
+def _follower(directory: Path, **kwargs) -> Follower:
+    return Follower(directory, config=CONFIG, **kwargs)
+
+
+def _assert_converged(leader: CrypText, follower: Follower) -> None:
+    """The replica must be observably identical to the leader."""
+    assert (
+        follower.system.dictionary.content_fingerprint()
+        == leader.dictionary.content_fingerprint()
+    )
+    assert follower.system.dictionary.token_counts() == leader.dictionary.token_counts()
+    for probe in ("vaccine", "democrats", "republicans", "amazon", "zzzz"):
+        assert follower.system.look_up(probe) == leader.look_up(probe), probe
+
+
+def _tail_segment(directory: Path) -> Path:
+    """The active (highest-numbered) WAL segment under a leader directory."""
+    segments = sorted(wal_directory_for(directory).glob("wal-*.seg"))
+    assert segments, "expected at least one WAL segment"
+    return segments[-1]
+
+
+# --------------------------------------------------------------------------- #
+# the tailer
+# --------------------------------------------------------------------------- #
+class TestWalTail:
+    def test_missing_directory_is_quiet_not_a_gap(self, tmp_path):
+        batch = WalTail(tmp_path / "nowhere").read_after(0)
+        assert batch.records == () and not batch.gap
+
+    def test_reads_only_records_past_the_position(self, tmp_path):
+        wal = ChangeLog(tmp_path)
+        for index in range(5):
+            wal.append("add_token", {"token": f"tok{index}", "source": "t", "count": 1})
+        tail = WalTail(tmp_path)
+        assert [r.seq for r in tail.read_after(0).records] == [1, 2, 3, 4, 5]
+        assert [r.seq for r in tail.read_after(3).records] == [4, 5]
+        assert tail.read_after(5).records == ()
+
+    def test_unreachable_history_is_a_gap(self, tmp_path):
+        wal = ChangeLog(tmp_path)
+        for index in range(3):
+            wal.append("add_token", {"token": f"tok{index}", "source": "t", "count": 1})
+        # The leader resets past the tail's position: seqs 1..3 are gone
+        # and the next segment starts at 11 — unreachable from seq 0.
+        wal.reset(next_seq_floor=10)
+        batch = WalTail(tmp_path).read_after(0)
+        assert batch.gap and batch.records == ()
+
+    def test_torn_tail_serves_the_contiguous_prefix(self, tmp_path):
+        wal = ChangeLog(tmp_path)
+        for index in range(5):
+            wal.append("add_token", {"token": f"tok{index}", "source": "t", "count": 1})
+        wal.close()
+        segment = sorted(tmp_path.glob("wal-*.seg"))[-1]
+        complete = segment.read_bytes()
+        segment.write_bytes(complete[:-7])  # crash mid-frame on record 5
+        tail = WalTail(tmp_path)
+        assert [r.seq for r in tail.read_after(0).records] == [1, 2, 3, 4]
+        segment.write_bytes(complete)  # the append completes after all
+        assert [r.seq for r in tail.read_after(4).records] == [5]
+
+
+# --------------------------------------------------------------------------- #
+# follower convergence & fault injection
+# --------------------------------------------------------------------------- #
+class TestFollowerReplication:
+    def test_follower_converges_from_chain_plus_tail(self, tmp_path):
+        leader = _leader(tmp_path)
+        leader.learn_from(CORPUS[:2], source="corpus")
+        leader.save_snapshot(tmp_path / SNAPSHOT_FILE_NAME)
+        leader.learn_from(CORPUS[2:], source="corpus")  # tail lives only in the WAL
+        follower = _follower(tmp_path)
+        follower.catch_up()
+        assert follower.applied_seq == leader.dictionary.wal.last_seq
+        assert follower.stats()["hydrated"]
+        _assert_converged(leader, follower)
+
+    def test_leader_crash_mid_append_then_restart(self, tmp_path):
+        """Kill-sim: torn tail while a follower tails; leader restarts and repairs."""
+        leader = _leader(tmp_path)
+        leader.learn_from(CORPUS, source="corpus")
+        leader.save_snapshot(tmp_path / SNAPSHOT_FILE_NAME)
+        leader.learn_from(LATER[:1], source="stream")
+        # The crash: a half-flushed frame lands on the active segment.
+        with _tail_segment(tmp_path).open("ab") as handle:
+            handle.write(b"deadbeefcafe")  # valid hex prefix, torn frame
+        follower = _follower(tmp_path)
+        follower.catch_up()  # applies every complete record, ignores the tear
+        crashed_seq = follower.applied_seq
+        assert crashed_seq == leader.dictionary.wal.last_seq
+        # The restarted leader repairs the tail and keeps writing.
+        leader.dictionary.wal.close()
+        restarted = CrypText.empty(config=CONFIG, seed_lexicon=False)
+        report = restarted.recover(tmp_path)
+        assert report.loaded and report.torn_bytes > 0
+        restarted.learn_from(LATER[1:], source="stream")
+        follower.catch_up()
+        assert follower.applied_seq == restarted.dictionary.wal.last_seq > crashed_seq
+        _assert_converged(restarted, follower)
+
+    def test_follower_killed_mid_catchup_retails_idempotently(self, tmp_path):
+        leader = _leader(tmp_path)
+        leader.learn_from(CORPUS[:2], source="corpus")
+        leader.save_snapshot(tmp_path / SNAPSHOT_FILE_NAME)
+        leader.learn_from(CORPUS[2:] + LATER, source="stream")
+        # First incarnation dies after hydration + a partial tail; its
+        # replacement starts from scratch and must reach the same state.
+        victim = _follower(tmp_path)
+        victim.hydrate()
+        victim.poll()
+        replacement = _follower(tmp_path, record_applied_seqs=True)
+        replacement.catch_up()
+        _assert_converged(leader, replacement)
+        # Re-polling is a no-op: records at or below the position never
+        # apply twice.
+        before = replacement.stats()
+        assert replacement.poll() == 0
+        after = replacement.stats()
+        assert after["applied_records"] == before["applied_records"]
+        assert after["applied_seq"] == before["applied_seq"]
+        applied = replacement.applied_seqs
+        assert len(applied) == after["applied_records"] + after["skipped_records"]
+
+    def test_truncation_under_the_tail_triggers_rehydration(self, tmp_path):
+        leader = _leader(tmp_path)
+        leader.learn_from(CORPUS[:2], source="corpus")
+        leader.save_snapshot(tmp_path / SNAPSHOT_FILE_NAME)
+        leader.learn_from(CORPUS[2:], source="corpus")
+        follower = _follower(tmp_path)
+        follower.catch_up()
+        # The leader folds everything into a full snapshot and truncates
+        # the journal past the follower's position, then keeps writing.
+        leader.learn_from(LATER[:2], source="stream")
+        leader.save_snapshot(tmp_path / SNAPSHOT_FILE_NAME)
+        leader.dictionary.wal.truncate_through(leader.dictionary.wal.last_seq)
+        leader.learn_from(LATER[2:], source="stream")
+        follower.catch_up()
+        assert follower.stats()["rehydrations"] >= 1
+        _assert_converged(leader, follower)
+
+    def test_gap_with_no_usable_chain_stays_stale(self, tmp_path):
+        wal = ChangeLog(wal_directory_for(tmp_path))
+        wal.append("add_token", {"token": "alpha", "source": "t", "count": 1})
+        wal.reset(next_seq_floor=40)  # history gone, no snapshot to bridge it
+        follower = _follower(tmp_path)
+        assert follower.poll() == 0
+        assert follower.stats()["rehydrations"] >= 1
+        assert follower.lag_seconds() is None  # never synced successfully
+
+    def test_unknown_operations_advance_the_position(self, tmp_path):
+        leader = _leader(tmp_path)
+        leader.learn_from(CORPUS[:1], source="corpus")
+        leader.dictionary.wal.append("frobnicate", {"knob": 11})
+        follower = _follower(tmp_path)
+        follower.catch_up()
+        stats = follower.stats()
+        assert stats["skipped_records"] == 1
+        assert follower.applied_seq == leader.dictionary.wal.last_seq
+        assert follower.poll() == 0  # the unknown record is not re-read
+
+
+# --------------------------------------------------------------------------- #
+# random interleavings of writes, saves, compactions, and poll ticks
+# --------------------------------------------------------------------------- #
+WORDS = [f"zorbment{index}q" for index in range(48)]
+
+OPS = st.lists(
+    st.sampled_from(["learn", "save_full", "save_delta", "truncate", "poll"]),
+    min_size=1,
+    max_size=24,
+)
+
+
+class TestInterleavingProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(ops=OPS)
+    def test_follower_converges_under_any_interleaving(self, ops):
+        """Any interleaving of leader work and poll ticks ends byte-identical."""
+        with tempfile.TemporaryDirectory() as tmp:
+            work = Path(tmp)
+            leader = _leader(work)
+            follower = _follower(work, record_applied_seqs=True)
+            word = iter(WORDS)
+            for op in ops:
+                if op == "learn":
+                    leader.learn_from([f"the {next(word)} spreads"], source="stream")
+                elif op == "save_full":
+                    leader.save_snapshot(work / SNAPSHOT_FILE_NAME)
+                elif op == "save_delta":
+                    leader.dictionary.save_snapshot(
+                        work / SNAPSHOT_FILE_NAME, incremental=True
+                    )
+                elif op == "truncate":
+                    leader.save_snapshot(work / SNAPSHOT_FILE_NAME)
+                    wal = leader.dictionary.wal
+                    wal.truncate_through(wal.last_seq)
+                else:
+                    follower.poll()
+            follower.catch_up()
+            assert (
+                follower.system.dictionary.content_fingerprint()
+                == leader.dictionary.content_fingerprint()
+            )
+            assert (
+                follower.system.dictionary.token_counts()
+                == leader.dictionary.token_counts()
+            )
+            # No sequence ever applied twice (the log is a set), and the
+            # position ends at the leader's.
+            assert follower.applied_seq == leader.dictionary.wal.last_seq
+
+
+# --------------------------------------------------------------------------- #
+# staleness bound (injectable clock)
+# --------------------------------------------------------------------------- #
+class TestStalenessBound:
+    def test_freshness_tracks_the_injected_clock(self, tmp_path):
+        leader = _leader(tmp_path)
+        leader.learn_from(CORPUS[:1], source="corpus")
+        clock = FakeClock()
+        follower = _follower(tmp_path, clock=clock)
+        assert not follower.is_fresh(5.0)  # never synced
+        follower.catch_up()
+        assert follower.lag_seconds() == 0.0
+        assert follower.is_fresh(5.0)
+        clock.advance(4.0)
+        assert follower.is_fresh(5.0) and not follower.is_fresh(3.0)
+        clock.advance(10.0)
+        assert not follower.is_fresh(5.0)
+        follower.poll()  # a successful (even empty) round resets the lag
+        assert follower.is_fresh(5.0)
+
+    def test_failed_rounds_do_not_reset_the_lag(self, tmp_path):
+        leader = _leader(tmp_path)
+        leader.learn_from(CORPUS[:1], source="corpus")
+        clock = FakeClock()
+        follower = _follower(tmp_path, clock=clock)
+        follower.catch_up()
+        # History becomes unreachable with no chain to re-hydrate from.
+        leader.dictionary.wal.reset(
+            next_seq_floor=leader.dictionary.wal.last_seq + 50
+        )
+        clock.advance(30.0)
+        follower.poll()
+        assert follower.lag_seconds() == pytest.approx(30.0)
+        assert not follower.is_fresh(5.0)
+
+
+# --------------------------------------------------------------------------- #
+# replica-set routing
+# --------------------------------------------------------------------------- #
+class TestReplicaSetRouting:
+    def _set(self, tmp_path, count=2):
+        leader = _leader(tmp_path)
+        leader.learn_from(CORPUS, source="corpus")
+        clocks = [FakeClock() for _ in range(count)]
+        followers = [
+            _follower(tmp_path, name=f"follower-{index}", clock=clocks[index])
+            for index in range(count)
+        ]
+        for follower in followers:
+            follower.catch_up()
+        return leader, followers, clocks
+
+    def test_round_robin_across_fresh_followers(self, tmp_path):
+        leader, followers, _clocks = self._set(tmp_path)
+        replica_set = ReplicaSet(leader, followers, max_staleness_seconds=60.0)
+        routed = [replica_set.route() for _ in range(4)]
+        assert routed == [
+            followers[0].system,
+            followers[1].system,
+            followers[0].system,
+            followers[1].system,
+        ]
+        status = replica_set.status()
+        assert status["routed_to_followers"] == 4
+        assert status["routed_to_leader"] == 0
+
+    def test_stale_followers_are_excluded(self, tmp_path):
+        leader, followers, clocks = self._set(tmp_path)
+        replica_set = ReplicaSet(leader, followers, max_staleness_seconds=5.0)
+        clocks[0].advance(30.0)  # follower-0 falls behind the bound
+        assert replica_set.route() is followers[1].system
+        clocks[1].advance(30.0)  # everyone stale: the leader absorbs reads
+        assert replica_set.route() is leader
+        assert replica_set.status()["routed_to_leader"] == 1
+
+    def test_status_reports_sequence_lag(self, tmp_path):
+        leader, followers, _clocks = self._set(tmp_path)
+        leader.learn_from(LATER[:1], source="stream")  # followers now behind
+        status = ReplicaSet(leader, followers, max_staleness_seconds=60.0).status()
+        assert status["leader_seq"] == leader.dictionary.wal.last_seq
+        for member in status["followers"]:
+            assert member["replication_lag_seqs"] >= 1
+
+    def test_read_endpoints_answer_like_the_leader(self, tmp_path):
+        leader, followers, _clocks = self._set(tmp_path)
+        replica_set = ReplicaSet(leader, followers, max_staleness_seconds=60.0)
+        assert replica_set.look_up("vaccine") == leader.look_up("vaccine")
+        text = "the demokrats hate the vacc1ne"
+        assert replica_set.normalize(text).to_dict() == leader.normalize(text).to_dict()
+
+
+# --------------------------------------------------------------------------- #
+# single-writer guard
+# --------------------------------------------------------------------------- #
+class TestSingleWriterGuard:
+    def test_second_writer_fails_loudly(self, tmp_path):
+        pytest.importorskip("fcntl")
+        with SingleWriterGuard(tmp_path) as guard:
+            assert guard.held
+            with pytest.raises(WalError, match="active writer"):
+                SingleWriterGuard(tmp_path)
+        assert not guard.held
+
+    def test_release_frees_the_directory(self, tmp_path):
+        pytest.importorskip("fcntl")
+        first = SingleWriterGuard(tmp_path)
+        first.release()
+        first.release()  # idempotent
+        second = SingleWriterGuard(tmp_path)
+        assert second.held
+        second.release()
+
+
+# --------------------------------------------------------------------------- #
+# group-commit fsync batching (satellite: crash can only lose a suffix)
+# --------------------------------------------------------------------------- #
+class TestFsyncBatching:
+    def test_negative_batch_is_rejected(self, tmp_path):
+        with pytest.raises(WalError, match="fsync_batch"):
+            ChangeLog(tmp_path, fsync_batch=-1)
+
+    def test_sync_flushes_the_pending_batch(self, tmp_path):
+        wal = ChangeLog(tmp_path, fsync_batch=100)
+        for index in range(3):
+            wal.append("add_token", {"token": f"tok{index}", "source": "t", "count": 1})
+        wal.sync()  # must not raise with a live handle and pending appends
+        wal.close()
+        assert ChangeLog.scan(tmp_path).records == 3
+
+    @settings(max_examples=40, deadline=None)
+    @given(records=st.integers(min_value=1, max_value=10), data=st.data())
+    def test_crash_between_batched_appends_never_leaves_an_interior_gap(
+        self, records, data
+    ):
+        """Cutting the segment at any byte yields a contiguous seq prefix."""
+        with tempfile.TemporaryDirectory() as tmp:
+            wal = ChangeLog(tmp, fsync_batch=2)
+            for index in range(records):
+                wal.append(
+                    "add_token", {"token": f"tok{index}", "source": "t", "count": 1}
+                )
+            wal.close()
+            segment = sorted(Path(tmp).glob("wal-*.seg"))[-1]
+            payload = segment.read_bytes()
+            cut = data.draw(st.integers(min_value=0, max_value=len(payload)))
+            decoded, _valid = decode_segment(payload[:cut])
+            assert [record.seq for record in decoded] == list(
+                range(1, len(decoded) + 1)
+            )
+
+
+# --------------------------------------------------------------------------- #
+# superseded-segment GC (satellite: retention window)
+# --------------------------------------------------------------------------- #
+class TestSupersededGc:
+    def _sidelined(self, tmp_path: Path) -> list[Path]:
+        wal = ChangeLog(tmp_path)
+        for index in range(3):
+            wal.append("add_token", {"token": f"tok{index}", "source": "t", "count": 1})
+        wal.close()
+        assert supersede_wal_segments(tmp_path) >= 1
+        return sorted(tmp_path.glob("*.seg.superseded"))
+
+    def test_retention_boundary_is_strict(self, tmp_path):
+        import os
+
+        sidelined = self._sidelined(tmp_path)
+        now = 1_000_000.0
+        retention = 100.0
+        # Exactly at the boundary: kept.  One second older: collected.
+        os.utime(sidelined[0], (now - retention, now - retention))
+        deleted = gc_superseded_segments(tmp_path, retention, now=now)
+        assert deleted == 0 and sidelined[0].exists()
+        os.utime(sidelined[0], (now - retention - 1, now - retention - 1))
+        deleted = gc_superseded_segments(tmp_path, retention, now=now)
+        assert deleted == 1 and not sidelined[0].exists()
+
+    def test_negative_retention_is_rejected(self, tmp_path):
+        with pytest.raises(WalError, match="retention"):
+            gc_superseded_segments(tmp_path, -1.0)
+
+    def test_scheduler_runs_gc_on_demand_and_after_saves(self, tmp_path):
+        import os
+
+        leader = _leader(tmp_path)
+        leader.learn_from(CORPUS[:2], source="corpus")
+        sidelined = self._sidelined(tmp_path / "old")
+        # Move the sidelined journal into the leader's WAL directory and
+        # age it past the window.
+        target = wal_directory_for(tmp_path) / sidelined[0].name
+        sidelined[0].rename(target)
+        os.utime(target, (1.0, 1.0))
+        scheduler = leader.make_maintenance_scheduler(snapshot_dir=tmp_path)
+        outcome = scheduler.run_now("gc_superseded")
+        assert outcome["segments_deleted"] == 1
+        assert not target.exists()
+        assert scheduler.status()["superseded_removed"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# the asyncio service front, over real sockets
+# --------------------------------------------------------------------------- #
+async def _http(host, port, method, path, token=None, payload=None):
+    """One HTTP/1.1 exchange against the async front; returns (status, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    headers = [f"{method} {path} HTTP/1.1", f"Host: {host}", "Connection: close"]
+    if token is not None:
+        headers.append(f"Authorization: Bearer {token}")
+    if body:
+        headers.append("Content-Type: application/json")
+        headers.append(f"Content-Length: {len(body)}")
+    writer.write("\r\n".join(headers).encode("ascii") + b"\r\n\r\n" + body)
+    await writer.drain()
+    raw = await reader.read(-1)
+    writer.close()
+    head, _, tail = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(tail.decode("utf-8"))
+
+
+class TestAsyncServiceFront:
+    def _stack(self, tmp_path):
+        leader = _leader(tmp_path)
+        leader.learn_from(CORPUS, source="corpus")
+        followers = [
+            _follower(tmp_path, name=f"follower-{index}") for index in range(2)
+        ]
+        for follower in followers:
+            follower.catch_up()
+        replica_set = ReplicaSet(leader, followers, max_staleness_seconds=3600.0)
+        service = CrypTextService(
+            leader,
+            replica_set=replica_set,
+            rate_limiter=RateLimiter(max_requests=1000, window_seconds=60),
+        )
+        token = service.issue_token("harness").token
+        return service, replica_set, token
+
+    def test_reads_route_to_followers_over_sockets(self, tmp_path):
+        service, replica_set, token = self._stack(tmp_path)
+        front = AsyncCrypTextService(service, reader_threads=2)
+
+        async def scenario():
+            host, port = await front.start()
+            try:
+                status, body = await _http(
+                    host, port, "POST", "/v1/lookup", token,
+                    {"queries": ["vaccine", "democrats"]},
+                )
+                assert status == 200 and len(body["results"]) == 2
+                status, body = await _http(
+                    host, port, "POST", "/v1/normalize", token,
+                    {"texts": ["the demokrats hate the vacc1ne"]},
+                )
+                assert status == 200
+                status, body = await _http(
+                    host, port, "GET", "/v1/replication", token
+                )
+                assert status == 200
+                members = body["replication"]["followers"]
+                assert [m["name"] for m in members] == ["follower-0", "follower-1"]
+                assert body["replication"]["routed_to_followers"] >= 2
+            finally:
+                await front.stop()
+
+        asyncio.run(scenario())
+        assert replica_set.status()["routed_to_followers"] >= 2
+
+    def test_writes_stay_pinned_to_the_leader(self, tmp_path):
+        service, replica_set, token = self._stack(tmp_path)
+        front = AsyncCrypTextService(service, reader_threads=2)
+
+        async def scenario():
+            host, port = await front.start()
+            try:
+                status, body = await _http(
+                    host, port, "POST", "/v1/perturb", token,
+                    {"texts": ["the democrats support the vaccine"]},
+                )
+                assert status == 200
+            finally:
+                await front.stop()
+
+        before = replica_set.status()["routed_to_followers"]
+        asyncio.run(scenario())
+        assert replica_set.status()["routed_to_followers"] == before
+
+    def test_protocol_errors_are_clean_http(self, tmp_path):
+        service, _replica_set, token = self._stack(tmp_path)
+        front = AsyncCrypTextService(service, reader_threads=1)
+
+        async def scenario():
+            host, port = await front.start()
+            try:
+                status, body = await _http(
+                    host, port, "POST", "/v1/lookup", None, {"queries": ["x"]}
+                )
+                assert status == 401
+                status, body = await _http(host, port, "GET", "/v1/nope", token)
+                assert status == 404 and "no route" in body["error"]
+                # A raw non-JSON body must come back 400, not kill the loop.
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(
+                    b"POST /v1/lookup HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{"
+                )
+                await writer.drain()
+                raw = await reader.read(-1)
+                writer.close()
+                assert b" 400 " in raw.split(b"\r\n", 1)[0]
+            finally:
+                await front.stop()
+
+        asyncio.run(scenario())
+
+    def test_replication_endpoint_without_a_set_is_409(self, tmp_path):
+        leader = _leader(tmp_path)
+        leader.learn_from(CORPUS[:1], source="corpus")
+        service = CrypTextService(leader)
+        token = service.issue_token("t").token
+        response = service.replication_status(token)
+        assert response.status == 409
