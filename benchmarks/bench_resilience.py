@@ -1,0 +1,233 @@
+"""Resilience overhead benchmark: the disarmed fault-injection hot path.
+
+The fault registry (:mod:`repro.resilience.faults`) is compiled into the
+WAL append path, the snapshot writer, the replication tailer, and the
+async dispatch front.  Its contract is **zero cost disarmed**: every call
+site guards with ``if FAULTS.armed:`` — one attribute read and a falsy
+branch — so production traffic with no chaos configured must not pay for
+the chaos machinery's existence.
+
+This benchmark holds that contract to a number:
+
+* **per-guard cost** — microbenchmark the disarmed guard (attribute read
+  + branch) against an empty loop, isolating the marginal nanoseconds per
+  call site;
+* **real workloads** — journaled ingest (one ``wal.append`` guard per
+  append), follower tail polling (``follower.poll`` + ``tailer.read``
+  guards per round), and async front dispatch (one ``front.dispatch``
+  guard per request), each timed end to end while counting exactly how
+  many guards executed;
+* **the floor** — for every workload, ``guards x per_guard_cost`` must be
+  at most 5% of the measured elapsed time (in practice it is orders of
+  magnitude below);
+* **sanity** — an armed fault actually fires (the machinery being
+  measured is real, not dead code), and a follower tailing the ingest
+  workload converges to the leader's exact content fingerprint.
+
+Run as a script (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_resilience.py --smoke    # CI guard
+
+The full run writes ``benchmarks/results/resilience.json``; both modes
+assert the overhead floor, so a regression that puts work on the disarmed
+path (a lock, a dict lookup, a function call) fails the job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from repro.api import AsyncCrypTextService, CrypTextService, RateLimiter
+from repro.config import CrypTextConfig
+from repro.core.pipeline import CrypText
+from repro.errors import WalError
+from repro.replication import Follower
+from repro.resilience import FAULTS
+from repro.wal import ChangeLog, wal_directory_for
+
+RESULTS_PATH = Path(__file__).parent / "results" / "resilience.json"
+
+#: A workload's guard traffic may cost at most this fraction of its runtime.
+OVERHEAD_CEILING = 0.05
+
+STEMS = (
+    "vaccine", "republicans", "democrats", "depression", "neighborhood",
+    "mandate", "moderators", "amazon", "listening", "perturbation",
+)
+
+
+def _guard_cost_seconds(iterations: int) -> float:
+    """Marginal cost of one disarmed ``if FAULTS.armed:`` guard.
+
+    Times the guard loop against an empty loop of the same shape and
+    charges the difference to the guard; clamped to a tenth of a
+    nanosecond so the overhead ratio below never divides into zero.
+    """
+    assert not FAULTS.armed, "the guard must be measured disarmed"
+    registry = FAULTS
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if registry.armed:
+            registry.hit("wal.append")
+    guarded = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(iterations):
+        pass
+    empty = time.perf_counter() - start
+    return max((guarded - empty) / iterations, 1e-10)
+
+
+def _ingest_workload(work_dir: Path, rounds: int) -> dict[str, object]:
+    """Journaled ingest: every append crosses the ``wal.append`` guard."""
+    config = CrypTextConfig(cache_enabled=False)
+    leader = CrypText.empty(config=config, seed_lexicon=False)
+    leader.dictionary.attach_wal(ChangeLog(wal_directory_for(work_dir)))
+    texts = [
+        f"the {STEMS[i % len(STEMS)]} and the {STEMS[(i + 3) % len(STEMS)]} online"
+        for i in range(rounds)
+    ]
+    start = time.perf_counter()
+    for text in texts:
+        leader.learn_from([text], source="bench")
+    elapsed = time.perf_counter() - start
+    appends = leader.dictionary.wal.last_seq
+    assert appends >= rounds, "every round must journal at least one record"
+
+    # Sanity: the machinery being measured is live — an armed fault fires.
+    FAULTS.arm("wal.append", fail=1)
+    try:
+        try:
+            leader.learn_from(["the doomed write"], source="bench")
+            raise AssertionError("an armed wal.append fault must reject the write")
+        except WalError:
+            pass
+    finally:
+        FAULTS.reset()
+
+    return {"leader": leader, "elapsed": elapsed, "guards": appends}
+
+
+def _poll_workload(work_dir: Path, leader: CrypText, rounds: int) -> dict[str, object]:
+    """Tail polling: each round crosses ``follower.poll`` + ``tailer.read``."""
+    follower = Follower(work_dir, config=CrypTextConfig(cache_enabled=False))
+    follower.catch_up()
+    start = time.perf_counter()
+    for _ in range(rounds):
+        follower.poll()
+    elapsed = time.perf_counter() - start
+    converged = (
+        follower.system.dictionary.content_fingerprint()
+        == leader.dictionary.content_fingerprint()
+    )
+    follower.close()
+    assert converged, "the polling follower must converge to the leader"
+    return {"elapsed": elapsed, "guards": 2 * rounds}
+
+
+def _dispatch_workload(leader: CrypText, rounds: int) -> dict[str, object]:
+    """Async dispatch: every request crosses the ``front.dispatch`` guard."""
+    service = CrypTextService(
+        leader, rate_limiter=RateLimiter(max_requests=10 * rounds, window_seconds=60)
+    )
+    token = service.issue_token("bench").token
+    front = AsyncCrypTextService(service, reader_threads=2)
+
+    async def drive() -> float:
+        start = time.perf_counter()
+        for index in range(rounds):
+            response = await front.dispatch(
+                "POST",
+                "/v1/lookup",
+                token,
+                {"queries": [STEMS[index % len(STEMS)]]},
+            )
+            assert response.status == 200, response.body
+        return time.perf_counter() - start
+
+    elapsed = asyncio.run(drive())
+    return {"elapsed": elapsed, "guards": rounds}
+
+
+def _check(name: str, elapsed: float, guards: int, per_guard: float) -> dict[str, object]:
+    overhead = guards * per_guard
+    ratio = overhead / elapsed if elapsed > 0 else 0.0
+    assert ratio <= OVERHEAD_CEILING, (
+        f"{name}: disarmed guard traffic costs {ratio:.2%} of the workload "
+        f"({guards} guards x {per_guard * 1e9:.1f}ns over {elapsed * 1e3:.1f}ms); "
+        f"the ceiling is {OVERHEAD_CEILING:.0%} — something put real work on "
+        "the disarmed hot path"
+    )
+    return {
+        "elapsed_seconds": elapsed,
+        "guards_executed": guards,
+        "guard_overhead_seconds": overhead,
+        "overhead_ratio": ratio,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast run for CI; asserts the overhead ceiling, writes nothing",
+    )
+    args = parser.parse_args(argv)
+
+    ingest_rounds = 60 if args.smoke else 400
+    poll_rounds = 200 if args.smoke else 2000
+    dispatch_rounds = 40 if args.smoke else 300
+    guard_iterations = 200_000 if args.smoke else 2_000_000
+
+    FAULTS.reset()
+    per_guard = _guard_cost_seconds(guard_iterations)
+    print(f"disarmed guard: {per_guard * 1e9:.1f}ns per call site", file=sys.stderr)
+
+    report: dict[str, object] = {"per_guard_seconds": per_guard}
+    with tempfile.TemporaryDirectory(prefix="bench-resilience-") as scratch:
+        work_dir = Path(scratch)
+        ingest = _ingest_workload(work_dir, ingest_rounds)
+        leader = ingest.pop("leader")
+        report["ingest"] = _check(
+            "journaled ingest", ingest["elapsed"], ingest["guards"], per_guard
+        )
+        poll = _poll_workload(work_dir, leader, poll_rounds)
+        report["poll"] = _check(
+            "follower polling", poll["elapsed"], poll["guards"], per_guard
+        )
+        dispatch = _dispatch_workload(leader, dispatch_rounds)
+        report["dispatch"] = _check(
+            "async dispatch", dispatch["elapsed"], dispatch["guards"], per_guard
+        )
+
+    for name in ("ingest", "poll", "dispatch"):
+        entry = report[name]
+        print(
+            f"{name}: {entry['guards_executed']} guards over "
+            f"{entry['elapsed_seconds'] * 1e3:.1f}ms -> "
+            f"{entry['overhead_ratio']:.4%} overhead",
+            file=sys.stderr,
+        )
+
+    if args.smoke:
+        print("smoke ok: disarmed overhead within the 5% ceiling", file=sys.stderr)
+        return 0
+
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {RESULTS_PATH}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

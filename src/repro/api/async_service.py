@@ -36,7 +36,9 @@ import functools
 import json
 from concurrent.futures import ThreadPoolExecutor
 
-from ..errors import CrypTextError
+from ..errors import CrypTextError, DeadlineExceededError, InjectedFault
+from ..resilience.faults import FAULTS
+from ..resilience.policies import Deadline
 from .service import CrypTextService, ServiceResponse
 
 _REASONS = {
@@ -49,6 +51,8 @@ _REASONS = {
     409: "Conflict",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 #: Hard cap on accepted request bodies (a service front, not a file server).
@@ -56,12 +60,33 @@ MAX_BODY_BYTES = 8 << 20
 
 
 class AsyncCrypTextService:
-    """Event-loop front over a sync :class:`CrypTextService`."""
+    """Event-loop front over a sync :class:`CrypTextService`.
+
+    Parameters
+    ----------
+    service:
+        The sync handler layer.
+    reader_threads:
+        Thread-pool width for handler dispatch; defaults to
+        ``config.reader_processes``.
+    max_body_bytes:
+        Per-request body cap; defaults to :data:`MAX_BODY_BYTES`.
+        Constructor-injectable so the protocol-edge tests can exercise the
+        boundary without multi-megabyte requests.
+    request_deadline:
+        Per-request time budget in seconds; defaults to
+        ``config.request_deadline_seconds``.  When set, every dispatched
+        handler runs under an ambient :class:`Deadline` (propagated via a
+        context variable into the worker thread) and the event loop stops
+        waiting — answering 504 — the moment the budget is spent.
+    """
 
     def __init__(
         self,
         service: CrypTextService,
         reader_threads: int | None = None,
+        max_body_bytes: int | None = None,
+        request_deadline: float | None = None,
     ) -> None:
         self.service = service
         workers = (
@@ -71,6 +96,22 @@ class AsyncCrypTextService:
         )
         if workers < 1:
             raise CrypTextError(f"reader_threads must be >= 1, got {workers!r}")
+        self.max_body_bytes = (
+            max_body_bytes if max_body_bytes is not None else MAX_BODY_BYTES
+        )
+        if self.max_body_bytes < 1:
+            raise CrypTextError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes!r}"
+            )
+        self.request_deadline = (
+            request_deadline
+            if request_deadline is not None
+            else service.cryptext.config.request_deadline_seconds
+        )
+        if self.request_deadline is not None and self.request_deadline <= 0:
+            raise CrypTextError(
+                f"request_deadline must be positive, got {self.request_deadline!r}"
+            )
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="cryptext-read"
         )
@@ -81,9 +122,32 @@ class AsyncCrypTextService:
     # ------------------------------------------------------------------ #
     async def _call(self, handler, /, *args, **kwargs) -> ServiceResponse:
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
-            self._executor, functools.partial(handler, *args, **kwargs)
-        )
+        seconds = self.request_deadline
+        if seconds is None:
+            return await loop.run_in_executor(
+                self._executor, functools.partial(handler, *args, **kwargs)
+            )
+        deadline = Deadline.after(seconds)
+
+        def invoke() -> ServiceResponse:
+            # Runs on the worker thread: the context variable set here is
+            # what the handler layer's check_deadline() calls read.
+            with deadline.activate():
+                return handler(*args, **kwargs)
+
+        future = loop.run_in_executor(self._executor, invoke)
+        try:
+            return await asyncio.wait_for(future, timeout=deadline.remaining())
+        except asyncio.TimeoutError:
+            # The worker thread cannot be cancelled, but the ambient
+            # deadline lets it abort itself at its next check; the client
+            # gets its answer now either way.
+            return ServiceResponse(
+                status=504,
+                body={"error": f"request exceeded its {seconds:g}s deadline"},
+            )
+        except DeadlineExceededError as exc:
+            return ServiceResponse(status=504, body={"error": str(exc)})
 
     async def dispatch(
         self,
@@ -93,6 +157,16 @@ class AsyncCrypTextService:
         payload: dict | None = None,
     ) -> ServiceResponse:
         """Route one request to its sync handler on the thread pool."""
+        if FAULTS.armed:
+            # Async-aware fault point: delays yield the event loop instead
+            # of blocking it, failures answer 500 like any dispatch crash.
+            delay = FAULTS.consume_delay("front.dispatch")
+            if delay > 0:
+                await asyncio.sleep(delay)
+            try:
+                FAULTS.hit("front.dispatch", apply_delay=False)
+            except InjectedFault as exc:
+                return ServiceResponse(status=500, body={"error": str(exc)})
         body = payload if payload is not None else {}
         if not isinstance(body, dict):
             return ServiceResponse(
@@ -164,6 +238,8 @@ class AsyncCrypTextService:
                 return await self._call(
                     service.snapshot_load, token, path=body.get("path")
                 )
+        except DeadlineExceededError as exc:
+            return ServiceResponse(status=504, body={"error": str(exc)})
         except CrypTextError as exc:
             return ServiceResponse(status=400, body={"error": str(exc)})
         return ServiceResponse(
@@ -176,35 +252,89 @@ class AsyncCrypTextService:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """One connection: serve requests until close, EOF, or a hard error.
+
+        HTTP/1.1 connections are persistent by default — the loop keeps
+        reading requests until the client sends ``Connection: close``,
+        disconnects, or commits a protocol error that poisons stream
+        framing (at which point we answer what we can and close).  A
+        handler crash answers 500 and closes; it never takes the front
+        down.
+        """
         try:
-            response = await self._read_and_dispatch(reader)
-        except (asyncio.IncompleteReadError, ConnectionError, asyncio.LimitOverrunError):
-            writer.close()
-            return
-        except Exception as exc:  # noqa: BLE001 - the front must not die
-            response = ServiceResponse(status=500, body={"error": str(exc)})
-        data = json.dumps(response.body, ensure_ascii=False).encode("utf-8")
-        reason = _REASONS.get(response.status, "Unknown")
-        head = (
-            f"HTTP/1.1 {response.status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(data)}\r\n"
-            f"Connection: close\r\n\r\n"
-        ).encode("ascii")
-        try:
-            writer.write(head + data)
-            await writer.drain()
-        except ConnectionError:
+            while True:
+                keep_alive = False
+                try:
+                    result = await self._read_one(reader)
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    asyncio.LimitOverrunError,
+                ):
+                    break
+                except Exception as exc:  # noqa: BLE001 - the front must not die
+                    result = (
+                        ServiceResponse(status=500, body={"error": str(exc)}),
+                        False,
+                    )
+                if result is None:
+                    break  # clean EOF before a request line
+                response, keep_alive = result
+                data = json.dumps(response.body, ensure_ascii=False).encode("utf-8")
+                reason = _REASONS.get(response.status, "Unknown")
+                extra = "".join(
+                    f"{name}: {value}\r\n" for name, value in response.headers.items()
+                )
+                connection = "keep-alive" if keep_alive else "close"
+                head = (
+                    f"HTTP/1.1 {response.status} {reason}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(data)}\r\n"
+                    f"{extra}"
+                    f"Connection: {connection}\r\n\r\n"
+                ).encode("latin-1")
+                try:
+                    writer.write(head + data)
+                    await writer.drain()
+                except ConnectionError:
+                    break  # client went away mid-response; just this connection dies
+                if not keep_alive:
+                    break
+        except asyncio.CancelledError:
+            # Shutdown cancels connections parked in a keep-alive read; a
+            # cancelled connection just closes.  Returning normally keeps
+            # the streams layer from logging the cancellation as a crash.
             pass
         finally:
-            writer.close()
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - close failures are benign
+                pass
 
-    async def _read_and_dispatch(self, reader: asyncio.StreamReader) -> ServiceResponse:
-        request_line = (await reader.readline()).decode("latin-1").strip()
+    async def _read_one(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[ServiceResponse, bool] | None:
+        """Read and dispatch one request; returns ``(response, keep_alive)``.
+
+        ``None`` means the client closed cleanly between requests.  A
+        response paired with ``keep_alive=False`` either asked for close or
+        hit a framing error we cannot safely read past (bad request line,
+        unparseable/oversized Content-Length — the body was never
+        consumed, so the stream position is unknowable).
+        """
+        first = await reader.readline()
+        if first == b"":
+            return None
+        request_line = first.decode("latin-1").strip()
+        if not request_line:
+            return None
         parts = request_line.split()
         if len(parts) != 3:
-            return ServiceResponse(status=400, body={"error": "malformed request line"})
-        method, target, _version = parts
+            return (
+                ServiceResponse(status=400, body={"error": "malformed request line"}),
+                False,
+            )
+        method, target, version = parts
         path = target.split("?", 1)[0]
         headers: dict[str, str] = {}
         while True:
@@ -213,6 +343,11 @@ class AsyncCrypTextService:
                 break
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
+        requested = headers.get("connection", "").lower()
+        if version.upper() == "HTTP/1.0":
+            keep_alive = requested == "keep-alive"
+        else:
+            keep_alive = requested != "close"
         token: str | None = None
         authorization = headers.get("authorization", "")
         if authorization.lower().startswith("bearer "):
@@ -220,19 +355,32 @@ class AsyncCrypTextService:
         try:
             length = int(headers.get("content-length", "0") or 0)
         except ValueError:
-            return ServiceResponse(status=400, body={"error": "bad Content-Length"})
-        if length > MAX_BODY_BYTES:
-            return ServiceResponse(status=400, body={"error": "request body too large"})
+            return (
+                ServiceResponse(status=400, body={"error": "bad Content-Length"}),
+                False,
+            )
+        if length > self.max_body_bytes:
+            return (
+                ServiceResponse(status=400, body={"error": "request body too large"}),
+                False,
+            )
         payload: dict | None = None
         if length:
             raw = await reader.readexactly(length)
             try:
                 payload = json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError):
-                return ServiceResponse(
-                    status=400, body={"error": "request body is not valid JSON"}
+                # The body was fully consumed so framing is intact, but a
+                # client that sends garbage gets its connection closed —
+                # plain HTTP clients expect error responses to end the
+                # exchange, and it keeps misbehaving peers from parking.
+                return (
+                    ServiceResponse(
+                        status=400, body={"error": "request body is not valid JSON"}
+                    ),
+                    False,
                 )
-        return await self.dispatch(method, path, token, payload)
+        return await self.dispatch(method, path, token, payload), keep_alive
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
         """Bind and serve; returns the actual ``(host, port)`` bound."""

@@ -8,30 +8,42 @@ per-client rate limits, and caches responses in the Redis-style cache.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, TypeVar
 
 from ..core.pipeline import CrypText
 from ..errors import (
     AuthenticationError,
     AuthorizationError,
     CrypTextError,
+    DeadlineExceededError,
     RateLimitExceededError,
+    ReplicasUnavailableError,
     ServiceError,
 )
+from ..resilience.policies import check_deadline
 from ..social.listening import SocialListener
 from ..social.platform import SocialPlatform
 from ..storage import TTLCache, make_key
 from .auth import ApiToken, TokenAuthenticator
 from .ratelimit import RateLimiter
 
+T = TypeVar("T")
+
 
 @dataclass(frozen=True)
 class ServiceResponse:
-    """Envelope every endpoint returns."""
+    """Envelope every endpoint returns.
+
+    ``headers`` carries response-level metadata an HTTP front should emit
+    verbatim — today the degradation warning (``X-CrypText-Degraded:
+    stale``) attached when the stale read policy served an out-of-bound
+    replica.  Empty for ordinary responses.
+    """
 
     status: int
     body: dict[str, object]
+    headers: dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -40,7 +52,10 @@ class ServiceResponse:
 
     def to_dict(self) -> dict[str, object]:
         """Serialize the full envelope."""
-        return {"status": self.status, "body": dict(self.body)}
+        payload: dict[str, object] = {"status": self.status, "body": dict(self.body)}
+        if self.headers:
+            payload["headers"] = dict(self.headers)
+        return payload
 
 
 @dataclass(frozen=True)
@@ -184,6 +199,10 @@ class CrypTextService:
     def _guard(self, token: str | None, scope: str) -> ServiceResponse | str:
         """Authenticate, authorize and rate-limit; returns client or an error response."""
         try:
+            check_deadline("request")
+        except DeadlineExceededError as exc:
+            return ServiceResponse(status=504, body={"error": str(exc)})
+        try:
             client = self.authenticator.authorize(token, scope)
         except AuthenticationError as exc:
             return ServiceResponse(status=401, body={"error": str(exc)})
@@ -218,6 +237,29 @@ class CrypTextService:
             return self.replica_set.route()
         return self.cryptext
 
+    def _replicated(self, compute: Callable[[CrypText], T]) -> tuple[T, dict[str, str]]:
+        """Run one read through the replica set (breaker accounting, leader
+        failover, degradation policy) and return ``(value, headers)``.
+
+        Raises :class:`ReplicasUnavailableError` (fail-fast policy) or
+        :class:`DeadlineExceededError`; endpoints map them via
+        :meth:`_degraded_error`.
+        """
+        if self.replica_set is None:
+            check_deadline("read")
+            return compute(self.cryptext), {}
+        outcome = self.replica_set.execute(compute)
+        headers = (
+            {"X-CrypText-Degraded": "stale"} if outcome.degraded == "stale" else {}
+        )
+        return outcome.result, headers  # type: ignore[return-value]
+
+    @staticmethod
+    def _degraded_error(exc: CrypTextError) -> ServiceResponse:
+        """503 for no-healthy-replica fail-fast, 504 for a blown deadline."""
+        status = 503 if isinstance(exc, ReplicasUnavailableError) else 504
+        return ServiceResponse(status=status, body={"error": str(exc)})
+
     # ------------------------------------------------------------------ #
     # endpoints
     # ------------------------------------------------------------------ #
@@ -250,21 +292,25 @@ class CrypTextService:
             "service.lookup", list(queries), phonetic_level, max_edit_distance,
             case_sensitive, use_transpositions,
         )
-        system = self._read_system()
-        results = self._cached(
-            key,
-            lambda: {
-                query: system.look_up(
-                    query,
-                    phonetic_level=phonetic_level,
-                    max_edit_distance=max_edit_distance,
-                    case_sensitive=case_sensitive,
-                    use_transpositions=use_transpositions,
-                ).to_dict()
-                for query in queries
-            },
-        )
-        return ServiceResponse(status=200, body={"results": results})
+        try:
+            results, headers = self._replicated(
+                lambda system: self._cached(
+                    key,
+                    lambda: {
+                        query: system.look_up(
+                            query,
+                            phonetic_level=phonetic_level,
+                            max_edit_distance=max_edit_distance,
+                            case_sensitive=case_sensitive,
+                            use_transpositions=use_transpositions,
+                        ).to_dict()
+                        for query in queries
+                    },
+                )
+            )
+        except (ReplicasUnavailableError, DeadlineExceededError) as exc:
+            return self._degraded_error(exc)
+        return ServiceResponse(status=200, body={"results": results}, headers=headers)
 
     def normalize(self, token: str | None, texts: Sequence[str]) -> ServiceResponse:
         """Bulk Normalization endpoint."""
@@ -276,12 +322,16 @@ class CrypTextService:
         except ServiceError as exc:
             return ServiceResponse(status=400, body={"error": str(exc)})
         key = make_key("service.normalize", list(texts))
-        system = self._read_system()
-        results = self._cached(
-            key,
-            lambda: [system.normalize(text).to_dict() for text in texts],
-        )
-        return ServiceResponse(status=200, body={"results": results})
+        try:
+            results, headers = self._replicated(
+                lambda system: self._cached(
+                    key,
+                    lambda: [system.normalize(text).to_dict() for text in texts],
+                )
+            )
+        except (ReplicasUnavailableError, DeadlineExceededError) as exc:
+            return self._degraded_error(exc)
+        return ServiceResponse(status=200, body={"results": results}, headers=headers)
 
     def perturb(
         self,
@@ -330,19 +380,25 @@ class CrypTextService:
             self._validate_batch(queries, self.max_bulk_batch_size, "queries")
         except ServiceError as exc:
             return ServiceResponse(status=400, body={"error": str(exc)})
-        results = self._read_system().look_up_batch(
-            queries,
-            phonetic_level=phonetic_level,
-            max_edit_distance=max_edit_distance,
-            case_sensitive=case_sensitive,
-            use_transpositions=use_transpositions,
-        )
+        try:
+            results, headers = self._replicated(
+                lambda system: system.look_up_batch(
+                    queries,
+                    phonetic_level=phonetic_level,
+                    max_edit_distance=max_edit_distance,
+                    case_sensitive=case_sensitive,
+                    use_transpositions=use_transpositions,
+                )
+            )
+        except (ReplicasUnavailableError, DeadlineExceededError) as exc:
+            return self._degraded_error(exc)
         return ServiceResponse(
             status=200,
             body={
                 "count": len(results),
                 "results": [result.to_dict() for result in results],
             },
+            headers=headers,
         )
 
     def batch_normalize(self, token: str | None, texts: Sequence[str]) -> ServiceResponse:
@@ -358,13 +414,19 @@ class CrypTextService:
             self._validate_batch(texts, self.max_bulk_batch_size, "texts")
         except ServiceError as exc:
             return ServiceResponse(status=400, body={"error": str(exc)})
-        results = self._read_system().normalize_batch(texts)
+        try:
+            results, headers = self._replicated(
+                lambda system: system.normalize_batch(texts)
+            )
+        except (ReplicasUnavailableError, DeadlineExceededError) as exc:
+            return self._degraded_error(exc)
         return ServiceResponse(
             status=200,
             body={
                 "count": len(results),
                 "results": [result.to_dict() for result in results],
             },
+            headers=headers,
         )
 
     def listen(

@@ -315,6 +315,102 @@ def _cmd_wal(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_follow_only(args: argparse.Namespace, db_dir: Path, wal_dir: Path) -> int:
+    """A single read-only follower worker process (``replica run --follow-only``).
+
+    No leader, no single-writer guard: the worker hydrates from the
+    snapshot chain, tails the WAL, and — when ``--status-file`` is given —
+    rewrites an atomic JSON heartbeat (pid, applied seq, content
+    fingerprint, poll counters) every ``--status-interval`` seconds.  This
+    is the worker the :class:`~repro.resilience.ReplicaSupervisor` spawns
+    and health-checks; SIGTERM/SIGINT stop it cleanly after a final
+    heartbeat.
+    """
+    import os
+    import signal
+    import threading
+    import time
+
+    from .config import DEFAULT_CONFIG
+    from .replication import Follower
+
+    config = DEFAULT_CONFIG
+    if getattr(args, "catchup_batch", None):
+        config = config.with_overrides(replica_catchup_batch=args.catchup_batch)
+    name = getattr(args, "name", None) or f"worker-{os.getpid()}"
+    interval = (
+        args.poll_interval
+        if args.poll_interval is not None
+        else config.replica_poll_interval
+    )
+    status_interval = getattr(args, "status_interval", None) or 0.2
+    status_path = (
+        Path(args.status_file) if getattr(args, "status_file", None) else None
+    )
+    follower = Follower(db_dir, wal_dir=wal_dir, config=config, name=name)
+    stop = threading.Event()
+
+    def _request_stop(signum: int, frame: object) -> None:
+        stop.set()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, _request_stop)
+        except ValueError:  # pragma: no cover - not on the main thread
+            pass
+
+    fingerprint = ""
+    fingerprint_seq = -1
+
+    def write_status() -> None:
+        nonlocal fingerprint, fingerprint_seq
+        if status_path is None:
+            return
+        stats = follower.stats()
+        applied = int(stats["applied_seq"])  # type: ignore[arg-type]
+        if applied != fingerprint_seq:
+            # Fingerprinting hashes the whole dictionary — only pay for it
+            # when the applied position moved.
+            fingerprint = follower.system.dictionary.content_fingerprint()
+            fingerprint_seq = applied
+        payload = {
+            "pid": os.getpid(),
+            "name": name,
+            "applied_seq": applied,
+            "tokens": stats["tokens"],
+            "fingerprint": fingerprint,
+            "hydrated": stats["hydrated"],
+            "polls": stats["polls"],
+            "poll_errors": stats["poll_errors"],
+            "throttled_polls": stats["throttled_polls"],
+            "updated_at": time.time(),
+        }
+        tmp = status_path.with_name(status_path.name + ".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, status_path)
+
+    try:
+        follower.catch_up()
+    except CrypTextError:
+        pass  # counted in poll stats; the loop keeps trying
+    write_status()
+    last_status = time.monotonic()
+    next_poll = last_status + interval
+    wait = min(interval, status_interval)
+    while not stop.is_set():
+        stop.wait(wait)
+        now = time.monotonic()
+        if now >= next_poll:
+            follower.poll_safely()
+            next_poll = now + interval
+        if now - last_status >= status_interval:
+            write_status()
+            last_status = now
+    write_status()
+    follower.close()
+    return 0
+
+
 def _cmd_replica(args: argparse.Namespace) -> int:
     """The ``replica`` subcommand: replicated read-scaling operations.
 
@@ -323,7 +419,10 @@ def _cmd_replica(args: argparse.Namespace) -> int:
     ``run`` starts a leader (behind the single-writer guard) plus N
     follower replicas, catches them up, and either reports convergence and
     exits (the default, used by scripts and tests) or keeps serving over
-    the asyncio front (``--serve``).
+    the asyncio front (``--serve``).  ``run --follow-only`` instead runs a
+    single read-only worker (no leader) — see :func:`_run_follow_only`.
+    ``supervise`` runs N such workers as real OS processes under a
+    restart-with-backoff supervisor.
     """
     from .config import DEFAULT_CONFIG
     from .errors import WalError
@@ -336,6 +435,40 @@ def _cmd_replica(args: argparse.Namespace) -> int:
     wal_dir = resolve_wal_directory(
         DEFAULT_CONFIG, db_dir, getattr(args, "wal_dir", None) or None
     )
+
+    if args.action == "run" and getattr(args, "follow_only", False):
+        return _run_follow_only(args, db_dir, wal_dir)
+
+    if args.action == "supervise":
+        from .resilience import ReplicaSupervisor
+
+        supervisor = ReplicaSupervisor(
+            db_dir,
+            wal_dir=wal_dir,
+            workers=args.workers,
+            poll_interval=args.poll_interval,
+            status_interval=args.status_interval,
+            catchup_batch=getattr(args, "catchup_batch", None),
+        )
+        supervisor.start()
+        try:
+            supervisor.run(rounds=args.rounds, interval=args.check_interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        finally:
+            payload = supervisor.status()
+            supervisor.stop()
+        lines = []
+        for member in payload["workers"]:
+            heartbeat = member["heartbeat"] or {}
+            lines.append(
+                f"{member['name']}: pid {member['pid']}, "
+                f"{'healthy' if member['healthy'] else 'unhealthy'}, "
+                f"applied seq {heartbeat.get('applied_seq', '?')}, "
+                f"{member['restarts']} restart(s)"
+            )
+        _emit({"supervisor": payload}, args, lines)
+        return 0
 
     if args.action == "status":
         payload: dict[str, object] = {"wal_dir": str(wal_dir)}
@@ -712,10 +845,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replica_cmd.add_argument(
         "action",
-        choices=("run", "status"),
+        choices=("run", "status", "supervise"),
         help="run: leader (single-writer guarded) + N WAL-tailing followers, "
         "converge and report, or keep serving with --serve; status: journal "
-        "position, chain tip, and pending replay for a fresh follower",
+        "position, chain tip, and pending replay for a fresh follower; "
+        "supervise: N read-only follower worker processes under a "
+        "restart-with-backoff supervisor",
     )
     replica_cmd.add_argument(
         "--db", help="leader snapshot-chain directory (wal defaults to <db>/wal)"
@@ -738,6 +873,48 @@ def build_parser() -> argparse.ArgumentParser:
     replica_cmd.add_argument("--host", default="127.0.0.1", help="bind host (--serve)")
     replica_cmd.add_argument(
         "--port", type=int, default=0, help="bind port, 0 picks a free one (--serve)"
+    )
+    replica_cmd.add_argument(
+        "--follow-only",
+        action="store_true",
+        help="run a single read-only follower worker (no leader, no writer "
+        "guard) — the process the supervisor spawns",
+    )
+    replica_cmd.add_argument(
+        "--name", default=None, help="worker name in heartbeats (--follow-only)"
+    )
+    replica_cmd.add_argument(
+        "--status-file",
+        default=None,
+        help="atomic JSON heartbeat path (--follow-only)",
+    )
+    replica_cmd.add_argument(
+        "--status-interval",
+        type=float,
+        default=0.2,
+        help="seconds between heartbeat writes (--follow-only / supervise)",
+    )
+    replica_cmd.add_argument(
+        "--catchup-batch",
+        type=int,
+        default=None,
+        help="max WAL records applied per poll (backpressure; default: config)",
+    )
+    replica_cmd.add_argument(
+        "--workers", type=int, default=2, help="worker processes (supervise)"
+    )
+    replica_cmd.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="supervision checks before exiting (supervise; default: run "
+        "until interrupted)",
+    )
+    replica_cmd.add_argument(
+        "--check-interval",
+        type=float,
+        default=0.5,
+        help="seconds between supervision checks (supervise)",
     )
     replica_cmd.set_defaults(handler=_cmd_replica)
 
@@ -792,9 +969,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
+    from .resilience.faults import install_env_faults
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        armed = install_env_faults()
+        if armed:
+            print(
+                f"chaos: armed fault point(s) from CRYPTEXT_FAULTS: "
+                f"{', '.join(armed)}",
+                file=sys.stderr,
+            )
         return int(args.handler(args))
     except CrypTextError as exc:
         print(f"error: {exc}", file=sys.stderr)

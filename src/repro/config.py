@@ -38,6 +38,10 @@ DEFAULT_EDIT_DISTANCE: int = 3
 #: Manipulation ratios showcased by the paper's Perturbation function.
 DEFAULT_PERTURBATION_RATIOS: tuple[float, ...] = (0.15, 0.25, 0.50)
 
+#: Legal values of :attr:`CrypTextConfig.degraded_read_policy` — what the
+#: replica set does when every follower is stale, broken, or circuit-open.
+DEGRADED_READ_POLICIES: tuple[str, ...] = ("leader", "stale", "fail_fast")
+
 
 @dataclass(frozen=True)
 class CrypTextConfig:
@@ -122,6 +126,30 @@ class CrypTextConfig:
     reader_processes:
         Parallelism of the read path: the number of follower replicas /
         executor workers the replicated service front fans reads across.
+    degraded_read_policy:
+        What replicated reads do when *no* follower is eligible (all stale,
+        erroring, or circuit-open).  ``"leader"`` (the default) falls back
+        to the leader; ``"stale"`` serves the least-stale hydrated follower
+        and tags the response with an ``X-CrypText-Degraded: stale``
+        warning header; ``"fail_fast"`` refuses with a 503 so load
+        balancers can shed traffic to another cell.
+    request_deadline_seconds:
+        Per-request time budget applied by the async front and propagated
+        through handler dispatch (:class:`~repro.resilience.Deadline`).
+        Requests that outlive it answer 504.  ``None`` (the default)
+        disables deadlines.
+    retry_attempts / retry_base_delay:
+        Transient-IO retry policy (exponential backoff + full jitter) used
+        by follower WAL tailing.  ``retry_attempts=1`` disables retries.
+    breaker_failure_threshold / breaker_recovery_seconds:
+        Per-replica circuit breaker: consecutive failures that trip the
+        breaker open, and seconds it stays open before admitting half-open
+        probe reads.
+    replica_catchup_batch:
+        Backpressure bound on follower catch-up: at most this many WAL
+        records are decoded and applied per poll, so a follower that is
+        many segments behind re-hydrates in bounded slices (yielding its
+        lock and the disk between slices) instead of starving the leader.
     crawler_batch_size:
         Number of posts ingested per crawl round when enriching the
         dictionary from the (simulated) social stream.
@@ -156,6 +184,13 @@ class CrypTextConfig:
     replica_poll_interval: float = 0.5
     max_staleness_seconds: float = 5.0
     reader_processes: int = 4
+    degraded_read_policy: str = "leader"
+    request_deadline_seconds: float | None = None
+    retry_attempts: int = 3
+    retry_base_delay: float = 0.05
+    breaker_failure_threshold: int = 5
+    breaker_recovery_seconds: float = 30.0
+    replica_catchup_batch: int = 4096
     crawler_batch_size: int = 200
     normalizer_max_candidates: int = 10
     lm_order: int = 3
@@ -234,6 +269,48 @@ class CrypTextConfig:
                 f"reader_processes must be a positive integer, "
                 f"got {self.reader_processes!r}"
             )
+        if self.degraded_read_policy not in DEGRADED_READ_POLICIES:
+            raise ConfigurationError(
+                f"degraded_read_policy must be one of {DEGRADED_READ_POLICIES}, "
+                f"got {self.degraded_read_policy!r}"
+            )
+        if (
+            self.request_deadline_seconds is not None
+            and self.request_deadline_seconds <= 0
+        ):
+            raise ConfigurationError(
+                "request_deadline_seconds must be positive (or None), "
+                f"got {self.request_deadline_seconds!r}"
+            )
+        if not isinstance(self.retry_attempts, int) or self.retry_attempts < 1:
+            raise ConfigurationError(
+                f"retry_attempts must be an integer >= 1, got {self.retry_attempts!r}"
+            )
+        if self.retry_base_delay < 0:
+            raise ConfigurationError(
+                f"retry_base_delay must be >= 0, got {self.retry_base_delay!r}"
+            )
+        if (
+            not isinstance(self.breaker_failure_threshold, int)
+            or self.breaker_failure_threshold < 1
+        ):
+            raise ConfigurationError(
+                "breaker_failure_threshold must be an integer >= 1, "
+                f"got {self.breaker_failure_threshold!r}"
+            )
+        if self.breaker_recovery_seconds <= 0:
+            raise ConfigurationError(
+                "breaker_recovery_seconds must be positive, "
+                f"got {self.breaker_recovery_seconds!r}"
+            )
+        if (
+            not isinstance(self.replica_catchup_batch, int)
+            or self.replica_catchup_batch < 1
+        ):
+            raise ConfigurationError(
+                "replica_catchup_batch must be an integer >= 1, "
+                f"got {self.replica_catchup_batch!r}"
+            )
         if self.crawler_batch_size <= 0:
             raise ConfigurationError(
                 f"crawler_batch_size must be positive, got {self.crawler_batch_size!r}"
@@ -277,6 +354,13 @@ class CrypTextConfig:
             "replica_poll_interval": self.replica_poll_interval,
             "max_staleness_seconds": self.max_staleness_seconds,
             "reader_processes": self.reader_processes,
+            "degraded_read_policy": self.degraded_read_policy,
+            "request_deadline_seconds": self.request_deadline_seconds,
+            "retry_attempts": self.retry_attempts,
+            "retry_base_delay": self.retry_base_delay,
+            "breaker_failure_threshold": self.breaker_failure_threshold,
+            "breaker_recovery_seconds": self.breaker_recovery_seconds,
+            "replica_catchup_batch": self.replica_catchup_batch,
             "crawler_batch_size": self.crawler_batch_size,
             "normalizer_max_candidates": self.normalizer_max_candidates,
             "lm_order": self.lm_order,
@@ -312,6 +396,13 @@ class CrypTextConfig:
             "replica_poll_interval",
             "max_staleness_seconds",
             "reader_processes",
+            "degraded_read_policy",
+            "request_deadline_seconds",
+            "retry_attempts",
+            "retry_base_delay",
+            "breaker_failure_threshold",
+            "breaker_recovery_seconds",
+            "replica_catchup_batch",
             "crawler_batch_size",
             "normalizer_max_candidates",
             "lm_order",

@@ -103,6 +103,62 @@ class ServiceError(CrypTextError):
     """Raised for malformed requests against the in-process service layer."""
 
 
+class ResilienceError(CrypTextError):
+    """Base class for the resilience subsystem (faults, policies, supervision)."""
+
+
+class InjectedFault(ResilienceError):
+    """A deliberately injected failure from the fault registry.
+
+    Raised by an armed :class:`~repro.resilience.faults.FaultInjector` point;
+    never seen in production (the registry ships disarmed).  Chaos tests
+    assert the system degrades exactly as it would for the organic failure
+    the injection simulates.
+    """
+
+
+class InjectedIOError(InjectedFault, OSError):
+    """An injected fault that presents as an I/O error.
+
+    Derives from :class:`OSError` so the *existing* transient-IO handling
+    (WAL append rollback, tailer read retries) exercises its real error
+    path — the injection is indistinguishable from a failing disk at the
+    point of the fault.
+    """
+
+
+class TornWrite(InjectedFault):
+    """An injected torn write: persist a partial frame, then die.
+
+    Cooperative fault points (the WAL append, the snapshot envelope writer)
+    catch this, write ``keep_bytes`` of the payload they were about to
+    persist, and then fail as if the process crashed mid-write — producing
+    exactly the on-disk state torn-tail repair and checksum validation
+    exist to survive.
+    """
+
+    def __init__(self, keep_bytes: "int | None" = None) -> None:
+        super().__init__(f"injected torn write (keep_bytes={keep_bytes})")
+        self.keep_bytes = keep_bytes
+
+
+class DeadlineExceededError(CrypTextError):
+    """Raised when a request outlives its propagated deadline."""
+
+
+class CircuitOpenError(ResilienceError):
+    """Raised when a call is refused because its circuit breaker is open."""
+
+
+class ReplicasUnavailableError(CrypTextError):
+    """Raised under the fail-fast degradation policy when no replica is healthy.
+
+    The service layer maps this to a 503: every follower is stale, broken,
+    or circuit-open, and the configured ``degraded_read_policy`` forbids
+    both serving stale data and falling back to the leader.
+    """
+
+
 class DatasetError(CrypTextError):
     """Raised when a synthetic dataset builder receives invalid parameters."""
 

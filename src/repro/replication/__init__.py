@@ -13,18 +13,30 @@ replication log; this package puts read scaling on top of it:
   exposes its replication lag;
 * :mod:`repro.replication.replica_set` — a :class:`ReplicaSet` router
   fanning reads round-robin across the followers inside the staleness
-  bound, falling back to the leader;
+  bound **and** admitted by their circuit breakers, degrading per
+  ``config.degraded_read_policy`` (leader fallback / serve-stale-with-
+  warning / fail-fast 503) when none is eligible;
 * the **single-writer guard** lives with the log itself
   (:class:`repro.wal.log.SingleWriterGuard`) — an ``flock`` on the WAL
   directory so a second writer fails loudly instead of corrupting seqs.
 
 The asyncio service front (:mod:`repro.api.async_service`) dispatches read
 endpoints to the ReplicaSet via a thread pool and pins writes to the
-leader.
+leader.  Cross-process followers — `repro replica run --follow-only`
+workers under a :class:`~repro.resilience.ReplicaSupervisor` — live in
+:mod:`repro.resilience.supervisor`; the tailer is file-based, so they
+need nothing from the leader's process but its directories.
 """
 
 from .follower import Follower
-from .replica_set import ReplicaSet
+from .replica_set import ReadOutcome, ReplicaSet, RoutedRead
 from .tailer import TailBatch, WalTail
 
-__all__ = ["Follower", "ReplicaSet", "TailBatch", "WalTail"]
+__all__ = [
+    "Follower",
+    "ReadOutcome",
+    "ReplicaSet",
+    "RoutedRead",
+    "TailBatch",
+    "WalTail",
+]

@@ -40,6 +40,8 @@ from typing import Callable
 from ..config import CrypTextConfig, DEFAULT_CONFIG
 from ..core.pipeline import CrypText
 from ..errors import SnapshotError
+from ..resilience.faults import FAULTS
+from ..resilience.policies import CircuitBreaker, RetryPolicy
 from ..wal.delta import resolve_snapshot_chain
 from ..wal.log import resolve_wal_directory
 from .tailer import WalTail
@@ -95,6 +97,25 @@ class Follower:
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self._closed = False
+        # Resilience: transient tail-read retries, per-replica breaker,
+        # bounded records-per-poll backpressure, poll-failure accounting.
+        self.breaker = CircuitBreaker(
+            config.breaker_failure_threshold,
+            config.breaker_recovery_seconds,
+            clock=clock,
+            name=name,
+        )
+        self._retry = RetryPolicy(
+            attempts=config.retry_attempts,
+            base_delay=config.retry_base_delay,
+            retry_on=(OSError,),
+        )
+        self._catchup_batch = config.replica_catchup_batch
+        self._polls = 0
+        self._poll_errors = 0
+        self._consecutive_poll_failures = 0
+        self._last_poll_error: str | None = None
+        self._throttled_polls = 0
 
     # ------------------------------------------------------------------ #
     # hydration & polling
@@ -146,58 +167,110 @@ class Follower:
         A detected gap triggers one re-hydration attempt, then a re-tail
         from the new position inside the same call.  Raises nothing on a
         quiet log — zero is a normal return.
+
+        At most ``config.replica_catchup_batch`` records are applied per
+        call (backpressure: a follower many segments behind catches up in
+        bounded slices instead of monopolizing its lock and the leader's
+        disk).  Failures are counted, feed the replica's circuit breaker,
+        and re-raise; use :meth:`poll_safely` where an exception must not
+        escape (the background tail thread does).
         """
         with self._lock:
             if self._closed:
                 return 0
-            batch = self._tail.read_after(self._applied_seq)
-            if batch.gap:
-                self._rehydrations += 1
-                if self.hydrate():
-                    batch = self._tail.read_after(self._applied_seq)
-                if batch.gap:
-                    # Still unreachable (no usable chain yet — e.g. the
-                    # leader is mid-save).  Stay stale; the routing layer
-                    # will exclude us until a later poll succeeds.
-                    return 0
-            changed: set[tuple[int, str]] = set()
-            applied = 0
-            for record in batch.records:
-                if record.seq <= self._applied_seq:
-                    continue
-                if self.system.dictionary.apply_wal_record(record, changed_keys=changed):
-                    self._applied_records += 1
-                else:
-                    self._skipped_records += 1
-                # Unknown operations advance the position too — they were
-                # journaled by a newer writer and will be equally unknown
-                # on every future poll.
-                self._applied_seq = record.seq
-                if self._applied_seq_log is not None:
-                    self._applied_seq_log.add(record.seq)
-                applied += 1
-            if changed:
-                self.system.note_external_changes(changed)
-            self._last_sync = self._clock()
+            self._polls += 1
+            try:
+                if FAULTS.armed:
+                    FAULTS.hit("follower.poll")
+                applied = self._poll_locked()
+            except Exception as exc:
+                self._poll_errors += 1
+                self._consecutive_poll_failures += 1
+                self._last_poll_error = f"{type(exc).__name__}: {exc}"
+                self.breaker.record_failure()
+                raise
+            self._consecutive_poll_failures = 0
+            self.breaker.record_success()
             return applied
 
+    def _read_tail(self, after_seq: int):
+        """Tail read with transient-IO retries and the catch-up bound."""
+        return self._retry.call(self._tail.read_after, after_seq, self._catchup_batch)
+
+    def _poll_locked(self) -> int:
+        batch = self._read_tail(self._applied_seq)
+        if batch.gap:
+            self._rehydrations += 1
+            if self.hydrate():
+                batch = self._read_tail(self._applied_seq)
+            if batch.gap:
+                # Still unreachable (no usable chain yet — e.g. the
+                # leader is mid-save).  Stay stale; the routing layer
+                # will exclude us until a later poll succeeds.
+                return 0
+        if batch.truncated:
+            self._throttled_polls += 1
+        changed: set[tuple[int, str]] = set()
+        applied = 0
+        for record in batch.records:
+            if record.seq <= self._applied_seq:
+                continue
+            if self.system.dictionary.apply_wal_record(record, changed_keys=changed):
+                self._applied_records += 1
+            else:
+                self._skipped_records += 1
+            # Unknown operations advance the position too — they were
+            # journaled by a newer writer and will be equally unknown
+            # on every future poll.
+            self._applied_seq = record.seq
+            if self._applied_seq_log is not None:
+                self._applied_seq_log.add(record.seq)
+            applied += 1
+        if changed:
+            self.system.note_external_changes(changed)
+        self._last_sync = self._clock()
+        return applied
+
+    def poll_safely(self) -> int | None:
+        """:meth:`poll`, but swallow the exception (it is already counted).
+
+        Returns the applied count, or ``None`` when the round failed.
+        """
+        try:
+            return self.poll()
+        except Exception:
+            return None
+
     def catch_up(self) -> int:
-        """Hydrate (once, if never done) and poll until the tail runs dry."""
+        """Hydrate (once, if never done) and poll until the tail runs dry.
+
+        Each poll applies a bounded slice and releases the replica's lock,
+        so concurrent reads interleave with a long catch-up instead of
+        stalling behind it.
+        """
         with self._lock:
             if not self._hydrated:
                 self.hydrate()
-            total = 0
-            while True:
-                applied = self.poll()
-                total += applied
-                if applied == 0:
-                    return total
+        total = 0
+        while True:
+            applied = self.poll()
+            total += applied
+            if applied == 0:
+                return total
+            time.sleep(0)  # yield between slices: readers and the leader's disk go first
 
     # ------------------------------------------------------------------ #
     # background tailing
     # ------------------------------------------------------------------ #
     def start(self, poll_interval: float | None = None) -> None:
-        """Tail continuously on a daemon thread every ``poll_interval`` seconds."""
+        """Tail continuously on a daemon thread every ``poll_interval`` seconds.
+
+        The thread never dies to an exception: a failing poll is counted
+        (``stats()["poll_errors"]``), feeds the circuit breaker, and backs
+        the loop off exponentially (capped) until a round succeeds again —
+        a transient disk error must not leave a forever-stale replica that
+        still looks healthy.
+        """
         interval = (
             poll_interval if poll_interval is not None else self.config.replica_poll_interval
         )
@@ -206,11 +279,17 @@ class Follower:
         if self._thread is not None:
             return
         self._stop.clear()
+        backoff_cap = max(2.0, interval * 8)
 
         def run() -> None:
             while not self._stop.is_set():
-                self.poll()
-                self._stop.wait(interval)
+                if self.poll_safely() is not None:
+                    wait = interval
+                else:
+                    with self._lock:
+                        failures = self._consecutive_poll_failures
+                    wait = min(interval * (2 ** min(failures, 10)), backoff_cap)
+                self._stop.wait(wait)
 
         self._thread = threading.Thread(
             target=run, name=f"cryptext-{self.name}", daemon=True
@@ -253,6 +332,12 @@ class Follower:
         lag = self.lag_seconds()
         return lag is not None and lag <= bound
 
+    @property
+    def hydrated(self) -> bool:
+        """Whether a snapshot chain has ever been installed."""
+        with self._lock:
+            return self._hydrated
+
     def stats(self) -> dict[str, object]:
         """Replication counters (the ``/v1/replication`` per-follower view)."""
         with self._lock:
@@ -267,4 +352,11 @@ class Follower:
                 "replication_lag_seconds": lag,
                 "tailing": self._thread is not None,
                 "tokens": len(self.system.dictionary),
+                "polls": self._polls,
+                "poll_errors": self._poll_errors,
+                "consecutive_poll_failures": self._consecutive_poll_failures,
+                "last_poll_error": self._last_poll_error,
+                "throttled_polls": self._throttled_polls,
+                "catchup_batch": self._catchup_batch,
+                "breaker": self.breaker.status(),
             }

@@ -1,26 +1,66 @@
 """Read routing across a leader and its follower replicas.
 
 :class:`ReplicaSet` is the policy layer between the service front and the
-replicas: reads rotate round-robin across every follower inside the
-staleness bound; a follower that has fallen behind (its last successful
-tail round is older than ``max_staleness_seconds``) is excluded until it
-catches up; with no eligible follower the read lands on the leader itself,
-which is always current.  Writes never route here — the service front pins
-them to the leader, and the single-writer guard on the WAL directory
-enforces it across processes.
+replicas: reads rotate round-robin across every follower that is both
+inside the staleness bound *and* admitted by its circuit breaker; a
+follower that has fallen behind or is erroring is excluded until it
+recovers.  When **no** follower is eligible the configured
+``degraded_read_policy`` decides what happens:
+
+- ``"leader"`` (default) — fall back to the always-current leader;
+- ``"stale"`` — serve the least-stale follower that has ever synced and
+  tag the result so the service can attach a warning header;
+- ``"fail_fast"`` — raise :class:`~repro.errors.ReplicasUnavailableError`
+  (a 503 at the HTTP layer) so upstream load balancers shed traffic.
+
+Every read routed to a follower feeds its breaker: an unexpected failure
+records a breaker failure and retries once on the leader, so one broken
+replica costs one extra hop, not an error to the client.  Writes never
+route here — the service front pins them to the leader, and the
+single-writer guard on the WAL directory enforces it across processes.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, TypeVar
 
+from ..config import DEGRADED_READ_POLICIES
 from ..core.pipeline import CrypText
+from ..errors import ConfigurationError, CrypTextError, ReplicasUnavailableError
+from ..resilience.policies import check_deadline
 from .follower import Follower
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RoutedRead:
+    """One routing decision.
+
+    ``follower`` is ``None`` for leader reads.  ``degraded`` is ``None``
+    for a healthy route, ``"stale"`` when the stale policy served an
+    out-of-bound follower, ``"leader_fallback"`` when followers exist but
+    the read fell back to the leader.
+    """
+
+    system: CrypText
+    follower: Optional[Follower] = None
+    degraded: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ReadOutcome:
+    """Result of a replicated read plus how it was served."""
+
+    result: object
+    degraded: Optional[str] = None
+    replica: Optional[str] = None
 
 
 class ReplicaSet:
-    """Round-robin, staleness-aware read router.
+    """Round-robin, staleness- and breaker-aware read router.
 
     Parameters
     ----------
@@ -31,6 +71,12 @@ class ReplicaSet:
         The read replicas (may be empty — every read then hits the leader).
     max_staleness_seconds:
         Eligibility bound; defaults to the leader config's value.
+    degraded_read_policy:
+        Override of ``leader.config.degraded_read_policy``.
+    supervisor:
+        Optional :class:`~repro.resilience.ReplicaSupervisor` whose
+        cross-process worker health is surfaced in :meth:`status` (workers
+        are separate processes, so they report — not serve — here).
     """
 
     def __init__(
@@ -38,6 +84,8 @@ class ReplicaSet:
         leader: CrypText,
         followers: Sequence[Follower] = (),
         max_staleness_seconds: float | None = None,
+        degraded_read_policy: str | None = None,
+        supervisor=None,
     ) -> None:
         self.leader = leader
         self.followers = list(followers)
@@ -46,47 +94,129 @@ class ReplicaSet:
             if max_staleness_seconds is not None
             else leader.config.max_staleness_seconds
         )
+        policy = (
+            degraded_read_policy
+            if degraded_read_policy is not None
+            else leader.config.degraded_read_policy
+        )
+        if policy not in DEGRADED_READ_POLICIES:
+            raise ConfigurationError(
+                f"degraded_read_policy must be one of {DEGRADED_READ_POLICIES}, "
+                f"got {policy!r}"
+            )
+        self.degraded_read_policy = policy
+        self.supervisor = supervisor
         self._lock = threading.Lock()
         self._next = 0
         self._routed_to_followers = 0
         self._routed_to_leader = 0
+        self._stale_reads = 0
+        self._failed_fast = 0
+        self._read_failovers = 0
 
     # ------------------------------------------------------------------ #
     # routing
     # ------------------------------------------------------------------ #
-    def route(self) -> CrypText:
-        """The system the next read should hit (and count it as routed)."""
+    def route_read(self) -> RoutedRead:
+        """Decide where the next read goes (and count it).
+
+        Raises :class:`ReplicasUnavailableError` under the fail-fast
+        policy when no follower is eligible.
+        """
         with self._lock:
             eligible = [
                 follower
                 for follower in self.followers
                 if follower.is_fresh(self.max_staleness_seconds)
+                and follower.breaker.available()
             ]
-            if not eligible:
+            # Walk the rotation until a breaker admits the call — available()
+            # above is a non-mutating scan, allow() books the probe slot.
+            for offset in range(len(eligible)):
+                follower = eligible[(self._next + offset) % len(eligible)]
+                if follower.breaker.allow():
+                    self._next += offset + 1
+                    self._routed_to_followers += 1
+                    return RoutedRead(follower.system, follower)
+            if not self.followers:
                 self._routed_to_leader += 1
-                return self.leader
-            follower = eligible[self._next % len(eligible)]
-            self._next += 1
-            self._routed_to_followers += 1
-            return follower.system
+                return RoutedRead(self.leader)
+            # Degraded: followers exist, none is eligible.
+            if self.degraded_read_policy == "fail_fast":
+                self._failed_fast += 1
+                raise ReplicasUnavailableError(
+                    f"no healthy replica among {len(self.followers)} follower(s) "
+                    "and degraded_read_policy is 'fail_fast'"
+                )
+            if self.degraded_read_policy == "stale":
+                # Any follower that has ever completed a sync round has real
+                # (if old) data — snapshot-hydrated or replayed from seq 0.
+                stale = [
+                    follower
+                    for follower in self.followers
+                    if follower.lag_seconds() is not None
+                    and follower.breaker.available()
+                ]
+                if stale:
+                    follower = min(stale, key=lambda f: f.lag_seconds() or 0.0)
+                    if follower.breaker.allow():
+                        self._stale_reads += 1
+                        return RoutedRead(follower.system, follower, degraded="stale")
+            self._routed_to_leader += 1
+            return RoutedRead(self.leader, degraded="leader_fallback")
+
+    def route(self) -> CrypText:
+        """The system the next read should hit (compatibility shim)."""
+        return self.route_read().system
+
+    def execute(self, compute: Callable[[CrypText], T]) -> ReadOutcome:
+        """Run one read through routing, breaker accounting, and failover.
+
+        ``compute`` receives the chosen system.  Application-level errors
+        (:class:`CrypTextError`) propagate untouched — they say nothing
+        about replica health.  Any other exception from a follower records
+        a breaker failure and retries the read once on the leader.
+        """
+        check_deadline("replicated read")
+        routed = self.route_read()
+        follower = routed.follower
+        try:
+            result = compute(routed.system)
+        except CrypTextError:
+            raise
+        except Exception:
+            if follower is None:
+                raise
+            follower.breaker.record_failure()
+            with self._lock:
+                self._read_failovers += 1
+            result = compute(self.leader)
+            return ReadOutcome(result, degraded="leader_fallback")
+        if follower is not None:
+            follower.breaker.record_success()
+        return ReadOutcome(
+            result,
+            degraded=routed.degraded,
+            replica=follower.name if follower is not None else None,
+        )
 
     # Read endpoints: same signatures as the facade, dispatched per call so
     # consecutive reads spread across the set.
     def look_up(self, query: str, **kwargs):
         """Replicated Look Up (see :meth:`CrypText.look_up`)."""
-        return self.route().look_up(query, **kwargs)
+        return self.execute(lambda system: system.look_up(query, **kwargs)).result
 
     def normalize(self, text: str):
         """Replicated Normalization (see :meth:`CrypText.normalize`)."""
-        return self.route().normalize(text)
+        return self.execute(lambda system: system.normalize(text)).result
 
     def look_up_batch(self, queries: Sequence[str], **kwargs):
         """Replicated batch Look Up — one replica serves the whole batch."""
-        return self.route().look_up_batch(queries, **kwargs)
+        return self.execute(lambda system: system.look_up_batch(queries, **kwargs)).result
 
     def normalize_batch(self, texts: Sequence[str]):
         """Replicated batch Normalization — one replica serves the whole batch."""
-        return self.route().normalize_batch(texts)
+        return self.execute(lambda system: system.normalize_batch(texts)).result
 
     # ------------------------------------------------------------------ #
     # lifecycle & introspection
@@ -113,6 +243,9 @@ class ReplicaSet:
         with self._lock:
             routed_followers = self._routed_to_followers
             routed_leader = self._routed_to_leader
+            stale_reads = self._stale_reads
+            failed_fast = self._failed_fast
+            read_failovers = self._read_failovers
         members = []
         for follower in self.followers:
             stats = follower.stats()
@@ -122,10 +255,17 @@ class ReplicaSet:
                 )
             stats["fresh"] = follower.is_fresh(self.max_staleness_seconds)
             members.append(stats)
-        return {
+        payload: dict[str, object] = {
             "leader_seq": leader_seq,
             "max_staleness_seconds": self.max_staleness_seconds,
+            "degraded_read_policy": self.degraded_read_policy,
             "followers": members,
             "routed_to_followers": routed_followers,
             "routed_to_leader": routed_leader,
+            "stale_reads": stale_reads,
+            "failed_fast": failed_fast,
+            "read_failovers": read_failovers,
         }
+        if self.supervisor is not None:
+            payload["supervisor"] = self.supervisor.status()
+        return payload

@@ -31,7 +31,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Optional
 
+from ..resilience.faults import FAULTS
 from ..wal.log import WAL_SEGMENT_GLOB, WalRecord, decode_segment
 
 
@@ -47,6 +49,9 @@ class TailBatch:
 
     records: tuple[WalRecord, ...] = ()
     gap: bool = False
+    #: True when a ``limit`` stopped the read early — more contiguous
+    #: records were available on disk than the caller was willing to take.
+    truncated: bool = False
 
 
 class WalTail:
@@ -74,14 +79,21 @@ class WalTail:
         found.sort()
         return found
 
-    def read_after(self, after_seq: int) -> TailBatch:
+    def read_after(self, after_seq: int, limit: Optional[int] = None) -> TailBatch:
         """Every complete record with ``seq`` contiguously above ``after_seq``.
 
         Only the gapless run starting at ``after_seq + 1`` is returned; a
         jump mid-stream (an interior tear, or a rotation racing the read)
         ends the batch — the suffix is retried on the next poll once the
         leader has repaired or finished writing.
+
+        ``limit`` bounds the batch (catch-up backpressure): at most that
+        many records are collected, and the batch is marked ``truncated``
+        so the caller knows to poll again immediately rather than wait a
+        full interval.
         """
+        if FAULTS.armed:
+            FAULTS.hit("tailer.read")
         segments = self._segments()
         if not segments:
             # Nothing on disk: a leader that has not journaled yet (or a
@@ -94,6 +106,7 @@ class WalTail:
             return TailBatch(gap=True)
         collected: list[WalRecord] = []
         expected = after_seq + 1
+        truncated = False
         for index, (first_seq, path) in enumerate(segments):
             next_first = segments[index + 1][0] if index + 1 < len(segments) else None
             if next_first is not None and next_first <= expected:
@@ -110,8 +123,11 @@ class WalTail:
                 if record.seq > expected:
                     jumped = True
                     break
+                if limit is not None and len(collected) >= limit:
+                    truncated = True
+                    break
                 collected.append(record)
                 expected += 1
-            if jumped:
+            if jumped or truncated:
                 break
-        return TailBatch(records=tuple(collected))
+        return TailBatch(records=tuple(collected), truncated=truncated)

@@ -1,0 +1,57 @@
+"""Resilience subsystem: fault injection, retry/deadline/breaker policies,
+and cross-process follower supervision.
+
+Three pillars, each usable on its own:
+
+- :mod:`repro.resilience.faults` — a process-global :class:`FaultInjector`
+  registry of named fault points compiled into the WAL, snapshot, tailer,
+  follower, and async-front hot paths.  Disarmed (the default) a point
+  costs one attribute read; armed it injects deterministic failures —
+  fail-next-N, fixed delays, torn writes, seeded probabilistic faults —
+  so chaos tests and the CLI drive the same machinery.
+- :mod:`repro.resilience.policies` — :class:`RetryPolicy` (exponential
+  backoff + full jitter for transient IO), :class:`Deadline` (propagated
+  from the async front through handler dispatch via a context variable),
+  and :class:`CircuitBreaker` (closed → open → half-open per replica).
+- :mod:`repro.resilience.supervisor` — :class:`ReplicaSupervisor` running
+  followers as real OS processes (``repro replica run --follow-only``),
+  health-checked over heartbeat status files and restarted with capped
+  backoff when they crash.
+
+This package must stay import-light: it is pulled in by the WAL and
+replication hot paths, so it may depend only on :mod:`repro.errors` and
+:mod:`repro.config` — never the other way around.
+"""
+
+from .faults import (
+    FAULTS,
+    KNOWN_FAULT_POINTS,
+    FaultInjector,
+    FaultRule,
+    install_env_faults,
+    parse_fault_spec,
+)
+from .policies import (
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    active_deadline,
+    check_deadline,
+)
+from .supervisor import ReplicaSupervisor, WorkerHandle
+
+__all__ = [
+    "FAULTS",
+    "KNOWN_FAULT_POINTS",
+    "FaultInjector",
+    "FaultRule",
+    "install_env_faults",
+    "parse_fault_spec",
+    "CircuitBreaker",
+    "Deadline",
+    "RetryPolicy",
+    "active_deadline",
+    "check_deadline",
+    "ReplicaSupervisor",
+    "WorkerHandle",
+]

@@ -1,0 +1,413 @@
+"""First-class fault-injection registry.
+
+The durability and replication layers already survive torn tails, missing
+segments, and crashed processes — but until now every test proved it with
+ad-hoc monkeypatching.  This module promotes fault injection to a named,
+deterministic registry that the unit harness, the chaos suite, and the
+CLI (via ``CRYPTEXT_FAULTS``) all share.
+
+Design constraints, in order:
+
+1. **Zero cost disarmed.**  Production call sites guard every hit with::
+
+       if FAULTS.armed:
+           FAULTS.hit("wal.append")
+
+   ``armed`` is a plain bool attribute kept in sync with the rule table,
+   so the disarmed hot path pays one attribute read and a falsy branch —
+   no lock, no dict lookup, no function call.  ``bench_resilience.py``
+   asserts this stays under 5% of any real workload.
+
+2. **Deterministic.**  Triggers are counted (``fail=N`` fails the next N
+   hits), delays are fixed, and probabilistic rules take an explicit
+   seed, so a chaos run replays identically.
+
+3. **Realistic.**  Injected IO faults derive from :class:`OSError`
+   (:class:`~repro.errors.InjectedIOError`) so they traverse the same
+   ``except OSError`` recovery code organic disk errors do, and torn
+   writes (:class:`~repro.errors.TornWrite`) leave genuinely torn bytes
+   on disk for repair to find.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from typing import Callable, Dict, Iterable, Mapping, Optional
+
+from ..errors import (
+    ConfigurationError,
+    InjectedFault,
+    InjectedIOError,
+    TornWrite,
+)
+
+__all__ = [
+    "KNOWN_FAULT_POINTS",
+    "FaultRule",
+    "FaultInjector",
+    "FAULTS",
+    "parse_fault_spec",
+    "install_env_faults",
+]
+
+#: The fault points compiled into the codebase.  Arming an unknown point is
+#: a configuration error — a typo'd point would otherwise silently never fire.
+KNOWN_FAULT_POINTS = (
+    "wal.append",
+    "wal.fsync",
+    "snapshot.write",
+    "tailer.read",
+    "follower.poll",
+    "front.dispatch",
+)
+
+#: Points whose failures should look like disk IO errors rather than a
+#: generic injected fault, so existing ``except OSError`` recovery runs.
+_IO_POINTS = frozenset({"wal.append", "wal.fsync", "snapshot.write", "tailer.read"})
+
+ENV_VAR = "CRYPTEXT_FAULTS"
+
+
+class FaultRule:
+    """One armed trigger for a fault point.
+
+    A rule can combine a delay with a failure (the delay is applied first,
+    matching a slow-then-failing disk).  Counters make every trigger
+    finite and deterministic:
+
+    - ``fail``: raise on the next *N* hits, then fall dormant.
+    - ``torn``: like ``fail`` but raise :class:`TornWrite` carrying
+      ``keep_bytes`` for cooperative call sites.
+    - ``delay`` / ``delay_times``: sleep ``delay`` seconds on the next
+      ``delay_times`` hits (``None`` = every hit while armed).
+    - ``probability`` / ``seed``: raise with probability *p* per hit from
+      a dedicated seeded RNG.
+    """
+
+    __slots__ = (
+        "point",
+        "fail_remaining",
+        "torn_keep_bytes",
+        "delay_seconds",
+        "delay_remaining",
+        "probability",
+        "exc_factory",
+        "hits",
+        "fired",
+        "delayed",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        point: str,
+        *,
+        fail: int = 0,
+        torn: Optional[int] = None,
+        delay: float = 0.0,
+        delay_times: Optional[int] = None,
+        probability: float = 0.0,
+        seed: int = 0,
+        exc: Optional[Callable[[str], BaseException]] = None,
+    ) -> None:
+        if point not in KNOWN_FAULT_POINTS:
+            raise ConfigurationError(
+                f"unknown fault point {point!r}; known points: "
+                f"{', '.join(KNOWN_FAULT_POINTS)}"
+            )
+        if fail < 0:
+            raise ConfigurationError(f"fault {point}: fail must be >= 0, got {fail}")
+        if delay < 0:
+            raise ConfigurationError(f"fault {point}: delay must be >= 0, got {delay}")
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"fault {point}: probability must be in [0, 1], got {probability}"
+            )
+        if torn is not None and point not in ("wal.append", "snapshot.write"):
+            raise ConfigurationError(
+                f"fault {point}: torn writes are only supported on "
+                "wal.append and snapshot.write"
+            )
+        self.point = point
+        # A torn rule is a failing rule: default to one torn failure.
+        self.fail_remaining = fail if fail else (1 if torn is not None else 0)
+        self.torn_keep_bytes = torn
+        self.delay_seconds = float(delay)
+        self.delay_remaining = delay_times
+        self.probability = float(probability)
+        self.exc_factory = exc
+        self.hits = 0
+        self.fired = 0
+        self.delayed = 0
+        self._rng = random.Random(seed) if probability else None
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the rule can never fire or delay again."""
+        can_fail = self.fail_remaining > 0 or self.probability > 0.0
+        can_delay = self.delay_seconds > 0 and (
+            self.delay_remaining is None or self.delay_remaining > 0
+        )
+        return not (can_fail or can_delay)
+
+    def consume_delay(self) -> float:
+        """Return the delay to apply for this hit (0.0 for none) and count it."""
+        if self.delay_seconds <= 0:
+            return 0.0
+        if self.delay_remaining is not None:
+            if self.delay_remaining <= 0:
+                return 0.0
+            self.delay_remaining -= 1
+        self.delayed += 1
+        return self.delay_seconds
+
+    def consume_failure(self) -> Optional[BaseException]:
+        """Return the exception to raise for this hit, or None."""
+        fire = False
+        if self.fail_remaining > 0:
+            self.fail_remaining -= 1
+            fire = True
+        elif self._rng is not None and self._rng.random() < self.probability:
+            fire = True
+        if not fire:
+            return None
+        self.fired += 1
+        if self.torn_keep_bytes is not None:
+            return TornWrite(self.torn_keep_bytes)
+        if self.exc_factory is not None:
+            return self.exc_factory(self.point)
+        if self.point in _IO_POINTS:
+            return InjectedIOError(f"injected IO fault at {self.point}")
+        return InjectedFault(f"injected fault at {self.point}")
+
+    def spec(self) -> Dict[str, object]:
+        return {
+            "point": self.point,
+            "fail_remaining": self.fail_remaining,
+            "torn_keep_bytes": self.torn_keep_bytes,
+            "delay_seconds": self.delay_seconds,
+            "delay_remaining": self.delay_remaining,
+            "probability": self.probability,
+            "hits": self.hits,
+            "fired": self.fired,
+            "delayed": self.delayed,
+        }
+
+
+class _Scope:
+    """Context manager returned by :meth:`FaultInjector.scoped`."""
+
+    def __init__(self, injector: "FaultInjector", point: str) -> None:
+        self._injector = injector
+        self._point = point
+
+    def __enter__(self) -> "FaultInjector":
+        return self._injector
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._injector.disarm(self._point)
+
+
+class FaultInjector:
+    """Registry of named fault points with deterministic triggers.
+
+    One process-global instance (:data:`FAULTS`) is shared by every layer;
+    tests may build private instances.  All mutation happens under a lock;
+    the *disarmed* fast path reads only the :attr:`armed` bool, which is
+    updated atomically whenever the rule table changes.
+    """
+
+    def __init__(self, *, sleep: Callable[[float], None] = time.sleep) -> None:
+        self.armed = False
+        self._rules: Dict[str, FaultRule] = {}
+        self._lock = threading.Lock()
+        self._sleep = sleep
+        self._total_fired: Dict[str, int] = {}
+
+    # -- arming ---------------------------------------------------------
+
+    def arm(
+        self,
+        point: str,
+        *,
+        fail: int = 0,
+        torn: Optional[int] = None,
+        delay: float = 0.0,
+        delay_times: Optional[int] = None,
+        probability: float = 0.0,
+        seed: int = 0,
+        exc: Optional[Callable[[str], BaseException]] = None,
+    ) -> FaultRule:
+        """Arm *point* with a fresh rule, replacing any existing one."""
+        rule = FaultRule(
+            point,
+            fail=fail,
+            torn=torn,
+            delay=delay,
+            delay_times=delay_times,
+            probability=probability,
+            seed=seed,
+            exc=exc,
+        )
+        with self._lock:
+            self._rules[point] = rule
+            self.armed = True
+        return rule
+
+    def scoped(self, point: str, **kwargs: object) -> _Scope:
+        """Arm *point* and return a context manager that disarms it on exit."""
+        self.arm(point, **kwargs)  # type: ignore[arg-type]
+        return _Scope(self, point)
+
+    def disarm(self, point: Optional[str] = None) -> None:
+        """Disarm one point, or every point when *point* is None."""
+        with self._lock:
+            if point is None:
+                self._rules.clear()
+            else:
+                self._rules.pop(point, None)
+            self.armed = bool(self._rules)
+
+    # -- the hot-path hit -----------------------------------------------
+
+    def hit(self, point: str, *, apply_delay: bool = True) -> None:
+        """Trigger *point*: sleep if a delay is armed, raise if a failure is.
+
+        Call sites guard this with ``if FAULTS.armed:`` so the disarmed
+        path never reaches here.  Synchronous callers use the default
+        blocking delay; async callers pass ``apply_delay=False`` and
+        apply :meth:`consume_delay` themselves on the event loop.
+        """
+        delay = 0.0
+        with self._lock:
+            rule = self._rules.get(point)
+            if rule is None:
+                return
+            rule.hits += 1
+            if apply_delay:
+                delay = rule.consume_delay()
+            failure = rule.consume_failure()
+            if failure is not None:
+                self._total_fired[point] = self._total_fired.get(point, 0) + 1
+            if rule.exhausted:
+                del self._rules[point]
+                self.armed = bool(self._rules)
+        if delay > 0:
+            self._sleep(delay)
+        if failure is not None:
+            raise failure
+
+    def consume_delay(self, point: str) -> float:
+        """Pop this hit's delay for *point* without sleeping (async callers)."""
+        with self._lock:
+            rule = self._rules.get(point)
+            if rule is None:
+                return 0.0
+            return rule.consume_delay()
+
+    # -- introspection --------------------------------------------------
+
+    def fired(self, point: str) -> int:
+        """Total failures ever injected at *point* (survives disarm)."""
+        with self._lock:
+            return self._total_fired.get(point, 0)
+
+    def status(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "armed": self.armed,
+                "rules": {point: rule.spec() for point, rule in self._rules.items()},
+                "total_fired": dict(self._total_fired),
+            }
+
+    def reset(self) -> None:
+        """Disarm everything and clear lifetime counters (test teardown)."""
+        with self._lock:
+            self._rules.clear()
+            self._total_fired.clear()
+            self.armed = False
+
+
+#: The process-global registry every production call site guards on.
+FAULTS = FaultInjector()
+
+
+def parse_fault_spec(spec: str) -> Dict[str, Dict[str, object]]:
+    """Parse a ``CRYPTEXT_FAULTS`` spec string into per-point kwargs.
+
+    Grammar: ``point:key=value,key=value;point:...`` — e.g.::
+
+        wal.fsync:fail=3;front.dispatch:delay=0.05,delay_times=10
+        tailer.read:probability=0.2,seed=7
+        wal.append:torn=12
+
+    Keys map onto :meth:`FaultInjector.arm` keyword arguments.
+    """
+    rules: Dict[str, Dict[str, object]] = {}
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        point, sep, body = clause.partition(":")
+        point = point.strip()
+        if not sep or not point:
+            raise ConfigurationError(
+                f"malformed fault clause {clause!r}: expected 'point:key=value,...'"
+            )
+        kwargs: Dict[str, object] = {}
+        for item in body.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if not sep or not key or not value:
+                raise ConfigurationError(
+                    f"malformed fault trigger {item!r} for point {point!r}"
+                )
+            if key in ("fail", "torn", "delay_times", "seed"):
+                try:
+                    kwargs[key] = int(value)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"fault {point}: {key} must be an integer, got {value!r}"
+                    ) from None
+            elif key in ("delay", "probability"):
+                try:
+                    kwargs[key] = float(value)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"fault {point}: {key} must be a number, got {value!r}"
+                    ) from None
+            else:
+                raise ConfigurationError(
+                    f"fault {point}: unknown trigger {key!r}; expected one of "
+                    "fail, torn, delay, delay_times, probability, seed"
+                )
+        rules[point] = kwargs
+    return rules
+
+
+def install_env_faults(
+    environ: Optional[Mapping[str, str]] = None,
+    injector: Optional[FaultInjector] = None,
+) -> Iterable[str]:
+    """Arm faults described by the ``CRYPTEXT_FAULTS`` environment variable.
+
+    Returns the points armed (empty when the variable is unset/blank) so
+    the CLI can log what chaos it is running under.  Called once from CLI
+    entry; library imports never read the environment.
+    """
+    environ = os.environ if environ is None else environ
+    injector = FAULTS if injector is None else injector
+    spec = environ.get(ENV_VAR, "").strip()
+    if not spec:
+        return ()
+    parsed = parse_fault_spec(spec)
+    for point, kwargs in parsed.items():
+        injector.arm(point, **kwargs)  # type: ignore[arg-type]
+    return tuple(parsed)

@@ -1,0 +1,326 @@
+"""Resilience policies: retry with jittered backoff, propagated request
+deadlines, and per-replica circuit breakers.
+
+All three are dependency-injectable (clock, sleep, RNG) so tests drive
+them deterministically without real waiting.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import random
+import threading
+import time
+from typing import Callable, Dict, Iterator, Optional, Tuple, Type, TypeVar
+
+from ..errors import ConfigurationError, DeadlineExceededError
+
+__all__ = [
+    "RetryPolicy",
+    "Deadline",
+    "active_deadline",
+    "check_deadline",
+    "CircuitBreaker",
+]
+
+T = TypeVar("T")
+
+
+# ---------------------------------------------------------------------------
+# Retry
+# ---------------------------------------------------------------------------
+
+
+class RetryPolicy:
+    """Retry transient failures with exponential backoff and full jitter.
+
+    Attempt *i* (0-based) sleeps ``uniform(0, min(max_delay, base_delay *
+    2**i))`` before retrying — the "full jitter" strategy, which spreads
+    synchronized retry storms across the whole backoff window instead of
+    clustering them at its edge.
+
+    ``retry_on`` defaults to :class:`OSError`: the policy exists for
+    transient IO (a follower tailing a segment mid-rotation, a slow disk),
+    not for application errors, which should propagate immediately.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 3,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not isinstance(attempts, int) or attempts < 1:
+            raise ConfigurationError(f"attempts must be an integer >= 1, got {attempts!r}")
+        if base_delay < 0:
+            raise ConfigurationError(f"base_delay must be >= 0, got {base_delay!r}")
+        if max_delay < base_delay:
+            raise ConfigurationError(
+                f"max_delay ({max_delay!r}) must be >= base_delay ({base_delay!r})"
+            )
+        self.attempts = attempts
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.retry_on = tuple(retry_on)
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+
+    def backoff(self, attempt: int) -> float:
+        """The jittered delay after 0-based *attempt* fails."""
+        ceiling = min(self.max_delay, self.base_delay * (2 ** attempt))
+        if ceiling <= 0:
+            return 0.0
+        return self._rng.uniform(0.0, ceiling)
+
+    def call(self, fn: Callable[..., T], *args: object, **kwargs: object) -> T:
+        """Invoke *fn*, retrying ``retry_on`` failures up to ``attempts`` times.
+
+        An active request deadline short-circuits the retry loop: once the
+        budget is spent there is no point sleeping toward an answer the
+        caller will never see.
+        """
+        last: Optional[BaseException] = None
+        for attempt in range(self.attempts):
+            try:
+                return fn(*args, **kwargs)
+            except self.retry_on as exc:
+                last = exc
+                if attempt == self.attempts - 1:
+                    raise
+                deadline = active_deadline()
+                if deadline is not None and deadline.expired:
+                    raise
+                self._sleep(self.backoff(attempt))
+        raise last  # type: ignore[misc]  # unreachable; satisfies type-checkers
+
+
+# ---------------------------------------------------------------------------
+# Deadlines
+# ---------------------------------------------------------------------------
+
+_CURRENT_DEADLINE: contextvars.ContextVar[Optional["Deadline"]] = contextvars.ContextVar(
+    "cryptext_request_deadline", default=None
+)
+
+
+class Deadline:
+    """An absolute point in (monotonic) time a request must finish by.
+
+    Created at the edge (the async front) from ``config.
+    request_deadline_seconds`` and propagated through handler dispatch via
+    a :mod:`contextvars` variable, so deep layers — the replica router,
+    retry loops — can abort work nobody is waiting for without threading
+    a parameter through every signature.
+    """
+
+    __slots__ = ("expires_at", "budget", "_clock")
+
+    def __init__(
+        self,
+        expires_at: float,
+        *,
+        budget: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.expires_at = float(expires_at)
+        self.budget = budget
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls, seconds: float, *, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        if seconds <= 0:
+            raise ConfigurationError(f"deadline must be positive, got {seconds!r}")
+        return cls(clock() + seconds, budget=seconds, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self.expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self.expires_at
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.expired:
+            budget = f"{self.budget:g}s " if self.budget is not None else ""
+            raise DeadlineExceededError(f"{what} exceeded its {budget}deadline")
+
+    @contextlib.contextmanager
+    def activate(self) -> Iterator["Deadline"]:
+        """Make this the ambient deadline for the current context."""
+        token = _CURRENT_DEADLINE.set(self)
+        try:
+            yield self
+        finally:
+            _CURRENT_DEADLINE.reset(token)
+
+
+def active_deadline() -> Optional[Deadline]:
+    """The ambient deadline for this context, or None."""
+    return _CURRENT_DEADLINE.get()
+
+
+def check_deadline(what: str = "request") -> None:
+    """Raise if the ambient deadline (if any) has expired; cheap no-op otherwise."""
+    deadline = _CURRENT_DEADLINE.get()
+    if deadline is not None:
+        deadline.check(what)
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class CircuitBreaker:
+    """Classic closed → open → half-open breaker guarding one replica.
+
+    - **closed**: all calls flow; ``failure_threshold`` *consecutive*
+      failures trip it open.
+    - **open**: calls are refused until ``recovery_seconds`` elapse.
+    - **half-open**: up to ``half_open_probes`` trial calls are admitted;
+      if they all succeed the breaker closes, any failure re-opens it
+      (restarting the recovery clock).
+
+    :meth:`available` is a non-mutating eligibility check for routing
+    scans; :meth:`allow` is the mutating admission (it books half-open
+    probe slots).  Callers must pair each admitted call with exactly one
+    :meth:`record_success` or :meth:`record_failure`.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_seconds: float = 30.0,
+        *,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "",
+    ) -> None:
+        if not isinstance(failure_threshold, int) or failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be an integer >= 1, got {failure_threshold!r}"
+            )
+        if recovery_seconds <= 0:
+            raise ConfigurationError(
+                f"recovery_seconds must be positive, got {recovery_seconds!r}"
+            )
+        if not isinstance(half_open_probes, int) or half_open_probes < 1:
+            raise ConfigurationError(
+                f"half_open_probes must be an integer >= 1, got {half_open_probes!r}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = float(recovery_seconds)
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._times_opened = 0
+        self._rejected = 0
+
+    # -- state transitions (call with lock held) ------------------------
+
+    def _open_locked(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._times_opened += 1
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.recovery_seconds
+        ):
+            self._state = self.HALF_OPEN
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+
+    # -- public API -----------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def available(self) -> bool:
+        """Would :meth:`allow` admit a call right now?  Never mutates."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN:
+                return self._probes_in_flight < self.half_open_probes
+            return False
+
+    def allow(self) -> bool:
+        """Admit a call (booking a probe slot when half-open)."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN:
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+            self._rejected += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._state = self.CLOSED
+                    self._consecutive_failures = 0
+                    self._probes_in_flight = 0
+                    self._probe_successes = 0
+            else:
+                self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._open_locked()
+            elif self._state == self.CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    self._open_locked()
+            # Already open: the failure came from a call admitted before the
+            # trip (or a poll racing the transition); the clock keeps running.
+
+    def status(self) -> Dict[str, object]:
+        with self._lock:
+            self._maybe_half_open_locked()
+            opened_for = (
+                self._clock() - self._opened_at if self._state == self.OPEN else 0.0
+            )
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "recovery_seconds": self.recovery_seconds,
+                "open_for_seconds": opened_for,
+                "times_opened": self._times_opened,
+                "rejected_calls": self._rejected,
+            }

@@ -1,0 +1,374 @@
+"""Cross-process follower supervision.
+
+PR 6's followers run inside the leader's process; the WAL tailer is
+file-based, so nothing but wiring stopped them from being real OS
+processes.  This module is that wiring: a :class:`ReplicaSupervisor`
+spawns ``python -m repro.cli replica run --follow-only`` workers — each
+an independent process hydrating from the snapshot chain and tailing the
+leader's WAL — health-checks them over heartbeat status files, and
+restarts crashed workers with capped exponential backoff.
+
+The status file is the whole supervision protocol: each worker rewrites
+it atomically (temp file + ``os.replace``) every status interval with its
+pid, applied sequence, token count, content fingerprint, and poll
+counters.  A worker is *healthy* when its process is alive **and** its
+heartbeat is fresh — a live process with a stuck heartbeat (hung poll,
+wedged disk) counts as unhealthy, which is exactly the failure a pipe- or
+pid-only check would miss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from ..config import CrypTextConfig, DEFAULT_CONFIG
+from ..errors import ConfigurationError, ResilienceError
+
+__all__ = ["WorkerHandle", "ReplicaSupervisor"]
+
+_SRC_ROOT = Path(__file__).resolve().parents[2]
+
+
+class WorkerHandle:
+    """Bookkeeping for one supervised worker process."""
+
+    __slots__ = (
+        "name",
+        "status_file",
+        "log_file",
+        "process",
+        "restarts",
+        "backoff",
+        "next_start_at",
+        "last_exit_code",
+    )
+
+    def __init__(self, name: str, status_file: Path, log_file: Path) -> None:
+        self.name = name
+        self.status_file = status_file
+        self.log_file = log_file
+        self.process: Optional[subprocess.Popen] = None
+        self.restarts = 0
+        self.backoff = 0.0
+        self.next_start_at = 0.0
+        self.last_exit_code: Optional[int] = None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+
+class ReplicaSupervisor:
+    """Run and babysit follow-only replica worker processes.
+
+    Workers read the same snapshot directory (and WAL directory) as the
+    leader but never write to either, so any number can run beside one
+    leader process holding the :class:`SingleWriterGuard`.  The
+    supervisor is deliberately poll-driven — call :meth:`check`
+    periodically (or let :meth:`run` loop for you) and it will reap and
+    restart whatever died since the last call.
+    """
+
+    def __init__(
+        self,
+        snapshot_dir: "Path | str",
+        *,
+        wal_dir: "Path | str | None" = None,
+        workers: int = 2,
+        config: CrypTextConfig = DEFAULT_CONFIG,
+        work_dir: "Path | str | None" = None,
+        poll_interval: Optional[float] = None,
+        status_interval: float = 0.2,
+        heartbeat_timeout: Optional[float] = None,
+        restart_backoff: float = 0.25,
+        max_restart_backoff: float = 5.0,
+        catchup_batch: Optional[int] = None,
+        python: str = sys.executable,
+        env_overrides: Optional[Mapping[str, str]] = None,
+        clock=time.monotonic,
+    ) -> None:
+        if not isinstance(workers, int) or workers < 1:
+            raise ConfigurationError(f"workers must be an integer >= 1, got {workers!r}")
+        if status_interval <= 0:
+            raise ConfigurationError(
+                f"status_interval must be positive, got {status_interval!r}"
+            )
+        if restart_backoff <= 0 or max_restart_backoff < restart_backoff:
+            raise ConfigurationError(
+                "restart_backoff must be positive and <= max_restart_backoff"
+            )
+        self.snapshot_dir = Path(snapshot_dir)
+        self.wal_dir = Path(wal_dir) if wal_dir is not None else None
+        self.config = config
+        self.work_dir = (
+            Path(work_dir) if work_dir is not None else self.snapshot_dir / "replicas"
+        )
+        self.poll_interval = (
+            poll_interval if poll_interval is not None else config.replica_poll_interval
+        )
+        self.status_interval = float(status_interval)
+        # Workers heartbeat every status_interval; tolerate a few missed
+        # beats (slow CI disk) before declaring a live process unhealthy.
+        self.heartbeat_timeout = (
+            heartbeat_timeout
+            if heartbeat_timeout is not None
+            else max(2.0, 10.0 * self.status_interval)
+        )
+        self.restart_backoff = float(restart_backoff)
+        self.max_restart_backoff = float(max_restart_backoff)
+        self.catchup_batch = catchup_batch
+        self.python = python
+        self.env_overrides = dict(env_overrides) if env_overrides else {}
+        self._clock = clock
+        self._started = False
+        self.workers: List[WorkerHandle] = []
+        self.work_dir.mkdir(parents=True, exist_ok=True)
+        for index in range(workers):
+            name = f"worker-{index}"
+            self.workers.append(
+                WorkerHandle(
+                    name,
+                    self.work_dir / f"{name}.status.json",
+                    self.work_dir / f"{name}.log",
+                )
+            )
+
+    # -- spawning -------------------------------------------------------
+
+    def _command(self, worker: WorkerHandle) -> List[str]:
+        cmd = [
+            self.python,
+            "-m",
+            "repro.cli",
+            "replica",
+            "run",
+            "--follow-only",
+            "--db",
+            str(self.snapshot_dir),
+            "--name",
+            worker.name,
+            "--status-file",
+            str(worker.status_file),
+            "--poll-interval",
+            str(self.poll_interval),
+            "--status-interval",
+            str(self.status_interval),
+        ]
+        if self.wal_dir is not None:
+            cmd += ["--wal-dir", str(self.wal_dir)]
+        if self.catchup_batch is not None:
+            cmd += ["--catchup-batch", str(self.catchup_batch)]
+        return cmd
+
+    def _spawn(self, worker: WorkerHandle) -> None:
+        env = dict(os.environ)
+        src = str(_SRC_ROOT)
+        existing = env.get("PYTHONPATH", "")
+        if src not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        env.update(self.env_overrides)
+        # Stale heartbeats from a previous incarnation must not mask a
+        # worker that dies before its first beat.
+        try:
+            worker.status_file.unlink()
+        except FileNotFoundError:
+            pass
+        log_handle = open(worker.log_file, "ab")
+        try:
+            worker.process = subprocess.Popen(
+                self._command(worker),
+                stdout=log_handle,
+                stderr=subprocess.STDOUT,
+                stdin=subprocess.DEVNULL,
+                env=env,
+                cwd=str(self.snapshot_dir),
+            )
+        finally:
+            log_handle.close()
+        worker.last_exit_code = None
+
+    def start(self) -> None:
+        """Spawn every worker.  Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        for worker in self.workers:
+            self._spawn(worker)
+
+    # -- health + restarts ----------------------------------------------
+
+    def read_heartbeat(self, worker: WorkerHandle) -> Optional[Dict[str, object]]:
+        """The worker's last atomically-written status payload, or None."""
+        try:
+            raw = worker.status_file.read_text(encoding="utf-8")
+        except (OSError, FileNotFoundError):
+            return None
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            # Mid-replace on a non-atomic filesystem; treat as missing.
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _heartbeat_fresh(self, heartbeat: Optional[Dict[str, object]]) -> bool:
+        if heartbeat is None:
+            return False
+        updated = heartbeat.get("updated_at")
+        if not isinstance(updated, (int, float)):
+            return False
+        return (time.time() - float(updated)) <= self.heartbeat_timeout
+
+    def healthy(self, worker: WorkerHandle) -> bool:
+        return worker.alive() and self._heartbeat_fresh(self.read_heartbeat(worker))
+
+    def check(self) -> Dict[str, object]:
+        """Reap dead workers, restart those whose backoff has elapsed.
+
+        Returns a summary of what happened this round; call it on a loop.
+        """
+        if not self._started:
+            raise ResilienceError("supervisor not started")
+        now = self._clock()
+        restarted: List[str] = []
+        waiting: List[str] = []
+        for worker in self.workers:
+            if worker.alive():
+                if self._heartbeat_fresh(self.read_heartbeat(worker)):
+                    # A healthy stretch earns the worker a clean slate.
+                    worker.backoff = 0.0
+                continue
+            if worker.process is not None and worker.last_exit_code is None:
+                worker.last_exit_code = worker.process.poll()
+            if worker.backoff == 0.0:
+                worker.backoff = self.restart_backoff
+                worker.next_start_at = now + worker.backoff
+            if now < worker.next_start_at:
+                waiting.append(worker.name)
+                continue
+            self._spawn(worker)
+            worker.restarts += 1
+            worker.backoff = min(worker.backoff * 2.0, self.max_restart_backoff)
+            worker.next_start_at = now + worker.backoff
+            restarted.append(worker.name)
+        return {
+            "restarted": restarted,
+            "waiting_backoff": waiting,
+            "healthy": sum(1 for w in self.workers if self.healthy(w)),
+            "workers": len(self.workers),
+        }
+
+    def status(self) -> Dict[str, object]:
+        members = []
+        for worker in self.workers:
+            heartbeat = self.read_heartbeat(worker)
+            members.append(
+                {
+                    "name": worker.name,
+                    "pid": worker.pid,
+                    "alive": worker.alive(),
+                    "healthy": worker.alive() and self._heartbeat_fresh(heartbeat),
+                    "restarts": worker.restarts,
+                    "last_exit_code": worker.last_exit_code,
+                    "heartbeat": heartbeat,
+                }
+            )
+        return {
+            "snapshot_dir": str(self.snapshot_dir),
+            "wal_dir": str(self.wal_dir) if self.wal_dir is not None else None,
+            "started": self._started,
+            "workers": members,
+        }
+
+    # -- convergence + lifecycle ----------------------------------------
+
+    def wait_converged(
+        self,
+        fingerprint: str,
+        *,
+        timeout: float = 30.0,
+        check_interval: float = 0.1,
+        min_applied_seq: Optional[int] = None,
+    ) -> bool:
+        """Block until every worker is healthy and reports *fingerprint*.
+
+        Drives :meth:`check` while waiting, so crashed workers restart.
+        Returns False on timeout instead of raising — callers decide how
+        loud to be.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            self.check()
+            converged = 0
+            for worker in self.workers:
+                heartbeat = self.read_heartbeat(worker)
+                if not (worker.alive() and self._heartbeat_fresh(heartbeat)):
+                    continue
+                if heartbeat.get("fingerprint") != fingerprint:
+                    continue
+                if min_applied_seq is not None:
+                    applied = heartbeat.get("applied_seq")
+                    if not isinstance(applied, int) or applied < min_applied_seq:
+                        continue
+                converged += 1
+            if converged == len(self.workers):
+                return True
+            time.sleep(check_interval)
+        return False
+
+    def run(self, *, rounds: Optional[int] = None, interval: float = 0.5) -> None:
+        """Supervision loop: check every *interval* seconds.
+
+        ``rounds`` bounds the loop for tests/CLI smoke; None runs until
+        interrupted.
+        """
+        done = 0
+        while rounds is None or done < rounds:
+            self.check()
+            done += 1
+            if rounds is not None and done >= rounds:
+                break
+            time.sleep(interval)
+
+    def kill_worker(self, name: str, sig: int = signal.SIGKILL) -> bool:
+        """Deliver *sig* to a worker by name (chaos testing)."""
+        for worker in self.workers:
+            if worker.name == name and worker.alive():
+                assert worker.process is not None
+                worker.process.send_signal(sig)
+                return True
+        return False
+
+    def stop(self, *, grace_seconds: float = 5.0) -> None:
+        """Terminate every worker: SIGTERM, wait, then SIGKILL stragglers."""
+        for worker in self.workers:
+            if worker.alive():
+                assert worker.process is not None
+                worker.process.terminate()
+        deadline = time.monotonic() + grace_seconds
+        for worker in self.workers:
+            if worker.process is None:
+                continue
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                worker.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                worker.process.kill()
+                worker.process.wait()
+        self._started = False
+
+    def __enter__(self) -> "ReplicaSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -46,7 +46,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
-from ..errors import PersistenceError, SnapshotError
+from ..errors import PersistenceError, SnapshotError, TornWrite
+from ..resilience.faults import FAULTS
 from .persistence import write_text_atomic
 
 #: Version of the on-disk snapshot envelope/body layout.  Bump whenever the
@@ -82,8 +83,24 @@ def write_envelope(path: str | Path, body: Mapping[str, Any]) -> Path:
         {"checksum": snapshot_checksum(body_text), "format_version": SNAPSHOT_FORMAT_VERSION},
         sort_keys=True,
     )
+    text = header + "\n" + body_text + "\n"
+    if FAULTS.armed:
+        try:
+            FAULTS.hit("snapshot.write")
+        except TornWrite as fault:
+            # Cooperative torn write: bypass the atomic rename and leave a
+            # genuinely truncated envelope for checksum validation to catch.
+            keep = fault.keep_bytes if fault.keep_bytes is not None else len(text) // 2
+            keep = max(0, min(keep, len(text) - 1))
+            Path(path).write_text(text[:keep], encoding="utf-8")
+            raise SnapshotError(
+                f"injected torn write: {keep} of {len(text)} bytes reached "
+                f"{path} before the simulated crash"
+            ) from fault
+        except OSError as exc:
+            raise SnapshotError(f"failed to write {path}: {exc}") from exc
     try:
-        return write_text_atomic(path, header + "\n" + body_text + "\n")
+        return write_text_atomic(path, text)
     except PersistenceError as exc:
         raise SnapshotError(str(exc)) from exc
 

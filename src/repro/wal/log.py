@@ -58,7 +58,8 @@ try:  # pragma: no cover - fcntl is present on every POSIX build
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
-from ..errors import WalError
+from ..errors import TornWrite, WalError
+from ..resilience.faults import FAULTS
 
 #: Segment file name pattern: ``wal-<first_seq:020d>.seg``.
 WAL_SEGMENT_GLOB = "wal-*.seg"
@@ -519,13 +520,19 @@ class ChangeLog:
             tail = self._segments[-1]
             try:
                 handle = self._tail_handle(tail.path)
+                if FAULTS.armed:
+                    self._inject_append_fault(handle, frame, tail)
                 handle.write(frame)
                 handle.flush()
                 if self.fsync:
+                    if FAULTS.armed:
+                        FAULTS.hit("wal.fsync")
                     os.fsync(handle.fileno())
                 elif self.fsync_batch:
                     self._unsynced_appends += 1
                     if self._unsynced_appends >= self.fsync_batch:
+                        if FAULTS.armed:
+                            FAULTS.hit("wal.fsync")
                         os.fsync(handle.fileno())
                         self._unsynced_appends = 0
             except OSError as exc:
@@ -550,6 +557,29 @@ class ChangeLog:
             tail.size += len(frame)
             tail.records += 1
             return record
+
+    def _inject_append_fault(self, handle, frame: bytes, tail: "_Segment") -> None:
+        """Trigger the ``wal.append`` fault point (armed registries only).
+
+        Plain injected IO errors raise :class:`InjectedIOError` and flow
+        through the ordinary ``except OSError`` rollback below.  A
+        :class:`TornWrite` is cooperative: persist a genuine partial frame,
+        then fail the log as if the process died mid-append — the next
+        ``ChangeLog`` over this directory must repair the torn tail.
+        """
+        try:
+            FAULTS.hit("wal.append")
+        except TornWrite as fault:
+            keep = fault.keep_bytes if fault.keep_bytes is not None else len(frame) // 2
+            keep = max(0, min(keep, len(frame) - 1))
+            handle.write(frame[:keep])
+            handle.flush()
+            self._drop_handle()
+            self._closed = True
+            raise WalError(
+                f"injected torn write: {keep} of {len(frame)} bytes reached "
+                f"{tail.path.name} before the simulated crash"
+            ) from fault
 
     def _tail_handle(self, path: Path):
         """The persistent append handle for the active segment."""
@@ -582,6 +612,8 @@ class ChangeLog:
         with self._lock:
             if self._handle is not None and self._unsynced_appends:
                 try:
+                    if FAULTS.armed:
+                        FAULTS.hit("wal.fsync")
                     os.fsync(self._handle.fileno())
                 except OSError as exc:
                     raise WalError(
