@@ -1,0 +1,56 @@
+"""Concurrency correctness tooling: static lint pass + runtime sanitizer.
+
+Two prongs, one declared truth (:mod:`repro.analysis.hierarchy`):
+
+* :mod:`repro.analysis.lint` — an AST-based, project-aware lint pass over
+  the package source (lock-order nesting, IO under hot-path locks,
+  swallowed exceptions, sync blocking calls in ``async def``, thread
+  discipline, mutable defaults, unguarded shared-state writes, dead
+  imports).  Run it with ``python -m repro.analysis`` or ``repro check``.
+* :mod:`repro.analysis.sanitizer` — an opt-in runtime lock-order sanitizer
+  (``CRYPTEXT_SANITIZE=1``) that watches every acquisition the test
+  suites actually perform and reports hierarchy inversions, lock-order
+  cycles, lock-held-across-IO events, and held-time percentiles.
+"""
+
+from __future__ import annotations
+
+from .hierarchy import (
+    ALLOWED_IO_UNDER_LOCK,
+    HOT_PATH_LOCKS,
+    LOCK_RANKS,
+    SANITIZER_IO_ALLOWLIST,
+    order_allows,
+    rank_of,
+)
+from .sanitizer import (
+    ENV_VAR,
+    LockOrderSanitizer,
+    SanitizerReport,
+    Violation,
+    active,
+    disable,
+    enable,
+    maybe_enable_from_env,
+    tracked_lock,
+    tracked_rlock,
+)
+
+__all__ = [
+    "ALLOWED_IO_UNDER_LOCK",
+    "ENV_VAR",
+    "HOT_PATH_LOCKS",
+    "LOCK_RANKS",
+    "LockOrderSanitizer",
+    "SANITIZER_IO_ALLOWLIST",
+    "SanitizerReport",
+    "Violation",
+    "active",
+    "disable",
+    "enable",
+    "maybe_enable_from_env",
+    "order_allows",
+    "rank_of",
+    "tracked_lock",
+    "tracked_rlock",
+]

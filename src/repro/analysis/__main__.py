@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` — run the lint pass (exit 1 on findings)."""
+
+from __future__ import annotations
+
+import sys
+
+from .lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,354 @@
+"""Project-aware static lint pass over the package source.
+
+The checker parses every module with :mod:`ast` and runs the rule set in
+:mod:`repro.analysis.rules` against it.  The rules are not generic style
+police — each encodes a concurrency discipline this project converged on
+during PRs 1-7 and was previously enforced only by reviewer memory:
+
+* ``lock-order`` — ``with`` nesting must follow the declared hierarchy
+  (:data:`repro.analysis.hierarchy.LOCK_RANKS`), and shared locks must be
+  constructed through the tracked factories so they *have* a rank.
+* ``io-under-lock`` — no blocking file IO / ``fsync`` / ``time.sleep``
+  inside a hot-path lock unless the site is allowlisted in
+  :data:`~repro.analysis.hierarchy.ALLOWED_IO_UNDER_LOCK`.
+* ``swallowed-exception`` — a bare/overbroad ``except`` must count, log,
+  re-raise, or otherwise record what it caught (the follower-tail-thread
+  bug class from PR 7).
+* ``async-blocking`` — no direct sync blocking calls inside ``async def``
+  bodies; offload to the executor instead.
+* ``thread-discipline`` — every ``threading.Thread`` states ``daemon=``
+  explicitly.
+* ``mutable-default`` — no mutable default arguments.
+* ``unguarded-write`` — in a class that declares a lock, attributes
+  written under the lock must not also be written outside it.
+* ``dead-import`` — module-level imports that nothing references.
+
+Findings at a specific site can be suppressed with a trailing pragma
+comment — ``# lint: allow=<rule>[,<rule>...] (reason)`` — either on the
+offending line or on the ``def`` line of the enclosing function.  Every
+pragma should carry a reason; the linter is how the next reader learns
+the exemption was deliberate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "LockAttr",
+    "ModuleContext",
+    "Project",
+    "Rule",
+    "lint_paths",
+    "load_project",
+    "main",
+]
+
+#: ``# lint: allow=rule-a,rule-b (optional reason)``
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*allow=([A-Za-z0-9_,\s-]+)")
+
+_TRACKED_FACTORIES = {"tracked_lock": False, "tracked_rlock": True}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named check run over each module's AST."""
+
+    name: str
+    description: str
+    check: "object"  # Callable[[ModuleContext, Project], Iterator[Finding]]
+
+
+@dataclass(frozen=True)
+class LockAttr:
+    """A lock-holding attribute declared by a class."""
+
+    name: str | None  # hierarchy name; None when constructed untracked
+    reentrant: bool
+    line: int
+
+
+@dataclass
+class ModuleContext:
+    """Parsed module plus the project-aware facts rules need."""
+
+    path: Path
+    rel: str  # path relative to the package root, always with "/"
+    source: str
+    tree: ast.Module
+    #: line -> rules allowlisted by a pragma on that line
+    allow: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: class name -> attribute -> lock declaration
+    lock_attrs: dict[str, dict[str, LockAttr]] = field(default_factory=dict)
+
+    def allowed(self, line: int, rule: str) -> bool:
+        rules = self.allow.get(line)
+        return rules is not None and rule in rules
+
+
+class Project:
+    """The whole lint target: all modules plus cross-module lock maps."""
+
+    def __init__(self, modules: list[ModuleContext]) -> None:
+        self.modules = modules
+        # attr -> every lock declaration seen under that attribute name,
+        # used to resolve `other.lock`-style acquisitions when unambiguous.
+        self._attr_decls: dict[str, list[LockAttr]] = {}
+        for ctx in modules:
+            for attrs in ctx.lock_attrs.values():
+                for attr, decl in attrs.items():
+                    self._attr_decls.setdefault(attr, []).append(decl)
+
+    def resolve_lock(
+        self, ctx: ModuleContext, class_name: str | None, attr: str
+    ) -> LockAttr | None:
+        """The lock declaration an attribute access refers to, if knowable.
+
+        Resolution order: the enclosing class, then any class in the same
+        module, then a project-wide unique attribute name.  Ambiguous or
+        unknown attributes resolve to ``None`` and the rules skip them —
+        the runtime sanitizer covers what static resolution cannot.
+        """
+        if class_name is not None:
+            decl = ctx.lock_attrs.get(class_name, {}).get(attr)
+            if decl is not None:
+                return decl
+        in_module = [
+            attrs[attr] for attrs in ctx.lock_attrs.values() if attr in attrs
+        ]
+        if len({(d.name, d.reentrant) for d in in_module}) == 1:
+            return in_module[0]
+        everywhere = self._attr_decls.get(attr, [])
+        if len({(d.name, d.reentrant) for d in everywhere}) == 1:
+            return everywhere[0]
+        return None
+
+
+def _parse_pragmas(source: str) -> dict[int, frozenset[str]]:
+    allow: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        if rules:
+            allow[lineno] = rules
+    return allow
+
+
+def _lock_construction(value: ast.expr) -> LockAttr | None:
+    """Classify ``tracked_lock(...)`` / ``threading.Lock()`` constructions."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Name) and func.id in _TRACKED_FACTORIES:
+        name = None
+        if value.args and isinstance(value.args[0], ast.Constant):
+            arg = value.args[0].value
+            name = arg if isinstance(arg, str) else None
+        return LockAttr(name=name, reentrant=_TRACKED_FACTORIES[func.id], line=value.lineno)
+    if isinstance(func, ast.Attribute) and func.attr in ("Lock", "RLock"):
+        base = func.value
+        if isinstance(base, ast.Name) and base.id == "threading":
+            return LockAttr(name=None, reentrant=func.attr == "RLock", line=value.lineno)
+    return None
+
+
+def _collect_lock_attrs(tree: ast.Module) -> dict[str, dict[str, LockAttr]]:
+    result: dict[str, dict[str, LockAttr]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        attrs: dict[str, LockAttr] = {}
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Assign):
+                continue
+            decl = _lock_construction(sub.value)
+            if decl is None:
+                continue
+            for target in sub.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs[target.attr] = decl
+        if attrs:
+            result[node.name] = attrs
+    return result
+
+
+def load_module(path: Path, root: Path) -> ModuleContext:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return ModuleContext(
+        path=path,
+        rel=rel,
+        source=source,
+        tree=tree,
+        allow=_parse_pragmas(source),
+        lock_attrs=_collect_lock_attrs(tree),
+    )
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def package_root() -> Path:
+    """The installed ``repro`` package directory (the default lint target)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def load_project(paths: Sequence[Path] | None = None, root: Path | None = None) -> Project:
+    root = package_root() if root is None else root
+    targets = [root] if not paths else list(paths)
+    modules = [load_module(path, root) for path in iter_python_files(targets)]
+    return Project(modules)
+
+
+def _function_spans(ctx: ModuleContext) -> list[tuple[int, int, frozenset[str]]]:
+    """Spans of functions whose ``def`` line carries a pragma."""
+    spans: list[tuple[int, int, frozenset[str]]] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            rules = ctx.allow.get(node.lineno)
+            if rules:
+                spans.append((node.lineno, node.end_lineno or node.lineno, rules))
+    return spans
+
+
+def _suppressed(ctx: ModuleContext, spans, finding: Finding) -> bool:
+    if ctx.allowed(finding.line, finding.rule):
+        return True
+    return any(
+        start <= finding.line <= end and finding.rule in rules
+        for start, end, rules in spans
+    )
+
+
+def lint_project(project: Project, rule_names: Iterable[str] | None = None) -> list[Finding]:
+    from .rules import ALL_RULES  # late import: rules import types from here
+
+    wanted = None if rule_names is None else set(rule_names)
+    rules = [rule for rule in ALL_RULES if wanted is None or rule.name in wanted]
+    if wanted is not None:
+        unknown = wanted - {rule.name for rule in ALL_RULES}
+        if unknown:
+            raise ValueError(f"unknown lint rule(s): {', '.join(sorted(unknown))}")
+    findings: list[Finding] = []
+    for ctx in project.modules:
+        spans = _function_spans(ctx)
+        for rule in rules:
+            for finding in rule.check(ctx, project):
+                if not _suppressed(ctx, spans, finding):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[Path] | None = None,
+    rule_names: Iterable[str] | None = None,
+    root: Path | None = None,
+) -> list[Finding]:
+    return lint_project(load_project(paths, root=root), rule_names)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    from .rules import ALL_RULES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Run the project-aware concurrency lint pass.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated subset of rules to run",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the available rules and exit",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit findings as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.name:20s} {rule.description}")
+        return 0
+
+    rule_names = None
+    if args.rules:
+        rule_names = [part.strip() for part in args.rules.split(",") if part.strip()]
+    try:
+        findings = lint_paths(args.paths or None, rule_names)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.as_json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "rule": f.rule,
+                        "path": f.path,
+                        "line": f.line,
+                        "message": f.message,
+                    }
+                    for f in findings
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.describe())
+        count = len(findings)
+        noun = "finding" if count == 1 else "findings"
+        print(f"lint: {count} {noun}")
+    return 1 if findings else 0

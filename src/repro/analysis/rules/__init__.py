@@ -1,0 +1,27 @@
+"""The lint rule registry (one module per rule; see each for rationale)."""
+
+from __future__ import annotations
+
+from . import (
+    async_blocking,
+    dead_import,
+    io_under_lock,
+    lock_order,
+    mutable_default,
+    swallowed_exception,
+    thread_discipline,
+    unguarded_write,
+)
+
+ALL_RULES = (
+    lock_order.RULE,
+    io_under_lock.RULE,
+    swallowed_exception.RULE,
+    async_blocking.RULE,
+    thread_discipline.RULE,
+    mutable_default.RULE,
+    unguarded_write.RULE,
+    dead_import.RULE,
+)
+
+__all__ = ["ALL_RULES"]

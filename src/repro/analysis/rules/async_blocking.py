@@ -1,0 +1,74 @@
+"""``async-blocking``: no sync blocking calls directly in ``async def``.
+
+A blocking call on the event-loop thread stalls every coroutine the front
+is serving — the asyncio service exists precisely to multiplex waiting.
+Flagged inside ``async def`` bodies (nested sync ``def``s are excluded;
+they run wherever they are *called*, typically the executor):
+
+* ``open()`` / ``input()``;
+* ``time.sleep()`` (use ``await asyncio.sleep()``);
+* ``os`` file ops (``fsync``/``replace``/``rename``/``unlink``/``remove``);
+* ``pathlib`` IO (``read_text``/``write_text``/``read_bytes``/``write_bytes``);
+* ``<future>.result()`` (await it, or wrap with ``asyncio.wrap_future``).
+
+The fix is thread-pool offload — ``loop.run_in_executor(...)`` — which is
+how ``api/async_service.py`` bridges the synchronous engine today.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import Finding, ModuleContext, Project, Rule
+from .common import walk_skipping_nested_defs
+
+NAME = "async-blocking"
+
+_BLOCKING_NAMES = frozenset({"open", "input"})
+_PATH_IO = frozenset({"read_text", "write_text", "read_bytes", "write_bytes"})
+_OS_IO = frozenset({"fsync", "fdatasync", "replace", "rename", "unlink", "remove"})
+
+
+def _blocking_label(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in _BLOCKING_NAMES:
+        return f"{func.id}()"
+    if isinstance(func, ast.Attribute):
+        base = func.value.id if isinstance(func.value, ast.Name) else None
+        if func.attr == "sleep" and base == "time":
+            return "time.sleep()"
+        if func.attr in _OS_IO and base == "os":
+            return f"os.{func.attr}()"
+        if func.attr in _PATH_IO:
+            return f".{func.attr}()"
+        if func.attr == "result" and not call.args and not call.keywords:
+            return ".result()"
+    return None
+
+
+def check(ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.AsyncFunctionDef):
+            continue
+        for sub in walk_skipping_nested_defs(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            label = _blocking_label(sub)
+            if label is None:
+                continue
+            yield Finding(
+                NAME,
+                ctx.rel,
+                sub.lineno,
+                f"sync blocking call {label} inside 'async def {node.name}'; "
+                f"offload it via loop.run_in_executor(...) or use the async "
+                f"equivalent",
+            )
+
+
+RULE = Rule(
+    name=NAME,
+    description="no direct sync blocking calls inside async def bodies",
+    check=check,
+)

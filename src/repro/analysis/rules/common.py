@@ -1,0 +1,109 @@
+"""Shared AST helpers for the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import LockAttr, ModuleContext, Project
+
+_NESTED_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+    """Every function in the module, paired with its enclosing class name."""
+
+    def visit(node: ast.AST, class_name: str | None) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, class_name
+                yield from visit(child, class_name)
+            else:
+                yield from visit(child, class_name)
+
+    yield from visit(tree, None)
+
+
+def lock_for_expr(
+    expr: ast.expr, ctx: ModuleContext, project: Project, class_name: str | None
+) -> LockAttr | None:
+    """Resolve ``self._lock`` / ``shard.lock`` attribute reads to a lock."""
+    if not (isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name)):
+        return None
+    if expr.value.id == "self":
+        return project.resolve_lock(ctx, class_name, expr.attr)
+    # `other.lock`: never assume the enclosing class's declaration applies.
+    return project.resolve_lock(ctx, None, expr.attr)
+
+
+def iter_lock_events(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ctx: ModuleContext,
+    project: Project,
+    class_name: str | None,
+) -> Iterator[tuple[str, ast.AST, LockAttr | None, tuple[LockAttr, ...]]]:
+    """Walk one function, tracking which locks its ``with`` blocks hold.
+
+    Yields ``(kind, node, lock, held)`` events where ``held`` is the tuple
+    of locks lexically held at that point (resolvable ones only — cross-
+    function nesting is the runtime sanitizer's job):
+
+    * ``("acquire", expr, lock, held_before)`` — a ``with`` item enters a
+      resolvable project lock;
+    * ``("acquire-call", call, lock, held)`` — an explicit
+      ``lock.acquire(...)`` call (scope unknown, so it is order-checked
+      but not pushed onto the held stack);
+    * ``("call", call, None, held)`` — any other call expression.
+
+    Nested ``def``/``class``/``lambda`` bodies are skipped; they execute
+    under their caller's locks, not the definer's.
+    """
+
+    def visit(node: ast.AST, held: tuple[LockAttr, ...]) -> Iterator:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in node.items:
+                lock = lock_for_expr(item.context_expr, ctx, project, class_name)
+                if lock is not None and lock.name is not None:
+                    yield "acquire", item.context_expr, lock, inner
+                    inner = inner + (lock,)
+                else:
+                    yield from visit(item.context_expr, inner)
+            for stmt in node.body:
+                yield from visit(stmt, inner)
+            return
+        if isinstance(node, ast.Call):
+            lock = None
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "acquire":
+                lock = lock_for_expr(node.func.value, ctx, project, class_name)
+            if lock is not None and lock.name is not None:
+                yield "acquire-call", node, lock, held
+            else:
+                yield "call", node, None, held
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _NESTED_SCOPES):
+                continue
+            yield from visit(child, held)
+
+    for stmt in func.body:
+        yield from visit(stmt, ())
+
+
+def walk_skipping_nested_defs(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """All nodes in ``func``'s own body, excluding nested scopes."""
+
+    def visit(node: ast.AST) -> Iterator[ast.AST]:
+        if isinstance(node, _NESTED_SCOPES):
+            return
+        yield node
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+
+    for stmt in func.body:
+        yield from visit(stmt)

@@ -1,0 +1,64 @@
+"""``dead-import``: module-level imports that nothing references.
+
+Detection is textual on purpose: with ``from __future__ import
+annotations`` every annotation is a string, so a pure-AST "is this Name
+loaded" check misses names used only in type positions.  Counting
+word-boundary occurrences of the bound name outside the import statement
+itself catches annotation uses, docstring-free aliasing, and ``__all__``
+re-exports alike.  ``__init__.py`` files are skipped entirely — their
+imports *are* the re-export surface.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..lint import Finding, ModuleContext, Project, Rule
+
+NAME = "dead-import"
+
+
+def _bound_names(node: ast.Import | ast.ImportFrom) -> list[str]:
+    names = []
+    for alias in node.names:
+        if alias.name == "*":
+            continue
+        if alias.asname is not None:
+            names.append(alias.asname)
+        elif isinstance(node, ast.Import):
+            names.append(alias.name.split(".")[0])
+        else:
+            names.append(alias.name)
+    return names
+
+
+def check(ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+    if ctx.rel.endswith("__init__.py"):
+        return
+    lines = ctx.source.splitlines()
+    for node in ctx.tree.body:
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+            continue
+        span = range(node.lineno, (node.end_lineno or node.lineno) + 1)
+        rest = "\n".join(
+            line for number, line in enumerate(lines, start=1) if number not in span
+        )
+        for name in _bound_names(node):
+            if re.search(rf"\b{re.escape(name)}\b", rest) is None:
+                yield Finding(
+                    NAME,
+                    ctx.rel,
+                    node.lineno,
+                    f"import {name!r} is never referenced in this module",
+                )
+
+
+RULE = Rule(
+    name=NAME,
+    description="module-level imports must be referenced somewhere",
+    check=check,
+)

@@ -1,0 +1,98 @@
+"""``io-under-lock``: no blocking IO while holding a hot-path lock.
+
+Inside a ``with`` block that holds any lock in
+:data:`repro.analysis.hierarchy.HOT_PATH_LOCKS`, calls that block on the
+filesystem or the clock (``open``, ``os.fsync``, ``Path.write_text``,
+``time.sleep``, …) stall every reader/writer queued behind that lock for
+the duration of the disk latency.  The WAL append path is the one place
+that is the design — journal-before-apply requires the write inside the
+segment lock — and such sites are allowlisted per (file, function) in
+:data:`~repro.analysis.hierarchy.ALLOWED_IO_UNDER_LOCK` with the reason
+recorded next to the entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..hierarchy import ALLOWED_IO_UNDER_LOCK, HOT_PATH_LOCKS
+from ..lint import Finding, ModuleContext, Project, Rule
+from .common import iter_functions, iter_lock_events
+
+NAME = "io-under-lock"
+
+#: Bare-name calls that block.
+BLOCKING_NAME_CALLS = frozenset({"open", "print", "input"})
+
+#: Method/attribute calls that block (file handles, ``pathlib.Path``,
+#: ``os``, ``time.sleep``, ``json.dump`` onto a handle, handle flushes).
+BLOCKING_ATTR_CALLS = frozenset(
+    {
+        "fsync",
+        "fdatasync",
+        "flush",
+        "truncate",
+        "sleep",
+        "open",
+        "read_bytes",
+        "read_text",
+        "write_bytes",
+        "write_text",
+        "replace",
+        "rename",
+        "unlink",
+        "rmdir",
+        "mkdir",
+        "dump",
+    }
+)
+
+
+def _blocking_label(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in BLOCKING_NAME_CALLS:
+        return f"{func.id}()"
+    if isinstance(func, ast.Attribute) and func.attr in BLOCKING_ATTR_CALLS:
+        if isinstance(func.value, ast.Name):
+            return f"{func.value.id}.{func.attr}()"
+        return f".{func.attr}()"
+    return None
+
+
+def _allowlisted(rel: str, func_name: str) -> bool:
+    return any(
+        rel.endswith(suffix) and func_name == name
+        for suffix, name in ALLOWED_IO_UNDER_LOCK
+    )
+
+
+def check(ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+    for func, class_name in iter_functions(ctx.tree):
+        if _allowlisted(ctx.rel, func.name):
+            continue
+        for kind, node, _lock, held in iter_lock_events(func, ctx, project, class_name):
+            if kind != "call":
+                continue
+            hot = [lock.name for lock in held if lock.name in HOT_PATH_LOCKS]
+            if not hot:
+                continue
+            label = _blocking_label(node)  # type: ignore[arg-type]
+            if label is None:
+                continue
+            yield Finding(
+                NAME,
+                ctx.rel,
+                node.lineno,
+                f"blocking call {label} while holding hot-path lock(s) "
+                f"{', '.join(repr(name) for name in hot)}; move the IO "
+                f"outside the lock or allowlist the site in "
+                f"analysis.hierarchy.ALLOWED_IO_UNDER_LOCK",
+            )
+
+
+RULE = Rule(
+    name=NAME,
+    description="no blocking file IO / sleep while holding a hot-path lock",
+    check=check,
+)

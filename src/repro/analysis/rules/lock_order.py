@@ -1,0 +1,82 @@
+"""``lock-order``: lexical ``with`` nesting must follow the hierarchy.
+
+Three checks, all keyed off the declared ranks in
+:mod:`repro.analysis.hierarchy`:
+
+* a shared lock assigned to ``self.<attr>`` must be constructed through
+  ``tracked_lock()``/``tracked_rlock()`` — an anonymous
+  ``threading.Lock()`` has no rank and is invisible to the sanitizer;
+* a tracked lock's name must actually appear in ``LOCK_RANKS``;
+* a ``with`` block (or explicit ``.acquire()``) nested inside another
+  lock's ``with`` must acquire a strictly greater rank, and must not
+  re-enter a non-reentrant lock.
+
+Only lexically visible nesting is checked here; nesting that spans
+function calls is the runtime sanitizer's job.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..hierarchy import LOCK_RANKS, order_allows, rank_of
+from ..lint import Finding, ModuleContext, Project, Rule
+from .common import iter_functions, iter_lock_events
+
+NAME = "lock-order"
+
+
+def check(ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+    for class_name, attrs in ctx.lock_attrs.items():
+        for attr, decl in attrs.items():
+            if decl.name is None:
+                yield Finding(
+                    NAME,
+                    ctx.rel,
+                    decl.line,
+                    f"{class_name}.{attr} is an anonymous threading lock; "
+                    f"construct it with tracked_lock()/tracked_rlock() and a "
+                    f"name ranked in analysis.hierarchy.LOCK_RANKS",
+                )
+            elif decl.name not in LOCK_RANKS:
+                yield Finding(
+                    NAME,
+                    ctx.rel,
+                    decl.line,
+                    f"{class_name}.{attr} is named {decl.name!r}, which has "
+                    f"no rank in analysis.hierarchy.LOCK_RANKS; add it so "
+                    f"ordering can be checked",
+                )
+
+    for func, class_name in iter_functions(ctx.tree):
+        for kind, node, lock, held in iter_lock_events(func, ctx, project, class_name):
+            if kind not in ("acquire", "acquire-call") or lock is None:
+                continue
+            for outer in held:
+                if outer.name == lock.name:
+                    if not lock.reentrant:
+                        yield Finding(
+                            NAME,
+                            ctx.rel,
+                            node.lineno,
+                            f"re-acquiring non-reentrant lock {lock.name!r} "
+                            f"already held by this block (self-deadlock)",
+                        )
+                    continue
+                if not order_allows(outer.name, lock.name):
+                    yield Finding(
+                        NAME,
+                        ctx.rel,
+                        node.lineno,
+                        f"acquiring {lock.name!r} (rank {rank_of(lock.name)}) "
+                        f"while holding {outer.name!r} (rank "
+                        f"{rank_of(outer.name)}) inverts the declared lock "
+                        f"hierarchy",
+                    )
+
+
+RULE = Rule(
+    name=NAME,
+    description="with-block lock nesting must follow the declared hierarchy",
+    check=check,
+)

@@ -1,0 +1,63 @@
+"""``mutable-default``: no mutable default arguments.
+
+A ``def f(x, acc=[])`` default is evaluated once and shared by every
+call — in a concurrent system that is a silent cross-thread channel on
+top of the usual aliasing surprise.  Use ``None`` and construct inside.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import Finding, ModuleContext, Project, Rule
+
+NAME = "mutable-default"
+
+_MUTABLE_CTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _mutable_label(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.List):
+        return "[]"
+    if isinstance(expr, ast.Dict):
+        return "{}"
+    if isinstance(expr, ast.Set):
+        return "{...}"
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in _MUTABLE_CTORS
+        and not expr.args
+        and not expr.keywords
+    ):
+        return f"{expr.func.id}()"
+    return None
+
+
+def check(ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            label = _mutable_label(default)
+            if label is None:
+                continue
+            yield Finding(
+                NAME,
+                ctx.rel,
+                default.lineno,
+                f"mutable default argument {label} in '{node.name}' is "
+                f"shared across calls; default to None and construct "
+                f"inside the function",
+            )
+
+
+RULE = Rule(
+    name=NAME,
+    description="no mutable default arguments",
+    check=check,
+)

@@ -1,0 +1,77 @@
+"""``swallowed-exception``: overbroad handlers must account for the catch.
+
+PR 7's worst bug class: a follower tail thread wrapped its loop body in
+``except Exception: continue`` and silently ate a decode error forever —
+the replica just stopped advancing with nothing in any counter.  The rule:
+a bare ``except:``, ``except Exception:``, or ``except BaseException:``
+handler must *do something observable* with what it caught — re-raise,
+call something (a logger, a counter hook), assign state (an error field,
+``self._errors += 1``), or return a non-``None`` verdict to the caller.
+A handler body of only ``pass``/``continue``/``return None`` is flagged.
+
+Sites where swallowing genuinely is the contract (e.g. a best-effort
+``poll_safely`` wrapper whose *caller* counts failures) carry a pragma
+with the reason: ``# lint: allow=swallowed-exception (reason)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import Finding, ModuleContext, Project, Rule
+
+NAME = "swallowed-exception"
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    kind = handler.type
+    if kind is None:
+        return True
+    if isinstance(kind, ast.Name):
+        return kind.id in _BROAD
+    if isinstance(kind, ast.Tuple):
+        return any(
+            isinstance(elt, ast.Name) and elt.id in _BROAD for elt in kind.elts
+        )
+    return False
+
+
+def _accounts_for_catch(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Raise, ast.Call, ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                return True
+            if isinstance(node, ast.Return):
+                value = node.value
+                if value is not None and not (
+                    isinstance(value, ast.Constant) and value.value is None
+                ):
+                    return True
+    return False
+
+
+def check(ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _is_broad(node) or _accounts_for_catch(node):
+            continue
+        caught = "bare except" if node.type is None else "overbroad except"
+        yield Finding(
+            NAME,
+            ctx.rel,
+            node.lineno,
+            f"{caught} swallows the exception without counting, logging, "
+            f"re-raising, or reporting failure; record what was caught or "
+            f"narrow the handler",
+        )
+
+
+RULE = Rule(
+    name=NAME,
+    description="broad except handlers must count/log/re-raise what they catch",
+    check=check,
+)

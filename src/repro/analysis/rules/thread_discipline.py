@@ -1,0 +1,54 @@
+"""``thread-discipline``: every ``threading.Thread`` states ``daemon=``.
+
+A thread constructed without an explicit ``daemon=`` inherits the
+creator's flag — which for the main thread means *non*-daemon, so a
+forgotten worker keeps the interpreter alive at shutdown (the WAL tailer
+and maintenance scheduler both bit-hit this shape during development).
+Making the choice explicit forces the author to decide: daemon threads
+for supervised loops that a ``stop()`` joins, non-daemon only with an
+owner that provably joins on every exit path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import Finding, ModuleContext, Project, Rule
+
+NAME = "thread-discipline"
+
+
+def _is_thread_ctor(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "Thread"
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "Thread"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "threading"
+    )
+
+
+def check(ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or not _is_thread_ctor(node):
+            continue
+        if any(kw.arg == "daemon" for kw in node.keywords):
+            continue
+        yield Finding(
+            NAME,
+            ctx.rel,
+            node.lineno,
+            "threading.Thread(...) without an explicit daemon= flag; "
+            "state the shutdown contract (daemon=True for supervised "
+            "loops, daemon=False only with a guaranteed join)",
+        )
+
+
+RULE = Rule(
+    name=NAME,
+    description="threading.Thread must pass daemon= explicitly",
+    check=check,
+)

@@ -1,0 +1,122 @@
+"""``unguarded-write``: lock-guarded attributes stay lock-guarded.
+
+In a class that declares a lock, any ``self.<attr>`` that is written
+inside ``with self.<lock>:`` somewhere is, by that evidence, shared
+mutable state — so a *second* write site outside any of the class's
+locks is a race (PR 5's ``stop()`` clearing a thread handle that
+``start()`` guards was exactly this shape).
+
+Exempt by convention: ``__init__``/``__post_init__`` (construction is
+single-threaded), methods named ``*_locked`` (the project idiom for
+"caller holds the lock"), and pragma'd sites where single-threaded use
+is part of the method's contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import Finding, ModuleContext, Project, Rule
+
+NAME = "unguarded-write"
+
+_EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__enter__", "__exit__"})
+
+
+def _self_write_targets(stmt: ast.stmt) -> list[tuple[str, int]]:
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    writes = []
+    for target in targets:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            writes.append((target.attr, target.lineno))
+    return writes
+
+
+def _holds_class_lock(item: ast.withitem, lock_names: frozenset[str]) -> bool:
+    expr = item.context_expr
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in lock_names
+    )
+
+
+def _collect_writes(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, lock_names: frozenset[str]
+) -> list[tuple[str, int, bool]]:
+    """All ``self.<attr>`` writes in ``func`` as (attr, line, under_lock)."""
+    writes: list[tuple[str, int, bool]] = []
+
+    def visit(node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = guarded or any(
+                _holds_class_lock(item, lock_names) for item in node.items
+            )
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        for attr, line in _self_write_targets(node) if isinstance(node, ast.stmt) else []:
+            writes.append((attr, line, guarded))
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+                continue
+            visit(child, guarded)
+
+    for stmt in func.body:
+        visit(stmt, False)
+    return writes
+
+
+def check(ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        lock_attrs = ctx.lock_attrs.get(node.name)
+        if not lock_attrs:
+            continue
+        lock_names = frozenset(lock_attrs)
+        per_method: list[tuple[str, list[tuple[str, int, bool]]]] = []
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in _EXEMPT_METHODS or stmt.name.endswith("_locked"):
+                continue
+            per_method.append((stmt.name, _collect_writes(stmt, lock_names)))
+        guarded_attrs = {
+            attr
+            for _method, writes in per_method
+            for attr, _line, under in writes
+            if under and attr not in lock_names
+        }
+        if not guarded_attrs:
+            continue
+        for method, writes in per_method:
+            for attr, line, under in writes:
+                if under or attr not in guarded_attrs:
+                    continue
+                yield Finding(
+                    NAME,
+                    ctx.rel,
+                    line,
+                    f"{node.name}.{method} writes self.{attr} outside the "
+                    f"class's lock(s), but other sites write it under "
+                    f"{', '.join(sorted('self.' + name for name in lock_names))}; "
+                    f"guard this write too",
+                )
+
+
+RULE = Rule(
+    name=NAME,
+    description="attributes written under a class's lock must not also be written outside it",
+    check=check,
+)

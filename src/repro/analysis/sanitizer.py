@@ -1,0 +1,507 @@
+"""Runtime lock-order sanitizer: TSan-lite for the project's own locks.
+
+Every lock in the concurrent modules is constructed through
+:func:`tracked_lock` / :func:`tracked_rlock`, which carry the lock's *name*
+in the declared hierarchy (:mod:`repro.analysis.hierarchy`).  Disarmed —
+the default — the factories return plain :mod:`threading` primitives, so
+production pays nothing.  Enabled (``CRYPTEXT_SANITIZE=1`` via
+:func:`maybe_enable_from_env`, or :func:`enable` programmatically, *before*
+the system under test is constructed), they return wrappers that feed a
+process-global :class:`LockOrderSanitizer`:
+
+* **per-thread acquisition stacks** — which named locks each thread holds,
+  with the acquiring stack frame recorded for reports;
+* **hierarchy violations** — acquiring a lock whose declared rank is not
+  strictly greater than one already held (see
+  :data:`~repro.analysis.hierarchy.LOCK_RANKS`);
+* **lock-order cycles** — a dynamic acquired-before graph over lock names;
+  an edge that closes a cycle is a potential deadlock even if no run has
+  deadlocked yet (thread 1 takes A then B while thread 2 takes B then A);
+* **lock-held-across-IO** — the existing fault-point call sites
+  (``wal.append``, ``tailer.read``, …) double as IO markers: the sanitizer
+  attaches itself as an observer on the global
+  :class:`~repro.resilience.faults.FaultInjector`, so every guarded IO hit
+  reports which locks the calling thread held, checked against
+  :data:`~repro.analysis.hierarchy.SANITIZER_IO_ALLOWLIST`;
+* **held-time percentiles** — wall-clock hold durations per lock name
+  (p50/p95/p99/max), the "which lock is my bottleneck" report.
+
+Violations are collected, not raised: a sanitized test run finishes and
+then asserts the report is clean (the ``tests/conftest.py`` session hook),
+so one inversion does not mask a second.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from .hierarchy import LOCK_RANKS, SANITIZER_IO_ALLOWLIST
+
+__all__ = [
+    "ENV_VAR",
+    "LockOrderSanitizer",
+    "SanitizerReport",
+    "Violation",
+    "active",
+    "disable",
+    "enable",
+    "maybe_enable_from_env",
+    "tracked_lock",
+    "tracked_rlock",
+]
+
+ENV_VAR = "CRYPTEXT_SANITIZE"
+
+#: Hold-duration samples kept per lock name (a bounded reservoir: the
+#: percentile report must not grow memory with run length).
+_MAX_SAMPLES = 8192
+
+#: Stack frames kept per recorded acquisition site.
+_STACK_DEPTH = 6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected ordering/cycle/IO problem."""
+
+    kind: str  # "hierarchy" | "cycle" | "io-under-lock"
+    lock: str
+    held: tuple[str, ...]
+    thread: str
+    detail: str
+    stack: str = ""
+
+    def describe(self) -> str:
+        held = ", ".join(self.held) or "(none)"
+        text = (
+            f"[{self.kind}] {self.detail} "
+            f"(lock={self.lock}, held=[{held}], thread={self.thread})"
+        )
+        if self.stack:
+            text += f"\n{self.stack}"
+        return text
+
+
+@dataclass
+class SanitizerReport:
+    """The collected outcome of a sanitized run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    edges: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    acquisitions: int = 0
+    io_events: int = 0
+    held_times: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        lines = [
+            f"sanitizer: {self.acquisitions} acquisitions, "
+            f"{self.io_events} IO events, {len(self.violations)} violation(s)"
+        ]
+        lines.extend(violation.describe() for violation in self.violations)
+        return "\n".join(lines)
+
+
+class _HeldLock:
+    __slots__ = ("name", "since", "count")
+
+    def __init__(self, name: str, since: float) -> None:
+        self.name = name
+        self.since = since
+        self.count = 1
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    index = min(len(samples) - 1, int(fraction * (len(samples) - 1)))
+    return samples[index]
+
+
+class LockOrderSanitizer:
+    """Records lock acquisitions and detects ordering hazards.
+
+    Thread-safe; its own internal lock is a plain (untracked)
+    :class:`threading.Lock` acquired only around bookkeeping, never while
+    calling back into project code — it sits below every tracked lock.
+    """
+
+    def __init__(
+        self,
+        ranks: Mapping[str, int] | None = None,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        capture_stacks: bool = True,
+        io_allowlist: Iterable[tuple[str, str]] | None = None,
+    ) -> None:
+        self.ranks = dict(LOCK_RANKS if ranks is None else ranks)
+        self._clock = clock
+        self._capture_stacks = capture_stacks
+        self._io_allowlist = frozenset(
+            SANITIZER_IO_ALLOWLIST if io_allowlist is None else io_allowlist
+        )
+        # The sanitizer's own bookkeeping lock must stay untracked: it sits
+        # below every tracked lock and must never feed back into itself.
+        self._lock = threading.Lock()  # lint: allow=lock-order (sanitizer internals)
+        self._local = threading.local()
+        # Dynamic acquired-before graph: edges[a] = names acquired while a
+        # was held.  Seen-edge set keeps reporting to one entry per pair.
+        self._edges: dict[str, set[str]] = {}
+        self._violations: list[Violation] = []
+        self._seen: set[tuple[str, ...]] = set()
+        self._held_samples: dict[str, list[float]] = {}
+        self._acquisitions = 0
+        self._io_events = 0
+
+    # ------------------------------------------------------------------ #
+    # per-thread stack helpers
+    # ------------------------------------------------------------------ #
+    def _stack(self) -> list[_HeldLock]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def held_names(self) -> tuple[str, ...]:
+        """Names of the locks the calling thread currently holds."""
+        return tuple(entry.name for entry in self._stack())
+
+    def _site(self) -> str:
+        if not self._capture_stacks:
+            return ""
+        # Skip the sanitizer's own frames; keep the acquiring caller's.
+        frames = traceback.format_stack(limit=_STACK_DEPTH + 3)[:-3]
+        return "".join(frames[-_STACK_DEPTH:]).rstrip()
+
+    def _record(self, violation: Violation, dedup_key: tuple[str, ...]) -> None:
+        with self._lock:
+            if dedup_key in self._seen:
+                return
+            self._seen.add(dedup_key)
+            self._violations.append(violation)
+
+    # ------------------------------------------------------------------ #
+    # acquisition protocol (called by the tracked-lock wrappers)
+    # ------------------------------------------------------------------ #
+    def note_attempt(self, name: str, *, reentrant: bool) -> None:
+        """Check ordering *before* blocking on ``name``.
+
+        Recording on the attempt rather than after the acquire matters: the
+        interleaving that would actually deadlock never returns from
+        ``acquire()``, so a post-acquire hook would miss exactly the case
+        the sanitizer exists for.
+        """
+        stack = self._stack()
+        if reentrant:
+            for entry in stack:
+                if entry.name == name:
+                    return  # RLock re-entry: no new ordering fact.
+        thread = threading.current_thread().name
+        held = tuple(entry.name for entry in stack)
+        new_edges: list[tuple[str, str]] = []
+        acquiring_rank = self.ranks.get(name)
+        for entry in stack:
+            if entry.name == name:
+                # Same *name* on a non-reentrant lock: either the same lock
+                # object (guaranteed self-deadlock) or a sibling sharing the
+                # role — both are ordering bugs worth reporting.
+                self._record(
+                    Violation(
+                        kind="cycle",
+                        lock=name,
+                        held=held,
+                        thread=thread,
+                        detail=(
+                            f"re-acquiring non-reentrant lock {name!r} "
+                            f"already held by this thread (self-deadlock)"
+                        ),
+                        stack=self._site(),
+                    ),
+                    ("self-deadlock", name),
+                )
+                continue
+            held_rank = self.ranks.get(entry.name)
+            if (
+                held_rank is not None
+                and acquiring_rank is not None
+                and acquiring_rank <= held_rank
+            ):
+                self._record(
+                    Violation(
+                        kind="hierarchy",
+                        lock=name,
+                        held=held,
+                        thread=thread,
+                        detail=(
+                            f"acquiring {name!r} (rank {self.ranks.get(name)}) "
+                            f"while holding {entry.name!r} "
+                            f"(rank {self.ranks.get(entry.name)}) inverts the "
+                            f"declared lock hierarchy"
+                        ),
+                        stack=self._site(),
+                    ),
+                    ("hierarchy", entry.name, name),
+                )
+            new_edges.append((entry.name, name))
+        if new_edges:
+            self._add_edges(new_edges, thread)
+
+    def _add_edges(self, pairs: list[tuple[str, str]], thread: str) -> None:
+        cycles: list[tuple[str, str, tuple[str, ...]]] = []
+        with self._lock:
+            for source, target in pairs:
+                targets = self._edges.setdefault(source, set())
+                if target in targets:
+                    continue
+                # Does target already reach source?  Then (source -> target)
+                # closes a cycle: some thread acquired them in the opposite
+                # order, which is a potential deadlock.
+                path = self._find_path(target, source)
+                targets.add(target)
+                if path is not None:
+                    cycles.append((source, target, tuple(path)))
+        for source, target, path in cycles:
+            loop = " -> ".join((source, *path))
+            self._record(
+                Violation(
+                    kind="cycle",
+                    lock=target,
+                    held=(source,),
+                    thread=thread,
+                    detail=(
+                        f"lock-order cycle (potential deadlock): this thread "
+                        f"acquires {source!r} before {target!r}, but the "
+                        f"opposite order was already observed ({loop})"
+                    ),
+                    stack=self._site(),
+                ),
+                ("cycle", *sorted((source, target))),
+            )
+
+    def _find_path(self, start: str, goal: str) -> list[str] | None:
+        """A path ``start -> ... -> goal`` in the acquired-before graph."""
+        if start == goal:
+            return [start]
+        seen = {start}
+        frontier: list[tuple[str, list[str]]] = [(start, [start])]
+        while frontier:
+            node, path = frontier.pop()
+            for nxt in self._edges.get(node, ()):
+                if nxt == goal:
+                    return path + [nxt]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append((nxt, path + [nxt]))
+        return None
+
+    def note_acquired(self, name: str, *, reentrant: bool) -> None:
+        stack = self._stack()
+        if reentrant:
+            for entry in stack:
+                if entry.name == name:
+                    entry.count += 1
+                    return
+        stack.append(_HeldLock(name, self._clock()))
+        with self._lock:
+            self._acquisitions += 1
+
+    def note_released(self, name: str) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            entry = stack[index]
+            if entry.name != name:
+                continue
+            entry.count -= 1
+            if entry.count > 0:
+                return
+            del stack[index]
+            duration = self._clock() - entry.since
+            with self._lock:
+                samples = self._held_samples.setdefault(name, [])
+                if len(samples) < _MAX_SAMPLES:
+                    samples.append(duration)
+            return
+
+    # ------------------------------------------------------------------ #
+    # IO observation (the fault-point observer hook)
+    # ------------------------------------------------------------------ #
+    def note_io(self, point: str) -> None:
+        """Called for every guarded fault-point hit; flags IO under a lock."""
+        with self._lock:
+            self._io_events += 1
+        held = self.held_names()
+        if not held:
+            return
+        blocked = [
+            name for name in held if (point, name) not in self._io_allowlist
+        ]
+        if not blocked:
+            return
+        self._record(
+            Violation(
+                kind="io-under-lock",
+                lock=blocked[-1],
+                held=held,
+                thread=threading.current_thread().name,
+                detail=(
+                    f"blocking IO at fault point {point!r} while holding "
+                    f"{', '.join(repr(name) for name in blocked)} "
+                    f"(not in the sanitizer IO allowlist)"
+                ),
+                stack=self._site(),
+            ),
+            ("io-under-lock", point, *sorted(blocked)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def held_time_percentiles(self) -> dict[str, dict[str, float]]:
+        """Per-lock hold-duration percentiles in seconds (p50/p95/p99/max)."""
+        with self._lock:
+            snapshot = {name: sorted(samples) for name, samples in self._held_samples.items()}
+        return {
+            name: {
+                "count": float(len(samples)),
+                "p50": _percentile(samples, 0.50),
+                "p95": _percentile(samples, 0.95),
+                "p99": _percentile(samples, 0.99),
+                "max": samples[-1] if samples else 0.0,
+            }
+            for name, samples in snapshot.items()
+        }
+
+    def report(self) -> SanitizerReport:
+        with self._lock:
+            violations = list(self._violations)
+            edges = {source: tuple(sorted(targets)) for source, targets in self._edges.items()}
+            acquisitions = self._acquisitions
+            io_events = self._io_events
+        return SanitizerReport(
+            violations=violations,
+            edges=edges,
+            acquisitions=acquisitions,
+            io_events=io_events,
+            held_times=self.held_time_percentiles(),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# tracked lock wrappers
+# ---------------------------------------------------------------------- #
+class _TrackedLock:
+    """A named lock feeding the sanitizer; mirrors the threading lock API."""
+
+    __slots__ = ("_inner", "name", "_sanitizer", "_reentrant")
+
+    def __init__(self, inner, name: str, sanitizer: LockOrderSanitizer, reentrant: bool) -> None:
+        self._inner = inner
+        self.name = name
+        self._sanitizer = sanitizer
+        self._reentrant = reentrant
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._sanitizer.note_attempt(self.name, reentrant=self._reentrant)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._sanitizer.note_acquired(self.name, reentrant=self._reentrant)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._sanitizer.note_released(self.name)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "RLock" if self._reentrant else "Lock"
+        return f"_TrackedLock({self.name!r}, {kind})"
+
+
+def tracked_lock(name: str):
+    """A :class:`threading.Lock` named ``name`` in the declared hierarchy.
+
+    Plain lock when the sanitizer is disarmed (the production path: one
+    module-global read per *construction*, zero per acquisition); a
+    sanitized wrapper when enabled.  Enable the sanitizer before building
+    the system under test — already-constructed locks are not retrofitted.
+    """
+    sanitizer = _ACTIVE
+    if sanitizer is None:
+        return threading.Lock()
+    return _TrackedLock(threading.Lock(), name, sanitizer, reentrant=False)
+
+
+def tracked_rlock(name: str):
+    """A :class:`threading.RLock` named ``name`` (see :func:`tracked_lock`)."""
+    sanitizer = _ACTIVE
+    if sanitizer is None:
+        return threading.RLock()
+    return _TrackedLock(threading.RLock(), name, sanitizer, reentrant=True)
+
+
+# ---------------------------------------------------------------------- #
+# global activation
+# ---------------------------------------------------------------------- #
+_ACTIVE: LockOrderSanitizer | None = None
+
+
+def active() -> LockOrderSanitizer | None:
+    """The enabled process-global sanitizer, or ``None``."""
+    return _ACTIVE
+
+
+def enable(sanitizer: LockOrderSanitizer | None = None) -> LockOrderSanitizer:
+    """Enable sanitized lock construction (idempotent) and IO observation.
+
+    Attaches the sanitizer as the observer on the global fault-injection
+    registry, so the ``if FAULTS.armed:`` guards compiled into the IO hot
+    paths report their hits here without arming any failures.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        return _ACTIVE
+    _ACTIVE = sanitizer if sanitizer is not None else LockOrderSanitizer()
+    from ..resilience.faults import FAULTS
+
+    FAULTS.attach_observer(_ACTIVE.note_io)
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Disable the sanitizer (new locks come out plain again)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        return
+    from ..resilience.faults import FAULTS
+
+    FAULTS.detach_observer()
+    _ACTIVE = None
+
+
+def maybe_enable_from_env(environ: Mapping[str, str] | None = None) -> LockOrderSanitizer | None:
+    """Enable when ``CRYPTEXT_SANITIZE=1`` is set (CLI entry / conftest hook).
+
+    Library imports never read the environment — the same discipline as
+    :func:`repro.resilience.faults.install_env_faults`.
+    """
+    environ = os.environ if environ is None else environ
+    if environ.get(ENV_VAR, "").strip() != "1":
+        return None
+    return enable()

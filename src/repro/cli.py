@@ -737,6 +737,42 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis import LOCK_RANKS
+    from .analysis.lint import lint_paths
+    from .analysis.sanitizer import active
+
+    rule_names = None
+    if args.rules:
+        rule_names = [part.strip() for part in args.rules.split(",") if part.strip()]
+    paths = [Path(path) for path in args.paths] or None
+    try:
+        findings = lint_paths(paths, rule_names)
+    except ValueError as exc:
+        raise CrypTextError(str(exc)) from exc
+    payload: dict[str, object] = {
+        "findings": [
+            {"rule": f.rule, "path": f.path, "line": f.line, "message": f.message}
+            for f in findings
+        ],
+        "count": len(findings),
+    }
+    lines = [finding.describe() for finding in findings]
+    lines.append(f"lint: {len(findings)} finding(s)")
+    if args.show_hierarchy:
+        payload["hierarchy"] = dict(LOCK_RANKS)
+        lines.append("lock hierarchy (outermost first):")
+        lines.extend(
+            f"  {rank:4d}  {name}" for name, rank in sorted(LOCK_RANKS.items(), key=lambda kv: kv[1])
+        )
+    sanitizer = active()
+    if sanitizer is not None:
+        payload["sanitizer"] = {"violations": len(sanitizer.report().violations)}
+        lines.append(sanitizer.report().describe())
+    _emit(payload, args, lines)
+    return 1 if findings else 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     system = _build_system(args, train_scorer=False)
     stats = system.stats()
@@ -964,16 +1000,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_source_arguments(stats_cmd)
     stats_cmd.set_defaults(handler=_cmd_stats)
 
+    check_cmd = commands.add_parser(
+        "check",
+        help="run the project-aware concurrency lint pass (exit 1 on findings)",
+    )
+    check_cmd.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    check_cmd.add_argument("--rules", help="comma-separated subset of rules to run")
+    check_cmd.add_argument(
+        "--show-hierarchy",
+        action="store_true",
+        help="also print the declared lock-order hierarchy",
+    )
+    check_cmd.set_defaults(handler=_cmd_check)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
+    from .analysis.sanitizer import maybe_enable_from_env
     from .resilience.faults import install_env_faults
 
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        # Before any system construction: locks built after this point come
+        # out tracked when CRYPTEXT_SANITIZE=1 is set.
+        if maybe_enable_from_env() is not None:
+            print("sanitizer: lock-order sanitizer enabled", file=sys.stderr)
         armed = install_env_faults()
         if armed:
             print(

@@ -33,10 +33,10 @@ from __future__ import annotations
 
 import os
 import random
-import threading
 import time
 from typing import Callable, Dict, Iterable, Mapping, Optional
 
+from ..analysis.sanitizer import tracked_lock
 from ..errors import (
     ConfigurationError,
     InjectedFault,
@@ -223,9 +223,14 @@ class FaultInjector:
     def __init__(self, *, sleep: Callable[[float], None] = time.sleep) -> None:
         self.armed = False
         self._rules: Dict[str, FaultRule] = {}
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("faults.registry")
         self._sleep = sleep
         self._total_fired: Dict[str, int] = {}
+        # Passive observer of every hit (the lock-order sanitizer's
+        # lock-held-across-IO probe).  Attaching one arms the registry so
+        # the ``if FAULTS.armed:`` guards reach hit() — with no rules armed
+        # a hit is then just one observer call, never a failure.
+        self._observer: Optional[Callable[[str], None]] = None
 
     # -- arming ---------------------------------------------------------
 
@@ -269,7 +274,33 @@ class FaultInjector:
                 self._rules.clear()
             else:
                 self._rules.pop(point, None)
-            self.armed = bool(self._rules)
+            self.armed = self._armed_locked()
+
+    def _armed_locked(self) -> bool:
+        return bool(self._rules) or self._observer is not None
+
+    @property
+    def has_rules(self) -> bool:
+        """Whether any *failure* rule is armed.
+
+        Distinct from :attr:`armed`, which is also forced true by a passive
+        observer (the sanitizer) so guarded call sites reach :meth:`hit`.
+        """
+        with self._lock:
+            return bool(self._rules)
+
+    # -- observation ----------------------------------------------------
+
+    def attach_observer(self, observer: Callable[[str], None]) -> None:
+        """Report every hit's point to ``observer`` (one at a time)."""
+        with self._lock:
+            self._observer = observer
+            self.armed = True
+
+    def detach_observer(self) -> None:
+        with self._lock:
+            self._observer = None
+            self.armed = self._armed_locked()
 
     # -- the hot-path hit -----------------------------------------------
 
@@ -281,6 +312,9 @@ class FaultInjector:
         blocking delay; async callers pass ``apply_delay=False`` and
         apply :meth:`consume_delay` themselves on the event loop.
         """
+        observer = self._observer
+        if observer is not None:
+            observer(point)
         delay = 0.0
         with self._lock:
             rule = self._rules.get(point)
@@ -294,7 +328,7 @@ class FaultInjector:
                 self._total_fired[point] = self._total_fired.get(point, 0) + 1
             if rule.exhausted:
                 del self._rules[point]
-                self.armed = bool(self._rules)
+                self.armed = self._armed_locked()
         if delay > 0:
             self._sleep(delay)
         if failure is not None:
@@ -324,11 +358,16 @@ class FaultInjector:
             }
 
     def reset(self) -> None:
-        """Disarm everything and clear lifetime counters (test teardown)."""
+        """Disarm everything and clear lifetime counters (test teardown).
+
+        An attached observer survives — the sanitizer's lifecycle is
+        managed by :func:`repro.analysis.sanitizer.enable`/``disable``, not
+        by fault-rule teardown.
+        """
         with self._lock:
             self._rules.clear()
             self._total_fired.clear()
-            self.armed = False
+            self.armed = self._armed_locked()
 
 
 #: The process-global registry every production call site guards on.
