@@ -23,12 +23,12 @@ logic, and all batch methods preserve input order.
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
+from ..analysis.sanitizer import tracked_rlock
 from ..config import CrypTextConfig
 from ..core.dictionary import PerturbationDictionary
 from ..core.lookup import LookupEngine, LookupResult, sound_tag
@@ -216,7 +216,7 @@ class BatchEngine:
         # refreshes snapshots on schedule while the shard pool keeps
         # serving — saves never pause the shards.
         self._maintenance = None
-        self._enrich_lock = threading.RLock()
+        self._enrich_lock = tracked_rlock("batch.enrich")
         # One long-lived pool for shard-parallel bucket retrieval; creating
         # an executor per batch would pay thread spawn/join on every chunk
         # of a stream.  Threads start lazily on first use.

@@ -21,14 +21,14 @@ batch Look Up results byte-identical to the sequential path.
 
 from __future__ import annotations
 
-import threading
 import zlib
 from collections import OrderedDict
 from concurrent.futures import Executor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
+from ..analysis.sanitizer import tracked_lock, tracked_rlock
 from ..core.dictionary import (
     DictionaryEntry,
     PerturbationDictionary,
@@ -114,7 +114,7 @@ class _Shard:
         # own cache, or a snapshot hydration — reuses those tries instead of
         # building fresh ones.
         self.families = families
-        self.lock = threading.RLock()
+        self.lock = tracked_rlock("shard.bucket")
         self.refreshes = 0
         self.compiled_hits = 0
         self.compiled_misses = 0
@@ -167,11 +167,11 @@ class ShardedPhoneticIndex:
             _Shard(compiled_max, dictionary.trie_families) for _ in range(num_shards)
         )
         self._built_levels: set[int] = set()
-        self._build_lock = threading.RLock()
+        self._build_lock = tracked_rlock("shard.build")
         # Sound keys written to the dictionary but not yet re-pulled into
         # their buckets; populated by note_changes, drained on every read.
         self._pending: set[tuple[int, str]] = set()
-        self._pending_lock = threading.Lock()
+        self._pending_lock = tracked_lock("shard.pending")
         dictionary.register_observer(self)
 
     # ------------------------------------------------------------------ #

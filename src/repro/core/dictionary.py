@@ -38,6 +38,7 @@ from functools import cached_property
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Protocol, Sequence
 
+from ..analysis.sanitizer import tracked_lock, tracked_rlock
 from ..config import CrypTextConfig, DEFAULT_CONFIG
 from ..errors import DictionaryError
 from ..storage import Collection, DocumentStore
@@ -285,7 +286,7 @@ class PerturbationDictionary:
         collection.create_index("is_word")
         # Serializes the find-then-insert/update sequence of add_token so
         # concurrent writers (crawler threads) never lose count increments.
-        self._write_lock = threading.RLock()
+        self._write_lock = tracked_rlock("dictionary.write")
         self._version = 0
         # Compiled-bucket cache: (phonetic_level, soundex_key) -> CompiledBucket,
         # LRU-ordered (hits refresh recency, capacity evicts the coldest key).
@@ -293,7 +294,7 @@ class PerturbationDictionary:
         # discipline as the query cache); stores are version-guarded so a
         # compile that straddled a write never caches a stale trie.
         self._compiled: "OrderedDict[tuple[int, str], CompiledBucket]" = OrderedDict()
-        self._compiled_lock = threading.Lock()
+        self._compiled_lock = tracked_lock("dictionary.compiled")
         self._compiled_max_entries = config.cache_max_entries
         self._compiled_hits = 0
         self._compiled_misses = 0
@@ -347,7 +348,7 @@ class PerturbationDictionary:
         # savers would otherwise race the chain-tip read/advance and write
         # the same delta file.  Separate from the write lock, which must
         # stay free during trie compilation.
-        self._snapshot_lock = threading.RLock()
+        self._snapshot_lock = tracked_rlock("dictionary.snapshot")
         self._last_recovery: RecoveryReport | None = None
 
     @property

@@ -14,10 +14,10 @@ keyword arguments.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Sequence
 
+from ..analysis.sanitizer import tracked_lock
 from ..config import CrypTextConfig, DEFAULT_CONFIG
 from ..storage import TTLCache, make_key
 from .categories import PerturbationCategory, categorize_perturbation
@@ -143,7 +143,7 @@ class LookupEngine:
         else:
             self.cache = None
         self._epoch = 0
-        self._epoch_lock = threading.Lock()
+        self._epoch_lock = tracked_lock("lookup.epoch")
 
     @property
     def epoch(self) -> int:

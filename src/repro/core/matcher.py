@@ -46,10 +46,10 @@ Two pieces make compiled buckets cheap to share and to persist:
 
 from __future__ import annotations
 
-import threading
 import weakref
 from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
+from ..analysis.sanitizer import tracked_lock
 from .dictionary import DictionaryEntry
 
 __all__ = ["CompiledBucket", "TrieFamily", "TrieFamilyRegistry"]
@@ -238,7 +238,7 @@ class TrieFamily:
         # load installs payloads in O(1) and the first query of each variant
         # pays the — cheap, insertion-free — node rebuild).
         self._pending: Dict[Tuple[bool, bool], Sequence[Sequence]] = {}
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("matcher.family")
         self._builds = 0
         self._hydrated = 0
 
@@ -371,7 +371,7 @@ class TrieFamilyRegistry:
         self._families: "weakref.WeakValueDictionary[Tuple[str, ...], TrieFamily]" = (
             weakref.WeakValueDictionary()
         )
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("matcher.registry")
         self._created = 0
         self._views = 0
         self._adopted = 0

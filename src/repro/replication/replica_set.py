@@ -22,10 +22,10 @@ single-writer guard on the WAL directory enforces it across processes.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, TypeVar
 
+from ..analysis.sanitizer import tracked_lock
 from ..config import DEGRADED_READ_POLICIES
 from ..core.pipeline import CrypText
 from ..errors import ConfigurationError, CrypTextError, ReplicasUnavailableError
@@ -106,7 +106,7 @@ class ReplicaSet:
             )
         self.degraded_read_policy = policy
         self.supervisor = supervisor
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("replica.route")
         self._next = 0
         self._routed_to_followers = 0
         self._routed_to_leader = 0

@@ -14,6 +14,7 @@ import threading
 import time
 from typing import Callable, Dict, Iterator, Optional, Tuple, Type, TypeVar
 
+from ..analysis.sanitizer import tracked_lock
 from ..errors import ConfigurationError, DeadlineExceededError
 
 __all__ = [
@@ -226,7 +227,7 @@ class CircuitBreaker:
         self.recovery_seconds = float(recovery_seconds)
         self.half_open_probes = half_open_probes
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("breaker.state")
         self._state = self.CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0

@@ -21,12 +21,12 @@ arguments — the API service layer uses it for bulk Look Up calls.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, TypeVar
 
+from ..analysis.sanitizer import tracked_rlock
 from ..errors import CacheError
 
 T = TypeVar("T")
@@ -108,7 +108,7 @@ class TTLCache:
         self._clock = clock or time.monotonic
         self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
         self._tag_index: dict[Hashable, set[Hashable]] = {}
-        self._lock = threading.RLock()
+        self._lock = tracked_rlock("storage.cache")
         self.stats = CacheStats()
 
     def __len__(self) -> int:

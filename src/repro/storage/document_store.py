@@ -21,10 +21,10 @@ from __future__ import annotations
 import copy
 import functools
 import itertools
-import threading
 from copy import deepcopy as _deepcopy
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
+from ..analysis.sanitizer import tracked_rlock
 from ..errors import DocumentNotFoundError, DuplicateKeyError, QueryError, StorageError
 from .index import HashIndex
 from .query import compile_filter
@@ -61,7 +61,7 @@ class Collection:
         self._documents: dict[Any, dict[str, Any]] = {}
         self._indexes: dict[str, HashIndex] = {}
         self._id_counter = itertools.count(1)
-        self.lock = threading.RLock()
+        self.lock = tracked_rlock("storage.collection")
 
     # ------------------------------------------------------------------ #
     # basic properties
