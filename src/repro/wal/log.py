@@ -46,7 +46,6 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 import time
 import zlib
 from dataclasses import dataclass
@@ -58,6 +57,7 @@ try:  # pragma: no cover - fcntl is present on every POSIX build
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
+from ..analysis.sanitizer import tracked_rlock
 from ..errors import TornWrite, WalError
 from ..resilience.faults import FAULTS
 
@@ -379,7 +379,7 @@ class ChangeLog:
         self.fsync = fsync
         self.fsync_batch = fsync_batch
         self._unsynced_appends = 0
-        self._lock = threading.RLock()
+        self._lock = tracked_rlock("wal.segment")
         self._closed = False
         self._torn_bytes_repaired = 0
         # Persistent O_APPEND handle on the active segment: journaling runs
@@ -407,7 +407,7 @@ class ChangeLog:
     def _segment_path(directory: Path, first_seq: int) -> Path:
         return directory / f"wal-{first_seq:020d}.seg"
 
-    def _scan(self) -> None:
+    def _scan(self) -> None:  # lint: allow=unguarded-write (runs in __init__, pre-sharing)
         segments: list[_Segment] = []
         paths = self._segment_paths()
         for index, path in enumerate(paths):
@@ -519,9 +519,9 @@ class ChangeLog:
                 )
             tail = self._segments[-1]
             try:
-                handle = self._tail_handle(tail.path)
+                handle = self._tail_handle_locked(tail.path)
                 if FAULTS.armed:
-                    self._inject_append_fault(handle, frame, tail)
+                    self._inject_append_fault_locked(handle, frame, tail)
                 handle.write(frame)
                 handle.flush()
                 if self.fsync:
@@ -536,7 +536,7 @@ class ChangeLog:
                         os.fsync(handle.fileno())
                         self._unsynced_appends = 0
             except OSError as exc:
-                self._drop_handle()
+                self._drop_handle_locked()
                 # A failed write may have left a partial frame *mid-segment*;
                 # later appends landing after it would be acknowledged yet
                 # unreachable (decoding stops at the tear).  Roll the file
@@ -558,7 +558,7 @@ class ChangeLog:
             tail.records += 1
             return record
 
-    def _inject_append_fault(self, handle, frame: bytes, tail: "_Segment") -> None:
+    def _inject_append_fault_locked(self, handle, frame: bytes, tail: "_Segment") -> None:
         """Trigger the ``wal.append`` fault point (armed registries only).
 
         Plain injected IO errors raise :class:`InjectedIOError` and flow
@@ -574,22 +574,22 @@ class ChangeLog:
             keep = max(0, min(keep, len(frame) - 1))
             handle.write(frame[:keep])
             handle.flush()
-            self._drop_handle()
+            self._drop_handle_locked()
             self._closed = True
             raise WalError(
                 f"injected torn write: {keep} of {len(frame)} bytes reached "
                 f"{tail.path.name} before the simulated crash"
             ) from fault
 
-    def _tail_handle(self, path: Path):
+    def _tail_handle_locked(self, path: Path):
         """The persistent append handle for the active segment."""
         if self._handle is None or self._handle_path != path:
-            self._drop_handle()
+            self._drop_handle_locked()
             self._handle = path.open("ab")
             self._handle_path = path
         return self._handle
 
-    def _drop_handle(self) -> None:
+    def _drop_handle_locked(self) -> None:
         if self._handle is not None:
             try:
                 if self._unsynced_appends:
@@ -659,7 +659,7 @@ class ChangeLog:
         Returns the number of segments deleted.
         """
         with self._lock:
-            self._drop_handle()
+            self._drop_handle_locked()
             deleted = 0
             while len(self._segments) > 1 and self._segments[0].last_seq <= seq:
                 segment = self._segments[0]
@@ -713,7 +713,7 @@ class ChangeLog:
         ``seq > K``.
         """
         with self._lock:
-            self._drop_handle()
+            self._drop_handle_locked()
             floor = max(self.last_seq, next_seq_floor or 0)
             for segment in self._segments:
                 try:
@@ -752,7 +752,7 @@ class ChangeLog:
     def close(self) -> None:
         """Refuse further appends (reads keep working)."""
         with self._lock:
-            self._drop_handle()
+            self._drop_handle_locked()
             self._closed = True
 
     # ------------------------------------------------------------------ #

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
+from ..analysis.sanitizer import tracked_rlock
 from ..errors import CrypTextError, SnapshotError, WalError
 from ..storage.snapshot import SNAPSHOT_FILE_NAME
 from .log import ChangeLog, gc_superseded_segments, resolve_wal_directory
@@ -163,8 +164,8 @@ class MaintenanceScheduler:
         # ``due_in()``, and a not-yet-due ``tick()`` stay O(1) even while a
         # background save is running.  Ordering: _save_lock outer,
         # _state_lock inner.
-        self._save_lock = threading.RLock()
-        self._state_lock = threading.RLock()  # reentrant: status() reads due_in()
+        self._save_lock = tracked_rlock("maintenance.save")
+        self._state_lock = tracked_rlock("maintenance.state")  # reentrant: status() reads due_in()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._last_save_at: float | None = None
@@ -365,10 +366,17 @@ class MaintenanceScheduler:
     def stop(self) -> None:
         """Stop the background thread (the cooperative hooks keep working)."""
         self._stop.set()
-        thread = self._thread
+        with self._state_lock:
+            thread = self._thread
+        # Join outside the lock: the loop's tick() takes the save/state
+        # locks, so joining while holding one could deadlock the shutdown.
         if thread is not None:
             thread.join(timeout=5.0)
-        self._thread = None
+        with self._state_lock:
+            # Clear only our own handle — a concurrent start() may already
+            # have installed a fresh thread we must not orphan.
+            if self._thread is thread:
+                self._thread = None
 
     @property
     def running(self) -> bool:

@@ -237,7 +237,7 @@ class TestFailedAppend:
             def __getattr__(self, name):
                 return getattr(self.inner, name)
 
-        real_handle = wal._tail_handle(sorted(tmp_path.glob("wal-*.seg"))[0])
+        real_handle = wal._tail_handle_locked(sorted(tmp_path.glob("wal-*.seg"))[0])
         wal._handle = HalfWriter(real_handle)
         with pytest.raises(WalError):
             wal.append("add_token", {"token": "doomed"})
