@@ -308,7 +308,7 @@ class AsyncCrypTextService:
         finally:
             try:
                 writer.close()
-            except Exception:  # pragma: no cover - close failures are benign
+            except Exception:  # lint: allow=swallowed-exception (close failures on an already-dead connection are benign)  # pragma: no cover
                 pass
 
     async def _read_one(

@@ -37,6 +37,7 @@ import time
 from pathlib import Path
 from typing import Callable
 
+from ..analysis.sanitizer import tracked_rlock
 from ..config import CrypTextConfig, DEFAULT_CONFIG
 from ..core.pipeline import CrypText
 from ..errors import SnapshotError
@@ -86,7 +87,7 @@ class Follower:
         self.system = CrypText.empty(config=config, seed_lexicon=False)
         self._tail = WalTail(self.wal_dir)
         self._clock = clock
-        self._lock = threading.RLock()
+        self._lock = tracked_rlock("follower.state")
         self._applied_seq = 0
         self._applied_records = 0
         self._applied_seq_log: set[int] | None = set() if record_applied_seqs else None
@@ -238,7 +239,7 @@ class Follower:
         """
         try:
             return self.poll()
-        except Exception:
+        except Exception:  # lint: allow=swallowed-exception (poll() already counted and recorded it)
             return None
 
     def catch_up(self) -> int:
