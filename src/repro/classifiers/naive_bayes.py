@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter, defaultdict
-from typing import Hashable, Mapping, Sequence
+from typing import Hashable, Sequence
 
 from ..errors import ClassifierError
 from .features import FeatureVector
