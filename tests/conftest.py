@@ -10,6 +10,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis.sanitizer import active, maybe_enable_from_env
+
+# Before any repro import that constructs locks: under CRYPTEXT_SANITIZE=1
+# every tracked_lock()/tracked_rlock() from here on comes out instrumented.
+maybe_enable_from_env()
+
 from repro import CrypText, CrypTextConfig
 from repro.datasets import build_social_corpus, corpus_texts
 from repro.social import SocialPlatform
@@ -72,3 +78,19 @@ def twitter_platform(synthetic_posts) -> SocialPlatform:
 def default_config() -> CrypTextConfig:
     """A fresh default configuration."""
     return CrypTextConfig()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _assert_sanitizer_clean():
+    """Fail the sanitized run if any lock-order violation was recorded.
+
+    Collect-then-assert (rather than raising at the violation site) lets a
+    run surface *every* inversion instead of dying on the first, and keeps
+    the check out of the way when CRYPTEXT_SANITIZE is unset.
+    """
+    yield
+    sanitizer = active()
+    if sanitizer is None:
+        return
+    report = sanitizer.report()
+    assert report.clean, "\n" + report.describe()

@@ -1,0 +1,40 @@
+"""Fixture: async-blocking hits and non-hits (only parsed)."""
+
+import asyncio
+import os
+import time
+
+
+async def sleeps_on_the_loop():
+    time.sleep(0.1)  # EXPECT: async-blocking
+
+
+async def opens_on_the_loop(path):
+    with open(path) as handle:  # EXPECT: async-blocking
+        return handle.read()
+
+
+async def path_io_on_the_loop(path):
+    os.fsync(3)  # EXPECT: async-blocking
+    return path.read_text()  # EXPECT: async-blocking
+
+
+async def blocks_on_future(future):
+    return future.result()  # EXPECT: async-blocking
+
+
+async def offloaded_ok(loop, path):
+    await asyncio.sleep(0)
+    return await loop.run_in_executor(None, path.read_text)
+
+
+async def nested_sync_helper_ok(loop, path):
+    def read_it():
+        return open(path).read()
+
+    return await loop.run_in_executor(None, read_it)
+
+
+def sync_function_ok(path):
+    time.sleep(0.1)
+    return open(path).read()

@@ -1,0 +1,36 @@
+"""Fixture: a module every rule should pass untouched (only parsed)."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.analysis.sanitizer import tracked_lock, tracked_rlock
+
+
+class WellBehaved:
+    def __init__(self):
+        self._write_lock = tracked_rlock("dictionary.write")
+        self._wal_lock = tracked_lock("wal.segment")
+        self._stop = threading.Event()
+        self.applied = 0
+        self.errors = 0
+
+    def journal_then_apply(self, record):
+        with self._write_lock:
+            with self._wal_lock:
+                frame = record
+            self.applied += 1
+        return frame
+
+    def tolerant_poll(self, work):
+        try:
+            work()
+        except ValueError:
+            self.errors += 1
+
+    def spawn(self, target):
+        return threading.Thread(target=target, daemon=True)
+
+
+async def offloads(loop, path):
+    return await loop.run_in_executor(None, path.read_text)

@@ -1,0 +1,14 @@
+"""Fixture: dead-import hits and non-hits (only parsed)."""
+
+from __future__ import annotations
+
+import json
+import os  # EXPECT: dead-import
+from pathlib import Path  # EXPECT: dead-import
+from typing import Mapping, Sequence
+
+
+def dump(payload: Mapping[str, int], keys: Sequence[str]) -> str:
+    # Mapping/Sequence are used only inside (stringified) annotations —
+    # the textual check must still count them as referenced.
+    return json.dumps({key: payload[key] for key in keys})

@@ -1,0 +1,29 @@
+"""Fixture: io-under-lock hits and non-hits (never executed, only parsed)."""
+
+import time
+
+from repro.analysis.sanitizer import tracked_rlock
+
+
+class HotIO:
+    def __init__(self):
+        self._lock = tracked_rlock("storage.cache")
+        self._save_lock = tracked_rlock("maintenance.save")
+
+    def blocking_reads_under_hot_lock(self, path):
+        with self._lock:
+            handle = open(path)  # EXPECT: io-under-lock
+            text = path.read_text()  # EXPECT: io-under-lock
+            time.sleep(0.1)  # EXPECT: io-under-lock
+        return handle, text
+
+    def io_outside_lock_ok(self, path):
+        text = path.read_text()
+        with self._lock:
+            size = len(text)
+        return size
+
+    def slow_path_lock_ok(self, path):
+        # maintenance.save is not a hot-path lock: a save *is* IO.
+        with self._save_lock:
+            path.write_text("checkpoint")

@@ -1,0 +1,41 @@
+"""Fixture: lock-order hits and non-hits (never executed, only parsed)."""
+
+import threading
+
+from repro.analysis.sanitizer import tracked_lock, tracked_rlock
+
+
+class Inverted:
+    def __init__(self):
+        self._wal_lock = tracked_lock("wal.segment")
+        self._write_lock = tracked_rlock("dictionary.write")
+        self._plain = threading.Lock()  # EXPECT: lock-order
+        self._mystery = tracked_lock("no.such.rank")  # EXPECT: lock-order
+
+    def inverted_nesting(self):
+        with self._wal_lock:
+            with self._write_lock:  # EXPECT: lock-order
+                pass
+
+    def declared_order_ok(self):
+        with self._write_lock:
+            with self._wal_lock:
+                pass
+
+    def self_deadlock(self):
+        with self._wal_lock:
+            with self._wal_lock:  # EXPECT: lock-order
+                pass
+
+    def reentrant_reentry_ok(self):
+        with self._write_lock:
+            with self._write_lock:
+                pass
+
+    def manual_acquire_inverted(self):
+        with self._wal_lock:
+            self._write_lock.acquire()  # EXPECT: lock-order
+            try:
+                pass
+            finally:
+                self._write_lock.release()

@@ -1,0 +1,21 @@
+"""Fixture: mutable-default hits and non-hits (only parsed)."""
+
+
+def list_default(items=[]):  # EXPECT: mutable-default
+    return items
+
+
+def dict_default(mapping={}):  # EXPECT: mutable-default
+    return mapping
+
+
+def ctor_default(acc=list()):  # EXPECT: mutable-default
+    return acc
+
+
+def kwonly_default(*, seen=set()):  # EXPECT: mutable-default
+    return seen
+
+
+def immutable_defaults_ok(items=None, name="x", count=0, flags=(), bits=frozenset()):
+    return items, name, count, flags, bits

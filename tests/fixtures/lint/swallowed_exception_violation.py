@@ -1,0 +1,55 @@
+"""Fixture: swallowed-exception hits and non-hits (only parsed)."""
+
+
+class Swallower:
+    def __init__(self):
+        self.errors = 0
+
+    def swallows_silently(self, work):
+        try:
+            work()
+        except Exception:  # EXPECT: swallowed-exception
+            pass
+
+    def bare_returns_none(self, work):
+        try:
+            work()
+        except:  # EXPECT: swallowed-exception
+            return None
+
+    def swallows_in_loop(self, jobs):
+        for job in jobs:
+            try:
+                job()
+            except (ValueError, Exception):  # EXPECT: swallowed-exception
+                continue
+
+    def counts_ok(self, work):
+        try:
+            work()
+        except Exception:
+            self.errors += 1
+
+    def narrow_ok(self, work):
+        try:
+            work()
+        except ValueError:
+            pass
+
+    def reports_failure_ok(self, work):
+        try:
+            work()
+        except Exception:
+            return False
+
+    def reraises_ok(self, work):
+        try:
+            work()
+        except Exception:
+            raise
+
+    def pragma_ok(self, work):
+        try:
+            work()
+        except Exception:  # lint: allow=swallowed-exception (fixture: deliberate best-effort)
+            pass

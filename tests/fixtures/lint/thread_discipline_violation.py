@@ -1,0 +1,25 @@
+"""Fixture: thread-discipline hits and non-hits (only parsed)."""
+
+import threading
+from threading import Thread
+
+
+def spawn_implicit_daemon_flag(target):
+    worker = threading.Thread(target=target)  # EXPECT: thread-discipline
+    worker.start()
+    return worker
+
+
+def spawn_bare_name(target):
+    return Thread(target=target, name="worker")  # EXPECT: thread-discipline
+
+
+def spawn_daemon_ok(target):
+    worker = threading.Thread(target=target, daemon=True)
+    worker.start()
+    return worker
+
+
+def spawn_explicit_foreground_ok(target):
+    # daemon=False is fine: the author stated the shutdown contract.
+    return threading.Thread(target=target, daemon=False)

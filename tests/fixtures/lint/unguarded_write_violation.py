@@ -1,0 +1,37 @@
+"""Fixture: unguarded-write hits and non-hits (only parsed)."""
+
+from repro.analysis.sanitizer import tracked_lock
+
+
+class Counter:
+    def __init__(self):
+        self._lock = tracked_lock("storage.cache")
+        self.total = 0
+        self.label = ""
+
+    def add(self, amount):
+        with self._lock:
+            self.total += amount
+
+    def racy_reset(self):
+        self.total = 0  # EXPECT: unguarded-write
+
+    def unshared_attr_ok(self, label):
+        # `label` is never written under the lock, so no guard is implied.
+        self.label = label
+
+    def _clear_locked(self):
+        # *_locked methods run under the caller's hold by convention.
+        self.total = 0
+
+    def pragma_ok(self):  # lint: allow=unguarded-write (fixture: single-threaded teardown)
+        self.total = 0
+
+
+class NoLocksAnywhere:
+    def __init__(self):
+        self.value = 0
+
+    def bump(self):
+        # The class declares no lock, so the rule does not apply at all.
+        self.value += 1

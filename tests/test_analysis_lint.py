@@ -1,0 +1,160 @@
+"""The lint pass, tested against fixture files with known violations.
+
+Each fixture under ``tests/fixtures/lint/`` marks every expected finding
+with a trailing ``# EXPECT: <rule>`` comment; the harness asserts the
+linter reports *exactly* that set of (rule, line) pairs — so every marker
+is a hit assertion and every unmarked line is a non-hit assertion.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import Finding, lint_paths, main, package_root
+from repro.analysis.rules import ALL_RULES
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+_EXPECT_RE = re.compile(r"#\s*EXPECT:\s*([a-z-]+)")
+
+
+def expected_markers(path: Path) -> set[tuple[str, int]]:
+    expected = set()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _EXPECT_RE.search(line)
+        if match is not None:
+            expected.add((match.group(1), lineno))
+    return expected
+
+
+def lint_fixture(path: Path, rules=None) -> list[Finding]:
+    return lint_paths([path], rules, root=FIXTURES)
+
+
+class TestFixtures:
+    @pytest.mark.parametrize(
+        "fixture", sorted(FIXTURES.glob("*.py")), ids=lambda p: p.stem
+    )
+    def test_hits_and_non_hits_match_markers(self, fixture):
+        expected = expected_markers(fixture)
+        found = {(f.rule, f.line) for f in lint_fixture(fixture)}
+        missing = expected - found
+        unexpected = found - expected
+        assert not missing, f"expected findings never reported: {sorted(missing)}"
+        assert not unexpected, f"unmarked findings reported: {sorted(unexpected)}"
+
+    def test_every_rule_has_a_hit_fixture(self):
+        covered = set()
+        for fixture in FIXTURES.glob("*.py"):
+            covered.update(rule for rule, _line in expected_markers(fixture))
+        assert covered == {rule.name for rule in ALL_RULES}
+
+    def test_clean_fixture_is_clean(self):
+        assert lint_fixture(FIXTURES / "clean.py") == []
+
+
+class TestRepoIsClean:
+    def test_package_lints_clean(self):
+        """The acceptance gate: zero findings over the installed package."""
+        findings = lint_paths()
+        assert findings == [], "\n".join(f.describe() for f in findings)
+
+    def test_package_root_is_the_repro_package(self):
+        assert package_root().name == "repro"
+
+
+class TestDriver:
+    def test_rule_subset_runs_only_those_rules(self):
+        findings = lint_fixture(
+            FIXTURES / "mutable_default_violation.py", ["mutable-default"]
+        )
+        assert findings and all(f.rule == "mutable-default" for f in findings)
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="no-such-rule"):
+            lint_fixture(FIXTURES / "clean.py", ["no-such-rule"])
+
+    def test_findings_sorted_and_described(self):
+        findings = lint_fixture(FIXTURES / "dead_import_violation.py")
+        assert findings == sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+        text = findings[0].describe()
+        assert "dead_import_violation.py" in text and "[dead-import]" in text
+
+    def test_pragma_on_offending_line_suppresses(self, tmp_path):
+        source = (
+            "def f(items=[]):  # lint: allow=mutable-default (testing)\n"
+            "    return items\n"
+        )
+        path = tmp_path / "pragma_line.py"
+        path.write_text(source)
+        assert lint_paths([path], root=tmp_path) == []
+
+    def test_pragma_on_def_line_suppresses_whole_function(self, tmp_path):
+        source = (
+            "def f(work):  # lint: allow=swallowed-exception (testing)\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        path = tmp_path / "pragma_def.py"
+        path.write_text(source)
+        assert lint_paths([path], root=tmp_path) == []
+        # Without the pragma the same body is flagged.
+        bare = tmp_path / "no_pragma.py"
+        bare.write_text(source.replace("  # lint: allow=swallowed-exception (testing)", ""))
+        assert [f.rule for f in lint_paths([bare], root=tmp_path)] == [
+            "swallowed-exception"
+        ]
+
+
+class TestMainEntry:
+    def test_exit_one_on_findings(self, capsys):
+        assert main([str(FIXTURES / "mutable_default_violation.py")]) == 1
+        out = capsys.readouterr().out
+        assert "[mutable-default]" in out
+
+    def test_exit_zero_on_clean(self, capsys):
+        assert main([str(FIXTURES / "clean.py")]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["--json", str(FIXTURES / "dead_import_violation.py")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["rule"] for entry in payload} == {"dead-import"}
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.name in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["--rules", "bogus", str(FIXTURES / "clean.py")]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+
+class TestCheckSubcommand:
+    def test_check_reports_findings_and_exit_code(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["check", str(FIXTURES / "mutable_default_violation.py")]) == 1
+        assert "[mutable-default]" in capsys.readouterr().out
+
+    def test_check_clean_with_hierarchy(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["check", "--show-hierarchy", str(FIXTURES / "clean.py")]) == 0
+        out = capsys.readouterr().out
+        assert "lock hierarchy" in out and "dictionary.write" in out
+
+    def test_check_json(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["--json", "check", str(FIXTURES / "clean.py")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 0

@@ -1,0 +1,313 @@
+"""The runtime lock-order sanitizer, provoked with real locks and threads.
+
+Every test drives a *private* :class:`LockOrderSanitizer` (wrapping locks
+by hand) rather than the process-global one, so a sanitized run of this
+suite (``CRYPTEXT_SANITIZE=1``) never records these deliberate violations
+against the session's own report.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import hierarchy
+from repro.analysis.sanitizer import (
+    LockOrderSanitizer,
+    _TrackedLock,
+    active,
+    maybe_enable_from_env,
+    tracked_lock,
+    tracked_rlock,
+)
+from repro.resilience.faults import FaultInjector
+
+
+def make_lock(name: str, sanitizer: LockOrderSanitizer, *, reentrant: bool = False):
+    inner = threading.RLock() if reentrant else threading.Lock()
+    return _TrackedLock(inner, name, sanitizer, reentrant=reentrant)
+
+
+class TestHierarchyDeclaration:
+    def test_order_allows_follows_ranks(self):
+        assert hierarchy.order_allows("dictionary.write", "wal.segment")
+        assert not hierarchy.order_allows("wal.segment", "dictionary.write")
+        assert hierarchy.order_allows("wal.segment", "wal.segment")
+
+    def test_unranked_locks_are_unconstrained(self):
+        assert hierarchy.order_allows("no.such.lock", "dictionary.write")
+        assert hierarchy.order_allows("dictionary.write", "no.such.lock")
+
+    def test_rank_of(self):
+        assert hierarchy.rank_of("maintenance.save") == 10
+        assert hierarchy.rank_of("missing") is None
+
+    def test_ranks_are_unique(self):
+        ranks = list(hierarchy.LOCK_RANKS.values())
+        assert len(ranks) == len(set(ranks))
+
+    def test_hot_path_locks_are_ranked(self):
+        assert hierarchy.HOT_PATH_LOCKS <= set(hierarchy.LOCK_RANKS)
+
+    def test_sanitizer_io_allowlist_names_are_ranked(self):
+        assert {name for _point, name in hierarchy.SANITIZER_IO_ALLOWLIST} <= set(
+            hierarchy.LOCK_RANKS
+        )
+
+
+class TestCycleDetection:
+    def test_real_two_lock_cycle_is_detected(self):
+        """Thread 1 takes A then B; thread 2 takes B then A.
+
+        Run sequentially so the test cannot actually deadlock — the point
+        of the dynamic graph is that the *potential* is detected even on
+        interleavings that happen to survive.
+        """
+        sanitizer = LockOrderSanitizer(ranks={}, capture_stacks=False)
+        lock_a = make_lock("x.alpha", sanitizer)
+        lock_b = make_lock("x.beta", sanitizer)
+
+        def a_then_b():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        def b_then_a():
+            with lock_b:
+                with lock_a:
+                    pass
+
+        for target in (a_then_b, b_then_a):
+            worker = threading.Thread(target=target, daemon=True)
+            worker.start()
+            worker.join(timeout=5.0)
+            assert not worker.is_alive()
+
+        report = sanitizer.report()
+        cycles = [v for v in report.violations if v.kind == "cycle"]
+        assert len(cycles) == 1
+        assert "potential deadlock" in cycles[0].detail
+        assert report.acquisitions == 4
+        assert set(report.edges["x.alpha"]) == {"x.beta"}
+        assert set(report.edges["x.beta"]) == {"x.alpha"}
+
+    def test_consistent_order_is_clean(self):
+        sanitizer = LockOrderSanitizer(ranks={}, capture_stacks=False)
+        lock_a = make_lock("x.alpha", sanitizer)
+        lock_b = make_lock("x.beta", sanitizer)
+        for _ in range(3):
+            with lock_a:
+                with lock_b:
+                    pass
+        assert sanitizer.report().clean
+
+    def test_three_lock_cycle_through_intermediate(self):
+        sanitizer = LockOrderSanitizer(ranks={}, capture_stacks=False)
+        lock_a = make_lock("x.alpha", sanitizer)
+        lock_b = make_lock("x.beta", sanitizer)
+        lock_c = make_lock("x.gamma", sanitizer)
+        with lock_a:
+            with lock_b:
+                pass
+        with lock_b:
+            with lock_c:
+                pass
+        with lock_c:
+            with lock_a:
+                pass  # closes a -> b -> c -> a
+        cycles = [v for v in sanitizer.report().violations if v.kind == "cycle"]
+        assert len(cycles) == 1
+
+    def test_self_deadlock_on_non_reentrant_lock(self):
+        sanitizer = LockOrderSanitizer(ranks={}, capture_stacks=False)
+        lock = make_lock("x.alpha", sanitizer)
+        with lock:
+            # Second acquire would block forever; non-blocking keeps the
+            # test alive while still tripping the attempt-time check.
+            assert not lock.acquire(blocking=False)
+        violations = sanitizer.report().violations
+        assert [v.detail for v in violations] == [
+            "re-acquiring non-reentrant lock 'x.alpha' already held by this "
+            "thread (self-deadlock)"
+        ]
+
+
+class TestHierarchyEnforcement:
+    def test_deliberate_inversion_is_detected(self):
+        """The acceptance case: a deliberately injected lock-order inversion."""
+        sanitizer = LockOrderSanitizer(capture_stacks=True)
+        wal = make_lock("wal.segment", sanitizer)
+        write = make_lock("dictionary.write", sanitizer, reentrant=True)
+        with wal:
+            with write:  # wal.segment (110) must never wrap dictionary.write (100)
+                pass
+        report = sanitizer.report()
+        kinds = {v.kind for v in report.violations}
+        assert "hierarchy" in kinds
+        violation = next(v for v in report.violations if v.kind == "hierarchy")
+        assert violation.lock == "dictionary.write"
+        assert violation.held == ("wal.segment",)
+        assert "inverts the declared lock hierarchy" in violation.detail
+        assert violation.stack  # capture_stacks records the acquiring frame
+
+    def test_declared_order_is_clean(self):
+        sanitizer = LockOrderSanitizer(capture_stacks=False)
+        write = make_lock("dictionary.write", sanitizer, reentrant=True)
+        wal = make_lock("wal.segment", sanitizer)
+        with write:
+            with wal:
+                pass
+        assert sanitizer.report().clean
+
+    def test_duplicate_violations_dedup(self):
+        sanitizer = LockOrderSanitizer(capture_stacks=False)
+        wal = make_lock("wal.segment", sanitizer)
+        write = make_lock("dictionary.write", sanitizer, reentrant=True)
+        for _ in range(5):
+            with wal:
+                with write:
+                    pass
+        hierarchy_violations = [
+            v for v in sanitizer.report().violations if v.kind == "hierarchy"
+        ]
+        assert len(hierarchy_violations) == 1
+
+    def test_rlock_reentry_is_not_a_violation(self):
+        sanitizer = LockOrderSanitizer(capture_stacks=False)
+        write = make_lock("dictionary.write", sanitizer, reentrant=True)
+        with write:
+            with write:
+                assert sanitizer.held_names() == ("dictionary.write",)
+        report = sanitizer.report()
+        assert report.clean
+        assert report.acquisitions == 1  # re-entry adds no new acquisition
+
+
+class TestIoUnderLock:
+    def test_io_while_holding_unrelated_lock_is_flagged(self):
+        sanitizer = LockOrderSanitizer(capture_stacks=False)
+        cache = make_lock("storage.cache", sanitizer, reentrant=True)
+        faults = FaultInjector()
+        faults.attach_observer(sanitizer.note_io)
+        with cache:
+            faults.hit("wal.append")
+        report = sanitizer.report()
+        assert report.io_events == 1
+        io = [v for v in report.violations if v.kind == "io-under-lock"]
+        assert len(io) == 1
+        assert io[0].held == ("storage.cache",)
+        assert "wal.append" in io[0].detail
+
+    def test_allowlisted_pairs_are_clean(self):
+        sanitizer = LockOrderSanitizer(capture_stacks=False)
+        write = make_lock("dictionary.write", sanitizer, reentrant=True)
+        wal = make_lock("wal.segment", sanitizer)
+        faults = FaultInjector()
+        faults.attach_observer(sanitizer.note_io)
+        with write:
+            with wal:
+                faults.hit("wal.append")
+                faults.hit("wal.fsync")
+        report = sanitizer.report()
+        assert report.io_events == 2
+        assert report.clean
+
+    def test_io_with_no_lock_held_is_clean(self):
+        sanitizer = LockOrderSanitizer(capture_stacks=False)
+        faults = FaultInjector()
+        faults.attach_observer(sanitizer.note_io)
+        faults.hit("wal.append")
+        assert sanitizer.report().clean
+
+    def test_observer_arms_and_detach_disarms(self):
+        sanitizer = LockOrderSanitizer(capture_stacks=False)
+        faults = FaultInjector()
+        assert not faults.armed
+        faults.attach_observer(sanitizer.note_io)
+        assert faults.armed and not faults.has_rules
+        faults.detach_observer()
+        assert not faults.armed
+
+    def test_observer_survives_reset(self):
+        sanitizer = LockOrderSanitizer(capture_stacks=False)
+        faults = FaultInjector()
+        faults.attach_observer(sanitizer.note_io)
+        faults.arm("wal.append", fail=1)
+        faults.reset()
+        assert faults.armed  # the observer keeps guards reporting
+        faults.hit("wal.append")  # no rule left: observed, never raises
+        assert sanitizer.report().io_events == 1
+
+
+class TestHeldTimes:
+    def test_percentiles_from_fake_clock(self):
+        ticks = iter(range(100))
+        sanitizer = LockOrderSanitizer(
+            ranks={}, clock=lambda: float(next(ticks)), capture_stacks=False
+        )
+        lock = make_lock("x.alpha", sanitizer)
+        for _ in range(4):
+            with lock:
+                pass
+        times = sanitizer.held_time_percentiles()["x.alpha"]
+        assert times["count"] == 4.0
+        assert times["p50"] == 1.0  # each hold spans exactly one tick
+        assert times["max"] == 1.0
+
+    def test_report_describe_mentions_counts(self):
+        sanitizer = LockOrderSanitizer(ranks={}, capture_stacks=False)
+        lock = make_lock("x.alpha", sanitizer)
+        with lock:
+            pass
+        text = sanitizer.report().describe()
+        assert "1 acquisitions" in text and "0 violation(s)" in text
+
+
+class TestActivation:
+    def test_factories_use_the_active_sanitizer(self, monkeypatch):
+        from repro.analysis import sanitizer as mod
+
+        private = LockOrderSanitizer(capture_stacks=False)
+        monkeypatch.setattr(mod, "_ACTIVE", private)
+        lock = tracked_lock("dictionary.write")
+        rlock = tracked_rlock("dictionary.snapshot")
+        assert isinstance(lock, _TrackedLock)
+        assert isinstance(rlock, _TrackedLock)
+        with rlock:
+            with lock:
+                pass
+        assert private.report().acquisitions == 2
+
+    def test_factories_return_plain_locks_when_disabled(self, monkeypatch):
+        from repro.analysis import sanitizer as mod
+
+        monkeypatch.setattr(mod, "_ACTIVE", None)
+        lock = tracked_lock("dictionary.write")
+        assert not isinstance(lock, _TrackedLock)
+        with lock:  # plain threading.Lock still works as a context manager
+            pass
+
+    def test_maybe_enable_ignores_unset_env(self):
+        before = active()
+        assert maybe_enable_from_env({}) is None
+        assert maybe_enable_from_env({"CRYPTEXT_SANITIZE": "0"}) is None
+        assert active() is before
+
+    @pytest.mark.skipif(
+        active() is not None,
+        reason="global sanitizer already enabled by CRYPTEXT_SANITIZE",
+    )
+    def test_enable_disable_roundtrip(self):
+        from repro.analysis.sanitizer import disable, enable
+        from repro.resilience.faults import FAULTS
+
+        try:
+            first = enable()
+            assert active() is first
+            assert enable() is first  # idempotent
+            assert FAULTS.armed  # the observer arms the guards
+        finally:
+            disable()
+        assert active() is None
+        assert not FAULTS.armed
