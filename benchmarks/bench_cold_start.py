@@ -31,6 +31,11 @@ The full run writes ``benchmarks/results/cold_start.json`` and asserts the
 acceptance criterion (warm-start load >= 3x faster than recompilation on a
 10k-entry dictionary); the smoke run asserts the same floor plus the
 equality and family-sharing guards so a regression fails the job.
+
+Since the v2 sharded layout landed, every run also times resolving that
+layout both ways — eager full parse vs the ``mmap``'d structure-only open
+followers use — and the smoke run holds a >= 3x floor on the mapped open
+(cold start as O(page faults), not O(snapshot bytes)).
 """
 
 from __future__ import annotations
@@ -52,6 +57,7 @@ from repro.config import CrypTextConfig
 from repro.core.dictionary import PerturbationDictionary
 from repro.core.lookup import LookupEngine
 from repro.storage import dump_collection, load_collection
+from repro.storage.snapshot import resolve_snapshot
 
 RESULTS_PATH = Path(__file__).parent / "results" / "cold_start.json"
 
@@ -158,6 +164,17 @@ def measure(size: int, seed: int, work_dir: Path, queries: int = 300) -> dict:
         f"warm-start engine diverged from cold-compiled engine (size={size})"
     )
 
+    # v2 sharded layout: eager full-parse resolution vs the mmap'd
+    # structure-only open followers use (family payloads stay unparsed on
+    # disk until a bucket is actually queried).  First open only — the
+    # process-wide shard cache makes every later open nearly free.
+    v2_path = work_dir / f"snapshot_v2_{size}.json"
+    source.save_snapshot(v2_path, shards=4)
+    v2_eager_elapsed, _ = _timed(lambda: resolve_snapshot(v2_path, strict=True))
+    v2_mapped_elapsed, _ = _timed(
+        lambda: resolve_snapshot(v2_path, strict=True, mapped=True)
+    )
+
     cold_total = load_elapsed + compile_elapsed
     return {
         "entries": size,
@@ -173,6 +190,9 @@ def measure(size: int, seed: int, work_dir: Path, queries: int = 300) -> dict:
         "query_sweep_warm_seconds": sweep_warm,
         "speedup": cold_total / warm_elapsed,
         "speedup_vs_compile_only": compile_elapsed / warm_elapsed,
+        "v2_eager_resolve_seconds": v2_eager_elapsed,
+        "v2_mapped_resolve_seconds": v2_mapped_elapsed,
+        "mmap_speedup": v2_eager_elapsed / v2_mapped_elapsed,
     }
 
 
@@ -251,6 +271,13 @@ def main(argv=None) -> int:
                 f"{row['snapshot_bytes'] / 1e6:.1f} MB snapshot)",
                 file=sys.stderr,
             )
+            print(
+                f"entries {size:6d}: v2 resolve eager "
+                f"{row['v2_eager_resolve_seconds']:.3f}s, mmap "
+                f"{row['v2_mapped_resolve_seconds']:.3f}s -> "
+                f"{row['mmap_speedup']:.1f}x",
+                file=sys.stderr,
+            )
     report["golden_comparisons"] = compared
     report["golden_buckets"] = buckets
     report["golden_families"] = families
@@ -262,6 +289,13 @@ def main(argv=None) -> int:
             f"than recompilation on a 10k-entry dictionary (need >= 3x)"
         )
         print(f"smoke: warm start {speedup:.1f}x faster (>= 3x ok)", file=sys.stderr)
+        mmap_speedup = report["sizes"]["10000"]["mmap_speedup"]
+        assert mmap_speedup >= 3.0, (
+            f"mmap cold start regressed: the v2 mapped open is only "
+            f"{mmap_speedup:.2f}x faster than the eager parse on a 10k-entry "
+            f"dictionary (need >= 3x)"
+        )
+        print(f"smoke: v2 mmap open {mmap_speedup:.1f}x faster (>= 3x ok)", file=sys.stderr)
         return 0
 
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)

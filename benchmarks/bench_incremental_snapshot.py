@@ -144,6 +144,16 @@ def measure_recovery(size: int, tail: int, seed: int, work_dir: Path) -> dict:
     recovered = PerturbationDictionary(config=config)
     recover_elapsed, report = _timed(lambda: recovered.recover(snapshot_dir))
     assert report.loaded and report.replayed_records == tail, report
+    # Isolate the replay term: recovery = snapshot load + one replay per
+    # pending WAL record.  The per-record cost is what turns
+    # ``snapshot_autosave_interval`` into a recovery-time bound (interval N
+    # risks at most ~N * replay_seconds_per_record of extra startup time).
+    baseline = PerturbationDictionary(config=config)
+    load_elapsed, load_report = _timed(
+        lambda: baseline.load_snapshot(snapshot_dir / SNAPSHOT_FILE_NAME, strict=True)
+    )
+    assert load_report.loaded, load_report
+    replay_per_record = max(recover_elapsed - load_elapsed, 0.0) / tail
     assert recovered.token_counts() == victim.token_counts()
     assert recovered.content_fingerprint() == victim.content_fingerprint()
 
@@ -158,6 +168,8 @@ def measure_recovery(size: int, tail: int, seed: int, work_dir: Path) -> dict:
         "entries": size,
         "tail_records": tail,
         "recover_seconds": recover_elapsed,
+        "snapshot_load_seconds": load_elapsed,
+        "replay_seconds_per_record": replay_per_record,
         "replayed_records": report.replayed_records,
         "torn_bytes": report.torn_bytes,
         "probes_compared": len(probes),
@@ -218,7 +230,9 @@ def main(argv=None) -> int:
             print(
                 f"entries {size:6d}: recovered {recovery['replayed_records']} "
                 f"lost writes in {recovery['recover_seconds']:.3f}s "
-                f"({recovery['probes_compared']} equality probes ok)",
+                f"({recovery['replay_seconds_per_record'] * 1e3:.2f} ms/record "
+                f"over the {recovery['snapshot_load_seconds']:.3f}s load; "
+                f"{recovery['probes_compared']} equality probes ok)",
                 file=sys.stderr,
             )
     report["golden_comparisons"] = compared

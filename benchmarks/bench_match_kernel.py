@@ -1,0 +1,318 @@
+"""Match-kernel head-to-head: banded trie-DP vs Myers bitvector vs SymSpell.
+
+Three kernels can serve ``CompiledBucket.match`` since the paper-scale
+matching layer landed (``core/kernels.py`` / ``core/deletes.py``):
+
+* **banded** — the per-node banded DP rows over the bucket trie (the
+  compiled path every PR before this one shipped; the baseline here);
+* **myers** — the Myers/Hyyrö bit-parallel traversal (patterns <= 64
+  chars, plain Levenshtein), one word of bit-ops per trie node;
+* **symspell** — the precomputed delete-neighborhood index (d <= 2,
+  either metric): candidate lookup by query deletions, then exact
+  verification of the candidates only.
+
+This benchmark races them over synthetic sound buckets at 10k and 2M
+entries for d ∈ {1, 2} (plus d=3 at 10k, where SymSpell is ineligible and
+degrades to Myers) across three query mixes:
+
+* **hit** — perturbations of the bucket stems (dense-match regime; all
+  kernels converge toward shared verification cost);
+* **miss** — random tokens that match little or nothing (the regime that
+  dominates Normalization over clean text, and where the delete index is
+  orders of magnitude ahead: candidate lookup does not scale with bucket
+  size);
+* **mixed** — 1 hit : 3 misses, the Normalization-shaped workload the
+  ``auto`` policy is tuned for (most document tokens are clean words that
+  match no perturbation).
+
+Every timed configuration first asserts all kernels agree — against the
+per-entry linear scan where that is affordable, against each other at 2M
+— and the report records per-kernel build costs (trie compile, delete
+index) because SymSpell's query speed is bought with index build time.
+The ``auto`` row must keep up with the measured mixed-workload winner per
+(bucket size, d); that check is what pins ``AUTO_SYMSPELL_MIN_BUCKET``.
+
+Run as a script (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_match_kernel.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_match_kernel.py --smoke    # CI guard
+
+The full run writes ``benchmarks/results/match_kernel.json``.  The smoke
+run replays the golden corpus under every kernel policy and asserts the
+d=2 floor: the auto kernel >= 2x the banded baseline on a 10k-entry
+bucket over the mixed workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import random
+import string
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))  # for tests.test_golden_regression
+
+from repro.config import MATCH_KERNEL_POLICIES
+from repro.core.dictionary import DictionaryEntry
+from repro.core.edit_distance import bounded_levenshtein
+from repro.core.kernels import resolve_kernel
+from repro.core.matcher import CompiledBucket
+
+RESULTS_PATH = Path(__file__).parent / "results" / "match_kernel.json"
+
+STEMS = (
+    "vaccine", "republicans", "democrats", "depression", "neighborhood",
+    "mandate", "suicide", "amazon", "listening", "perturbation",
+)
+ALPHABET = string.ascii_lowercase + "013457@$-"
+
+#: Above this size the per-query linear reference scan is unaffordable;
+#: equality is checked across kernels plus one linear probe per distance.
+LINEAR_CHECK_MAX = 20_000
+
+#: Mixed workload shape: 1 hit-ish query to 3 misses (see module docstring).
+MISSES_PER_HIT = 3
+
+
+def _perturb(word: str, rng: random.Random, max_edits: int = 3) -> str:
+    characters = list(word)
+    for _ in range(rng.randint(0, max_edits)):
+        operation = rng.randint(0, 2)
+        position = rng.randrange(len(characters))
+        if operation == 0:
+            characters[position] = rng.choice(ALPHABET)
+        elif operation == 1:
+            characters.insert(position, rng.choice(ALPHABET))
+        elif len(characters) > 1:
+            del characters[position]
+    return "".join(characters)
+
+
+def build_bucket(size: int, rng: random.Random) -> list[DictionaryEntry]:
+    """A synthetic sound bucket: ``size`` distinct near-variants of the stems."""
+    tokens: dict[str, None] = {}
+    while len(tokens) < size:
+        tokens[_perturb(rng.choice(STEMS), rng)] = None
+    return [
+        DictionaryEntry(
+            token=token, canonical=token, keys={}, count=1, is_word=False, sources=()
+        )
+        for token in tokens
+    ]
+
+
+def build_queries(num_hits: int, rng: random.Random) -> dict[str, list[str]]:
+    hits = [_perturb(rng.choice(STEMS), rng).lower() for _ in range(num_hits)]
+    misses = [
+        "".join(rng.choice(ALPHABET) for _ in range(rng.randint(6, 13)))
+        for _ in range(num_hits * MISSES_PER_HIT)
+    ]
+    return {"hit": hits, "miss": misses, "mixed": hits + misses}
+
+
+def linear_match(
+    query: str, entries: list[DictionaryEntry], bound: int
+) -> dict[int, int]:
+    distances = {}
+    for index, entry in enumerate(entries):
+        distance = bounded_levenshtein(query, entry.token_lower, bound)
+        if distance is not None:
+            distances[index] = distance
+    return distances
+
+
+def eligible_kernels(bound: int) -> tuple[str, ...]:
+    concrete = ("banded", "myers") + (("symspell",) if bound <= 2 else ())
+    return concrete + ("auto",)
+
+
+def verify_equality(
+    compiled: CompiledBucket,
+    entries: list[DictionaryEntry],
+    queries: list[str],
+    bound: int,
+) -> None:
+    """All kernels agree; the linear scan arbitrates where affordable."""
+    kernels = eligible_kernels(bound)
+    for position, query in enumerate(queries):
+        results = {k: compiled.match(query, bound, kernel=k) for k in kernels}
+        baseline = results[kernels[0]]
+        for kernel, result in results.items():
+            assert result == baseline, (
+                f"kernel {kernel} diverged at d={bound}, query={query!r}"
+            )
+        # Full linear arbitration on small buckets, one probe per call on
+        # huge ones (a 2M-entry scan costs seconds per query).
+        if len(entries) <= LINEAR_CHECK_MAX or position == 0:
+            assert baseline == linear_match(query, entries, bound), (
+                f"kernels diverged from the linear scan at d={bound}, "
+                f"query={query!r}"
+            )
+
+
+def _timed_qps(compiled: CompiledBucket, queries, bound: int, kernel: str) -> float:
+    gc.collect()
+    start = time.perf_counter()
+    for query in queries:
+        compiled.match(query, bound, kernel=kernel)
+    return len(queries) / (time.perf_counter() - start)
+
+
+def measure_bucket(size: int, distances: tuple[int, ...], num_hits: int, seed: int) -> dict:
+    rng = random.Random(seed)
+    start = time.perf_counter()
+    entries = build_bucket(size, rng)
+    compiled = CompiledBucket(entries)
+    queries = build_queries(num_hits, rng)
+    row: dict = {"entries": size, "distances": {}}
+
+    # Build costs, paid once per bucket: the trie (every kernel) and the
+    # delete-neighborhood index (SymSpell only) both build lazily on first
+    # use, exactly as they do inside the dictionary.
+    build_start = time.perf_counter()
+    compiled.match(queries["hit"][0], 1, kernel="banded")
+    row["trie_build_seconds"] = time.perf_counter() - build_start
+    build_start = time.perf_counter()
+    compiled.match(queries["hit"][0], 1, kernel="symspell")
+    row["delete_index_build_seconds"] = time.perf_counter() - build_start
+    row["setup_seconds"] = time.perf_counter() - start
+
+    for bound in distances:
+        kernels = eligible_kernels(bound)
+        verify_equality(compiled, entries, queries["mixed"], bound)
+        for kernel in kernels:  # warm every code path before timing
+            compiled.match(queries["mixed"][0], bound, kernel=kernel)
+        cell: dict = {"auto_resolves_to": resolve_kernel("auto", 10, bound, size)}
+        for kernel in kernels:
+            cell[kernel] = {
+                workload: _timed_qps(compiled, workload_queries, bound, kernel)
+                for workload, workload_queries in queries.items()
+            }
+        ranked = sorted(
+            (k for k in kernels if k != "auto"),
+            key=lambda k: cell[k]["mixed"],
+            reverse=True,
+        )
+        cell["mixed_winner"] = ranked[0]
+        row["distances"][f"d{bound}"] = cell
+        print(
+            f"bucket {size:9,d}  d={bound}: "
+            + "  ".join(
+                f"{k} {cell[k]['mixed']:9.1f} q/s" for k in kernels
+            )
+            + f"  (winner: {ranked[0]}, auto -> {cell['auto_resolves_to']})",
+            file=sys.stderr,
+        )
+    return row
+
+
+def check_auto_keeps_up(report: dict, tolerance: float = 0.8) -> None:
+    """The auto policy must track the measured mixed-workload winner.
+
+    ``resolve_kernel`` is a static rule (AUTO_SYMSPELL_MIN_BUCKET et al.),
+    so we do not demand it equal the argmax on every run — only that the
+    kernel it picks stays within ``tolerance`` of the fastest, which fails
+    loudly if the static thresholds drift from what the machine measures.
+    """
+    for size, row in report["buckets"].items():
+        for label, cell in row["distances"].items():
+            best = cell[cell["mixed_winner"]]["mixed"]
+            auto = cell["auto"]["mixed"]
+            assert auto >= tolerance * best, (
+                f"auto policy fell behind at {size} entries {label}: "
+                f"{auto:.0f} q/s vs winner {cell['mixed_winner']} "
+                f"{best:.0f} q/s — retune AUTO_SYMSPELL_MIN_BUCKET"
+            )
+
+
+def check_golden_corpus(distances=(1, 2)) -> int:
+    """Replay the golden corpus under every kernel policy.
+
+    Delegates to the tier-1 helper (one implementation, two guards); any
+    field-level divergence between a forced-kernel system and the linear
+    reference raises.  Returns the total comparison count.
+    """
+    from tests.test_golden_regression import compare_compiled_and_linear_lookups
+
+    compared = 0
+    for policy in MATCH_KERNEL_POLICIES:
+        compared += compare_compiled_and_linear_lookups(
+            distances=distances, kernel=policy
+        )
+    return compared
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[10_000, 2_000_000],
+        help="bucket sizes to sweep (paper scale: 10k and 2M)",
+    )
+    parser.add_argument(
+        "--distances", type=int, nargs="+", default=[1, 2, 3],
+        help="edit-distance bounds to sweep (d=3 only measured <= 100k)",
+    )
+    parser.add_argument("--hits", type=int, default=12, help="hit queries per config")
+    parser.add_argument("--seed", type=int, default=20230116)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI guard: golden equality under every policy + the d=2 floor",
+    )
+    args = parser.parse_args(argv)
+
+    compared = check_golden_corpus()
+    print(
+        f"golden corpus: {compared} comparisons ok across "
+        f"{len(MATCH_KERNEL_POLICIES)} kernel policies",
+        file=sys.stderr,
+    )
+
+    if args.smoke:
+        row = measure_bucket(10_000, distances=(2,), num_hits=args.hits, seed=args.seed)
+        cell = row["distances"]["d2"]
+        floor = cell["auto"]["mixed"] / cell["banded"]["mixed"]
+        assert floor >= 2.0, (
+            f"d<=2 kernel floor regressed: auto is only {floor:.2f}x the banded "
+            f"baseline on a 10k-entry bucket (need >= 2x on the mixed workload)"
+        )
+        print(f"smoke: auto/banded at 10k, d=2 = {floor:.1f}x (>= 2x ok)", file=sys.stderr)
+        return 0
+
+    report: dict = {
+        "hits_per_config": args.hits,
+        "misses_per_hit": MISSES_PER_HIT,
+        "buckets": {},
+    }
+    for size in args.sizes:
+        distances = tuple(d for d in args.distances if d <= 2 or size <= 100_000)
+        report["buckets"][str(size)] = measure_bucket(
+            size, distances=distances, num_hits=args.hits, seed=args.seed
+        )
+    report["golden_comparisons"] = compared
+
+    check_auto_keeps_up(report)
+    print("auto policy tracks the measured winner per (size, d)", file=sys.stderr)
+
+    if "10000" in report["buckets"] and "d2" in report["buckets"]["10000"]["distances"]:
+        cell = report["buckets"]["10000"]["distances"]["d2"]
+        floor = cell["auto"]["mixed"] / cell["banded"]["mixed"]
+        assert floor >= 2.0, (
+            f"acceptance criterion failed: auto is {floor:.2f}x the banded "
+            f"baseline at 10k, d=2 (need >= 2x)"
+        )
+        print(f"acceptance: auto/banded at 10k, d=2 = {floor:.1f}x (>= 2x ok)", file=sys.stderr)
+
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {RESULTS_PATH}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

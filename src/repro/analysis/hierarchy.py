@@ -68,6 +68,14 @@ LOCK_RANKS: dict[str, int] = {
     "dictionary.compiled": 140,
     "matcher.registry": 150,
     "matcher.family": 160,
+    # The SymSpell delete-index build lock ranks under matcher.family: a
+    # lazily mapped family drains its mmap loader under the family lock and
+    # parks delete rows under matcher.deletes inside that hold.
+    "matcher.deletes": 165,
+    # The process-wide mmap'd shard cache: family loaders read through it
+    # while holding matcher.family, so it must rank below (acquire-after)
+    # every matcher lock.
+    "snapshot.mmap": 168,
     "lookup.epoch": 170,
     "faults.registry": 180,
     "breaker.state": 190,
@@ -90,6 +98,7 @@ HOT_PATH_LOCKS: frozenset[str] = frozenset(
         "lookup.epoch",
         "matcher.registry",
         "matcher.family",
+        "matcher.deletes",
         "wal.segment",
         "batch.enrich",
     }

@@ -552,8 +552,12 @@ class BatchEngine:
 
         ``compiled_buckets`` aggregates the trie-cache counters across the
         shards and the dictionary's own LRU (including trie-family sharing),
-        the capacity-tuning view for ``config.cache_max_entries``.
+        the capacity-tuning view for ``config.cache_max_entries``; its
+        ``kernels`` entry totals the per-kernel match counters
+        (myers/banded/symspell/linear) for every match this engine's
+        dictionary served.
         """
+        dictionary_compiled = self.dictionary.compiled_cache_stats()
         return {
             "index": self.index.to_dict(),
             "memo": self.memo.stats.to_dict(),
@@ -564,7 +568,8 @@ class BatchEngine:
             ),
             "compiled_buckets": {
                 "shards": self.index.compiled_cache_stats(),
-                "dictionary": self.dictionary.compiled_cache_stats(),
+                "dictionary": dictionary_compiled,
+                "kernels": dictionary_compiled["kernels"],
             },
             "chunk_size": self.chunk_size,
             "max_in_flight": self.max_in_flight,

@@ -21,7 +21,6 @@ batch Look Up results byte-identical to the sequential path.
 
 from __future__ import annotations
 
-import zlib
 from collections import OrderedDict
 from concurrent.futures import Executor
 from dataclasses import dataclass
@@ -36,19 +35,16 @@ from ..core.dictionary import (
 )
 from ..core.matcher import CompiledBucket, TrieFamilyRegistry
 from ..errors import CrypTextError, SnapshotError
+from ..storage.snapshot import shard_of
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..storage.snapshot import Snapshot
 
 
-def shard_of(soundex_key: str, num_shards: int) -> int:
-    """Stable shard assignment for a Soundex key.
-
-    Uses CRC-32 rather than :func:`hash` so the placement is identical across
-    processes and interpreter runs (``PYTHONHASHSEED`` does not leak into
-    shard layout, benchmarks, or golden tests).
-    """
-    return zlib.crc32(soundex_key.encode("utf-8")) % num_shards
+# shard_of's canonical definition lives in the storage layer now (imported
+# above and re-exported here for its historical callers): the v2 sharded
+# snapshot places bucket rows with the same function, so an index shard and
+# the snapshot shard holding its keys agree by construction.
 
 
 @dataclass(frozen=True)
@@ -229,6 +225,7 @@ class ShardedPhoneticIndex:
         self,
         level: int | None = None,
         from_snapshot: "str | Path | Snapshot | None" = None,
+        mapped: bool = False,
     ) -> SnapshotLoadReport | None:
         """Materialize buckets — optionally hydrating tries from a snapshot.
 
@@ -250,18 +247,24 @@ class ShardedPhoneticIndex:
           lazy recompilation of that bucket, never to wrong matches;
         * corruption or a mismatch falls back to the normal eager build and
           reports the reason (``loaded=False``) instead of raising.
+
+        With ``mapped`` true a v2 sharded snapshot path is opened through
+        ``mmap`` and each family's trie rows stay on disk until its bucket
+        is first queried — cold start becomes O(page faults touched), and
+        concurrent engines over the same snapshot share physical pages.
         """
         if from_snapshot is None:
             self._ensure_level(
                 self.dictionary.config.phonetic_level if level is None else level
             )
             return None
-        return self._warm_from_snapshot(from_snapshot, level=level)
+        return self._warm_from_snapshot(from_snapshot, level=level, mapped=mapped)
 
     def _warm_from_snapshot(
         self,
         source: "str | Path | Snapshot",
         level: int | None = None,
+        mapped: bool = False,
     ) -> SnapshotLoadReport:
         from ..storage.snapshot import resolve_snapshot
 
@@ -270,7 +273,7 @@ class ShardedPhoneticIndex:
             return SnapshotLoadReport(loaded=False, hydrated_tries=False, reason=reason)
 
         try:
-            snapshot = resolve_snapshot(source)
+            snapshot = resolve_snapshot(source, mapped=mapped)
         except SnapshotError as exc:
             return fallback(str(exc))
         if snapshot.fingerprint != self.dictionary.content_fingerprint():

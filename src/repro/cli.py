@@ -30,7 +30,7 @@ from .core.pipeline import CrypText
 from .datasets import build_social_corpus, corpus_texts
 from .errors import CrypTextError, SnapshotError
 from .social import SocialListener, SocialPlatform
-from .storage import SNAPSHOT_FILE_NAME, dump_collection, load_collection, read_snapshot
+from .storage import SNAPSHOT_FILE_NAME, dump_collection, load_collection
 from .viz import build_word_cloud
 
 #: File name used inside a ``--db`` directory for the token collection.
@@ -56,8 +56,13 @@ def _build_system(args: argparse.Namespace, train_scorer: bool = True) -> CrypTe
         db_dir = Path(args.db)
         snapshot_path = db_dir / SNAPSHOT_FILE_NAME
         db_path = db_dir / DB_FILE_NAME
+        from .storage.snapshot import SNAPSHOT_MANIFEST_NAME, sharded_snapshot_dir
+
         system = CrypText.empty(seed_lexicon=False)
-        if snapshot_path.exists():
+        has_sharded = (
+            sharded_snapshot_dir(snapshot_path) / SNAPSHOT_MANIFEST_NAME
+        ).is_file()
+        if snapshot_path.exists() or has_sharded:
             report = system.recover(db_dir)
             if report.loaded:
                 return system
@@ -115,7 +120,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
             f"sidelined {stale_segments} stale change-log segment(s) in {wal_dir} "
             f"(renamed *.superseded)"
         )
+    from .storage.snapshot import SNAPSHOT_MANIFEST_NAME, sharded_snapshot_dir
+
     snapshot_path = out_dir / SNAPSHOT_FILE_NAME
+    shard_dir = sharded_snapshot_dir(snapshot_path)
     if args.snapshot or system.config.snapshot_on_save:
         report = system.save_snapshot(snapshot_path)
         payload["snapshot"] = report.to_dict()
@@ -123,13 +131,15 @@ def _cmd_build(args: argparse.Namespace) -> int:
             f"saved warm-start snapshot ({report.buckets} buckets, "
             f"{report.families} trie families) to {report.path}"
         )
-    elif snapshot_path.exists():
+    elif snapshot_path.exists() or (shard_dir / SNAPSHOT_MANIFEST_NAME).is_file():
         # A rebuild without --snapshot must not leave a stale snapshot (or
-        # its delta chain) shadowing the fresh JSONL dump (--db loading
-        # prefers snapshots).
+        # its delta chain, or a v2 sharded layout) shadowing the fresh JSONL
+        # dump (--db loading prefers snapshots).
+        from .core.dictionary import PerturbationDictionary
         from .wal.delta import remove_delta_files
 
-        snapshot_path.unlink()
+        snapshot_path.unlink(missing_ok=True)
+        PerturbationDictionary._remove_sharded_layout(shard_dir)
         remove_delta_files(out_dir)
         lines.append(f"removed stale warm-start snapshot {snapshot_path}")
     _emit(payload, args, lines)
@@ -143,13 +153,14 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         raise CrypTextError("snapshot requires --file or --db")
     if args.action == "save":
         system = _build_system(args, train_scorer=False)
+        shards = getattr(args, "shards", None)
         if getattr(args, "incremental", False):
             # An incremental save extends the chain last saved into this
             # directory; with no prior save this process knows about, it
             # falls back to a full rewrite (and says so).
-            report = system.save_snapshot(path, incremental=True)
+            report = system.save_snapshot(path, incremental=True, shards=shards)
         else:
-            report = system.save_snapshot(path)
+            report = system.save_snapshot(path, shards=shards)
         if report.incremental:
             lines = [
                 f"saved delta {report.delta_index or '(none: nothing dirty)'} "
@@ -181,9 +192,18 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
             ],
         )
         return 0 if report.loaded else 2
-    # info: read and validate without building a system
+    # info: read and validate without building a system.  Resolution is
+    # format-aware: a v2 sharded layout beside (or instead of) the v1 file
+    # is preferred, exactly like loading.
+    from .storage.snapshot import (
+        SNAPSHOT_MANIFEST_NAME,
+        resolve_snapshot,
+        sharded_manifest_info,
+        sharded_snapshot_dir,
+    )
+
     try:
-        snapshot = read_snapshot(path)
+        snapshot = resolve_snapshot(path, strict=True)
     except SnapshotError as exc:
         raise CrypTextError(str(exc)) from exc
     payload = {
@@ -195,6 +215,30 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         "buckets": len(snapshot.buckets),
         "levels": list(snapshot.levels),
     }
+    layout_line = ""
+    shard_dir = path if path.is_dir() else sharded_snapshot_dir(path)
+    if (shard_dir / SNAPSHOT_MANIFEST_NAME).is_file():
+        try:
+            manifest = sharded_manifest_info(shard_dir)
+        except SnapshotError:
+            manifest = None
+        if manifest is not None:
+            shard_table = manifest.get("shards", [])
+            total_bytes = sum(
+                entry.get("bytes", 0)
+                for entry in shard_table
+                if isinstance(entry, dict)
+            )
+            payload["layout"] = {
+                "format": "sharded-v2",
+                "directory": str(shard_dir),
+                "shard_count": manifest.get("shard_count"),
+                "bytes": total_bytes,
+            }
+            layout_line = (
+                f" [v2: {manifest.get('shard_count')} shard(s), "
+                f"{total_bytes} bytes in {shard_dir}]"
+            )
     _emit(
         payload,
         args,
@@ -202,7 +246,7 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
             f"{path}: {len(snapshot.documents)} documents, "
             f"{len(snapshot.buckets)} buckets sharing {len(snapshot.families)} "
             f"trie families, levels {list(snapshot.levels)}, "
-            f"fingerprint {snapshot.fingerprint}"
+            f"fingerprint {snapshot.fingerprint}" + layout_line
         ],
     )
     return 0
@@ -246,9 +290,10 @@ def _cmd_wal(args: argparse.Namespace) -> int:
             db_dir = Path(args.db)
             snapshot_path = db_dir / SNAPSHOT_FILE_NAME
             try:
+                from .storage.snapshot import resolve_snapshot
                 from .wal import read_delta
 
-                base = read_snapshot(snapshot_path)
+                base = resolve_snapshot(snapshot_path, strict=True)
                 deltas = list_delta_paths(db_dir)
                 # Recovery replays past the chain *tip* (the last delta's
                 # recorded position), not past the base.
@@ -854,6 +899,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="(save only) write a delta covering only the buckets changed "
         "since the last save into this directory, instead of a full rewrite",
+    )
+    snapshot_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="(save only) write the v2 sharded, mmap-friendly layout with "
+        "this many shard files (overrides config.snapshot_shards; 0 forces "
+        "the v1 single file)",
     )
     _add_source_arguments(snapshot_cmd)
     snapshot_cmd.set_defaults(handler=_cmd_snapshot)

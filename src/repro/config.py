@@ -42,6 +42,11 @@ DEFAULT_PERTURBATION_RATIOS: tuple[float, ...] = (0.15, 0.25, 0.50)
 #: replica set does when every follower is stale, broken, or circuit-open.
 DEGRADED_READ_POLICIES: tuple[str, ...] = ("leader", "stale", "fail_fast")
 
+#: Legal values of :attr:`CrypTextConfig.match_kernel` — mirrors
+#: ``repro.core.kernels.MATCH_KERNELS`` (declared here too so config stays
+#: importable without the core package; a test asserts they agree).
+MATCH_KERNEL_POLICIES: tuple[str, ...] = ("auto", "myers", "banded", "symspell")
+
 
 @dataclass(frozen=True)
 class CrypTextConfig:
@@ -78,6 +83,21 @@ class CrypTextConfig:
         Levenshtein scan.  Results are identical either way; disabling
         falls back to the linear path (debugging / memory-constrained
         deployments).
+    match_kernel:
+        Which compiled-bucket inner loop serves matches
+        (:mod:`repro.core.kernels`): ``"auto"`` (the default) picks the
+        benchmark-measured winner per (bucket size, distance bound);
+        ``"myers"`` forces the bit-parallel traversal, ``"banded"`` the
+        PR 2/3 DP rows, ``"symspell"`` the delete-neighborhood index.
+        Results are byte-identical across kernels — ineligible selections
+        (transpositions under ``myers``, ``d > 2`` under ``symspell``)
+        degrade to an eligible kernel rather than erroring.
+    snapshot_shards:
+        Number of shard files the v2 snapshot layout splits the dictionary
+        across (``dictionary.snapshot.d/shard-NN.bin``).  ``0`` (the
+        default) keeps the v1 single-file JSON snapshot; any positive count
+        writes the memory-mappable sharded layout, which followers hydrate
+        lazily via ``mmap`` and share page-cache-resident.
     snapshot_dir:
         Default directory for warm-start snapshots
         (:mod:`repro.storage.snapshot`): ``save_snapshot()`` /
@@ -174,6 +194,8 @@ class CrypTextConfig:
     cache_ttl_seconds: float = 300.0
     cache_max_entries: int = 4096
     compiled_buckets: bool = True
+    match_kernel: str = "auto"
+    snapshot_shards: int = 0
     snapshot_dir: str | None = None
     snapshot_on_save: bool = False
     wal_dir: str | None = None
@@ -228,6 +250,18 @@ class CrypTextConfig:
         if self.cache_max_entries <= 0:
             raise ConfigurationError(
                 f"cache_max_entries must be positive, got {self.cache_max_entries!r}"
+            )
+        if self.match_kernel not in MATCH_KERNEL_POLICIES:
+            raise ConfigurationError(
+                f"match_kernel must be one of {MATCH_KERNEL_POLICIES}, "
+                f"got {self.match_kernel!r}"
+            )
+        if not isinstance(self.snapshot_shards, int) or isinstance(
+            self.snapshot_shards, bool
+        ) or self.snapshot_shards < 0:
+            raise ConfigurationError(
+                f"snapshot_shards must be a non-negative integer, "
+                f"got {self.snapshot_shards!r}"
             )
         if self.wal_segment_bytes <= 0:
             raise ConfigurationError(
@@ -344,6 +378,8 @@ class CrypTextConfig:
             "cache_ttl_seconds": self.cache_ttl_seconds,
             "cache_max_entries": self.cache_max_entries,
             "compiled_buckets": self.compiled_buckets,
+            "match_kernel": self.match_kernel,
+            "snapshot_shards": self.snapshot_shards,
             "snapshot_dir": self.snapshot_dir,
             "snapshot_on_save": self.snapshot_on_save,
             "wal_dir": self.wal_dir,
@@ -386,6 +422,8 @@ class CrypTextConfig:
             "cache_ttl_seconds",
             "cache_max_entries",
             "compiled_buckets",
+            "match_kernel",
+            "snapshot_shards",
             "snapshot_dir",
             "snapshot_on_save",
             "wal_dir",

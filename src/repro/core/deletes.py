@@ -1,0 +1,159 @@
+"""SymSpell-style delete-neighborhood index: candidate generation for d <= 2.
+
+The trie kernels (:mod:`repro.core.matcher`, :mod:`repro.core.kernels`)
+*walk* a bucket to find everything within edit distance ``d``.  The SymSpell
+approach (SNIPPETS.md Snippet 1, ``symspellpy``) precomputes instead: every
+dictionary string is indexed under each of its deletion variants up to depth
+:data:`DELETE_DEPTH`, and a query generates *its* deletion variants and
+collects the index rows they hit.  The guarantee (Garbe's symmetric-delete
+argument, and the property suite in ``tests/test_match_kernel.py``): if two
+strings are within edit distance ``d <= 2`` — Levenshtein *or* OSA, an
+adjacent transposition being a deletion of either swapped character away
+from a shared variant — they share at least one deletion variant of depth
+``<= d``, so the candidate set is a superset of the true match set.
+Candidates are then verified with the exact bounded distance, which is what
+keeps results byte-identical to the trie traversal.
+
+The index trades memory for query time: a bucket of ``N`` strings of length
+``L`` stores ``O(N * L^2)`` variant rows.  That is why it is built lazily —
+exactly like the trie variants on :class:`~repro.core.matcher.TrieFamily` —
+only when the ``symspell`` kernel is actually selected for a bucket, and why
+it serializes through the same flat-row payload scheme so a snapshot can
+persist what was built (``TrieFamily.to_payload`` embeds these rows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["DELETE_DEPTH", "DeleteIndex", "delete_variants"]
+
+#: Deletion depth the index precomputes.  Depth 2 serves every query with
+#: ``d <= 2`` (the index side only needs depth >= d); deeper bounds fall
+#: back to the trie kernels instead of cubing the index size.
+DELETE_DEPTH = 2
+
+
+def delete_variants(text: str, depth: int) -> Set[str]:
+    """Every string reachable from ``text`` by at most ``depth`` deletions.
+
+    Includes ``text`` itself (zero deletions).  The neighborhood is small
+    for real tokens — ``1 + L + L*(L-1)/2`` strings at depth 2 — and is
+    generated breadth-first so each depth's variants derive from the
+    previous depth's set without duplicates.
+    """
+    variants: Set[str] = {text}
+    frontier: Set[str] = {text}
+    for _ in range(min(depth, len(text))):
+        next_frontier: Set[str] = set()
+        for variant in frontier:
+            for position in range(len(variant)):
+                shorter = variant[:position] + variant[position + 1 :]
+                if shorter not in variants:
+                    variants.add(shorter)
+                    next_frontier.add(shorter)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return variants
+
+
+class DeleteIndex:
+    """One bucket variant's precomputed delete-neighborhood map.
+
+    Maps each deletion variant (depth <= :attr:`depth`) of each indexed
+    string to the *entry indexes* spelling it — the same index space the
+    trie terminals report, so the matcher can verify candidates directly
+    against ``CompiledBucket.entries``.  Immutable once built, like a
+    frozen trie; writers invalidate by dropping the bucket that owns the
+    family this index lives on.
+    """
+
+    __slots__ = ("depth", "_variants")
+
+    def __init__(self, depth: int = DELETE_DEPTH) -> None:
+        self.depth = depth
+        self._variants: Dict[str, Tuple[int, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self._variants)
+
+    @classmethod
+    def build(
+        cls, items: Iterable[Tuple[int, str]], depth: int = DELETE_DEPTH
+    ) -> "DeleteIndex":
+        """Index ``(entry index, text)`` pairs (the trie builder's shape).
+
+        Indexes are carried explicitly so filtered views (the English-only
+        variant) keep reporting positions in the full entry sequence.
+        """
+        index = cls(depth)
+        variants = index._variants
+        for entry_index, text in items:
+            for variant in delete_variants(text, depth):
+                existing = variants.get(variant)
+                variants[variant] = (
+                    (entry_index,) if existing is None else existing + (entry_index,)
+                )
+        return index
+
+    def candidates(self, query: str, max_distance: int) -> List[int]:
+        """Entry indexes that *may* lie within ``max_distance`` of ``query``.
+
+        Generates the query's deletion variants to depth
+        ``min(max_distance, self.depth)`` and unions the rows they hit.
+        Sorted and deduplicated so verification visits each entry once, in
+        bucket order (the order the trie kernels report in).
+        """
+        depth = min(max_distance, self.depth)
+        rows = self._variants
+        found: Set[int] = set()
+        for variant in delete_variants(query, depth):
+            hit = rows.get(variant)
+            if hit is not None:
+                found.update(hit)
+        return sorted(found)
+
+    # ------------------------------------------------------------------ #
+    # serialization (TrieFamily.to_payload-style flat rows)
+    # ------------------------------------------------------------------ #
+    def to_rows(self) -> List[list]:
+        """Flatten to JSON-compatible ``[variant, [entry indexes]]`` rows.
+
+        Rows are sorted by variant string so the payload is deterministic
+        (snapshots of equal state stay byte-identical).
+        """
+        return [
+            [variant, list(indexes)]
+            for variant, indexes in sorted(self._variants.items())
+        ]
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Sequence],
+        depth: int = DELETE_DEPTH,
+        index_bound: "int | None" = None,
+    ) -> "DeleteIndex":
+        """Rebuild from :meth:`to_rows` output; raises on malformed rows.
+
+        Mirrors the trie payload contract: ``ValueError``/``TypeError``/
+        ``IndexError`` signal corruption and the caller (family hydration)
+        falls back to building the index fresh from entries.  With
+        ``index_bound`` every entry index must address a real bucket entry.
+        """
+        index = cls(depth)
+        variants = index._variants
+        for row in rows:
+            variant, indexes = row
+            if not isinstance(variant, str):
+                raise ValueError("delete row variant must be a string")
+            cleaned = []
+            for entry_index in indexes:
+                if not isinstance(entry_index, int) or isinstance(entry_index, bool):
+                    raise ValueError("delete row entry indexes must be integers")
+                if index_bound is not None and not 0 <= entry_index < index_bound:
+                    raise ValueError("delete row entry index out of range for its bucket")
+                cleaned.append(entry_index)
+            variants[variant] = tuple(cleaned)
+        return index

@@ -300,6 +300,11 @@ class PerturbationDictionary:
         self._compiled_misses = 0
         self._compiled_evictions = 0
         self._compiled_invalidations = 0
+        # Per-kernel match counters (myers/banded/symspell/linear), counted
+        # by the query engines through note_kernel_hits under the same lock.
+        from .kernels import KernelCounters
+
+        self._kernel_counters = KernelCounters()
         # One trie-family registry per dictionary: buckets whose token
         # sequences coincide across phonetic levels (every singleton bucket,
         # and any bucket that never splits at a deeper level) compile one
@@ -718,9 +723,22 @@ class PerturbationDictionary:
                 "invalidations": self._compiled_invalidations,
                 "size": len(self._compiled),
                 "capacity": self._compiled_max_entries,
+                "kernel": self.config.match_kernel,
+                "kernels": self._kernel_counters.to_dict(),
             }
         counters["families"] = self._trie_families.stats()
         return counters
+
+    def note_kernel_hits(self, kernel: str, count: int = 1) -> None:
+        """Attribute ``count`` matches to ``kernel`` in the stats counters.
+
+        Called by the query engines (lookup, normalizer, and the shard
+        caches' consumers) with the *resolved* kernel name — ``linear`` for
+        the non-compiled per-entry scan — so ``stats().compiled_cache``
+        accounts for every match the dictionary served.
+        """
+        with self._compiled_lock:
+            self._kernel_counters.note(kernel, count)
 
     @staticmethod
     def _fingerprint_lines(lines: "list[str]") -> str:
@@ -900,6 +918,7 @@ class PerturbationDictionary:
         path: "str | Path | None" = None,
         levels: Sequence[int] | None = None,
         incremental: bool = False,
+        shards: "int | None" = None,
     ) -> SnapshotSaveReport:
         """Persist the collection plus its compiled tries for warm starts.
 
@@ -916,8 +935,20 @@ class PerturbationDictionary:
         non-conventional file name, or ``levels`` narrowing the default
         set); an incremental call that finds nothing dirty writes no file
         and reports zero documents.
+
+        With ``config.snapshot_shards`` > 0 (or an explicit ``shards``
+        override), a full save writes the v2 sharded layout
+        (``dictionary.snapshot.d/``) instead of the v1 single file; a base
+        in the other format at the conventional location is removed so
+        resolution is never ambiguous.  Deltas chain onto either base
+        format identically.
         """
-        from ..storage.snapshot import SNAPSHOT_FILE_NAME, write_snapshot
+        from ..storage.snapshot import (
+            SNAPSHOT_FILE_NAME,
+            sharded_snapshot_dir,
+            write_sharded_snapshot,
+            write_snapshot,
+        )
         from ..wal.delta import remove_delta_files
 
         target = self._snapshot_path(path)
@@ -941,7 +972,20 @@ class PerturbationDictionary:
                     captured_tokens, self._dirty_tokens = self._dirty_tokens, set()
             try:
                 snapshot = self.build_snapshot(levels=levels)
-                write_snapshot(target, snapshot)
+                if shards is None:
+                    shards = self.config.snapshot_shards
+                if shards > 0:
+                    shard_dir = sharded_snapshot_dir(target)
+                    write_sharded_snapshot(shard_dir, snapshot, shards)
+                    # The v1 file (if any) is now stale; resolution prefers
+                    # a readable v2 layout, but leaving both invites skew.
+                    try:
+                        target.unlink()
+                    except OSError:  # lint: allow=swallowed-exception
+                        pass
+                else:
+                    write_snapshot(target, snapshot)
+                    self._remove_sharded_layout(sharded_snapshot_dir(target))
             except BaseException:
                 if into_chain:
                     with self._write_lock:
@@ -973,6 +1017,29 @@ class PerturbationDictionary:
             incremental=False,
             wal_seq=snapshot.wal_seq,
         )
+
+    @staticmethod
+    def _remove_sharded_layout(shard_dir: Path) -> None:
+        """Remove a stale v2 layout superseded by a v1 full save.
+
+        Best-effort: only the files the layout owns (manifest, shard files,
+        scratch) are touched, and a directory holding anything else is left
+        in place rather than guessed at.
+        """
+        from ..storage.snapshot import SNAPSHOT_MANIFEST_NAME
+
+        if not shard_dir.is_dir():
+            return
+        try:
+            for name in (SNAPSHOT_MANIFEST_NAME,):
+                (shard_dir / name).unlink(missing_ok=True)
+            for stale in shard_dir.glob("shard-*.bin"):
+                stale.unlink(missing_ok=True)
+            for stale in shard_dir.glob("*.tmp"):
+                stale.unlink(missing_ok=True)
+            shard_dir.rmdir()
+        except OSError:  # lint: allow=swallowed-exception (best-effort GC)
+            pass
 
     def _remove_stale_wal_segments(self, directory: Path) -> None:
         """Sideline journal segments superseded by a WAL-less full save.
@@ -1130,12 +1197,12 @@ class PerturbationDictionary:
           hydrated views up to its capacity.
         """
         from ..errors import SnapshotError
-        from ..storage.snapshot import read_snapshot
+        from ..storage.snapshot import resolve_snapshot
         from .matcher import CompiledBucket
 
         try:
             target = self._snapshot_path(path)
-            snapshot = read_snapshot(target)
+            snapshot = resolve_snapshot(target, strict=True)
         except (SnapshotError, DictionaryError) as exc:
             if strict:
                 raise

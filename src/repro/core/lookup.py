@@ -235,11 +235,20 @@ class LookupEngine:
         # "advanced users" hook); ``None`` keeps the configured policy.
         transpositions = self.resolve_transpositions(use_transpositions)
         if isinstance(bucket, CompiledBucket):
+            compared = query_canonical if canonical_distance else query_lower
+            kernel = bucket.kernel_for(
+                self.config.match_kernel,
+                len(compared),
+                max_edit_distance,
+                transpositions,
+            )
+            self.dictionary.note_kernel_hits(kernel)
             distances = bucket.match(
-                query_canonical if canonical_distance else query_lower,
+                compared,
                 max_edit_distance,
                 canonical=canonical_distance,
                 transpositions=transpositions,
+                kernel=kernel,
             )
             # Visit only the matched entries, in ascending index = bucket
             # order (the merge below is order-sensitive when counts tie).
@@ -252,6 +261,8 @@ class LookupEngine:
             # spellings (its worked example counts "republic@@ns" as two
             # edits from "republicans"); canonical-distance mode is offered
             # for callers that want visual folds to count as zero-cost.
+            if len(bucket):
+                self.dictionary.note_kernel_hits("linear")
             bounded_distance = bounded_osa if transpositions else bounded_levenshtein
             scored = (
                 (

@@ -47,10 +47,19 @@ Two pieces make compiled buckets cheap to share and to persist:
 from __future__ import annotations
 
 import weakref
-from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Sequence, Tuple
 
 from ..analysis.sanitizer import tracked_lock
+from .deletes import DeleteIndex
 from .dictionary import DictionaryEntry
+from .edit_distance import bounded_levenshtein, bounded_osa
+from .kernels import (
+    MYERS_MAX_PATTERN,
+    myers_trie_match,
+    native_available,
+    native_distance,
+    resolve_kernel,
+)
 
 __all__ = ["CompiledBucket", "TrieFamily", "TrieFamilyRegistry"]
 
@@ -228,7 +237,20 @@ class TrieFamily:
     points at it, never by mutating the family.
     """
 
-    __slots__ = ("tokens", "_tries", "_pending", "_lock", "_builds", "_hydrated", "__weakref__")
+    __slots__ = (
+        "tokens",
+        "_tries",
+        "_pending",
+        "_lock",
+        "_builds",
+        "_hydrated",
+        "_loader",
+        "_deletes",
+        "_deletes_pending",
+        "_deletes_lock",
+        "_delete_builds",
+        "__weakref__",
+    )
 
     def __init__(self, tokens: Sequence[str]) -> None:
         self.tokens: Tuple[str, ...] = tuple(tokens)
@@ -241,6 +263,18 @@ class TrieFamily:
         self._lock = tracked_lock("matcher.family")
         self._builds = 0
         self._hydrated = 0
+        # A memory-mapped v2 snapshot defers even the *parse* of the
+        # serialized rows: the loader reads this family's record out of the
+        # mapped shard on first use (see storage.snapshot), after which it
+        # behaves exactly like `_pending` payload rows.
+        self._loader: "Callable[[], Mapping[str, object]] | None" = None
+        # SymSpell delete-neighborhood indexes, keyed and built lazily like
+        # the trie variants but under their own (leaf) lock so an index
+        # build never serializes against trie compilation.
+        self._deletes: Dict[Tuple[bool, bool], DeleteIndex] = {}
+        self._deletes_pending: Dict[Tuple[bool, bool], Sequence[Sequence]] = {}
+        self._deletes_lock = tracked_lock("matcher.deletes")
+        self._delete_builds = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TrieFamily({len(self.tokens)} tokens, {len(self._tries)} tries)"
@@ -254,6 +288,47 @@ class TrieFamily:
     def tries_hydrated(self) -> int:
         """How many trie variants were decoded from snapshot payloads."""
         return self._hydrated
+
+    @property
+    def deletes_built(self) -> int:
+        """How many delete-neighborhood indexes this family built fresh."""
+        return self._delete_builds
+
+    def _drain_loader_locked(self) -> None:
+        """Pull the mmap'd payload in, once, under :attr:`_lock`.
+
+        A lazily mapped family (v2 snapshot) starts with *no* parked rows —
+        only a loader closure reading its record out of the mapped shard.
+        The first variant request drains it into the ordinary ``_pending``
+        dicts; a loader that fails (unmapped file, torn shard) simply leaves
+        them empty and the variants compile fresh, mirroring how corrupt
+        eager payloads degrade.
+        """
+        loader = self._loader
+        if loader is None:
+            return
+        self._loader = None
+        try:
+            payload = loader()
+        except (KeyError, IndexError, TypeError, ValueError, OSError):
+            return
+        if not isinstance(payload, Mapping):
+            return
+        tries = payload.get("tries", {})
+        if isinstance(tries, Mapping):
+            for name, rows in tries.items():
+                key = _VARIANT_KEYS.get(str(name))
+                if key is not None and isinstance(rows, (list, tuple)):
+                    self._pending.setdefault(key, rows)
+        deletes = payload.get("deletes", {})
+        if isinstance(deletes, Mapping):
+            # matcher.deletes ranks above matcher.family, so parking the
+            # delete rows under both locks is hierarchy-clean.
+            with self._deletes_lock:
+                for name, rows in deletes.items():
+                    key = _VARIANT_KEYS.get(str(name))
+                    if key is not None and isinstance(rows, (list, tuple)):
+                        self._deletes_pending.setdefault(key, rows)
 
     @property
     def compiled_variants(self) -> Tuple[str, ...]:
@@ -284,6 +359,7 @@ class TrieFamily:
             with self._lock:
                 trie = self._tries.get(key)
                 if trie is None:
+                    self._drain_loader_locked()
                     rows = self._pending.pop(key, None)
                     if rows is not None:
                         try:
@@ -309,14 +385,63 @@ class TrieFamily:
                     self._tries[key] = trie
         return trie
 
+    def delete_index(
+        self,
+        canonical: bool,
+        english_only: bool,
+        entries: Sequence[DictionaryEntry],
+    ) -> DeleteIndex:
+        """Get, decode, or build the requested delete-neighborhood index.
+
+        Mirrors :meth:`trie` exactly — double-checked lazy build, snapshot
+        rows preferred over a fresh build, corrupt rows fall back to
+        building — but under the separate ``matcher.deletes`` lock so a
+        (potentially large) index build never blocks trie compilation.
+        """
+        key = (canonical, english_only)
+        index = self._deletes.get(key)
+        if index is None:
+            if self._loader is not None:
+                with self._lock:
+                    self._drain_loader_locked()
+            with self._deletes_lock:
+                index = self._deletes.get(key)
+                if index is None:
+                    rows = self._deletes_pending.pop(key, None)
+                    if rows is not None:
+                        try:
+                            index = DeleteIndex.from_rows(
+                                rows, index_bound=len(self.tokens)
+                            )
+                        except (IndexError, TypeError, ValueError):
+                            index = None
+                    if index is None:
+                        strings = tuple(
+                            entry.canonical if canonical else entry.token_lower
+                            for entry in entries
+                        )
+                        index = DeleteIndex.build(
+                            (position, strings[position])
+                            for position, entry in enumerate(entries)
+                            if not english_only or entry.is_word
+                        )
+                        self._delete_builds += 1
+                    self._deletes[key] = index
+        return index
+
     def to_payload(self) -> dict:
         """Serialize the token sequence plus every materialized variant.
 
         Variants still pending from a snapshot load are passed through
         verbatim (re-snapshotting a hydrated system must not lose the tries
-        it never happened to query).
+        it never happened to query), and a still-lazy mmap loader is drained
+        first for the same reason.  Delete-neighborhood indexes ride along
+        under an optional ``deletes`` key — omitted when none were built, so
+        payload bytes are unchanged for workloads that never select the
+        SymSpell kernel.
         """
         with self._lock:
+            self._drain_loader_locked()
             tries = {
                 _VARIANT_NAMES[key]: list(rows) for key, rows in self._pending.items()
             }
@@ -326,7 +451,21 @@ class TrieFamily:
                     for key, trie in self._tries.items()
                 }
             )
-            return {"tokens": list(self.tokens), "tries": tries}
+            payload = {"tokens": list(self.tokens), "tries": tries}
+            with self._deletes_lock:
+                deletes = {
+                    _VARIANT_NAMES[key]: list(rows)
+                    for key, rows in self._deletes_pending.items()
+                }
+                deletes.update(
+                    {
+                        _VARIANT_NAMES[key]: index.to_rows()
+                        for key, index in self._deletes.items()
+                    }
+                )
+            if deletes:
+                payload["deletes"] = deletes
+            return payload
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, object]) -> "TrieFamily":
@@ -339,12 +478,24 @@ class TrieFamily:
         loadable; a structurally foreign payload raises
         (``KeyError``/``TypeError``/``ValueError``), which the snapshot
         loader reports as corruption.
+
+        A payload exposing a callable ``lazy_tries`` attribute (the mmap'd
+        v2 shard reader, :class:`repro.storage.snapshot.LazyFamilyPayload`)
+        defers further: only the tokens are read now, and the rows stay in
+        the mapped file until the first variant request drains the loader —
+        that is what makes v2 hydration O(page faults).
         """
         tokens = payload["tokens"]
-        tries = payload.get("tries", {})
-        if not isinstance(tokens, (list, tuple)) or not isinstance(tries, Mapping):
-            raise ValueError("family payload must carry 'tokens' and a 'tries' mapping")
+        if not isinstance(tokens, (list, tuple)):
+            raise ValueError("family payload must carry a 'tokens' sequence")
         family = cls(tuple(str(token) for token in tokens))
+        lazy = getattr(payload, "lazy_tries", None)
+        if callable(lazy):
+            family._loader = lazy
+            return family
+        tries = payload.get("tries", {})
+        if not isinstance(tries, Mapping):
+            raise ValueError("family payload must carry 'tokens' and a 'tries' mapping")
         for name, rows in tries.items():
             key = _VARIANT_KEYS.get(str(name))
             if key is None:
@@ -352,6 +503,12 @@ class TrieFamily:
             if not isinstance(rows, (list, tuple)):
                 raise ValueError(f"trie variant {name!r} must be a list of node rows")
             family._pending[key] = rows
+        deletes = payload.get("deletes", {})
+        if isinstance(deletes, Mapping):
+            for name, rows in deletes.items():
+                key = _VARIANT_KEYS.get(str(name))
+                if key is not None and isinstance(rows, (list, tuple)):
+                    family._deletes_pending[key] = rows
         return family
 
 
@@ -475,6 +632,23 @@ class CompiledBucket(Sequence[DictionaryEntry]):
     # ------------------------------------------------------------------ #
     # matching
     # ------------------------------------------------------------------ #
+    def kernel_for(
+        self,
+        kernel: str,
+        query_length: int,
+        max_distance: int,
+        transpositions: bool = False,
+    ) -> str:
+        """The concrete kernel :meth:`match` will run for these parameters.
+
+        Query engines call this to attribute the match in the per-kernel
+        hit counters; passing the resolved name back into :meth:`match` is
+        idempotent (a concrete eligible kernel resolves to itself).
+        """
+        return resolve_kernel(
+            kernel, query_length, max_distance, len(self.entries), transpositions
+        )
+
     def match(
         self,
         query: str,
@@ -482,6 +656,7 @@ class CompiledBucket(Sequence[DictionaryEntry]):
         canonical: bool = False,
         transpositions: bool = False,
         english_only: bool = False,
+        kernel: str = "auto",
     ) -> Dict[int, int]:
         """Distances of every entry within ``max_distance`` of ``query``.
 
@@ -507,9 +682,27 @@ class CompiledBucket(Sequence[DictionaryEntry]):
         misspellings — matching the filtered trie does strictly less DP
         work than matching everything and filtering afterwards.  Reported
         indexes still address :attr:`entries`.
+
+        ``kernel`` selects the inner loop (see :mod:`repro.core.kernels`):
+        the bit-parallel Myers traversal, the SymSpell delete-neighborhood
+        index, or the banded DP rows below.  Every kernel reports the same
+        mapping for the same query — the policy only chooses how fast it is
+        computed — and ineligible selections degrade to one that can honor
+        the query (transpositions and long patterns always run banded).
         """
         if max_distance < 0 or not self.entries:
             return {}
+        selected = resolve_kernel(
+            kernel, len(query), max_distance, len(self.entries), transpositions
+        )
+        if selected == "myers":
+            return myers_trie_match(
+                self._trie(canonical, english_only), query, max_distance
+            )
+        if selected == "symspell":
+            return self._match_symspell(
+                query, max_distance, canonical, transpositions, english_only
+            )
         n = len(query)
         limit = max_distance + 1
         results: Dict[int, int] = {}
@@ -580,6 +773,46 @@ class CompiledBucket(Sequence[DictionaryEntry]):
                     stack.append((child, new_row, child_depth, row, char))
         return results
 
+    def _match_symspell(
+        self,
+        query: str,
+        max_distance: int,
+        canonical: bool,
+        transpositions: bool,
+        english_only: bool,
+    ) -> Dict[int, int]:
+        """Delete-neighborhood candidate generation + exact verification.
+
+        The index (built lazily on the family, like the tries) yields a
+        superset of the true match set for ``d <= 2`` under Levenshtein and
+        OSA alike; each candidate is then scored with the same bounded
+        distance the linear path uses — or the cffi Myers kernel when it is
+        compiled in and both strings fit a word — so the returned mapping
+        is byte-identical to the trie traversals'.
+        """
+        index = self.family.delete_index(canonical, english_only, self.entries)
+        candidates = index.candidates(query, max_distance)
+        if not candidates:
+            return {}
+        entries = self.entries
+        results: Dict[int, int] = {}
+        use_native = (
+            not transpositions
+            and len(query) <= MYERS_MAX_PATTERN
+            and native_available()
+        )
+        verify = bounded_osa if transpositions else bounded_levenshtein
+        for entry_index in candidates:
+            entry = entries[entry_index]
+            text = entry.canonical if canonical else entry.token_lower
+            if use_native and len(text) <= MYERS_MAX_PATTERN:
+                distance = native_distance(query, text, max_distance)
+            else:
+                distance = verify(query, text, max_distance)
+            if distance is not None:
+                results[entry_index] = distance
+        return results
+
     def match_tokens(
         self,
         query: str,
@@ -587,6 +820,7 @@ class CompiledBucket(Sequence[DictionaryEntry]):
         canonical: bool = False,
         transpositions: bool = False,
         english_only: bool = False,
+        kernel: str = "auto",
     ) -> Tuple[Tuple[str, int], ...]:
         """``(raw token, distance)`` pairs in bucket order (test/debug view)."""
         distances = self.match(
@@ -595,6 +829,7 @@ class CompiledBucket(Sequence[DictionaryEntry]):
             canonical=canonical,
             transpositions=transpositions,
             english_only=english_only,
+            kernel=kernel,
         )
         return tuple(
             (entry.token, distances[index])

@@ -175,17 +175,23 @@ class Normalizer:
         transpositions = self.config.use_transpositions
         if self.config.compiled_buckets:
             bucket = self._compiled_candidate_bucket(soundex_key)
+            kernel = bucket.kernel_for(
+                self.config.match_kernel, len(canonical), bound, transpositions
+            )
+            self.dictionary.note_kernel_hits(kernel)
             distances = bucket.match(
                 canonical,
                 bound,
                 canonical=True,
                 transpositions=transpositions,
                 english_only=True,
+                kernel=kernel,
             )
             entries = bucket.entries
             for index in sorted(distances):
                 yield entries[index], distances[index]
             return
+        self.dictionary.note_kernel_hits("linear")
         bounded_distance = bounded_osa if transpositions else bounded_levenshtein
         for entry in self._candidate_entries(soundex_key):
             distance = bounded_distance(canonical, entry.canonical, bound)

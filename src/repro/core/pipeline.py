@@ -333,6 +333,7 @@ class CrypText:
         path=None,
         levels: Sequence[int] | None = None,
         incremental: bool = False,
+        shards: "int | None" = None,
     ):
         """Persist the dictionary plus compiled tries for warm restarts.
 
@@ -340,9 +341,12 @@ class CrypText:
         :meth:`~repro.core.dictionary.PerturbationDictionary.save_snapshot`;
         ``path`` defaults to ``config.snapshot_dir``.  ``incremental``
         writes a delta covering only the buckets changed since the last
-        save instead of rewriting the whole snapshot.
+        save instead of rewriting the whole snapshot; ``shards`` overrides
+        ``config.snapshot_shards`` (> 0 writes the v2 sharded layout).
         """
-        return self.dictionary.save_snapshot(path, levels=levels, incremental=incremental)
+        return self.dictionary.save_snapshot(
+            path, levels=levels, incremental=incremental, shards=shards
+        )
 
     def recover(self, snapshot_dir=None, wal_dir=None, strict: bool = False):
         """Crash recovery: hydrate base + deltas, then replay the WAL tail.

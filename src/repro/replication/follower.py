@@ -43,6 +43,7 @@ from ..core.pipeline import CrypText
 from ..errors import SnapshotError
 from ..resilience.faults import FAULTS
 from ..resilience.policies import CircuitBreaker, RetryPolicy
+from ..storage.snapshot import MappedSnapshot
 from ..wal.delta import resolve_snapshot_chain
 from ..wal.log import resolve_wal_directory
 from .tailer import WalTail
@@ -94,6 +95,7 @@ class Follower:
         self._skipped_records = 0
         self._rehydrations = 0
         self._hydrated = False
+        self._mapped: "MappedSnapshot | None" = None
         self._last_sync: float | None = None
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
@@ -140,10 +142,19 @@ class Follower:
         state and moves the applied position to the chain tip, after which
         polling resumes from there.  With no usable chain the replica keeps
         its current state (initially empty) and position.
+
+        A v2 sharded base with no pending deltas is opened through ``mmap``
+        (``prefer_mapped``): trie rows materialize per bucket on first
+        query, and every follower of the same snapshot version in the
+        process shares the same mapped pages instead of a private heap
+        copy.  The replica holds the mapping for as long as that hydration
+        is live (``mapped_snapshot``).
         """
         with self._lock:
             try:
-                chain = resolve_snapshot_chain(self.snapshot_dir, strict=False)
+                chain = resolve_snapshot_chain(
+                    self.snapshot_dir, strict=False, prefer_mapped=True
+                )
             except SnapshotError:
                 # A broken delta link: the base alone may still be stale vs.
                 # our position; replaying the WAL from 0 over the base risks
@@ -160,6 +171,7 @@ class Follower:
                 engine.warm_from_snapshot(chain.snapshot)
             self._applied_seq = chain.snapshot.wal_seq
             self._hydrated = True
+            self._mapped = chain.mapped
             return True
 
     def poll(self) -> int:
@@ -339,6 +351,18 @@ class Follower:
         with self._lock:
             return self._hydrated
 
+    @property
+    def mapped_snapshot(self) -> "MappedSnapshot | None":
+        """The ``mmap``-backed base of the current hydration, if any.
+
+        ``None`` when the last hydration read a v1 file, merged deltas, or
+        nothing has hydrated yet.  Two followers of the same snapshot
+        version return views over the *same* shard readers — the
+        page-sharing property the replication tests pin down.
+        """
+        with self._lock:
+            return self._mapped
+
     def stats(self) -> dict[str, object]:
         """Replication counters (the ``/v1/replication`` per-follower view)."""
         with self._lock:
@@ -350,6 +374,7 @@ class Follower:
                 "skipped_records": self._skipped_records,
                 "rehydrations": self._rehydrations,
                 "hydrated": self._hydrated,
+                "mapped_bytes": 0 if self._mapped is None else self._mapped.mapped_bytes,
                 "replication_lag_seconds": lag,
                 "tailing": self._thread is not None,
                 "tokens": len(self.system.dictionary),

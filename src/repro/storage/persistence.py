@@ -41,6 +41,27 @@ def write_text_atomic(path: str | Path, text: str) -> Path:
     return target
 
 
+def write_bytes_atomic(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (temp file + rename).
+
+    The binary sibling of :func:`write_text_atomic`, used by the sharded
+    snapshot layout's shard files.
+    """
+    target = Path(path)
+    scratch = target.with_name(target.name + ".tmp")
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        scratch.write_bytes(data)
+        os.replace(scratch, target)
+    except OSError as exc:
+        try:
+            scratch.unlink()
+        except OSError:
+            pass
+        raise PersistenceError(f"failed to write {target}: {exc}") from exc
+    return target
+
+
 def write_json_atomic(path: str | Path, payload: Any) -> Path:
     """Serialize ``payload`` as JSON and write it atomically to ``path``."""
     try:

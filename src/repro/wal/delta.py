@@ -36,10 +36,17 @@ from typing import Any, Mapping
 from ..errors import SnapshotError
 from ..storage.snapshot import (
     SNAPSHOT_FILE_NAME,
+    SNAPSHOT_MANIFEST_NAME,
+    MappedSnapshot,
     Snapshot,
+    open_sharded_snapshot,
     read_envelope,
     read_snapshot,
+    read_sharded_snapshot,
+    sharded_manifest_info,
+    sharded_snapshot_dir,
     write_envelope,
+    write_sharded_snapshot,
     write_snapshot,
 )
 
@@ -169,6 +176,9 @@ class SnapshotChain:
     base_path: str
     deltas_applied: int
     delta_paths: tuple[str, ...] = ()
+    #: Set when the base was opened through ``mmap`` (v2 layout, no deltas,
+    #: ``prefer_mapped``); holding the chain keeps the maps alive.
+    mapped: MappedSnapshot | None = None
 
 
 def _merge_chain(base: Snapshot, deltas: list[tuple[str, DeltaSnapshot]]) -> Snapshot:
@@ -227,9 +237,16 @@ def _merge_chain(base: Snapshot, deltas: list[tuple[str, DeltaSnapshot]]) -> Sna
 
 
 def resolve_snapshot_chain(
-    directory: str | Path, strict: bool = True
+    directory: str | Path, strict: bool = True, prefer_mapped: bool = False
 ) -> SnapshotChain | None:
-    """Resolve ``<directory>/dictionary.snapshot.json`` plus its deltas.
+    """Resolve the snapshot base in ``directory`` plus its deltas.
+
+    The base is the v2 sharded layout (``dictionary.snapshot.d/``) when a
+    readable one exists, else the v1 ``dictionary.snapshot.json`` file —
+    matching what the last save wrote.  With ``prefer_mapped`` true *and* no
+    deltas pending, a v2 base is opened through ``mmap`` with lazy family
+    materialization (the follower fast path); any delta forces the eager
+    read because merging needs the full object graph anyway.
 
     Returns the merged chain, or — with ``strict`` false — ``None`` when no
     usable base exists.  A broken delta (corrupt file, fingerprint that does
@@ -238,19 +255,38 @@ def resolve_snapshot_chain(
     that can degrade (crash recovery) catch it and retry base-only.
     """
     base_path = Path(directory) / SNAPSHOT_FILE_NAME
+    shard_dir = sharded_snapshot_dir(base_path)
+    delta_files = list_delta_paths(directory)
+    mapped: MappedSnapshot | None = None
     try:
-        base = read_snapshot(base_path)
+        if (shard_dir / SNAPSHOT_MANIFEST_NAME).is_file():
+            try:
+                if prefer_mapped and not delta_files:
+                    mapped = open_sharded_snapshot(shard_dir)
+                    base = mapped.snapshot
+                else:
+                    base = read_sharded_snapshot(shard_dir)
+                base_source = str(shard_dir)
+            except SnapshotError:
+                if not base_path.is_file():
+                    raise
+                base = read_snapshot(base_path)
+                base_source = str(base_path)
+        else:
+            base = read_snapshot(base_path)
+            base_source = str(base_path)
     except SnapshotError:
         if strict:
             raise
         return None
-    deltas = [(str(path), read_delta(path)) for path in list_delta_paths(directory)]
-    merged = _merge_chain(base, deltas)
+    deltas = [(str(path), read_delta(path)) for path in delta_files]
+    merged = base if mapped is not None else _merge_chain(base, deltas)
     return SnapshotChain(
         snapshot=merged,
-        base_path=str(base_path),
+        base_path=base_source,
         deltas_applied=len(deltas),
         delta_paths=tuple(source for source, _ in deltas),
+        mapped=mapped,
     )
 
 
@@ -282,6 +318,12 @@ def compact_chain(directory: str | Path) -> SnapshotChain:
     """
     chain = resolve_snapshot_chain(directory, strict=True)
     assert chain is not None
-    write_snapshot(Path(directory) / SNAPSHOT_FILE_NAME, chain.snapshot)
+    base = Path(chain.base_path)
+    if base.is_dir():
+        # Sharded base: compact back into the same layout at the same width.
+        shard_count = int(sharded_manifest_info(base).get("shard_count", 1))
+        write_sharded_snapshot(base, chain.snapshot, max(1, shard_count))
+    else:
+        write_snapshot(base, chain.snapshot)
     remove_delta_files(directory)
     return chain

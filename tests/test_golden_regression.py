@@ -115,7 +115,7 @@ def test_batch_normalization_matches_golden(golden_system, fixture_records):
         assert _result_record(result) == record
 
 
-def compare_compiled_and_linear_lookups(distances=(1, 3)) -> int:
+def compare_compiled_and_linear_lookups(distances=(1, 3), kernel="auto") -> int:
     """Look Up every golden-input token through both matching paths.
 
     Builds the golden system twice (``compiled_buckets`` on and off) and
@@ -123,10 +123,12 @@ def compare_compiled_and_linear_lookups(distances=(1, 3)) -> int:
     bound, and case mode; returns the number of comparisons made.  Shared
     by the tier-1 test below and the CI smoke guard in
     ``benchmarks/bench_lookup_hotpath.py`` so the two checks cannot drift
-    apart.
+    apart.  ``kernel`` pins the compiled system's match-kernel policy so
+    the guard can sweep every kernel against the same linear reference.
     """
     compiled = CrypText.from_corpus(
-        GOLDEN_BUILD_CORPUS, config=CrypTextConfig(compiled_buckets=True)
+        GOLDEN_BUILD_CORPUS,
+        config=CrypTextConfig(compiled_buckets=True, match_kernel=kernel),
     )
     linear = CrypText.from_corpus(
         GOLDEN_BUILD_CORPUS, config=CrypTextConfig(compiled_buckets=False)
@@ -155,7 +157,19 @@ def test_compiled_lookup_matches_linear_on_golden_corpus():
     assert compare_compiled_and_linear_lookups() > 0
 
 
-def compare_cold_and_warm_systems(distances=(1, 3)) -> int:
+@pytest.mark.parametrize("kernel", ["auto", "myers", "banded", "symspell"])
+def test_every_kernel_policy_matches_linear_on_golden_corpus(kernel):
+    """Kernel choice is a performance knob, never a behavior knob.
+
+    Every selectable match-kernel policy — the bit-parallel Myers DP, the
+    banded-DP fallback, the SymSpell delete-neighborhood index, and the
+    measuring ``auto`` policy — must produce field-identical golden-corpus
+    lookups to the linear reference scan.
+    """
+    assert compare_compiled_and_linear_lookups(kernel=kernel) > 0
+
+
+def compare_cold_and_warm_systems(distances=(1, 3), shards=0) -> int:
     """Golden-corpus equality guard for the warm-start snapshot subsystem.
 
     Builds the golden system cold, snapshots it, hydrates a *fresh* system
@@ -165,6 +179,10 @@ def compare_cold_and_warm_systems(distances=(1, 3)) -> int:
     the tier-1 test below and the CI smoke guard in
     ``benchmarks/bench_cold_start.py`` so the two checks cannot drift apart.
     Returns the number of comparisons made.
+
+    With ``shards`` > 0 the snapshot is written (and hydrated from) the v2
+    sharded mmap-friendly layout instead of the v1 single file — the
+    byte-identical-results guard for the format.
     """
     import tempfile
 
@@ -172,7 +190,7 @@ def compare_cold_and_warm_systems(distances=(1, 3)) -> int:
     compared = 0
     with tempfile.TemporaryDirectory() as tmp:
         snapshot_path = Path(tmp) / "golden.snapshot.json"
-        cold.save_snapshot(snapshot_path)
+        cold.save_snapshot(snapshot_path, shards=shards or None)
         warm = CrypText.empty(seed_lexicon=False)
         report = warm.load_snapshot(snapshot_path, strict=True)
         assert report.loaded and report.hydrated_tries, report
@@ -209,6 +227,12 @@ def compare_cold_and_warm_systems(distances=(1, 3)) -> int:
 def test_cold_and_warm_systems_identical_on_golden_corpus():
     """Snapshot hydration must be invisible on the golden corpus."""
     assert compare_cold_and_warm_systems() > 0
+
+
+@pytest.mark.parametrize("shards", [1, 3])
+def test_sharded_warm_start_identical_on_golden_corpus(shards):
+    """Hydrating from the v2 sharded layout must be invisible too."""
+    assert compare_cold_and_warm_systems(shards=shards) > 0
 
 
 def compare_cold_and_recovered_systems(distances=(1, 3)) -> int:

@@ -154,6 +154,40 @@ class TestDamerauMatchEqualsBruteForceOSA:
         assert compiled.match_tokens("mandate", 1) == (("mandate", 0),)
 
 
+class TestKernelSweep:
+    """Every selectable kernel must reproduce the linear-scan references.
+
+    ``tests/test_match_kernel.py`` checks the kernels against the *bounded*
+    DP primitives they are built from; here the references are this file's
+    independent scans (unbounded OSA for transpositions), so a shared
+    clipping bug in the bounded machinery cannot hide.
+    """
+
+    kernels = pytest.mark.parametrize("kernel", ["auto", "myers", "banded", "symspell"])
+
+    @kernels
+    @settings(max_examples=120, deadline=None)
+    @given(st.lists(tokens, min_size=0, max_size=25), queries, bounds)
+    def test_levenshtein_mode(self, kernel, bucket_tokens, query, bound):
+        entries = [make_entry(token) for token in bucket_tokens]
+        compiled = CompiledBucket(entries)
+        assert compiled.match(query.lower(), bound, kernel=kernel) == linear_scan(
+            query.lower(), entries, bound
+        )
+
+    @kernels
+    @settings(max_examples=120, deadline=None)
+    @given(st.lists(tokens, min_size=0, max_size=25), queries, bounds)
+    def test_osa_mode(self, kernel, bucket_tokens, query, bound):
+        # Myers degrades to banded under transpositions; the point is that
+        # the *request* never changes the result, only the code path.
+        entries = [make_entry(token) for token in bucket_tokens]
+        compiled = CompiledBucket(entries)
+        assert compiled.match(
+            query.lower(), bound, transpositions=True, kernel=kernel
+        ) == osa_scan(query.lower(), entries, bound)
+
+
 class TestEnglishOnlyMode:
     """``english_only`` must equal matching everything then filtering."""
 

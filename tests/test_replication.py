@@ -607,3 +607,83 @@ class TestAsyncServiceFront:
         token = service.issue_token("t").token
         response = service.replication_status(token)
         assert response.status == 409
+
+
+# --------------------------------------------------------------------------- #
+# mmap'd sharded snapshots: page sharing across followers
+# --------------------------------------------------------------------------- #
+def _rss_kb() -> int:
+    """Resident set size of this process in KiB (Linux ``/proc``)."""
+    with open("/proc/self/status", encoding="ascii") as handle:
+        for line in handle:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    raise OSError("VmRSS not found")
+
+
+class TestMappedSnapshotSharing:
+    """Two followers of one v2 snapshot must share mapped pages, not copy."""
+
+    def _big_leader(self, directory: Path, tokens: int = 800) -> CrypText:
+        leader = _leader(directory)
+        leader.learn_from(CORPUS, source="corpus")
+        # Enough synthetic tokens that the trie payloads dominate the
+        # snapshot — the part lazy mapping is supposed to keep off the heap.
+        filler = [
+            f"perturbatron{index}x{index % 7}{'z' * (index % 5)}"
+            for index in range(tokens)
+        ]
+        leader.learn_from(filler, source="filler")
+        return leader
+
+    def test_followers_share_identical_mapped_shards(self, tmp_path):
+        leader = self._big_leader(tmp_path)
+        leader.save_snapshot(tmp_path / SNAPSHOT_FILE_NAME, shards=2)
+        first = _follower(tmp_path)
+        second = _follower(tmp_path)
+        assert first.hydrate() and second.hydrate()
+        first_map, second_map = first.mapped_snapshot, second.mapped_snapshot
+        assert first_map is not None and second_map is not None
+        # The process-level cache hands both hydrations the *same* reader
+        # objects — one mmap per shard file, shared physical pages by
+        # construction (no "equal contents" hedge: identity).
+        assert len(first_map.shards) == 2
+        assert all(a is b for a, b in zip(first_map.shards, second_map.shards))
+        assert first_map.mapped_bytes == second_map.mapped_bytes > 0
+        _assert_converged(leader, first)
+        _assert_converged(leader, second)
+        assert first.stats()["mapped_bytes"] == first_map.mapped_bytes
+
+    def test_second_mapped_hydration_rss_stays_below_an_eager_load(self, tmp_path):
+        import gc
+
+        from repro.core.dictionary import PerturbationDictionary
+
+        # A corpus big enough that the family payloads dominate RSS; below
+        # a few thousand tokens fixed interpreter overheads drown the signal.
+        leader = self._big_leader(tmp_path, tokens=6000)
+        leader.save_snapshot(tmp_path / SNAPSHOT_FILE_NAME, shards=2)
+        first = _follower(tmp_path)
+        assert first.hydrate()
+        # Eager baseline in the same process: the strict load parses every
+        # shard record and installs each family payload onto the heap.
+        gc.collect()
+        before_eager = _rss_kb()
+        eager = PerturbationDictionary(config=CONFIG)
+        assert eager.load_snapshot(tmp_path / SNAPSHOT_FILE_NAME, strict=True).loaded
+        gc.collect()
+        eager_delta = _rss_kb() - before_eager
+        # Second mapped follower: shares the first one's maps, parses only
+        # shard headers; its residual growth must clearly undercut the eager
+        # load (measured ~2x headroom; 0.8 leaves margin for allocator noise).
+        second = _follower(tmp_path)
+        gc.collect()
+        before_mapped = _rss_kb()
+        assert second.hydrate()
+        gc.collect()
+        mapped_delta = _rss_kb() - before_mapped
+        assert second.mapped_snapshot is not None
+        assert mapped_delta < eager_delta * 0.8, (
+            f"second mapped hydration grew RSS by {mapped_delta} KiB, eager "
+            f"load by {eager_delta} KiB — lazy mapping is not sharing pages"
+        )

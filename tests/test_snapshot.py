@@ -294,6 +294,171 @@ class TestShardedWarmStart:
         assert before != after
 
 
+class TestShardedSnapshotV2:
+    """The mmap-friendly sharded layout: round trips, fallbacks, laziness."""
+
+    def test_direct_write_read_open_round_trip(self, tmp_path):
+        from repro.storage.snapshot import (
+            open_sharded_snapshot,
+            read_sharded_snapshot,
+            write_sharded_snapshot,
+        )
+
+        original = build_dictionary()
+        snapshot = original.build_snapshot()
+        layout = tmp_path / "dictionary.snapshot.d"
+        write_sharded_snapshot(layout, snapshot, 3)
+        eager = read_sharded_snapshot(layout)
+        assert eager.body() == snapshot.body()
+        mapped = open_sharded_snapshot(layout)
+        assert mapped.snapshot.fingerprint == snapshot.fingerprint
+        assert mapped.mapped_bytes > 0
+        # Lazy families materialize to the exact eager payloads.
+        assert [dict(f) for f in mapped.snapshot.families] == [
+            dict(f) for f in eager.families
+        ]
+
+    def test_config_shards_switches_the_save_format(self, snapshot_path):
+        original = build_dictionary(CrypTextConfig(snapshot_shards=2))
+        original.save_snapshot(snapshot_path)
+        layout = snapshot_path.with_name("dictionary.snapshot.d")
+        assert (layout / "manifest.json").is_file()
+        assert sorted(p.name for p in layout.glob("shard-*.bin")) == [
+            "shard-00.bin",
+            "shard-01.bin",
+        ]
+        # The stale v1 location is cleared; loading by the conventional
+        # path resolves the v2 layout transparently.
+        assert not snapshot_path.exists()
+        hydrated = PerturbationDictionary(config=CrypTextConfig())
+        load = hydrated.load_snapshot(snapshot_path)
+        assert load.loaded and load.hydrated_tries
+        assert hydrated.content_fingerprint() == original.content_fingerprint()
+
+    def test_v1_save_removes_a_stale_v2_layout(self, snapshot_path):
+        dictionary = build_dictionary()
+        dictionary.save_snapshot(snapshot_path, shards=2)
+        layout = snapshot_path.with_name("dictionary.snapshot.d")
+        assert (layout / "manifest.json").is_file()
+        dictionary.save_snapshot(snapshot_path)  # config default: v1
+        assert snapshot_path.is_file()
+        assert not layout.exists()
+
+    def test_lookup_identical_across_formats(self, tmp_path):
+        original = build_dictionary()
+        v1_path = tmp_path / "v1" / "dictionary.snapshot.json"
+        v2_path = tmp_path / "v2" / "dictionary.snapshot.json"
+        original.save_snapshot(v1_path)
+        original.save_snapshot(v2_path, shards=3)
+        from_v1 = PerturbationDictionary(config=CrypTextConfig())
+        from_v2 = PerturbationDictionary(config=CrypTextConfig())
+        assert from_v1.load_snapshot(v1_path).loaded
+        assert from_v2.load_snapshot(v2_path).loaded
+        engine_v1 = LookupEngine(from_v1)
+        engine_v2 = LookupEngine(from_v2)
+        for query in QUERIES:
+            for distance in (1, 3):
+                assert engine_v1.look_up(
+                    query, max_edit_distance=distance
+                ) == engine_v2.look_up(query, max_edit_distance=distance)
+
+    def test_corrupt_v2_falls_back_to_v1_file_beside_it(self, snapshot_path):
+        from repro.storage.snapshot import resolve_snapshot, write_sharded_snapshot
+
+        dictionary = build_dictionary()
+        snapshot = dictionary.build_snapshot()
+        write_snapshot(snapshot_path, snapshot)
+        layout = snapshot_path.with_name("dictionary.snapshot.d")
+        write_sharded_snapshot(layout, snapshot, 2)
+        # Truncate one shard: v2 resolution fails its structural check, and
+        # the intact v1 file besides it answers instead.
+        shard = layout / "shard-00.bin"
+        shard.write_bytes(shard.read_bytes()[:10])
+        resolved = resolve_snapshot(snapshot_path, strict=True)
+        assert resolved.fingerprint == snapshot.fingerprint
+
+    def test_corrupt_record_crc_is_detected(self, tmp_path):
+        from repro.storage.snapshot import (
+            read_sharded_snapshot,
+            write_sharded_snapshot,
+        )
+
+        snapshot = build_dictionary().build_snapshot()
+        layout = tmp_path / "dictionary.snapshot.d"
+        write_sharded_snapshot(layout, snapshot, 1)
+        shard = layout / "shard-00.bin"
+        blob = bytearray(shard.read_bytes())
+        blob[-3] ^= 0xFF  # flip a byte inside the last record's JSON
+        shard.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="checksum"):
+            read_sharded_snapshot(layout)
+
+    def test_graceful_load_degrades_on_v2_only_corruption(self, snapshot_path):
+        dictionary = build_dictionary()
+        dictionary.save_snapshot(snapshot_path, shards=2)
+        layout = snapshot_path.with_name("dictionary.snapshot.d")
+        (layout / "manifest.json").write_text("garbage", encoding="utf-8")
+        fresh = PerturbationDictionary(config=CrypTextConfig())
+        report = fresh.load_snapshot(snapshot_path)  # strict=False default
+        assert not report.loaded and report.reason
+
+    def test_mapped_families_stay_lazy_until_queried(self, tmp_path):
+        from repro.storage.snapshot import (
+            LazyFamilyPayload,
+            open_sharded_snapshot,
+            write_sharded_snapshot,
+        )
+
+        snapshot = build_dictionary().build_snapshot()
+        layout = tmp_path / "dictionary.snapshot.d"
+        write_sharded_snapshot(layout, snapshot, 2)
+        mapped = open_sharded_snapshot(layout)
+        payloads = list(mapped.snapshot.families)
+        assert payloads and all(
+            isinstance(payload, LazyFamilyPayload) for payload in payloads
+        )
+        # Opening parsed only the shard headers: no family record yet.
+        assert all(payload._record is None for payload in payloads)
+        _ = payloads[0]["tries"]
+        assert payloads[0]._record is not None
+        assert sum(1 for payload in payloads if payload._record is not None) == 1
+
+    def test_shrinking_the_shard_count_removes_stale_files(self, tmp_path):
+        from repro.storage.snapshot import (
+            read_sharded_snapshot,
+            write_sharded_snapshot,
+        )
+
+        snapshot = build_dictionary().build_snapshot()
+        layout = tmp_path / "dictionary.snapshot.d"
+        write_sharded_snapshot(layout, snapshot, 4)
+        assert len(list(layout.glob("shard-*.bin"))) == 4
+        write_sharded_snapshot(layout, snapshot, 2)
+        assert len(list(layout.glob("shard-*.bin"))) == 2
+        assert read_sharded_snapshot(layout).body() == snapshot.body()
+
+    def test_delta_chain_folds_into_a_sharded_base(self, tmp_path):
+        from repro.storage.snapshot import sharded_manifest_info
+        from repro.wal.delta import compact_chain, list_delta_paths
+
+        config = CrypTextConfig(snapshot_shards=2, snapshot_dir=str(tmp_path))
+        dictionary = build_dictionary(config)
+        dictionary.save_snapshot()
+        dictionary.add_token("freshtoken", source="test")
+        report = dictionary.save_snapshot(incremental=True)
+        assert report.incremental and report.delta_index == 1
+        assert len(list_delta_paths(tmp_path)) == 1
+        chain = compact_chain(tmp_path)
+        assert chain.deltas_applied == 1
+        assert list_delta_paths(tmp_path) == []
+        # Compaction preserved the sharded layout at its original width.
+        layout = tmp_path / "dictionary.snapshot.d"
+        assert sharded_manifest_info(layout)["shard_count"] == 2
+        hydrated = PerturbationDictionary(config=CrypTextConfig())
+        assert hydrated.load_snapshot(tmp_path / "dictionary.snapshot.json").loaded
+        assert "freshtoken" in LookupEngine(hydrated).look_up("freshtoken").tokens
+
+
 class TestCompiledCacheCounters:
     def test_dictionary_counters_track_hits_misses_and_invalidations(self):
         dictionary = build_dictionary()
@@ -310,8 +475,50 @@ class TestCompiledCacheCounters:
         dictionary = build_dictionary()
         payload = dictionary.stats().to_dict()
         assert "compiled_cache" in payload
-        for key in ("hits", "misses", "evictions", "invalidations", "families"):
+        for key in (
+            "hits",
+            "misses",
+            "evictions",
+            "invalidations",
+            "families",
+            "kernel",
+            "kernels",
+        ):
             assert key in payload["compiled_cache"]
+        assert set(payload["compiled_cache"]["kernels"]) == {
+            "myers",
+            "banded",
+            "symspell",
+            "linear",
+        }
+
+    def test_kernel_hit_counters_attribute_compiled_and_linear_matches(self):
+        dictionary = build_dictionary()
+        compiled = LookupEngine(dictionary, config=CrypTextConfig(cache_enabled=False))
+        compiled.look_up("vaccine")
+        kernels = dictionary.compiled_cache_stats()["kernels"]
+        assert sum(kernels.values()) >= 1
+        assert kernels["linear"] == 0
+        linear = LookupEngine(
+            dictionary,
+            config=CrypTextConfig(cache_enabled=False, compiled_buckets=False),
+        )
+        linear.look_up("vaccine")
+        kernels = dictionary.compiled_cache_stats()["kernels"]
+        assert kernels["linear"] >= 1
+
+    def test_kernel_policy_forces_the_selected_kernel(self):
+        for policy in ("myers", "banded"):
+            dictionary = build_dictionary()
+            engine = LookupEngine(
+                dictionary,
+                config=CrypTextConfig(cache_enabled=False, match_kernel=policy),
+            )
+            engine.look_up("vaccine")
+            kernels = dictionary.compiled_cache_stats()["kernels"]
+            assert kernels[policy] >= 1, policy
+            others = {name: hits for name, hits in kernels.items() if name != policy}
+            assert sum(others.values()) == 0, policy
 
     def test_shard_stats_and_engine_stats_export_compiled_counters(self):
         system = CrypText.from_corpus(CORPUS)
@@ -320,8 +527,11 @@ class TestCompiledCacheCounters:
         assert all("compiled_hits" in payload for payload in shard_payloads)
         engine_stats = system.batch.stats()
         compiled = engine_stats["compiled_buckets"]
-        assert set(compiled) == {"shards", "dictionary"}
+        assert set(compiled) == {"shards", "dictionary", "kernels"}
         assert compiled["shards"]["misses"] >= 1
+        # Three queries, two unique after batch dedup — each unique query
+        # performs one counted match.
+        assert sum(compiled["kernels"].values()) >= 2
 
     def test_trie_families_shared_across_levels(self):
         dictionary = build_dictionary()
