@@ -79,6 +79,12 @@ LOCK_RANKS: dict[str, int] = {
     "lookup.epoch": 170,
     "faults.registry": 180,
     "breaker.state": 190,
+    # The observability registry and its per-histogram locks are leaf-most:
+    # span exits record timings while WAL/replication locks are held, and
+    # collect() copies state then *releases* obs.registry before invoking
+    # any adapter, so neither lock is ever held across a foreign acquire.
+    "obs.registry": 200,
+    "obs.metric": 210,
 }
 
 #: Locks on the serving hot path: holding one of these across blocking file
@@ -114,7 +120,9 @@ ALLOWED_IO_UNDER_LOCK: frozenset[tuple[str, str]] = frozenset(
     {
         # Appending a frame (and group-commit fsync) inside wal.segment is
         # the journal's contract: acknowledge only what is replayable.
-        ("wal/log.py", "append"),
+        # (``append`` is the span-timing wrapper; ``_append`` holds the
+        # lock and performs the IO.)
+        ("wal/log.py", "_append"),
         ("wal/log.py", "_inject_append_fault_locked"),
         ("wal/log.py", "_tail_handle_locked"),
         # Torn-tail repair re-reads and truncates the tail under the lock

@@ -24,7 +24,10 @@ process-global :class:`LockOrderSanitizer`:
   reports which locks the calling thread held, checked against
   :data:`~repro.analysis.hierarchy.SANITIZER_IO_ALLOWLIST`;
 * **held-time percentiles** — wall-clock hold durations per lock name
-  (p50/p95/p99/max), the "which lock is my bottleneck" report.
+  (p50/p95/p99/max), the "which lock is my bottleneck" report, aggregated
+  into the shared fixed-bucket :class:`~repro.obs.histogram.Histogram`
+  (O(buckets) memory regardless of run length) and scrapeable as
+  ``cryptext_lock_held_seconds`` when the metrics registry is also armed.
 
 Violations are collected, not raised: a sanitized test run finishes and
 then asserts the report is clean (the ``tests/conftest.py`` session hook),
@@ -56,10 +59,6 @@ __all__ = [
 ]
 
 ENV_VAR = "CRYPTEXT_SANITIZE"
-
-#: Hold-duration samples kept per lock name (a bounded reservoir: the
-#: percentile report must not grow memory with run length).
-_MAX_SAMPLES = 8192
 
 #: Stack frames kept per recorded acquisition site.
 _STACK_DEPTH = 6
@@ -119,13 +118,6 @@ class _HeldLock:
         self.count = 1
 
 
-def _percentile(samples: list[float], fraction: float) -> float:
-    if not samples:
-        return 0.0
-    index = min(len(samples) - 1, int(fraction * (len(samples) - 1)))
-    return samples[index]
-
-
 class LockOrderSanitizer:
     """Records lock acquisitions and detects ordering hazards.
 
@@ -157,7 +149,13 @@ class LockOrderSanitizer:
         self._edges: dict[str, set[str]] = {}
         self._violations: list[Violation] = []
         self._seen: set[tuple[str, ...]] = set()
-        self._held_samples: dict[str, list[float]] = {}
+        # Deferred import: obs.registry imports tracked_lock from this
+        # module at its own import time, so a top-level import here would
+        # close the cycle against a partially-initialized module.
+        from ..obs.histogram import Histogram
+
+        self._histogram_cls = Histogram
+        self._held_times: dict[str, Histogram] = {}
         self._acquisitions = 0
         self._io_events = 0
 
@@ -326,9 +324,13 @@ class LockOrderSanitizer:
             del stack[index]
             duration = self._clock() - entry.since
             with self._lock:
-                samples = self._held_samples.setdefault(name, [])
-                if len(samples) < _MAX_SAMPLES:
-                    samples.append(duration)
+                hist = self._held_times.get(name)
+                if hist is None:
+                    # A *tracked* lock here would re-enter the sanitizer on
+                    # every histogram release; keep it plain.
+                    hist = self._histogram_cls(lock=threading.Lock())
+                    self._held_times[name] = hist
+            hist.observe(duration)
             return
 
     # ------------------------------------------------------------------ #
@@ -365,20 +367,28 @@ class LockOrderSanitizer:
     # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
+    def held_time_histograms(self) -> dict[str, object]:
+        """Per-lock hold-duration histograms (the shared ``obs`` type).
+
+        The metrics adapters scrape these directly as
+        ``cryptext_lock_held_seconds{lock=...}`` samples.
+        """
+        with self._lock:
+            return dict(self._held_times)
+
     def held_time_percentiles(self) -> dict[str, dict[str, float]]:
         """Per-lock hold-duration percentiles in seconds (p50/p95/p99/max)."""
-        with self._lock:
-            snapshot = {name: sorted(samples) for name, samples in self._held_samples.items()}
-        return {
-            name: {
-                "count": float(len(samples)),
-                "p50": _percentile(samples, 0.50),
-                "p95": _percentile(samples, 0.95),
-                "p99": _percentile(samples, 0.99),
-                "max": samples[-1] if samples else 0.0,
+        report: dict[str, dict[str, float]] = {}
+        for name, hist in self.held_time_histograms().items():
+            snap = hist.snapshot()
+            report[name] = {
+                "count": float(snap["count"]),
+                "p50": snap["p50"],
+                "p95": snap["p95"],
+                "p99": snap["p99"],
+                "max": snap["max"],
             }
-            for name, samples in snapshot.items()
-        }
+        return report
 
     def report(self) -> SanitizerReport:
         with self._lock:

@@ -32,11 +32,15 @@ Two entry points:
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import functools
 import json
 from concurrent.futures import ThreadPoolExecutor
 
 from ..errors import CrypTextError, DeadlineExceededError, InjectedFault
+from ..obs.expose import CONTENT_TYPE as _METRICS_CONTENT_TYPE
+from ..obs.registry import OBS
+from ..obs.trace import current_trace
 from ..resilience.faults import FAULTS
 from ..resilience.policies import Deadline
 from .service import CrypTextService, ServiceResponse
@@ -123,19 +127,28 @@ class AsyncCrypTextService:
     async def _call(self, handler, /, *args, **kwargs) -> ServiceResponse:
         loop = asyncio.get_running_loop()
         seconds = self.request_deadline
-        if seconds is None:
+        deadline = Deadline.after(seconds) if seconds is not None else None
+        trace = current_trace()
+        if deadline is None and trace is None:
             return await loop.run_in_executor(
                 self._executor, functools.partial(handler, *args, **kwargs)
             )
-        deadline = Deadline.after(seconds)
 
         def invoke() -> ServiceResponse:
-            # Runs on the worker thread: the context variable set here is
-            # what the handler layer's check_deadline() calls read.
-            with deadline.activate():
+            # Runs on the worker thread: context variables do not cross the
+            # executor boundary by themselves, so the ambient deadline (read
+            # by the handler layer's check_deadline()) and the request trace
+            # (fed by the handler layer's spans) are re-activated here.
+            with contextlib.ExitStack() as scope:
+                if trace is not None:
+                    scope.enter_context(trace.activate())
+                if deadline is not None:
+                    scope.enter_context(deadline.activate())
                 return handler(*args, **kwargs)
 
         future = loop.run_in_executor(self._executor, invoke)
+        if deadline is None:
+            return await future
         try:
             return await asyncio.wait_for(future, timeout=deadline.remaining())
         except asyncio.TimeoutError:
@@ -172,6 +185,28 @@ class AsyncCrypTextService:
             return ServiceResponse(
                 status=400, body={"error": "request body must be a JSON object"}
             )
+        if not OBS.armed:
+            return await self._route(method, path, token, body)
+        # One root trace per request, opened on the event loop and activated
+        # for this task; _call() re-activates it inside the worker thread so
+        # handler-layer spans land on it (the Deadline propagation pattern).
+        trace = OBS.open_trace(path)
+        with trace.activate():
+            try:
+                response = await self._route(method, path, token, body)
+            except BaseException:
+                OBS.finish_trace(trace, 500)
+                raise
+        OBS.finish_trace(trace, response.status)
+        return response
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        token: str | None,
+        body: dict,
+    ) -> ServiceResponse:
         service = self.service
         route = (method.upper(), path)
         try:
@@ -219,6 +254,8 @@ class AsyncCrypTextService:
                 )
             if route == ("GET", "/v1/stats"):
                 return await self._call(service.stats, token)
+            if route == ("GET", "/v1/metrics"):
+                return await self._call(service.metrics, token)
             if route == ("GET", "/v1/replication"):
                 return await self._call(service.replication_status, token)
             if route == ("GET", "/v1/admin/maintenance"):
@@ -280,7 +317,14 @@ class AsyncCrypTextService:
                 if result is None:
                     break  # clean EOF before a request line
                 response, keep_alive = result
-                data = json.dumps(response.body, ensure_ascii=False).encode("utf-8")
+                if response.text is not None:
+                    # A raw-text response (the Prometheus scrape) is served
+                    # verbatim with the exposition content type.
+                    data = response.text.encode("utf-8")
+                    content_type = _METRICS_CONTENT_TYPE
+                else:
+                    data = json.dumps(response.body, ensure_ascii=False).encode("utf-8")
+                    content_type = "application/json"
                 reason = _REASONS.get(response.status, "Unknown")
                 extra = "".join(
                     f"{name}: {value}\r\n" for name, value in response.headers.items()
@@ -288,7 +332,7 @@ class AsyncCrypTextService:
                 connection = "keep-alive" if keep_alive else "close"
                 head = (
                     f"HTTP/1.1 {response.status} {reason}\r\n"
-                    f"Content-Type: application/json\r\n"
+                    f"Content-Type: {content_type}\r\n"
                     f"Content-Length: {len(data)}\r\n"
                     f"{extra}"
                     f"Connection: {connection}\r\n\r\n"

@@ -8,10 +8,14 @@ per-client rate limits, and caches responses in the Redis-style cache.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
 from ..core.pipeline import CrypText
+from ..obs.adapters import service_samples
+from ..obs.expose import render_text
+from ..obs.registry import OBS
 from ..errors import (
     AuthenticationError,
     AuthorizationError,
@@ -44,6 +48,10 @@ class ServiceResponse:
     status: int
     body: dict[str, object]
     headers: dict[str, str] = field(default_factory=dict)
+    #: When set, an HTTP front serves this raw text (with the exposition
+    #: content type) instead of JSON-encoding ``body`` — the Prometheus
+    #: scrape path.  ``body`` still carries a JSON view for sync callers.
+    text: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -106,6 +114,30 @@ class CompiledCacheStats:
             "capacity": self.capacity,
             "families": dict(self.families),
         }
+
+
+def _traced(route: str):
+    """Trace an endpoint method under ``OBS.request(route)`` when armed.
+
+    Disarmed requests pay one attribute read.  When the asyncio front
+    already opened a trace for this request, ``OBS.request`` yields that
+    trace instead of opening a second root, so each request is counted
+    exactly once no matter how many fronts it crossed.
+    """
+
+    def wrap(method):
+        @functools.wraps(method)
+        def inner(self, *args, **kwargs):
+            if not OBS.armed:
+                return method(self, *args, **kwargs)
+            with OBS.request(route) as trace:
+                response = method(self, *args, **kwargs)
+                trace.status = response.status
+                return response
+
+        return inner
+
+    return wrap
 
 
 class CrypTextService:
@@ -263,6 +295,7 @@ class CrypTextService:
     # ------------------------------------------------------------------ #
     # endpoints
     # ------------------------------------------------------------------ #
+    @_traced("/v1/lookup")
     def lookup(
         self,
         token: str | None,
@@ -312,6 +345,7 @@ class CrypTextService:
             return self._degraded_error(exc)
         return ServiceResponse(status=200, body={"results": results}, headers=headers)
 
+    @_traced("/v1/normalize")
     def normalize(self, token: str | None, texts: Sequence[str]) -> ServiceResponse:
         """Bulk Normalization endpoint."""
         guard = self._guard(token, "normalize")
@@ -333,6 +367,7 @@ class CrypTextService:
             return self._degraded_error(exc)
         return ServiceResponse(status=200, body={"results": results}, headers=headers)
 
+    @_traced("/v1/perturb")
     def perturb(
         self,
         token: str | None,
@@ -356,6 +391,7 @@ class CrypTextService:
         ]
         return ServiceResponse(status=200, body={"results": results})
 
+    @_traced("/v1/batch/lookup")
     def batch_lookup(
         self,
         token: str | None,
@@ -401,6 +437,7 @@ class CrypTextService:
             headers=headers,
         )
 
+    @_traced("/v1/batch/normalize")
     def batch_normalize(self, token: str | None, texts: Sequence[str]) -> ServiceResponse:
         """High-throughput batch Normalization — the ``/v1/batch/normalize`` route.
 
@@ -429,6 +466,7 @@ class CrypTextService:
             headers=headers,
         )
 
+    @_traced("/v1/listen")
     def listen(
         self,
         token: str | None,
@@ -451,6 +489,7 @@ class CrypTextService:
             body={"results": {keyword: report.to_dict() for keyword, report in usage.items()}},
         )
 
+    @_traced("/v1/stats")
     def stats(self, token: str | None) -> ServiceResponse:
         """Dictionary statistics endpoint — the ``/v1/stats`` route.
 
@@ -477,8 +516,29 @@ class CrypTextService:
             "maintenance": (
                 self.scheduler.status() if self.scheduler is not None else None
             ),
+            "observability": OBS.status(),
         }
         return ServiceResponse(status=200, body=body)
+
+    def metrics(self, token: str | None) -> ServiceResponse:
+        """Prometheus exposition endpoint — the ``/v1/metrics`` route.
+
+        Requires the ``stats`` scope.  The response's :attr:`ServiceResponse.text`
+        carries the exposition document (``text/plain; version=0.0.4``):
+        the registry's request/stage histograms and counters plus the
+        adapter-lifted gauges for this service's system, scheduler, and
+        replica set.  ``body`` carries the registry summary for JSON
+        callers; one scrape sees the whole system either way.
+        """
+        guard = self._guard(token, "stats")
+        if isinstance(guard, ServiceResponse):
+            return guard
+        samples = OBS.collect(service_samples(self))
+        return ServiceResponse(
+            status=200,
+            body={"observability": OBS.status()},
+            text=render_text(samples),
+        )
 
     # ------------------------------------------------------------------ #
     # replication

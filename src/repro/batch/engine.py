@@ -30,6 +30,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 from ..analysis.sanitizer import tracked_rlock
 from ..config import CrypTextConfig
+from ..obs.registry import OBS
 from ..core.dictionary import PerturbationDictionary
 from ..core.lookup import LookupEngine, LookupResult, sound_tag
 from ..core.matcher import CompiledBucket
@@ -255,6 +256,26 @@ class BatchEngine:
         per-query parameter does on :meth:`LookupEngine.look_up` (it is part
         of every cache key consulted and populated here).
         """
+        if OBS.armed:
+            with OBS.span("batch.lookup"):
+                return self._look_up_batch(
+                    queries, phonetic_level, max_edit_distance, case_sensitive,
+                    canonical_distance, use_transpositions,
+                )
+        return self._look_up_batch(
+            queries, phonetic_level, max_edit_distance, case_sensitive,
+            canonical_distance, use_transpositions,
+        )
+
+    def _look_up_batch(
+        self,
+        queries: Sequence[str],
+        phonetic_level: int | None,
+        max_edit_distance: int | None,
+        case_sensitive: bool,
+        canonical_distance: bool,
+        use_transpositions: bool | None,
+    ) -> list[LookupResult]:
         queries = list(queries)
         level = self.config.phonetic_level if phonetic_level is None else phonetic_level
         distance = (
@@ -398,6 +419,12 @@ class BatchEngine:
         per-document cost degenerates to ranking.  Sound buckets for the
         batch's unique tokens are prefetched shard-parallel.
         """
+        if OBS.armed:
+            with OBS.span("batch.normalize"):
+                return self._normalize_batch(texts)
+        return self._normalize_batch(texts)
+
+    def _normalize_batch(self, texts: Sequence[str]) -> list[NormalizationResult]:
         texts = list(texts)
         unique = list(dict.fromkeys(texts))
         self._prefetch_normalization_buckets(unique)

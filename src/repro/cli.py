@@ -601,11 +601,26 @@ def _cmd_replica(args: argparse.Namespace) -> int:
                 f"leader recovered {len(leader.dictionary)} tokens "
                 f"(wal seq {recovery.wal_seq})"
             ]
+            # Per-follower lag in *seconds* comes from the observability
+            # gauges (the same series a Prometheus scrape sees), not from a
+            # second ad-hoc computation.
+            from .obs.adapters import replication_samples
+
+            lag_seconds = {
+                sample[3]["follower"]: float(sample[4])
+                for sample in replication_samples(replica_set)
+                if sample[0] == "cryptext_replication_lag_seconds"
+            }
+            payload["lag_seconds"] = lag_seconds
             for member in status["followers"]:
+                seconds = lag_seconds.get(str(member["name"]))
+                behind = (
+                    "never synced" if seconds is None else f"{seconds:.3f}s behind"
+                )
                 lines.append(
                     f"{member['name']}: applied seq {member['applied_seq']}, "
                     f"{member['tokens']} tokens, "
-                    f"lag {member['replication_lag_seqs']} seq(s)"
+                    f"lag {member['replication_lag_seqs']} seq(s), {behind}"
                 )
             converged = all(
                 member["applied_seq"] == status["leader_seq"]
@@ -618,6 +633,50 @@ def _cmd_replica(args: argparse.Namespace) -> int:
             return 0 if converged else 2
         finally:
             replica_set.close()
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """One-shot (or ``--watch``) view of the observability surface.
+
+    Builds/loads the system the same way every other one-shot command does,
+    arms the registry for the invocation (a metrics command that reports
+    everything disarmed would be useless), and prints either the Prometheus
+    exposition text or (``--json``) the registry snapshot.
+    """
+    import time as _time
+
+    from .obs.adapters import sanitizer_samples, system_samples
+    from .obs.expose import render_text
+    from .obs.registry import OBS
+
+    OBS.arm()
+    system = _build_system(args, train_scorer=False)
+
+    def collected():
+        extra = system_samples(system)
+        extra.extend(sanitizer_samples())
+        return OBS.collect(extra)
+
+    if args.watch:
+        try:
+            while True:
+                print("\x1b[2J\x1b[H", end="")  # clear the terminal between frames
+                print(render_text(collected()), end="", flush=True)
+                _time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            return 0
+    if args.json:
+        print(
+            json.dumps(
+                OBS.snapshot(system_samples(system)),
+                indent=2,
+                ensure_ascii=False,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(render_text(collected()), end="")
+    return 0
 
 
 def _cmd_lookup(args: argparse.Namespace) -> int:
@@ -1005,7 +1064,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="seconds between supervision checks (supervise)",
     )
+    replica_cmd.add_argument(
+        "--json",
+        action="store_true",
+        # SUPPRESS keeps this subparser flag from clobbering a globally
+        # passed --json with its own False default: absent here means
+        # "whatever the top-level parser decided".
+        default=argparse.SUPPRESS,
+        help="emit JSON (same as the global --json, placed after the subcommand)",
+    )
     replica_cmd.set_defaults(handler=_cmd_replica)
+
+    metrics_cmd = commands.add_parser(
+        "metrics",
+        help="print the Prometheus exposition text for a system (or --json)",
+    )
+    metrics_cmd.add_argument(
+        "--watch",
+        action="store_true",
+        help="refresh the exposition text in place until interrupted",
+    )
+    metrics_cmd.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between --watch refreshes",
+    )
+    _add_source_arguments(metrics_cmd)
+    metrics_cmd.set_defaults(handler=_cmd_metrics)
 
     normalize_cmd = commands.add_parser("normalize", help="detect and de-perturb a text")
     normalize_cmd.add_argument("text")
@@ -1076,6 +1162,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     from .analysis.sanitizer import maybe_enable_from_env
+    from .obs.registry import maybe_arm_from_env
     from .resilience.faults import install_env_faults
 
     parser = build_parser()
@@ -1085,6 +1172,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         # out tracked when CRYPTEXT_SANITIZE=1 is set.
         if maybe_enable_from_env() is not None:
             print("sanitizer: lock-order sanitizer enabled", file=sys.stderr)
+        if maybe_arm_from_env():
+            print(
+                "observability: metrics registry armed via CRYPTEXT_OBS=1",
+                file=sys.stderr,
+            )
         armed = install_env_faults()
         if armed:
             print(

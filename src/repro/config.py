@@ -170,6 +170,16 @@ class CrypTextConfig:
         records are decoded and applied per poll, so a follower that is
         many segments behind re-hydrates in bounded slices (yielding its
         lock and the disk between slices) instead of starving the leader.
+    obs_enabled:
+        Arms the process-global observability registry (``repro.obs.OBS``)
+        when the system is constructed: latency histograms, request traces,
+        and the slow-query log start recording.  Off by default — the
+        disarmed hot-path cost is a single attribute read (the same
+        contract as fault injection).  ``CRYPTEXT_OBS=1`` arms it from the
+        environment via the CLI / test bootstrap.
+    slow_query_ms:
+        Threshold (milliseconds) above which a traced request is captured
+        in the ring-buffer slow-query log with its per-stage timings.
     crawler_batch_size:
         Number of posts ingested per crawl round when enriching the
         dictionary from the (simulated) social stream.
@@ -213,6 +223,8 @@ class CrypTextConfig:
     breaker_failure_threshold: int = 5
     breaker_recovery_seconds: float = 30.0
     replica_catchup_batch: int = 4096
+    obs_enabled: bool = False
+    slow_query_ms: float = 250.0
     crawler_batch_size: int = 200
     normalizer_max_candidates: int = 10
     lm_order: int = 3
@@ -345,6 +357,10 @@ class CrypTextConfig:
                 "replica_catchup_batch must be an integer >= 1, "
                 f"got {self.replica_catchup_batch!r}"
             )
+        if self.slow_query_ms <= 0:
+            raise ConfigurationError(
+                f"slow_query_ms must be positive, got {self.slow_query_ms!r}"
+            )
         if self.crawler_batch_size <= 0:
             raise ConfigurationError(
                 f"crawler_batch_size must be positive, got {self.crawler_batch_size!r}"
@@ -397,6 +413,8 @@ class CrypTextConfig:
             "breaker_failure_threshold": self.breaker_failure_threshold,
             "breaker_recovery_seconds": self.breaker_recovery_seconds,
             "replica_catchup_batch": self.replica_catchup_batch,
+            "obs_enabled": self.obs_enabled,
+            "slow_query_ms": self.slow_query_ms,
             "crawler_batch_size": self.crawler_batch_size,
             "normalizer_max_candidates": self.normalizer_max_candidates,
             "lm_order": self.lm_order,
@@ -441,6 +459,8 @@ class CrypTextConfig:
             "breaker_failure_threshold",
             "breaker_recovery_seconds",
             "replica_catchup_batch",
+            "obs_enabled",
+            "slow_query_ms",
             "crawler_batch_size",
             "normalizer_max_candidates",
             "lm_order",

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Protocol, Sequenc
 from ..analysis.sanitizer import tracked_lock, tracked_rlock
 from ..config import CrypTextConfig, DEFAULT_CONFIG
 from ..errors import DictionaryError
+from ..obs.registry import OBS
 from ..storage import Collection, DocumentStore
 from ..text.tokenizer import Tokenizer
 from ..text.wordlist import EnglishLexicon, default_lexicon
@@ -943,6 +944,18 @@ class PerturbationDictionary:
         resolution is never ambiguous.  Deltas chain onto either base
         format identically.
         """
+        if OBS.armed:
+            with OBS.span("snapshot.save"):
+                return self._save_snapshot(path, levels, incremental, shards)
+        return self._save_snapshot(path, levels, incremental, shards)
+
+    def _save_snapshot(
+        self,
+        path: "str | Path | None",
+        levels: Sequence[int] | None,
+        incremental: bool,
+        shards: "int | None",
+    ) -> SnapshotSaveReport:
         from ..storage.snapshot import (
             SNAPSHOT_FILE_NAME,
             sharded_snapshot_dir,
@@ -1196,6 +1209,16 @@ class PerturbationDictionary:
           caches) drops, and the compiled-bucket LRU is pre-seeded with
           hydrated views up to its capacity.
         """
+        if OBS.armed:
+            with OBS.span("snapshot.load"):
+                return self._load_snapshot(path, strict)
+        return self._load_snapshot(path, strict)
+
+    def _load_snapshot(
+        self,
+        path: "str | Path | None",
+        strict: bool,
+    ) -> SnapshotLoadReport:
         from ..errors import SnapshotError
         from ..storage.snapshot import resolve_snapshot
         from .matcher import CompiledBucket

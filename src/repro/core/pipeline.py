@@ -22,6 +22,7 @@ from typing import Iterable, Sequence, TYPE_CHECKING
 
 from ..config import CrypTextConfig, DEFAULT_CONFIG
 from ..lm import CoherencyScorer
+from ..obs.registry import OBS
 from ..storage import DocumentStore, TTLCache
 from ..text.tokenizer import Tokenizer
 from ..text.wordlist import EnglishLexicon, default_lexicon
@@ -70,6 +71,10 @@ class CrypText:
         self.perturber = Perturber(self.lookup_engine, config=config, rng=rng)
         self._batch_engine: "BatchEngine | None" = None
         self._maintenance = None
+        if config.obs_enabled:
+            # Arm the process-global registry exactly like CRYPTEXT_OBS=1
+            # would; the config carries the slow-query threshold with it.
+            OBS.arm(slow_query_ms=config.slow_query_ms)
 
     # ------------------------------------------------------------------ #
     # factories
@@ -173,6 +178,15 @@ class CrypText:
         ``use_transpositions`` overrides the configured distance policy for
         this query only (``True`` = adjacent swaps cost one edit).
         """
+        if OBS.armed:
+            with OBS.span("lookup"):
+                return self.lookup_engine.look_up(
+                    query,
+                    phonetic_level=phonetic_level,
+                    max_edit_distance=max_edit_distance,
+                    case_sensitive=case_sensitive,
+                    use_transpositions=use_transpositions,
+                )
         return self.lookup_engine.look_up(
             query,
             phonetic_level=phonetic_level,
@@ -183,6 +197,9 @@ class CrypText:
 
     def normalize(self, text: str) -> NormalizationResult:
         """Normalization (§III-C): detect and de-perturb ``text``."""
+        if OBS.armed:
+            with OBS.span("normalize"):
+                return self.normalizer.normalize(text)
         return self.normalizer.normalize(text)
 
     def perturb(

@@ -1,0 +1,26 @@
+"""Unified observability: metrics registry, request tracing, exposition.
+
+``OBS`` is the process-global :class:`~repro.obs.registry.MetricsRegistry`;
+hot paths guard on ``OBS.armed`` exactly like the fault-injection registry
+guards on ``FAULTS.armed``.  See README "Observability" for the metric
+catalog, arming, and scrape examples.
+"""
+
+from .expose import CONTENT_TYPE, render_text
+from .histogram import DEFAULT_BUCKETS, Histogram
+from .registry import ENV_VAR, OBS, MetricsRegistry, Sample, maybe_arm_from_env
+from .trace import TraceContext, current_trace
+
+__all__ = [
+    "CONTENT_TYPE",
+    "DEFAULT_BUCKETS",
+    "ENV_VAR",
+    "Histogram",
+    "MetricsRegistry",
+    "OBS",
+    "Sample",
+    "TraceContext",
+    "current_trace",
+    "maybe_arm_from_env",
+    "render_text",
+]

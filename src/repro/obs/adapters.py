@@ -1,0 +1,332 @@
+"""Adapters lifting the existing ``stats()`` surfaces into metric samples.
+
+Every subsystem already reports operational state through ad-hoc dicts —
+compiled-cache counters, per-kernel hit counts, WAL segment state, follower
+lag, breaker states, maintenance counters, sanitizer held-time percentiles.
+These functions translate those dicts into exposition samples *at scrape
+time*, holding no global registrations and no long-lived references: the
+service and CLI pass their own objects in, so building a system never leaks
+it into the process-global registry.
+
+Counter-typed samples carry the subsystem's absolute cumulative value,
+which is exactly what a Prometheus counter is; gauges carry point-in-time
+state.  ``None`` values (e.g. lag before the first sync) are skipped rather
+than faked as zero.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..analysis.sanitizer import active as sanitizer_active
+from .registry import OBS, Sample
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.pipeline import CrypText
+    from ..replication.replica_set import ReplicaSet
+    from ..wal.maintenance import MaintenanceScheduler
+
+__all__ = [
+    "maintenance_samples",
+    "replication_samples",
+    "sanitizer_samples",
+    "service_samples",
+    "system_samples",
+]
+
+_BREAKER_STATES = ("closed", "open", "half_open")
+
+_CACHE_EVENTS = ("hits", "misses", "evictions", "invalidations")
+
+_MAINTENANCE_COUNTERS = (
+    ("ticks", "cryptext_maintenance_ticks_total", "Scheduler ticks observed."),
+    ("autosaves", "cryptext_maintenance_autosaves_total", "Auto-saves performed."),
+    (
+        "incremental_saves",
+        "cryptext_maintenance_incremental_saves_total",
+        "Incremental (delta) snapshot saves.",
+    ),
+    ("full_saves", "cryptext_maintenance_full_saves_total", "Full snapshot saves."),
+    ("compactions", "cryptext_maintenance_compactions_total", "Snapshot-chain compactions."),
+    (
+        "wal_truncations",
+        "cryptext_maintenance_wal_truncations_total",
+        "WAL truncations after covered snapshots.",
+    ),
+    (
+        "superseded_removed",
+        "cryptext_maintenance_superseded_removed_total",
+        "Superseded WAL segments garbage-collected.",
+    ),
+)
+
+
+def _gauge(name: str, help_text: str, labels: dict[str, str], value) -> Sample:
+    return (name, "gauge", help_text, labels, float(value))
+
+
+def _counter(name: str, help_text: str, labels: dict[str, str], value) -> Sample:
+    return (name, "counter", help_text, labels, float(value))
+
+
+def system_samples(system: "CrypText") -> list[Sample]:
+    """Dictionary, compiled-cache, kernel, and WAL state of one system."""
+    samples: list[Sample] = []
+    stats = system.stats()
+    samples.append(
+        _gauge(
+            "cryptext_dictionary_tokens",
+            "Unique tokens held by the perturbation dictionary.",
+            {},
+            stats.total_tokens,
+        )
+    )
+    samples.append(
+        _gauge(
+            "cryptext_dictionary_occurrences",
+            "Total token occurrences observed (paper's 2M+ scale figure).",
+            {},
+            stats.total_occurrences,
+        )
+    )
+    cache = system.dictionary.compiled_cache_stats()
+    for event in _CACHE_EVENTS:
+        samples.append(
+            _counter(
+                "cryptext_compiled_cache_events_total",
+                "Compiled-bucket LRU events, by event kind.",
+                {"event": event},
+                cache[event],
+            )
+        )
+    samples.append(
+        _gauge(
+            "cryptext_compiled_cache_size",
+            "Compiled buckets currently cached.",
+            {},
+            cache["size"],
+        )
+    )
+    samples.append(
+        _gauge(
+            "cryptext_compiled_cache_capacity",
+            "Compiled-bucket LRU capacity (config.cache_max_entries).",
+            {},
+            cache["capacity"],
+        )
+    )
+    kernels = cache.get("kernels")
+    if isinstance(kernels, dict):
+        for kernel, hits in sorted(kernels.items()):
+            samples.append(
+                _counter(
+                    "cryptext_kernel_hits_total",
+                    "Matches served, by match kernel (auto resolution included).",
+                    {"kernel": str(kernel)},
+                    hits,
+                )
+            )
+    wal = system.dictionary.wal
+    if wal is not None:
+        wal_stats = wal.stats()
+        samples.append(
+            _gauge(
+                "cryptext_wal_last_seq",
+                "Sequence number of the newest journaled record.",
+                {},
+                wal_stats.last_seq,
+            )
+        )
+        samples.append(
+            _gauge(
+                "cryptext_wal_segments",
+                "Live WAL segment files.",
+                {},
+                wal_stats.segments,
+            )
+        )
+        samples.append(
+            _gauge(
+                "cryptext_wal_bytes",
+                "Total bytes across live WAL segments.",
+                {},
+                wal_stats.total_bytes,
+            )
+        )
+    return samples
+
+
+def replication_samples(replica_set: "ReplicaSet") -> list[Sample]:
+    """Leader position, per-follower lag, routing counters, breaker states."""
+    samples: list[Sample] = []
+    status = replica_set.status()
+    if status["leader_seq"] is not None:
+        samples.append(
+            _gauge(
+                "cryptext_replication_leader_seq",
+                "Leader WAL sequence followers chase.",
+                {},
+                status["leader_seq"],
+            )
+        )
+    for target, value in (
+        ("followers", status["routed_to_followers"]),
+        ("leader", status["routed_to_leader"]),
+    ):
+        samples.append(
+            _counter(
+                "cryptext_replica_reads_total",
+                "Reads routed, by target.",
+                {"target": target},
+                value,
+            )
+        )
+    samples.append(
+        _counter(
+            "cryptext_replica_stale_reads_total",
+            "Reads served by a follower past the staleness bound.",
+            {},
+            status["stale_reads"],
+        )
+    )
+    samples.append(
+        _counter(
+            "cryptext_replica_read_failovers_total",
+            "Follower reads that failed over to the leader.",
+            {},
+            status["read_failovers"],
+        )
+    )
+    for member in status["followers"]:
+        labels = {"follower": str(member["name"])}
+        if member.get("replication_lag_seqs") is not None:
+            samples.append(
+                _gauge(
+                    "cryptext_replication_lag_seqs",
+                    "Records the follower is behind the leader.",
+                    labels,
+                    member["replication_lag_seqs"],
+                )
+            )
+        if member.get("replication_lag_seconds") is not None:
+            samples.append(
+                _gauge(
+                    "cryptext_replication_lag_seconds",
+                    "Seconds since the follower last drew level with the leader.",
+                    labels,
+                    member["replication_lag_seconds"],
+                )
+            )
+        samples.append(
+            _gauge(
+                "cryptext_follower_fresh",
+                "1 while the follower is within the staleness bound.",
+                labels,
+                1.0 if member.get("fresh") else 0.0,
+            )
+        )
+        samples.append(
+            _gauge(
+                "cryptext_follower_mapped_bytes",
+                "Bytes of snapshot shards the follower serves via mmap.",
+                labels,
+                member["mapped_bytes"],
+            )
+        )
+        samples.append(
+            _counter(
+                "cryptext_follower_polls_total",
+                "WAL tail polls attempted by the follower.",
+                labels,
+                member["polls"],
+            )
+        )
+        samples.append(
+            _counter(
+                "cryptext_follower_poll_errors_total",
+                "Follower polls that raised.",
+                labels,
+                member["poll_errors"],
+            )
+        )
+        breaker = member.get("breaker")
+        if isinstance(breaker, dict):
+            for state in _BREAKER_STATES:
+                samples.append(
+                    _gauge(
+                        "cryptext_breaker_state",
+                        "One-hot circuit-breaker state per follower.",
+                        {**labels, "state": state},
+                        1.0 if breaker.get("state") == state else 0.0,
+                    )
+                )
+            samples.append(
+                _counter(
+                    "cryptext_breaker_times_opened_total",
+                    "Times the follower's breaker opened.",
+                    labels,
+                    breaker.get("times_opened", 0),
+                )
+            )
+            samples.append(
+                _counter(
+                    "cryptext_breaker_rejected_calls_total",
+                    "Calls rejected while the breaker was open.",
+                    labels,
+                    breaker.get("rejected_calls", 0),
+                )
+            )
+    return samples
+
+
+def maintenance_samples(scheduler: "MaintenanceScheduler") -> list[Sample]:
+    """Scheduler counters and running state."""
+    status = scheduler.status()
+    samples: list[Sample] = [
+        _gauge(
+            "cryptext_maintenance_running",
+            "1 while the background maintenance thread is running.",
+            {},
+            1.0 if status.get("running") else 0.0,
+        )
+    ]
+    for key, name, help_text in _MAINTENANCE_COUNTERS:
+        samples.append(_counter(name, help_text, {}, status.get(key, 0)))
+    return samples
+
+
+def sanitizer_samples() -> list[Sample]:
+    """Lock held-time histograms, present only under ``CRYPTEXT_SANITIZE=1``."""
+    sanitizer = sanitizer_active()
+    if sanitizer is None:
+        return []
+    samples: list[Sample] = []
+    for name, histogram in sorted(sanitizer.held_time_histograms().items()):
+        samples.append(
+            (
+                "cryptext_lock_held_seconds",
+                "histogram",
+                "Time project locks were held, by hierarchy name (sanitizer).",
+                {"lock": name},
+                histogram.snapshot(),
+            )
+        )
+    return samples
+
+
+def service_samples(service) -> list[Sample]:
+    """Everything one scrape of a service should see beyond the registry.
+
+    ``service`` is a ``CrypTextService``; its bound system, scheduler, and
+    replica set are lifted when present.  Sanitizer held-time histograms
+    ride along only when both OBS and the sanitizer are armed — the
+    satellite contract for ``lock_held_seconds``.
+    """
+    samples = system_samples(service.cryptext)
+    if service.scheduler is not None:
+        samples.extend(maintenance_samples(service.scheduler))
+    if service.replica_set is not None:
+        samples.extend(replication_samples(service.replica_set))
+    if OBS.armed:
+        samples.extend(sanitizer_samples())
+    return samples

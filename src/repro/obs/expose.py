@@ -1,0 +1,85 @@
+"""Prometheus text exposition (format 0.0.4) for collected samples.
+
+Pure formatting: takes the ``(name, type, help, labels, value)`` samples
+produced by ``MetricsRegistry.collect`` (plus adapter output) and renders
+the text a Prometheus scraper parses.  Families are emitted in first-seen
+order with all samples of a name kept consecutive, as the format requires.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+__all__ = ["CONTENT_TYPE", "render_text"]
+
+#: The Content-Type a scrape endpoint must answer with.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: Mapping[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(key, str(labels[key])) for key in sorted(labels)]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape_label(value)}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def render_text(samples: Iterable[tuple]) -> str:
+    """Render collected samples as Prometheus exposition text."""
+    families: dict[str, dict[str, object]] = {}
+    order: list[str] = []
+    for name, kind, help_text, labels, value in samples:
+        family = families.get(name)
+        if family is None:
+            family = {"type": kind, "help": help_text, "samples": []}
+            families[name] = family
+            order.append(name)
+        family["samples"].append((labels, value))
+
+    lines: list[str] = []
+    for name in order:
+        family = families[name]
+        help_text = str(family["help"])
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for labels, value in family["samples"]:  # type: ignore[union-attr]
+            if family["type"] == "histogram":
+                _render_histogram(lines, name, labels, value)
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labels)} {_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def _render_histogram(
+    lines: list[str],
+    name: str,
+    labels: Mapping[str, str],
+    snapshot: Mapping[str, object],
+) -> None:
+    buckets = snapshot["buckets"]
+    for bound, cumulative in buckets:  # type: ignore[union-attr]
+        le = _format_labels(labels, (("le", _format_value(bound)),))
+        lines.append(f"{name}_bucket{le} {int(cumulative)}")
+    suffix = _format_labels(labels)
+    lines.append(f"{name}_sum{suffix} {_format_value(float(snapshot['sum']))}")
+    lines.append(f"{name}_count{suffix} {int(snapshot['count'])}")

@@ -1,0 +1,70 @@
+"""Request trace contexts propagated across threads like ``Deadline``.
+
+A :class:`TraceContext` is a lightweight per-request recorder: the route, a
+start timestamp, and the ``(stage, seconds)`` pairs appended by spans that
+fire while it is active.  Activation follows the exact contract of
+``resilience.policies.Deadline``: a ``contextvars.ContextVar`` holds the
+current trace, ``activate()`` is a context manager that sets/resets it, and
+the asyncio front re-activates the trace inside its worker threads (a
+``ContextVar`` does not cross an executor boundary by itself).
+
+The module is dependency-free on purpose — the registry imports it, call
+sites import the registry.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from typing import Iterator
+
+__all__ = ["TraceContext", "current_trace"]
+
+_CURRENT_TRACE: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "cryptext_trace", default=None
+)
+
+
+class TraceContext:
+    """Per-request span recorder; cheap enough to build on every request."""
+
+    __slots__ = ("route", "status", "started", "started_wall", "stages", "_clock")
+
+    def __init__(self, route: str, *, clock=time.perf_counter) -> None:
+        self.route = route
+        self.status: int | None = None
+        self._clock = clock
+        self.started = clock()
+        self.started_wall = time.time()
+        #: ``(stage, seconds)`` pairs in completion order.  Appends are
+        #: atomic under the GIL and every append happens while the request
+        #: is still in flight, so no lock is needed.
+        self.stages: list[tuple[str, float]] = []
+
+    def add_stage(self, stage: str, seconds: float) -> None:
+        self.stages.append((stage, seconds))
+
+    def elapsed(self) -> float:
+        """Seconds since the trace opened, on the trace's own clock."""
+        return self._clock() - self.started
+
+    @contextlib.contextmanager
+    def activate(self) -> Iterator["TraceContext"]:
+        """Make this trace the current one for the calling thread/task."""
+        token = _CURRENT_TRACE.set(self)
+        try:
+            yield self
+        finally:
+            _CURRENT_TRACE.reset(token)
+
+    def stage_summary(self) -> list[dict[str, object]]:
+        """Per-stage timings for the slow-query log (milliseconds)."""
+        return [
+            {"stage": stage, "ms": seconds * 1000.0} for stage, seconds in self.stages
+        ]
+
+
+def current_trace() -> TraceContext | None:
+    """The trace active in the calling context, if any."""
+    return _CURRENT_TRACE.get()

@@ -41,6 +41,7 @@ from ..analysis.sanitizer import tracked_rlock
 from ..config import CrypTextConfig, DEFAULT_CONFIG
 from ..core.pipeline import CrypText
 from ..errors import SnapshotError
+from ..obs.registry import OBS
 from ..resilience.faults import FAULTS
 from ..resilience.policies import CircuitBreaker, RetryPolicy
 from ..storage.snapshot import MappedSnapshot
@@ -188,6 +189,12 @@ class Follower:
         and re-raise; use :meth:`poll_safely` where an exception must not
         escape (the background tail thread does).
         """
+        if OBS.armed:
+            with OBS.span("follower.poll"):
+                return self._poll_round()
+        return self._poll_round()
+
+    def _poll_round(self) -> int:
         with self._lock:
             if self._closed:
                 return 0
@@ -261,6 +268,12 @@ class Follower:
         so concurrent reads interleave with a long catch-up instead of
         stalling behind it.
         """
+        if OBS.armed:
+            with OBS.span("follower.catchup"):
+                return self._catch_up()
+        return self._catch_up()
+
+    def _catch_up(self) -> int:
         with self._lock:
             if not self._hydrated:
                 self.hydrate()

@@ -29,6 +29,7 @@ from ..analysis.sanitizer import tracked_lock
 from ..config import DEGRADED_READ_POLICIES
 from ..core.pipeline import CrypText
 from ..errors import ConfigurationError, CrypTextError, ReplicasUnavailableError
+from ..obs.registry import OBS
 from ..resilience.policies import check_deadline
 from .follower import Follower
 
@@ -123,6 +124,12 @@ class ReplicaSet:
         Raises :class:`ReplicasUnavailableError` under the fail-fast
         policy when no follower is eligible.
         """
+        if OBS.armed:
+            with OBS.span("replica.route"):
+                return self._route_read()
+        return self._route_read()
+
+    def _route_read(self) -> RoutedRead:
         with self._lock:
             eligible = [
                 follower

@@ -59,6 +59,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 from ..analysis.sanitizer import tracked_rlock
 from ..errors import TornWrite, WalError
+from ..obs.registry import OBS
 from ..resilience.faults import FAULTS
 
 #: Segment file name pattern: ``wal-<first_seq:020d>.seg``.
@@ -500,6 +501,12 @@ class ChangeLog:
         Thread-safe; rotates to a fresh segment once the active one has
         reached :attr:`segment_bytes`.
         """
+        if OBS.armed:
+            with OBS.span("wal.append"):
+                return self._append(op, payload)
+        return self._append(op, payload)
+
+    def _append(self, op: str, payload: Mapping[str, Any]) -> WalRecord:
         with self._lock:
             if self._closed:
                 raise WalError("cannot append to a closed change log")
@@ -525,15 +532,11 @@ class ChangeLog:
                 handle.write(frame)
                 handle.flush()
                 if self.fsync:
-                    if FAULTS.armed:
-                        FAULTS.hit("wal.fsync")
-                    os.fsync(handle.fileno())
+                    self._fsync_locked(handle)
                 elif self.fsync_batch:
                     self._unsynced_appends += 1
                     if self._unsynced_appends >= self.fsync_batch:
-                        if FAULTS.armed:
-                            FAULTS.hit("wal.fsync")
-                        os.fsync(handle.fileno())
+                        self._fsync_locked(handle)
                         self._unsynced_appends = 0
             except OSError as exc:
                 self._drop_handle_locked()
@@ -557,6 +560,20 @@ class ChangeLog:
             tail.size += len(frame)
             tail.records += 1
             return record
+
+    def _fsync_locked(self, handle) -> None:
+        """Fsync ``handle`` through the fault point and the timing span.
+
+        Callers hold the segment lock; the fsync itself stays a single
+        syscall so the lock is held no longer than before.
+        """
+        if FAULTS.armed:
+            FAULTS.hit("wal.fsync")
+        if OBS.armed:
+            with OBS.span("wal.fsync"):
+                os.fsync(handle.fileno())
+            return
+        os.fsync(handle.fileno())
 
     def _inject_append_fault_locked(self, handle, frame: bytes, tail: "_Segment") -> None:
         """Trigger the ``wal.append`` fault point (armed registries only).
@@ -612,9 +629,7 @@ class ChangeLog:
         with self._lock:
             if self._handle is not None and self._unsynced_appends:
                 try:
-                    if FAULTS.armed:
-                        FAULTS.hit("wal.fsync")
-                    os.fsync(self._handle.fileno())
+                    self._fsync_locked(self._handle)
                 except OSError as exc:
                     raise WalError(
                         f"failed to sync {self._handle_path}: {exc}"

@@ -16,6 +16,12 @@ from repro.analysis.sanitizer import active, maybe_enable_from_env
 # every tracked_lock()/tracked_rlock() from here on comes out instrumented.
 maybe_enable_from_env()
 
+from repro.obs.registry import maybe_arm_from_env
+
+# Same discipline for observability: CRYPTEXT_OBS=1 arms the metrics
+# registry for the whole run (spans, request traces, slow-query log).
+maybe_arm_from_env()
+
 from repro import CrypText, CrypTextConfig
 from repro.datasets import build_social_corpus, corpus_texts
 from repro.social import SocialPlatform
